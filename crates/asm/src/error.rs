@@ -1,0 +1,86 @@
+//! Assembly errors.
+
+use std::fmt;
+
+/// Error produced while assembling a program.
+///
+/// Returned by [`Assembler::finish`](crate::Assembler::finish) and
+/// [`ProgramBuilder::finish`](crate::ProgramBuilder::finish).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound to an address.
+    UnboundLabel {
+        /// Index of the offending label.
+        label: u32,
+    },
+    /// A label was bound twice.
+    DoublyBoundLabel {
+        /// Index of the offending label.
+        label: u32,
+    },
+    /// A symbol name was defined twice.
+    DuplicateSymbol {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A function was called but never defined with a body.
+    UndefinedFunction {
+        /// The function name.
+        name: String,
+    },
+    /// A control-transfer target lies outside the assembled code.
+    TargetOutOfRange {
+        /// Address of the offending instruction.
+        at: u32,
+        /// The out-of-range target.
+        target: u32,
+        /// Code length.
+        len: u32,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { label } => {
+                write!(f, "label L{label} referenced but never bound")
+            }
+            AsmError::DoublyBoundLabel { label } => write!(f, "label L{label} bound twice"),
+            AsmError::DuplicateSymbol { name } => write!(f, "symbol `{name}` defined twice"),
+            AsmError::UndefinedFunction { name } => {
+                write!(f, "function `{name}` called but never defined")
+            }
+            AsmError::TargetOutOfRange { at, target, len } => write!(
+                f,
+                "instruction at {at} targets {target}, outside code of length {len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            AsmError::UnboundLabel { label: 3 }.to_string(),
+            "label L3 referenced but never bound"
+        );
+        assert!(AsmError::DuplicateSymbol {
+            name: "main".into()
+        }
+        .to_string()
+        .contains("main"));
+        assert!(AsmError::TargetOutOfRange {
+            at: 1,
+            target: 99,
+            len: 10
+        }
+        .to_string()
+        .contains("99"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # loopspec-asm — assembler and structured program builder for SLA
+//!
+//! This crate plays the role of the *compiler* in the paper's methodology
+//! (Tubella & González, HPCA 1998): it turns structured descriptions of
+//! control flow — loop nests, conditionals, subroutines, recursion, early
+//! exits — into flat [`loopspec_isa`] machine code that the `loopspec-cpu`
+//! interpreter executes and the loop detector observes.
+//!
+//! Two layers are provided:
+//!
+//! * [`Assembler`] — a classic two-pass assembler core: emit instructions,
+//!   create and bind labels, and let `finish` resolve all forward
+//!   references (branch/jump/call targets and label-address immediates).
+//! * [`ProgramBuilder`] — a structured layer on top: `counted_loop`,
+//!   `while_loop`, `if_else`, `break`/`continue`, function definitions with
+//!   a call-stack convention (so recursion works), switch dispatch through
+//!   jump tables, static data allocation, and filler-work generators used
+//!   to calibrate loop-body sizes.
+//!
+//! ## Example: a counted loop
+//!
+//! ```
+//! use loopspec_asm::ProgramBuilder;
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.counted_loop(10, |b, _i| {
+//!     b.work(3); // three filler ALU instructions
+//! });
+//! let program = b.finish().expect("assembles");
+//! assert!(program.len() > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod assembler;
+mod builder;
+mod error;
+mod program;
+
+pub use assembler::{Assembler, LabelId};
+pub use builder::{Operand, ProgramBuilder};
+pub use error::AsmError;
+pub use program::Program;

@@ -1,0 +1,183 @@
+//! Assembled programs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use loopspec_isa::{Addr, ControlKind, Instruction};
+
+use crate::AsmError;
+
+/// A fully assembled SLA program: flat code, an entry point, and a symbol
+/// table for named code addresses (function entries, benchmark phases).
+///
+/// `Program` is immutable once produced by
+/// [`Assembler::finish`](crate::Assembler::finish); the CPU fetches from it
+/// by [`Addr`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    code: Vec<Instruction>,
+    entry: Addr,
+    symbols: BTreeMap<String, Addr>,
+}
+
+impl Program {
+    /// Builds a program from raw parts, validating all static control-flow
+    /// targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::TargetOutOfRange`] when a branch, jump or call
+    /// target lies outside the code.
+    pub fn new(
+        code: Vec<Instruction>,
+        entry: Addr,
+        symbols: BTreeMap<String, Addr>,
+    ) -> Result<Self, AsmError> {
+        let len = code.len() as u32;
+        for (i, instr) in code.iter().enumerate() {
+            let target = match instr.control_kind() {
+                ControlKind::CondBranch { target }
+                | ControlKind::Jump { target }
+                | ControlKind::Call { target } => Some(target),
+                _ => None,
+            };
+            if let Some(t) = target {
+                if t.index() >= len {
+                    return Err(AsmError::TargetOutOfRange {
+                        at: i as u32,
+                        target: t.index(),
+                        len,
+                    });
+                }
+            }
+        }
+        Ok(Program {
+            code,
+            entry,
+            symbols,
+        })
+    }
+
+    /// Fetches the instruction at `addr`, or `None` past the end of code.
+    #[inline]
+    pub fn fetch(&self, addr: Addr) -> Option<&Instruction> {
+        self.code.get(addr.index() as usize)
+    }
+
+    /// Number of instructions (static code size).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Returns `true` when the program contains no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The entry-point address.
+    #[inline]
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// The full instruction slice.
+    #[inline]
+    pub fn code(&self) -> &[Instruction] {
+        &self.code
+    }
+
+    /// Looks up a named code address.
+    pub fn symbol(&self, name: &str) -> Option<Addr> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, Addr)> + '_ {
+        self.symbols.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// Produces a human-readable disassembly listing.
+    ///
+    /// Each line shows the address and instruction; symbol definitions are
+    /// interleaved as `name:` headers.
+    pub fn disassemble(&self) -> String {
+        use fmt::Write as _;
+        let mut by_addr: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        for (name, addr) in &self.symbols {
+            by_addr.entry(addr.index()).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (i, instr) in self.code.iter().enumerate() {
+            if let Some(names) = by_addr.get(&(i as u32)) {
+                for n in names {
+                    let _ = writeln!(out, "{n}:");
+                }
+            }
+            let _ = writeln!(out, "  {:#06x}  {instr}", i);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopspec_isa::{AluOp, Reg};
+
+    fn tiny() -> Vec<Instruction> {
+        vec![
+            Instruction::AluImm {
+                op: AluOp::Add,
+                rd: Reg::R1,
+                ra: Reg::R0,
+                imm: 1,
+            },
+            Instruction::Jump {
+                target: Addr::new(2),
+            },
+            Instruction::Halt,
+        ]
+    }
+
+    #[test]
+    fn construction_validates_targets() {
+        let p = Program::new(tiny(), Addr::ZERO, BTreeMap::new()).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.entry(), Addr::ZERO);
+        assert!(p.fetch(Addr::new(2)).is_some());
+        assert!(p.fetch(Addr::new(3)).is_none());
+    }
+
+    #[test]
+    fn out_of_range_target_rejected() {
+        let code = vec![Instruction::Jump {
+            target: Addr::new(10),
+        }];
+        let err = Program::new(code, Addr::ZERO, BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, AsmError::TargetOutOfRange { target: 10, .. }));
+    }
+
+    #[test]
+    fn symbols_resolve() {
+        let mut syms = BTreeMap::new();
+        syms.insert("main".to_string(), Addr::ZERO);
+        syms.insert("end".to_string(), Addr::new(2));
+        let p = Program::new(tiny(), Addr::ZERO, syms).unwrap();
+        assert_eq!(p.symbol("main"), Some(Addr::ZERO));
+        assert_eq!(p.symbol("nope"), None);
+        assert_eq!(p.symbols().count(), 2);
+    }
+
+    #[test]
+    fn disassembly_contains_symbols_and_code() {
+        let mut syms = BTreeMap::new();
+        syms.insert("main".to_string(), Addr::ZERO);
+        let p = Program::new(tiny(), Addr::ZERO, syms).unwrap();
+        let text = p.disassemble();
+        assert!(text.contains("main:"));
+        assert!(text.contains("halt"));
+    }
+}

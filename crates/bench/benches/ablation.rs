@@ -1,0 +1,86 @@
+//! Ablation benches: cost of the design knobs the paper discusses —
+//! CLS capacity (§2.2), LET/LIT size and replacement policy (§2.3), and
+//! the stride value predictor of §4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loopspec_bench::run::WorkloadRun;
+use loopspec_core::{Cls, EventCollector, Replacement, TableHitSim, TableKind};
+use loopspec_cpu::{Cpu, RunLimits};
+use loopspec_dataspec::StridePredictor;
+use loopspec_workloads::{by_name, Scale};
+
+/// Detection cost as a function of CLS capacity (the associative search
+/// is linear in occupancy).
+fn bench_cls_capacity(c: &mut Criterion) {
+    let w = by_name("go").unwrap(); // deepest nesting in the suite
+    let program = w.build(Scale::Test).unwrap();
+    let mut g = c.benchmark_group("cls_capacity");
+    for cap in [4usize, 8, 16, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut collector = EventCollector::new(Cls::new(cap));
+                Cpu::new()
+                    .run(&program, &mut collector, RunLimits::default())
+                    .expect("runs");
+                std::hint::black_box(collector.events().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Hit-ratio simulation cost across table sizes and replacement
+/// policies (event-stream replay).
+fn bench_table_sim(c: &mut Criterion) {
+    let run = WorkloadRun::execute(by_name("gcc").unwrap(), Scale::Test, false);
+    let mut g = c.benchmark_group("table_sim");
+    g.throughput(Throughput::Elements(run.events.len() as u64));
+    for entries in [2usize, 8, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("lit_lru", entries),
+            &entries,
+            |b, &entries| {
+                b.iter(|| {
+                    let mut sim = TableHitSim::new(TableKind::Lit, entries);
+                    sim.observe_all(&run.events);
+                    std::hint::black_box(sim.ratio().percent())
+                })
+            },
+        );
+    }
+    g.bench_function("lit_nest_inhibit_16", |b| {
+        b.iter(|| {
+            let mut sim =
+                TableHitSim::with_replacement(TableKind::Lit, 16, Replacement::NestInhibit);
+            sim.observe_all(&run.events);
+            std::hint::black_box(sim.ratio().percent())
+        })
+    });
+    g.finish();
+}
+
+/// Raw stride-predictor roll rate (the per-live-in cost of §4).
+fn bench_stride_predictor(c: &mut Criterion) {
+    let keys: Vec<u32> = (0..64).collect();
+    let mut g = c.benchmark_group("stride_predictor");
+    g.throughput(Throughput::Elements(64 * 100));
+    g.bench_function("observe", |b| {
+        b.iter(|| {
+            let mut p: StridePredictor<u32> = StridePredictor::new();
+            for round in 0..100u64 {
+                for &k in &keys {
+                    std::hint::black_box(p.observe(k, round * k as u64));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cls_capacity,
+    bench_table_sim,
+    bench_stride_predictor
+);
+criterion_main!(benches);

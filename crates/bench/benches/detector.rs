@@ -1,0 +1,81 @@
+//! Throughput of the loop-detection front end: the CLS update rules and
+//! the full CPU + detector pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loopspec_core::{Cls, EventCollector, LoopEvent};
+use loopspec_cpu::{ControlOutcome, Cpu, RunLimits};
+use loopspec_isa::{Addr, ControlKind};
+use loopspec_workloads::{by_name, Scale};
+
+/// Raw CLS update-rule throughput on a synthetic nested-loop control
+/// stream (no CPU in the way).
+fn bench_cls(c: &mut Criterion) {
+    // Pre-generate a control stream: 3-deep nest, 10 x 10 x 10.
+    let mut stream: Vec<(Addr, ControlOutcome)> = Vec::new();
+    let branch = |t: u32, pc: u32, taken: bool| {
+        (
+            Addr::new(pc),
+            ControlOutcome {
+                kind: ControlKind::CondBranch {
+                    target: Addr::new(t),
+                },
+                taken,
+                target: Addr::new(if taken { t } else { pc + 1 }),
+            },
+        )
+    };
+    for _ in 0..10 {
+        for _ in 0..10 {
+            for k in 0..10 {
+                stream.push(branch(30, 40, k != 9));
+            }
+            stream.push(branch(20, 50, true));
+        }
+        stream.push(branch(20, 50, false));
+        stream.push(branch(10, 60, true));
+    }
+    stream.push(branch(10, 60, false));
+
+    let mut g = c.benchmark_group("cls");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    g.bench_function("on_control/nest10x10x10", |b| {
+        b.iter(|| {
+            let mut cls = Cls::default();
+            let mut out: Vec<LoopEvent> = Vec::with_capacity(8);
+            for (k, (pc, outcome)) in stream.iter().enumerate() {
+                out.clear();
+                cls.on_control(*pc, outcome, k as u64, &mut out);
+                std::hint::black_box(&out);
+            }
+        })
+    });
+    g.finish();
+}
+
+/// End-to-end pipeline: interpret a workload and detect its loops.
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    for name in ["compress", "swim", "go"] {
+        let w = by_name(name).expect("workload exists");
+        let program = w.build(Scale::Test).expect("assembles");
+        // Measure instructions once for throughput annotation.
+        let mut probe = EventCollector::default();
+        Cpu::new()
+            .run(&program, &mut probe, RunLimits::default())
+            .expect("runs");
+        g.throughput(Throughput::Elements(probe.instructions()));
+        g.bench_with_input(BenchmarkId::new("cpu+detector", name), &program, |b, p| {
+            b.iter(|| {
+                let mut collector = EventCollector::default();
+                Cpu::new()
+                    .run(p, &mut collector, RunLimits::default())
+                    .expect("runs");
+                std::hint::black_box(collector.events().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cls, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Throughput of the speculation engine across policies and TU counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loopspec_bench::experiments::{run_engine, PolicyKind};
+use loopspec_bench::run::WorkloadRun;
+use loopspec_mt::ideal_tpc;
+use loopspec_workloads::{by_name, Scale};
+
+fn bench_policies(c: &mut Criterion) {
+    let run = WorkloadRun::execute(by_name("hydro2d").unwrap(), Scale::Test, false);
+    let trace = run.annotate();
+
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(trace.events.len() as u64));
+    for policy in PolicyKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("policy", policy.name()),
+            &policy,
+            |b, &p| b.iter(|| std::hint::black_box(run_engine(&trace, p, 4).tpc())),
+        );
+    }
+    for tus in [2usize, 16, 256] {
+        g.bench_with_input(BenchmarkId::new("tus", tus), &tus, |b, &t| {
+            b.iter(|| std::hint::black_box(run_engine(&trace, PolicyKind::Str, t).tpc()))
+        });
+    }
+    g.bench_function("ideal", |b| {
+        b.iter(|| std::hint::black_box(ideal_tpc(&trace).tpc))
+    });
+    g.finish();
+}
+
+fn bench_annotate(c: &mut Criterion) {
+    let run = WorkloadRun::execute(by_name("su2cor").unwrap(), Scale::Test, false);
+    let mut g = c.benchmark_group("annotate");
+    g.throughput(Throughput::Elements(run.events.len() as u64));
+    g.bench_function("build", |b| {
+        b.iter(|| std::hint::black_box(run.annotate().events.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_annotate);
+criterion_main!(benches);

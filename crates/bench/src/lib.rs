@@ -1,0 +1,30 @@
+//! # loopspec-bench — the experiment harness
+//!
+//! Regenerates every table and figure of Tubella & González (HPCA 1998)
+//! on the synthetic workload suite:
+//!
+//! | Experiment | Paper artefact | Entry point |
+//! |---|---|---|
+//! | Loop statistics | Table 1 | [`experiments::table1`] |
+//! | LET/LIT hit ratios (2/4/8/16 entries) | Figure 4 | [`experiments::fig4`] |
+//! | Ideal-machine TPC, full vs prefix | Figure 5 | [`experiments::fig5`] |
+//! | TPC per program, STR, 2/4/8/16 TUs | Figure 6 | [`experiments::fig6`] |
+//! | Average TPC per policy | Figure 7 | [`experiments::fig7`] |
+//! | Speculation statistics, STR(3), 4 TUs | Table 2 | [`experiments::table2`] |
+//! | Data-speculation predictability | Figure 8 | [`experiments::fig8`] |
+//! | CLS capacity / replacement ablations | §2.2, §2.3.2 | [`experiments::ablation`] |
+//!
+//! The `repro` binary prints each as an aligned text table with the
+//! paper's reference values alongside:
+//!
+//! ```text
+//! cargo run --release -p loopspec-bench --bin repro -- all --scale full
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod paper;
+pub mod report;
+pub mod run;

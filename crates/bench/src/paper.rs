@@ -1,0 +1,215 @@
+//! Reference values transcribed from the paper, for side-by-side
+//! reporting.
+
+/// One row of the paper's Table 2 (STR(3) policy, 4 thread units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperTable2Row {
+    /// Program name.
+    pub name: &'static str,
+    /// `#spec.` — control speculations performed.
+    pub spec: u64,
+    /// `#threads/spec.`.
+    pub threads_per_spec: f64,
+    /// `hit ratio (%)`.
+    pub hit_ratio: f64,
+    /// `#instr. to verif`.
+    pub instr_to_verif: f64,
+    /// `TPC`.
+    pub tpc: f64,
+}
+
+/// The paper's Table 2, in order.
+pub const TABLE2: [PaperTable2Row; 18] = [
+    PaperTable2Row {
+        name: "applu",
+        spec: 218_661,
+        threads_per_spec: 2.62,
+        hit_ratio: 54.51,
+        instr_to_verif: 2316.0,
+        tpc: 2.21,
+    },
+    PaperTable2Row {
+        name: "apsi",
+        spec: 118_637,
+        threads_per_spec: 2.91,
+        hit_ratio: 90.48,
+        instr_to_verif: 2301.0,
+        tpc: 3.51,
+    },
+    PaperTable2Row {
+        name: "compress",
+        spec: 2_804_450,
+        threads_per_spec: 2.69,
+        hit_ratio: 100.00,
+        instr_to_verif: 91.94,
+        tpc: 3.23,
+    },
+    PaperTable2Row {
+        name: "fpppp",
+        spec: 3_417,
+        threads_per_spec: 1.67,
+        hit_ratio: 86.92,
+        instr_to_verif: 191_727.0,
+        tpc: 2.71,
+    },
+    PaperTable2Row {
+        name: "gcc",
+        spec: 1_206_937,
+        threads_per_spec: 2.06,
+        hit_ratio: 76.05,
+        instr_to_verif: 370.0,
+        tpc: 2.37,
+    },
+    PaperTable2Row {
+        name: "go",
+        spec: 18_427,
+        threads_per_spec: 2.09,
+        hit_ratio: 71.17,
+        instr_to_verif: 69_749.0,
+        tpc: 1.06,
+    },
+    PaperTable2Row {
+        name: "hydro2d",
+        spec: 706_635,
+        threads_per_spec: 2.99,
+        hit_ratio: 99.43,
+        instr_to_verif: 433.0,
+        tpc: 2.52,
+    },
+    PaperTable2Row {
+        name: "ijpeg",
+        spec: 150_450,
+        threads_per_spec: 2.72,
+        hit_ratio: 96.54,
+        instr_to_verif: 1_608.0,
+        tpc: 2.36,
+    },
+    PaperTable2Row {
+        name: "li",
+        spec: 1_567_433,
+        threads_per_spec: 1.71,
+        hit_ratio: 69.16,
+        instr_to_verif: 353.0,
+        tpc: 1.75,
+    },
+    PaperTable2Row {
+        name: "m88ksim",
+        spec: 1_097_194,
+        threads_per_spec: 2.77,
+        hit_ratio: 97.32,
+        instr_to_verif: 292.0,
+        tpc: 2.78,
+    },
+    PaperTable2Row {
+        name: "mgrid",
+        spec: 7_900,
+        threads_per_spec: 2.80,
+        hit_ratio: 97.50,
+        instr_to_verif: 36_523.0,
+        tpc: 3.71,
+    },
+    PaperTable2Row {
+        name: "perl",
+        spec: 3_114_338,
+        threads_per_spec: 2.33,
+        hit_ratio: 60.34,
+        instr_to_verif: 35.0,
+        tpc: 1.17,
+    },
+    PaperTable2Row {
+        name: "su2cor",
+        spec: 4_906_331,
+        threads_per_spec: 2.22,
+        hit_ratio: 99.92,
+        instr_to_verif: 45.0,
+        tpc: 1.94,
+    },
+    PaperTable2Row {
+        name: "swim",
+        spec: 61_005,
+        threads_per_spec: 3.00,
+        hit_ratio: 99.91,
+        instr_to_verif: 4_455.0,
+        tpc: 3.48,
+    },
+    PaperTable2Row {
+        name: "tomcatv",
+        spec: 111_394,
+        threads_per_spec: 2.86,
+        hit_ratio: 77.24,
+        instr_to_verif: 2_363.0,
+        tpc: 3.85,
+    },
+    PaperTable2Row {
+        name: "turb3d",
+        spec: 106_237,
+        threads_per_spec: 2.99,
+        hit_ratio: 99.18,
+        instr_to_verif: 2_417.0,
+        tpc: 3.84,
+    },
+    PaperTable2Row {
+        name: "vortex",
+        spec: 131_024,
+        threads_per_spec: 2.12,
+        hit_ratio: 90.25,
+        instr_to_verif: 2_502.0,
+        tpc: 3.03,
+    },
+    PaperTable2Row {
+        name: "wave5",
+        spec: 165_950,
+        threads_per_spec: 2.60,
+        hit_ratio: 99.95,
+        instr_to_verif: 1_778.0,
+        tpc: 3.75,
+    },
+];
+
+/// Average TPC for the STR policy by TU count (paper §3.2 / Figure 6-7).
+pub const STR_AVG_TPC: [(usize, f64); 4] = [(2, 1.65), (4, 2.6), (8, 4.0), (16, 6.2)];
+
+/// Figure 4 hit ratios quoted in the text: (table, entries, percent).
+pub const FIG4_QUOTED: [(&str, usize, f64); 4] = [
+    ("LIT", 4, 90.50),
+    ("LET", 16, 91.98),
+    ("LIT", 2, 85.00),
+    ("LET", 8, 72.44),
+];
+
+/// The paper's §4 headline: the most frequent path covers ~85 % of all
+/// iterations.
+pub const SAME_PATH_PERCENT: f64 = 85.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_is_complete_and_ordered() {
+        assert_eq!(TABLE2.len(), 18);
+        let mut names: Vec<&str> = TABLE2.iter().map(|r| r.name).collect();
+        let sorted = {
+            let mut s = names.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(names, sorted, "paper order is alphabetical");
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn table2_matches_workload_hit_ratios() {
+        for row in &TABLE2 {
+            let w = loopspec_workloads::by_name(row.name).expect("workload exists");
+            assert!(
+                (w.paper.hit_ratio - row.hit_ratio).abs() < 0.05,
+                "{}: {} vs {}",
+                row.name,
+                w.paper.hit_ratio,
+                row.hit_ratio
+            );
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Plain-text table rendering for the `repro` binary.
+
+use std::fmt::Write as _;
+
+use loopspec_core::TableKind;
+
+use crate::experiments::{
+    ClsAblationPoint, Fig4Point, Fig5Row, Fig6Row, Fig7Row, Fig8Row, Table1Row, Table2Row,
+    TU_COUNTS,
+};
+use crate::paper;
+
+/// A right-aligned plain-text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (k, cell) in row.iter().enumerate() {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for k in 0..cols {
+                if k > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", cells[k], width = widths[k]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Renders Table 1 with the paper's values interleaved.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut t = TextTable::new([
+        "program", "#instr", "#loops", "#it/ex", "(paper)", "#in/it", "(paper)", "avg.nl",
+        "(paper)", "max.nl", "(paper)",
+    ]);
+    for r in rows {
+        t.row([
+            r.name.to_string(),
+            r.ours.instructions.to_string(),
+            r.ours.static_loops.to_string(),
+            f2(r.ours.iter_per_exec),
+            f2(r.paper.iter_per_exec),
+            f1(r.ours.instr_per_iter),
+            f1(r.paper.instr_per_iter),
+            f2(r.ours.avg_nesting),
+            f2(r.paper.avg_nl),
+            r.ours.max_nesting.to_string(),
+            r.paper.max_nl.to_string(),
+        ]);
+    }
+    format!("Table 1: loop statistics (ours vs paper)\n{}", t.render())
+}
+
+/// Renders Figure 4 with the paper's quoted points.
+pub fn render_fig4(points: &[Fig4Point]) -> String {
+    let mut t = TextTable::new(["table", "entries", "avg hit %", "paper %"]);
+    for p in points {
+        let kind = match p.kind {
+            TableKind::Let => "LET",
+            TableKind::Lit => "LIT",
+        };
+        let paper = paper::FIG4_QUOTED
+            .iter()
+            .find(|(k, e, _)| *k == kind && *e == p.entries)
+            .map(|(_, _, v)| f2(*v))
+            .unwrap_or_else(|| "-".into());
+        t.row([
+            kind.to_string(),
+            p.entries.to_string(),
+            f2(p.avg_hit_percent),
+            paper,
+        ]);
+    }
+    format!(
+        "Figure 4: average LET/LIT hit ratios (CLS = 16 entries)\n{}",
+        t.render()
+    )
+}
+
+/// Renders Figure 5.
+pub fn render_fig5(rows: &[Fig5Row]) -> String {
+    let mut t = TextTable::new(["program", "TPC (all)", "TPC (prefix)"]);
+    for r in rows {
+        t.row([r.name.to_string(), f1(r.tpc_all), f1(r.tpc_prefix)]);
+    }
+    format!(
+        "Figure 5: ideal-machine TPC, infinite TUs (all vs first quarter)\n{}",
+        t.render()
+    )
+}
+
+/// Renders Figure 6.
+pub fn render_fig6(rows: &[Fig6Row]) -> String {
+    let mut t = TextTable::new(["program", "2 TUs", "4 TUs", "8 TUs", "16 TUs"]);
+    let mut avg = [0.0f64; 4];
+    for r in rows {
+        t.row([
+            r.name.to_string(),
+            f2(r.tpc[0]),
+            f2(r.tpc[1]),
+            f2(r.tpc[2]),
+            f2(r.tpc[3]),
+        ]);
+        for (slot, v) in avg.iter_mut().zip(r.tpc.iter()) {
+            *slot += v / rows.len() as f64;
+        }
+    }
+    t.row([
+        "AVG".to_string(),
+        f2(avg[0]),
+        f2(avg[1]),
+        f2(avg[2]),
+        f2(avg[3]),
+    ]);
+    let paper: Vec<String> = paper::STR_AVG_TPC.iter().map(|(_, v)| f2(*v)).collect();
+    t.row([
+        "(paper AVG)".to_string(),
+        paper[0].clone(),
+        paper[1].clone(),
+        paper[2].clone(),
+        paper[3].clone(),
+    ]);
+    format!("Figure 6: TPC with the STR policy\n{}", t.render())
+}
+
+/// Renders Figure 7.
+pub fn render_fig7(rows: &[Fig7Row]) -> String {
+    let mut t = TextTable::new(["policy", "2 TUs", "4 TUs", "8 TUs", "16 TUs"]);
+    for r in rows {
+        t.row([
+            r.policy.name().to_string(),
+            f2(r.avg_tpc[0]),
+            f2(r.avg_tpc[1]),
+            f2(r.avg_tpc[2]),
+            f2(r.avg_tpc[3]),
+        ]);
+    }
+    let _ = TU_COUNTS;
+    format!(
+        "Figure 7: average TPC per speculation policy\n{}",
+        t.render()
+    )
+}
+
+/// Renders Table 2 with the paper's values.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut t = TextTable::new([
+        "program",
+        "#spec",
+        "#thr/spec",
+        "(paper)",
+        "hit %",
+        "(paper)",
+        "#in->verif",
+        "TPC",
+        "(paper)",
+    ]);
+    for r in rows {
+        let p = paper::TABLE2.iter().find(|p| p.name == r.name);
+        t.row([
+            r.name.to_string(),
+            r.spec.to_string(),
+            f2(r.threads_per_spec),
+            p.map(|p| f2(p.threads_per_spec)).unwrap_or_default(),
+            f2(r.hit_ratio),
+            p.map(|p| f2(p.hit_ratio)).unwrap_or_default(),
+            f1(r.instr_to_verif),
+            f2(r.tpc),
+            p.map(|p| f2(p.tpc)).unwrap_or_default(),
+        ]);
+    }
+    format!(
+        "Table 2: control speculation statistics, STR(3), 4 TUs\n{}",
+        t.render()
+    )
+}
+
+/// Renders Figure 8.
+pub fn render_fig8(rows: &[Fig8Row], avg: &[f64; 6]) -> String {
+    let mut t = TextTable::new([
+        "program",
+        "same path",
+        "lr pred",
+        "lm pred",
+        "all lr",
+        "all lm",
+        "all data",
+    ]);
+    for r in rows {
+        let d = r.report;
+        let lm = |v: f64| if d.lm_seen == 0 { "-".into() } else { f1(v) };
+        t.row([
+            r.name.to_string(),
+            f1(d.same_path_percent),
+            f1(d.lr_pred_percent),
+            lm(d.lm_pred_percent),
+            f1(d.all_lr_percent),
+            lm(d.all_lm_percent),
+            f1(d.all_data_percent),
+        ]);
+    }
+    t.row([
+        "AVG".to_string(),
+        f1(avg[0]),
+        f1(avg[1]),
+        f1(avg[2]),
+        f1(avg[3]),
+        f1(avg[4]),
+        f1(avg[5]),
+    ]);
+    format!(
+        "Figure 8: data speculation statistics (%; paper quotes ~{} same-path)\n{}",
+        paper::SAME_PATH_PERCENT,
+        t.render()
+    )
+}
+
+/// Renders the CLS-capacity ablation.
+pub fn render_cls_ablation(points: &[ClsAblationPoint]) -> String {
+    let mut t = TextTable::new(["CLS entries", "evictions", "executions", "max nesting"]);
+    for p in points {
+        t.row([
+            p.capacity.to_string(),
+            p.evictions.to_string(),
+            p.executions.to_string(),
+            p.max_nesting.to_string(),
+        ]);
+    }
+    format!("Ablation: CLS capacity (paper §2.2)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_aligns() {
+        let mut t = TextTable::new(["a", "long-header"]);
+        t.row(["12345", "x"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn renderers_embed_paper_values() {
+        let rows = vec![Table2Row {
+            name: "swim",
+            spec: 10,
+            threads_per_spec: 2.5,
+            hit_ratio: 99.0,
+            instr_to_verif: 100.0,
+            tpc: 3.2,
+        }];
+        let s = render_table2(&rows);
+        assert!(s.contains("swim"));
+        assert!(s.contains("99.91"), "paper hit ratio shown: {s}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Workload execution and artifact caching.
+//!
+//! Every experiment consumes the same per-workload artifact — the loop
+//! event stream plus instruction count (and, when requested, the
+//! data-speculation records) — so the harness executes each workload
+//! *once* per scale and replays the compact event stream into each
+//! analysis. Workloads run in parallel threads.
+
+use loopspec_core::{EventCollector, LoopEvent, LoopStats, LoopStatsReport};
+use loopspec_cpu::{Cpu, RunLimits};
+use loopspec_dataspec::{DataSpecProfiler, DataSpecReport};
+use loopspec_mt::AnnotatedTrace;
+use loopspec_workloads::{Scale, Workload};
+
+/// The reusable result of executing one workload once.
+#[derive(Debug)]
+pub struct WorkloadRun {
+    /// Which SPEC95-shaped workload this is.
+    pub workload: Workload,
+    /// The loop-event stream of the full run.
+    pub events: Vec<LoopEvent>,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Figure 8 statistics, if data-speculation profiling was enabled.
+    pub dataspec: Option<DataSpecReport>,
+}
+
+impl WorkloadRun {
+    /// Executes `workload` at `scale`. `with_dataspec` additionally runs
+    /// the live-in profiler (noticeably more expensive — only Figure 8
+    /// needs it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails to assemble, run, or halt — these are
+    /// suite bugs, not user conditions.
+    pub fn execute(workload: Workload, scale: Scale, with_dataspec: bool) -> Self {
+        let program = workload
+            .build(scale)
+            .unwrap_or_else(|e| panic!("{}: assembly failed: {e}", workload.name));
+        let limits = RunLimits {
+            max_instrs: 1_000_000_000,
+            ..RunLimits::default()
+        };
+
+        let mut collector = EventCollector::default();
+        let dataspec = if with_dataspec {
+            let mut profiler = DataSpecProfiler::new();
+            let mut both = (&mut collector, &mut profiler);
+            let summary = Cpu::new()
+                .run(&program, &mut both, limits)
+                .unwrap_or_else(|e| panic!("{}: run failed: {e}", workload.name));
+            assert!(summary.halted(), "{}: did not halt", workload.name);
+            Some(profiler.report())
+        } else {
+            let summary = Cpu::new()
+                .run(&program, &mut collector, limits)
+                .unwrap_or_else(|e| panic!("{}: run failed: {e}", workload.name));
+            assert!(summary.halted(), "{}: did not halt", workload.name);
+            None
+        };
+
+        let (events, instructions) = collector.into_parts();
+        WorkloadRun {
+            workload,
+            events,
+            instructions,
+            dataspec,
+        }
+    }
+
+    /// Loop statistics (Table 1 row) of this run.
+    pub fn loop_stats(&self) -> LoopStatsReport {
+        let mut s = LoopStats::new();
+        s.observe_all(&self.events);
+        s.report(self.instructions)
+    }
+
+    /// Annotated trace for the speculation engine.
+    pub fn annotate(&self) -> AnnotatedTrace {
+        AnnotatedTrace::build(&self.events, self.instructions)
+    }
+
+    /// Annotated trace truncated to the first `fraction` of the run
+    /// (Figure 5's "first 10⁹ instructions" prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < fraction <= 1.0`.
+    pub fn annotate_prefix(&self, fraction: f64) -> AnnotatedTrace {
+        assert!(fraction > 0.0 && fraction <= 1.0, "bad fraction {fraction}");
+        let cut = (self.instructions as f64 * fraction) as u64;
+        let events: Vec<LoopEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.pos() <= cut)
+            .copied()
+            .collect();
+        AnnotatedTrace::build(&events, cut)
+    }
+}
+
+/// Executes all `workloads` in parallel (one thread each) and returns the
+/// runs in the same order.
+pub fn execute_all(workloads: &[Workload], scale: Scale, with_dataspec: bool) -> Vec<WorkloadRun> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                let w = *w;
+                s.spawn(move || WorkloadRun::execute(w, scale, with_dataspec))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("workload thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopspec_workloads::by_name;
+
+    #[test]
+    fn execute_produces_consistent_artifacts() {
+        let run = WorkloadRun::execute(by_name("compress").unwrap(), Scale::Test, false);
+        assert!(run.instructions > 10_000);
+        assert!(!run.events.is_empty());
+        assert!(run.dataspec.is_none());
+        let stats = run.loop_stats();
+        assert_eq!(stats.instructions, run.instructions);
+        let trace = run.annotate();
+        assert_eq!(trace.instructions, run.instructions);
+    }
+
+    #[test]
+    fn dataspec_flag_populates_report() {
+        let run = WorkloadRun::execute(by_name("perl").unwrap(), Scale::Test, true);
+        let ds = run.dataspec.expect("requested dataspec");
+        assert!(ds.iterations > 0);
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let run = WorkloadRun::execute(by_name("swim").unwrap(), Scale::Test, false);
+        let full = run.annotate();
+        let half = run.annotate_prefix(0.5);
+        assert!(half.instructions < full.instructions);
+        assert!(half.events.len() <= full.events.len());
+    }
+
+    #[test]
+    fn parallel_execution_preserves_order() {
+        let ws: Vec<_> = ["gcc", "li"].iter().map(|n| by_name(n).unwrap()).collect();
+        let runs = execute_all(&ws, Scale::Test, false);
+        assert_eq!(runs[0].workload.name, "gcc");
+        assert_eq!(runs[1].workload.name, "li");
+    }
+}

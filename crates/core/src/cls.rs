@@ -1,0 +1,562 @@
+//! The Current Loop Stack (paper §2.2).
+
+use loopspec_cpu::ControlOutcome;
+use loopspec_isa::{Addr, ControlKind};
+
+use crate::{LoopEvent, LoopId};
+
+/// One CLS entry: a loop currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ClsEntry {
+    /// Loop target address `T` (the identifier).
+    t: Addr,
+    /// Highest address of a backward transfer to `T` seen so far.
+    b: Addr,
+    /// Index of the iteration currently executing (≥ 2 once in the CLS:
+    /// the entry is created when iteration 2 starts). Doubles as "total
+    /// iterations so far" when the execution ends.
+    iter: u32,
+}
+
+impl ClsEntry {
+    #[inline]
+    fn body_contains(&self, addr: Addr) -> bool {
+        self.t <= addr && addr <= self.b
+    }
+}
+
+/// The **Current Loop Stack**: all loops currently executing, innermost on
+/// top, with the update rules of paper §2.2.
+///
+/// Feed it every committed control-transfer instruction via
+/// [`Cls::on_control`]; it appends [`LoopEvent`]s to the vector you pass.
+/// Use [`LoopDetector`](crate::LoopDetector) for the packaged
+/// per-instruction interface.
+///
+/// The five update rules (§2.2, implemented verbatim):
+///
+/// 1. backward transfer to unknown `T`, taken → push `(T, pc)`: a new
+///    execution (detected at its 2nd iteration);
+/// 2. backward branch to unknown `T`, not taken → a one-iteration
+///    execution ([`LoopEvent::OneShot`]);
+/// 3. backward transfer to `T` at entry `i`, taken → pop everything above
+///    `i` (inner executions end), new iteration of `T`, `B := max(B, pc)`;
+/// 4. backward branch to `T` at entry `i`, not taken, `B ≤ pc` → the
+///    iteration *and execution* of `T` end: pop `[top..=i]`;
+/// 5. any taken branch/jump at `pc` inside a body `[T,B]` targeting
+///    outside it → that execution ends; a `ret` at `pc` ends every
+///    execution whose body contains `pc`. Calls never touch the CLS.
+///
+/// On overflow the deepest (outermost) entry is discarded
+/// ([`LoopEvent::Evicted`]).
+#[derive(Debug, Clone)]
+pub struct Cls {
+    entries: Vec<ClsEntry>,
+    capacity: usize,
+}
+
+impl Cls {
+    /// Creates a CLS with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "CLS capacity must be positive");
+        Cls {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Current number of loops on the stack (the nesting depth).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Maximum number of simultaneously tracked loops.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns `true` if the loop identified by `t` is currently on the
+    /// stack.
+    pub fn contains(&self, id: LoopId) -> bool {
+        self.entries.iter().any(|e| e.t == id.0)
+    }
+
+    /// The innermost loop currently executing, if any.
+    pub fn innermost(&self) -> Option<LoopId> {
+        self.entries.last().map(|e| LoopId(e.t))
+    }
+
+    /// Processes one committed control-transfer instruction.
+    ///
+    /// `pc` is the instruction's address, `outcome` its dynamic result and
+    /// `pos` the stream position *after* it commits (see
+    /// [`LoopEvent`](crate::LoopEvent) for the position convention).
+    /// Events are appended to `out` in commit order: inner executions end
+    /// before outer events at the same instruction.
+    pub fn on_control(
+        &mut self,
+        pc: Addr,
+        outcome: &ControlOutcome,
+        pos: u64,
+        out: &mut Vec<LoopEvent>,
+    ) {
+        match outcome.kind {
+            ControlKind::None | ControlKind::Halt => {}
+            // Calls do not affect the CLS: subroutine activations belong
+            // to the surrounding loop execution.
+            ControlKind::Call { .. } | ControlKind::IndirectCall => {}
+            ControlKind::Ret => self.on_return(pc, pos, out),
+            ControlKind::CondBranch { target } if !outcome.taken => {
+                self.on_not_taken_branch(pc, target, pos, out);
+            }
+            ControlKind::CondBranch { .. }
+            | ControlKind::Jump { .. }
+            | ControlKind::IndirectJump => {
+                // Taken transfer; use the *dynamic* target so indirect
+                // jumps are handled uniformly.
+                self.on_taken_transfer(pc, outcome.target, pos, out);
+            }
+        }
+    }
+
+    /// Closes every open execution (used at program end; the paper notes
+    /// the CLS "is always empty at the end" for SPEC95, and suggests
+    /// periodic flushing for the pathological cases).
+    pub fn flush(&mut self, pos: u64, out: &mut Vec<LoopEvent>) {
+        while let Some(e) = self.entries.pop() {
+            out.push(LoopEvent::ExecutionEnd {
+                loop_id: LoopId(e.t),
+                iterations: e.iter,
+                pos,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn find(&self, t: Addr) -> Option<usize> {
+        self.entries.iter().rposition(|e| e.t == t)
+    }
+
+    /// Pops entries with index > `i`, ending their executions
+    /// (innermost first).
+    fn pop_above(&mut self, i: usize, pos: u64, out: &mut Vec<LoopEvent>) {
+        while self.entries.len() > i + 1 {
+            let e = self.entries.pop().expect("len > i+1 >= 1");
+            out.push(LoopEvent::ExecutionEnd {
+                loop_id: LoopId(e.t),
+                iterations: e.iter,
+                pos,
+            });
+        }
+    }
+
+    fn on_return(&mut self, pc: Addr, pos: u64, out: &mut Vec<LoopEvent>) {
+        // A `ret` ends every execution whose static body contains it:
+        // those loops were entered inside the returning activation and
+        // their closing branches can no longer execute.
+        self.remove_where(|e| e.body_contains(pc), pos, out);
+    }
+
+    fn on_not_taken_branch(&mut self, pc: Addr, target: Addr, pos: u64, out: &mut Vec<LoopEvent>) {
+        if !pc.is_backward_to(target) {
+            return; // forward not-taken branch: no loop significance
+        }
+        match self.find(target) {
+            None => {
+                // Rule 2: a loop with exactly one iteration executed.
+                out.push(LoopEvent::OneShot {
+                    loop_id: LoopId(target),
+                    pos,
+                    depth: self.depth() as u32 + 1,
+                });
+            }
+            Some(i) => {
+                if self.entries[i].b <= pc {
+                    // Rule 4: the closing branch fell through — iteration
+                    // and execution of T finish; inner loops end too.
+                    self.pop_above(i, pos, out);
+                    let e = self.entries.pop().expect("entry i exists");
+                    out.push(LoopEvent::ExecutionEnd {
+                        loop_id: LoopId(e.t),
+                        iterations: e.iter,
+                        pos,
+                    });
+                }
+                // else: an internal backward branch before B fell
+                // through — the loop merely continues.
+            }
+        }
+    }
+
+    fn on_taken_transfer(&mut self, pc: Addr, target: Addr, pos: u64, out: &mut Vec<LoopEvent>) {
+        if pc.is_backward_to(target) {
+            if let Some(i) = self.find(target) {
+                // Rule 3: new iteration of the loop at entry i.
+                self.pop_above(i, pos, out);
+                let e = &mut self.entries[i];
+                if pc > e.b {
+                    e.b = pc;
+                }
+                e.iter += 1;
+                let ev = LoopEvent::IterationStart {
+                    loop_id: LoopId(e.t),
+                    iter: e.iter,
+                    pos,
+                };
+                out.push(ev);
+                return;
+            }
+            // Rule 1 (with the rule-5 exit check first): a backward
+            // transfer out of enclosing bodies ends them, then a new
+            // execution is pushed.
+            self.remove_where(
+                |e| e.body_contains(pc) && !e.body_contains(target),
+                pos,
+                out,
+            );
+            self.push_new(target, pc, pos, out);
+        } else {
+            // Rule 5: a forward taken transfer leaving a body ends that
+            // execution.
+            self.remove_where(
+                |e| e.body_contains(pc) && !e.body_contains(target),
+                pos,
+                out,
+            );
+        }
+    }
+
+    fn push_new(&mut self, t: Addr, b: Addr, pos: u64, out: &mut Vec<LoopEvent>) {
+        if self.entries.len() == self.capacity {
+            // Overflow: sacrifice the deepest (outermost) entry.
+            let e = self.entries.remove(0);
+            out.push(LoopEvent::Evicted {
+                loop_id: LoopId(e.t),
+                iterations: e.iter,
+                pos,
+            });
+        }
+        self.entries.push(ClsEntry { t, b, iter: 2 });
+        out.push(LoopEvent::ExecutionStart {
+            loop_id: LoopId(t),
+            pos,
+            depth: self.entries.len() as u32,
+        });
+        out.push(LoopEvent::IterationStart {
+            loop_id: LoopId(t),
+            iter: 2,
+            pos,
+        });
+    }
+
+    /// Removes all entries matching `pred`, emitting `ExecutionEnd`s
+    /// innermost-first.
+    fn remove_where(
+        &mut self,
+        pred: impl Fn(&ClsEntry) -> bool,
+        pos: u64,
+        out: &mut Vec<LoopEvent>,
+    ) {
+        // Collect from the top down so events come innermost-first.
+        let mut idx = self.entries.len();
+        while idx > 0 {
+            idx -= 1;
+            if pred(&self.entries[idx]) {
+                let e = self.entries.remove(idx);
+                out.push(LoopEvent::ExecutionEnd {
+                    loop_id: LoopId(e.t),
+                    iterations: e.iter,
+                    pos,
+                });
+            }
+        }
+    }
+}
+
+impl Default for Cls {
+    /// A CLS with the paper's 16 entries.
+    fn default() -> Self {
+        Cls::new(crate::DEFAULT_CLS_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopspec_isa::ControlKind as CK;
+
+    fn taken_branch(target: u32) -> ControlOutcome {
+        ControlOutcome {
+            kind: CK::CondBranch {
+                target: Addr::new(target),
+            },
+            taken: true,
+            target: Addr::new(target),
+        }
+    }
+
+    fn not_taken_branch(target: u32, pc: u32) -> ControlOutcome {
+        ControlOutcome {
+            kind: CK::CondBranch {
+                target: Addr::new(target),
+            },
+            taken: false,
+            target: Addr::new(pc + 1),
+        }
+    }
+
+    fn jump(target: u32) -> ControlOutcome {
+        ControlOutcome {
+            kind: CK::Jump {
+                target: Addr::new(target),
+            },
+            taken: true,
+            target: Addr::new(target),
+        }
+    }
+
+    fn ret(target: u32) -> ControlOutcome {
+        ControlOutcome {
+            kind: CK::Ret,
+            taken: true,
+            target: Addr::new(target),
+        }
+    }
+
+    #[test]
+    fn simple_loop_lifecycle() {
+        // Loop body [10, 20]; 3 iterations: taken, taken, not-taken.
+        let mut cls = Cls::default();
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(20), &taken_branch(10), 100, &mut out);
+        assert_eq!(cls.depth(), 1);
+        assert!(matches!(out[0], LoopEvent::ExecutionStart { depth: 1, .. }));
+        assert!(matches!(out[1], LoopEvent::IterationStart { iter: 2, .. }));
+
+        out.clear();
+        cls.on_control(Addr::new(20), &taken_branch(10), 200, &mut out);
+        assert!(matches!(out[0], LoopEvent::IterationStart { iter: 3, .. }));
+
+        out.clear();
+        cls.on_control(Addr::new(20), &not_taken_branch(10, 20), 300, &mut out);
+        assert_eq!(cls.depth(), 0);
+        assert!(matches!(
+            out[0],
+            LoopEvent::ExecutionEnd {
+                iterations: 3,
+                pos: 300,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn one_shot_loop() {
+        let mut cls = Cls::default();
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(20), &not_taken_branch(10, 20), 50, &mut out);
+        assert_eq!(cls.depth(), 0);
+        assert!(matches!(out[0], LoopEvent::OneShot { depth: 1, .. }));
+    }
+
+    #[test]
+    fn nested_loops_pop_inner_on_outer_iteration() {
+        // Outer [10, 30], inner [15, 25].
+        let mut cls = Cls::default();
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(30), &taken_branch(10), 1, &mut out); // outer detected
+        cls.on_control(Addr::new(25), &taken_branch(15), 2, &mut out); // inner detected
+        assert_eq!(cls.depth(), 2);
+        assert_eq!(cls.innermost(), Some(LoopId(Addr::new(15))));
+
+        // Outer closing branch taken while inner still on the stack:
+        // inner execution must end first, then the outer iteration starts.
+        out.clear();
+        cls.on_control(Addr::new(30), &taken_branch(10), 3, &mut out);
+        assert_eq!(cls.depth(), 1);
+        assert!(
+            matches!(out[0], LoopEvent::ExecutionEnd { loop_id, iterations: 2, .. }
+                if loop_id == LoopId(Addr::new(15)))
+        );
+        assert!(
+            matches!(out[1], LoopEvent::IterationStart { loop_id, iter: 3, .. }
+                if loop_id == LoopId(Addr::new(10)))
+        );
+    }
+
+    #[test]
+    fn inner_not_taken_closing_pops_only_inner() {
+        let mut cls = Cls::default();
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(30), &taken_branch(10), 1, &mut out);
+        cls.on_control(Addr::new(25), &taken_branch(15), 2, &mut out);
+        out.clear();
+        cls.on_control(Addr::new(25), &not_taken_branch(15, 25), 3, &mut out);
+        assert_eq!(cls.depth(), 1);
+        assert_eq!(cls.innermost(), Some(LoopId(Addr::new(10))));
+    }
+
+    #[test]
+    fn taken_exit_branch_ends_execution() {
+        // Loop [10, 20]; a `break`-style forward branch from 15 to 40.
+        let mut cls = Cls::default();
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(20), &taken_branch(10), 1, &mut out);
+        out.clear();
+        cls.on_control(Addr::new(15), &taken_branch(40), 2, &mut out);
+        assert_eq!(cls.depth(), 0);
+        assert!(matches!(
+            out[0],
+            LoopEvent::ExecutionEnd { iterations: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn taken_branch_within_body_does_not_exit() {
+        let mut cls = Cls::default();
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(20), &taken_branch(10), 1, &mut out);
+        out.clear();
+        // if/else inside the body: forward taken branch 12 -> 18.
+        cls.on_control(Addr::new(12), &taken_branch(18), 2, &mut out);
+        assert_eq!(cls.depth(), 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn internal_backward_not_taken_branch_is_ignored() {
+        // Loop [10, 20] with an extra backward branch at 15 to 10 —
+        // since B(=20) > 15, a fall-through at 15 does not end the loop.
+        let mut cls = Cls::default();
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(20), &taken_branch(10), 1, &mut out);
+        out.clear();
+        cls.on_control(Addr::new(15), &not_taken_branch(10, 15), 2, &mut out);
+        assert_eq!(cls.depth(), 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn b_field_grows_to_highest_backward_branch() {
+        // Two closing branches: at 20 and at 25 (e.g. loop with `continue`).
+        let mut cls = Cls::default();
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(20), &taken_branch(10), 1, &mut out);
+        cls.on_control(Addr::new(25), &taken_branch(10), 2, &mut out);
+        out.clear();
+        // Now a not-taken at 20 must NOT end the loop (B=25 > 20)...
+        cls.on_control(Addr::new(20), &not_taken_branch(10, 20), 3, &mut out);
+        assert_eq!(cls.depth(), 1);
+        // ...but a not-taken at 25 does.
+        cls.on_control(Addr::new(25), &not_taken_branch(10, 25), 4, &mut out);
+        assert_eq!(cls.depth(), 0);
+    }
+
+    #[test]
+    fn return_pops_loops_containing_it() {
+        // Loop [10, 20] inside a subroutine; `ret` at 15.
+        let mut cls = Cls::default();
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(20), &taken_branch(10), 1, &mut out);
+        // An unrelated caller loop [100, 200] is NOT popped (its body does
+        // not contain the ret at 15) — push it first to check.
+        cls.on_control(Addr::new(200), &taken_branch(100), 2, &mut out);
+        out.clear();
+        // Note: [100,200] was pushed after [10,20]; the ret at 15 is only
+        // inside [10,20].
+        cls.on_control(Addr::new(15), &ret(21), 3, &mut out);
+        assert_eq!(cls.depth(), 1);
+        assert!(cls.contains(LoopId(Addr::new(100))));
+        assert!(!cls.contains(LoopId(Addr::new(10))));
+    }
+
+    #[test]
+    fn backward_jump_detects_loop_too() {
+        // while-style loop closed by an unconditional backward jump.
+        let mut cls = Cls::default();
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(20), &jump(10), 1, &mut out);
+        assert_eq!(cls.depth(), 1);
+        assert!(matches!(out[0], LoopEvent::ExecutionStart { .. }));
+    }
+
+    #[test]
+    fn overflow_evicts_outermost() {
+        let mut cls = Cls::new(2);
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(100), &taken_branch(90), 1, &mut out); // L90
+        cls.on_control(Addr::new(80), &taken_branch(70), 2, &mut out); // L70
+        out.clear();
+        cls.on_control(Addr::new(60), &taken_branch(50), 3, &mut out); // L50 evicts L90
+        assert_eq!(cls.depth(), 2);
+        assert!(matches!(out[0], LoopEvent::Evicted { loop_id, .. }
+            if loop_id == LoopId(Addr::new(90))));
+        assert!(cls.contains(LoopId(Addr::new(70))));
+        assert!(cls.contains(LoopId(Addr::new(50))));
+        assert!(!cls.contains(LoopId(Addr::new(90))));
+    }
+
+    #[test]
+    fn flush_closes_everything() {
+        let mut cls = Cls::default();
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(30), &taken_branch(10), 1, &mut out);
+        cls.on_control(Addr::new(25), &taken_branch(15), 2, &mut out);
+        out.clear();
+        cls.flush(99, &mut out);
+        assert_eq!(cls.depth(), 0);
+        assert_eq!(out.len(), 2);
+        // Innermost first.
+        assert_eq!(out[0].loop_id(), LoopId(Addr::new(15)));
+        assert_eq!(out[1].loop_id(), LoopId(Addr::new(10)));
+    }
+
+    #[test]
+    fn recursion_alternation_pops_sibling_instance() {
+        // The paper's recursive-subroutine example: loops T1 and T2 in
+        // different branches of a recursive function. When T1 is found in
+        // the CLS while T2 sits above it, a new T1 iteration pops T2.
+        let mut cls = Cls::default();
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(20), &taken_branch(10), 1, &mut out); // T1=[10,20]
+        cls.on_control(Addr::new(40), &taken_branch(30), 2, &mut out); // T2=[30,40]
+        out.clear();
+        cls.on_control(Addr::new(20), &taken_branch(10), 3, &mut out); // T1 again
+        assert!(matches!(out[0], LoopEvent::ExecutionEnd { loop_id, .. }
+            if loop_id == LoopId(Addr::new(30))));
+        assert!(
+            matches!(out[1], LoopEvent::IterationStart { loop_id, iter: 3, .. }
+            if loop_id == LoopId(Addr::new(10)))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Cls::new(0);
+    }
+
+    #[test]
+    fn overlapped_loops_coexist() {
+        // Overlapped: T1=10, B1=30; T2=20, B2=40 (T2>T1, B2>B1).
+        let mut cls = Cls::default();
+        let mut out = Vec::new();
+        cls.on_control(Addr::new(30), &taken_branch(10), 1, &mut out);
+        cls.on_control(Addr::new(40), &taken_branch(20), 2, &mut out);
+        assert_eq!(cls.depth(), 2);
+        out.clear();
+        // Closing branch of T1 at 30: inside T2's body [20,40] and its
+        // target 10 is outside T2 — T2's execution ends (rule 5 does not
+        // fire here because T1 is *found*; the paper pops [top, i+1]).
+        cls.on_control(Addr::new(30), &taken_branch(10), 3, &mut out);
+        assert_eq!(cls.depth(), 1);
+        assert!(cls.contains(LoopId(Addr::new(10))));
+    }
+}

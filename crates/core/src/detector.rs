@@ -1,0 +1,339 @@
+//! Packaged per-instruction loop detection.
+
+use loopspec_cpu::{InstrEvent, Tracer};
+use loopspec_isa::ControlKind;
+
+use crate::{Cls, LoopEvent};
+
+/// Per-instruction loop detector: wraps a [`Cls`] and turns retired
+/// instructions into [`LoopEvent`]s.
+///
+/// Use [`LoopDetector::process`] when driving it by hand (it returns the
+/// events produced by that instruction), or wrap it in an
+/// [`EventCollector`] to use it as a [`Tracer`] that accumulates the whole
+/// event stream.
+///
+/// ```
+/// use loopspec_asm::ProgramBuilder;
+/// use loopspec_cpu::{Cpu, RunLimits, Tracer};
+/// use loopspec_core::{LoopDetector, LoopEvent};
+///
+/// struct IterationCounter {
+///     det: LoopDetector,
+///     iterations: u64,
+/// }
+/// impl Tracer for IterationCounter {
+///     fn on_retire(&mut self, ev: &loopspec_cpu::InstrEvent) {
+///         for e in self.det.process(ev) {
+///             if matches!(e, LoopEvent::IterationStart { .. }) {
+///                 self.iterations += 1;
+///             }
+///         }
+///     }
+/// }
+///
+/// let mut b = ProgramBuilder::new();
+/// b.counted_loop(5, |b, _| b.work(1));
+/// let program = b.finish()?;
+/// let mut t = IterationCounter { det: LoopDetector::default(), iterations: 0 };
+/// Cpu::new().run(&program, &mut t, RunLimits::default())?;
+/// assert_eq!(t.iterations, 4); // iterations 2..=5 (the 1st is undetectable)
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopDetector {
+    cls: Cls,
+    scratch: Vec<LoopEvent>,
+}
+
+impl Default for LoopDetector {
+    /// A detector with the paper's 16-entry CLS.
+    fn default() -> Self {
+        LoopDetector::new(Cls::default())
+    }
+}
+
+impl LoopDetector {
+    /// Creates a detector around an existing CLS (e.g. with a custom
+    /// capacity for the ablation experiments).
+    pub fn new(cls: Cls) -> Self {
+        LoopDetector {
+            cls,
+            scratch: Vec::with_capacity(8),
+        }
+    }
+
+    /// Processes one retired instruction and returns the loop events it
+    /// produced (empty for non-control instructions). The returned slice
+    /// is valid until the next call.
+    ///
+    /// A [`ControlKind::Halt`] flushes the CLS, closing any still-open
+    /// executions.
+    pub fn process(&mut self, ev: &InstrEvent) -> &[LoopEvent] {
+        self.scratch.clear();
+        match ev.control.kind {
+            ControlKind::None => {}
+            ControlKind::Halt => self.cls.flush(ev.next_pos(), &mut self.scratch),
+            _ => self
+                .cls
+                .on_control(ev.pc, &ev.control, ev.next_pos(), &mut self.scratch),
+        }
+        &self.scratch
+    }
+
+    /// Read access to the underlying CLS (depth inspection etc.).
+    pub fn cls(&self) -> &Cls {
+        &self.cls
+    }
+
+    /// Flushes open executions at stream position `pos` (for traces that
+    /// end without a `halt`).
+    pub fn flush(&mut self, pos: u64) -> &[LoopEvent] {
+        self.scratch.clear();
+        self.cls.flush(pos, &mut self.scratch);
+        &self.scratch
+    }
+}
+
+/// A [`Tracer`] that runs a [`LoopDetector`] over the instruction stream
+/// and collects every [`LoopEvent`] plus the total instruction count.
+///
+/// This is the one-pass front-end of all experiments: run the CPU once,
+/// then replay the (much smaller) event stream into any number of
+/// analyses — table-size sweeps, statistics, the thread-speculation
+/// annotator.
+#[derive(Debug, Default, Clone)]
+pub struct EventCollector {
+    detector: LoopDetector,
+    events: Vec<LoopEvent>,
+    instructions: u64,
+}
+
+impl EventCollector {
+    /// Creates a collector with a custom CLS.
+    pub fn new(cls: Cls) -> Self {
+        EventCollector {
+            detector: LoopDetector::new(cls),
+            events: Vec::new(),
+            instructions: 0,
+        }
+    }
+
+    /// Total instructions observed.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// The events collected so far.
+    pub fn events(&self) -> &[LoopEvent] {
+        &self.events
+    }
+
+    /// Consumes the collector, returning the event stream.
+    pub fn into_events(self) -> Vec<LoopEvent> {
+        self.events
+    }
+
+    /// Consumes the collector, returning `(events, instruction_count)`.
+    pub fn into_parts(self) -> (Vec<LoopEvent>, u64) {
+        (self.events, self.instructions)
+    }
+}
+
+impl Tracer for EventCollector {
+    fn on_retire(&mut self, ev: &InstrEvent) {
+        self.instructions += 1;
+        if !matches!(ev.control.kind, ControlKind::None) {
+            let events = self.detector.process(ev);
+            self.events.extend_from_slice(events);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopspec_asm::ProgramBuilder;
+    use loopspec_cpu::{Cpu, RunLimits};
+
+    fn collect(p: &loopspec_asm::Program) -> (Vec<LoopEvent>, u64) {
+        let mut c = EventCollector::default();
+        Cpu::new()
+            .run(p, &mut c, RunLimits::default())
+            .expect("run ok");
+        c.into_parts()
+    }
+
+    #[test]
+    fn counted_loop_event_sequence() {
+        let mut b = ProgramBuilder::new();
+        b.counted_loop(4, |b, _| b.work(2));
+        let p = b.finish().unwrap();
+        let (events, _) = collect(&p);
+        let kinds: Vec<&'static str> = events
+            .iter()
+            .map(|e| match e {
+                LoopEvent::ExecutionStart { .. } => "ES",
+                LoopEvent::IterationStart { .. } => "IS",
+                LoopEvent::ExecutionEnd { .. } => "EE",
+                LoopEvent::Evicted { .. } => "EV",
+                LoopEvent::OneShot { .. } => "1S",
+            })
+            .collect();
+        // 4 iterations: detected at iter 2,3,4 then end.
+        assert_eq!(kinds, vec!["ES", "IS", "IS", "IS", "EE"]);
+        if let LoopEvent::ExecutionEnd { iterations, .. } = events.last().unwrap() {
+            assert_eq!(*iterations, 4);
+        }
+    }
+
+    #[test]
+    fn single_iteration_is_one_shot() {
+        let mut b = ProgramBuilder::new();
+        b.counted_loop(1, |b, _| b.work(2));
+        let p = b.finish().unwrap();
+        let (events, _) = collect(&p);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], LoopEvent::OneShot { .. }));
+    }
+
+    #[test]
+    fn nested_loop_executions_counted_per_outer_iteration() {
+        let mut b = ProgramBuilder::new();
+        b.counted_loop(3, |b, _| {
+            b.counted_loop(4, |b, _| b.work(1));
+        });
+        let p = b.finish().unwrap();
+        let (events, _) = collect(&p);
+        let inner_id = events
+            .iter()
+            .find_map(|e| match e {
+                LoopEvent::ExecutionStart {
+                    loop_id, depth: 2, ..
+                } => Some(*loop_id),
+                _ => None,
+            })
+            .expect("inner loop detected at depth 2");
+        let inner_execs = events
+            .iter()
+            .filter(
+                |e| matches!(e, LoopEvent::ExecutionEnd { loop_id, .. } if *loop_id == inner_id),
+            )
+            .count();
+        assert_eq!(inner_execs, 3, "one inner execution per outer iteration");
+        let outer_ends: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                LoopEvent::ExecutionEnd {
+                    loop_id,
+                    iterations,
+                    ..
+                } if *loop_id != inner_id => Some(*iterations),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outer_ends, vec![3]);
+    }
+
+    #[test]
+    fn while_loop_counts_trailing_partial_iteration() {
+        // A while loop with 5 body trips has 6 iterations per the paper's
+        // definition (the last iteration is the final condition check).
+        let mut b = ProgramBuilder::new();
+        let x = b.alloc_reg();
+        let n = b.alloc_reg();
+        b.li(x, 0);
+        b.li(n, 5);
+        b.while_loop(
+            |_| (loopspec_isa::Cond::LtS, x, n),
+            |b| {
+                b.addi(x, x, 1);
+                b.work(1);
+            },
+        );
+        let p = b.finish().unwrap();
+        let (events, _) = collect(&p);
+        let iters: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                LoopEvent::ExecutionEnd { iterations, .. } => Some(*iterations),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(iters, vec![6]);
+    }
+
+    #[test]
+    fn break_ends_execution_early() {
+        use loopspec_isa::Cond;
+        let mut b = ProgramBuilder::new();
+        b.counted_loop(100, |b, i| {
+            b.work(2);
+            b.with_reg(|b, lim| {
+                b.li(lim, 6);
+                b.break_if(Cond::GeS, i, lim);
+            });
+        });
+        let p = b.finish().unwrap();
+        let (events, _) = collect(&p);
+        let iters: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                LoopEvent::ExecutionEnd { iterations, .. } => Some(*iterations),
+                _ => None,
+            })
+            .collect();
+        // Breaks at i == 6, i.e. during iteration 7.
+        assert_eq!(iters, vec![7]);
+    }
+
+    #[test]
+    fn loop_in_function_called_from_loop_nests() {
+        let mut b = ProgramBuilder::new();
+        b.define_func("inner", |b| {
+            b.counted_loop(3, |b, _| b.work(1));
+        });
+        b.counted_loop(2, |b, _| {
+            b.call_func("inner");
+        });
+        let p = b.finish().unwrap();
+        let (events, _) = collect(&p);
+        // The function's loop runs at depth 2: its execution is nested in
+        // the caller's (subroutine bodies belong to the loop execution).
+        let depths: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                LoopEvent::ExecutionStart { depth, .. } => Some(*depth),
+                _ => None,
+            })
+            .collect();
+        assert!(depths.contains(&2), "function loop nested: {depths:?}");
+    }
+
+    #[test]
+    fn collector_counts_instructions() {
+        let mut b = ProgramBuilder::new();
+        b.work(10);
+        let p = b.finish().unwrap();
+        let (_, n) = collect(&p);
+        // 2 startup + 10 work + halt
+        assert_eq!(n, 13);
+    }
+
+    #[test]
+    fn events_positions_are_monotone() {
+        let mut b = ProgramBuilder::new();
+        b.counted_loop(3, |b, _| {
+            b.counted_loop(2, |b, _| b.work(1));
+            b.work(1);
+        });
+        let p = b.finish().unwrap();
+        let (events, n) = collect(&p);
+        let mut last = 0;
+        for e in &events {
+            assert!(e.pos() >= last, "positions must be non-decreasing");
+            assert!(e.pos() <= n);
+            last = e.pos();
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Loop events — the output language of the detector.
+
+use std::fmt;
+
+use loopspec_isa::Addr;
+
+/// Identifier of a (static) loop: its target address `T`.
+///
+/// "There is a loop in a program, which is identified by address T, when
+/// there is at least one backward branch or jump to address T" (paper
+/// §2.1). Multiple backward transfers to the same `T` are closing branches
+/// of the *same* loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LoopId(pub Addr);
+
+impl LoopId {
+    /// The loop's target address `T`.
+    #[inline]
+    pub fn target(self) -> Addr {
+        self.0
+    }
+}
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loop{}", self.0)
+    }
+}
+
+impl From<Addr> for LoopId {
+    fn from(a: Addr) -> Self {
+        LoopId(a)
+    }
+}
+
+/// A dynamic loop event emitted by the [`Cls`](crate::Cls).
+///
+/// `pos` is the dynamic-stream position at which the event takes effect:
+/// the number of instructions committed up to *and including* the
+/// control-transfer instruction that produced it (i.e. the stream index of
+/// the first instruction of the new iteration, or of the first instruction
+/// after a finished execution).
+///
+/// Detection is retrospective for first iterations: a loop execution is
+/// only discovered when its first backward transfer commits, so
+/// [`LoopEvent::ExecutionStart`] coincides with the start of iteration 2
+/// and is immediately followed by `IterationStart { iter: 2 }` (paper
+/// §2.2: "a loop is not considered until the second iteration begins").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum LoopEvent {
+    /// A (multi-iteration) loop execution has been detected.
+    ExecutionStart {
+        /// The loop.
+        loop_id: LoopId,
+        /// Stream position (start of iteration 2).
+        pos: u64,
+        /// Nesting depth: CLS occupancy including this loop (≥ 1).
+        depth: u32,
+    },
+    /// An iteration begins (`iter >= 2`; iteration 1 is never detected
+    /// in time).
+    IterationStart {
+        /// The loop.
+        loop_id: LoopId,
+        /// 1-based iteration index within the execution (first emitted
+        /// value is 2).
+        iter: u32,
+        /// Stream position of the iteration's first instruction.
+        pos: u64,
+    },
+    /// A loop execution finished (closing branch fell through, a transfer
+    /// left the body, or a `ret` unwound past it).
+    ExecutionEnd {
+        /// The loop.
+        loop_id: LoopId,
+        /// Total iterations of the execution, including the undetected
+        /// first one.
+        iterations: u32,
+        /// Stream position of the first instruction after the execution.
+        pos: u64,
+    },
+    /// A loop execution was evicted from a full CLS (the deepest —
+    /// outermost — entry is sacrificed; paper §2.2). Its eventual end will
+    /// not be observed.
+    Evicted {
+        /// The loop.
+        loop_id: LoopId,
+        /// Iterations observed up to eviction.
+        iterations: u32,
+        /// Stream position of the eviction.
+        pos: u64,
+    },
+    /// A single-iteration loop execution: a backward conditional branch to
+    /// an unknown `T` that was *not taken*. The execution started and
+    /// ended within one iteration and never entered the CLS.
+    OneShot {
+        /// The loop.
+        loop_id: LoopId,
+        /// Stream position just after the not-taken closing branch.
+        pos: u64,
+        /// Nesting depth it would have had (CLS occupancy + 1).
+        depth: u32,
+    },
+}
+
+impl LoopEvent {
+    /// The loop this event concerns.
+    pub fn loop_id(&self) -> LoopId {
+        match *self {
+            LoopEvent::ExecutionStart { loop_id, .. }
+            | LoopEvent::IterationStart { loop_id, .. }
+            | LoopEvent::ExecutionEnd { loop_id, .. }
+            | LoopEvent::Evicted { loop_id, .. }
+            | LoopEvent::OneShot { loop_id, .. } => loop_id,
+        }
+    }
+
+    /// The dynamic-stream position at which the event takes effect.
+    pub fn pos(&self) -> u64 {
+        match *self {
+            LoopEvent::ExecutionStart { pos, .. }
+            | LoopEvent::IterationStart { pos, .. }
+            | LoopEvent::ExecutionEnd { pos, .. }
+            | LoopEvent::Evicted { pos, .. }
+            | LoopEvent::OneShot { pos, .. } => pos,
+        }
+    }
+}
+
+impl fmt::Display for LoopEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LoopEvent::ExecutionStart {
+                loop_id,
+                pos,
+                depth,
+            } => {
+                write!(f, "[{pos}] exec-start {loop_id} (depth {depth})")
+            }
+            LoopEvent::IterationStart { loop_id, iter, pos } => {
+                write!(f, "[{pos}] iter-start {loop_id} #{iter}")
+            }
+            LoopEvent::ExecutionEnd {
+                loop_id,
+                iterations,
+                pos,
+            } => write!(f, "[{pos}] exec-end {loop_id} ({iterations} iters)"),
+            LoopEvent::Evicted {
+                loop_id,
+                iterations,
+                pos,
+            } => write!(f, "[{pos}] evicted {loop_id} ({iterations} iters)"),
+            LoopEvent::OneShot {
+                loop_id,
+                pos,
+                depth,
+            } => {
+                write!(f, "[{pos}] one-shot {loop_id} (depth {depth})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let id = LoopId(Addr::new(7));
+        let e = LoopEvent::IterationStart {
+            loop_id: id,
+            iter: 3,
+            pos: 100,
+        };
+        assert_eq!(e.loop_id(), id);
+        assert_eq!(e.pos(), 100);
+        assert_eq!(id.target(), Addr::new(7));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let id = LoopId(Addr::new(16));
+        let e = LoopEvent::ExecutionEnd {
+            loop_id: id,
+            iterations: 4,
+            pos: 9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("exec-end"));
+        assert!(s.contains("4 iters"));
+    }
+
+    #[test]
+    fn loop_id_from_addr() {
+        let id: LoopId = Addr::new(3).into();
+        assert_eq!(id, LoopId(Addr::new(3)));
+        assert_eq!(id.to_string(), "loop@0x0003");
+    }
+}

@@ -1,0 +1,439 @@
+//! LET/LIT hit-ratio measurement (paper §2.3.1, Figure 4).
+//!
+//! "The contents of the LIT/LET are useful after two iterations/executions
+//! … The LET hit ratio measures, when a new execution of a loop is
+//! started, whether two complete executions of the same loop have been
+//! detected since it was stored in the table. The LIT hit ratio measures,
+//! when a loop iteration starts, whether two complete iterations have been
+//! detected since it was stored."
+
+use crate::{LoopEvent, LoopTable};
+
+/// Which table a [`TableHitSim`] models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableKind {
+    /// Loop Execution Table: recency and completions at *execution*
+    /// granularity.
+    Let,
+    /// Loop Iteration Table: recency and completions at *iteration*
+    /// granularity.
+    Lit,
+}
+
+/// A hit/check ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HitRatio {
+    /// Accesses that found a warmed-up entry.
+    pub hits: u64,
+    /// Total accesses.
+    pub checks: u64,
+}
+
+impl HitRatio {
+    /// The ratio as a fraction in `[0, 1]`; `0` when nothing was checked.
+    pub fn ratio(&self) -> f64 {
+        if self.checks == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.checks as f64
+        }
+    }
+
+    /// The ratio as a percentage.
+    pub fn percent(&self) -> f64 {
+        self.ratio() * 100.0
+    }
+}
+
+/// Replacement policy for the LET/LIT (paper §2.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// Plain least-recently-used replacement (the paper's default).
+    #[default]
+    Lru,
+    /// "An alternative replacement algorithm that inhibits the insertion
+    /// of a loop … when it implies to eliminate a loop that is nested
+    /// into it." Requires remembering which loops have nested into which
+    /// (the paper notes the improvement over LRU is negligible — this
+    /// exists to reproduce that ablation).
+    NestInhibit,
+}
+
+/// Per-entry warm-up state: completions observed since insertion.
+#[derive(Debug, Clone, Copy, Default)]
+struct Warmth {
+    completed: u64,
+}
+
+/// Replays a [`LoopEvent`] stream against an LET or LIT of a given size
+/// and measures its hit ratio (Figure 4 of the paper).
+///
+/// The two tables differ only in which events count:
+///
+/// * **LET** — checked and LRU-touched at execution starts; an entry
+///   "warms up" each time an execution of its loop completes. A check hits
+///   when ≥ 2 executions completed since the entry was inserted.
+/// * **LIT** — inserted at execution starts but LRU-touched at iteration
+///   starts; warms up on iteration completions (an iteration completes
+///   when the next one starts, or when the execution ends). A check hits
+///   when ≥ 2 iterations completed since insertion. First iterations are
+///   never checked (they are not detected in time).
+///
+/// ```
+/// use loopspec_core::{TableHitSim, TableKind};
+/// let mut sim = TableHitSim::new(TableKind::Lit, 4);
+/// // ... sim.observe(&event) over a collected stream ...
+/// let r = sim.ratio();
+/// assert_eq!(r.checks, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableHitSim {
+    kind: TableKind,
+    table: LoopTable<Warmth>,
+    ratio: HitRatio,
+    replacement: Replacement,
+    /// Loops currently executing, in nesting order (outermost first).
+    open: Vec<crate::LoopId>,
+    /// `nested_into[x]` = loops that `x` has ever been nested into.
+    nested_into: std::collections::HashMap<crate::LoopId, std::collections::HashSet<crate::LoopId>>,
+    /// Insertions refused by [`Replacement::NestInhibit`].
+    inhibited: u64,
+}
+
+impl TableHitSim {
+    /// Creates a simulator for `kind` with `capacity` entries and LRU
+    /// replacement.
+    pub fn new(kind: TableKind, capacity: usize) -> Self {
+        Self::with_replacement(kind, capacity, Replacement::Lru)
+    }
+
+    /// Creates a simulator with an explicit replacement policy.
+    pub fn with_replacement(kind: TableKind, capacity: usize, replacement: Replacement) -> Self {
+        TableHitSim {
+            kind,
+            table: LoopTable::new(capacity),
+            ratio: HitRatio::default(),
+            replacement,
+            open: Vec::new(),
+            nested_into: std::collections::HashMap::new(),
+            inhibited: 0,
+        }
+    }
+
+    /// Creates a simulator with unbounded capacity (upper bound of
+    /// achievable hit ratio).
+    pub fn unbounded(kind: TableKind) -> Self {
+        TableHitSim {
+            kind,
+            table: LoopTable::unbounded(),
+            ratio: HitRatio::default(),
+            replacement: Replacement::Lru,
+            open: Vec::new(),
+            nested_into: std::collections::HashMap::new(),
+            inhibited: 0,
+        }
+    }
+
+    /// Insertions refused by the nest-inhibit policy.
+    pub fn inhibited(&self) -> u64 {
+        self.inhibited
+    }
+
+    /// The measured ratio so far.
+    pub fn ratio(&self) -> HitRatio {
+        self.ratio
+    }
+
+    /// Which table this simulates.
+    pub fn kind(&self) -> TableKind {
+        self.kind
+    }
+
+    /// Table capacity.
+    pub fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Feeds one loop event.
+    pub fn observe(&mut self, event: &LoopEvent) {
+        self.track_nesting(event);
+        match (self.kind, event) {
+            (TableKind::Let, LoopEvent::ExecutionStart { loop_id, .. }) => {
+                self.check(*loop_id);
+                self.ensure(*loop_id);
+                self.table.touch(*loop_id);
+            }
+            (
+                TableKind::Let,
+                LoopEvent::ExecutionEnd { loop_id, .. } | LoopEvent::Evicted { loop_id, .. },
+            ) => {
+                self.complete(*loop_id);
+            }
+            (TableKind::Let, LoopEvent::OneShot { loop_id, .. }) => {
+                // A one-iteration execution: started (check + insert +
+                // touch) and immediately completed.
+                self.check(*loop_id);
+                self.ensure(*loop_id);
+                self.table.touch(*loop_id);
+                self.complete(*loop_id);
+            }
+            (TableKind::Lit, LoopEvent::ExecutionStart { loop_id, .. }) => {
+                self.ensure(*loop_id);
+            }
+            (TableKind::Lit, LoopEvent::IterationStart { loop_id, iter, .. }) => {
+                // Starting iteration k (k >= 2) completes iteration k-1 —
+                // except k == 2, whose predecessor completed simultaneously
+                // with the entry's insertion and is not counted.
+                if *iter > 2 {
+                    self.complete(*loop_id);
+                }
+                self.check(*loop_id);
+                self.table.touch(*loop_id);
+            }
+            (
+                TableKind::Lit,
+                LoopEvent::ExecutionEnd { loop_id, .. } | LoopEvent::Evicted { loop_id, .. },
+            ) => {
+                // The execution's last iteration completes.
+                self.complete(*loop_id);
+            }
+            (TableKind::Lit, LoopEvent::OneShot { .. }) => {
+                // Its single (first) iteration is never checked against
+                // the LIT and completes undetected.
+            }
+            (TableKind::Let, LoopEvent::IterationStart { .. }) => {
+                // Iteration granularity does not concern the LET.
+            }
+        }
+    }
+
+    /// Feeds a whole event stream.
+    pub fn observe_all<'a>(&mut self, events: impl IntoIterator<Item = &'a LoopEvent>) {
+        for e in events {
+            self.observe(e);
+        }
+    }
+
+    fn track_nesting(&mut self, event: &LoopEvent) {
+        match *event {
+            LoopEvent::ExecutionStart { loop_id, .. } => {
+                if self.replacement == Replacement::NestInhibit {
+                    let entry = self.nested_into.entry(loop_id).or_default();
+                    entry.extend(self.open.iter().copied());
+                }
+                self.open.push(loop_id);
+            }
+            LoopEvent::ExecutionEnd { loop_id, .. } | LoopEvent::Evicted { loop_id, .. } => {
+                if let Some(i) = self.open.iter().rposition(|&l| l == loop_id) {
+                    self.open.remove(i);
+                }
+            }
+            LoopEvent::OneShot { loop_id, .. } => {
+                if self.replacement == Replacement::NestInhibit {
+                    let entry = self.nested_into.entry(loop_id).or_default();
+                    entry.extend(self.open.iter().copied());
+                }
+            }
+            LoopEvent::IterationStart { .. } => {}
+        }
+    }
+
+    fn check(&mut self, id: crate::LoopId) {
+        self.ratio.checks += 1;
+        if let Some(w) = self.table.get(id) {
+            if w.completed >= 2 {
+                self.ratio.hits += 1;
+            }
+        }
+    }
+
+    fn ensure(&mut self, id: crate::LoopId) {
+        if self.table.get(id).is_some() {
+            return;
+        }
+        if self.replacement == Replacement::NestInhibit && self.table.len() == self.table.capacity()
+        {
+            if let Some(victim) = self.table.peek_lru() {
+                let victim_nested_in_id = self
+                    .nested_into
+                    .get(&victim)
+                    .is_some_and(|s| s.contains(&id));
+                if victim_nested_in_id {
+                    self.inhibited += 1;
+                    return;
+                }
+            }
+        }
+        self.table.insert(id, Warmth::default());
+    }
+
+    fn complete(&mut self, id: crate::LoopId) {
+        if let Some(w) = self.table.get_mut(id) {
+            w.completed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LoopId;
+    use loopspec_isa::Addr;
+
+    fn id(n: u32) -> LoopId {
+        LoopId(Addr::new(n))
+    }
+
+    fn exec(loop_n: u32, iters: u32, sim: &mut TableHitSim) {
+        sim.observe(&LoopEvent::ExecutionStart {
+            loop_id: id(loop_n),
+            pos: 0,
+            depth: 1,
+        });
+        for k in 2..=iters {
+            sim.observe(&LoopEvent::IterationStart {
+                loop_id: id(loop_n),
+                iter: k,
+                pos: 0,
+            });
+        }
+        sim.observe(&LoopEvent::ExecutionEnd {
+            loop_id: id(loop_n),
+            iterations: iters,
+            pos: 0,
+        });
+    }
+
+    #[test]
+    fn let_hits_from_third_execution() {
+        let mut sim = TableHitSim::new(TableKind::Let, 16);
+        for _ in 0..5 {
+            exec(1, 3, &mut sim);
+        }
+        let r = sim.ratio();
+        assert_eq!(r.checks, 5);
+        // Exec 1: inserted (miss); exec 2: one completion (miss); execs
+        // 3..5: >= 2 completions (hits).
+        assert_eq!(r.hits, 3);
+    }
+
+    #[test]
+    fn lit_hits_from_fourth_iteration() {
+        let mut sim = TableHitSim::new(TableKind::Lit, 16);
+        exec(1, 10, &mut sim);
+        let r = sim.ratio();
+        // Checks at iterations 2..=10 → 9 checks; hits at 4..=10 → 7.
+        assert_eq!(r.checks, 9);
+        assert_eq!(r.hits, 7);
+    }
+
+    #[test]
+    fn lit_warmth_carries_across_executions() {
+        let mut sim = TableHitSim::new(TableKind::Lit, 16);
+        exec(1, 10, &mut sim);
+        let before = sim.ratio();
+        exec(1, 10, &mut sim);
+        let after = sim.ratio();
+        // Second execution: all 9 checks hit (entry warm from the first).
+        assert_eq!(after.hits - before.hits, 9);
+    }
+
+    #[test]
+    fn small_let_thrashes_on_many_loops() {
+        let mut small = TableHitSim::new(TableKind::Let, 2);
+        let mut big = TableHitSim::new(TableKind::Let, 16);
+        // Round-robin over 8 distinct loops, 4 rounds.
+        for _ in 0..4 {
+            for l in 0..8 {
+                exec(l, 3, &mut small);
+                exec(l, 3, &mut big);
+            }
+        }
+        assert!(small.ratio().ratio() < big.ratio().ratio());
+        assert_eq!(small.ratio().hits, 0, "2-entry LET never warms up here");
+    }
+
+    #[test]
+    fn one_shots_participate_in_let() {
+        let mut sim = TableHitSim::new(TableKind::Let, 4);
+        for _ in 0..4 {
+            sim.observe(&LoopEvent::OneShot {
+                loop_id: id(1),
+                pos: 0,
+                depth: 1,
+            });
+        }
+        let r = sim.ratio();
+        assert_eq!(r.checks, 4);
+        assert_eq!(r.hits, 2, "warm after two completed one-shots");
+    }
+
+    #[test]
+    fn nest_inhibit_protects_inner_loops() {
+        // A 1-entry LET alternating between an outer loop and the loop
+        // nested into it: LRU keeps evicting; nest-inhibit refuses to
+        // evict the inner loop on behalf of its outer.
+        let outer = id(1);
+        let inner = id(2);
+        let run = |replacement: Replacement| {
+            let mut sim = TableHitSim::with_replacement(TableKind::Let, 1, replacement);
+            for _ in 0..6 {
+                // outer starts, inner runs inside it (twice), both end.
+                sim.observe(&LoopEvent::ExecutionStart {
+                    loop_id: outer,
+                    pos: 0,
+                    depth: 1,
+                });
+                for _ in 0..2 {
+                    sim.observe(&LoopEvent::ExecutionStart {
+                        loop_id: inner,
+                        pos: 0,
+                        depth: 2,
+                    });
+                    sim.observe(&LoopEvent::ExecutionEnd {
+                        loop_id: inner,
+                        iterations: 3,
+                        pos: 0,
+                    });
+                }
+                sim.observe(&LoopEvent::ExecutionEnd {
+                    loop_id: outer,
+                    iterations: 2,
+                    pos: 0,
+                });
+            }
+            sim
+        };
+        let lru = run(Replacement::Lru);
+        let nest = run(Replacement::NestInhibit);
+        assert_eq!(lru.inhibited(), 0);
+        assert!(nest.inhibited() > 0, "outer insertions must be refused");
+        assert!(
+            nest.ratio().hits > lru.ratio().hits,
+            "inner loop stays warm under nest-inhibit: {:?} vs {:?}",
+            nest.ratio(),
+            lru.ratio()
+        );
+    }
+
+    #[test]
+    fn nest_inhibit_equals_lru_when_capacity_suffices() {
+        let run = |replacement: Replacement| {
+            let mut sim = TableHitSim::with_replacement(TableKind::Lit, 16, replacement);
+            for l in 0..4 {
+                exec(l, 6, &mut sim);
+                exec(l, 6, &mut sim);
+            }
+            sim.ratio()
+        };
+        assert_eq!(run(Replacement::Lru), run(Replacement::NestInhibit));
+    }
+
+    #[test]
+    fn ratio_helpers() {
+        let r = HitRatio { hits: 3, checks: 4 };
+        assert!((r.ratio() - 0.75).abs() < 1e-12);
+        assert!((r.percent() - 75.0).abs() < 1e-9);
+        assert_eq!(HitRatio::default().ratio(), 0.0);
+    }
+}

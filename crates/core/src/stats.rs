@@ -1,0 +1,268 @@
+//! Loop statistics — the Table 1 characterisation.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::{LoopEvent, LoopId};
+
+/// Aggregated loop statistics of one program run, mirroring the columns of
+/// the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopStatsReport {
+    /// Total dynamic instructions.
+    pub instructions: u64,
+    /// Static loops: distinct loop identifiers observed.
+    pub static_loops: usize,
+    /// Total loop executions (multi-iteration + one-shot).
+    pub executions: u64,
+    /// Total loop iterations across all executions (first iterations
+    /// included).
+    pub iterations: u64,
+    /// Average iterations per execution (`#iter/exec`).
+    pub iter_per_exec: f64,
+    /// Average instructions per iteration (`#instr/iter`), measured over
+    /// the detected span of multi-iteration executions (iterations 2..m;
+    /// the undetected first iteration is excluded from both numerator and
+    /// denominator — see `DESIGN.md`).
+    pub instr_per_iter: f64,
+    /// Average nesting level at execution start (`avg. nl`).
+    pub avg_nesting: f64,
+    /// Maximum nesting level observed (`max. nl`).
+    pub max_nesting: u32,
+}
+
+/// Streaming collector for [`LoopStatsReport`].
+///
+/// Feed it the [`LoopEvent`] stream (and the final instruction count) of a
+/// run:
+///
+/// ```
+/// use loopspec_asm::ProgramBuilder;
+/// use loopspec_cpu::{Cpu, RunLimits};
+/// use loopspec_core::{EventCollector, LoopStats};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.counted_loop(8, |b, _| {
+///     b.counted_loop(5, |b, _| b.work(10));
+/// });
+/// let program = b.finish()?;
+/// let mut c = EventCollector::default();
+/// Cpu::new().run(&program, &mut c, RunLimits::default())?;
+/// let (events, instructions) = c.into_parts();
+///
+/// let mut stats = LoopStats::new();
+/// stats.observe_all(&events);
+/// let report = stats.report(instructions);
+/// assert_eq!(report.static_loops, 2);
+/// assert_eq!(report.max_nesting, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LoopStats {
+    loops: BTreeSet<LoopId>,
+    executions: u64,
+    iterations: u64,
+    nesting_sum: u64,
+    nesting_samples: u64,
+    max_nesting: u32,
+    open: HashMap<LoopId, u64>,
+    span_instrs: u64,
+    span_iters: u64,
+}
+
+impl LoopStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one loop event.
+    pub fn observe(&mut self, event: &LoopEvent) {
+        match *event {
+            LoopEvent::ExecutionStart {
+                loop_id,
+                pos,
+                depth,
+            } => {
+                self.loops.insert(loop_id);
+                self.note_depth(depth);
+                self.open.insert(loop_id, pos);
+            }
+            LoopEvent::IterationStart { .. } => {}
+            LoopEvent::ExecutionEnd {
+                loop_id,
+                iterations,
+                pos,
+            }
+            | LoopEvent::Evicted {
+                loop_id,
+                iterations,
+                pos,
+            } => {
+                self.executions += 1;
+                self.iterations += iterations as u64;
+                if let Some(start) = self.open.remove(&loop_id) {
+                    // The detected span covers iterations 2..=m, i.e.
+                    // m - 1 iterations.
+                    self.span_instrs += pos.saturating_sub(start);
+                    self.span_iters += iterations.saturating_sub(1) as u64;
+                }
+            }
+            LoopEvent::OneShot { loop_id, depth, .. } => {
+                self.loops.insert(loop_id);
+                self.note_depth(depth);
+                self.executions += 1;
+                self.iterations += 1;
+            }
+        }
+    }
+
+    /// Feeds a whole event stream.
+    pub fn observe_all<'a>(&mut self, events: impl IntoIterator<Item = &'a LoopEvent>) {
+        for e in events {
+            self.observe(e);
+        }
+    }
+
+    fn note_depth(&mut self, depth: u32) {
+        self.nesting_sum += depth as u64;
+        self.nesting_samples += 1;
+        self.max_nesting = self.max_nesting.max(depth);
+    }
+
+    /// Produces the report, given the run's total instruction count.
+    pub fn report(&self, instructions: u64) -> LoopStatsReport {
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        LoopStatsReport {
+            instructions,
+            static_loops: self.loops.len(),
+            executions: self.executions,
+            iterations: self.iterations,
+            iter_per_exec: ratio(self.iterations, self.executions),
+            instr_per_iter: ratio(self.span_instrs, self.span_iters),
+            avg_nesting: ratio(self.nesting_sum, self.nesting_samples),
+            max_nesting: self.max_nesting,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopspec_isa::Addr;
+
+    fn id(n: u32) -> LoopId {
+        LoopId(Addr::new(n))
+    }
+
+    #[test]
+    fn counts_simple_execution() {
+        let mut s = LoopStats::new();
+        s.observe(&LoopEvent::ExecutionStart {
+            loop_id: id(1),
+            pos: 100,
+            depth: 1,
+        });
+        for k in 2..=5u32 {
+            s.observe(&LoopEvent::IterationStart {
+                loop_id: id(1),
+                iter: k,
+                pos: 100 + (k as u64 - 2) * 10,
+            });
+        }
+        s.observe(&LoopEvent::ExecutionEnd {
+            loop_id: id(1),
+            iterations: 5,
+            pos: 140,
+        });
+        let r = s.report(1000);
+        assert_eq!(r.static_loops, 1);
+        assert_eq!(r.executions, 1);
+        assert_eq!(r.iterations, 5);
+        assert_eq!(r.iter_per_exec, 5.0);
+        // Span 40 instructions over 4 detected iterations.
+        assert_eq!(r.instr_per_iter, 10.0);
+        assert_eq!(r.avg_nesting, 1.0);
+        assert_eq!(r.max_nesting, 1);
+    }
+
+    #[test]
+    fn one_shots_count_as_single_iteration_executions() {
+        let mut s = LoopStats::new();
+        for _ in 0..3 {
+            s.observe(&LoopEvent::OneShot {
+                loop_id: id(2),
+                pos: 0,
+                depth: 2,
+            });
+        }
+        let r = s.report(10);
+        assert_eq!(r.executions, 3);
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.iter_per_exec, 1.0);
+        assert_eq!(r.static_loops, 1);
+        assert_eq!(r.max_nesting, 2);
+    }
+
+    #[test]
+    fn nesting_statistics_mix() {
+        let mut s = LoopStats::new();
+        s.observe(&LoopEvent::ExecutionStart {
+            loop_id: id(1),
+            pos: 0,
+            depth: 1,
+        });
+        s.observe(&LoopEvent::ExecutionStart {
+            loop_id: id(2),
+            pos: 1,
+            depth: 2,
+        });
+        s.observe(&LoopEvent::ExecutionEnd {
+            loop_id: id(2),
+            iterations: 2,
+            pos: 5,
+        });
+        s.observe(&LoopEvent::ExecutionEnd {
+            loop_id: id(1),
+            iterations: 2,
+            pos: 9,
+        });
+        let r = s.report(10);
+        assert_eq!(r.avg_nesting, 1.5);
+        assert_eq!(r.max_nesting, 2);
+        assert_eq!(r.executions, 2);
+    }
+
+    #[test]
+    fn evictions_close_spans() {
+        let mut s = LoopStats::new();
+        s.observe(&LoopEvent::ExecutionStart {
+            loop_id: id(1),
+            pos: 0,
+            depth: 1,
+        });
+        s.observe(&LoopEvent::Evicted {
+            loop_id: id(1),
+            iterations: 3,
+            pos: 20,
+        });
+        let r = s.report(30);
+        assert_eq!(r.executions, 1);
+        assert_eq!(r.iterations, 3);
+        assert_eq!(r.instr_per_iter, 10.0);
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = LoopStats::new().report(5);
+        assert_eq!(r.instructions, 5);
+        assert_eq!(r.static_loops, 0);
+        assert_eq!(r.iter_per_exec, 0.0);
+        assert_eq!(r.instr_per_iter, 0.0);
+    }
+}

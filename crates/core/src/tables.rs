@@ -1,0 +1,242 @@
+//! Associative LRU loop tables — the storage substrate of the LET and LIT
+//! (paper §2.3).
+
+use crate::LoopId;
+
+#[derive(Debug, Clone)]
+struct Slot<E> {
+    loop_id: LoopId,
+    lru: u64,
+    data: E,
+}
+
+/// A small associative table keyed by [`LoopId`] with LRU replacement.
+///
+/// This models the hardware structure shared by the LET (Loop Execution
+/// Table) and LIT (Loop Iteration Table): fully associative, a handful of
+/// entries, "every entry identified by the loop target address T" with an
+/// LRU field `R`. What *kind* of recency counts (last execution start for
+/// the LET, last iteration start for the LIT) is decided by the caller via
+/// when it calls [`LoopTable::touch`].
+///
+/// An unbounded table (for the §4 "enough capacity" experiments) is
+/// obtained with [`LoopTable::unbounded`].
+///
+/// ```
+/// use loopspec_core::{LoopTable, LoopId};
+/// use loopspec_isa::Addr;
+///
+/// let mut t: LoopTable<u32> = LoopTable::new(2);
+/// let (a, b, c) = (LoopId(Addr::new(1)), LoopId(Addr::new(2)), LoopId(Addr::new(3)));
+/// t.insert(a, 10);
+/// t.insert(b, 20);
+/// t.touch(a);            // `b` becomes least recent
+/// t.insert(c, 30);       // evicts `b`
+/// assert!(t.get(a).is_some());
+/// assert!(t.get(b).is_none());
+/// assert!(t.get(c).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopTable<E> {
+    slots: Vec<Slot<E>>,
+    capacity: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl<E> LoopTable<E> {
+    /// Creates a table with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "table capacity must be positive");
+        LoopTable {
+            slots: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Creates a table that never evicts (models "enough capacity to
+    /// store all the loops in the program", paper §4).
+    pub fn unbounded() -> Self {
+        LoopTable {
+            slots: Vec::new(),
+            capacity: usize::MAX,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The table's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no entries are valid.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn position(&self, id: LoopId) -> Option<usize> {
+        self.slots.iter().position(|s| s.loop_id == id)
+    }
+
+    /// Associative lookup without touching recency.
+    pub fn get(&self, id: LoopId) -> Option<&E> {
+        self.position(id).map(|i| &self.slots[i].data)
+    }
+
+    /// Mutable associative lookup without touching recency.
+    pub fn get_mut(&mut self, id: LoopId) -> Option<&mut E> {
+        self.position(id).map(move |i| &mut self.slots[i].data)
+    }
+
+    /// Marks `id` as most recently used (the `R` field update). No-op if
+    /// absent.
+    pub fn touch(&mut self, id: LoopId) {
+        if let Some(i) = self.position(id) {
+            self.tick += 1;
+            self.slots[i].lru = self.tick;
+        }
+    }
+
+    /// The entry that LRU replacement would evict next, if the table is
+    /// non-empty.
+    pub fn peek_lru(&self) -> Option<LoopId> {
+        self.slots.iter().min_by_key(|s| s.lru).map(|s| s.loop_id)
+    }
+
+    /// Inserts an entry for `id` (marking it most recent), evicting the
+    /// least recently used entry if the table is full. Returns the evicted
+    /// entry, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already present — the LET/LIT insert only on
+    /// execution starts of loops not in the table; use
+    /// [`LoopTable::get_mut`] to update existing entries.
+    pub fn insert(&mut self, id: LoopId, data: E) -> Option<(LoopId, E)> {
+        assert!(
+            self.position(id).is_none(),
+            "loop {id} already present; use get_mut"
+        );
+        self.tick += 1;
+        let mut evicted = None;
+        if self.slots.len() >= self.capacity {
+            let victim = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.lru)
+                .map(|(i, _)| i)
+                .expect("full table is non-empty");
+            let s = self.slots.swap_remove(victim);
+            self.evictions += 1;
+            evicted = Some((s.loop_id, s.data));
+        }
+        self.slots.push(Slot {
+            loop_id: id,
+            lru: self.tick,
+            data,
+        });
+        evicted
+    }
+
+    /// Iterates over `(loop, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (LoopId, &E)> + '_ {
+        self.slots.iter().map(|s| (s.loop_id, &s.data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopspec_isa::Addr;
+
+    fn id(n: u32) -> LoopId {
+        LoopId(Addr::new(n))
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut t: LoopTable<i32> = LoopTable::new(3);
+        t.insert(id(1), 1);
+        t.insert(id(2), 2);
+        t.insert(id(3), 3);
+        t.touch(id(1)); // order now: 2 (oldest), 3, 1
+        let evicted = t.insert(id(4), 4).unwrap();
+        assert_eq!(evicted.0, id(2));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.evictions(), 1);
+    }
+
+    #[test]
+    fn get_and_get_mut() {
+        let mut t: LoopTable<i32> = LoopTable::new(2);
+        t.insert(id(5), 50);
+        assert_eq!(t.get(id(5)), Some(&50));
+        *t.get_mut(id(5)).unwrap() += 1;
+        assert_eq!(t.get(id(5)), Some(&51));
+        assert_eq!(t.get(id(9)), None);
+        assert_eq!(t.get_mut(id(9)), None);
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut t: LoopTable<u32> = LoopTable::unbounded();
+        for n in 0..10_000 {
+            assert!(t.insert(id(n), n).is_none());
+        }
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.evictions(), 0);
+    }
+
+    #[test]
+    fn touch_on_absent_is_noop() {
+        let mut t: LoopTable<u32> = LoopTable::new(1);
+        t.touch(id(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn duplicate_insert_panics() {
+        let mut t: LoopTable<u32> = LoopTable::new(4);
+        t.insert(id(1), 1);
+        t.insert(id(1), 2);
+    }
+
+    #[test]
+    fn insertion_counts_as_recency() {
+        let mut t: LoopTable<u32> = LoopTable::new(2);
+        t.insert(id(1), 1);
+        t.insert(id(2), 2);
+        // id(1) is LRU.
+        let ev = t.insert(id(3), 3).unwrap();
+        assert_eq!(ev.0, id(1));
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut t: LoopTable<u32> = LoopTable::new(4);
+        t.insert(id(1), 10);
+        t.insert(id(2), 20);
+        let mut got: Vec<_> = t.iter().map(|(l, v)| (l, *v)).collect();
+        got.sort();
+        assert_eq!(got, vec![(id(1), 10), (id(2), 20)]);
+    }
+}

@@ -1,0 +1,673 @@
+//! The functional interpreter.
+
+use std::fmt;
+
+use loopspec_asm::Program;
+use loopspec_isa::{Addr, Instruction, Reg};
+
+use crate::mem::Memory;
+use crate::tracer::{ArchReg, ControlOutcome, InstrEvent, MemAccess, RegRead, RegWrite, Tracer};
+
+/// Why a run stopped without error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// The program executed a `halt` instruction.
+    Halted,
+    /// The instruction budget ([`RunLimits::max_instrs`]) was exhausted.
+    OutOfFuel,
+}
+
+/// Result of a successful [`Cpu::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Number of retired instructions.
+    pub retired: u64,
+    /// Why execution stopped.
+    pub completion: Completion,
+}
+
+impl RunSummary {
+    /// `true` when the program halted of its own accord.
+    pub fn halted(&self) -> bool {
+        self.completion == Completion::Halted
+    }
+}
+
+/// Simulator faults (distinct from orderly completion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuError {
+    /// Control flowed outside the program code.
+    PcOutOfRange {
+        /// The faulting program counter.
+        pc: Addr,
+    },
+    /// An indirect jump/call/return targeted an address that does not fit
+    /// the code address space.
+    BadIndirectTarget {
+        /// PC of the faulting instruction.
+        pc: Addr,
+        /// The register value used as a target.
+        value: u64,
+    },
+    /// The data-memory footprint exceeded [`RunLimits::max_pages`].
+    MemoryLimit {
+        /// Pages allocated when the limit tripped.
+        pages: usize,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::PcOutOfRange { pc } => write!(f, "pc {pc} outside program code"),
+            CpuError::BadIndirectTarget { pc, value } => {
+                write!(
+                    f,
+                    "indirect target {value:#x} at {pc} is not a code address"
+                )
+            }
+            CpuError::MemoryLimit { pages } => {
+                write!(f, "data memory exceeded limit ({pages} pages allocated)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+/// Resource limits for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Maximum instructions to retire before stopping with
+    /// [`Completion::OutOfFuel`].
+    pub max_instrs: u64,
+    /// Maximum data-memory pages (32 KiB each) before faulting with
+    /// [`CpuError::MemoryLimit`].
+    pub max_pages: usize,
+}
+
+impl Default for RunLimits {
+    /// 100 M instructions, 64 Ki pages (2 GiB of data memory).
+    fn default() -> Self {
+        RunLimits {
+            max_instrs: 100_000_000,
+            max_pages: 1 << 16,
+        }
+    }
+}
+
+impl RunLimits {
+    /// Limits with a specific instruction budget.
+    pub fn with_fuel(max_instrs: u64) -> Self {
+        RunLimits {
+            max_instrs,
+            ..Self::default()
+        }
+    }
+}
+
+/// The SLA functional simulator.
+///
+/// Holds the architectural state (integer and FP register files, data
+/// memory); [`Cpu::run`] executes a [`Program`] from its entry point,
+/// invoking a [`Tracer`] on every retired instruction. State persists
+/// across `run` calls, so phased execution is possible, but the common
+/// pattern is one fresh `Cpu` per program.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u64; 32],
+    fregs: [f64; 32],
+    pc: Addr,
+    mem: Memory,
+    retired: u64,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cpu {
+    /// Creates a CPU with zeroed registers and empty memory.
+    pub fn new() -> Self {
+        Cpu {
+            regs: [0; 32],
+            fregs: [0.0; 32],
+            pc: Addr::ZERO,
+            mem: Memory::new(),
+            retired: 0,
+        }
+    }
+
+    /// Reads an integer register.
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Reads an FP register.
+    #[inline]
+    pub fn freg(&self, r: loopspec_isa::FReg) -> f64 {
+        self.fregs[r.index()]
+    }
+
+    /// Writes an integer register (writes to `r0` are discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Immutable view of data memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable view of data memory (for pre-loading inputs).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Total instructions retired by this CPU across all runs.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Runs `program` from its entry point until `halt`, a fault, or fuel
+    /// exhaustion, reporting every retired instruction to `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CpuError`] when control leaves the code, an indirect
+    /// target is not a code address, or the memory limit is exceeded.
+    pub fn run<T: Tracer>(
+        &mut self,
+        program: &Program,
+        tracer: &mut T,
+        limits: RunLimits,
+    ) -> Result<RunSummary, CpuError> {
+        self.pc = program.entry();
+        let start_retired = self.retired;
+        let budget = limits.max_instrs;
+
+        while self.retired - start_retired < budget {
+            let pc = self.pc;
+            let instr = *program.fetch(pc).ok_or(CpuError::PcOutOfRange { pc })?;
+
+            let mut ev = InstrEvent {
+                seq: self.retired,
+                pc,
+                instr,
+                control: ControlOutcome {
+                    kind: instr.control_kind(),
+                    taken: false,
+                    target: pc.next(),
+                },
+                reads: [None; 5],
+                write: None,
+                mem_read: None,
+                mem_write: None,
+            };
+            self.capture_reads(&instr, &mut ev);
+
+            let mut next_pc = pc.next();
+            let mut halted = false;
+
+            match instr {
+                Instruction::Nop => {}
+                Instruction::Halt => halted = true,
+                Instruction::Alu { op, rd, ra, rb } => {
+                    let v = op.eval(self.reg(ra), self.reg(rb));
+                    self.write_int(rd, v, &mut ev);
+                }
+                Instruction::AluImm { op, rd, ra, imm } => {
+                    let v = op.eval(self.reg(ra), imm as i64 as u64);
+                    self.write_int(rd, v, &mut ev);
+                }
+                Instruction::LoadImm { rd, imm } => {
+                    self.write_int(rd, imm as u64, &mut ev);
+                }
+                Instruction::Load { rd, base, offset } => {
+                    let addr = self.reg(base).wrapping_add(offset as i64 as u64);
+                    let v = self.mem.read(addr);
+                    ev.mem_read = Some(MemAccess { addr, value: v });
+                    self.write_int(rd, v, &mut ev);
+                }
+                Instruction::Store { src, base, offset } => {
+                    let addr = self.reg(base).wrapping_add(offset as i64 as u64);
+                    let v = self.reg(src);
+                    self.mem.write(addr, v);
+                    ev.mem_write = Some(MemAccess { addr, value: v });
+                }
+                Instruction::FAlu { op, fd, fa, fb } => {
+                    let v = op.eval(self.fregs[fa.index()], self.fregs[fb.index()]);
+                    self.write_fp(fd, v, &mut ev);
+                }
+                Instruction::FUn { op, fd, fa } => {
+                    let v = op.eval(self.fregs[fa.index()]);
+                    self.write_fp(fd, v, &mut ev);
+                }
+                Instruction::FLoadImm { fd, value } => {
+                    self.write_fp(fd, value as f64, &mut ev);
+                }
+                Instruction::FLoad { fd, base, offset } => {
+                    let addr = self.reg(base).wrapping_add(offset as i64 as u64);
+                    let bits = self.mem.read(addr);
+                    ev.mem_read = Some(MemAccess { addr, value: bits });
+                    self.write_fp(fd, f64::from_bits(bits), &mut ev);
+                }
+                Instruction::FStore { fsrc, base, offset } => {
+                    let addr = self.reg(base).wrapping_add(offset as i64 as u64);
+                    let bits = self.fregs[fsrc.index()].to_bits();
+                    self.mem.write(addr, bits);
+                    ev.mem_write = Some(MemAccess { addr, value: bits });
+                }
+                Instruction::FCmp { cond, rd, fa, fb } => {
+                    // Compare through the IEEE total order of the raw
+                    // values as signed integers is wrong for FP; evaluate
+                    // numerically (NaN compares false except Ne).
+                    let a = self.fregs[fa.index()];
+                    let b = self.fregs[fb.index()];
+                    let holds = match cond {
+                        loopspec_isa::Cond::Eq => a == b,
+                        loopspec_isa::Cond::Ne => a != b,
+                        loopspec_isa::Cond::LtS | loopspec_isa::Cond::LtU => a < b,
+                        loopspec_isa::Cond::LeS => a <= b,
+                        loopspec_isa::Cond::GtS => a > b,
+                        loopspec_isa::Cond::GeS | loopspec_isa::Cond::GeU => a >= b,
+                    };
+                    self.write_int(rd, holds as u64, &mut ev);
+                }
+                Instruction::ItoF { fd, ra } => {
+                    let v = self.reg(ra) as i64 as f64;
+                    self.write_fp(fd, v, &mut ev);
+                }
+                Instruction::FtoI { rd, fa } => {
+                    // Rust `as` saturates and maps NaN to 0 — exactly the
+                    // no-trap semantics we want.
+                    let v = self.fregs[fa.index()] as i64 as u64;
+                    self.write_int(rd, v, &mut ev);
+                }
+                Instruction::Branch {
+                    cond,
+                    ra,
+                    rb,
+                    target,
+                } => {
+                    if cond.eval(self.reg(ra), self.reg(rb)) {
+                        ev.control.taken = true;
+                        ev.control.target = target;
+                        next_pc = target;
+                    }
+                }
+                Instruction::Jump { target } => {
+                    ev.control.taken = true;
+                    ev.control.target = target;
+                    next_pc = target;
+                }
+                Instruction::JumpInd { base } => {
+                    let target = self.indirect_target(pc, self.reg(base))?;
+                    ev.control.taken = true;
+                    ev.control.target = target;
+                    next_pc = target;
+                }
+                Instruction::Call { target, link } => {
+                    self.write_int(link, pc.next().index() as u64, &mut ev);
+                    ev.control.taken = true;
+                    ev.control.target = target;
+                    next_pc = target;
+                }
+                Instruction::CallInd { base, link } => {
+                    let target = self.indirect_target(pc, self.reg(base))?;
+                    self.write_int(link, pc.next().index() as u64, &mut ev);
+                    ev.control.taken = true;
+                    ev.control.target = target;
+                    next_pc = target;
+                }
+                Instruction::Ret { link } => {
+                    let target = self.indirect_target(pc, self.reg(link))?;
+                    ev.control.taken = true;
+                    ev.control.target = target;
+                    next_pc = target;
+                }
+            }
+
+            self.retired += 1;
+            tracer.on_retire(&ev);
+
+            if self.mem.pages_allocated() > limits.max_pages {
+                return Err(CpuError::MemoryLimit {
+                    pages: self.mem.pages_allocated(),
+                });
+            }
+            if halted {
+                return Ok(RunSummary {
+                    retired: self.retired - start_retired,
+                    completion: Completion::Halted,
+                });
+            }
+            self.pc = next_pc;
+        }
+
+        Ok(RunSummary {
+            retired: self.retired - start_retired,
+            completion: Completion::OutOfFuel,
+        })
+    }
+
+    fn indirect_target(&self, pc: Addr, value: u64) -> Result<Addr, CpuError> {
+        if value > u32::MAX as u64 {
+            return Err(CpuError::BadIndirectTarget { pc, value });
+        }
+        Ok(Addr::new(value as u32))
+    }
+
+    #[inline]
+    fn write_int(&mut self, rd: Reg, v: u64, ev: &mut InstrEvent) {
+        ev.write = Some(RegWrite {
+            reg: ArchReg::Int(rd),
+            value: v,
+        });
+        self.set_reg(rd, v);
+    }
+
+    #[inline]
+    fn write_fp(&mut self, fd: loopspec_isa::FReg, v: f64, ev: &mut InstrEvent) {
+        ev.write = Some(RegWrite {
+            reg: ArchReg::Fp(fd),
+            value: v.to_bits(),
+        });
+        self.fregs[fd.index()] = v;
+    }
+
+    #[inline]
+    fn capture_reads(&self, instr: &Instruction, ev: &mut InstrEvent) {
+        let u = instr.reg_use();
+        let mut slot = 0;
+        for r in u.reads.iter().flatten() {
+            ev.reads[slot] = Some(RegRead {
+                reg: ArchReg::Int(*r),
+                value: self.reg(*r),
+            });
+            slot += 1;
+        }
+        for r in u.freads.iter().flatten() {
+            ev.reads[slot] = Some(RegRead {
+                reg: ArchReg::Fp(*r),
+                value: self.fregs[r.index()].to_bits(),
+            });
+            slot += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{CountingTracer, NullTracer};
+    use loopspec_asm::ProgramBuilder;
+    use loopspec_isa::{AluOp, Cond, ControlKind};
+
+    fn run_counting(program: &Program) -> (Cpu, CountingTracer, RunSummary) {
+        let mut cpu = Cpu::new();
+        let mut t = CountingTracer::default();
+        let s = cpu
+            .run(program, &mut t, RunLimits::default())
+            .expect("run succeeds");
+        (cpu, t, s)
+    }
+
+    #[test]
+    fn sum_loop_computes_correctly() {
+        // sum = Σ i for i in 0..10 — checked through architectural state.
+        let mut b = ProgramBuilder::new();
+        let sum = b.alloc_reg();
+        b.li(sum, 0);
+        b.counted_loop(10, |b, i| {
+            b.op(AluOp::Add, sum, sum, i);
+        });
+        let out = b.alloc_static(1);
+        b.store_static(sum, out);
+        let p = b.finish().unwrap();
+        let (cpu, _, s) = run_counting(&p);
+        assert!(s.halted());
+        assert_eq!(cpu.mem().read(out as u64), 45);
+    }
+
+    #[test]
+    fn while_loop_runs_expected_iterations() {
+        let mut b = ProgramBuilder::new();
+        let x = b.alloc_reg();
+        let n = b.alloc_reg();
+        b.li(x, 0);
+        b.li(n, 7);
+        b.while_loop(
+            |_| (Cond::LtS, x, n),
+            |b| {
+                b.addi(x, x, 1);
+            },
+        );
+        let out = b.alloc_static(1);
+        b.store_static(x, out);
+        let p = b.finish().unwrap();
+        let (cpu, _, _) = run_counting(&p);
+        assert_eq!(cpu.mem().read(out as u64), 7);
+    }
+
+    #[test]
+    fn function_call_round_trips() {
+        let mut b = ProgramBuilder::new();
+        b.define_func("double", |b| {
+            // ret = arg0 * 2
+            b.op(
+                AluOp::Add,
+                ProgramBuilder::RET_REG,
+                ProgramBuilder::ARG_REGS[0],
+                ProgramBuilder::ARG_REGS[0],
+            );
+        });
+        b.set_arg(0, 21);
+        b.call_func("double");
+        let out = b.alloc_static(1);
+        b.store_static(ProgramBuilder::RET_REG, out);
+        let p = b.finish().unwrap();
+        let (cpu, t, _) = run_counting(&p);
+        assert_eq!(cpu.mem().read(out as u64), 42);
+        assert_eq!(t.calls, 1);
+        assert_eq!(t.returns, 1);
+    }
+
+    #[test]
+    fn recursion_computes_factorial() {
+        // fact(n): if n <= 1 { 1 } else { n * fact(n-1) }
+        let mut b = ProgramBuilder::new();
+        b.define_func("fact", |b| {
+            let n = b.alloc_reg();
+            b.mov(n, ProgramBuilder::ARG_REGS[0]);
+            b.with_reg(|b, one| {
+                b.li(one, 1);
+                b.if_else(
+                    Cond::LeS,
+                    n,
+                    one,
+                    |b| b.set_ret(1i64),
+                    |b| {
+                        b.addi(ProgramBuilder::ARG_REGS[0], n, -1);
+                        b.call_func("fact");
+                        b.op(
+                            AluOp::Mul,
+                            ProgramBuilder::RET_REG,
+                            ProgramBuilder::RET_REG,
+                            n,
+                        );
+                    },
+                );
+            });
+            b.free_reg(n);
+        });
+        b.set_arg(0, 10);
+        b.call_func("fact");
+        let out = b.alloc_static(1);
+        b.store_static(ProgramBuilder::RET_REG, out);
+        let p = b.finish().unwrap();
+        let (cpu, t, _) = run_counting(&p);
+        assert_eq!(cpu.mem().read(out as u64), 3_628_800);
+        assert_eq!(t.calls, 10);
+        assert_eq!(t.returns, 10);
+    }
+
+    #[test]
+    fn switch_table_dispatches_each_arm() {
+        let mut b = ProgramBuilder::new();
+        let out = b.alloc_static(4);
+        let idx = b.alloc_reg();
+        let val = b.alloc_reg();
+        b.counted_loop(4, |b, i| {
+            b.mov(idx, i);
+            b.switch_table(idx, 4, |b, k| {
+                b.li(val, (k as i64 + 1) * 100);
+                b.store_idx(val, out, i);
+            });
+        });
+        let p = b.finish().unwrap();
+        let (cpu, _, _) = run_counting(&p);
+        for k in 0..4u64 {
+            assert_eq!(cpu.mem().read(out as u64 + k), (k + 1) * 100);
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_reports_out_of_fuel() {
+        let mut b = ProgramBuilder::new();
+        b.loop_forever(|b| b.work(1));
+        let p = b.finish().unwrap();
+        let mut cpu = Cpu::new();
+        let s = cpu
+            .run(&p, &mut NullTracer, RunLimits::with_fuel(1000))
+            .unwrap();
+        assert_eq!(s.completion, Completion::OutOfFuel);
+        assert_eq!(s.retired, 1000);
+    }
+
+    #[test]
+    fn fp_pipeline_works() {
+        use loopspec_isa::{FReg, Instruction};
+        let mut b = ProgramBuilder::new();
+        b.emit(Instruction::FLoadImm {
+            fd: FReg::F1,
+            value: 1.5,
+        });
+        b.emit(Instruction::FLoadImm {
+            fd: FReg::F2,
+            value: 2.0,
+        });
+        b.emit(Instruction::FAlu {
+            op: loopspec_isa::FAluOp::Mul,
+            fd: FReg::F3,
+            fa: FReg::F1,
+            fb: FReg::F2,
+        });
+        b.emit(Instruction::FtoI {
+            rd: Reg::R8,
+            fa: FReg::F3,
+        });
+        let out = b.alloc_static(1);
+        b.store_static(Reg::R8, out);
+        let p = b.finish().unwrap();
+        let (cpu, _, _) = run_counting(&p);
+        assert_eq!(cpu.mem().read(out as u64), 3);
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let mut b = ProgramBuilder::new();
+        b.op_imm(AluOp::Add, Reg::R0, Reg::R0, 99);
+        let out = b.alloc_static(1);
+        b.store_static(Reg::R0, out);
+        let p = b.finish().unwrap();
+        let (cpu, _, _) = run_counting(&p);
+        assert_eq!(cpu.mem().read(out as u64), 0);
+        assert_eq!(cpu.reg(Reg::R0), 0);
+    }
+
+    #[test]
+    fn rng_below_is_in_range_and_deterministic() {
+        let mut b = ProgramBuilder::with_seed(7);
+        let r = b.alloc_reg();
+        let out = b.alloc_static(16);
+        b.counted_loop(16, |b, i| {
+            b.rng_below(r, 10);
+            b.store_idx(r, out, i);
+        });
+        let p = b.finish().unwrap();
+        let (cpu1, _, _) = run_counting(&p);
+        let (cpu2, _, _) = run_counting(&p);
+        let mut distinct = std::collections::HashSet::new();
+        for k in 0..16u64 {
+            let v = cpu1.mem().read(out as u64 + k);
+            assert!(v < 10, "rng_below out of range: {v}");
+            assert_eq!(v, cpu2.mem().read(out as u64 + k), "determinism");
+            distinct.insert(v);
+        }
+        assert!(distinct.len() > 3, "rng values look degenerate");
+    }
+
+    #[test]
+    fn event_reads_report_pre_write_values() {
+        struct Probe {
+            seen: Vec<(u64, u64)>,
+        }
+        impl Tracer for Probe {
+            fn on_retire(&mut self, ev: &InstrEvent) {
+                if let Instruction::AluImm { .. } = ev.instr {
+                    if let Some(r) = ev.reads[0] {
+                        let w = ev.write.unwrap();
+                        self.seen.push((r.value, w.value));
+                    }
+                }
+            }
+        }
+        let mut b = ProgramBuilder::new();
+        let x = b.alloc_reg();
+        b.li(x, 5);
+        b.addi(x, x, 1); // reads 5, writes 6
+        let p = b.finish().unwrap();
+        let mut cpu = Cpu::new();
+        let mut probe = Probe { seen: Vec::new() };
+        cpu.run(&p, &mut probe, RunLimits::default()).unwrap();
+        assert!(probe.seen.contains(&(5, 6)));
+    }
+
+    #[test]
+    fn control_outcome_targets_resolve_returns() {
+        struct RetProbe {
+            ret_target: Option<Addr>,
+            call_pc: Option<Addr>,
+        }
+        impl Tracer for RetProbe {
+            fn on_retire(&mut self, ev: &InstrEvent) {
+                match ev.control.kind {
+                    ControlKind::Ret => self.ret_target = Some(ev.control.target),
+                    ControlKind::Call { .. } => self.call_pc = Some(ev.pc),
+                    _ => {}
+                }
+            }
+        }
+        let mut b = ProgramBuilder::new();
+        b.define_func("f", |b| b.work(1));
+        b.call_func("f");
+        let p = b.finish().unwrap();
+        let mut probe = RetProbe {
+            ret_target: None,
+            call_pc: None,
+        };
+        Cpu::new()
+            .run(&p, &mut probe, RunLimits::default())
+            .unwrap();
+        assert_eq!(probe.ret_target.unwrap(), probe.call_pc.unwrap().next());
+    }
+}

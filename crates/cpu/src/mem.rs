@@ -1,0 +1,124 @@
+//! Sparse, paged data memory.
+
+use std::collections::HashMap;
+
+/// Words per page (2¹² words = 32 KiB of 64-bit words).
+const PAGE_WORDS: u64 = 1 << 12;
+const PAGE_MASK: u64 = PAGE_WORDS - 1;
+
+/// Word-addressed, sparsely allocated data memory.
+///
+/// SLA data memory is a flat space of 2⁶⁴ 64-bit words, materialised in
+/// pages on first *write*; reads of never-written locations return `0`
+/// without allocating. This matches what trace-driven simulators need:
+/// programs can scatter a stack at [`loopspec_asm::builder::STACK_BASE`]
+/// (`2³⁰`) and static data at `2¹⁶` without any contiguous allocation.
+///
+/// ```
+/// use loopspec_cpu::Memory;
+/// let mut m = Memory::new();
+/// assert_eq!(m.read(12345), 0);     // untouched memory reads as zero
+/// m.write(12345, 42);
+/// assert_eq!(m.read(12345), 42);
+/// assert_eq!(m.pages_allocated(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u64]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory (all zeros).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the word at `addr`; unwritten memory reads as `0`.
+    #[inline]
+    pub fn read(&self, addr: u64) -> u64 {
+        match self.pages.get(&(addr / PAGE_WORDS)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes the word at `addr`, allocating its page if needed.
+    #[inline]
+    pub fn write(&mut self, addr: u64, value: u64) {
+        let page = self
+            .pages
+            .entry(addr / PAGE_WORDS)
+            .or_insert_with(|| vec![0u64; PAGE_WORDS as usize].into_boxed_slice());
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Number of pages currently materialised.
+    pub fn pages_allocated(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Releases all pages, returning the memory to the all-zeros state.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let m = Memory::new();
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.read(u64::MAX), 0);
+        assert_eq!(m.pages_allocated(), 0);
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut m = Memory::new();
+        for addr in [0u64, 1, PAGE_WORDS - 1, PAGE_WORDS, 1 << 30, u64::MAX] {
+            m.write(addr, addr ^ 0xdead_beef);
+        }
+        for addr in [0u64, 1, PAGE_WORDS - 1, PAGE_WORDS, 1 << 30, u64::MAX] {
+            assert_eq!(m.read(addr), addr ^ 0xdead_beef);
+        }
+    }
+
+    #[test]
+    fn pages_are_shared_within_page_and_distinct_across() {
+        let mut m = Memory::new();
+        m.write(0, 1);
+        m.write(PAGE_WORDS - 1, 2);
+        assert_eq!(m.pages_allocated(), 1);
+        m.write(PAGE_WORDS, 3);
+        assert_eq!(m.pages_allocated(), 2);
+    }
+
+    #[test]
+    fn reads_do_not_allocate() {
+        let mut m = Memory::new();
+        let _ = m.read(999_999);
+        assert_eq!(m.pages_allocated(), 0);
+        m.write(999_999, 7);
+        assert_eq!(m.pages_allocated(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = Memory::new();
+        m.write(5, 5);
+        m.clear();
+        assert_eq!(m.read(5), 0);
+        assert_eq!(m.pages_allocated(), 0);
+    }
+
+    #[test]
+    fn overwrite_takes_latest() {
+        let mut m = Memory::new();
+        m.write(42, 1);
+        m.write(42, 2);
+        assert_eq!(m.read(42), 2);
+    }
+}

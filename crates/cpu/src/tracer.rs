@@ -1,0 +1,245 @@
+//! The ATOM-style instrumentation interface.
+
+use loopspec_isa::{Addr, ControlKind, FReg, Instruction, Reg};
+
+/// Either an integer or a floating-point architectural register.
+///
+/// The live-in analysis of the paper's §4 treats integer and FP registers
+/// uniformly ("live-in registers"), so the instrumentation reports them in
+/// one namespace. FP values are reported as their IEEE-754 bit patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ArchReg {
+    /// An integer register.
+    Int(Reg),
+    /// A floating-point register.
+    Fp(FReg),
+}
+
+impl std::fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchReg::Int(r) => write!(f, "{r}"),
+            ArchReg::Fp(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// A register read observed at retirement: the register and the value it
+/// held *when read* (before any write by the same instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegRead {
+    /// Which register was read.
+    pub reg: ArchReg,
+    /// Value observed (FP values as bits).
+    pub value: u64,
+}
+
+/// A register write observed at retirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegWrite {
+    /// Which register was written.
+    pub reg: ArchReg,
+    /// Value written (FP values as bits).
+    pub value: u64,
+}
+
+/// A data-memory access observed at retirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Word address accessed.
+    pub addr: u64,
+    /// Value loaded or stored.
+    pub value: u64,
+}
+
+/// Control-flow outcome of a retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlOutcome {
+    /// Static classification of the instruction.
+    pub kind: ControlKind,
+    /// Whether the transfer was taken. Unconditional transfers (jumps,
+    /// calls, returns) are always `true`; non-control instructions `false`.
+    pub taken: bool,
+    /// The *dynamic* target: next PC if taken (resolves indirect targets
+    /// and return addresses). Equal to `pc + 1` for not-taken branches and
+    /// non-control instructions.
+    pub target: Addr,
+}
+
+/// Everything the instrumentation reports about one retired instruction.
+///
+/// Mirrors the information an ATOM analysis routine can request: PC,
+/// opcode, branch outcome and effective addresses/values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstrEvent {
+    /// Zero-based dynamic instruction index (retirement order).
+    pub seq: u64,
+    /// Address of the instruction.
+    pub pc: Addr,
+    /// The instruction itself.
+    pub instr: Instruction,
+    /// Control-flow outcome.
+    pub control: ControlOutcome,
+    /// Register reads with observed values (at most 3 int + 2 fp).
+    pub reads: [Option<RegRead>; 5],
+    /// Register write with written value, if any.
+    pub write: Option<RegWrite>,
+    /// Memory load, if any.
+    pub mem_read: Option<MemAccess>,
+    /// Memory store, if any.
+    pub mem_write: Option<MemAccess>,
+}
+
+impl InstrEvent {
+    /// Iterates over the register reads.
+    pub fn reads_iter(&self) -> impl Iterator<Item = RegRead> + '_ {
+        self.reads.iter().flatten().copied()
+    }
+
+    /// The dynamic stream position *after* this instruction commits; this
+    /// is the position at which loop events triggered by the instruction
+    /// (iteration starts, execution ends) take effect.
+    #[inline]
+    pub fn next_pos(&self) -> u64 {
+        self.seq + 1
+    }
+}
+
+/// Per-retired-instruction analysis callback — the ATOM substitute.
+///
+/// Implementations must be cheap: they run inline in the interpreter
+/// loop. Compose several analyses with the tuple impl:
+/// `(&mut detector, &mut profiler)`.
+pub trait Tracer {
+    /// Called once per retired instruction, in program order.
+    fn on_retire(&mut self, ev: &InstrEvent);
+}
+
+/// A tracer that ignores every event (pure functional execution).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    #[inline]
+    fn on_retire(&mut self, _ev: &InstrEvent) {}
+}
+
+/// A tracer that counts retired instructions by category — handy in tests
+/// and as a smoke-check that instrumentation is wired up.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingTracer {
+    /// Total retired instructions.
+    pub retired: u64,
+    /// Retired conditional branches.
+    pub branches: u64,
+    /// ... of which taken.
+    pub taken_branches: u64,
+    /// Retired calls (direct + indirect).
+    pub calls: u64,
+    /// Retired returns.
+    pub returns: u64,
+    /// Retired loads (int + fp).
+    pub loads: u64,
+    /// Retired stores (int + fp).
+    pub stores: u64,
+}
+
+impl Tracer for CountingTracer {
+    fn on_retire(&mut self, ev: &InstrEvent) {
+        self.retired += 1;
+        match ev.control.kind {
+            ControlKind::CondBranch { .. } => {
+                self.branches += 1;
+                if ev.control.taken {
+                    self.taken_branches += 1;
+                }
+            }
+            ControlKind::Call { .. } | ControlKind::IndirectCall => self.calls += 1,
+            ControlKind::Ret => self.returns += 1,
+            _ => {}
+        }
+        if ev.mem_read.is_some() {
+            self.loads += 1;
+        }
+        if ev.mem_write.is_some() {
+            self.stores += 1;
+        }
+    }
+}
+
+impl<T: Tracer + ?Sized> Tracer for &mut T {
+    #[inline]
+    fn on_retire(&mut self, ev: &InstrEvent) {
+        (**self).on_retire(ev);
+    }
+}
+
+impl<A: Tracer, B: Tracer> Tracer for (A, B) {
+    #[inline]
+    fn on_retire(&mut self, ev: &InstrEvent) {
+        self.0.on_retire(ev);
+        self.1.on_retire(ev);
+    }
+}
+
+impl<A: Tracer, B: Tracer, C: Tracer> Tracer for (A, B, C) {
+    #[inline]
+    fn on_retire(&mut self, ev: &InstrEvent) {
+        self.0.on_retire(ev);
+        self.1.on_retire(ev);
+        self.2.on_retire(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_event() -> InstrEvent {
+        InstrEvent {
+            seq: 0,
+            pc: Addr::ZERO,
+            instr: Instruction::Nop,
+            control: ControlOutcome {
+                kind: ControlKind::None,
+                taken: false,
+                target: Addr::new(1),
+            },
+            reads: [None; 5],
+            write: None,
+            mem_read: None,
+            mem_write: None,
+        }
+    }
+
+    #[test]
+    fn tuple_tracers_fan_out() {
+        let mut pair = (CountingTracer::default(), CountingTracer::default());
+        pair.on_retire(&dummy_event());
+        assert_eq!(pair.0.retired, 1);
+        assert_eq!(pair.1.retired, 1);
+    }
+
+    #[test]
+    fn mut_ref_tracer_delegates() {
+        let mut c = CountingTracer::default();
+        {
+            let mut r: &mut CountingTracer = &mut c;
+            Tracer::on_retire(&mut r, &dummy_event());
+        }
+        assert_eq!(c.retired, 1);
+    }
+
+    #[test]
+    fn next_pos_is_seq_plus_one() {
+        let mut ev = dummy_event();
+        ev.seq = 41;
+        assert_eq!(ev.next_pos(), 42);
+    }
+
+    #[test]
+    fn arch_reg_display() {
+        assert_eq!(ArchReg::Int(Reg::R3).to_string(), "r3");
+        assert_eq!(ArchReg::Fp(FReg::F9).to_string(), "f9");
+    }
+}

@@ -1,0 +1,289 @@
+//! Golden semantics tests: every operation class executed on the real
+//! interpreter and checked against architecturally expected values.
+
+use loopspec_asm::ProgramBuilder;
+use loopspec_cpu::{Completion, Cpu, CpuError, NullTracer, RunLimits};
+use loopspec_isa::{Addr, AluOp, Cond, FAluOp, FReg, FUnOp, Instruction, Reg};
+
+/// Runs a program and returns the final CPU state.
+fn run(build: impl FnOnce(&mut ProgramBuilder)) -> Cpu {
+    let mut b = ProgramBuilder::new();
+    build(&mut b);
+    let p = b.finish().expect("assembles");
+    let mut cpu = Cpu::new();
+    let s = cpu
+        .run(&p, &mut NullTracer, RunLimits::default())
+        .expect("runs");
+    assert_eq!(s.completion, Completion::Halted);
+    cpu
+}
+
+#[test]
+fn every_alu_op_executes_architecturally() {
+    let cases: &[(AluOp, i64, i64, i64)] = &[
+        (AluOp::Add, 7, 5, 12),
+        (AluOp::Sub, 7, 5, 2),
+        (AluOp::Mul, -3, 5, -15),
+        (AluOp::Div, -15, 4, -3),
+        (AluOp::Rem, 15, 4, 3),
+        (AluOp::And, 0b1100, 0b1010, 0b1000),
+        (AluOp::Or, 0b1100, 0b1010, 0b1110),
+        (AluOp::Xor, 0b1100, 0b1010, 0b0110),
+        (AluOp::Shl, 3, 4, 48),
+        (AluOp::Shr, 48, 4, 3),
+        (AluOp::Sar, -48, 4, -3),
+        (AluOp::SltS, -1, 0, 1),
+        (AluOp::SltU, -1, 0, 0), // -1 as unsigned is huge
+    ];
+    for &(op, a, v, expect) in cases {
+        let out_addr = std::cell::Cell::new(0i64);
+        let cpu = run(|b| {
+            let (ra, rb, rd) = (b.alloc_reg(), b.alloc_reg(), b.alloc_reg());
+            b.li(ra, a);
+            b.li(rb, v);
+            b.op(op, rd, ra, rb);
+            let out = b.alloc_static(1);
+            out_addr.set(out);
+            b.store_static(rd, out);
+        });
+        assert_eq!(
+            cpu.mem().read(out_addr.get() as u64) as i64,
+            expect,
+            "{op:?}({a}, {v})"
+        );
+    }
+}
+
+#[test]
+fn every_branch_condition_resolves() {
+    // For each condition, branch over a "write 1" instruction when the
+    // condition holds; check both polarity cases.
+    let cases: &[(Cond, i64, i64, bool)] = &[
+        (Cond::Eq, 3, 3, true),
+        (Cond::Eq, 3, 4, false),
+        (Cond::Ne, 3, 4, true),
+        (Cond::LtS, -5, 0, true),
+        (Cond::LeS, 5, 5, true),
+        (Cond::GtS, 6, 5, true),
+        (Cond::GeS, 5, 6, false),
+        (Cond::LtU, 1, 2, true),
+        (Cond::LtU, -1, 2, false),
+        (Cond::GeU, -1, 2, true),
+    ];
+    for &(cond, a, v, taken) in cases {
+        let out_addr = std::cell::Cell::new(0i64);
+        let cpu = run(|b| {
+            let (ra, rb, flag) = (b.alloc_reg(), b.alloc_reg(), b.alloc_reg());
+            b.li(ra, a);
+            b.li(rb, v);
+            b.li(flag, 0);
+            b.if_then(cond, ra, rb, |b| b.li(flag, 1));
+            let out = b.alloc_static(1);
+            out_addr.set(out);
+            b.store_static(flag, out);
+        });
+        assert_eq!(
+            cpu.mem().read(out_addr.get() as u64),
+            taken as u64,
+            "{cond:?}({a}, {v})"
+        );
+    }
+}
+
+#[test]
+fn fp_ops_and_conversions() {
+    let out_addr = std::cell::Cell::new(0i64);
+    let cpu = run(|b| {
+        b.emit(Instruction::FLoadImm {
+            fd: FReg::F1,
+            value: 9.0,
+        });
+        b.emit(Instruction::FUn {
+            op: FUnOp::Sqrt,
+            fd: FReg::F2,
+            fa: FReg::F1,
+        }); // 3.0
+        b.emit(Instruction::FLoadImm {
+            fd: FReg::F3,
+            value: 0.5,
+        });
+        b.emit(Instruction::FAlu {
+            op: FAluOp::Add,
+            fd: FReg::F4,
+            fa: FReg::F2,
+            fb: FReg::F3,
+        }); // 3.5
+        b.emit(Instruction::FAlu {
+            op: FAluOp::Mul,
+            fd: FReg::F4,
+            fa: FReg::F4,
+            fb: FReg::F4,
+        }); // 12.25
+        b.emit(Instruction::FtoI {
+            rd: Reg::R8,
+            fa: FReg::F4,
+        }); // trunc -> 12
+        let out = b.alloc_static(1);
+        out_addr.set(out);
+        b.store_static(Reg::R8, out);
+    });
+    assert_eq!(cpu.mem().read(out_addr.get() as u64), 12);
+}
+
+#[test]
+fn fp_compare_feeds_integer_branch() {
+    let out_addr = std::cell::Cell::new(0i64);
+    let cpu = run(|b| {
+        b.emit(Instruction::FLoadImm {
+            fd: FReg::F1,
+            value: 1.5,
+        });
+        b.emit(Instruction::FLoadImm {
+            fd: FReg::F2,
+            value: 2.5,
+        });
+        b.emit(Instruction::FCmp {
+            cond: Cond::LtS,
+            rd: Reg::R8,
+            fa: FReg::F1,
+            fb: FReg::F2,
+        });
+        let out = b.alloc_static(1);
+        out_addr.set(out);
+        b.store_static(Reg::R8, out);
+    });
+    assert_eq!(cpu.mem().read(out_addr.get() as u64), 1);
+}
+
+#[test]
+fn itof_round_trip() {
+    let out_addr = std::cell::Cell::new(0i64);
+    let cpu = run(|b| {
+        let r = b.alloc_reg();
+        b.li(r, -42);
+        b.emit(Instruction::ItoF {
+            fd: FReg::F1,
+            ra: r,
+        });
+        b.emit(Instruction::FtoI {
+            rd: r,
+            fa: FReg::F1,
+        });
+        let out = b.alloc_static(1);
+        out_addr.set(out);
+        b.store_static(r, out);
+    });
+    assert_eq!(cpu.mem().read(out_addr.get() as u64) as i64, -42);
+}
+
+#[test]
+fn deep_call_chain_uses_the_guest_stack() {
+    // 200-deep recursion: every frame saves 10 words; the stack pages in
+    // and unwinds correctly.
+    let out_addr = std::cell::Cell::new(0i64);
+    let cpu = run(|b| {
+        b.define_func("down", |b| {
+            let d = b.alloc_reg();
+            b.mov(d, ProgramBuilder::ARG_REGS[0]);
+            b.if_else(
+                Cond::GtS,
+                d,
+                Reg::R0,
+                |b| {
+                    b.addi(ProgramBuilder::ARG_REGS[0], d, -1);
+                    b.call_func("down");
+                    b.addi(ProgramBuilder::RET_REG, ProgramBuilder::RET_REG, 1);
+                },
+                |b| b.set_ret(0i64),
+            );
+            b.free_reg(d);
+        });
+        b.set_arg(0, 200i64);
+        b.call_func("down");
+        let out = b.alloc_static(1);
+        out_addr.set(out);
+        b.store_static(ProgramBuilder::RET_REG, out);
+    });
+    assert_eq!(cpu.mem().read(out_addr.get() as u64), 200);
+}
+
+#[test]
+fn pc_out_of_range_is_a_fault() {
+    // A program whose last instruction is not a halt: control runs off
+    // the end.
+    use loopspec_asm::Assembler;
+    let mut a = Assembler::new();
+    a.emit(Instruction::Nop);
+    let p = a.finish().unwrap();
+    let err = Cpu::new()
+        .run(&p, &mut NullTracer, RunLimits::default())
+        .unwrap_err();
+    assert_eq!(err, CpuError::PcOutOfRange { pc: Addr::new(1) });
+}
+
+#[test]
+fn bad_indirect_target_is_a_fault() {
+    use loopspec_asm::Assembler;
+    let mut a = Assembler::new();
+    a.emit(Instruction::LoadImm {
+        rd: Reg::R1,
+        imm: 1 << 40,
+    });
+    a.emit(Instruction::JumpInd { base: Reg::R1 });
+    let p = a.finish().unwrap();
+    let err = Cpu::new()
+        .run(&p, &mut NullTracer, RunLimits::default())
+        .unwrap_err();
+    assert!(matches!(err, CpuError::BadIndirectTarget { .. }));
+    assert!(err.to_string().contains("indirect"));
+}
+
+#[test]
+fn memory_limit_trips() {
+    // Touch one word in each of many pages until the limit fires.
+    let mut b = ProgramBuilder::new();
+    let (addr, step) = (b.alloc_reg(), b.alloc_reg());
+    b.li(addr, 0);
+    b.li(step, 4096);
+    b.loop_forever(|b| {
+        b.emit(Instruction::Store {
+            src: Reg::R0,
+            base: addr,
+            offset: 0,
+        });
+        b.op(AluOp::Add, addr, addr, step);
+    });
+    let p = b.finish().unwrap();
+    let err = Cpu::new()
+        .run(
+            &p,
+            &mut NullTracer,
+            RunLimits {
+                max_instrs: 10_000_000,
+                max_pages: 64,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, CpuError::MemoryLimit { pages } if pages > 64));
+}
+
+#[test]
+fn lcg_sequence_matches_reference() {
+    // The guest LCG must match the host-side reference implementation.
+    let out_addr = std::cell::Cell::new(0i64);
+    let cpu = run(|b| {
+        let s = b.alloc_reg();
+        b.li(s, 1);
+        let out = b.alloc_static(8);
+        out_addr.set(out);
+        b.counted_loop(8, |b, i| {
+            b.lcg_next(s);
+            b.store_idx(s, out, i);
+        });
+    });
+    let mut state: u64 = 1;
+    for k in 0..8u64 {
+        state = state.wrapping_mul(1_103_515_245).wrapping_add(12_345) & 0x7fff_ffff;
+        assert_eq!(cpu.mem().read(out_addr.get() as u64 + k), state, "step {k}");
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-iteration live-in tracking frames.
+
+use std::collections::HashMap;
+
+use loopspec_core::LoopId;
+use loopspec_cpu::ArchReg;
+use loopspec_isa::{FReg, Reg};
+
+use crate::MAX_MEM_SLOTS;
+
+/// Dense index of an architectural register in `0..64` (integer file
+/// first, then FP).
+#[inline]
+pub(crate) fn reg_slot(reg: ArchReg) -> usize {
+    match reg {
+        ArchReg::Int(r) => r.index(),
+        ArchReg::Fp(r) => 32 + r.index(),
+    }
+}
+
+#[inline]
+pub(crate) fn slot_reg(slot: usize) -> ArchReg {
+    if slot < 32 {
+        ArchReg::Int(Reg::from_index(slot).expect("slot < 32"))
+    } else {
+        ArchReg::Fp(FReg::from_index(slot - 32).expect("slot < 64"))
+    }
+}
+
+/// Live-in observation state for one open loop iteration.
+///
+/// Registers use a bitmask + value array (the architectural file is only
+/// 64 registers); memory uses hash maps keyed by word address. A register
+/// or memory word is live-in when it is read before any write to it
+/// *within this iteration*.
+#[derive(Debug, Clone)]
+pub(crate) struct IterFrame {
+    pub loop_id: LoopId,
+    /// FNV-1a running hash over (pc, taken) of conditional branches.
+    pub path_hash: u64,
+    /// Registers written so far (bit = reg slot).
+    written_regs: u64,
+    /// Registers recorded as live-in (bit = reg slot).
+    livein_regs: u64,
+    /// First-read value per register slot (valid where `livein_regs` set).
+    livein_values: [u64; 64],
+    /// Memory words stored to so far.
+    written_mem: HashMap<u64, ()>,
+    /// Live-in loads in first-access order: (address, first value).
+    pub livein_mem: Vec<(u64, u64)>,
+    /// Live-in loads dropped because `MAX_MEM_SLOTS` was reached.
+    pub mem_overflow: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+#[inline]
+fn fnv_mix(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for byte in word.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl IterFrame {
+    pub fn new(loop_id: LoopId) -> Self {
+        IterFrame {
+            loop_id,
+            path_hash: FNV_OFFSET,
+            written_regs: 0,
+            livein_regs: 0,
+            livein_values: [0; 64],
+            written_mem: HashMap::new(),
+            livein_mem: Vec::new(),
+            mem_overflow: 0,
+        }
+    }
+
+    /// Records a control-flow divergence point into the path signature:
+    /// a conditional branch's outcome, or an indirect transfer's dynamic
+    /// target.
+    #[inline]
+    pub fn note_divergence(&mut self, pc: u32, outcome: u32) {
+        self.path_hash = fnv_mix(self.path_hash, ((pc as u64) << 32) | outcome as u64);
+    }
+
+
+    /// Records a register read (with the observed value).
+    #[inline]
+    pub fn note_reg_read(&mut self, reg: ArchReg, value: u64) {
+        // The hardwired zero register is trivially constant; it is not a
+        // meaningful live-in.
+        if matches!(reg, ArchReg::Int(r) if r.is_zero()) {
+            return;
+        }
+        let slot = reg_slot(reg);
+        let bit = 1u64 << slot;
+        if self.written_regs & bit == 0 && self.livein_regs & bit == 0 {
+            self.livein_regs |= bit;
+            self.livein_values[slot] = value;
+        }
+    }
+
+    /// Records a register write.
+    #[inline]
+    pub fn note_reg_write(&mut self, reg: ArchReg) {
+        self.written_regs |= 1u64 << reg_slot(reg);
+    }
+
+    /// Records a memory load (address, loaded value).
+    #[inline]
+    pub fn note_load(&mut self, addr: u64, value: u64) {
+        if self.written_mem.contains_key(&addr) {
+            return;
+        }
+        if self.livein_mem.iter().any(|&(a, _)| a == addr) {
+            return;
+        }
+        if self.livein_mem.len() >= MAX_MEM_SLOTS {
+            self.mem_overflow += 1;
+            return;
+        }
+        self.livein_mem.push((addr, value));
+    }
+
+    /// Records a memory store.
+    #[inline]
+    pub fn note_store(&mut self, addr: u64) {
+        self.written_mem.insert(addr, ());
+    }
+
+    /// Iterates over the live-in registers with their first-read values.
+    pub fn livein_regs_iter(&self) -> impl Iterator<Item = (ArchReg, u64)> + '_ {
+        (0..64usize).filter_map(move |slot| {
+            if self.livein_regs & (1u64 << slot) != 0 {
+                Some((slot_reg(slot), self.livein_values[slot]))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopspec_isa::Addr;
+
+    fn frame() -> IterFrame {
+        IterFrame::new(LoopId(Addr::new(1)))
+    }
+
+    #[test]
+    fn read_before_write_is_live_in() {
+        let mut f = frame();
+        f.note_reg_read(ArchReg::Int(Reg::R5), 99);
+        f.note_reg_write(ArchReg::Int(Reg::R5));
+        let l: Vec<_> = f.livein_regs_iter().collect();
+        assert_eq!(l, vec![(ArchReg::Int(Reg::R5), 99)]);
+    }
+
+    #[test]
+    fn write_before_read_is_not_live_in() {
+        let mut f = frame();
+        f.note_reg_write(ArchReg::Int(Reg::R5));
+        f.note_reg_read(ArchReg::Int(Reg::R5), 99);
+        assert_eq!(f.livein_regs_iter().count(), 0);
+    }
+
+    #[test]
+    fn first_read_value_sticks() {
+        let mut f = frame();
+        f.note_reg_read(ArchReg::Int(Reg::R5), 1);
+        f.note_reg_read(ArchReg::Int(Reg::R5), 2);
+        assert_eq!(f.livein_regs_iter().next().unwrap().1, 1);
+    }
+
+    #[test]
+    fn zero_register_is_ignored() {
+        let mut f = frame();
+        f.note_reg_read(ArchReg::Int(Reg::R0), 0);
+        assert_eq!(f.livein_regs_iter().count(), 0);
+    }
+
+    #[test]
+    fn fp_registers_live_in_separate_slots() {
+        let mut f = frame();
+        f.note_reg_read(ArchReg::Int(Reg::R3), 7);
+        f.note_reg_read(ArchReg::Fp(FReg::F3), 8);
+        let l: Vec<_> = f.livein_regs_iter().collect();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0].0, ArchReg::Int(Reg::R3));
+        assert_eq!(l[1].0, ArchReg::Fp(FReg::F3));
+    }
+
+    #[test]
+    fn memory_live_in_order_and_dedup() {
+        let mut f = frame();
+        f.note_store(100);
+        f.note_load(100, 5); // stored first: not live-in
+        f.note_load(200, 6);
+        f.note_load(200, 7); // duplicate
+        f.note_load(300, 8);
+        assert_eq!(f.livein_mem, vec![(200, 6), (300, 8)]);
+    }
+
+    #[test]
+    fn memory_slots_cap() {
+        let mut f = frame();
+        for a in 0..(MAX_MEM_SLOTS as u64 + 10) {
+            f.note_load(a + 1000, a);
+        }
+        assert_eq!(f.livein_mem.len(), MAX_MEM_SLOTS);
+        assert_eq!(f.mem_overflow, 10);
+    }
+
+    #[test]
+    fn path_hash_depends_on_outcomes() {
+        let mut a = frame();
+        let mut b = frame();
+        a.note_divergence(10, 1);
+        b.note_divergence(10, 0);
+        assert_ne!(a.path_hash, b.path_hash);
+        let mut c = frame();
+        c.note_divergence(10, 1);
+        assert_eq!(a.path_hash, c.path_hash);
+    }
+
+    #[test]
+    fn slot_mapping_round_trips() {
+        for slot in 0..64 {
+            assert_eq!(reg_slot(slot_reg(slot)), slot);
+        }
+    }
+}

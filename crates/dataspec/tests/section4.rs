@@ -1,0 +1,152 @@
+//! End-to-end §4 scenarios: the profiler on programs engineered to have
+//! known path distributions and live-in predictability.
+
+use loopspec_asm::ProgramBuilder;
+use loopspec_cpu::{Cpu, RunLimits};
+use loopspec_dataspec::{DataSpecProfiler, DataSpecReport};
+use loopspec_isa::{AluOp, Cond, Reg};
+
+fn profile(build: impl FnOnce(&mut ProgramBuilder)) -> DataSpecReport {
+    let mut b = ProgramBuilder::new();
+    build(&mut b);
+    let p = b.finish().expect("assembles");
+    let mut prof = DataSpecProfiler::new();
+    let s = Cpu::new()
+        .run(&p, &mut prof, RunLimits::default())
+        .expect("runs");
+    assert!(s.halted());
+    prof.report()
+}
+
+#[test]
+fn three_way_path_split_caps_same_path_coverage() {
+    // i % 3 selects one of three arms: the most frequent path covers
+    // about a third of iterations.
+    let r = profile(|b| {
+        let sel = b.alloc_reg();
+        b.counted_loop(90, |b, i| {
+            b.op_imm(AluOp::Rem, sel, i, 3);
+            b.switch_table(sel, 3, |b, k| b.work(2 + k as u32));
+        });
+    });
+    assert!(
+        r.same_path_percent > 20.0 && r.same_path_percent < 50.0,
+        "{r:?}"
+    );
+}
+
+#[test]
+fn rare_branch_keeps_dominant_path_high() {
+    // One iteration in 16 takes a slow path: same-path stays ~94%.
+    let r = profile(|b| {
+        let rem = b.alloc_reg();
+        b.counted_loop(64, |b, i| {
+            b.op_imm(AluOp::Rem, rem, i, 16);
+            b.if_then(Cond::Eq, rem, Reg::R0, |b| b.work(10));
+            b.work(3);
+        });
+    });
+    assert!(
+        r.same_path_percent > 85.0 && r.same_path_percent < 99.0,
+        "{r:?}"
+    );
+}
+
+#[test]
+fn memory_walk_with_alternating_stride_defeats_value_prediction() {
+    // Addresses stride regularly but stored values alternate between two
+    // sequences: value stride flips sign every iteration and the
+    // last+stride predictor misses most of the time.
+    let r = profile(|b| {
+        let base = b.alloc_static(128);
+        let v = b.alloc_reg();
+        // init: a[i] = (i % 2) * 1000 + i
+        b.counted_loop(100, |b, i| {
+            b.op_imm(AluOp::Rem, v, i, 2);
+            b.op_imm(AluOp::Mul, v, v, 1000);
+            b.op(AluOp::Add, v, v, i);
+            b.store_idx(v, base, i);
+        });
+        // walk
+        b.counted_loop(100, |b, i| {
+            b.load_idx(v, base, i);
+        });
+    });
+    // Address prediction is perfect but value prediction fails, so the
+    // combined live-in-memory accuracy lands low.
+    assert!(r.lm_pred_percent < 50.0, "{r:?}");
+}
+
+#[test]
+fn nested_loops_get_independent_livein_accounting() {
+    // The outer loop's live-ins include the inner loop's bound; both
+    // levels profile with their own (loop, location) predictor keys.
+    let r = profile(|b| {
+        let bound = b.alloc_reg();
+        b.li(bound, 8);
+        b.counted_loop(20, |b, _| {
+            b.counted_loop(bound, |b, _| b.work(2));
+        });
+    });
+    assert_eq!(r.loops, 2);
+    assert!(r.lr_pred_percent > 70.0, "{r:?}");
+}
+
+#[test]
+fn subroutine_state_counts_toward_caller_iterations() {
+    // A callee reads a global accumulator cell: the caller loop's
+    // iterations see that cell as live-in memory (subroutine bodies
+    // belong to the enclosing execution).
+    let r = profile(|b| {
+        let cell = b.alloc_static(1);
+        b.define_func("tick", move |b| {
+            let v = b.alloc_reg();
+            b.load_static(v, cell);
+            b.addi(v, v, 5);
+            b.store_static(v, cell);
+            b.free_reg(v);
+        });
+        b.counted_loop(40, |b, _| {
+            b.call_func("tick");
+        });
+    });
+    assert!(r.lm_seen > 0, "callee load must register: {r:?}");
+    assert!(
+        r.lm_pred_percent > 80.0,
+        "constant address, stride-5 value: {r:?}"
+    );
+}
+
+#[test]
+fn report_denominators_are_exposed() {
+    let with_mem = profile(|b| {
+        let g = b.alloc_static(1);
+        let x = b.alloc_reg();
+        b.counted_loop(30, |b, _| {
+            b.load_static(x, g);
+            b.addi(x, x, 1);
+            b.store_static(x, g);
+        });
+    });
+    assert!(with_mem.lm_seen > 0);
+    assert!(with_mem.lr_seen > 0);
+
+    let without_mem = profile(|b| b.counted_loop(30, |_b, _| {}));
+    assert_eq!(without_mem.lm_seen, 0);
+    assert_eq!(without_mem.lm_pred_percent, 0.0, "vacuous");
+}
+
+#[test]
+fn first_iterations_are_not_profiled() {
+    // 10 executions of a 2-iteration loop: only iteration 2 of each is
+    // detectable, so exactly 10 records exist.
+    let r = profile(|b| {
+        b.define_func("twice", |b| {
+            b.counted_loop(2, |b, _| b.work(2));
+        });
+        for _ in 0..10 {
+            b.call_func("twice");
+        }
+    });
+    assert_eq!(r.iterations, 10, "{r:?}");
+}

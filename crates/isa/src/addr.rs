@@ -1,0 +1,169 @@
+//! Code addresses.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A code address: the index of an instruction in program memory.
+///
+/// SLA code is word-addressed — every instruction occupies one slot and
+/// `Addr(n)` names the `n`-th instruction. The loop detector's central
+/// notions (*"backward branch"*, *"loop body `[T, B]`"*) are comparisons on
+/// this type, so it implements a total order.
+///
+/// ```
+/// use loopspec_isa::Addr;
+/// let t = Addr::new(10);
+/// let b = Addr::new(20);
+/// assert!(t < b);
+/// assert_eq!(b - t, 10);
+/// assert_eq!((t + 3).index(), 13);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Addr(u32);
+
+impl Addr {
+    /// The address of the first instruction slot.
+    pub const ZERO: Addr = Addr(0);
+
+    /// Creates an address from an instruction index.
+    ///
+    /// ```
+    /// use loopspec_isa::Addr;
+    /// assert_eq!(Addr::new(7).index(), 7);
+    /// ```
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Addr(index)
+    }
+
+    /// Returns the instruction index of this address.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the address of the next instruction slot.
+    ///
+    /// This is the fall-through successor of a non-control instruction and
+    /// the return address of a call at `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address space (2³² slots) would overflow; programs of
+    /// that size cannot be assembled in the first place.
+    #[inline]
+    pub fn next(self) -> Self {
+        Addr(self.0.checked_add(1).expect("code address overflow"))
+    }
+
+    /// Returns `true` when a transfer from `self` to `target` moves
+    /// backwards (or to the same instruction), the defining property of a
+    /// loop-closing branch in the paper's model.
+    ///
+    /// ```
+    /// use loopspec_isa::Addr;
+    /// assert!(Addr::new(9).is_backward_to(Addr::new(4)));
+    /// assert!(Addr::new(9).is_backward_to(Addr::new(9))); // self-loop
+    /// assert!(!Addr::new(4).is_backward_to(Addr::new(9)));
+    /// ```
+    #[inline]
+    pub fn is_backward_to(self, target: Addr) -> bool {
+        target <= self
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:#06x}", self.0)
+    }
+}
+
+impl From<u32> for Addr {
+    fn from(index: u32) -> Self {
+        Addr(index)
+    }
+}
+
+impl From<Addr> for u32 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl From<Addr> for usize {
+    fn from(a: Addr) -> Self {
+        a.0 as usize
+    }
+}
+
+impl Add<u32> for Addr {
+    type Output = Addr;
+
+    fn add(self, rhs: u32) -> Addr {
+        Addr(self.0.checked_add(rhs).expect("code address overflow"))
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u32;
+
+    /// Distance in instruction slots between two addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`.
+    fn sub(self, rhs: Addr) -> u32 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("address subtraction underflow")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_index_order() {
+        assert!(Addr::new(1) < Addr::new(2));
+        assert!(Addr::new(2) <= Addr::new(2));
+        assert_eq!(Addr::new(5), Addr::new(5));
+    }
+
+    #[test]
+    fn next_advances_one_slot() {
+        assert_eq!(Addr::new(41).next(), Addr::new(42));
+    }
+
+    #[test]
+    fn backward_classification() {
+        assert!(Addr::new(10).is_backward_to(Addr::new(0)));
+        assert!(Addr::new(10).is_backward_to(Addr::new(10)));
+        assert!(!Addr::new(10).is_backward_to(Addr::new(11)));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let a = Addr::from(123u32);
+        assert_eq!(u32::from(a), 123);
+        assert_eq!(usize::from(a), 123);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Addr::new(10) + 5, Addr::new(15));
+        assert_eq!(Addr::new(10) - Addr::new(4), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = Addr::new(1) - Addr::new(2);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Addr::new(255).to_string(), "@0x00ff");
+    }
+}

@@ -1,0 +1,509 @@
+//! Binary encoding of SLA instructions.
+//!
+//! Every instruction encodes into one little-endian 64-bit word:
+//!
+//! ```text
+//!  63       56 55    51 50    46 45    41 40     33 32            0
+//! +-----------+--------+--------+--------+---------+---------------+
+//! |   opcode  |   rd   |   ra   |   rb   |  subop  |   imm/target  |
+//! +-----------+--------+--------+--------+---------+---------------+
+//! ```
+//!
+//! `LoadImm` reuses bits `[0, 48)` for a sign-extended 48-bit immediate.
+//! The encoding exists so the CPU can model a realistic fetch/decode
+//! pipeline and so programs can be stored and hashed as flat `u64` slices.
+
+use std::fmt;
+
+use crate::{Addr, AluOp, Cond, FAluOp, FReg, FUnOp, Instruction, Reg};
+
+/// Error returned by [`Instruction::decode`] for malformed words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u64,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#018x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod opcode {
+    pub const NOP: u8 = 0;
+    pub const HALT: u8 = 1;
+    pub const ALU: u8 = 2;
+    pub const ALU_IMM: u8 = 3;
+    pub const LOAD_IMM: u8 = 4;
+    pub const LOAD: u8 = 5;
+    pub const STORE: u8 = 6;
+    pub const FALU: u8 = 7;
+    pub const FUN: u8 = 8;
+    pub const FLOAD_IMM: u8 = 9;
+    pub const FLOAD: u8 = 10;
+    pub const FSTORE: u8 = 11;
+    pub const FCMP: u8 = 12;
+    pub const ITOF: u8 = 13;
+    pub const FTOI: u8 = 14;
+    pub const BRANCH: u8 = 15;
+    pub const JUMP: u8 = 16;
+    pub const JUMP_IND: u8 = 17;
+    pub const CALL: u8 = 18;
+    pub const CALL_IND: u8 = 19;
+    pub const RET: u8 = 20;
+}
+
+const RD_SHIFT: u32 = 51;
+const RA_SHIFT: u32 = 46;
+const RB_SHIFT: u32 = 41;
+const SUBOP_SHIFT: u32 = 33;
+const REG_MASK: u64 = 0x1f;
+const SUBOP_MASK: u64 = 0xff;
+const IMM32_MASK: u64 = 0xffff_ffff;
+const IMM48_MASK: u64 = 0xffff_ffff_ffff;
+
+/// Maximum magnitude of a [`Instruction::LoadImm`] immediate: the value
+/// must satisfy `LOAD_IMM_MIN <= imm <= LOAD_IMM_MAX` (48 signed bits).
+pub const LOAD_IMM_MAX: i64 = (1 << 47) - 1;
+/// Minimum [`Instruction::LoadImm`] immediate. See [`LOAD_IMM_MAX`].
+pub const LOAD_IMM_MIN: i64 = -(1 << 47);
+
+fn pack(opcode: u8, rd: u64, ra: u64, rb: u64, subop: u64, imm: u64) -> u64 {
+    ((opcode as u64) << 56)
+        | ((rd & REG_MASK) << RD_SHIFT)
+        | ((ra & REG_MASK) << RA_SHIFT)
+        | ((rb & REG_MASK) << RB_SHIFT)
+        | ((subop & SUBOP_MASK) << SUBOP_SHIFT)
+        | (imm & IMM32_MASK)
+}
+
+fn field_rd(word: u64) -> usize {
+    ((word >> RD_SHIFT) & REG_MASK) as usize
+}
+fn field_ra(word: u64) -> usize {
+    ((word >> RA_SHIFT) & REG_MASK) as usize
+}
+fn field_rb(word: u64) -> usize {
+    ((word >> RB_SHIFT) & REG_MASK) as usize
+}
+fn field_subop(word: u64) -> usize {
+    ((word >> SUBOP_SHIFT) & SUBOP_MASK) as usize
+}
+fn field_imm32(word: u64) -> i32 {
+    (word & IMM32_MASK) as u32 as i32
+}
+fn field_addr(word: u64) -> Addr {
+    Addr::new((word & IMM32_MASK) as u32)
+}
+
+fn reg(idx: usize, word: u64) -> Result<Reg, DecodeError> {
+    Reg::from_index(idx).ok_or(DecodeError {
+        word,
+        reason: "integer register index out of range",
+    })
+}
+
+fn freg(idx: usize, word: u64) -> Result<FReg, DecodeError> {
+    FReg::from_index(idx).ok_or(DecodeError {
+        word,
+        reason: "fp register index out of range",
+    })
+}
+
+impl Instruction {
+    /// Encodes the instruction into its 64-bit machine word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Instruction::LoadImm`] immediate does not fit in 48
+    /// signed bits ([`LOAD_IMM_MIN`]`..=`[`LOAD_IMM_MAX`]); the assembler
+    /// validates this before emitting code.
+    pub fn encode(&self) -> u64 {
+        use opcode::*;
+        match *self {
+            Instruction::Nop => pack(NOP, 0, 0, 0, 0, 0),
+            Instruction::Halt => pack(HALT, 0, 0, 0, 0, 0),
+            Instruction::Alu { op, rd, ra, rb } => pack(
+                ALU,
+                rd.index() as u64,
+                ra.index() as u64,
+                rb.index() as u64,
+                op as u64,
+                0,
+            ),
+            Instruction::AluImm { op, rd, ra, imm } => pack(
+                ALU_IMM,
+                rd.index() as u64,
+                ra.index() as u64,
+                0,
+                op as u64,
+                imm as u32 as u64,
+            ),
+            Instruction::LoadImm { rd, imm } => {
+                assert!(
+                    (LOAD_IMM_MIN..=LOAD_IMM_MAX).contains(&imm),
+                    "LoadImm immediate {imm} exceeds 48 signed bits"
+                );
+                ((LOAD_IMM as u64) << 56)
+                    | ((rd.index() as u64) << RD_SHIFT)
+                    | ((imm as u64) & IMM48_MASK)
+            }
+            Instruction::Load { rd, base, offset } => pack(
+                LOAD,
+                rd.index() as u64,
+                base.index() as u64,
+                0,
+                0,
+                offset as u32 as u64,
+            ),
+            Instruction::Store { src, base, offset } => pack(
+                STORE,
+                0,
+                base.index() as u64,
+                src.index() as u64,
+                0,
+                offset as u32 as u64,
+            ),
+            Instruction::FAlu { op, fd, fa, fb } => pack(
+                FALU,
+                fd.index() as u64,
+                fa.index() as u64,
+                fb.index() as u64,
+                op as u64,
+                0,
+            ),
+            Instruction::FUn { op, fd, fa } => {
+                pack(FUN, fd.index() as u64, fa.index() as u64, 0, op as u64, 0)
+            }
+            Instruction::FLoadImm { fd, value } => pack(
+                FLOAD_IMM,
+                fd.index() as u64,
+                0,
+                0,
+                0,
+                value.to_bits() as u64,
+            ),
+            Instruction::FLoad { fd, base, offset } => pack(
+                FLOAD,
+                fd.index() as u64,
+                base.index() as u64,
+                0,
+                0,
+                offset as u32 as u64,
+            ),
+            Instruction::FStore { fsrc, base, offset } => pack(
+                FSTORE,
+                0,
+                base.index() as u64,
+                fsrc.index() as u64,
+                0,
+                offset as u32 as u64,
+            ),
+            Instruction::FCmp { cond, rd, fa, fb } => pack(
+                FCMP,
+                rd.index() as u64,
+                fa.index() as u64,
+                fb.index() as u64,
+                cond as u64,
+                0,
+            ),
+            Instruction::ItoF { fd, ra } => {
+                pack(ITOF, fd.index() as u64, ra.index() as u64, 0, 0, 0)
+            }
+            Instruction::FtoI { rd, fa } => {
+                pack(FTOI, rd.index() as u64, fa.index() as u64, 0, 0, 0)
+            }
+            Instruction::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => pack(
+                BRANCH,
+                0,
+                ra.index() as u64,
+                rb.index() as u64,
+                cond as u64,
+                target.index() as u64,
+            ),
+            Instruction::Jump { target } => pack(JUMP, 0, 0, 0, 0, target.index() as u64),
+            Instruction::JumpInd { base } => pack(JUMP_IND, 0, base.index() as u64, 0, 0, 0),
+            Instruction::Call { target, link } => {
+                pack(CALL, link.index() as u64, 0, 0, 0, target.index() as u64)
+            }
+            Instruction::CallInd { base, link } => {
+                pack(CALL_IND, link.index() as u64, base.index() as u64, 0, 0, 0)
+            }
+            Instruction::Ret { link } => pack(RET, 0, link.index() as u64, 0, 0, 0),
+        }
+    }
+
+    /// Decodes a 64-bit machine word back into an instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the opcode or a sub-operation field
+    /// holds a value outside the defined encoding space.
+    pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
+        use opcode::*;
+        let op = (word >> 56) as u8;
+        let bad = |reason| DecodeError { word, reason };
+        Ok(match op {
+            NOP => Instruction::Nop,
+            HALT => Instruction::Halt,
+            ALU => Instruction::Alu {
+                op: *AluOp::ALL
+                    .get(field_subop(word))
+                    .ok_or(bad("unknown ALU subop"))?,
+                rd: reg(field_rd(word), word)?,
+                ra: reg(field_ra(word), word)?,
+                rb: reg(field_rb(word), word)?,
+            },
+            ALU_IMM => Instruction::AluImm {
+                op: *AluOp::ALL
+                    .get(field_subop(word))
+                    .ok_or(bad("unknown ALU subop"))?,
+                rd: reg(field_rd(word), word)?,
+                ra: reg(field_ra(word), word)?,
+                imm: field_imm32(word),
+            },
+            LOAD_IMM => {
+                // Sign-extend the 48-bit immediate.
+                let raw = word & IMM48_MASK;
+                let imm = ((raw << 16) as i64) >> 16;
+                Instruction::LoadImm {
+                    rd: reg(field_rd(word), word)?,
+                    imm,
+                }
+            }
+            LOAD => Instruction::Load {
+                rd: reg(field_rd(word), word)?,
+                base: reg(field_ra(word), word)?,
+                offset: field_imm32(word),
+            },
+            STORE => Instruction::Store {
+                src: reg(field_rb(word), word)?,
+                base: reg(field_ra(word), word)?,
+                offset: field_imm32(word),
+            },
+            FALU => Instruction::FAlu {
+                op: *FAluOp::ALL
+                    .get(field_subop(word))
+                    .ok_or(bad("unknown FALU subop"))?,
+                fd: freg(field_rd(word), word)?,
+                fa: freg(field_ra(word), word)?,
+                fb: freg(field_rb(word), word)?,
+            },
+            FUN => Instruction::FUn {
+                op: *FUnOp::ALL
+                    .get(field_subop(word))
+                    .ok_or(bad("unknown FUN subop"))?,
+                fd: freg(field_rd(word), word)?,
+                fa: freg(field_ra(word), word)?,
+            },
+            FLOAD_IMM => Instruction::FLoadImm {
+                fd: freg(field_rd(word), word)?,
+                value: f32::from_bits((word & IMM32_MASK) as u32),
+            },
+            FLOAD => Instruction::FLoad {
+                fd: freg(field_rd(word), word)?,
+                base: reg(field_ra(word), word)?,
+                offset: field_imm32(word),
+            },
+            FSTORE => Instruction::FStore {
+                fsrc: freg(field_rb(word), word)?,
+                base: reg(field_ra(word), word)?,
+                offset: field_imm32(word),
+            },
+            FCMP => Instruction::FCmp {
+                cond: *Cond::ALL
+                    .get(field_subop(word))
+                    .ok_or(bad("unknown condition"))?,
+                rd: reg(field_rd(word), word)?,
+                fa: freg(field_ra(word), word)?,
+                fb: freg(field_rb(word), word)?,
+            },
+            ITOF => Instruction::ItoF {
+                fd: freg(field_rd(word), word)?,
+                ra: reg(field_ra(word), word)?,
+            },
+            FTOI => Instruction::FtoI {
+                rd: reg(field_rd(word), word)?,
+                fa: freg(field_ra(word), word)?,
+            },
+            BRANCH => Instruction::Branch {
+                cond: *Cond::ALL
+                    .get(field_subop(word))
+                    .ok_or(bad("unknown condition"))?,
+                ra: reg(field_ra(word), word)?,
+                rb: reg(field_rb(word), word)?,
+                target: field_addr(word),
+            },
+            JUMP => Instruction::Jump {
+                target: field_addr(word),
+            },
+            JUMP_IND => Instruction::JumpInd {
+                base: reg(field_ra(word), word)?,
+            },
+            CALL => Instruction::Call {
+                target: field_addr(word),
+                link: reg(field_rd(word), word)?,
+            },
+            CALL_IND => Instruction::CallInd {
+                base: reg(field_ra(word), word)?,
+                link: reg(field_rd(word), word)?,
+            },
+            RET => Instruction::Ret {
+                link: reg(field_ra(word), word)?,
+            },
+            _ => return Err(bad("unknown opcode")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: Instruction) {
+        let word = i.encode();
+        let back = Instruction::decode(word).unwrap_or_else(|e| panic!("{e} (from {i})"));
+        assert_eq!(back, i, "round trip of {i}");
+    }
+
+    #[test]
+    fn all_shapes_round_trip() {
+        round_trip(Instruction::Nop);
+        round_trip(Instruction::Halt);
+        round_trip(Instruction::Alu {
+            op: AluOp::Xor,
+            rd: Reg::R31,
+            ra: Reg::R15,
+            rb: Reg::R1,
+        });
+        round_trip(Instruction::AluImm {
+            op: AluOp::SltU,
+            rd: Reg::R2,
+            ra: Reg::R3,
+            imm: -12345,
+        });
+        round_trip(Instruction::LoadImm {
+            rd: Reg::R9,
+            imm: -(1 << 40),
+        });
+        round_trip(Instruction::LoadImm {
+            rd: Reg::R9,
+            imm: LOAD_IMM_MAX,
+        });
+        round_trip(Instruction::LoadImm {
+            rd: Reg::R9,
+            imm: LOAD_IMM_MIN,
+        });
+        round_trip(Instruction::Load {
+            rd: Reg::R4,
+            base: Reg::SP,
+            offset: -8,
+        });
+        round_trip(Instruction::Store {
+            src: Reg::R5,
+            base: Reg::R6,
+            offset: 1024,
+        });
+        round_trip(Instruction::FAlu {
+            op: FAluOp::Max,
+            fd: FReg::F31,
+            fa: FReg::F0,
+            fb: FReg::F16,
+        });
+        round_trip(Instruction::FUn {
+            op: FUnOp::Sqrt,
+            fd: FReg::F2,
+            fa: FReg::F3,
+        });
+        round_trip(Instruction::FLoadImm {
+            fd: FReg::F7,
+            value: -3.25,
+        });
+        round_trip(Instruction::FLoad {
+            fd: FReg::F8,
+            base: Reg::R10,
+            offset: 7,
+        });
+        round_trip(Instruction::FStore {
+            fsrc: FReg::F9,
+            base: Reg::R11,
+            offset: -7,
+        });
+        round_trip(Instruction::FCmp {
+            cond: Cond::GeU,
+            rd: Reg::R12,
+            fa: FReg::F10,
+            fb: FReg::F11,
+        });
+        round_trip(Instruction::ItoF {
+            fd: FReg::F12,
+            ra: Reg::R13,
+        });
+        round_trip(Instruction::FtoI {
+            rd: Reg::R14,
+            fa: FReg::F13,
+        });
+        round_trip(Instruction::Branch {
+            cond: Cond::LeS,
+            ra: Reg::R16,
+            rb: Reg::R17,
+            target: Addr::new(0xdead),
+        });
+        round_trip(Instruction::Jump {
+            target: Addr::new(u32::MAX),
+        });
+        round_trip(Instruction::JumpInd { base: Reg::R18 });
+        round_trip(Instruction::Call {
+            target: Addr::new(42),
+            link: Reg::RA,
+        });
+        round_trip(Instruction::CallInd {
+            base: Reg::R19,
+            link: Reg::R20,
+        });
+        round_trip(Instruction::Ret { link: Reg::RA });
+    }
+
+    #[test]
+    fn unknown_opcode_errors() {
+        let err = Instruction::decode(0xff00_0000_0000_0000).unwrap_err();
+        assert_eq!(err.reason, "unknown opcode");
+        assert!(err.to_string().contains("unknown opcode"));
+    }
+
+    #[test]
+    fn unknown_subop_errors() {
+        // ALU with subop 200.
+        let word = (2u64 << 56) | (200u64 << 33);
+        assert!(Instruction::decode(word).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 48 signed bits")]
+    fn oversized_load_imm_panics() {
+        Instruction::LoadImm {
+            rd: Reg::R1,
+            imm: LOAD_IMM_MAX + 1,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn negative_imm48_sign_extends() {
+        let i = Instruction::LoadImm {
+            rd: Reg::R1,
+            imm: -1,
+        };
+        assert_eq!(Instruction::decode(i.encode()).unwrap(), i);
+    }
+}

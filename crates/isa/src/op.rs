@@ -1,0 +1,410 @@
+//! Operation codes and their value-level semantics.
+//!
+//! The evaluation functions live here (rather than in the CPU crate) so
+//! that the operation enums and their meaning cannot drift apart, and so
+//! that other tools (e.g. a future static analyser) can reuse them.
+
+use std::fmt;
+
+/// Integer ALU operation, used by both register-register and
+/// register-immediate instruction forms.
+///
+/// All operations are defined on 64-bit values with wrapping two's
+/// complement arithmetic; there are no arithmetic traps. Division and
+/// remainder by zero produce `0`, mirroring the "no trap" convention used
+/// by trace-driven simulators.
+///
+/// ```
+/// use loopspec_isa::AluOp;
+/// assert_eq!(AluOp::Add.eval(2, 3), 5);
+/// assert_eq!(AluOp::Div.eval(10, 0), 0); // no trap
+/// assert_eq!(AluOp::SltS.eval(-1i64 as u64, 0), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(u8)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add = 0,
+    /// Wrapping subtraction.
+    Sub = 1,
+    /// Wrapping multiplication.
+    Mul = 2,
+    /// Signed division (`0` when the divisor is `0`).
+    Div = 3,
+    /// Signed remainder (`0` when the divisor is `0`).
+    Rem = 4,
+    /// Bitwise AND.
+    And = 5,
+    /// Bitwise OR.
+    Or = 6,
+    /// Bitwise XOR.
+    Xor = 7,
+    /// Logical shift left (shift amount taken modulo 64).
+    Shl = 8,
+    /// Logical shift right (shift amount taken modulo 64).
+    Shr = 9,
+    /// Arithmetic shift right (shift amount taken modulo 64).
+    Sar = 10,
+    /// Set to `1` if `a < b` as signed values, else `0`.
+    SltS = 11,
+    /// Set to `1` if `a < b` as unsigned values, else `0`.
+    SltU = 12,
+}
+
+impl AluOp {
+    /// All ALU operations, in encoding order.
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sar,
+        AluOp::SltS,
+        AluOp::SltU,
+    ];
+
+    /// Applies the operation to two 64-bit operands.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    (a as i64).wrapping_div(b as i64) as u64
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    (a as i64).wrapping_rem(b as i64) as u64
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b as u32),
+            AluOp::Shr => a.wrapping_shr(b as u32),
+            AluOp::Sar => ((a as i64).wrapping_shr(b as u32)) as u64,
+            AluOp::SltS => ((a as i64) < (b as i64)) as u64,
+            AluOp::SltU => (a < b) as u64,
+        }
+    }
+
+    /// Short mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+            AluOp::SltS => "slts",
+            AluOp::SltU => "sltu",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Binary floating-point operation on `f64` values.
+///
+/// ```
+/// use loopspec_isa::FAluOp;
+/// assert_eq!(FAluOp::Mul.eval(3.0, 4.0), 12.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(u8)]
+pub enum FAluOp {
+    /// IEEE-754 addition.
+    Add = 0,
+    /// IEEE-754 subtraction.
+    Sub = 1,
+    /// IEEE-754 multiplication.
+    Mul = 2,
+    /// IEEE-754 division.
+    Div = 3,
+    /// Minimum of the operands (`a` if either is NaN).
+    Min = 4,
+    /// Maximum of the operands (`a` if either is NaN).
+    Max = 5,
+}
+
+impl FAluOp {
+    /// All binary FP operations, in encoding order.
+    pub const ALL: [FAluOp; 6] = [
+        FAluOp::Add,
+        FAluOp::Sub,
+        FAluOp::Mul,
+        FAluOp::Div,
+        FAluOp::Min,
+        FAluOp::Max,
+    ];
+
+    /// Applies the operation to two `f64` operands.
+    #[inline]
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            FAluOp::Add => a + b,
+            FAluOp::Sub => a - b,
+            FAluOp::Mul => a * b,
+            FAluOp::Div => a / b,
+            FAluOp::Min => {
+                if b < a {
+                    b
+                } else {
+                    a
+                }
+            }
+            FAluOp::Max => {
+                if b > a {
+                    b
+                } else {
+                    a
+                }
+            }
+        }
+    }
+
+    /// Short mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FAluOp::Add => "fadd",
+            FAluOp::Sub => "fsub",
+            FAluOp::Mul => "fmul",
+            FAluOp::Div => "fdiv",
+            FAluOp::Min => "fmin",
+            FAluOp::Max => "fmax",
+        }
+    }
+}
+
+impl fmt::Display for FAluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Unary floating-point operation on `f64` values.
+///
+/// ```
+/// use loopspec_isa::FUnOp;
+/// assert_eq!(FUnOp::Abs.eval(-2.5), 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(u8)]
+pub enum FUnOp {
+    /// Negation.
+    Neg = 0,
+    /// Absolute value.
+    Abs = 1,
+    /// Square root (NaN for negative inputs, per IEEE-754).
+    Sqrt = 2,
+}
+
+impl FUnOp {
+    /// All unary FP operations, in encoding order.
+    pub const ALL: [FUnOp; 3] = [FUnOp::Neg, FUnOp::Abs, FUnOp::Sqrt];
+
+    /// Applies the operation to an `f64` operand.
+    #[inline]
+    pub fn eval(self, a: f64) -> f64 {
+        match self {
+            FUnOp::Neg => -a,
+            FUnOp::Abs => a.abs(),
+            FUnOp::Sqrt => a.sqrt(),
+        }
+    }
+
+    /// Short mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FUnOp::Neg => "fneg",
+            FUnOp::Abs => "fabs",
+            FUnOp::Sqrt => "fsqrt",
+        }
+    }
+}
+
+impl fmt::Display for FUnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Branch/compare condition on two 64-bit integer operands.
+///
+/// ```
+/// use loopspec_isa::Cond;
+/// assert!(Cond::LtS.eval(-3i64 as u64, 1));
+/// assert!(!Cond::LtU.eval(-3i64 as u64, 1)); // unsigned: huge value
+/// assert_eq!(Cond::Eq.negate(), Cond::Ne);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal.
+    Eq = 0,
+    /// Not equal.
+    Ne = 1,
+    /// Signed less-than.
+    LtS = 2,
+    /// Signed less-or-equal.
+    LeS = 3,
+    /// Signed greater-than.
+    GtS = 4,
+    /// Signed greater-or-equal.
+    GeS = 5,
+    /// Unsigned less-than.
+    LtU = 6,
+    /// Unsigned greater-or-equal.
+    GeU = 7,
+}
+
+impl Cond {
+    /// All conditions, in encoding order.
+    pub const ALL: [Cond; 8] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::LtS,
+        Cond::LeS,
+        Cond::GtS,
+        Cond::GeS,
+        Cond::LtU,
+        Cond::GeU,
+    ];
+
+    /// Evaluates the condition on two 64-bit operands.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::LtS => (a as i64) < (b as i64),
+            Cond::LeS => (a as i64) <= (b as i64),
+            Cond::GtS => (a as i64) > (b as i64),
+            Cond::GeS => (a as i64) >= (b as i64),
+            Cond::LtU => a < b,
+            Cond::GeU => a >= b,
+        }
+    }
+
+    /// Returns the logically opposite condition.
+    ///
+    /// `cond.negate().eval(a, b) == !cond.eval(a, b)` for all operands.
+    #[inline]
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::LtS => Cond::GeS,
+            Cond::LeS => Cond::GtS,
+            Cond::GtS => Cond::LeS,
+            Cond::GeS => Cond::LtS,
+            Cond::LtU => Cond::GeU,
+            Cond::GeU => Cond::LtU,
+        }
+    }
+
+    /// Short mnemonic used by the disassembler (suffix of `b`/`fcmp`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::LtS => "lt",
+            Cond::LeS => "le",
+            Cond::GtS => "gt",
+            Cond::GeS => "ge",
+            Cond::LtU => "ltu",
+            Cond::GeU => "geu",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_basics() {
+        assert_eq!(AluOp::Add.eval(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.eval(0, 1), u64::MAX);
+        assert_eq!(AluOp::Mul.eval(3, 7), 21);
+        assert_eq!(AluOp::Div.eval((-9i64) as u64, 3), (-3i64) as u64);
+        assert_eq!(AluOp::Rem.eval(9, 4), 1);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.eval(1, 4), 16);
+        assert_eq!(AluOp::Shr.eval((-1i64) as u64, 63), 1);
+        assert_eq!(AluOp::Sar.eval((-8i64) as u64, 1), (-4i64) as u64);
+        assert_eq!(AluOp::SltU.eval(1, 2), 1);
+        assert_eq!(AluOp::SltS.eval(1, 2), 1);
+        assert_eq!(AluOp::SltS.eval(2, 1), 0);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(AluOp::Div.eval(42, 0), 0);
+        assert_eq!(AluOp::Rem.eval(42, 0), 0);
+    }
+
+    #[test]
+    fn div_min_by_minus_one_does_not_trap() {
+        // i64::MIN / -1 overflows in Rust; our semantics wrap.
+        assert_eq!(
+            AluOp::Div.eval(i64::MIN as u64, (-1i64) as u64),
+            i64::MIN as u64
+        );
+    }
+
+    #[test]
+    fn falu_basics() {
+        assert_eq!(FAluOp::Add.eval(1.5, 2.5), 4.0);
+        assert_eq!(FAluOp::Min.eval(3.0, -2.0), -2.0);
+        assert_eq!(FAluOp::Max.eval(3.0, -2.0), 3.0);
+        assert_eq!(FUnOp::Sqrt.eval(9.0), 3.0);
+        assert_eq!(FUnOp::Neg.eval(1.0), -1.0);
+    }
+
+    #[test]
+    fn cond_negation_is_involutive_and_complementary() {
+        let samples: [(u64, u64); 5] = [(0, 0), (1, 2), (2, 1), ((-5i64) as u64, 3), (u64::MAX, 0)];
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+            for &(a, b) in &samples {
+                assert_eq!(c.negate().eval(a, b), !c.eval(a, b), "cond {c}");
+            }
+        }
+    }
+}

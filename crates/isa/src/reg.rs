@@ -1,0 +1,166 @@
+//! Architectural registers.
+
+use std::fmt;
+
+macro_rules! define_regfile {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $prefix:literal, $count:literal,
+        [$($variant:ident = $idx:literal),+ $(,)?]
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        #[repr(u8)]
+        pub enum $name {
+            $(
+                #[doc = concat!("Register ", $prefix, stringify!($idx), ".")]
+                $variant = $idx,
+            )+
+        }
+
+        impl $name {
+            /// Number of registers in this file.
+            pub const COUNT: usize = $count;
+
+            /// All registers in index order.
+            pub const ALL: [$name; $count] = [$($name::$variant),+];
+
+            /// Creates a register from its index.
+            ///
+            /// Returns `None` when `index >= Self::COUNT`.
+            ///
+            /// ```
+            #[doc = concat!("use loopspec_isa::", stringify!($name), ";")]
+            #[doc = concat!("assert_eq!(", stringify!($name), "::from_index(0), Some(", stringify!($name), "::ALL[0]));")]
+            #[doc = concat!("assert_eq!(", stringify!($name), "::from_index(", stringify!($count), "), None);")]
+            /// ```
+            #[inline]
+            pub const fn from_index(index: usize) -> Option<Self> {
+                if index < $count {
+                    Some(Self::ALL[index])
+                } else {
+                    None
+                }
+            }
+
+            /// Returns the index of this register within its file.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.index())
+            }
+        }
+    };
+}
+
+define_regfile! {
+    /// An integer register.
+    ///
+    /// SLA has 32 integer registers holding 64-bit values. [`Reg::R0`] is
+    /// hardwired to zero: reads return `0` and writes are discarded, exactly
+    /// like MIPS `$zero` / Alpha `R31`. The upper registers carry the
+    /// software conventions used by the `loopspec-asm` program builder
+    /// ([`Reg::SP`] as stack pointer and [`Reg::RA`] as link register), but
+    /// nothing in the hardware model depends on those roles.
+    ///
+    /// ```
+    /// use loopspec_isa::Reg;
+    /// assert_eq!(Reg::SP, Reg::R29);
+    /// assert_eq!(Reg::from_index(30), Some(Reg::RA));
+    /// assert_eq!(Reg::R7.index(), 7);
+    /// ```
+    Reg, "r", 32,
+    [
+        R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+        R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14,
+        R15 = 15, R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21,
+        R22 = 22, R23 = 23, R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28,
+        R29 = 29, R30 = 30, R31 = 31,
+    ]
+}
+
+define_regfile! {
+    /// A floating-point register.
+    ///
+    /// SLA has 32 floating-point registers holding IEEE-754 `f64` values.
+    /// Unlike the integer file there is no hardwired zero.
+    ///
+    /// ```
+    /// use loopspec_isa::FReg;
+    /// assert_eq!(FReg::F3.to_string(), "f3");
+    /// ```
+    FReg, "f", 32,
+    [
+        F0 = 0, F1 = 1, F2 = 2, F3 = 3, F4 = 4, F5 = 5, F6 = 6, F7 = 7,
+        F8 = 8, F9 = 9, F10 = 10, F11 = 11, F12 = 12, F13 = 13, F14 = 14,
+        F15 = 15, F16 = 16, F17 = 17, F18 = 18, F19 = 19, F20 = 20, F21 = 21,
+        F22 = 22, F23 = 23, F24 = 24, F25 = 25, F26 = 26, F27 = 27, F28 = 28,
+        F29 = 29, F30 = 30, F31 = 31,
+    ]
+}
+
+impl Reg {
+    /// The hardwired-zero register (reads as 0, writes ignored).
+    pub const ZERO: Reg = Reg::R0;
+    /// Software convention: stack pointer.
+    pub const SP: Reg = Reg::R29;
+    /// Software convention: link (return-address) register.
+    pub const RA: Reg = Reg::R30;
+    /// Software convention: assembler/builder scratch register.
+    pub const AT: Reg = Reg::R31;
+
+    /// Returns `true` for the hardwired-zero register.
+    ///
+    /// ```
+    /// use loopspec_isa::Reg;
+    /// assert!(Reg::R0.is_zero());
+    /// assert!(!Reg::R1.is_zero());
+    /// ```
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        matches!(self, Reg::R0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_all_agree() {
+        assert_eq!(Reg::ALL.len(), Reg::COUNT);
+        assert_eq!(FReg::ALL.len(), FReg::COUNT);
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn from_index_round_trips() {
+        for i in 0..Reg::COUNT {
+            assert_eq!(Reg::from_index(i).unwrap().index(), i);
+        }
+        assert_eq!(Reg::from_index(32), None);
+        assert_eq!(FReg::from_index(99), None);
+    }
+
+    #[test]
+    fn conventions() {
+        assert_eq!(Reg::ZERO, Reg::R0);
+        assert_eq!(Reg::SP.index(), 29);
+        assert_eq!(Reg::RA.index(), 30);
+        assert!(Reg::ZERO.is_zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+        assert_eq!(FReg::F0.to_string(), "f0");
+    }
+}

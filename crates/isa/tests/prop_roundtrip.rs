@@ -1,0 +1,137 @@
+//! Property tests: every constructible instruction round-trips through the
+//! binary encoding, and operation semantics satisfy algebraic laws.
+
+use loopspec_isa::{Addr, AluOp, Cond, FAluOp, FReg, FUnOp, Instruction, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0..Reg::COUNT).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_freg() -> impl Strategy<Value = FReg> {
+    (0..FReg::COUNT).prop_map(|i| FReg::from_index(i).unwrap())
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    (0..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0..Cond::ALL.len()).prop_map(|i| Cond::ALL[i])
+}
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    any::<u32>().prop_map(Addr::new)
+}
+
+prop_compose! {
+    fn arb_imm48()(v in (-(1i64 << 47))..((1i64 << 47) - 1)) -> i64 { v }
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        Just(Instruction::Nop),
+        Just(Instruction::Halt),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, ra, rb)| Instruction::Alu { op, rd, ra, rb }),
+        (arb_alu_op(), arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(op, rd, ra, imm)| Instruction::AluImm { op, rd, ra, imm }),
+        (arb_reg(), arb_imm48()).prop_map(|(rd, imm)| Instruction::LoadImm { rd, imm }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, base, offset)| Instruction::Load {
+            rd,
+            base,
+            offset
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(src, base, offset)| Instruction::Store {
+            src,
+            base,
+            offset
+        }),
+        (0..FAluOp::ALL.len(), arb_freg(), arb_freg(), arb_freg()).prop_map(|(op, fd, fa, fb)| {
+            Instruction::FAlu {
+                op: FAluOp::ALL[op],
+                fd,
+                fa,
+                fb,
+            }
+        }),
+        (0..FUnOp::ALL.len(), arb_freg(), arb_freg()).prop_map(|(op, fd, fa)| Instruction::FUn {
+            op: FUnOp::ALL[op],
+            fd,
+            fa
+        }),
+        (arb_freg(), any::<u32>()).prop_map(|(fd, bits)| Instruction::FLoadImm {
+            fd,
+            value: f32::from_bits(bits)
+        }),
+        (arb_freg(), arb_reg(), any::<i32>()).prop_map(|(fd, base, offset)| Instruction::FLoad {
+            fd,
+            base,
+            offset
+        }),
+        (arb_freg(), arb_reg(), any::<i32>())
+            .prop_map(|(fsrc, base, offset)| Instruction::FStore { fsrc, base, offset }),
+        (arb_cond(), arb_reg(), arb_freg(), arb_freg())
+            .prop_map(|(cond, rd, fa, fb)| Instruction::FCmp { cond, rd, fa, fb }),
+        (arb_freg(), arb_reg()).prop_map(|(fd, ra)| Instruction::ItoF { fd, ra }),
+        (arb_reg(), arb_freg()).prop_map(|(rd, fa)| Instruction::FtoI { rd, fa }),
+        (arb_cond(), arb_reg(), arb_reg(), arb_addr()).prop_map(|(cond, ra, rb, target)| {
+            Instruction::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            }
+        }),
+        arb_addr().prop_map(|target| Instruction::Jump { target }),
+        arb_reg().prop_map(|base| Instruction::JumpInd { base }),
+        (arb_addr(), arb_reg()).prop_map(|(target, link)| Instruction::Call { target, link }),
+        (arb_reg(), arb_reg()).prop_map(|(base, link)| Instruction::CallInd { base, link }),
+        arb_reg().prop_map(|link| Instruction::Ret { link }),
+    ]
+}
+
+fn bits_eq(a: &Instruction, b: &Instruction) -> bool {
+    // `Instruction` contains an `f32`, so PartialEq is not reflexive for
+    // NaN payloads; compare through re-encoding instead.
+    a.encode() == b.encode()
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(instr in arb_instruction()) {
+        let word = instr.encode();
+        let decoded = Instruction::decode(word).expect("decode of encoded instruction");
+        prop_assert!(bits_eq(&decoded, &instr), "{instr} != {decoded}");
+        // And encoding is deterministic / stable under a second round trip.
+        prop_assert_eq!(decoded.encode(), word);
+    }
+
+    #[test]
+    fn cond_negate_complements(c in arb_cond(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(c.negate().eval(a, b), !c.eval(a, b));
+    }
+
+    #[test]
+    fn slt_matches_branch_cond(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(AluOp::SltS.eval(a, b) == 1, Cond::LtS.eval(a, b));
+        prop_assert_eq!(AluOp::SltU.eval(a, b) == 1, Cond::LtU.eval(a, b));
+    }
+
+    #[test]
+    fn add_sub_inverse(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(AluOp::Sub.eval(AluOp::Add.eval(a, b), b), a);
+    }
+
+    #[test]
+    fn display_never_empty(instr in arb_instruction()) {
+        prop_assert!(!instr.to_string().is_empty());
+    }
+
+    #[test]
+    fn reg_use_bounded(instr in arb_instruction()) {
+        let u = instr.reg_use();
+        prop_assert!(u.reads_iter().count() <= 3);
+        prop_assert!(u.freads_iter().count() <= 2);
+    }
+}

@@ -1,0 +1,339 @@
+//! Trace annotation: from loop events to per-execution iteration maps.
+
+use loopspec_core::{LoopEvent, LoopId};
+use std::collections::HashMap;
+
+/// Index of a loop execution within an [`AnnotatedTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExecId(pub u32);
+
+/// One detected (multi-iteration) loop execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecInfo {
+    /// The loop this execution belongs to.
+    pub loop_id: LoopId,
+    /// Stream positions of the detected iteration starts: index `j` holds
+    /// the start of iteration `j + 2` (iteration 1 is undetectable).
+    pub iter_starts: Vec<u64>,
+    /// Stream position of the first instruction after the execution.
+    pub end_pos: u64,
+    /// Total iterations including the undetected first one.
+    pub total_iters: u32,
+    /// `false` when the execution was evicted from the CLS or still open
+    /// at the end of the trace (its true extent is unknown).
+    pub closed: bool,
+}
+
+impl ExecInfo {
+    /// Stream position of iteration `iter` (≥ 2), if it exists.
+    pub fn iter_pos(&self, iter: u32) -> Option<u64> {
+        if iter < 2 {
+            return None;
+        }
+        self.iter_starts.get((iter - 2) as usize).copied()
+    }
+
+    /// Number of iterations remaining after iteration `iter` starts.
+    pub fn remaining_after(&self, iter: u32) -> u32 {
+        self.total_iters.saturating_sub(iter)
+    }
+}
+
+/// What happened at a [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A loop execution was detected (always immediately followed by
+    /// `IterStart { iter: 2 }` at the same position).
+    ExecStart,
+    /// Iteration `iter` (≥ 2) of the execution starts.
+    IterStart {
+        /// 1-based iteration index.
+        iter: u32,
+    },
+    /// The execution ended (or was evicted / left open at trace end).
+    ExecEnd,
+}
+
+/// A commit-ordered event in the annotated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Stream position at which the event takes effect.
+    pub pos: u64,
+    /// The execution concerned.
+    pub exec: ExecId,
+    /// The event kind.
+    pub kind: TraceEventKind,
+}
+
+/// A dynamic instruction stream annotated with loop-iteration structure —
+/// the input of the speculation [`Engine`](crate::Engine).
+///
+/// Built once per program run from the collected [`LoopEvent`] stream;
+/// holds no per-instruction data, only per-iteration events, so it is
+/// compact even for multi-million-instruction traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotatedTrace {
+    /// Total committed instructions in the trace.
+    pub instructions: u64,
+    /// All detected executions, in detection order.
+    pub execs: Vec<ExecInfo>,
+    /// All events in commit order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl AnnotatedTrace {
+    /// Builds the annotation from a loop-event stream and the trace's
+    /// instruction count.
+    ///
+    /// Executions still open at the end of the stream (possible only if
+    /// the trace was truncated before `halt`) are closed at position
+    /// `instructions` and marked `closed: false`. One-shot loops carry no
+    /// speculation opportunity (they are over when detected) and are
+    /// skipped.
+    pub fn build(events: &[LoopEvent], instructions: u64) -> Self {
+        let mut execs: Vec<ExecInfo> = Vec::new();
+        let mut out: Vec<TraceEvent> = Vec::new();
+        // Loop id -> currently open execution (unique: the CLS holds at
+        // most one execution of a loop at a time).
+        let mut open: HashMap<LoopId, ExecId> = HashMap::new();
+
+        for ev in events {
+            match *ev {
+                LoopEvent::ExecutionStart { loop_id, pos, .. } => {
+                    let id = ExecId(execs.len() as u32);
+                    execs.push(ExecInfo {
+                        loop_id,
+                        iter_starts: Vec::new(),
+                        end_pos: instructions,
+                        total_iters: 0,
+                        closed: false,
+                    });
+                    let prev = open.insert(loop_id, id);
+                    debug_assert!(prev.is_none(), "loop {loop_id} already open");
+                    out.push(TraceEvent {
+                        pos,
+                        exec: id,
+                        kind: TraceEventKind::ExecStart,
+                    });
+                }
+                LoopEvent::IterationStart { loop_id, iter, pos } => {
+                    if let Some(&id) = open.get(&loop_id) {
+                        let info = &mut execs[id.0 as usize];
+                        debug_assert_eq!(info.iter_starts.len() as u32 + 2, iter);
+                        info.iter_starts.push(pos);
+                        out.push(TraceEvent {
+                            pos,
+                            exec: id,
+                            kind: TraceEventKind::IterStart { iter },
+                        });
+                    }
+                }
+                LoopEvent::ExecutionEnd {
+                    loop_id,
+                    iterations,
+                    pos,
+                }
+                | LoopEvent::Evicted {
+                    loop_id,
+                    iterations,
+                    pos,
+                } => {
+                    if let Some(id) = open.remove(&loop_id) {
+                        let closed = matches!(ev, LoopEvent::ExecutionEnd { .. });
+                        let info = &mut execs[id.0 as usize];
+                        info.end_pos = pos;
+                        info.total_iters = iterations;
+                        info.closed = closed;
+                        out.push(TraceEvent {
+                            pos,
+                            exec: id,
+                            kind: TraceEventKind::ExecEnd,
+                        });
+                    }
+                }
+                LoopEvent::OneShot { .. } => {}
+            }
+        }
+
+        // Close anything left open (truncated traces).
+        for (_, id) in open.drain() {
+            let info = &mut execs[id.0 as usize];
+            info.total_iters = info.iter_starts.len() as u32 + 1;
+            info.end_pos = instructions;
+            out.push(TraceEvent {
+                pos: instructions,
+                exec: id,
+                kind: TraceEventKind::ExecEnd,
+            });
+        }
+        // Keep commit order; the detector already interleaves correctly,
+        // but the trailing closes may need sorting by position (stable to
+        // preserve innermost-first ExecEnd order at equal positions).
+        out.sort_by_key(|e| e.pos);
+
+        AnnotatedTrace {
+            instructions,
+            execs,
+            events: out,
+        }
+    }
+
+    /// Looks up an execution.
+    pub fn exec(&self, id: ExecId) -> &ExecInfo {
+        &self.execs[id.0 as usize]
+    }
+
+    /// Total detected iterations across all executions (from iteration 2
+    /// on; the speculation opportunity count).
+    pub fn detected_iterations(&self) -> u64 {
+        self.execs.iter().map(|e| e.iter_starts.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopspec_isa::Addr;
+
+    fn lid(n: u32) -> LoopId {
+        LoopId(Addr::new(n))
+    }
+
+    fn simple_stream() -> Vec<LoopEvent> {
+        vec![
+            LoopEvent::ExecutionStart {
+                loop_id: lid(1),
+                pos: 10,
+                depth: 1,
+            },
+            LoopEvent::IterationStart {
+                loop_id: lid(1),
+                iter: 2,
+                pos: 10,
+            },
+            LoopEvent::IterationStart {
+                loop_id: lid(1),
+                iter: 3,
+                pos: 20,
+            },
+            LoopEvent::ExecutionEnd {
+                loop_id: lid(1),
+                iterations: 3,
+                pos: 30,
+            },
+        ]
+    }
+
+    #[test]
+    fn builds_single_execution() {
+        let t = AnnotatedTrace::build(&simple_stream(), 40);
+        assert_eq!(t.execs.len(), 1);
+        let e = t.exec(ExecId(0));
+        assert_eq!(e.loop_id, lid(1));
+        assert_eq!(e.iter_starts, vec![10, 20]);
+        assert_eq!(e.end_pos, 30);
+        assert_eq!(e.total_iters, 3);
+        assert!(e.closed);
+        assert_eq!(t.detected_iterations(), 2);
+        assert_eq!(t.events.len(), 4);
+    }
+
+    #[test]
+    fn iter_pos_lookup() {
+        let t = AnnotatedTrace::build(&simple_stream(), 40);
+        let e = t.exec(ExecId(0));
+        assert_eq!(e.iter_pos(1), None);
+        assert_eq!(e.iter_pos(2), Some(10));
+        assert_eq!(e.iter_pos(3), Some(20));
+        assert_eq!(e.iter_pos(4), None);
+        assert_eq!(e.remaining_after(2), 1);
+        assert_eq!(e.remaining_after(3), 0);
+    }
+
+    #[test]
+    fn nested_executions_of_same_loop_are_sequential() {
+        // Two executions of loop 1 back to back.
+        let mut ev = simple_stream();
+        ev.extend(simple_stream().into_iter().map(|e| match e {
+            LoopEvent::ExecutionStart {
+                loop_id,
+                pos,
+                depth,
+            } => LoopEvent::ExecutionStart {
+                loop_id,
+                pos: pos + 100,
+                depth,
+            },
+            LoopEvent::IterationStart { loop_id, iter, pos } => LoopEvent::IterationStart {
+                loop_id,
+                iter,
+                pos: pos + 100,
+            },
+            LoopEvent::ExecutionEnd {
+                loop_id,
+                iterations,
+                pos,
+            } => LoopEvent::ExecutionEnd {
+                loop_id,
+                iterations,
+                pos: pos + 100,
+            },
+            other => other,
+        }));
+        let t = AnnotatedTrace::build(&ev, 200);
+        assert_eq!(t.execs.len(), 2);
+        assert_eq!(t.exec(ExecId(1)).iter_starts, vec![110, 120]);
+    }
+
+    #[test]
+    fn open_executions_are_closed_at_trace_end() {
+        let mut ev = simple_stream();
+        ev.truncate(3); // drop the ExecutionEnd
+        let t = AnnotatedTrace::build(&ev, 99);
+        let e = t.exec(ExecId(0));
+        assert!(!e.closed);
+        assert_eq!(e.end_pos, 99);
+        assert_eq!(e.total_iters, 3); // 2 detected starts + first iter
+        assert!(matches!(
+            t.events.last().unwrap().kind,
+            TraceEventKind::ExecEnd
+        ));
+    }
+
+    #[test]
+    fn one_shots_are_skipped() {
+        let ev = vec![LoopEvent::OneShot {
+            loop_id: lid(9),
+            pos: 5,
+            depth: 1,
+        }];
+        let t = AnnotatedTrace::build(&ev, 10);
+        assert!(t.execs.is_empty());
+        assert!(t.events.is_empty());
+    }
+
+    #[test]
+    fn evicted_executions_are_closed_unclosed() {
+        let ev = vec![
+            LoopEvent::ExecutionStart {
+                loop_id: lid(1),
+                pos: 10,
+                depth: 1,
+            },
+            LoopEvent::IterationStart {
+                loop_id: lid(1),
+                iter: 2,
+                pos: 10,
+            },
+            LoopEvent::Evicted {
+                loop_id: lid(1),
+                iterations: 2,
+                pos: 15,
+            },
+        ];
+        let t = AnnotatedTrace::build(&ev, 20);
+        let e = t.exec(ExecId(0));
+        assert!(!e.closed);
+        assert_eq!(e.end_pos, 15);
+    }
+}

@@ -1,0 +1,602 @@
+//! The trace-driven, event-driven multithreading engine.
+//!
+//! Timing model (see `DESIGN.md` §4.3): every thread unit retires one
+//! instruction per cycle. A speculative thread spawned at time `s` for a
+//! stream region starting at `a` executes self-paced; the commit frontier
+//! inside the thread that is currently non-speculative advances as
+//! `time(p) = max(h, s + (p - a))` where `h` is the handoff time at which
+//! it became non-speculative. Verification (handoff) happens when the
+//! frontier reaches a speculated iteration's start; squash happens when a
+//! loop execution ends with phantom iterations outstanding, or when the
+//! STR(i) nesting rule fires.
+//!
+//! Because each correctly-speculated thread is active for exactly the
+//! cycles it takes to execute its committed region, the sum of
+//! active-and-correct thread-cycles equals the trace's instruction count,
+//! and **TPC = instructions / total cycles**. A run without speculation
+//! therefore has TPC exactly 1.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::annotate::{AnnotatedTrace, ExecId, TraceEventKind};
+use crate::policy::{SpecContext, SpeculationPolicy};
+use crate::predictor::IterPredictor;
+use crate::stats::SpecStats;
+
+/// Result of an [`Engine`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// Committed instructions (= the trace length).
+    pub instructions: u64,
+    /// Total cycles until the last instruction committed.
+    pub cycles: u64,
+    /// Speculation counters (Table 2 columns).
+    pub spec: SpecStats,
+    /// Name of the policy that produced this report.
+    pub policy: &'static str,
+    /// Thread units used (`None` = unbounded).
+    pub tus: Option<usize>,
+}
+
+impl EngineReport {
+    /// Threads per cycle: the paper's headline metric.
+    pub fn tpc(&self) -> f64 {
+        if self.cycles == 0 {
+            1.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The current non-speculative thread: the region it started at, when it
+/// began executing, and when it became non-speculative.
+#[derive(Debug, Clone, Copy)]
+struct CurThread {
+    start_pos: u64,
+    spawn_time: u64,
+    handoff_time: u64,
+}
+
+impl CurThread {
+    /// Commit time of stream position `pos` (≥ `start_pos`).
+    #[inline]
+    fn time_at(&self, pos: u64) -> u64 {
+        self.handoff_time
+            .max(self.spawn_time + (pos - self.start_pos))
+    }
+}
+
+/// A live speculative thread for one future iteration.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    spawn_time: u64,
+    spawn_pos: u64,
+}
+
+/// Per-execution speculation bookkeeping.
+#[derive(Debug, Default)]
+struct ExecSpec {
+    /// Live speculated iteration indices (consecutive, all in the
+    /// future).
+    live: BTreeSet<u32>,
+    /// Non-speculated loop executions detected nested inside this one
+    /// while it had live threads (the STR(i) counter).
+    nested_nonspec: u32,
+}
+
+/// The multithreaded control-speculation engine (paper §3.1).
+///
+/// Drive it with [`Engine::run`]; it never mutates the trace and can be
+/// re-created cheaply for policy/TU sweeps. See the
+/// [crate docs](crate) for an end-to-end example and the module docs for
+/// the timing model.
+#[derive(Debug)]
+pub struct Engine<'a, P> {
+    trace: &'a AnnotatedTrace,
+    policy: P,
+    total_tus: u64,
+    tus_label: Option<usize>,
+}
+
+/// Hard cap on finite TU counts (far above the paper's 16).
+const MAX_TUS: usize = 4096;
+
+impl<'a, P: SpeculationPolicy> Engine<'a, P> {
+    /// Creates an engine with `num_tus` thread units (one of which is
+    /// always the non-speculative one).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= num_tus <= 4096`.
+    pub fn new(trace: &'a AnnotatedTrace, policy: P, num_tus: usize) -> Self {
+        assert!(
+            (2..=MAX_TUS).contains(&num_tus),
+            "num_tus must be in 2..=4096 (got {num_tus}); use Engine::unbounded for the ideal machine"
+        );
+        Engine {
+            trace,
+            policy,
+            total_tus: num_tus as u64,
+            tus_label: Some(num_tus),
+        }
+    }
+
+    /// Creates an engine with an unbounded TU pool — the ideal machine of
+    /// the paper's Figure 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy could over-speculate without a TU bound
+    /// (only oracle-style policies report
+    /// [`SpeculationPolicy::supports_unbounded_tus`]).
+    pub fn unbounded(trace: &'a AnnotatedTrace, policy: P) -> Self {
+        assert!(
+            policy.supports_unbounded_tus(),
+            "policy {} cannot run with unbounded TUs",
+            policy.name()
+        );
+        Engine {
+            trace,
+            policy,
+            total_tus: u64::MAX,
+            tus_label: None,
+        }
+    }
+
+    /// Runs the engine over the whole trace.
+    pub fn run(self) -> EngineReport {
+        let Engine {
+            trace,
+            mut policy,
+            total_tus,
+            tus_label,
+        } = self;
+        let policy_name = policy.name();
+        let nesting_limit = policy.max_nonspec_nested();
+
+        let mut cur = CurThread {
+            start_pos: 0,
+            spawn_time: 0,
+            handoff_time: 0,
+        };
+        let mut segments: HashMap<(ExecId, u32), Segment> = HashMap::new();
+        let mut spec: HashMap<ExecId, ExecSpec> = HashMap::new();
+        let mut open_stack: Vec<ExecId> = Vec::new();
+        let mut live_total: u64 = 0;
+        let mut predictor = IterPredictor::new();
+        let mut stats = SpecStats::default();
+
+        let idle = |live_total: u64| total_tus.saturating_sub(1 + live_total);
+
+        for ev in &trace.events {
+            let t = cur.time_at(ev.pos);
+            match ev.kind {
+                TraceEventKind::ExecStart => {
+                    open_stack.push(ev.exec);
+                }
+                TraceEventKind::IterStart { iter } => {
+                    // --- Verification: handoff to the speculated thread
+                    // for this iteration, if one exists. A segment whose
+                    // self-paced progress lags the current thread's
+                    // run-ahead is *stale* (its work is redundant) and is
+                    // discarded instead of taking over the frontier.
+                    if let Some(seg) = segments.remove(&(ev.exec, iter)) {
+                        live_total -= 1;
+                        if let Some(st) = spec.get_mut(&ev.exec) {
+                            st.live.remove(&iter);
+                        }
+                        stats.instr_to_outcome_sum += ev.pos - seg.spawn_pos;
+                        policy.on_thread_outcome(trace.exec(ev.exec).loop_id, true);
+                        let seg_virtual = seg.spawn_time as i128 - ev.pos as i128;
+                        let cur_virtual = cur.spawn_time as i128 - cur.start_pos as i128;
+                        if seg_virtual <= cur_virtual {
+                            stats.verified += 1;
+                            cur = CurThread {
+                                start_pos: ev.pos,
+                                spawn_time: seg.spawn_time,
+                                handoff_time: t,
+                            };
+                        } else {
+                            stats.squashed_stale += 1;
+                        }
+                    }
+
+                    // --- Speculation attempt.
+                    let idle_now = idle(live_total);
+                    let spawned = Self::attempt_spawn(
+                        trace,
+                        &policy,
+                        &predictor,
+                        &mut segments,
+                        &mut spec,
+                        &mut live_total,
+                        &mut stats,
+                        idle_now,
+                        &cur,
+                        ev.exec,
+                        iter,
+                        ev.pos,
+                        t,
+                    );
+
+                    // --- STR(i): a newly detected execution that could
+                    // not speculate counts against enclosing speculated
+                    // loops; exceeding the limit squashes the outermost
+                    // one and retries.
+                    if spawned == 0 && iter == 2 {
+                        if let Some(limit) = nesting_limit {
+                            let mut victim: Option<ExecId> = None;
+                            for &g in open_stack.iter() {
+                                if g == ev.exec {
+                                    continue;
+                                }
+                                if let Some(st) = spec.get_mut(&g) {
+                                    if !st.live.is_empty() {
+                                        st.nested_nonspec += 1;
+                                        if st.nested_nonspec > limit && victim.is_none() {
+                                            victim = Some(g);
+                                        }
+                                    }
+                                }
+                            }
+                            if let Some(g) = victim {
+                                let sacrificed = Self::squash_exec(
+                                    &mut segments,
+                                    &mut spec,
+                                    &mut live_total,
+                                    &mut stats,
+                                    g,
+                                    ev.pos,
+                                    false,
+                                );
+                                // Policy squashes sacrifice *correct*
+                                // speculation; they do not count against
+                                // a loop's suitability.
+                                let _ = sacrificed;
+                                let idle_retry = idle(live_total);
+                                let _ = Self::attempt_spawn(
+                                    trace,
+                                    &policy,
+                                    &predictor,
+                                    &mut segments,
+                                    &mut spec,
+                                    &mut live_total,
+                                    &mut stats,
+                                    idle_retry,
+                                    &cur,
+                                    ev.exec,
+                                    iter,
+                                    ev.pos,
+                                    t,
+                                );
+                            }
+                        }
+                    }
+                }
+                TraceEventKind::ExecEnd => {
+                    open_stack.retain(|&g| g != ev.exec);
+                    let info_loop = trace.exec(ev.exec).loop_id;
+                    let squashed = Self::squash_exec(
+                        &mut segments,
+                        &mut spec,
+                        &mut live_total,
+                        &mut stats,
+                        ev.exec,
+                        ev.pos,
+                        true,
+                    );
+                    for _ in 0..squashed {
+                        policy.on_thread_outcome(info_loop, false);
+                    }
+                    spec.remove(&ev.exec);
+                    let info = trace.exec(ev.exec);
+                    if info.closed {
+                        predictor.record_execution(info.loop_id, info.total_iters);
+                    }
+                }
+            }
+        }
+
+        let cycles = cur.time_at(trace.instructions);
+        EngineReport {
+            instructions: trace.instructions,
+            cycles,
+            spec: stats,
+            policy: policy_name,
+            tus: tus_label,
+        }
+    }
+
+    /// Launches new speculative threads per the policy; returns how many.
+    ///
+    /// Iterations whose start the current thread's speculative run-ahead
+    /// has already executed are not spawned — a TU pointed at work the
+    /// non-speculative thread has already done contributes nothing (it
+    /// would be discarded as stale at verification).
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_spawn(
+        trace: &AnnotatedTrace,
+        policy: &P,
+        predictor: &IterPredictor,
+        segments: &mut HashMap<(ExecId, u32), Segment>,
+        spec: &mut HashMap<ExecId, ExecSpec>,
+        live_total: &mut u64,
+        stats: &mut SpecStats,
+        idle: u64,
+        cur: &CurThread,
+        exec: ExecId,
+        iter: u32,
+        pos: u64,
+        t: u64,
+    ) -> u64 {
+        if idle == 0 {
+            return 0;
+        }
+        let info = trace.exec(exec);
+        let already = spec.get(&exec).map_or(0, |s| s.live.len()) as u32;
+        let ctx = SpecContext {
+            loop_id: info.loop_id,
+            current_iter: iter,
+            idle_tus: idle,
+            already_speculated: already,
+            predictor,
+            actual_remaining: info.remaining_after(iter),
+        };
+        let n = policy.threads_to_spawn(&ctx).min(idle);
+        if n == 0 {
+            return 0;
+        }
+        // Self-paced position the current thread has reached by time t.
+        let covered = cur.start_pos + (t - cur.spawn_time);
+        let st = spec.entry(exec).or_default();
+        let next = st.live.iter().next_back().copied().unwrap_or(iter) + 1;
+        let mut spawned = 0u64;
+        for j in next..next + n as u32 {
+            if let Some(p) = info.iter_pos(j) {
+                if p < covered {
+                    continue; // already executed by the run-ahead
+                }
+            }
+            segments.insert(
+                (exec, j),
+                Segment {
+                    spawn_time: t,
+                    spawn_pos: pos,
+                },
+            );
+            st.live.insert(j);
+            spawned += 1;
+        }
+        if spawned == 0 {
+            return 0;
+        }
+        // Speculating resets the exec's STR(i) pressure counter.
+        st.nested_nonspec = 0;
+        *live_total += spawned;
+        stats.spec_actions += 1;
+        stats.threads_spawned += spawned;
+        spawned
+    }
+
+    /// Squashes every live thread of `exec`, freeing its TUs.
+    /// `misspec = true` for loop-end squashes (phantom iterations),
+    /// `false` for STR(i) policy squashes (correct work sacrificed).
+    fn squash_exec(
+        segments: &mut HashMap<(ExecId, u32), Segment>,
+        spec: &mut HashMap<ExecId, ExecSpec>,
+        live_total: &mut u64,
+        stats: &mut SpecStats,
+        exec: ExecId,
+        pos: u64,
+        misspec: bool,
+    ) -> u64 {
+        let Some(st) = spec.get_mut(&exec) else {
+            return 0;
+        };
+        let mut squashed = 0;
+        for iter in std::mem::take(&mut st.live) {
+            let seg = segments
+                .remove(&(exec, iter))
+                .expect("live set and segment map agree");
+            *live_total -= 1;
+            stats.instr_to_outcome_sum += pos - seg.spawn_pos;
+            if misspec {
+                stats.squashed_misspec += 1;
+            } else {
+                stats.squashed_policy += 1;
+            }
+            squashed += 1;
+        }
+        st.nested_nonspec = 0;
+        squashed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{IdlePolicy, OraclePolicy, StrNestedPolicy, StrPolicy};
+    use loopspec_asm::ProgramBuilder;
+    use loopspec_core::EventCollector;
+    use loopspec_cpu::{Cpu, RunLimits};
+
+    fn trace_of(build: impl FnOnce(&mut ProgramBuilder)) -> AnnotatedTrace {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let p = b.finish().expect("assembles");
+        let mut c = EventCollector::default();
+        Cpu::new()
+            .run(&p, &mut c, RunLimits::default())
+            .expect("runs");
+        let (events, n) = c.into_parts();
+        AnnotatedTrace::build(&events, n)
+    }
+
+    #[test]
+    fn sequential_trace_has_tpc_one() {
+        let trace = trace_of(|b| b.work(50));
+        let r = Engine::new(&trace, StrPolicy::new(), 4).run();
+        assert_eq!(r.cycles, r.instructions);
+        assert!((r.tpc() - 1.0).abs() < 1e-12);
+        assert_eq!(r.spec.threads_spawned, 0);
+    }
+
+    #[test]
+    fn ideal_oracle_matches_hand_analysis() {
+        // Hand-built trace: 100 instructions, one 10-iteration loop with
+        // iteration starts every 10 instructions from 10 to 90.
+        use loopspec_core::{LoopEvent, LoopId};
+        use loopspec_isa::Addr;
+        let lid = LoopId(Addr::new(1));
+        let mut ev = vec![LoopEvent::ExecutionStart {
+            loop_id: lid,
+            pos: 10,
+            depth: 1,
+        }];
+        for k in 2..=10u32 {
+            ev.push(LoopEvent::IterationStart {
+                loop_id: lid,
+                iter: k,
+                pos: (k as u64 - 1) * 10,
+            });
+        }
+        ev.push(LoopEvent::ExecutionEnd {
+            loop_id: lid,
+            iterations: 10,
+            pos: 100,
+        });
+        let trace = AnnotatedTrace::build(&ev, 100);
+        let r = Engine::unbounded(&trace, OraclePolicy::new()).run();
+        // Critical path: 10 cycles to reach the loop detection point plus
+        // 10 cycles for every thread to finish its 10-instruction
+        // iteration — all iterations overlap.
+        assert_eq!(r.cycles, 20);
+        assert!((r.tpc() - 5.0).abs() < 1e-12);
+        assert_eq!(r.spec.verified, 8); // iterations 3..=10
+        assert_eq!(r.spec.squashed_misspec, 0);
+    }
+
+    #[test]
+    fn two_tus_cap_tpc_at_two() {
+        let trace = trace_of(|b| b.counted_loop(200, |b, _| b.work(30)));
+        let r = Engine::new(&trace, IdlePolicy::new(), 2).run();
+        assert!(r.tpc() > 1.4, "tpc = {}", r.tpc());
+        assert!(r.tpc() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn more_tus_do_not_hurt_a_simple_loop() {
+        let trace = trace_of(|b| b.counted_loop(100, |b, _| b.work(25)));
+        let r2 = Engine::new(&trace, StrPolicy::new(), 2).run();
+        let r4 = Engine::new(&trace, StrPolicy::new(), 4).run();
+        let r8 = Engine::new(&trace, StrPolicy::new(), 8).run();
+        assert!(r4.tpc() >= r2.tpc() - 1e-9);
+        assert!(r8.tpc() >= r4.tpc() - 1e-9);
+        assert!(r8.tpc() > 3.0, "single hot loop should scale: {}", r8.tpc());
+    }
+
+    #[test]
+    fn idle_policy_misspeculates_at_loop_ends() {
+        // Two executions of the same loop: IDLE always grabs all TUs, so
+        // it runs past the end of each execution.
+        let trace = trace_of(|b| {
+            b.counted_loop(2, |b, _| {
+                b.counted_loop(20, |b, _| b.work(10));
+            });
+        });
+        let r = Engine::new(&trace, IdlePolicy::new(), 8).run();
+        assert!(
+            r.spec.squashed_misspec > 0,
+            "IDLE should overshoot: {:?}",
+            r.spec
+        );
+    }
+
+    #[test]
+    fn str_avoids_misspeculation_on_regular_loops() {
+        // Ten executions of the *same static loop*, reached through
+        // straight-line calls (no enclosing loop to hoard TUs): after a
+        // warm-up execution the stride predictor sizes bursts exactly,
+        // while IDLE keeps grabbing TUs past each execution's end.
+        let trace = trace_of(|b| {
+            b.define_func("kernel", |b| {
+                b.counted_loop(20, |b, _| b.work(10));
+            });
+            for _ in 0..10 {
+                b.call_func("kernel");
+            }
+        });
+        let idle = Engine::new(&trace, IdlePolicy::new(), 8).run();
+        let strp = Engine::new(&trace, StrPolicy::new(), 8).run();
+        assert!(
+            strp.spec.squashed_misspec < idle.spec.squashed_misspec,
+            "STR {:?} vs IDLE {:?}",
+            strp.spec,
+            idle.spec
+        );
+        assert!(strp.spec.hit_ratio_percent() > 90.0);
+    }
+
+    #[test]
+    fn str_nested_squashes_outer_threads_for_inner_loops() {
+        // An outer loop whose iterations each contain several sequential
+        // inner loops: with few TUs the outer loop hoards them, and
+        // STR(1) must squash it.
+        let trace = trace_of(|b| {
+            b.counted_loop(6, |b, _| {
+                for _ in 0..3 {
+                    b.counted_loop(12, |b, _| b.work(8));
+                }
+            });
+        });
+        let str_plain = Engine::new(&trace, StrPolicy::new(), 4).run();
+        let str1 = Engine::new(&trace, StrNestedPolicy::new(1), 4).run();
+        assert_eq!(str_plain.spec.squashed_policy, 0);
+        assert!(
+            str1.spec.squashed_policy > 0,
+            "STR(1) must fire: {:?}",
+            str1.spec
+        );
+    }
+
+    #[test]
+    fn report_bookkeeping_is_consistent() {
+        let trace = trace_of(|b| {
+            b.counted_loop(5, |b, _| {
+                b.counted_loop(10, |b, _| b.work(5));
+            });
+        });
+        let r = Engine::new(&trace, StrPolicy::new(), 4).run();
+        assert_eq!(
+            r.spec.threads_spawned,
+            r.spec.resolved(),
+            "every thread resolves by trace end"
+        );
+        assert!(r.cycles <= r.instructions);
+        assert_eq!(r.policy, "STR");
+        assert_eq!(r.tus, Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "num_tus must be in 2..=4096")]
+    fn rejects_one_tu() {
+        let trace = trace_of(|b| b.work(1));
+        let _ = Engine::new(&trace, StrPolicy::new(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run with unbounded TUs")]
+    fn rejects_unbounded_idle() {
+        let trace = trace_of(|b| b.work(1));
+        let _ = Engine::unbounded(&trace, IdlePolicy::new());
+    }
+
+    #[test]
+    fn empty_trace_reports_tpc_one() {
+        let trace = AnnotatedTrace::build(&[], 0);
+        let r = Engine::new(&trace, StrPolicy::new(), 4).run();
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.tpc(), 1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! The infinite-TU potential study (paper Figure 5).
+
+use crate::annotate::AnnotatedTrace;
+use crate::engine::Engine;
+use crate::policy::OraclePolicy;
+
+/// Result of the ideal-machine experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdealReport {
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Critical-path cycles with every future iteration speculated at
+    /// loop-detection time.
+    pub cycles: u64,
+    /// Threads per cycle.
+    pub tpc: f64,
+}
+
+/// Computes the TPC an ideal machine with infinite thread units achieves
+/// when every detected loop execution speculates all of its remaining
+/// iterations (paper Figure 5: "the potential TLP that can be exploited
+/// if loops are automatically detected is very high").
+///
+/// ```
+/// use loopspec_asm::ProgramBuilder;
+/// use loopspec_cpu::{Cpu, RunLimits};
+/// use loopspec_core::EventCollector;
+/// use loopspec_mt::{ideal_tpc, AnnotatedTrace};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.counted_loop(100, |b, _| b.work(20));
+/// let program = b.finish()?;
+/// let mut c = EventCollector::default();
+/// Cpu::new().run(&program, &mut c, RunLimits::default())?;
+/// let (events, n) = c.into_parts();
+/// let trace = AnnotatedTrace::build(&events, n);
+///
+/// let ideal = ideal_tpc(&trace);
+/// assert!(ideal.tpc > 10.0, "a 100-iteration loop has huge potential TLP");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn ideal_tpc(trace: &AnnotatedTrace) -> IdealReport {
+    let report = Engine::unbounded(trace, OraclePolicy::new()).run();
+    IdealReport {
+        instructions: report.instructions,
+        cycles: report.cycles,
+        tpc: report.tpc(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopspec_asm::ProgramBuilder;
+    use loopspec_core::EventCollector;
+    use loopspec_cpu::{Cpu, RunLimits};
+
+    fn trace_of(build: impl FnOnce(&mut ProgramBuilder)) -> AnnotatedTrace {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let p = b.finish().unwrap();
+        let mut c = EventCollector::default();
+        Cpu::new().run(&p, &mut c, RunLimits::default()).unwrap();
+        let (events, n) = c.into_parts();
+        AnnotatedTrace::build(&events, n)
+    }
+
+    #[test]
+    fn ideal_tpc_scales_with_iteration_count() {
+        let small = ideal_tpc(&trace_of(|b| b.counted_loop(10, |b, _| b.work(20))));
+        let large = ideal_tpc(&trace_of(|b| b.counted_loop(1000, |b, _| b.work(20))));
+        assert!(large.tpc > small.tpc * 10.0);
+    }
+
+    #[test]
+    fn nested_loops_multiply_potential() {
+        let flat = ideal_tpc(&trace_of(|b| b.counted_loop(30, |b, _| b.work(20))));
+        let nested = ideal_tpc(&trace_of(|b| {
+            b.counted_loop(30, |b, _| {
+                b.counted_loop(30, |b, _| b.work(20));
+            })
+        }));
+        assert!(nested.tpc > flat.tpc, "outer iterations also overlap");
+    }
+
+    #[test]
+    fn no_loops_means_no_potential() {
+        let r = ideal_tpc(&trace_of(|b| b.work(100)));
+        assert!((r.tpc - 1.0).abs() < 1e-12);
+    }
+}

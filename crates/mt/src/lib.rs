@@ -1,0 +1,67 @@
+//! # loopspec-mt — thread-level control speculation (paper §3)
+//!
+//! This crate implements the multithreaded-processor side of Tubella &
+//! González (HPCA 1998): a machine with several **thread units (TUs)** —
+//! one non-speculative, the rest idle or speculative — where, every time a
+//! loop iteration starts in the non-speculative thread, idle TUs are
+//! assigned to *future iterations of the same loop*. Verification happens
+//! when the non-speculative thread reaches the next iteration start
+//! (handoff) and squash happens when the loop execution ends (further
+//! iterations never existed).
+//!
+//! The model is trace-driven and event-driven:
+//!
+//! * [`AnnotatedTrace`] — turns the loop-event stream of `loopspec-core`
+//!   into per-execution iteration-start positions plus a commit-ordered
+//!   event list;
+//! * [`IterPredictor`] — the LET-backed iteration-count stride predictor
+//!   with a two-bit confidence counter (the paper's STR machinery);
+//! * [`SpeculationPolicy`] — IDLE, STR and STR(i) from §3.1.2, plus the
+//!   oracle used for the infinite-TU potential study (Figure 5);
+//! * [`Engine`] — computes **TPC** (average number of active and
+//!   correctly-speculated threads per cycle) under the timing model
+//!   described in `DESIGN.md`: every TU retires one instruction per
+//!   cycle, so TPC equals committed instructions divided by total cycles,
+//!   and a purely sequential run has TPC exactly 1.
+//!
+//! ## Example
+//!
+//! ```
+//! use loopspec_asm::ProgramBuilder;
+//! use loopspec_cpu::{Cpu, RunLimits};
+//! use loopspec_core::EventCollector;
+//! use loopspec_mt::{AnnotatedTrace, Engine, StrPolicy};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.counted_loop(50, |b, _| b.work(20));
+//! let program = b.finish()?;
+//!
+//! let mut c = EventCollector::default();
+//! Cpu::new().run(&program, &mut c, RunLimits::default())?;
+//! let (events, n) = c.into_parts();
+//! let trace = AnnotatedTrace::build(&events, n);
+//!
+//! let report = Engine::new(&trace, StrPolicy::new(), 4).run();
+//! assert!(report.tpc() > 1.5, "4 TUs should overlap iterations");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod annotate;
+mod engine;
+mod ideal;
+mod policy;
+mod predictor;
+mod stats;
+
+pub use annotate::{AnnotatedTrace, ExecId, ExecInfo, TraceEvent, TraceEventKind};
+pub use engine::{Engine, EngineReport};
+pub use ideal::{ideal_tpc, IdealReport};
+pub use policy::{
+    IdlePolicy, OraclePolicy, SpecContext, SpeculationPolicy, StrNestedPolicy, StrPolicy,
+    SuitabilityFilter,
+};
+pub use predictor::{IterPrediction, IterPredictor};
+pub use stats::SpecStats;

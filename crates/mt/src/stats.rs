@@ -1,0 +1,97 @@
+//! Speculation statistics (the paper's Table 2 columns).
+
+/// Counters describing the speculation activity of one engine run.
+///
+/// Mirrors Table 2 of the paper: number of control speculations, threads
+/// per speculation, hit ratio, and instructions from speculation to
+/// verification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// Control speculations performed (spawn actions launching ≥ 1
+    /// thread) — the `#spec.` column.
+    pub spec_actions: u64,
+    /// Total speculative threads launched.
+    pub threads_spawned: u64,
+    /// Threads verified correct (became non-speculative).
+    pub verified: u64,
+    /// Threads squashed because their iteration never existed (control
+    /// misspeculation at loop-execution end).
+    pub squashed_misspec: u64,
+    /// Threads squashed by the STR(i) nesting rule (correct speculations
+    /// sacrificed to free TUs for inner loops).
+    pub squashed_policy: u64,
+    /// Threads discarded at verification because the non-speculative
+    /// thread's speculative run-ahead had already executed their work
+    /// (control-correct but redundant; they contribute no parallelism).
+    pub squashed_stale: u64,
+    /// Σ committed instructions between each thread's spawn and its
+    /// verification or squash — numerator of `#instr. to verif`.
+    pub instr_to_outcome_sum: u64,
+}
+
+impl SpecStats {
+    /// Threads whose outcome is known (verified + squashed).
+    pub fn resolved(&self) -> u64 {
+        self.verified + self.squashed_misspec + self.squashed_policy + self.squashed_stale
+    }
+
+    /// Average threads launched per speculation action
+    /// (`#threads/spec.`).
+    pub fn threads_per_spec(&self) -> f64 {
+        if self.spec_actions == 0 {
+            0.0
+        } else {
+            self.threads_spawned as f64 / self.spec_actions as f64
+        }
+    }
+
+    /// Fraction of launched threads verified correct (`hit ratio`, as a
+    /// percentage).
+    pub fn hit_ratio_percent(&self) -> f64 {
+        if self.resolved() == 0 {
+            0.0
+        } else {
+            100.0 * self.verified as f64 / self.resolved() as f64
+        }
+    }
+
+    /// Average committed instructions from speculation to verification /
+    /// squash (`#instr. to verif`).
+    pub fn instr_to_verif(&self) -> f64 {
+        if self.resolved() == 0 {
+            0.0
+        } else {
+            self.instr_to_outcome_sum as f64 / self.resolved() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let s = SpecStats {
+            spec_actions: 4,
+            threads_spawned: 10,
+            verified: 8,
+            squashed_misspec: 1,
+            squashed_policy: 0,
+            squashed_stale: 1,
+            instr_to_outcome_sum: 1000,
+        };
+        assert_eq!(s.resolved(), 10);
+        assert!((s.threads_per_spec() - 2.5).abs() < 1e-12);
+        assert!((s.hit_ratio_percent() - 80.0).abs() < 1e-12);
+        assert!((s.instr_to_verif() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let s = SpecStats::default();
+        assert_eq!(s.threads_per_spec(), 0.0);
+        assert_eq!(s.hit_ratio_percent(), 0.0);
+        assert_eq!(s.instr_to_verif(), 0.0);
+    }
+}

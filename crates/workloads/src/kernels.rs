@@ -1,0 +1,367 @@
+//! Reusable loop-structure kernels.
+//!
+//! The 18 workloads are compositions of a small vocabulary of loop
+//! shapes; each kernel here produces one shape with tunable parameters.
+//! All kernels emit code through the [`ProgramBuilder`] and are careful
+//! with the builder's register pool (a nest of depth *d* holds 2·*d*
+//! registers live).
+
+use loopspec_asm::ProgramBuilder;
+use loopspec_isa::{AluOp, Cond, Reg};
+
+/// A perfectly rectangular counted-loop nest with fixed trip counts and a
+/// caller-supplied innermost body.
+///
+/// `trips` gives the counts outermost-first; depth is `trips.len()`.
+///
+/// ```
+/// use loopspec_asm::ProgramBuilder;
+/// use loopspec_workloads::kernels::nest;
+///
+/// let mut b = ProgramBuilder::new();
+/// nest(&mut b, &[4, 8], &mut |b| b.work(3));
+/// let p = b.finish().unwrap();
+/// assert!(p.len() > 10);
+/// ```
+pub fn nest(b: &mut ProgramBuilder, trips: &[i64], body: &mut dyn FnMut(&mut ProgramBuilder)) {
+    match trips.split_first() {
+        None => body(b),
+        Some((&t, rest)) => {
+            b.counted_loop(t, |b, _i| nest(b, rest, body));
+        }
+    }
+}
+
+/// A rectangular nest whose innermost body is `ints` integer filler
+/// instructions followed by `fps` floating-point ones, plus a
+/// memory-resident accumulator (`cell += 1`) — the workhorse of the
+/// regular Fortran-style workloads. The accumulator gives every such
+/// loop a live-in memory location with a constant address and a strided
+/// value, as array-walking Fortran kernels have.
+pub fn nest_work(b: &mut ProgramBuilder, trips: &[i64], ints: u32, fps: u32) {
+    let cell = b.alloc_static(1);
+    nest(b, trips, &mut |b| {
+        b.with_reg(|b, v| {
+            b.load_static(v, cell);
+            b.addi(v, v, 1);
+            b.store_static(v, cell);
+        });
+        b.work(ints);
+        b.fwork(fps);
+    });
+}
+
+/// A counted loop whose trip count is drawn (at run time) uniformly from
+/// `lo..=hi` via the guest LCG — the signature move of the *irregular*
+/// workloads (`applu`, `perl`, `go`): the iteration-count stride
+/// predictor cannot lock onto it.
+pub fn var_loop(
+    b: &mut ProgramBuilder,
+    lo: i32,
+    hi: i32,
+    body: &mut dyn FnMut(&mut ProgramBuilder, Reg),
+) {
+    assert!(lo <= hi && lo >= 0, "need 0 <= lo <= hi");
+    // Like `nest_work`, each call site owns a memory accumulator so that
+    // even irregular loops have a live-in memory location (their values
+    // stride by the — varying — trip count, so they predict only
+    // partially, as the paper's integer codes do).
+    let cell = b.alloc_static(1);
+    let n = b.alloc_reg();
+    b.rng_below(n, hi - lo + 1);
+    b.op_imm(AluOp::Add, n, n, lo);
+    b.counted_loop(n, |b, i| {
+        b.with_reg(|b, v| {
+            b.load_static(v, cell);
+            b.addi(v, v, 1);
+            b.store_static(v, cell);
+        });
+        body(b, i)
+    });
+    b.free_reg(n);
+}
+
+/// A triangular nest: the inner trip count equals the outer induction
+/// value (iteration counts 0,1,2,… — a perfectly *strided* count that
+/// rewards the STR predictor over last-count prediction).
+pub fn triangular(b: &mut ProgramBuilder, n: i64, body: &mut dyn FnMut(&mut ProgramBuilder)) {
+    b.counted_loop(n, |b, i| {
+        b.loop_from_reg_zero(i, body);
+    });
+}
+
+/// An interpreter-style dispatch loop: `outer` trips, each selecting one
+/// of `arms` via the guest RNG and a jump table. `arm_gen` emits arm `k`'s
+/// code (typically a distinct small loop — this is how the integer codes
+/// get their large *static* loop populations).
+pub fn dispatch_loop(
+    b: &mut ProgramBuilder,
+    outer: impl Into<loopspec_asm::Operand>,
+    arms: usize,
+    arm_gen: &mut dyn FnMut(&mut ProgramBuilder, usize),
+) {
+    b.counted_loop(outer, |b, _| {
+        let sel = b.alloc_reg();
+        b.rng_below(sel, arms as i32);
+        b.switch_table(sel, arms, |b, k| arm_gen(b, k));
+        b.free_reg(sel);
+    });
+}
+
+/// A data-dependent `while` search: scans an array until a sentinel is
+/// found. `len` values are written first so the scan length is
+/// `pos_of_sentinel + 1`; with `sentinel_at` drawn from the RNG the trip
+/// count varies per execution.
+pub fn search_loop(b: &mut ProgramBuilder, base: i64, len: i32) {
+    let idx = b.alloc_reg();
+    let val = b.alloc_reg();
+    let target = b.alloc_reg();
+    // Pick a random sentinel position and store a marker there.
+    b.rng_below(target, len);
+    b.with_reg(|b, one| {
+        b.li(one, 1);
+        b.store_idx(one, base, target);
+    });
+    // Scan for it.
+    b.li(idx, 0);
+    b.while_loop(
+        |b| {
+            b.load_idx(val, base, idx);
+            (Cond::Eq, val, Reg::ZERO)
+        },
+        |b| {
+            b.addi(idx, idx, 1);
+            b.work(2);
+        },
+    );
+    // Clear the marker for the next execution.
+    b.store_idx(Reg::ZERO, base, target);
+    b.free_reg(target);
+    b.free_reg(val);
+    b.free_reg(idx);
+}
+
+/// A 2-D stencil sweep over a `rows × cols` array with `fps` FP
+/// operations and a load/store per point — the memory-touching core of
+/// `swim`/`tomcatv`/`hydro2d`.
+pub fn stencil2d(b: &mut ProgramBuilder, base: i64, rows: i64, cols: i64, fps: u32) {
+    let off = b.alloc_reg();
+    let v = b.alloc_reg();
+    b.counted_loop(rows, |b, j| {
+        b.counted_loop(cols, |b, i| {
+            // off = j * cols + i
+            b.op_imm(AluOp::Mul, off, j, cols as i32);
+            b.op(AluOp::Add, off, off, i);
+            b.load_idx(v, base, off);
+            b.addi(v, v, 1);
+            b.fwork(fps);
+            b.store_idx(v, base, off);
+        });
+    });
+    b.free_reg(v);
+    b.free_reg(off);
+}
+
+/// Defines a *self*-recursive tree-walk function `name`: each activation
+/// runs a `fanout`-trip loop whose body recurses, plus `ints` filler
+/// work. Invoke with `call_recursive`.
+///
+/// Note the paper's recursion rule (§2.2): all instantiations of the
+/// *same static loop* reached through recursive activations without an
+/// intervening return are classified as **one loop execution** — the CLS
+/// finds `T` already present and treats the inner instance as a new
+/// iteration. Self-recursion therefore does *not* build nesting depth;
+/// use [`define_walker_chain`] (distinct loops per level) when depth is
+/// the goal.
+pub fn define_recursive_walker(b: &mut ProgramBuilder, name: &str, fanout: i64, ints: u32) {
+    let name_owned = name.to_string();
+    b.define_func(name, move |b| {
+        let depth = b.alloc_reg();
+        b.mov(depth, ProgramBuilder::ARG_REGS[0]);
+        b.work(ints);
+        b.with_reg(|b, zero_chk| {
+            b.li(zero_chk, 0);
+            b.if_then(Cond::GtS, depth, zero_chk, |b| {
+                b.counted_loop(fanout, |b, _child| {
+                    b.addi(ProgramBuilder::ARG_REGS[0], depth, -1);
+                    b.call_func(&name_owned);
+                });
+            });
+        });
+        b.free_reg(depth);
+    });
+}
+
+/// Calls a function defined by [`define_recursive_walker`] with the given
+/// recursion depth.
+pub fn call_recursive(b: &mut ProgramBuilder, name: &str, depth: impl Into<loopspec_asm::Operand>) {
+    b.set_arg(0, depth);
+    b.call_func(name);
+}
+
+/// Defines a *chain* of tree-walk functions `prefix0 … prefix{levels-1}`,
+/// each containing its own statically distinct loop (RNG trip count in
+/// `lo..=hi`) that calls the next level. This is how the deep-nesting
+/// integer codes (`go`, `li`, `gcc`) stack 7–11 loops on the CLS: the
+/// paper's recursion rule merges re-entered *identical* loops, so depth
+/// requires distinct loops down the call chain.
+///
+/// Expected walk size grows as `((lo+hi)/2)^levels`; keep `levels ≤ 10`
+/// with `hi ≤ 3`.
+pub fn define_walker_chain(
+    b: &mut ProgramBuilder,
+    prefix: &str,
+    levels: usize,
+    lo: i32,
+    hi: i32,
+    ints: u32,
+) {
+    assert!(levels >= 1, "need at least one level");
+    for k in 0..levels {
+        let name = format!("{prefix}{k}");
+        let child = if k + 1 < levels {
+            Some(format!("{prefix}{}", k + 1))
+        } else {
+            None
+        };
+        b.define_func(&name, move |b| {
+            b.work(ints);
+            match &child {
+                Some(child) => {
+                    var_loop(b, lo, hi, &mut |b, _i| {
+                        b.work(2);
+                        b.call_func(child);
+                    });
+                }
+                None => b.work(ints),
+            }
+        });
+    }
+}
+
+/// Calls the root of a [`define_walker_chain`].
+pub fn call_chain(b: &mut ProgramBuilder, prefix: &str) {
+    b.call_func(&format!("{prefix}0"));
+}
+
+/// Extension trait hosting a small helper used by [`triangular`].
+trait LoopFromZero {
+    fn loop_from_reg_zero(&mut self, bound: Reg, body: &mut dyn FnMut(&mut ProgramBuilder));
+}
+
+impl LoopFromZero for ProgramBuilder {
+    /// A counted loop from 0 up to the value of `bound`.
+    fn loop_from_reg_zero(&mut self, bound: Reg, body: &mut dyn FnMut(&mut ProgramBuilder)) {
+        let i = self.alloc_reg();
+        self.li(i, 0);
+        self.loop_from_reg(i, bound, |b, _| body(b));
+        self.free_reg(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopspec_core::{EventCollector, LoopStats};
+    use loopspec_cpu::{Cpu, RunLimits};
+
+    fn run_stats(build: impl FnOnce(&mut ProgramBuilder)) -> (loopspec_core::LoopStatsReport, u64) {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let p = b.finish().expect("assembles");
+        let mut c = EventCollector::default();
+        let summary = Cpu::new()
+            .run(&p, &mut c, RunLimits::default())
+            .expect("runs");
+        assert!(summary.halted(), "kernel program must halt");
+        let (events, n) = c.into_parts();
+        let mut s = LoopStats::new();
+        s.observe_all(&events);
+        (s.report(n), n)
+    }
+
+    #[test]
+    fn nest_reaches_requested_depth() {
+        let (r, _) = run_stats(|b| nest_work(b, &[3, 3, 3, 3], 2, 0));
+        assert_eq!(r.max_nesting, 4);
+        assert_eq!(r.static_loops, 4);
+    }
+
+    #[test]
+    fn var_loop_trip_counts_vary() {
+        let (r, _) = run_stats(|b| {
+            b.counted_loop(30, |b, _| {
+                var_loop(b, 2, 9, &mut |b, _| b.work(1));
+            });
+        });
+        // Average iterations of the inner loop sit strictly inside (2, 9).
+        assert!(r.iter_per_exec > 2.0 && r.iter_per_exec < 12.0, "{r:?}");
+        assert_eq!(r.max_nesting, 2);
+    }
+
+    #[test]
+    fn triangular_executes_half_square() {
+        let (r, _) = run_stats(|b| triangular(b, 12, &mut |b| b.work(1)));
+        // Inner executions with i = 0 trips contribute nothing; the
+        // detector sees executions for i >= 2 (i = 1 is a one-shot).
+        assert_eq!(r.max_nesting, 2);
+        assert!(r.executions > 10);
+    }
+
+    #[test]
+    fn dispatch_loop_emits_distinct_static_loops() {
+        let (r, _) = run_stats(|b| {
+            dispatch_loop(b, 40, 5, &mut |b, k| {
+                b.counted_loop(3 + k as i64, |b, _| b.work(2));
+            });
+        });
+        // 1 outer + up to 5 arm loops (all visited with 40 spins).
+        assert!(r.static_loops >= 5, "{r:?}");
+    }
+
+    #[test]
+    fn search_loop_varies_and_terminates() {
+        let (r, n) = run_stats(|b| {
+            let base = b.alloc_static(64);
+            b.counted_loop(20, |b, _| {
+                search_loop(b, base, 40);
+            });
+        });
+        assert!(n > 1000);
+        assert!(r.iter_per_exec > 2.0, "{r:?}");
+    }
+
+    #[test]
+    fn stencil_touches_memory_in_a_nest() {
+        let (r, _) = run_stats(|b| {
+            let base = b.alloc_static(64);
+            stencil2d(b, base, 8, 8, 2);
+        });
+        assert_eq!(r.max_nesting, 2);
+        assert!(r.instr_per_iter > 5.0);
+    }
+
+    #[test]
+    fn self_recursion_merges_same_loop_instances() {
+        // The paper's §2.2 recursion rule: re-entering the same static
+        // loop through recursion is a new *iteration*, not a nested
+        // execution — so depth stays at 1 despite 5 recursion levels.
+        let (r, _) = run_stats(|b| {
+            define_recursive_walker(b, "walk", 2, 3);
+            call_recursive(b, "walk", 5i64);
+        });
+        assert_eq!(r.max_nesting, 1, "{r:?}");
+        assert!(r.executions > 5);
+    }
+
+    #[test]
+    fn walker_chain_stacks_distinct_loops() {
+        let (r, _) = run_stats(|b| {
+            define_walker_chain(b, "lvl", 6, 2, 3, 2);
+            call_chain(b, "lvl");
+        });
+        // Five loop-bearing levels (the leaf has none).
+        assert_eq!(r.static_loops, 5, "{r:?}");
+        assert!(r.max_nesting >= 4, "distinct loops must nest: {r:?}");
+    }
+}

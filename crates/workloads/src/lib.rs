@@ -1,0 +1,199 @@
+//! # loopspec-workloads — the synthetic SPEC95-shaped benchmark suite
+//!
+//! The paper evaluates on the 18 SPEC95 programs compiled for DEC Alpha.
+//! SPEC95 is proprietary and long-retired, so this crate substitutes a
+//! suite of 18 synthetic SLA programs, one per SPEC95 program, each
+//! *calibrated to that program's loop personality* as characterised by the
+//! paper itself:
+//!
+//! * Table 1 — iterations/execution, instructions/iteration, average and
+//!   maximum nesting level (our [`PaperRow`] carries the original
+//!   values for side-by-side reporting);
+//! * Table 2 — speculation hit ratio under STR(3), which reflects how
+//!   *regular* each program's iteration counts are (`compress` at 100 %
+//!   gets constant trip counts; `applu` at 54 % gets RNG-driven ones);
+//! * structural traits called out in the paper: recursion (`li`, `go`),
+//!   interpreter dispatch (`perl`, `m88ksim`, `gcc`), deep FP nests
+//!   (`fpppp`, `ijpeg`), huge loop bodies (`fpppp`), time-step outer
+//!   loops (the Fortran codes).
+//!
+//! Dynamic instruction counts are scaled down from the paper's 10⁹–10¹¹
+//! range (see [`Scale`]); the paper's own Figure 5 shows that a reduced
+//! prefix behaves like the full run. Static loop counts scale down
+//! similarly (tens instead of hundreds-to-thousands).
+//!
+//! ## Example
+//!
+//! ```
+//! use loopspec_workloads::{all, by_name, Scale};
+//!
+//! assert_eq!(all().len(), 18);
+//! let w = by_name("swim").expect("swim exists");
+//! let program = w.build(Scale::Test)?;
+//! assert!(program.len() > 50);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod kernels;
+mod suite;
+
+use loopspec_asm::{AsmError, Program};
+
+/// Run-length scale for a workload.
+///
+/// Scales the top-level repetition counts; loop *shapes* (trip counts,
+/// nesting, body sizes) are scale-invariant so every statistic except
+/// total instructions is stable across scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ~100 k instructions — unit tests and doc examples.
+    Test,
+    /// ~0.5–1 M instructions — quick experiment sweeps.
+    Small,
+    /// ~2–6 M instructions — the EXPERIMENTS.md numbers.
+    Full,
+}
+
+impl Scale {
+    /// Multiplier applied to top-level repetition counts.
+    pub fn factor(self) -> i64 {
+        match self {
+            Scale::Test => 1,
+            Scale::Small => 6,
+            Scale::Full => 24,
+        }
+    }
+}
+
+/// The paper's Table 1 row for the original SPEC95 program (for
+/// side-by-side reporting in `EXPERIMENTS.md`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Dynamic instructions, in units of 10⁹.
+    pub instr_g: f64,
+    /// Static loop count.
+    pub loops: u32,
+    /// Average iterations per execution.
+    pub iter_per_exec: f64,
+    /// Average instructions per iteration.
+    pub instr_per_iter: f64,
+    /// Average nesting level.
+    pub avg_nl: f64,
+    /// Maximum nesting level.
+    pub max_nl: u32,
+    /// Table 2 hit ratio (%) under STR(3) with 4 TUs.
+    pub hit_ratio: f64,
+}
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// SPEC95 program name this workload mimics.
+    pub name: &'static str,
+    /// One-line description of the synthetic structure.
+    pub description: &'static str,
+    /// The paper's reference numbers for the original program.
+    pub paper: PaperRow,
+    build: fn(Scale) -> Result<Program, AsmError>,
+}
+
+impl Workload {
+    /// Assembles the workload at the given scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler errors; the suite's tests guarantee these do
+    /// not occur for shipped workloads.
+    pub fn build(&self, scale: Scale) -> Result<Program, AsmError> {
+        (self.build)(scale)
+    }
+}
+
+/// All 18 workloads in the paper's (alphabetical) Table 1 order.
+pub fn all() -> Vec<Workload> {
+    suite::all()
+}
+
+/// Looks up a workload by its SPEC95 name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for per-workload shape tests.
+
+    use loopspec_core::{EventCollector, LoopStats, LoopStatsReport};
+    use loopspec_cpu::{Cpu, RunLimits};
+
+    use crate::{Scale, Workload};
+
+    /// Builds and runs a workload, returning its loop-statistics report.
+    pub fn run_report(w: &Workload, scale: Scale) -> LoopStatsReport {
+        let p = w
+            .build(scale)
+            .unwrap_or_else(|e| panic!("{} failed to assemble: {e}", w.name));
+        let mut c = EventCollector::default();
+        let summary = Cpu::new()
+            .run(&p, &mut c, RunLimits::default())
+            .unwrap_or_else(|e| panic!("{} failed to run: {e}", w.name));
+        assert!(summary.halted(), "{} must halt, got {summary:?}", w.name);
+        let (events, n) = c.into_parts();
+        let mut s = LoopStats::new();
+        s.observe_all(&events);
+        s.report(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_complete_and_ordered() {
+        let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "applu", "apsi", "compress", "fpppp", "gcc", "go", "hydro2d", "ijpeg", "li",
+                "m88ksim", "mgrid", "perl", "su2cor", "swim", "tomcatv", "turb3d", "vortex",
+                "wave5",
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("gcc").is_some());
+        assert!(by_name("specmark").is_none());
+    }
+
+    #[test]
+    fn every_workload_assembles_at_test_scale() {
+        for w in all() {
+            let p = w.build(Scale::Test).unwrap_or_else(|e| {
+                panic!("{} failed to assemble: {e}", w.name);
+            });
+            assert!(p.len() > 20, "{} is suspiciously tiny", w.name);
+        }
+    }
+
+    #[test]
+    fn scale_factors_are_monotone() {
+        assert!(Scale::Test.factor() < Scale::Small.factor());
+        assert!(Scale::Small.factor() < Scale::Full.factor());
+    }
+
+    #[test]
+    fn paper_rows_match_table_1() {
+        let swim = by_name("swim").unwrap();
+        assert_eq!(swim.paper.iter_per_exec, 188.54);
+        assert_eq!(swim.paper.max_nl, 3);
+        let go = by_name("go").unwrap();
+        assert_eq!(go.paper.max_nl, 11);
+        assert_eq!(go.paper.loops, 709);
+    }
+}

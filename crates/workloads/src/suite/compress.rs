@@ -1,0 +1,84 @@
+//! `compress` — LZW text compression.
+//!
+//! Paper personality: the *perfectly predictable* program — 100.00 % hit
+//! ratio (its loops repeat identical trip counts), small bodies (84.7
+//! instructions/iteration), shallow nesting (2.52 avg / 4 max), 6.27
+//! iterations/execution.
+//!
+//! Synthetic structure: a block-compression pipeline where every loop
+//! has a compile-time-constant trip count: byte scan → hash probe chain
+//! (fixed depth) → code emit, repeated over input blocks.
+
+use loopspec_asm::{AsmError, Program, ProgramBuilder};
+use loopspec_isa::AluOp;
+
+use crate::{PaperRow, Scale, Workload};
+
+const BLOCK: i64 = 24;
+const PROBES: i64 = 6;
+
+/// The `compress` workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "compress",
+        description: "LZW-style pipeline with strictly constant trip counts everywhere",
+        paper: PaperRow {
+            instr_g: 61.05,
+            loops: 45,
+            iter_per_exec: 6.27,
+            instr_per_iter: 84.65,
+            avg_nl: 2.52,
+            max_nl: 4,
+            hit_ratio: 100.00,
+        },
+        build,
+    }
+}
+
+fn build(scale: Scale) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::with_seed(0xc0b9);
+    let input = b.alloc_static(BLOCK);
+    let table = b.alloc_static(256);
+
+    b.counted_loop(40 * scale.factor(), |b, _blk| {
+        // Fill the input block deterministically.
+        b.counted_loop(BLOCK, |b, i| {
+            b.with_reg(|b, v| {
+                b.op_imm(AluOp::Mul, v, i, 37);
+                b.op_imm(AluOp::And, v, v, 0xff);
+                b.store_idx(v, input, i);
+            });
+        });
+        // Compress: per byte, probe the hash chain a fixed number of
+        // times and update the table.
+        b.counted_loop(BLOCK, |b, i| {
+            let h = b.alloc_reg();
+            b.load_idx(h, input, i);
+            b.counted_loop(PROBES, |b, _p| {
+                b.op_imm(AluOp::Mul, h, h, 61);
+                b.op_imm(AluOp::And, h, h, 0xff);
+                b.with_reg(|b, e| {
+                    b.load_idx(e, table, h);
+                    b.addi(e, e, 1);
+                    b.store_idx(e, table, h);
+                });
+            });
+            b.work(4); // code emission
+            b.free_reg(h);
+        });
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_report;
+
+    #[test]
+    fn shape_matches_personality() {
+        let r = run_report(&workload(), Scale::Test);
+        assert_eq!(r.max_nesting, 3, "{r:?}");
+        assert!(r.iter_per_exec > 4.0 && r.iter_per_exec < 30.0, "{r:?}");
+    }
+}

@@ -1,0 +1,97 @@
+//! `fpppp` — quantum-chemistry two-electron integrals.
+//!
+//! Paper personality: the outlier — *enormous* loop bodies (3217.8
+//! instructions per iteration, 12× the next largest), very short
+//! executions (3.05 iterations), deep call-driven nesting (6.66 avg,
+//! 9 max), hit ratio 86.9 %.
+//!
+//! Synthetic structure: shell-pair loops whose bodies are two huge
+//! straight-line integral kernels (hundreds of filler instructions plus
+//! calls), nested through a chain of subroutines to reach depth 9.
+
+use loopspec_asm::{AsmError, Program, ProgramBuilder};
+
+use crate::kernels::var_loop;
+use crate::{PaperRow, Scale, Workload};
+
+/// The `fpppp` workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "fpppp",
+        description: "tiny trip counts around gigantic straight-line integral bodies",
+        paper: PaperRow {
+            instr_g: 144.49,
+            loops: 83,
+            iter_per_exec: 3.05,
+            instr_per_iter: 3217.80,
+            avg_nl: 6.66,
+            max_nl: 9,
+            hit_ratio: 86.92,
+        },
+        build,
+    }
+}
+
+fn build(scale: Scale) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::with_seed(0xf999);
+
+    // The giant straight-line integral kernel (≈ 700 instructions).
+    b.define_func("integral", |b| {
+        b.work(300);
+        b.fwork(350);
+        b.work(50);
+    });
+
+    // Contraction: 3-deep short nest around the integral kernel.
+    b.define_func("contract", |b| {
+        var_loop(b, 2, 4, &mut |b, _k| {
+            b.counted_loop(3, |b, _l| {
+                b.counted_loop(2, |b, _m| {
+                    b.call_func("integral");
+                    b.fwork(40);
+                });
+            });
+        });
+    });
+
+    // Shell-pair driver: 4 outer levels (2 in main, 2 in `shell`).
+    b.define_func("shell", |b| {
+        b.counted_loop(2, |b, _i| {
+            var_loop(b, 2, 3, &mut |b, _j| {
+                b.call_func("contract");
+            });
+        });
+    });
+
+    // The outer loop keeps a *fixed*, small trip count — like the
+    // paper's 10⁹-instruction window, which sees only a few outer
+    // iterations — and the run scales by structurally repeating the
+    // phase code (each repetition is a distinct set of static loops).
+    b.counted_loop(3, |b, _pass| {
+        for _rep in 0..scale.factor() {
+            b.counted_loop(3, |b, _p| {
+                b.counted_loop(2, |b, _q| {
+                    b.call_func("shell");
+                });
+            });
+        }
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_report;
+
+    #[test]
+    fn shape_matches_personality() {
+        let r = run_report(&workload(), Scale::Test);
+        assert!(r.max_nesting >= 7, "{r:?}");
+        assert!(
+            r.instr_per_iter > 300.0,
+            "fpppp must have huge bodies: {r:?}"
+        );
+        assert!(r.iter_per_exec < 6.0, "{r:?}");
+    }
+}

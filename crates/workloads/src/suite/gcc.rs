@@ -1,0 +1,81 @@
+//! `gcc` — the GNU C compiler (cc1).
+//!
+//! Paper personality: by far the most *static* loops (1229), small
+//! bodies (80 instructions/iteration), short executions (5.28
+//! iterations), moderate-depth nesting through recursive tree walks
+//! (3.43 avg / 7 max), mediocre predictability (76 %).
+//!
+//! Synthetic structure: per "function being compiled": a recursive
+//! parse-tree walk (loops inside recursion), then a pass pipeline
+//! dispatching over many *distinct static loops* — arms mix fixed and
+//! RNG trip counts, reproducing both the loop population and the mixed
+//! hit ratio.
+
+use loopspec_asm::{AsmError, Program, ProgramBuilder};
+
+use crate::kernels::{call_chain, define_walker_chain, dispatch_loop, var_loop};
+use crate::{PaperRow, Scale, Workload};
+
+/// Arms in the pass-pipeline dispatch (each is a distinct static loop).
+const PASS_ARMS: usize = 14;
+
+/// The `gcc` workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "gcc",
+        description: "recursive tree walks + a pass pipeline of many distinct small loops",
+        paper: PaperRow {
+            instr_g: 1.93,
+            loops: 1229,
+            iter_per_exec: 5.28,
+            instr_per_iter: 80.21,
+            avg_nl: 3.43,
+            max_nl: 7,
+            hit_ratio: 76.05,
+        },
+        build,
+    }
+}
+
+fn build(scale: Scale) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::with_seed(0x9cc1);
+    // Recursive descent: expr → term → factor → … — each level its own
+    // statically distinct loop, stacking to depth ~7 on the CLS.
+    define_walker_chain(&mut b, "parse", 7, 1, 3, 6);
+
+    b.counted_loop(10 * scale.factor(), |b, _func| {
+        // Front end: recursive descent with per-level loops.
+        call_chain(b, "parse");
+        // Optimisation passes: one dispatch spin per RTL insn; every arm
+        // is a statically distinct loop, half fixed-trip, half RNG-trip.
+        dispatch_loop(b, 18, PASS_ARMS, &mut |b, k| {
+            if k % 2 == 0 {
+                b.counted_loop(3 + (k as i64 % 5), |b, _| b.work(7));
+            } else {
+                var_loop(b, 2, 7, &mut |b, _| b.work(7));
+            }
+        });
+        // Register allocation: a triangular-ish conflict scan.
+        var_loop(b, 4, 9, &mut |b, _| {
+            b.counted_loop(4, |b, _| b.work(5));
+        });
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_report;
+
+    #[test]
+    fn shape_matches_personality() {
+        let r = run_report(&workload(), Scale::Test);
+        assert!(
+            r.static_loops >= PASS_ARMS + 4,
+            "gcc needs a large loop population: {r:?}"
+        );
+        assert!(r.max_nesting >= 5, "{r:?}");
+        assert!(r.iter_per_exec < 10.0, "{r:?}");
+    }
+}

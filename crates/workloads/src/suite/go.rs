@@ -1,0 +1,80 @@
+//! `go` — the game of Go (Many Faces of Go engine).
+//!
+//! Paper personality: the deepest nesting of the suite (max 11 — loops
+//! inside recursive game-tree search), short irregular executions (3.76
+//! iterations, 71.2 % hit ratio), moderate bodies (156.6
+//! instructions/iteration).
+//!
+//! Synthetic structure: alternating board-scan nests and a recursive
+//! tactical search whose per-node move loops have RNG trip counts — the
+//! CLS stacks one loop per recursion level, reaching depth 10+.
+
+use loopspec_asm::{AsmError, Program, ProgramBuilder};
+
+use crate::kernels::{call_chain, define_walker_chain, nest_work, var_loop};
+use crate::{PaperRow, Scale, Workload};
+
+/// Tactical search depth: distinct move-generator loops per ply.
+const SEARCH_LEVELS: usize = 10;
+
+/// The `go` workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "go",
+        description: "board scans + recursive tactical search with RNG move loops (depth 10+)",
+        paper: PaperRow {
+            instr_g: 38.87,
+            loops: 709,
+            iter_per_exec: 3.76,
+            instr_per_iter: 156.60,
+            avg_nl: 4.86,
+            max_nl: 11,
+            hit_ratio: 71.17,
+        },
+        build,
+    }
+}
+
+fn build(scale: Scale) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::with_seed(0x9090);
+
+    // Tactical search: a ply chain — each ply's move-generation loop is
+    // a distinct static loop (the paper's recursion rule merges
+    // re-entered identical loops, so depth needs distinct ones), with
+    // RNG-sized move lists throughout.
+    define_walker_chain(&mut b, "ply", SEARCH_LEVELS, 1, 3, 14);
+
+    // The outer loop keeps a *fixed*, small trip count — like the
+    // paper's 10⁹-instruction window, which sees only a few outer
+    // iterations — and the run scales by structurally repeating the
+    // phase code (each repetition is a distinct set of static loops).
+    b.counted_loop(4, |b, _turn| {
+        for _rep in 0..scale.factor() {
+            // Full-board influence scan (regular 9×9).
+            nest_work(b, &[9, 9], 8, 0);
+            // Pattern matching per point: small irregular loops.
+            b.counted_loop(9, |b, _row| {
+                var_loop(b, 1, 4, &mut |b, _pat| b.work(9));
+            });
+            // Tactical reading.
+            call_chain(b, "ply");
+        }
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_report;
+
+    #[test]
+    fn shape_matches_personality() {
+        let r = run_report(&workload(), Scale::Test);
+        assert!(
+            r.max_nesting >= 8,
+            "go must nest deeply through recursion: {r:?}"
+        );
+        assert!(r.iter_per_exec < 8.0, "{r:?}");
+    }
+}

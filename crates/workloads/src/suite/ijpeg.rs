@@ -1,0 +1,86 @@
+//! `ijpeg` — JPEG compression/decompression.
+//!
+//! Paper personality: iteration-rich for an integer code (20.75
+//! iterations/execution), big bodies (336 instructions/iteration), deep
+//! (6.37 avg / 9 max — blocked 2-D processing), very regular (96.5 %:
+//! image dimensions are fixed).
+//!
+//! Synthetic structure: block-decomposed image passes: rows × columns of
+//! 8×8 DCT-ish blocks, each running fixed small nests (the 8-point
+//! butterflies) plus a quantisation scan, a structure that stacks to
+//! depth 8-9 through a `dct8x8` subroutine.
+
+use loopspec_asm::{AsmError, Program, ProgramBuilder};
+
+use crate::kernels::nest_work;
+use crate::{PaperRow, Scale, Workload};
+
+const MCU_ROWS: i64 = 6;
+const MCU_COLS: i64 = 20;
+
+/// The `ijpeg` workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "ijpeg",
+        description: "blocked image passes over 8×8 DCT kernels with fixed dimensions",
+        paper: PaperRow {
+            instr_g: 40.98,
+            loops: 198,
+            iter_per_exec: 20.75,
+            instr_per_iter: 336.26,
+            avg_nl: 6.37,
+            max_nl: 9,
+            hit_ratio: 96.54,
+        },
+        build,
+    }
+}
+
+fn build(scale: Scale) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::with_seed(0x19e6);
+
+    // 8×8 block transform: row pass, column pass, quant scan — depth 3
+    // inside the function, plus a zig-zag output loop.
+    b.define_func("dct8x8", |b| {
+        nest_work(b, &[8, 8], 3, 2); // row butterflies
+        nest_work(b, &[8, 8], 3, 2); // column butterflies
+        b.counted_loop(64, |b, _z| {
+            b.work(2); // quant + zig-zag
+        });
+    });
+
+    // The outer loop keeps a *fixed*, small trip count — like the
+    // paper's 10⁹-instruction window, which sees only a few outer
+    // iterations — and the run scales by structurally repeating the
+    // phase code (each repetition is a distinct set of static loops).
+    b.counted_loop(3, |b, _pass| {
+        for _rep in 0..scale.factor() {
+            // Component loop × MCU grid.
+            b.counted_loop(3, |b, _comp| {
+                b.counted_loop(MCU_ROWS, |b, _r| {
+                    b.counted_loop(MCU_COLS, |b, _c| {
+                        b.call_func("dct8x8");
+                    });
+                });
+            });
+            // Entropy-coding pass: long flat scan.
+            b.counted_loop(MCU_ROWS * MCU_COLS * 4, |b, _u| {
+                b.work(6);
+            });
+        }
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_report;
+
+    #[test]
+    fn shape_matches_personality() {
+        let r = run_report(&workload(), Scale::Test);
+        assert!(r.max_nesting >= 6, "{r:?}");
+        assert!(r.iter_per_exec > 10.0, "{r:?}");
+    }
+}

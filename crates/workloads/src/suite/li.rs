@@ -1,0 +1,83 @@
+//! `li` — the xlisp interpreter.
+//!
+//! Paper personality: short irregular executions (3.48 iterations,
+//! 69.2 % hit ratio — cons-cell list lengths vary), deep nesting through
+//! recursive `eval` (5.15 avg / 10 max), small-to-medium bodies (107.8
+//! instructions/iteration).
+//!
+//! Synthetic structure: a read-eval-print driver: recursive `eval` whose
+//! per-node argument loops have RNG lengths, plus a periodic mark-sweep
+//! scan over a heap array.
+
+use loopspec_asm::{AsmError, Program, ProgramBuilder};
+use loopspec_isa::{Cond, Reg};
+
+use crate::kernels::{call_chain, define_walker_chain, var_loop};
+use crate::{PaperRow, Scale, Workload};
+
+const HEAP: i64 = 96;
+/// Distinct evaluator levels (eval → apply → evlist → …).
+const EVAL_LEVELS: usize = 8;
+
+/// The `li` workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "li",
+        description: "recursive eval over RNG-shaped cons trees + periodic GC mark loop",
+        paper: PaperRow {
+            instr_g: 70.77,
+            loops: 94,
+            iter_per_exec: 3.48,
+            instr_per_iter: 107.80,
+            avg_nl: 5.15,
+            max_nl: 10,
+            hit_ratio: 69.16,
+        },
+        build,
+    }
+}
+
+fn build(scale: Scale) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::with_seed(0x11f9);
+    let heap = b.alloc_static(HEAP);
+
+    // eval/apply/evlist chain: each interpreter layer has its own
+    // argument-list loop with RNG length, stacking distinct loops on the
+    // CLS per recursion level.
+    define_walker_chain(&mut b, "eval", EVAL_LEVELS, 1, 3, 8);
+
+    b.counted_loop(16 * scale.factor(), |b, i| {
+        // One top-level expression.
+        call_chain(b, "eval");
+
+        // Every 4th expression triggers a GC mark pass (flat heap scan
+        // with a small, RNG-length free-list walk per object).
+        b.with_reg(|b, rem| {
+            b.op_imm(loopspec_isa::AluOp::Rem, rem, i, 4);
+            b.if_then(Cond::Eq, rem, Reg::ZERO, |b| {
+                b.counted_loop(HEAP / 4, |b, o| {
+                    b.with_reg(|b, m| {
+                        b.load_idx(m, heap, o);
+                        b.addi(m, m, 1);
+                        b.store_idx(m, heap, o);
+                    });
+                    var_loop(b, 1, 2, &mut |b, _f| b.work(3));
+                });
+            });
+        });
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_report;
+
+    #[test]
+    fn shape_matches_personality() {
+        let r = run_report(&workload(), Scale::Test);
+        assert!(r.max_nesting >= 6, "recursion must nest: {r:?}");
+        assert!(r.iter_per_exec < 7.0, "short lists: {r:?}");
+    }
+}

@@ -1,0 +1,92 @@
+//! `m88ksim` — Motorola 88100 processor simulator.
+//!
+//! Paper personality: the *shallowest* real nesting (1.98 avg — one hot
+//! fetch-decode-execute loop with flat helpers), tiny bodies (39.8
+//! instructions/iteration, smallest in the suite), 9.38
+//! iterations/execution, very regular (97.3 %).
+//!
+//! Synthetic structure: a long main simulation loop dispatching over an
+//! opcode table; every helper loop has a constant trip count (register
+//! file save, TLB probe, …), so only the dispatch path varies.
+
+use loopspec_asm::{AsmError, Program, ProgramBuilder};
+
+use crate::kernels::dispatch_loop;
+use crate::{PaperRow, Scale, Workload};
+
+const OPCODES: usize = 7;
+
+/// The `m88ksim` workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "m88ksim",
+        description: "flat fetch-decode-execute loop over constant-trip helper loops",
+        paper: PaperRow {
+            instr_g: 79.19,
+            loops: 127,
+            iter_per_exec: 9.38,
+            instr_per_iter: 39.82,
+            avg_nl: 1.98,
+            max_nl: 5,
+            hit_ratio: 97.32,
+        },
+        build,
+    }
+}
+
+fn build(scale: Scale) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::with_seed(0x88_500);
+    let regfile = b.alloc_static(32);
+
+    // The simulated-CPU main loop: fetch (memory), decode (dispatch),
+    // execute (small fixed helper loops).
+    dispatch_loop(&mut b, 220 * scale.factor(), OPCODES, &mut |b, k| {
+        match k {
+            // Loads/stores: register-file scan of fixed length.
+            0 | 1 => {
+                b.counted_loop(8, |b, r| {
+                    b.with_reg(|b, v| {
+                        b.load_idx(v, regfile, r);
+                        b.addi(v, v, 1);
+                        b.store_idx(v, regfile, r);
+                    });
+                });
+            }
+            // ALU ops: straight-line semantics.
+            2 | 3 => b.work(14),
+            // Branches: small fixed predictor-update loop.
+            4 => {
+                b.counted_loop(6, |b, _| b.work(3));
+            }
+            // TLB probe: two-level fixed mini-nest.
+            5 => {
+                b.counted_loop(4, |b, _| {
+                    b.counted_loop(4, |b, _| b.work(2));
+                });
+            }
+            // Exception path (rare-ish): the deepest fixed nest.
+            _ => {
+                b.counted_loop(3, |b, _| {
+                    b.counted_loop(3, |b, _| {
+                        b.counted_loop(4, |b, _| b.work(3));
+                    });
+                });
+            }
+        }
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_report;
+
+    #[test]
+    fn shape_matches_personality() {
+        let r = run_report(&workload(), Scale::Test);
+        assert!(r.avg_nesting < 3.0, "m88ksim is flat: {r:?}");
+        assert_eq!(r.max_nesting, 4, "{r:?}");
+        assert!(r.instr_per_iter < 60.0, "tiny bodies: {r:?}");
+    }
+}

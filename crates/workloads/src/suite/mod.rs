@@ -1,0 +1,48 @@
+//! The 18 SPEC95-shaped workloads, one module each.
+//!
+//! Every module exposes a `workload()` constructor; `all()` returns them
+//! in the paper's Table 1 (alphabetical) order.
+
+mod applu;
+mod apsi;
+mod compress;
+mod fpppp;
+mod gcc;
+mod go;
+mod hydro2d;
+mod ijpeg;
+mod li;
+mod m88ksim;
+mod mgrid;
+mod perl;
+mod su2cor;
+mod swim;
+mod tomcatv;
+mod turb3d;
+mod vortex;
+mod wave5;
+
+use crate::Workload;
+
+pub(crate) fn all() -> Vec<Workload> {
+    vec![
+        applu::workload(),
+        apsi::workload(),
+        compress::workload(),
+        fpppp::workload(),
+        gcc::workload(),
+        go::workload(),
+        hydro2d::workload(),
+        ijpeg::workload(),
+        li::workload(),
+        m88ksim::workload(),
+        mgrid::workload(),
+        perl::workload(),
+        su2cor::workload(),
+        swim::workload(),
+        tomcatv::workload(),
+        turb3d::workload(),
+        vortex::workload(),
+        wave5::workload(),
+    ]
+}

@@ -1,0 +1,74 @@
+//! `perl` — the Perl interpreter.
+//!
+//! Paper personality: the *worst* speculation target of the integer
+//! codes: shallowest nesting of the whole suite (1.35 avg), tiniest
+//! executions (3.11 iterations), small bodies (47 instructions) and a
+//! 60.3 % hit ratio — interpreted string/list operations have throwaway
+//! loops with data-dependent lengths.
+//!
+//! Synthetic structure: opcode dispatch where *every* arm's loop draws
+//! its trip count from the RNG (many degenerate to one-shots), plus a
+//! rare deeper regex path.
+
+use loopspec_asm::{AsmError, Program, ProgramBuilder};
+
+use crate::kernels::{dispatch_loop, var_loop};
+use crate::{PaperRow, Scale, Workload};
+
+const OPS: usize = 8;
+
+/// The `perl` workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "perl",
+        description: "interpreter dispatch with RNG-length throwaway loops in every arm",
+        paper: PaperRow {
+            instr_g: 30.66,
+            loops: 147,
+            iter_per_exec: 3.11,
+            instr_per_iter: 47.02,
+            avg_nl: 1.35,
+            max_nl: 5,
+            hit_ratio: 60.34,
+        },
+        build,
+    }
+}
+
+fn build(scale: Scale) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::with_seed(0x9e71);
+
+    dispatch_loop(&mut b, 150 * scale.factor(), OPS, &mut |b, k| {
+        match k {
+            // String ops: scan of RNG length (often 1 → one-shot loops).
+            0..=3 => var_loop(b, 1, 5, &mut |b, _| b.work(6)),
+            // List ops: slightly longer RNG scans.
+            4 | 5 => var_loop(b, 1, 8, &mut |b, _| b.work(4)),
+            // Hash op: RNG probe chain with an inner fixed touch.
+            6 => var_loop(b, 1, 4, &mut |b, _| {
+                b.counted_loop(2, |b, _| b.work(3));
+            }),
+            // Regex op: the one deeper path — backtracking mini-nest.
+            _ => var_loop(b, 1, 3, &mut |b, _| {
+                var_loop(b, 1, 3, &mut |b, _| {
+                    var_loop(b, 1, 3, &mut |b, _| b.work(4));
+                });
+            }),
+        }
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_report;
+
+    #[test]
+    fn shape_matches_personality() {
+        let r = run_report(&workload(), Scale::Test);
+        assert!(r.avg_nesting < 2.6, "perl is the flattest: {r:?}");
+        assert!(r.iter_per_exec < 6.0, "{r:?}");
+        assert!(r.instr_per_iter < 60.0, "{r:?}");
+    }
+}

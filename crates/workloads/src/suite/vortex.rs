@@ -1,0 +1,97 @@
+//! `vortex` — object-oriented database transactions.
+//!
+//! Paper personality: a steady transactional mix: 12.08
+//! iterations/execution, 215.6 instructions/iteration, nesting 3.06
+//! avg / 6 max, 90.25 % hit ratio (hash chains are regular; validation
+//! scans are not quite).
+//!
+//! Synthetic structure: a transaction loop over insert/lookup/commit
+//! subsystems, each a subroutine with fixed-trip hash-bucket loops; an
+//! RNG-length integrity scan supplies the irregular minority.
+
+use loopspec_asm::{AsmError, Program, ProgramBuilder};
+use loopspec_isa::AluOp;
+
+use crate::kernels::var_loop;
+use crate::{PaperRow, Scale, Workload};
+
+const BUCKETS: i64 = 64;
+const CHAIN: i64 = 12;
+
+/// The `vortex` workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        name: "vortex",
+        description: "transaction loop over subsystems with fixed hash-chain loops",
+        paper: PaperRow {
+            instr_g: 94.98,
+            loops: 220,
+            iter_per_exec: 12.08,
+            instr_per_iter: 215.56,
+            avg_nl: 3.06,
+            max_nl: 6,
+            hit_ratio: 90.25,
+        },
+        build,
+    }
+}
+
+fn build(scale: Scale) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::with_seed(0x50f7);
+    let index = b.alloc_static(BUCKETS);
+
+    // Insert: hash probe + fixed chain walk, through two call levels
+    // (Db -> Bucket) for call-driven depth.
+    b.define_func("bucket_walk", move |b| {
+        let h = b.alloc_reg();
+        b.mov(h, ProgramBuilder::ARG_REGS[0]);
+        b.counted_loop(CHAIN, |b, _link| {
+            b.op_imm(AluOp::Mul, h, h, 31);
+            b.op_imm(AluOp::Rem, h, h, BUCKETS as i32);
+            b.with_reg(|b, e| {
+                b.load_idx(e, index, h);
+                b.addi(e, e, 1);
+                b.store_idx(e, index, h);
+            });
+            b.work(6);
+        });
+        b.free_reg(h);
+    });
+
+    b.define_func("db_insert", |b| {
+        b.work(12); // object marshalling
+        b.counted_loop(3, |b, part| {
+            b.set_arg(0, part);
+            b.call_func("bucket_walk");
+        });
+    });
+
+    b.counted_loop(8 * scale.factor(), |b, txn| {
+        // A batch of inserts/lookups.
+        b.counted_loop(6, |b, _op| {
+            b.call_func("db_insert");
+            b.fwork(3);
+        });
+        // Periodic integrity scan with RNG extent (the irregular part).
+        b.with_reg(|b, rem| {
+            b.op_imm(AluOp::Rem, rem, txn, 3);
+            b.if_then(loopspec_isa::Cond::Eq, rem, loopspec_isa::Reg::ZERO, |b| {
+                var_loop(b, 6, 18, &mut |b, _| b.work(8));
+            });
+        });
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_report;
+
+    #[test]
+    fn shape_matches_personality() {
+        let r = run_report(&workload(), Scale::Test);
+        assert!(r.max_nesting >= 4, "{r:?}");
+        assert!(r.iter_per_exec > 5.0 && r.iter_per_exec < 20.0, "{r:?}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Data-speculation probe (the paper's §4): profile a workload's loop
+//! iterations, find each loop's most frequent control path, and measure
+//! how stride-predictable the live-in registers and memory locations
+//! are.
+//!
+//! ```text
+//! cargo run --release --example livein_predictor -- compress
+//! ```
+
+use loopspec::dataspec::{PredOutcome, StridePredictor};
+use loopspec::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "compress".to_string());
+    let workload = workload_by_name(&name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+
+    // --- Standalone predictor demo: the LIT stores (last value, stride)
+    // per live-in location and predicts `last + stride`.
+    let mut demo: StridePredictor<&str> = StridePredictor::new();
+    for v in [100u64, 110, 120, 130] {
+        let _ = demo.observe("induction", v);
+    }
+    assert_eq!(demo.observe("induction", 140), PredOutcome::Correct);
+    println!("stride predictor demo: 100,110,120,130 -> predicts 140 ✓\n");
+
+    // --- Full §4 profile of the chosen workload.
+    let program = workload.build(Scale::Test)?;
+    let mut profiler = DataSpecProfiler::new();
+    Cpu::new().run(&program, &mut profiler, RunLimits::with_fuel(1_000_000_000))?;
+    let r = profiler.report();
+
+    println!(
+        "== {} data-speculation statistics (Figure 8 view) ==",
+        workload.name
+    );
+    println!("profiled iterations        {:>10}", r.iterations);
+    println!("distinct loops             {:>10}", r.loops);
+    println!("same path                  {:>9.1}%", r.same_path_percent);
+    println!("live-in regs predicted     {:>9.1}%", r.lr_pred_percent);
+    println!("live-in mem predicted      {:>9.1}%", r.lm_pred_percent);
+    println!("iterations w/ all lr ok    {:>9.1}%", r.all_lr_percent);
+    println!("iterations w/ all lm ok    {:>9.1}%", r.all_lm_percent);
+    println!("iterations w/ all data ok  {:>9.1}%", r.all_data_percent);
+    println!(
+        "\n(the paper reports ~85% same-path coverage across SPEC95, with high\n live-in predictability — see EXPERIMENTS.md for the full comparison)"
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Per-workload loop anatomy report: Table-1-style statistics plus
+//! LET/LIT hit ratios for one of the 18 SPEC95-shaped workloads.
+//!
+//! ```text
+//! cargo run --release --example loop_report -- swim small
+//! cargo run --release --example loop_report -- gcc
+//! ```
+
+use loopspec::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "compress".to_string());
+    let scale = match args.next().as_deref() {
+        None | Some("test") => Scale::Test,
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        Some(other) => return Err(format!("unknown scale `{other}`").into()),
+    };
+
+    let Some(workload) = workload_by_name(&name) else {
+        let names: Vec<&str> = all_workloads().iter().map(|w| w.name).collect();
+        return Err(format!("unknown workload `{name}`; pick one of {names:?}").into());
+    };
+
+    println!("== {} ({}) ==", workload.name, workload.description);
+    let program = workload.build(scale)?;
+    println!("static code: {} instructions", program.len());
+
+    let mut collector = EventCollector::default();
+    Cpu::new().run(
+        &program,
+        &mut collector,
+        RunLimits::with_fuel(1_000_000_000),
+    )?;
+    let (events, instructions) = collector.into_parts();
+
+    let mut stats = LoopStats::new();
+    stats.observe_all(&events);
+    let r = stats.report(instructions);
+    let p = workload.paper;
+    println!("\n{:24} {:>12} {:>12}", "metric", "measured", "paper");
+    println!("{:-<50}", "");
+    println!(
+        "{:24} {:>12} {:>9}e9",
+        "instructions", r.instructions, p.instr_g
+    );
+    println!(
+        "{:24} {:>12} {:>12}",
+        "static loops", r.static_loops, p.loops
+    );
+    println!(
+        "{:24} {:>12.2} {:>12.2}",
+        "iterations/execution", r.iter_per_exec, p.iter_per_exec
+    );
+    println!(
+        "{:24} {:>12.1} {:>12.1}",
+        "instructions/iteration", r.instr_per_iter, p.instr_per_iter
+    );
+    println!(
+        "{:24} {:>12.2} {:>12.2}",
+        "avg nesting", r.avg_nesting, p.avg_nl
+    );
+    println!(
+        "{:24} {:>12} {:>12}",
+        "max nesting", r.max_nesting, p.max_nl
+    );
+
+    println!("\nLET/LIT hit ratios (LRU):");
+    for kind in [TableKind::Let, TableKind::Lit] {
+        for entries in [2usize, 4, 8, 16] {
+            let mut sim = TableHitSim::new(kind, entries);
+            sim.observe_all(&events);
+            print!("  {kind:?}[{entries:>2}] {:>6.2}%", sim.ratio().percent());
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! # loopspec — dynamic loop detection and thread-level control speculation
+//!
+//! A from-scratch Rust reproduction of **Tubella & González, “Control
+//! Speculation in Multithreaded Processors through Dynamic Loop
+//! Detection” (HPCA 1998)**: a hardware mechanism that discovers loops in
+//! the committed instruction stream (no compiler/ISA support), gathers
+//! per-loop history in small associative tables, and uses it to run
+//! *future loop iterations* speculatively on idle thread units.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`isa`] | `loopspec-isa` | The SLA RISC instruction set |
+//! | [`asm`] | `loopspec-asm` | Assembler + structured program builder |
+//! | [`cpu`] | `loopspec-cpu` | Functional simulator with ATOM-style tracing |
+//! | [`core`] | `loopspec-core` | CLS loop detector, LET/LIT tables, statistics |
+//! | [`mt`] | `loopspec-mt` | Thread-speculation engine (TPC, IDLE/STR/STR(i)) |
+//! | [`dataspec`] | `loopspec-dataspec` | Live-in value predictability (paper §4) |
+//! | [`workloads`] | `loopspec-workloads` | 18 SPEC95-shaped synthetic programs |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use loopspec::prelude::*;
+//!
+//! // 1. Write a program (or pick a workload from `loopspec::workloads`).
+//! let mut b = ProgramBuilder::new();
+//! b.counted_loop(100, |b, _i| b.work(20));
+//! let program = b.finish()?;
+//!
+//! // 2. Run it once, detecting loops on the fly.
+//! let mut collector = EventCollector::default();
+//! Cpu::new().run(&program, &mut collector, RunLimits::default())?;
+//! let (events, instructions) = collector.into_parts();
+//!
+//! // 3. Ask the speculation engine what a 4-context machine gets.
+//! let trace = AnnotatedTrace::build(&events, instructions);
+//! let report = Engine::new(&trace, StrPolicy::new(), 4).run();
+//! assert!(report.tpc() > 2.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
+//! paper-vs-measured results; `cargo run --release -p loopspec-bench
+//! --bin repro -- all` regenerates every table and figure.
+
+#![deny(missing_docs)]
+
+pub use loopspec_asm as asm;
+pub use loopspec_core as core;
+pub use loopspec_cpu as cpu;
+pub use loopspec_dataspec as dataspec;
+pub use loopspec_isa as isa;
+pub use loopspec_mt as mt;
+pub use loopspec_workloads as workloads;
+
+/// The most common types, importable in one line.
+pub mod prelude {
+    pub use loopspec_asm::{Operand, Program, ProgramBuilder};
+    pub use loopspec_core::{
+        Cls, EventCollector, LoopDetector, LoopEvent, LoopId, LoopStats, TableHitSim, TableKind,
+    };
+    pub use loopspec_cpu::{Cpu, InstrEvent, RunLimits, Tracer};
+    pub use loopspec_dataspec::DataSpecProfiler;
+    pub use loopspec_isa::{Addr, AluOp, Cond, Instruction, Reg};
+    pub use loopspec_mt::{
+        ideal_tpc, AnnotatedTrace, Engine, IdlePolicy, StrNestedPolicy, StrPolicy,
+    };
+    pub use loopspec_workloads::{all as all_workloads, by_name as workload_by_name, Scale};
+}

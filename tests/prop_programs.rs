@@ -1,0 +1,228 @@
+//! Property tests over *randomly generated structured programs*: for any
+//! terminating program the builder can express, the detector must emit a
+//! well-formed event stream, detection must be deterministic, and the
+//! speculation engine must obey its conservation laws.
+
+use loopspec::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A structured statement tree — the generator's portable AST.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// `n` filler ALU instructions.
+    Work(u8),
+    /// Counted loop with a fixed trip count.
+    Loop(u8, Vec<Stmt>),
+    /// Counted loop with an RNG trip count in `1..=n`.
+    VarLoop(u8, Vec<Stmt>),
+    /// Count-down while loop.
+    While(u8, Vec<Stmt>),
+    /// Two-sided conditional on RNG parity.
+    If(Vec<Stmt>, Vec<Stmt>),
+    /// Early exit from the innermost loop (no-op outside loops).
+    BreakIf,
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![(1u8..12).prop_map(Stmt::Work), Just(Stmt::BreakIf),];
+    leaf.prop_recursive(
+        3,  // depth: keeps loop nesting within the register pool
+        24, // total nodes
+        4,  // items per collection
+        |inner| {
+            prop_oneof![
+                (0u8..5, prop::collection::vec(inner.clone(), 1..3))
+                    .prop_map(|(n, b)| Stmt::Loop(n, b)),
+                (1u8..5, prop::collection::vec(inner.clone(), 1..3))
+                    .prop_map(|(n, b)| Stmt::VarLoop(n, b)),
+                (1u8..5, prop::collection::vec(inner.clone(), 1..3))
+                    .prop_map(|(n, b)| Stmt::While(n, b)),
+                (
+                    prop::collection::vec(inner.clone(), 1..3),
+                    prop::collection::vec(inner, 1..3)
+                )
+                    .prop_map(|(t, e)| Stmt::If(t, e)),
+            ]
+        },
+    )
+}
+
+fn arb_program() -> impl Strategy<Value = Vec<Stmt>> {
+    prop::collection::vec(arb_stmt(), 1..5)
+}
+
+/// Lowers a statement list through the builder. `in_loop` gates
+/// `BreakIf`.
+fn emit(b: &mut ProgramBuilder, stmts: &[Stmt], in_loop: bool) {
+    for s in stmts {
+        match s {
+            Stmt::Work(n) => b.work(*n as u32),
+            Stmt::Loop(n, body) => {
+                b.counted_loop(*n as i64, |b, _i| emit(b, body, true));
+            }
+            Stmt::VarLoop(n, body) => {
+                let r = b.alloc_reg();
+                b.rng_below(r, *n as i32);
+                b.addi(r, r, 1);
+                b.counted_loop(r, |b, _i| emit(b, body, true));
+                b.free_reg(r);
+            }
+            Stmt::While(n, body) => {
+                let c = b.alloc_reg();
+                b.li(c, *n as i64);
+                b.while_loop(
+                    |_| (Cond::GtS, c, Reg::R0),
+                    |b| {
+                        b.addi(c, c, -1);
+                        emit(b, body, true);
+                    },
+                );
+                b.free_reg(c);
+            }
+            Stmt::If(t, e) => {
+                let r = b.alloc_reg();
+                b.rng_below(r, 2);
+                b.if_else(
+                    Cond::Eq,
+                    r,
+                    Reg::R0,
+                    |b| emit(b, t, in_loop),
+                    |b| emit(b, e, in_loop),
+                );
+                b.free_reg(r);
+            }
+            Stmt::BreakIf => {
+                if in_loop {
+                    let r = b.alloc_reg();
+                    b.rng_below(r, 8);
+                    b.break_if(Cond::Eq, r, Reg::R0);
+                    b.free_reg(r);
+                }
+            }
+        }
+    }
+}
+
+fn build_and_run(stmts: &[Stmt], seed: i64) -> (Vec<LoopEvent>, u64) {
+    let mut b = ProgramBuilder::with_seed(seed);
+    emit(&mut b, stmts, false);
+    let program = b.finish().expect("generated program assembles");
+    let mut c = EventCollector::default();
+    let summary = Cpu::new()
+        .run(&program, &mut c, RunLimits::with_fuel(500_000))
+        .expect("generated program executes");
+    assert!(
+        summary.halted(),
+        "generated programs must terminate (ran {} instrs)",
+        summary.retired
+    );
+    c.into_parts()
+}
+
+/// Event-stream well-formedness (same checker as the integration tests,
+/// reduced: dense iterations, matched open/close, monotone positions).
+fn check_events(events: &[LoopEvent]) -> Result<(), TestCaseError> {
+    let mut open: HashMap<LoopId, u32> = HashMap::new();
+    let mut last_pos = 0u64;
+    for e in events {
+        prop_assert!(e.pos() >= last_pos, "position went backwards at {e}");
+        last_pos = e.pos();
+        match *e {
+            LoopEvent::ExecutionStart { loop_id, .. } => {
+                prop_assert!(open.insert(loop_id, 1).is_none(), "double open {loop_id}");
+            }
+            LoopEvent::IterationStart { loop_id, iter, .. } => {
+                let last = open.get_mut(&loop_id);
+                prop_assert!(last.is_some(), "iteration of closed {loop_id}");
+                let last = last.unwrap();
+                prop_assert_eq!(iter, *last + 1, "non-dense iteration index");
+                *last = iter;
+            }
+            LoopEvent::ExecutionEnd {
+                loop_id,
+                iterations,
+                ..
+            }
+            | LoopEvent::Evicted {
+                loop_id,
+                iterations,
+                ..
+            } => {
+                let last = open.remove(&loop_id);
+                prop_assert!(last.is_some(), "close of unopened {loop_id}");
+                prop_assert_eq!(iterations, last.unwrap());
+            }
+            LoopEvent::OneShot { .. } => {}
+        }
+    }
+    prop_assert!(open.is_empty(), "unflushed loops at halt");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_programs_produce_well_formed_events(stmts in arb_program(), seed in 0i64..1_000_000) {
+        let (events, _) = build_and_run(&stmts, seed);
+        check_events(&events)?;
+    }
+
+    #[test]
+    fn detection_is_deterministic(stmts in arb_program(), seed in 0i64..1_000_000) {
+        let (a, na) = build_and_run(&stmts, seed);
+        let (b, nb) = build_and_run(&stmts, seed);
+        prop_assert_eq!(na, nb);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn engine_laws_hold_on_random_programs(stmts in arb_program(), seed in 0i64..1_000_000) {
+        let (events, n) = build_and_run(&stmts, seed);
+        let trace = AnnotatedTrace::build(&events, n);
+        let ideal = ideal_tpc(&trace);
+        prop_assert!(ideal.tpc >= 1.0 - 1e-9);
+        for tus in [2usize, 4] {
+            let r = Engine::new(&trace, StrPolicy::new(), tus).run();
+            prop_assert_eq!(r.spec.threads_spawned, r.spec.resolved());
+            prop_assert!(r.cycles <= n);
+            prop_assert!(r.tpc() >= 1.0 - 1e-9);
+            prop_assert!(r.tpc() <= ideal.tpc + 1e-9,
+                "STR@{} tpc {} beats oracle {}", tus, r.tpc(), ideal.tpc);
+        }
+    }
+
+    #[test]
+    fn loop_stats_are_internally_consistent(stmts in arb_program(), seed in 0i64..1_000_000) {
+        let (events, n) = build_and_run(&stmts, seed);
+        let mut stats = LoopStats::new();
+        stats.observe_all(&events);
+        let r = stats.report(n);
+        prop_assert!(r.iterations >= r.executions);
+        prop_assert!(r.max_nesting as f64 >= r.avg_nesting);
+        prop_assert!(r.static_loops as u64 <= r.executions);
+        if r.executions > 0 {
+            prop_assert!(r.iter_per_exec >= 1.0);
+        }
+    }
+
+    #[test]
+    fn hit_ratio_monotone_in_table_size(stmts in arb_program(), seed in 0i64..1_000_000) {
+        let (events, _) = build_and_run(&stmts, seed);
+        for kind in [TableKind::Let, TableKind::Lit] {
+            let mut prev = -1.0f64;
+            for entries in [2usize, 4, 8, 16] {
+                let mut sim = TableHitSim::new(kind, entries);
+                sim.observe_all(&events);
+                let pct = sim.ratio().percent();
+                prop_assert!(pct >= prev - 1e-9,
+                    "{:?} hit ratio fell from {} to {} at {} entries", kind, prev, pct, entries);
+                prev = pct;
+            }
+        }
+    }
+}
