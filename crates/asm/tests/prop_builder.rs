@@ -1,11 +1,14 @@
-//! Property tests for the assembler and builder: any structured
+//! Property-style tests for the assembler and builder: any structured
 //! composition the builder accepts must assemble into a valid program
 //! (all control-transfer targets in range, exactly one halt boundary,
 //! balanced prologues), and assembly must be deterministic.
+//!
+//! The original suite used `proptest`; the build environment is offline,
+//! so the same generators run off a deterministic xorshift RNG.
 
 use loopspec_asm::{Program, ProgramBuilder};
 use loopspec_isa::{Cond, ControlKind, Instruction, Reg};
-use proptest::prelude::*;
+use loopspec_testutil::Rng;
 
 /// A miniature structure language (distinct from the cross-crate test's:
 /// this one also exercises functions and switch tables).
@@ -20,22 +23,31 @@ enum Piece {
     CallLeaf,
 }
 
-fn arb_piece() -> impl Strategy<Value = Piece> {
-    let leaf = prop_oneof![
-        (1u8..10).prop_map(Piece::Work),
-        (1u8..6).prop_map(Piece::Fwork),
-        (1u8..5).prop_map(Piece::Switch),
-        Just(Piece::CallLeaf),
-    ];
-    leaf.prop_recursive(3, 20, 3, |inner| {
-        prop_oneof![
-            (0u8..6, prop::collection::vec(inner.clone(), 1..3))
-                .prop_map(|(n, b)| Piece::Loop(n, b)),
-            (1u8..6, prop::collection::vec(inner.clone(), 1..3))
-                .prop_map(|(n, b)| Piece::While(n, b)),
-            prop::collection::vec(inner, 1..3).prop_map(Piece::If),
-        ]
-    })
+fn arb_piece(r: &mut Rng, depth: u32) -> Piece {
+    let leafy = depth >= 3 || r.below(2) == 0;
+    if leafy {
+        match r.below(4) {
+            0 => Piece::Work(r.range(1, 10) as u8),
+            1 => Piece::Fwork(r.range(1, 6) as u8),
+            2 => Piece::Switch(r.range(1, 5) as u8),
+            _ => Piece::CallLeaf,
+        }
+    } else {
+        let body = |r: &mut Rng| {
+            (0..r.range(1, 3))
+                .map(|_| arb_piece(r, depth + 1))
+                .collect::<Vec<_>>()
+        };
+        match r.below(3) {
+            0 => Piece::Loop(r.below(6) as u8, body(r)),
+            1 => Piece::While(r.range(1, 6) as u8, body(r)),
+            _ => Piece::If(body(r)),
+        }
+    }
+}
+
+fn arb_pieces(r: &mut Rng, max: u64) -> Vec<Piece> {
+    (0..r.range(1, max)).map(|_| arb_piece(r, 0)).collect()
 }
 
 fn emit(b: &mut ProgramBuilder, pieces: &[Piece]) {
@@ -80,12 +92,10 @@ fn build(pieces: &[Piece]) -> Program {
     b.finish().expect("structured programs always assemble")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn structured_programs_assemble_with_valid_targets(pieces in prop::collection::vec(arb_piece(), 1..4)) {
-        let p = build(&pieces);
+#[test]
+fn structured_programs_assemble_with_valid_targets() {
+    for seed in 0..64u64 {
+        let p = build(&arb_pieces(&mut Rng::new(seed), 4));
         // Program::new validated static targets already; re-check here
         // against the public accessors for defence in depth.
         let len = p.len() as u32;
@@ -94,50 +104,74 @@ proptest! {
                 ControlKind::CondBranch { target }
                 | ControlKind::Jump { target }
                 | ControlKind::Call { target } => {
-                    prop_assert!(target.index() < len, "instr {i} targets {target}");
+                    assert!(
+                        target.index() < len,
+                        "seed {seed}: instr {i} targets {target}"
+                    );
                 }
                 _ => {}
             }
         }
     }
+}
 
-    #[test]
-    fn assembly_is_deterministic(pieces in prop::collection::vec(arb_piece(), 1..4)) {
+#[test]
+fn assembly_is_deterministic() {
+    for seed in 0..64u64 {
+        let pieces = arb_pieces(&mut Rng::new(seed), 4);
         let a = build(&pieces);
         let b = build(&pieces);
-        prop_assert_eq!(a.code().len(), b.code().len());
-        prop_assert!(a.code().iter().zip(b.code().iter()).all(|(x, y)| x.encode() == y.encode()));
+        assert_eq!(a.code().len(), b.code().len(), "seed {seed}");
+        assert!(a
+            .code()
+            .iter()
+            .zip(b.code().iter())
+            .all(|(x, y)| x.encode() == y.encode()));
     }
+}
 
-    #[test]
-    fn exactly_one_halt_separates_main_from_functions(pieces in prop::collection::vec(arb_piece(), 1..4)) {
-        let p = build(&pieces);
-        let halts = p.code().iter().filter(|i| matches!(i, Instruction::Halt)).count();
-        prop_assert_eq!(halts, 1);
+#[test]
+fn exactly_one_halt_separates_main_from_functions() {
+    for seed in 0..64u64 {
+        let p = build(&arb_pieces(&mut Rng::new(seed), 4));
+        let halts = p
+            .code()
+            .iter()
+            .filter(|i| matches!(i, Instruction::Halt))
+            .count();
+        assert_eq!(halts, 1, "seed {seed}");
         // Everything after the halt belongs to functions: the leaf symbol
         // must point past it.
-        let halt_at = p.code().iter().position(|i| matches!(i, Instruction::Halt)).unwrap();
+        let halt_at = p
+            .code()
+            .iter()
+            .position(|i| matches!(i, Instruction::Halt))
+            .unwrap();
         let leaf = p.symbol("leaf").unwrap();
-        prop_assert!((leaf.index() as usize) > halt_at);
+        assert!((leaf.index() as usize) > halt_at, "seed {seed}");
     }
+}
 
-    #[test]
-    fn encodings_round_trip_for_whole_programs(pieces in prop::collection::vec(arb_piece(), 1..3)) {
-        let p = build(&pieces);
+#[test]
+fn encodings_round_trip_for_whole_programs() {
+    for seed in 0..32u64 {
+        let p = build(&arb_pieces(&mut Rng::new(seed), 3));
         for instr in p.code() {
             let back = Instruction::decode(instr.encode()).expect("assembled code decodes");
-            prop_assert_eq!(back.encode(), instr.encode());
+            assert_eq!(back.encode(), instr.encode());
         }
     }
+}
 
-    #[test]
-    fn register_pool_is_balanced_after_any_structure(pieces in prop::collection::vec(arb_piece(), 1..4)) {
+#[test]
+fn register_pool_is_balanced_after_any_structure() {
+    for seed in 0..64u64 {
         // After emitting arbitrary structures, the builder must have all
         // main-pool registers free again: allocating all 12 succeeds.
         let mut b = ProgramBuilder::new();
         b.define_func("leaf", |b| b.work(3));
-        emit(&mut b, &pieces);
+        emit(&mut b, &arb_pieces(&mut Rng::new(seed), 4));
         let regs: Vec<Reg> = (0..12).map(|_| b.alloc_reg()).collect();
-        prop_assert_eq!(regs.len(), 12);
+        assert_eq!(regs.len(), 12, "seed {seed}");
     }
 }

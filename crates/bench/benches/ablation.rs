@@ -2,8 +2,8 @@
 //! CLS capacity (§2.2), LET/LIT size and replacement policy (§2.3), and
 //! the stride value predictor of §4.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use loopspec_bench::run::WorkloadRun;
+use loopspec_bench::run::{ExecuteOptions, WorkloadRun};
+use loopspec_bench::timing::Suite;
 use loopspec_core::{Cls, EventCollector, Replacement, TableHitSim, TableKind};
 use loopspec_cpu::{Cpu, RunLimits};
 use loopspec_dataspec::StridePredictor;
@@ -11,76 +11,67 @@ use loopspec_workloads::{by_name, Scale};
 
 /// Detection cost as a function of CLS capacity (the associative search
 /// is linear in occupancy).
-fn bench_cls_capacity(c: &mut Criterion) {
+fn bench_cls_capacity(s: &mut Suite) {
     let w = by_name("go").unwrap(); // deepest nesting in the suite
     let program = w.build(Scale::Test).unwrap();
-    let mut g = c.benchmark_group("cls_capacity");
     for cap in [4usize, 8, 16, 32, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
-            b.iter(|| {
-                let mut collector = EventCollector::new(Cls::new(cap));
-                Cpu::new()
-                    .run(&program, &mut collector, RunLimits::default())
-                    .expect("runs");
-                std::hint::black_box(collector.events().len())
-            })
+        s.bench("cls_capacity", &cap.to_string(), None, || {
+            let mut collector = EventCollector::new(Cls::new(cap));
+            Cpu::new()
+                .run(&program, &mut collector, RunLimits::default())
+                .expect("runs");
+            std::hint::black_box(collector.events().len())
         });
     }
-    g.finish();
 }
 
 /// Hit-ratio simulation cost across table sizes and replacement
 /// policies (event-stream replay).
-fn bench_table_sim(c: &mut Criterion) {
-    let run = WorkloadRun::execute(by_name("gcc").unwrap(), Scale::Test, false);
-    let mut g = c.benchmark_group("table_sim");
-    g.throughput(Throughput::Elements(run.events.len() as u64));
+fn bench_table_sim(s: &mut Suite) {
+    let run = WorkloadRun::execute_with(
+        by_name("gcc").unwrap(),
+        Scale::Test,
+        ExecuteOptions {
+            engine_grid: false,
+            ..ExecuteOptions::default()
+        },
+    );
+    let events = run.events.len() as u64;
     for entries in [2usize, 8, 16] {
-        g.bench_with_input(
-            BenchmarkId::new("lit_lru", entries),
-            &entries,
-            |b, &entries| {
-                b.iter(|| {
-                    let mut sim = TableHitSim::new(TableKind::Lit, entries);
-                    sim.observe_all(&run.events);
-                    std::hint::black_box(sim.ratio().percent())
-                })
+        s.bench(
+            "table_sim",
+            &format!("lit_lru/{entries}"),
+            Some(events),
+            || {
+                let mut sim = TableHitSim::new(TableKind::Lit, entries);
+                sim.observe_all(&run.events);
+                std::hint::black_box(sim.ratio().percent())
             },
         );
     }
-    g.bench_function("lit_nest_inhibit_16", |b| {
-        b.iter(|| {
-            let mut sim =
-                TableHitSim::with_replacement(TableKind::Lit, 16, Replacement::NestInhibit);
-            sim.observe_all(&run.events);
-            std::hint::black_box(sim.ratio().percent())
-        })
+    s.bench("table_sim", "lit_nest_inhibit_16", Some(events), || {
+        let mut sim = TableHitSim::with_replacement(TableKind::Lit, 16, Replacement::NestInhibit);
+        sim.observe_all(&run.events);
+        std::hint::black_box(sim.ratio().percent())
     });
-    g.finish();
 }
 
 /// Raw stride-predictor roll rate (the per-live-in cost of §4).
-fn bench_stride_predictor(c: &mut Criterion) {
+fn bench_stride_predictor(s: &mut Suite) {
     let keys: Vec<u32> = (0..64).collect();
-    let mut g = c.benchmark_group("stride_predictor");
-    g.throughput(Throughput::Elements(64 * 100));
-    g.bench_function("observe", |b| {
-        b.iter(|| {
-            let mut p: StridePredictor<u32> = StridePredictor::new();
-            for round in 0..100u64 {
-                for &k in &keys {
-                    std::hint::black_box(p.observe(k, round * k as u64));
-                }
+    s.bench("stride_predictor", "observe", Some(64 * 100), || {
+        let mut p: StridePredictor<u32> = StridePredictor::new();
+        for round in 0..100u64 {
+            for &k in &keys {
+                std::hint::black_box(p.observe(k, round * k as u64));
             }
-        })
+        }
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cls_capacity,
-    bench_table_sim,
-    bench_stride_predictor
-);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("ablation");
+    bench_cls_capacity(&mut s);
+    bench_table_sim(&mut s);
+    bench_stride_predictor(&mut s);
+}

@@ -1,7 +1,7 @@
 //! Throughput of the loop-detection front end: the CLS update rules and
 //! the full CPU + detector pipeline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loopspec_bench::timing::Suite;
 use loopspec_core::{Cls, EventCollector, LoopEvent};
 use loopspec_cpu::{ControlOutcome, Cpu, RunLimits};
 use loopspec_isa::{Addr, ControlKind};
@@ -9,7 +9,7 @@ use loopspec_workloads::{by_name, Scale};
 
 /// Raw CLS update-rule throughput on a synthetic nested-loop control
 /// stream (no CPU in the way).
-fn bench_cls(c: &mut Criterion) {
+fn bench_cls(s: &mut Suite) {
     // Pre-generate a control stream: 3-deep nest, 10 x 10 x 10.
     let mut stream: Vec<(Addr, ControlOutcome)> = Vec::new();
     let branch = |t: u32, pc: u32, taken: bool| {
@@ -36,10 +36,11 @@ fn bench_cls(c: &mut Criterion) {
     }
     stream.push(branch(10, 60, false));
 
-    let mut g = c.benchmark_group("cls");
-    g.throughput(Throughput::Elements(stream.len() as u64));
-    g.bench_function("on_control/nest10x10x10", |b| {
-        b.iter(|| {
+    s.bench(
+        "cls",
+        "on_control/nest10x10x10",
+        Some(stream.len() as u64),
+        || {
             let mut cls = Cls::default();
             let mut out: Vec<LoopEvent> = Vec::with_capacity(8);
             for (k, (pc, outcome)) in stream.iter().enumerate() {
@@ -47,14 +48,12 @@ fn bench_cls(c: &mut Criterion) {
                 cls.on_control(*pc, outcome, k as u64, &mut out);
                 std::hint::black_box(&out);
             }
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-/// End-to-end pipeline: interpret a workload and detect its loops.
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline");
+/// End-to-end front end: interpret a workload and detect its loops.
+fn bench_frontend(s: &mut Suite) {
     for name in ["compress", "swim", "go"] {
         let w = by_name(name).expect("workload exists");
         let program = w.build(Scale::Test).expect("assembles");
@@ -63,19 +62,24 @@ fn bench_pipeline(c: &mut Criterion) {
         Cpu::new()
             .run(&program, &mut probe, RunLimits::default())
             .expect("runs");
-        g.throughput(Throughput::Elements(probe.instructions()));
-        g.bench_with_input(BenchmarkId::new("cpu+detector", name), &program, |b, p| {
-            b.iter(|| {
+        let instructions = probe.instructions();
+        s.bench(
+            "frontend",
+            &format!("cpu+detector/{name}"),
+            Some(instructions),
+            || {
                 let mut collector = EventCollector::default();
                 Cpu::new()
-                    .run(p, &mut collector, RunLimits::default())
+                    .run(&program, &mut collector, RunLimits::default())
                     .expect("runs");
                 std::hint::black_box(collector.events().len())
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_cls, bench_pipeline);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("detector");
+    bench_cls(&mut s);
+    bench_frontend(&mut s);
+}

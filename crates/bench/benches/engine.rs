@@ -1,44 +1,57 @@
 //! Throughput of the speculation engine across policies and TU counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use loopspec_bench::experiments::{run_engine, PolicyKind};
-use loopspec_bench::run::WorkloadRun;
+use loopspec_bench::run::{ExecuteOptions, WorkloadRun};
+use loopspec_bench::timing::Suite;
 use loopspec_mt::ideal_tpc;
 use loopspec_workloads::{by_name, Scale};
 
-fn bench_policies(c: &mut Criterion) {
-    let run = WorkloadRun::execute(by_name("hydro2d").unwrap(), Scale::Test, false);
+fn bench_policies(s: &mut Suite) {
+    let run = WorkloadRun::execute_with(
+        by_name("hydro2d").unwrap(),
+        Scale::Test,
+        ExecuteOptions {
+            engine_grid: false,
+            ..ExecuteOptions::default()
+        },
+    );
     let trace = run.annotate();
+    let events = trace.events.len() as u64;
 
-    let mut g = c.benchmark_group("engine");
-    g.throughput(Throughput::Elements(trace.events.len() as u64));
     for policy in PolicyKind::ALL {
-        g.bench_with_input(
-            BenchmarkId::new("policy", policy.name()),
-            &policy,
-            |b, &p| b.iter(|| std::hint::black_box(run_engine(&trace, p, 4).tpc())),
+        s.bench(
+            "engine",
+            &format!("policy/{}", policy.name()),
+            Some(events),
+            || std::hint::black_box(run_engine(&trace, policy, 4).tpc()),
         );
     }
     for tus in [2usize, 16, 256] {
-        g.bench_with_input(BenchmarkId::new("tus", tus), &tus, |b, &t| {
-            b.iter(|| std::hint::black_box(run_engine(&trace, PolicyKind::Str, t).tpc()))
+        s.bench("engine", &format!("tus/{tus}"), Some(events), || {
+            std::hint::black_box(run_engine(&trace, PolicyKind::Str, tus).tpc())
         });
     }
-    g.bench_function("ideal", |b| {
-        b.iter(|| std::hint::black_box(ideal_tpc(&trace).tpc))
+    s.bench("engine", "ideal", Some(events), || {
+        std::hint::black_box(ideal_tpc(&trace).tpc)
     });
-    g.finish();
 }
 
-fn bench_annotate(c: &mut Criterion) {
-    let run = WorkloadRun::execute(by_name("su2cor").unwrap(), Scale::Test, false);
-    let mut g = c.benchmark_group("annotate");
-    g.throughput(Throughput::Elements(run.events.len() as u64));
-    g.bench_function("build", |b| {
-        b.iter(|| std::hint::black_box(run.annotate().events.len()))
+fn bench_annotate(s: &mut Suite) {
+    let run = WorkloadRun::execute_with(
+        by_name("su2cor").unwrap(),
+        Scale::Test,
+        ExecuteOptions {
+            engine_grid: false,
+            ..ExecuteOptions::default()
+        },
+    );
+    s.bench("annotate", "build", Some(run.events.len() as u64), || {
+        std::hint::black_box(run.annotate().events.len())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_annotate);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::new("engine");
+    bench_policies(&mut s);
+    bench_annotate(&mut s);
+}

@@ -1,0 +1,110 @@
+//! Streaming vs. materialized pipeline: the cost of the two shapes on
+//! real workloads, snapshotted to `BENCH_pipeline.json` at the repo root
+//! so future PRs have a perf trajectory.
+//!
+//! * `materialized/*` — the legacy three-pass shape: run the CPU into an
+//!   `EventCollector`, build an `AnnotatedTrace`, replay it through the
+//!   batch `Engine`.
+//! * `streaming/*` — the single-pass shape: a `Session` feeds one shared
+//!   detector into a `StreamEngine` as the program executes.
+//! * `*_grid/*` — the experiment-harness case: all 20 (policy × TU)
+//!   engine configurations, either replayed from the materialized trace
+//!   or fanned out in the single streaming pass.
+
+use loopspec_bench::experiments::{run_engine, PolicyKind, TU_COUNTS};
+use loopspec_bench::timing::Suite;
+use loopspec_core::EventCollector;
+use loopspec_cpu::{Cpu, RunLimits};
+use loopspec_mt::{AnnotatedTrace, StrPolicy, StreamEngine};
+use loopspec_pipeline::Session;
+use loopspec_workloads::{by_name, Scale};
+
+fn main() {
+    let mut s = Suite::new("pipeline");
+
+    for name in ["compress", "go"] {
+        let w = by_name(name).expect("workload exists");
+        let program = w.build(Scale::Test).expect("assembles");
+
+        // Instruction count for throughput annotation.
+        let mut probe = EventCollector::default();
+        Cpu::new()
+            .run(&program, &mut probe, RunLimits::default())
+            .expect("runs");
+        let instructions = probe.instructions();
+
+        s.bench(
+            "materialized",
+            &format!("cpu+collect+annotate+engine/{name}"),
+            Some(instructions),
+            || {
+                let mut collector = EventCollector::default();
+                Cpu::new()
+                    .run(&program, &mut collector, RunLimits::default())
+                    .expect("runs");
+                let (events, n) = collector.into_parts();
+                let trace = AnnotatedTrace::build(&events, n);
+                std::hint::black_box(run_engine(&trace, PolicyKind::Str, 4).tpc())
+            },
+        );
+
+        s.bench(
+            "streaming",
+            &format!("session+stream_engine/{name}"),
+            Some(instructions),
+            || {
+                let mut engine = StreamEngine::new(StrPolicy::new(), 4);
+                let mut session = Session::new();
+                session.observe_loops(&mut engine);
+                session.run(&program, RunLimits::default()).expect("runs");
+                std::hint::black_box(engine.report().expect("finished").tpc())
+            },
+        );
+
+        s.bench(
+            "materialized_grid",
+            &format!("20-replays/{name}"),
+            Some(instructions),
+            || {
+                let mut collector = EventCollector::default();
+                Cpu::new()
+                    .run(&program, &mut collector, RunLimits::default())
+                    .expect("runs");
+                let (events, n) = collector.into_parts();
+                let trace = AnnotatedTrace::build(&events, n);
+                let mut acc = 0.0;
+                for policy in PolicyKind::ALL {
+                    for tus in TU_COUNTS {
+                        acc += run_engine(&trace, policy, tus).tpc();
+                    }
+                }
+                std::hint::black_box(acc)
+            },
+        );
+
+        s.bench(
+            "streaming_grid",
+            &format!("20-sinks-one-pass/{name}"),
+            Some(instructions),
+            || {
+                let mut engines: Vec<_> = PolicyKind::ALL
+                    .iter()
+                    .flat_map(|&p| TU_COUNTS.iter().map(move |&t| p.stream_engine(t)))
+                    .collect();
+                let mut session = Session::new();
+                for e in engines.iter_mut() {
+                    session.observe_loops(&mut **e);
+                }
+                session.run(&program, RunLimits::default()).expect("runs");
+                let acc: f64 = engines
+                    .iter()
+                    .map(|e| e.finished_report().expect("finished").tpc())
+                    .sum();
+                std::hint::black_box(acc)
+            },
+        );
+    }
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    s.write_json(out);
+}

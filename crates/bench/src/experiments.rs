@@ -4,7 +4,8 @@ use loopspec_core::{Cls, EventCollector, LoopStatsReport, Replacement, TableHitS
 use loopspec_cpu::{Cpu, RunLimits};
 use loopspec_dataspec::DataSpecReport;
 use loopspec_mt::{
-    ideal_tpc, AnnotatedTrace, Engine, EngineReport, IdlePolicy, StrNestedPolicy, StrPolicy,
+    ideal_tpc, AnnotatedTrace, Engine, EngineReport, EngineSink, IdlePolicy, StrNestedPolicy,
+    StrPolicy, StreamEngine,
 };
 use loopspec_workloads::{PaperRow, Scale, Workload};
 
@@ -49,9 +50,21 @@ impl PolicyKind {
             PolicyKind::StrNested(_) => "STR(i)",
         }
     }
+
+    /// Boxes a streaming engine for this policy, ready to register in a
+    /// [`loopspec_pipeline::Session`].
+    pub fn stream_engine(self, tus: usize) -> Box<dyn EngineSink> {
+        match self {
+            PolicyKind::Idle => Box::new(StreamEngine::new(IdlePolicy::new(), tus)),
+            PolicyKind::Str => Box::new(StreamEngine::new(StrPolicy::new(), tus)),
+            PolicyKind::StrNested(i) => Box::new(StreamEngine::new(StrNestedPolicy::new(i), tus)),
+        }
+    }
 }
 
-/// Runs the speculation engine for a policy given by value.
+/// Runs the batch speculation engine for a policy given by value — used
+/// for ad-hoc sweeps and as the reference the streaming grid is checked
+/// against; the figures themselves read `WorkloadRun::report`.
 pub fn run_engine(trace: &AnnotatedTrace, policy: PolicyKind, tus: usize) -> EngineReport {
     match policy {
         PolicyKind::Idle => Engine::new(trace, IdlePolicy::new(), tus).run(),
@@ -173,14 +186,14 @@ pub struct Fig6Row {
     pub tpc: [f64; 4],
 }
 
-/// Reproduces Figure 6: STR TPC for every workload and TU count.
+/// Reproduces Figure 6: STR TPC for every workload and TU count, read
+/// from the streaming grid computed during the shared single pass.
 pub fn fig6(runs: &[WorkloadRun]) -> Vec<Fig6Row> {
     runs.iter()
         .map(|r| {
-            let trace = r.annotate();
             let mut tpc = [0.0; 4];
             for (k, tus) in TU_COUNTS.iter().enumerate() {
-                tpc[k] = run_engine(&trace, PolicyKind::Str, *tus).tpc();
+                tpc[k] = r.report(PolicyKind::Str, *tus).tpc();
             }
             Fig6Row {
                 name: r.workload.name,
@@ -203,19 +216,16 @@ pub struct Fig7Row {
     pub avg_tpc: [f64; 4],
 }
 
-/// Reproduces Figure 7: average TPC for IDLE, STR, STR(1..3).
+/// Reproduces Figure 7: average TPC for IDLE, STR, STR(1..3), read from
+/// the streaming grid computed during the shared single pass.
 pub fn fig7(runs: &[WorkloadRun]) -> Vec<Fig7Row> {
-    let traces: Vec<AnnotatedTrace> = runs.iter().map(|r| r.annotate()).collect();
     PolicyKind::ALL
         .iter()
         .map(|&policy| {
             let mut avg_tpc = [0.0; 4];
             for (k, tus) in TU_COUNTS.iter().enumerate() {
-                let sum: f64 = traces
-                    .iter()
-                    .map(|t| run_engine(t, policy, *tus).tpc())
-                    .sum();
-                avg_tpc[k] = sum / traces.len() as f64;
+                let sum: f64 = runs.iter().map(|r| r.report(policy, *tus).tpc()).sum();
+                avg_tpc[k] = sum / runs.len() as f64;
             }
             Fig7Row { policy, avg_tpc }
         })
@@ -243,11 +253,12 @@ pub struct Table2Row {
     pub tpc: f64,
 }
 
-/// Reproduces Table 2: STR(3) with 4 TUs, per workload.
+/// Reproduces Table 2: STR(3) with 4 TUs, per workload, read from the
+/// streaming grid computed during the shared single pass.
 pub fn table2(runs: &[WorkloadRun]) -> Vec<Table2Row> {
     runs.iter()
         .map(|r| {
-            let report = run_engine(&r.annotate(), PolicyKind::StrNested(3), 4);
+            let report = r.report(PolicyKind::StrNested(3), 4);
             Table2Row {
                 name: r.workload.name,
                 spec: report.spec.spec_actions,

@@ -28,3 +28,4 @@ pub mod experiments;
 pub mod paper;
 pub mod report;
 pub mod run;
+pub mod timing;

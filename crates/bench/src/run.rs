@@ -1,16 +1,30 @@
 //! Workload execution and artifact caching.
 //!
-//! Every experiment consumes the same per-workload artifact — the loop
-//! event stream plus instruction count (and, when requested, the
-//! data-speculation records) — so the harness executes each workload
-//! *once* per scale and replays the compact event stream into each
-//! analysis. Workloads run in parallel threads.
+//! Every experiment consumes the same per-workload artifact, produced by
+//! **one streaming pass** over the program: a single [`Session`] drives
+//! the CPU and the shared CLS detector, and fans the live event stream
+//! out to
+//!
+//! * one [`StreamEngine`] per (policy × TU-count) grid point — so every
+//!   TPC figure/table reads from reports computed *during* execution,
+//! * the live-in profiler (when requested — only Figure 8 needs it),
+//! * an [`EventCollector`] that retains the compact event stream for the
+//!   replay-style analyses (Table 1 statistics, LET/LIT sweeps, and the
+//!   oracle study, which needs future knowledge and therefore the batch
+//!   engine).
+//!
+//! Workloads run in parallel on a work-queue sized to the machine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use loopspec_core::{EventCollector, LoopEvent, LoopStats, LoopStatsReport};
-use loopspec_cpu::{Cpu, RunLimits};
-use loopspec_dataspec::{DataSpecProfiler, DataSpecReport};
-use loopspec_mt::AnnotatedTrace;
+use loopspec_cpu::RunLimits;
+use loopspec_dataspec::{DataSpecReport, LiveInProfiler};
+use loopspec_mt::{AnnotatedTrace, EngineReport, EngineSink};
+use loopspec_pipeline::Session;
 use loopspec_workloads::{Scale, Workload};
+
+use crate::experiments::{PolicyKind, TU_COUNTS};
 
 /// The reusable result of executing one workload once.
 #[derive(Debug)]
@@ -23,18 +37,63 @@ pub struct WorkloadRun {
     pub instructions: u64,
     /// Figure 8 statistics, if data-speculation profiling was enabled.
     pub dataspec: Option<DataSpecReport>,
+    /// Streaming engine reports for every (policy, TUs) grid point,
+    /// computed in the same pass as the event stream.
+    reports: Vec<(PolicyKind, usize, EngineReport)>,
+}
+
+/// What a [`WorkloadRun::execute_with`] pass should compute alongside
+/// the event stream.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecuteOptions {
+    /// Run the live-in profiler (noticeably more expensive — only
+    /// Figure 8 needs it).
+    pub dataspec: bool,
+    /// Fan out to the full (policy × TU) streaming engine grid. Callers
+    /// that only want the event stream (table/detector sweeps) can turn
+    /// this off and skip the 20-sink overhead.
+    pub engine_grid: bool,
+}
+
+impl Default for ExecuteOptions {
+    /// Engine grid on, dataspec off — what the figure harness wants.
+    fn default() -> Self {
+        ExecuteOptions {
+            dataspec: false,
+            engine_grid: true,
+        }
+    }
 }
 
 impl WorkloadRun {
-    /// Executes `workload` at `scale`. `with_dataspec` additionally runs
-    /// the live-in profiler (noticeably more expensive — only Figure 8
-    /// needs it).
+    /// Executes `workload` at `scale` in a single streaming pass.
+    /// `with_dataspec` additionally runs the live-in profiler; the full
+    /// engine grid is always computed (see [`WorkloadRun::execute_with`]
+    /// to opt out).
     ///
     /// # Panics
     ///
     /// Panics if the workload fails to assemble, run, or halt — these are
     /// suite bugs, not user conditions.
     pub fn execute(workload: Workload, scale: Scale, with_dataspec: bool) -> Self {
+        Self::execute_with(
+            workload,
+            scale,
+            ExecuteOptions {
+                dataspec: with_dataspec,
+                ..ExecuteOptions::default()
+            },
+        )
+    }
+
+    /// Executes `workload` at `scale`, computing exactly the artifacts
+    /// `opts` asks for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails to assemble, run, or halt — these are
+    /// suite bugs, not user conditions.
+    pub fn execute_with(workload: Workload, scale: Scale, opts: ExecuteOptions) -> Self {
         let program = workload
             .build(scale)
             .unwrap_or_else(|e| panic!("{}: assembly failed: {e}", workload.name));
@@ -44,29 +103,71 @@ impl WorkloadRun {
         };
 
         let mut collector = EventCollector::default();
-        let dataspec = if with_dataspec {
-            let mut profiler = DataSpecProfiler::new();
-            let mut both = (&mut collector, &mut profiler);
-            let summary = Cpu::new()
-                .run(&program, &mut both, limits)
-                .unwrap_or_else(|e| panic!("{}: run failed: {e}", workload.name));
-            assert!(summary.halted(), "{}: did not halt", workload.name);
-            Some(profiler.report())
+        let mut engines: Vec<(PolicyKind, usize, Box<dyn EngineSink>)> = if opts.engine_grid {
+            PolicyKind::ALL
+                .iter()
+                .flat_map(|&p| TU_COUNTS.iter().map(move |&tus| (p, tus)))
+                .map(|(p, tus)| (p, tus, p.stream_engine(tus)))
+                .collect()
         } else {
-            let summary = Cpu::new()
-                .run(&program, &mut collector, limits)
-                .unwrap_or_else(|e| panic!("{}: run failed: {e}", workload.name));
-            assert!(summary.halted(), "{}: did not halt", workload.name);
-            None
+            Vec::new()
         };
+        let mut profiler = opts.dataspec.then(LiveInProfiler::new);
 
+        let mut session = Session::new();
+        session.observe_loops(&mut collector);
+        for (_, _, engine) in engines.iter_mut() {
+            session.observe_loops(&mut **engine);
+        }
+        if let Some(p) = profiler.as_mut() {
+            session.observe_both(p);
+        }
+
+        let out = session
+            .run(&program, limits)
+            .unwrap_or_else(|e| panic!("{}: run failed: {e}", workload.name));
+        assert!(out.halted(), "{}: did not halt", workload.name);
+
+        let reports = engines
+            .into_iter()
+            .map(|(p, tus, engine)| {
+                let report = engine
+                    .finished_report()
+                    .unwrap_or_else(|| panic!("{}: engine did not finish", workload.name))
+                    .clone();
+                (p, tus, report)
+            })
+            .collect();
+
+        let dataspec = profiler.map(|p| p.report());
         let (events, instructions) = collector.into_parts();
         WorkloadRun {
             workload,
             events,
             instructions,
             dataspec,
+            reports,
         }
+    }
+
+    /// The streaming engine report for a (policy, TUs) grid point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the point is outside the precomputed grid
+    /// ([`PolicyKind::ALL`] × [`TU_COUNTS`], empty when the run was
+    /// executed with [`ExecuteOptions::engine_grid`] off).
+    pub fn report(&self, policy: PolicyKind, tus: usize) -> &EngineReport {
+        self.reports
+            .iter()
+            .find(|(p, t, _)| *p == policy && *t == tus)
+            .map(|(_, _, r)| r)
+            .unwrap_or_else(|| panic!("no precomputed report for {policy:?} @ {tus} TUs"))
+    }
+
+    /// All precomputed (policy, TUs, report) grid points.
+    pub fn reports(&self) -> impl Iterator<Item = (PolicyKind, usize, &EngineReport)> {
+        self.reports.iter().map(|(p, t, r)| (*p, *t, r))
     }
 
     /// Loop statistics (Table 1 row) of this run.
@@ -76,7 +177,8 @@ impl WorkloadRun {
         s.report(self.instructions)
     }
 
-    /// Annotated trace for the speculation engine.
+    /// Annotated trace for the batch speculation engine (oracle studies
+    /// and ad-hoc sweeps outside the precomputed grid).
     pub fn annotate(&self) -> AnnotatedTrace {
         AnnotatedTrace::build(&self.events, self.instructions)
     }
@@ -100,27 +202,51 @@ impl WorkloadRun {
     }
 }
 
-/// Executes all `workloads` in parallel (one thread each) and returns the
-/// runs in the same order.
+/// Executes all `workloads` in parallel and returns the runs in the same
+/// order. A shared work-queue feeds up to `available_parallelism` worker
+/// threads, so an 18-workload batch saturates the machine without
+/// spawning 18 threads on a 4-core box.
 pub fn execute_all(workloads: &[Workload], scale: Scale, with_dataspec: bool) -> Vec<WorkloadRun> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, workloads.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<WorkloadRun>> = Vec::new();
+    results.resize_with(workloads.len(), || None);
+
     std::thread::scope(|s| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| {
-                let w = *w;
-                s.spawn(move || WorkloadRun::execute(w, scale, with_dataspec))
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(w) = workloads.get(i) else { break };
+                        local.push((i, WorkloadRun::execute(*w, scale, with_dataspec)));
+                    }
+                    local
+                })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("workload thread panicked"))
-            .collect()
-    })
+        for h in handles {
+            for (i, run) in h.join().expect("workload worker panicked") {
+                results[i] = Some(run);
+            }
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|r| r.expect("work queue covered every index"))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::run_engine;
     use loopspec_workloads::by_name;
 
     #[test]
@@ -133,6 +259,24 @@ mod tests {
         assert_eq!(stats.instructions, run.instructions);
         let trace = run.annotate();
         assert_eq!(trace.instructions, run.instructions);
+    }
+
+    #[test]
+    fn streaming_grid_matches_batch_replay() {
+        // The precomputed single-pass reports must be identical to what
+        // the batch engine derives from the collected events.
+        let run = WorkloadRun::execute(by_name("li").unwrap(), Scale::Test, false);
+        let trace = run.annotate();
+        let mut checked = 0;
+        for (policy, tus, streamed) in run.reports() {
+            assert_eq!(
+                streamed,
+                &run_engine(&trace, policy, tus),
+                "{policy:?} @ {tus}"
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, PolicyKind::ALL.len() * TU_COUNTS.len());
     }
 
     #[test]
@@ -157,5 +301,26 @@ mod tests {
         let runs = execute_all(&ws, Scale::Test, false);
         assert_eq!(runs[0].workload.name, "gcc");
         assert_eq!(runs[1].workload.name, "li");
+    }
+
+    #[test]
+    #[should_panic(expected = "no precomputed report")]
+    fn off_grid_report_panics() {
+        let run = WorkloadRun::execute(by_name("compress").unwrap(), Scale::Test, false);
+        let _ = run.report(PolicyKind::Str, 3);
+    }
+
+    #[test]
+    fn grid_can_be_disabled() {
+        let run = WorkloadRun::execute_with(
+            by_name("compress").unwrap(),
+            Scale::Test,
+            ExecuteOptions {
+                engine_grid: false,
+                ..ExecuteOptions::default()
+            },
+        );
+        assert_eq!(run.reports().count(), 0);
+        assert!(!run.events.is_empty(), "event stream still collected");
     }
 }

@@ -1,0 +1,205 @@
+//! Dependency-free micro-benchmark harness.
+//!
+//! The build environment has no network access, so `criterion` is not
+//! available; this module provides the small subset the benches need:
+//! warm-up, iteration-count calibration to a target sample time, median
+//! of several samples, optional element-throughput annotation, and a
+//! hand-rolled JSON snapshot for cross-PR perf trajectories.
+//!
+//! Run with `cargo bench -p loopspec-bench`. Set `LOOPSPEC_BENCH_MS` to
+//! change the per-sample target time (default 200 ms; the CI smoke run
+//! uses a small value).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark group (e.g. `"engine"`).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Elements processed per iteration, when meaningful (enables a
+    /// throughput column).
+    pub elements: Option<u64>,
+}
+
+impl Measurement {
+    /// Millions of elements per second, if an element count was given.
+    pub fn melem_per_s(&self) -> Option<f64> {
+        self.elements.map(|e| e as f64 * 1_000.0 / self.median_ns)
+    }
+}
+
+/// A named collection of benchmarks, printed as it runs.
+#[derive(Debug)]
+pub struct Suite {
+    name: &'static str,
+    target: Duration,
+    samples: u32,
+    results: Vec<Measurement>,
+}
+
+impl Suite {
+    /// Creates a suite; the per-sample target time comes from
+    /// `LOOPSPEC_BENCH_MS` (default 200).
+    pub fn new(name: &'static str) -> Self {
+        let ms = std::env::var("LOOPSPEC_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(200);
+        println!("== bench suite: {name} (target {ms} ms/sample) ==");
+        Suite {
+            name,
+            target: Duration::from_millis(ms.max(1)),
+            samples: 5,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `f`, recording the median time per call.
+    ///
+    /// `elements` annotates how many logical items one call processes
+    /// (instructions, events, ...) for a throughput column.
+    pub fn bench<R>(
+        &mut self,
+        group: &str,
+        name: &str,
+        elements: Option<u64>,
+        mut f: impl FnMut() -> R,
+    ) {
+        // Warm-up and calibration: find an iteration count whose total
+        // run time is close to the target sample time.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= self.target / 2 || iters >= 1 << 20 {
+                break;
+            }
+            let scale = (self.target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).min(64.0);
+            iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t0.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = per_iter[per_iter.len() / 2];
+
+        let m = Measurement {
+            group: group.to_string(),
+            name: name.to_string(),
+            median_ns,
+            elements,
+        };
+        let thr = match m.melem_per_s() {
+            Some(t) => format!("  ({t:.1} Melem/s)"),
+            None => String::new(),
+        };
+        println!("{group}/{name}: {}{thr}", fmt_ns(median_ns));
+        self.results.push(m);
+    }
+
+    /// All measurements so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Renders the suite as a JSON snapshot (no external dependencies, so
+    /// the writer is hand-rolled; names are plain identifiers and need no
+    /// escaping beyond the conservative one applied here).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"suite\": \"{}\",", esc(self.name));
+        let _ = writeln!(out, "  \"benchmarks\": [");
+        for (k, m) in self.results.iter().enumerate() {
+            let comma = if k + 1 == self.results.len() { "" } else { "," };
+            let elems = match m.elements {
+                Some(e) => format!(", \"elements\": {e}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"group\": \"{}\", \"name\": \"{}\", \"median_ns\": {:.1}{elems}}}{comma}",
+                esc(&m.group),
+                esc(&m.name),
+                m.median_ns,
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out
+    }
+
+    /// Writes the JSON snapshot to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file cannot be written (benches treat IO failures
+    /// as fatal).
+    pub fn write_json(&self, path: &str) {
+        std::fs::write(path, self.to_json() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_snapshot_is_well_formed() {
+        std::env::set_var("LOOPSPEC_BENCH_MS", "1");
+        let mut s = Suite::new("test");
+        s.bench("g", "noop", Some(10), || 1 + 1);
+        let json = s.to_json();
+        assert!(json.contains("\"suite\": \"test\""));
+        assert!(json.contains("\"median_ns\""));
+        assert!(json.contains("\"elements\": 10"));
+        assert_eq!(s.results().len(), 1);
+        assert!(s.results()[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn escaping_is_conservative() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("x\ny"), "x y");
+    }
+}

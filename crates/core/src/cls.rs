@@ -3,7 +3,7 @@
 use loopspec_cpu::ControlOutcome;
 use loopspec_isa::{Addr, ControlKind};
 
-use crate::{LoopEvent, LoopId};
+use crate::{LoopEvent, LoopEventSink, LoopId};
 
 /// One CLS entry: a loop currently executing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,12 +99,12 @@ impl Cls {
     /// [`LoopEvent`](crate::LoopEvent) for the position convention).
     /// Events are appended to `out` in commit order: inner executions end
     /// before outer events at the same instruction.
-    pub fn on_control(
+    pub fn on_control<S: LoopEventSink + ?Sized>(
         &mut self,
         pc: Addr,
         outcome: &ControlOutcome,
         pos: u64,
-        out: &mut Vec<LoopEvent>,
+        out: &mut S,
     ) {
         match outcome.kind {
             ControlKind::None | ControlKind::Halt => {}
@@ -128,9 +128,9 @@ impl Cls {
     /// Closes every open execution (used at program end; the paper notes
     /// the CLS "is always empty at the end" for SPEC95, and suggests
     /// periodic flushing for the pathological cases).
-    pub fn flush(&mut self, pos: u64, out: &mut Vec<LoopEvent>) {
+    pub fn flush<S: LoopEventSink + ?Sized>(&mut self, pos: u64, out: &mut S) {
         while let Some(e) = self.entries.pop() {
-            out.push(LoopEvent::ExecutionEnd {
+            out.on_loop_event(&LoopEvent::ExecutionEnd {
                 loop_id: LoopId(e.t),
                 iterations: e.iter,
                 pos,
@@ -146,10 +146,10 @@ impl Cls {
 
     /// Pops entries with index > `i`, ending their executions
     /// (innermost first).
-    fn pop_above(&mut self, i: usize, pos: u64, out: &mut Vec<LoopEvent>) {
+    fn pop_above<S: LoopEventSink + ?Sized>(&mut self, i: usize, pos: u64, out: &mut S) {
         while self.entries.len() > i + 1 {
             let e = self.entries.pop().expect("len > i+1 >= 1");
-            out.push(LoopEvent::ExecutionEnd {
+            out.on_loop_event(&LoopEvent::ExecutionEnd {
                 loop_id: LoopId(e.t),
                 iterations: e.iter,
                 pos,
@@ -157,21 +157,27 @@ impl Cls {
         }
     }
 
-    fn on_return(&mut self, pc: Addr, pos: u64, out: &mut Vec<LoopEvent>) {
+    fn on_return<S: LoopEventSink + ?Sized>(&mut self, pc: Addr, pos: u64, out: &mut S) {
         // A `ret` ends every execution whose static body contains it:
         // those loops were entered inside the returning activation and
         // their closing branches can no longer execute.
         self.remove_where(|e| e.body_contains(pc), pos, out);
     }
 
-    fn on_not_taken_branch(&mut self, pc: Addr, target: Addr, pos: u64, out: &mut Vec<LoopEvent>) {
+    fn on_not_taken_branch<S: LoopEventSink + ?Sized>(
+        &mut self,
+        pc: Addr,
+        target: Addr,
+        pos: u64,
+        out: &mut S,
+    ) {
         if !pc.is_backward_to(target) {
             return; // forward not-taken branch: no loop significance
         }
         match self.find(target) {
             None => {
                 // Rule 2: a loop with exactly one iteration executed.
-                out.push(LoopEvent::OneShot {
+                out.on_loop_event(&LoopEvent::OneShot {
                     loop_id: LoopId(target),
                     pos,
                     depth: self.depth() as u32 + 1,
@@ -183,7 +189,7 @@ impl Cls {
                     // and execution of T finish; inner loops end too.
                     self.pop_above(i, pos, out);
                     let e = self.entries.pop().expect("entry i exists");
-                    out.push(LoopEvent::ExecutionEnd {
+                    out.on_loop_event(&LoopEvent::ExecutionEnd {
                         loop_id: LoopId(e.t),
                         iterations: e.iter,
                         pos,
@@ -195,7 +201,13 @@ impl Cls {
         }
     }
 
-    fn on_taken_transfer(&mut self, pc: Addr, target: Addr, pos: u64, out: &mut Vec<LoopEvent>) {
+    fn on_taken_transfer<S: LoopEventSink + ?Sized>(
+        &mut self,
+        pc: Addr,
+        target: Addr,
+        pos: u64,
+        out: &mut S,
+    ) {
         if pc.is_backward_to(target) {
             if let Some(i) = self.find(target) {
                 // Rule 3: new iteration of the loop at entry i.
@@ -210,7 +222,7 @@ impl Cls {
                     iter: e.iter,
                     pos,
                 };
-                out.push(ev);
+                out.on_loop_event(&ev);
                 return;
             }
             // Rule 1 (with the rule-5 exit check first): a backward
@@ -233,23 +245,23 @@ impl Cls {
         }
     }
 
-    fn push_new(&mut self, t: Addr, b: Addr, pos: u64, out: &mut Vec<LoopEvent>) {
+    fn push_new<S: LoopEventSink + ?Sized>(&mut self, t: Addr, b: Addr, pos: u64, out: &mut S) {
         if self.entries.len() == self.capacity {
             // Overflow: sacrifice the deepest (outermost) entry.
             let e = self.entries.remove(0);
-            out.push(LoopEvent::Evicted {
+            out.on_loop_event(&LoopEvent::Evicted {
                 loop_id: LoopId(e.t),
                 iterations: e.iter,
                 pos,
             });
         }
         self.entries.push(ClsEntry { t, b, iter: 2 });
-        out.push(LoopEvent::ExecutionStart {
+        out.on_loop_event(&LoopEvent::ExecutionStart {
             loop_id: LoopId(t),
             pos,
             depth: self.entries.len() as u32,
         });
-        out.push(LoopEvent::IterationStart {
+        out.on_loop_event(&LoopEvent::IterationStart {
             loop_id: LoopId(t),
             iter: 2,
             pos,
@@ -258,11 +270,11 @@ impl Cls {
 
     /// Removes all entries matching `pred`, emitting `ExecutionEnd`s
     /// innermost-first.
-    fn remove_where(
+    fn remove_where<S: LoopEventSink + ?Sized>(
         &mut self,
         pred: impl Fn(&ClsEntry) -> bool,
         pos: u64,
-        out: &mut Vec<LoopEvent>,
+        out: &mut S,
     ) {
         // Collect from the top down so events come innermost-first.
         let mut idx = self.entries.len();
@@ -270,7 +282,7 @@ impl Cls {
             idx -= 1;
             if pred(&self.entries[idx]) {
                 let e = self.entries.remove(idx);
-                out.push(LoopEvent::ExecutionEnd {
+                out.on_loop_event(&LoopEvent::ExecutionEnd {
                     loop_id: LoopId(e.t),
                     iterations: e.iter,
                     pos,

@@ -3,7 +3,7 @@
 use loopspec_cpu::{InstrEvent, Tracer};
 use loopspec_isa::ControlKind;
 
-use crate::{Cls, LoopEvent};
+use crate::{Cls, LoopEvent, LoopEventSink};
 
 /// Per-instruction loop detector: wraps a [`Cls`] and turns retired
 /// instructions into [`LoopEvent`]s.
@@ -147,6 +147,21 @@ impl Tracer for EventCollector {
             let events = self.detector.process(ev);
             self.events.extend_from_slice(events);
         }
+    }
+}
+
+/// As a [`LoopEventSink`] the collector records events pushed by an
+/// *external* detector (e.g. a streaming `Session` that runs one shared
+/// CLS for many sinks); its internal detector is bypassed and the
+/// instruction count is taken from the end-of-stream callback.
+impl LoopEventSink for EventCollector {
+    #[inline]
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        self.events.push(*ev);
+    }
+
+    fn on_stream_end(&mut self, instructions: u64) {
+        self.instructions = instructions;
     }
 }
 

@@ -274,6 +274,15 @@ impl TableHitSim {
     }
 }
 
+/// Streaming interface: hit ratios accumulate per event, so table
+/// simulations plug directly into a single-pass `Session`.
+impl crate::LoopEventSink for TableHitSim {
+    #[inline]
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        self.observe(ev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

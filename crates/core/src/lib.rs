@@ -50,6 +50,7 @@ mod cls;
 mod detector;
 mod event;
 mod hitratio;
+mod sink;
 mod stats;
 mod tables;
 
@@ -57,6 +58,7 @@ pub use cls::Cls;
 pub use detector::{EventCollector, LoopDetector};
 pub use event::{LoopEvent, LoopId};
 pub use hitratio::{HitRatio, Replacement, TableHitSim, TableKind};
+pub use sink::{CountingSink, LoopEventSink};
 pub use stats::{LoopStats, LoopStatsReport};
 pub use tables::LoopTable;
 

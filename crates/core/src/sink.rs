@@ -1,0 +1,152 @@
+//! The streaming consumer interface for loop events.
+//!
+//! The CLS observes the committed instruction stream once and pushes
+//! [`LoopEvent`]s into a [`LoopEventSink`] as it goes — exactly the shape
+//! of the paper's hardware, where the LET/LIT and the speculation engine
+//! watch the detector live rather than replaying a recorded trace.
+//! Everything downstream of detection implements this trait:
+//!
+//! * [`EventCollector`](crate::EventCollector) and `Vec<LoopEvent>` —
+//!   materialize the stream (the legacy collect-then-replay path);
+//! * [`LoopStats`](crate::LoopStats) and
+//!   [`TableHitSim`](crate::TableHitSim) — incremental statistics;
+//! * `loopspec_mt::StreamEngine` — the single-pass speculation engine;
+//! * `loopspec_dataspec::LiveInProfiler` — live-in value profiling;
+//! * fan-out combinators (tuples, `&mut S`) so one detector can feed many
+//!   analyses in the same pass.
+
+use crate::LoopEvent;
+
+/// A consumer of the detector's loop-event stream.
+///
+/// Events arrive in commit order with non-decreasing stream positions.
+/// [`LoopEventSink::on_stream_end`] is called once, after the last event,
+/// with the final instruction count; sinks that need to close open state
+/// (e.g. the streaming engine) finalize there.
+pub trait LoopEventSink {
+    /// Called for every loop event, in commit order.
+    fn on_loop_event(&mut self, ev: &LoopEvent);
+
+    /// Called once when the instruction stream ends. `instructions` is
+    /// the total number of committed instructions.
+    fn on_stream_end(&mut self, instructions: u64) {
+        let _ = instructions;
+    }
+}
+
+impl LoopEventSink for Vec<LoopEvent> {
+    #[inline]
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        self.push(*ev);
+    }
+}
+
+impl<S: LoopEventSink + ?Sized> LoopEventSink for &mut S {
+    #[inline]
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        (**self).on_loop_event(ev);
+    }
+
+    #[inline]
+    fn on_stream_end(&mut self, instructions: u64) {
+        (**self).on_stream_end(instructions);
+    }
+}
+
+impl<A: LoopEventSink, B: LoopEventSink> LoopEventSink for (A, B) {
+    #[inline]
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        self.0.on_loop_event(ev);
+        self.1.on_loop_event(ev);
+    }
+
+    #[inline]
+    fn on_stream_end(&mut self, instructions: u64) {
+        self.0.on_stream_end(instructions);
+        self.1.on_stream_end(instructions);
+    }
+}
+
+impl<A: LoopEventSink, B: LoopEventSink, C: LoopEventSink> LoopEventSink for (A, B, C) {
+    #[inline]
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        self.0.on_loop_event(ev);
+        self.1.on_loop_event(ev);
+        self.2.on_loop_event(ev);
+    }
+
+    #[inline]
+    fn on_stream_end(&mut self, instructions: u64) {
+        self.0.on_stream_end(instructions);
+        self.1.on_stream_end(instructions);
+        self.2.on_stream_end(instructions);
+    }
+}
+
+/// A sink that only counts events — useful for throughput measurements
+/// and as the cheapest possible pipeline endpoint.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    /// Events observed.
+    pub events: u64,
+    /// Instruction count reported at stream end (0 until then).
+    pub instructions: u64,
+}
+
+impl LoopEventSink for CountingSink {
+    #[inline]
+    fn on_loop_event(&mut self, _ev: &LoopEvent) {
+        self.events += 1;
+    }
+
+    fn on_stream_end(&mut self, instructions: u64) {
+        self.instructions = instructions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LoopId;
+    use loopspec_isa::Addr;
+
+    fn ev(pos: u64) -> LoopEvent {
+        LoopEvent::OneShot {
+            loop_id: LoopId(Addr::new(1)),
+            pos,
+            depth: 1,
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut v: Vec<LoopEvent> = Vec::new();
+        v.on_loop_event(&ev(1));
+        v.on_loop_event(&ev(2));
+        assert_eq!(v.len(), 2);
+        v.on_stream_end(10); // no-op for Vec
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn tuple_sinks_fan_out() {
+        let mut pair = (Vec::new(), CountingSink::default());
+        pair.on_loop_event(&ev(1));
+        pair.on_stream_end(7);
+        assert_eq!(pair.0.len(), 1);
+        assert_eq!(pair.1.events, 1);
+        assert_eq!(pair.1.instructions, 7);
+    }
+
+    #[test]
+    fn mut_ref_delegates() {
+        let mut c = CountingSink::default();
+        {
+            let mut r = &mut c;
+            LoopEventSink::on_loop_event(&mut r, &ev(3));
+            LoopEventSink::on_stream_end(&mut r, 9);
+        }
+        assert_eq!(c.events, 1);
+        assert_eq!(c.instructions, 9);
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use crate::{LoopEvent, LoopId};
+use crate::{LoopEvent, LoopEventSink, LoopId};
 
 /// Aggregated loop statistics of one program run, mirroring the columns of
 /// the paper's Table 1.
@@ -148,6 +148,15 @@ impl LoopStats {
             avg_nesting: ratio(self.nesting_sum, self.nesting_samples),
             max_nesting: self.max_nesting,
         }
+    }
+}
+
+/// Streaming interface: statistics accumulate per event, so the collector
+/// plugs directly into a single-pass `Session`.
+impl LoopEventSink for LoopStats {
+    #[inline]
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        self.observe(ev);
     }
 }
 

@@ -87,7 +87,6 @@ impl IterFrame {
         self.path_hash = fnv_mix(self.path_hash, ((pc as u64) << 32) | outcome as u64);
     }
 
-
     /// Records a register read (with the observed value).
     #[inline]
     pub fn note_reg_read(&mut self, reg: ArchReg, value: u64) {

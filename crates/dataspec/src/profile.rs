@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use loopspec_core::{LoopDetector, LoopEvent, LoopId};
+use loopspec_core::{LoopDetector, LoopEvent, LoopEventSink, LoopId};
 use loopspec_cpu::{InstrEvent, Tracer};
 use loopspec_isa::ControlKind;
 
@@ -84,18 +84,19 @@ pub struct DataSpecReport {
     pub lm_seen: u64,
 }
 
-/// ATOM-style tracer computing the paper's data-speculation statistics.
+/// The live-in analysis proper, detached from loop detection: charges
+/// instructions to the open iteration [frames](IterFrame) and rolls the
+/// stride predictors at the iteration boundaries *somebody else*
+/// announces.
 ///
-/// Owns a [`LoopDetector`] so iteration boundaries stay synchronised with
-/// the instruction stream; maintains one live-in [frame](IterFrame) per
-/// open loop iteration (nested loops each see every instruction, as in
-/// the paper's definition of loop executions); and rolls per-(loop,
-/// location) stride predictors at iteration boundaries.
-///
-/// See the [crate docs](crate) for an example.
+/// This is the streaming-pipeline form of the profiler: it implements
+/// [`Tracer`] for the per-instruction half and [`LoopEventSink`] for the
+/// boundary half, so a `loopspec_pipeline::Session` can drive it from
+/// the **shared** CLS of the whole pass instead of a private duplicate.
+/// When driving a CPU directly, use [`DataSpecProfiler`], which bundles a
+/// detector and keeps the two halves synchronised.
 #[derive(Debug, Default)]
-pub struct DataSpecProfiler {
-    detector: LoopDetector,
+pub struct LiveInProfiler {
     frames: Vec<IterFrame>,
     reg_pred: StridePredictor<(LoopId, u8)>,
     mem_addr_pred: StridePredictor<(LoopId, u16)>,
@@ -104,8 +105,8 @@ pub struct DataSpecProfiler {
     mem_overflow: u64,
 }
 
-impl DataSpecProfiler {
-    /// Creates a profiler with the default 16-entry CLS.
+impl LiveInProfiler {
+    /// Creates an empty profiler.
     pub fn new() -> Self {
         Self::default()
     }
@@ -120,6 +121,50 @@ impl DataSpecProfiler {
     /// Figure 8 report.
     pub fn report(&self) -> DataSpecReport {
         aggregate(&self.records, self.mem_overflow)
+    }
+
+    /// Charges one retired instruction to every open iteration frame.
+    ///
+    /// Must be called *before* the loop events that instruction produced
+    /// are delivered to [`LoopEventSink::on_loop_event`] — the closing
+    /// branch belongs to the iteration it ends. Both drivers (the bundled
+    /// [`DataSpecProfiler`] and the pipeline `Session`) preserve this
+    /// order.
+    pub fn observe_instr(&mut self, ev: &InstrEvent) {
+        // Charge the instruction to every open iteration (instructions
+        // of nested loops and called subroutines belong to all
+        // enclosing executions). The path signature covers every
+        // *dynamically divergent* control transfer: conditional
+        // branches by outcome, indirect jumps/calls and returns by
+        // target (a "path" is the exact instruction sequence of the
+        // iteration, paper §4).
+        if self.frames.is_empty() {
+            return;
+        }
+        let divergence = match ev.control.kind {
+            ControlKind::CondBranch { .. } => Some(ev.control.taken as u32),
+            ControlKind::IndirectJump | ControlKind::IndirectCall | ControlKind::Ret => {
+                Some(ev.control.target.index())
+            }
+            _ => None,
+        };
+        for frame in &mut self.frames {
+            for read in ev.reads.iter().flatten() {
+                frame.note_reg_read(read.reg, read.value);
+            }
+            if let Some(w) = ev.write {
+                frame.note_reg_write(w.reg);
+            }
+            if let Some(m) = ev.mem_read {
+                frame.note_load(m.addr, m.value);
+            }
+            if let Some(m) = ev.mem_write {
+                frame.note_store(m.addr);
+            }
+            if let Some(d) = divergence {
+                frame.note_divergence(ev.pc.index(), d);
+            }
+        }
     }
 
     fn close_frame(&mut self, loop_id: LoopId) {
@@ -163,59 +208,73 @@ impl DataSpecProfiler {
     }
 }
 
+/// The per-instruction half, for registration as a plain tracer.
+impl Tracer for LiveInProfiler {
+    #[inline]
+    fn on_retire(&mut self, ev: &InstrEvent) {
+        self.observe_instr(ev);
+    }
+}
+
+/// The boundary half: iteration starts/ends roll the live-in frames.
+impl LoopEventSink for LiveInProfiler {
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        match *ev {
+            LoopEvent::IterationStart { loop_id, .. } => {
+                self.close_frame(loop_id);
+                self.open_frame(loop_id);
+            }
+            LoopEvent::ExecutionEnd { loop_id, .. } | LoopEvent::Evicted { loop_id, .. } => {
+                self.close_frame(loop_id);
+            }
+            LoopEvent::ExecutionStart { .. } | LoopEvent::OneShot { .. } => {}
+        }
+    }
+}
+
+/// ATOM-style tracer computing the paper's data-speculation statistics:
+/// a [`LiveInProfiler`] bundled with its own [`LoopDetector`] so a bare
+/// `Cpu::run` drives both halves in the right order.
+///
+/// In a streaming `Session` (one shared CLS feeding many analyses),
+/// register a [`LiveInProfiler`] instead — running a second detector
+/// there would duplicate work.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Default)]
+pub struct DataSpecProfiler {
+    detector: LoopDetector,
+    inner: LiveInProfiler,
+}
+
+impl DataSpecProfiler {
+    /// Creates a profiler with the default 16-entry CLS.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-iteration records collected so far.
+    pub fn records(&self) -> &[IterRecord] {
+        self.inner.records()
+    }
+
+    /// Aggregates the Figure 8 report (see [`LiveInProfiler::report`]).
+    pub fn report(&self) -> DataSpecReport {
+        self.inner.report()
+    }
+}
+
 impl Tracer for DataSpecProfiler {
     fn on_retire(&mut self, ev: &InstrEvent) {
-        // 1. Charge the instruction to every open iteration (instructions
-        //    of nested loops and called subroutines belong to all
-        //    enclosing executions). The path signature covers every
-        //    *dynamically divergent* control transfer: conditional
-        //    branches by outcome, indirect jumps/calls and returns by
-        //    target (a "path" is the exact instruction sequence of the
-        //    iteration, paper §4).
-        if !self.frames.is_empty() {
-            let divergence = match ev.control.kind {
-                ControlKind::CondBranch { .. } => Some(ev.control.taken as u32),
-                ControlKind::IndirectJump | ControlKind::IndirectCall | ControlKind::Ret => {
-                    Some(ev.control.target.index())
-                }
-                _ => None,
-            };
-            for frame in &mut self.frames {
-                for read in ev.reads.iter().flatten() {
-                    frame.note_reg_read(read.reg, read.value);
-                }
-                if let Some(w) = ev.write {
-                    frame.note_reg_write(w.reg);
-                }
-                if let Some(m) = ev.mem_read {
-                    frame.note_load(m.addr, m.value);
-                }
-                if let Some(m) = ev.mem_write {
-                    frame.note_store(m.addr);
-                }
-                if let Some(d) = divergence {
-                    frame.note_divergence(ev.pc.index(), d);
-                }
-            }
-        }
+        // 1. Charge the instruction to every open iteration.
+        self.inner.observe_instr(ev);
 
-        // 2. Roll iteration boundaries.
+        // 2. Roll iteration boundaries (the detector and the analysis are
+        //    disjoint fields, so the event slice can be consumed without
+        //    an intermediate buffer).
         if !matches!(ev.control.kind, ControlKind::None) {
-            // The detector borrows &mut self.detector; collect events
-            // into a small buffer first.
-            let events: Vec<LoopEvent> = self.detector.process(ev).to_vec();
-            for e in events {
-                match e {
-                    LoopEvent::IterationStart { loop_id, .. } => {
-                        self.close_frame(loop_id);
-                        self.open_frame(loop_id);
-                    }
-                    LoopEvent::ExecutionEnd { loop_id, .. }
-                    | LoopEvent::Evicted { loop_id, .. } => {
-                        self.close_frame(loop_id);
-                    }
-                    LoopEvent::ExecutionStart { .. } | LoopEvent::OneShot { .. } => {}
-                }
+            for e in self.detector.process(ev) {
+                self.inner.on_loop_event(e);
             }
         }
     }

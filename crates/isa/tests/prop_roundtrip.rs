@@ -1,94 +1,137 @@
-//! Property tests: every constructible instruction round-trips through the
-//! binary encoding, and operation semantics satisfy algebraic laws.
+//! Property-style tests over seeded random instructions: every
+//! constructible instruction round-trips through the binary encoding, and
+//! operation semantics satisfy algebraic laws.
+//!
+//! The original suite used `proptest`; the build environment is offline,
+//! so the same generators are driven by a small deterministic xorshift
+//! RNG instead (fixed seeds, hundreds of cases per law).
 
 use loopspec_isa::{Addr, AluOp, Cond, FAluOp, FReg, FUnOp, Instruction, Reg};
-use proptest::prelude::*;
+use loopspec_testutil::Rng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0..Reg::COUNT).prop_map(|i| Reg::from_index(i).unwrap())
+/// ISA-typed draws on top of the shared generator.
+trait IsaRng {
+    fn reg(&mut self) -> Reg;
+    fn freg(&mut self) -> FReg;
+    fn alu_op(&mut self) -> AluOp;
+    fn cond(&mut self) -> Cond;
+    fn addr(&mut self) -> Addr;
+    fn imm48(&mut self) -> i64;
 }
 
-fn arb_freg() -> impl Strategy<Value = FReg> {
-    (0..FReg::COUNT).prop_map(|i| FReg::from_index(i).unwrap())
+impl IsaRng for Rng {
+    fn reg(&mut self) -> Reg {
+        Reg::from_index(self.below(Reg::COUNT as u64) as usize).unwrap()
+    }
+
+    fn freg(&mut self) -> FReg {
+        FReg::from_index(self.below(FReg::COUNT as u64) as usize).unwrap()
+    }
+
+    fn alu_op(&mut self) -> AluOp {
+        AluOp::ALL[self.below(AluOp::ALL.len() as u64) as usize]
+    }
+
+    fn cond(&mut self) -> Cond {
+        Cond::ALL[self.below(Cond::ALL.len() as u64) as usize]
+    }
+
+    fn addr(&mut self) -> Addr {
+        Addr::new(self.next() as u32)
+    }
+
+    fn imm48(&mut self) -> i64 {
+        (self.next() as i64) >> 16
+    }
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    (0..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
-}
-
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    (0..Cond::ALL.len()).prop_map(|i| Cond::ALL[i])
-}
-
-fn arb_addr() -> impl Strategy<Value = Addr> {
-    any::<u32>().prop_map(Addr::new)
-}
-
-prop_compose! {
-    fn arb_imm48()(v in (-(1i64 << 47))..((1i64 << 47) - 1)) -> i64 { v }
-}
-
-fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        Just(Instruction::Nop),
-        Just(Instruction::Halt),
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, ra, rb)| Instruction::Alu { op, rd, ra, rb }),
-        (arb_alu_op(), arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(op, rd, ra, imm)| Instruction::AluImm { op, rd, ra, imm }),
-        (arb_reg(), arb_imm48()).prop_map(|(rd, imm)| Instruction::LoadImm { rd, imm }),
-        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, base, offset)| Instruction::Load {
-            rd,
-            base,
-            offset
-        }),
-        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(src, base, offset)| Instruction::Store {
-            src,
-            base,
-            offset
-        }),
-        (0..FAluOp::ALL.len(), arb_freg(), arb_freg(), arb_freg()).prop_map(|(op, fd, fa, fb)| {
-            Instruction::FAlu {
-                op: FAluOp::ALL[op],
-                fd,
-                fa,
-                fb,
-            }
-        }),
-        (0..FUnOp::ALL.len(), arb_freg(), arb_freg()).prop_map(|(op, fd, fa)| Instruction::FUn {
-            op: FUnOp::ALL[op],
-            fd,
-            fa
-        }),
-        (arb_freg(), any::<u32>()).prop_map(|(fd, bits)| Instruction::FLoadImm {
-            fd,
-            value: f32::from_bits(bits)
-        }),
-        (arb_freg(), arb_reg(), any::<i32>()).prop_map(|(fd, base, offset)| Instruction::FLoad {
-            fd,
-            base,
-            offset
-        }),
-        (arb_freg(), arb_reg(), any::<i32>())
-            .prop_map(|(fsrc, base, offset)| Instruction::FStore { fsrc, base, offset }),
-        (arb_cond(), arb_reg(), arb_freg(), arb_freg())
-            .prop_map(|(cond, rd, fa, fb)| Instruction::FCmp { cond, rd, fa, fb }),
-        (arb_freg(), arb_reg()).prop_map(|(fd, ra)| Instruction::ItoF { fd, ra }),
-        (arb_reg(), arb_freg()).prop_map(|(rd, fa)| Instruction::FtoI { rd, fa }),
-        (arb_cond(), arb_reg(), arb_reg(), arb_addr()).prop_map(|(cond, ra, rb, target)| {
-            Instruction::Branch {
-                cond,
-                ra,
-                rb,
-                target,
-            }
-        }),
-        arb_addr().prop_map(|target| Instruction::Jump { target }),
-        arb_reg().prop_map(|base| Instruction::JumpInd { base }),
-        (arb_addr(), arb_reg()).prop_map(|(target, link)| Instruction::Call { target, link }),
-        (arb_reg(), arb_reg()).prop_map(|(base, link)| Instruction::CallInd { base, link }),
-        arb_reg().prop_map(|link| Instruction::Ret { link }),
-    ]
+fn arb_instruction(r: &mut Rng) -> Instruction {
+    match r.below(21) {
+        0 => Instruction::Nop,
+        1 => Instruction::Halt,
+        2 => Instruction::Alu {
+            op: r.alu_op(),
+            rd: r.reg(),
+            ra: r.reg(),
+            rb: r.reg(),
+        },
+        3 => Instruction::AluImm {
+            op: r.alu_op(),
+            rd: r.reg(),
+            ra: r.reg(),
+            imm: r.i32(),
+        },
+        4 => Instruction::LoadImm {
+            rd: r.reg(),
+            imm: r.imm48(),
+        },
+        5 => Instruction::Load {
+            rd: r.reg(),
+            base: r.reg(),
+            offset: r.i32(),
+        },
+        6 => Instruction::Store {
+            src: r.reg(),
+            base: r.reg(),
+            offset: r.i32(),
+        },
+        7 => Instruction::FAlu {
+            op: FAluOp::ALL[r.below(FAluOp::ALL.len() as u64) as usize],
+            fd: r.freg(),
+            fa: r.freg(),
+            fb: r.freg(),
+        },
+        8 => Instruction::FUn {
+            op: FUnOp::ALL[r.below(FUnOp::ALL.len() as u64) as usize],
+            fd: r.freg(),
+            fa: r.freg(),
+        },
+        9 => Instruction::FLoadImm {
+            fd: r.freg(),
+            value: f32::from_bits(r.next() as u32),
+        },
+        10 => Instruction::FLoad {
+            fd: r.freg(),
+            base: r.reg(),
+            offset: r.i32(),
+        },
+        11 => Instruction::FStore {
+            fsrc: r.freg(),
+            base: r.reg(),
+            offset: r.i32(),
+        },
+        12 => Instruction::FCmp {
+            cond: r.cond(),
+            rd: r.reg(),
+            fa: r.freg(),
+            fb: r.freg(),
+        },
+        13 => Instruction::ItoF {
+            fd: r.freg(),
+            ra: r.reg(),
+        },
+        14 => Instruction::FtoI {
+            rd: r.reg(),
+            fa: r.freg(),
+        },
+        15 => Instruction::Branch {
+            cond: r.cond(),
+            ra: r.reg(),
+            rb: r.reg(),
+            target: r.addr(),
+        },
+        16 => Instruction::Jump { target: r.addr() },
+        17 => Instruction::JumpInd { base: r.reg() },
+        18 => Instruction::Call {
+            target: r.addr(),
+            link: r.reg(),
+        },
+        19 => Instruction::CallInd {
+            base: r.reg(),
+            link: r.reg(),
+        },
+        _ => Instruction::Ret { link: r.reg() },
+    }
 }
 
 fn bits_eq(a: &Instruction, b: &Instruction) -> bool {
@@ -97,41 +140,62 @@ fn bits_eq(a: &Instruction, b: &Instruction) -> bool {
     a.encode() == b.encode()
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_round_trip(instr in arb_instruction()) {
+#[test]
+fn encode_decode_round_trip() {
+    let mut r = Rng::new(0xfeed);
+    for _ in 0..2000 {
+        let instr = arb_instruction(&mut r);
         let word = instr.encode();
         let decoded = Instruction::decode(word).expect("decode of encoded instruction");
-        prop_assert!(bits_eq(&decoded, &instr), "{instr} != {decoded}");
+        assert!(bits_eq(&decoded, &instr), "{instr} != {decoded}");
         // And encoding is deterministic / stable under a second round trip.
-        prop_assert_eq!(decoded.encode(), word);
+        assert_eq!(decoded.encode(), word);
     }
+}
 
-    #[test]
-    fn cond_negate_complements(c in arb_cond(), a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(c.negate().eval(a, b), !c.eval(a, b));
+#[test]
+fn cond_negate_complements() {
+    let mut r = Rng::new(1);
+    for _ in 0..2000 {
+        let c = r.cond();
+        let (a, b) = (r.next(), r.next());
+        assert_eq!(c.negate().eval(a, b), !c.eval(a, b));
     }
+}
 
-    #[test]
-    fn slt_matches_branch_cond(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(AluOp::SltS.eval(a, b) == 1, Cond::LtS.eval(a, b));
-        prop_assert_eq!(AluOp::SltU.eval(a, b) == 1, Cond::LtU.eval(a, b));
+#[test]
+fn slt_matches_branch_cond() {
+    let mut r = Rng::new(2);
+    for _ in 0..2000 {
+        let (a, b) = (r.next(), r.next());
+        assert_eq!(AluOp::SltS.eval(a, b) == 1, Cond::LtS.eval(a, b));
+        assert_eq!(AluOp::SltU.eval(a, b) == 1, Cond::LtU.eval(a, b));
     }
+}
 
-    #[test]
-    fn add_sub_inverse(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(AluOp::Sub.eval(AluOp::Add.eval(a, b), b), a);
+#[test]
+fn add_sub_inverse() {
+    let mut r = Rng::new(3);
+    for _ in 0..2000 {
+        let (a, b) = (r.next(), r.next());
+        assert_eq!(AluOp::Sub.eval(AluOp::Add.eval(a, b), b), a);
     }
+}
 
-    #[test]
-    fn display_never_empty(instr in arb_instruction()) {
-        prop_assert!(!instr.to_string().is_empty());
+#[test]
+fn display_never_empty() {
+    let mut r = Rng::new(4);
+    for _ in 0..500 {
+        assert!(!arb_instruction(&mut r).to_string().is_empty());
     }
+}
 
-    #[test]
-    fn reg_use_bounded(instr in arb_instruction()) {
-        let u = instr.reg_use();
-        prop_assert!(u.reads_iter().count() <= 3);
-        prop_assert!(u.freads_iter().count() <= 2);
+#[test]
+fn reg_use_bounded() {
+    let mut r = Rng::new(5);
+    for _ in 0..500 {
+        let u = arb_instruction(&mut r).reg_use();
+        assert!(u.reads_iter().count() <= 3);
+        assert!(u.freads_iter().count() <= 2);
     }
 }

@@ -155,8 +155,12 @@ impl AnnotatedTrace {
             }
         }
 
-        // Close anything left open (truncated traces).
-        for (_, id) in open.drain() {
+        // Close anything left open (truncated traces), in detection
+        // order so the result is deterministic and matches the streaming
+        // driver's trailing closes.
+        let mut leftovers: Vec<ExecId> = open.drain().map(|(_, id)| id).collect();
+        leftovers.sort();
+        for id in leftovers {
             let info = &mut execs[id.0 as usize];
             info.total_iters = info.iter_starts.len() as u32 + 1;
             info.end_pos = instructions;

@@ -1,4 +1,4 @@
-//! The trace-driven, event-driven multithreading engine.
+//! The event-driven multithreading engine.
 //!
 //! Timing model (see `DESIGN.md` §4.3): every thread unit retires one
 //! instruction per cycle. A speculative thread spawned at time `s` for a
@@ -15,10 +15,22 @@
 //! active-and-correct thread-cycles equals the trace's instruction count,
 //! and **TPC = instructions / total cycles**. A run without speculation
 //! therefore has TPC exactly 1.
+//!
+//! The decision logic lives in [`EngineCore`], which is driven by two
+//! front ends that produce bit-identical [`EngineReport`]s:
+//!
+//! * [`Engine`] — the batch driver: replays a fully built
+//!   [`AnnotatedTrace`] (required for oracle policies, which consult
+//!   future iteration counts);
+//! * [`StreamEngine`](crate::StreamEngine) — the streaming driver:
+//!   consumes raw `LoopEvent`s as the detector emits them, buffering only
+//!   a bounded run-ahead window.
 
 use std::collections::{BTreeSet, HashMap};
 
-use crate::annotate::{AnnotatedTrace, ExecId, TraceEventKind};
+use loopspec_core::LoopId;
+
+use crate::annotate::{AnnotatedTrace, TraceEventKind};
 use crate::policy::{SpecContext, SpeculationPolicy};
 use crate::predictor::IterPredictor;
 use crate::stats::SpecStats;
@@ -85,12 +97,301 @@ struct ExecSpec {
     nested_nonspec: u32,
 }
 
-/// The multithreaded control-speculation engine (paper §3.1).
+/// The driver-independent speculation state machine.
+///
+/// Consumes execution/iteration boundary events keyed by a dense
+/// execution ordinal (assigned in detection order by the driver) and
+/// makes every spawn / verify / squash decision. Front ends only differ
+/// in *when* they can afford to deliver an event:
+///
+/// * the batch [`Engine`] has the whole trace, so it feeds events
+///   eagerly and answers iteration-position lookups from the
+///   [`AnnotatedTrace`];
+/// * the streaming driver must delay an iteration event until the stream
+///   frontier passes [`EngineCore::iter_start_horizon`], the highest
+///   position the spawn decision can consult.
+#[derive(Debug)]
+pub(crate) struct EngineCore<P> {
+    policy: P,
+    total_tus: u64,
+    tus_label: Option<usize>,
+    nesting_limit: Option<u32>,
+    cur: CurThread,
+    segments: HashMap<(u32, u32), Segment>,
+    spec: HashMap<u32, ExecSpec>,
+    open_stack: Vec<u32>,
+    live_total: u64,
+    predictor: IterPredictor,
+    stats: SpecStats,
+}
+
+/// Hard cap on finite TU counts (far above the paper's 16).
+const MAX_TUS: usize = 4096;
+
+impl<P: SpeculationPolicy> EngineCore<P> {
+    pub(crate) fn new(policy: P, total_tus: u64, tus_label: Option<usize>) -> Self {
+        let nesting_limit = policy.max_nonspec_nested();
+        EngineCore {
+            policy,
+            total_tus,
+            tus_label,
+            nesting_limit,
+            cur: CurThread {
+                start_pos: 0,
+                spawn_time: 0,
+                handoff_time: 0,
+            },
+            segments: HashMap::new(),
+            spec: HashMap::new(),
+            open_stack: Vec::new(),
+            live_total: 0,
+            predictor: IterPredictor::new(),
+            stats: SpecStats::default(),
+        }
+    }
+
+    #[inline]
+    fn idle(&self) -> u64 {
+        self.total_tus.saturating_sub(1 + self.live_total)
+    }
+
+    /// A new loop execution was detected.
+    pub(crate) fn exec_start(&mut self, exec: u32) {
+        self.open_stack.push(exec);
+    }
+
+    /// The highest stream position the decision at an
+    /// `iter_start(exec, iter, pos)` event may consult: the self-paced
+    /// run-ahead of the thread that will be non-speculative after
+    /// verification. A streaming driver must not deliver the event before
+    /// it has observed the stream up to this position (events with
+    /// positions `< horizon` must all be known).
+    pub(crate) fn iter_start_horizon(&self, exec: u32, iter: u32, pos: u64) -> u64 {
+        let t = self.cur.time_at(pos);
+        if let Some(seg) = self.segments.get(&(exec, iter)) {
+            let seg_virtual = seg.spawn_time as i128 - pos as i128;
+            let cur_virtual = self.cur.spawn_time as i128 - self.cur.start_pos as i128;
+            if seg_virtual <= cur_virtual {
+                // Verification will hand off to this segment.
+                return pos + (t - seg.spawn_time);
+            }
+        }
+        self.cur.start_pos + (t - self.cur.spawn_time)
+    }
+
+    /// Iteration `iter` (≥ 2) of execution `exec` starts at `pos`.
+    ///
+    /// `iter_pos` answers "at which stream position does iteration `j` of
+    /// this execution start?" for any `j` up to the horizon (`None` when
+    /// the iteration does not exist or starts at/after the horizon).
+    /// `actual_remaining` is ground truth for oracle policies (streaming
+    /// drivers pass 0 and refuse such policies).
+    pub(crate) fn iter_start(
+        &mut self,
+        exec: u32,
+        loop_id: LoopId,
+        iter: u32,
+        pos: u64,
+        iter_pos: &dyn Fn(u32) -> Option<u64>,
+        actual_remaining: u32,
+    ) {
+        let t = self.cur.time_at(pos);
+
+        // --- Verification: handoff to the speculated thread for this
+        // iteration, if one exists. A segment whose self-paced progress
+        // lags the current thread's run-ahead is *stale* (its work is
+        // redundant) and is discarded instead of taking over the
+        // frontier.
+        if let Some(seg) = self.segments.remove(&(exec, iter)) {
+            self.live_total -= 1;
+            if let Some(st) = self.spec.get_mut(&exec) {
+                st.live.remove(&iter);
+            }
+            self.stats.instr_to_outcome_sum += pos - seg.spawn_pos;
+            self.policy.on_thread_outcome(loop_id, true);
+            let seg_virtual = seg.spawn_time as i128 - pos as i128;
+            let cur_virtual = self.cur.spawn_time as i128 - self.cur.start_pos as i128;
+            if seg_virtual <= cur_virtual {
+                self.stats.verified += 1;
+                self.cur = CurThread {
+                    start_pos: pos,
+                    spawn_time: seg.spawn_time,
+                    handoff_time: t,
+                };
+            } else {
+                self.stats.squashed_stale += 1;
+            }
+        }
+
+        // --- Speculation attempt.
+        let spawned = self.attempt_spawn(exec, loop_id, iter, pos, t, iter_pos, actual_remaining);
+
+        // --- STR(i): a newly detected execution that could not speculate
+        // counts against enclosing speculated loops; exceeding the limit
+        // squashes the outermost one and retries.
+        if spawned == 0 && iter == 2 {
+            if let Some(limit) = self.nesting_limit {
+                let mut victim: Option<u32> = None;
+                for k in 0..self.open_stack.len() {
+                    let g = self.open_stack[k];
+                    if g == exec {
+                        continue;
+                    }
+                    if let Some(st) = self.spec.get_mut(&g) {
+                        if !st.live.is_empty() {
+                            st.nested_nonspec += 1;
+                            if st.nested_nonspec > limit && victim.is_none() {
+                                victim = Some(g);
+                            }
+                        }
+                    }
+                }
+                if let Some(g) = victim {
+                    // Policy squashes sacrifice *correct* speculation;
+                    // they do not count against a loop's suitability.
+                    let _ = self.squash_exec(g, pos, false);
+                    let _ =
+                        self.attempt_spawn(exec, loop_id, iter, pos, t, iter_pos, actual_remaining);
+                }
+            }
+        }
+    }
+
+    /// Execution `exec` ended at `pos`. `closed` is `false` for
+    /// evictions and truncated traces; `total_iters` is the execution's
+    /// final iteration count.
+    pub(crate) fn exec_end(
+        &mut self,
+        exec: u32,
+        loop_id: LoopId,
+        pos: u64,
+        closed: bool,
+        total_iters: u32,
+    ) {
+        self.open_stack.retain(|&g| g != exec);
+        let squashed = self.squash_exec(exec, pos, true);
+        for _ in 0..squashed {
+            self.policy.on_thread_outcome(loop_id, false);
+        }
+        self.spec.remove(&exec);
+        if closed {
+            self.predictor.record_execution(loop_id, total_iters);
+        }
+    }
+
+    /// Produces the report once the stream has ended.
+    pub(crate) fn report(&self, instructions: u64) -> EngineReport {
+        EngineReport {
+            instructions,
+            cycles: self.cur.time_at(instructions),
+            spec: self.stats,
+            policy: self.policy.name(),
+            tus: self.tus_label,
+        }
+    }
+
+    /// Launches new speculative threads per the policy; returns how many.
+    ///
+    /// Iterations whose start the current thread's speculative run-ahead
+    /// has already executed are not spawned — a TU pointed at work the
+    /// non-speculative thread has already done contributes nothing (it
+    /// would be discarded as stale at verification).
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_spawn(
+        &mut self,
+        exec: u32,
+        loop_id: LoopId,
+        iter: u32,
+        pos: u64,
+        t: u64,
+        iter_pos: &dyn Fn(u32) -> Option<u64>,
+        actual_remaining: u32,
+    ) -> u64 {
+        let idle = self.idle();
+        if idle == 0 {
+            return 0;
+        }
+        let already = self.spec.get(&exec).map_or(0, |s| s.live.len()) as u32;
+        let ctx = SpecContext {
+            loop_id,
+            current_iter: iter,
+            idle_tus: idle,
+            already_speculated: already,
+            predictor: &self.predictor,
+            actual_remaining,
+        };
+        let n = self.policy.threads_to_spawn(&ctx).min(idle);
+        if n == 0 {
+            return 0;
+        }
+        // Self-paced position the current thread has reached by time t.
+        let covered = self.cur.start_pos + (t - self.cur.spawn_time);
+        let st = self.spec.entry(exec).or_default();
+        let next = st.live.iter().next_back().copied().unwrap_or(iter) + 1;
+        let mut spawned = 0u64;
+        for j in next..next + n as u32 {
+            if let Some(p) = iter_pos(j) {
+                if p < covered {
+                    continue; // already executed by the run-ahead
+                }
+            }
+            self.segments.insert(
+                (exec, j),
+                Segment {
+                    spawn_time: t,
+                    spawn_pos: pos,
+                },
+            );
+            st.live.insert(j);
+            spawned += 1;
+        }
+        if spawned == 0 {
+            return 0;
+        }
+        // Speculating resets the exec's STR(i) pressure counter.
+        st.nested_nonspec = 0;
+        self.live_total += spawned;
+        self.stats.spec_actions += 1;
+        self.stats.threads_spawned += spawned;
+        spawned
+    }
+
+    /// Squashes every live thread of `exec`, freeing its TUs.
+    /// `misspec = true` for loop-end squashes (phantom iterations),
+    /// `false` for STR(i) policy squashes (correct work sacrificed).
+    fn squash_exec(&mut self, exec: u32, pos: u64, misspec: bool) -> u64 {
+        let Some(st) = self.spec.get_mut(&exec) else {
+            return 0;
+        };
+        let mut squashed = 0;
+        for iter in std::mem::take(&mut st.live) {
+            let seg = self
+                .segments
+                .remove(&(exec, iter))
+                .expect("live set and segment map agree");
+            self.live_total -= 1;
+            self.stats.instr_to_outcome_sum += pos - seg.spawn_pos;
+            if misspec {
+                self.stats.squashed_misspec += 1;
+            } else {
+                self.stats.squashed_policy += 1;
+            }
+            squashed += 1;
+        }
+        st.nested_nonspec = 0;
+        squashed
+    }
+}
+
+/// The multithreaded control-speculation engine (paper §3.1), batch
+/// driver: replays a prebuilt [`AnnotatedTrace`].
 ///
 /// Drive it with [`Engine::run`]; it never mutates the trace and can be
 /// re-created cheaply for policy/TU sweeps. See the
 /// [crate docs](crate) for an end-to-end example and the module docs for
-/// the timing model.
+/// the timing model. For single-pass processing without a materialized
+/// trace, use [`StreamEngine`](crate::StreamEngine) — both drivers
+/// produce identical reports for history-based policies.
 #[derive(Debug)]
 pub struct Engine<'a, P> {
     trace: &'a AnnotatedTrace,
@@ -98,9 +399,6 @@ pub struct Engine<'a, P> {
     total_tus: u64,
     tus_label: Option<usize>,
 }
-
-/// Hard cap on finite TU counts (far above the paper's 16).
-const MAX_TUS: usize = 4096;
 
 impl<'a, P: SpeculationPolicy> Engine<'a, P> {
     /// Creates an engine with `num_tus` thread units (one of which is
@@ -148,268 +446,35 @@ impl<'a, P: SpeculationPolicy> Engine<'a, P> {
     pub fn run(self) -> EngineReport {
         let Engine {
             trace,
-            mut policy,
+            policy,
             total_tus,
             tus_label,
         } = self;
-        let policy_name = policy.name();
-        let nesting_limit = policy.max_nonspec_nested();
-
-        let mut cur = CurThread {
-            start_pos: 0,
-            spawn_time: 0,
-            handoff_time: 0,
-        };
-        let mut segments: HashMap<(ExecId, u32), Segment> = HashMap::new();
-        let mut spec: HashMap<ExecId, ExecSpec> = HashMap::new();
-        let mut open_stack: Vec<ExecId> = Vec::new();
-        let mut live_total: u64 = 0;
-        let mut predictor = IterPredictor::new();
-        let mut stats = SpecStats::default();
-
-        let idle = |live_total: u64| total_tus.saturating_sub(1 + live_total);
+        let mut core = EngineCore::new(policy, total_tus, tus_label);
 
         for ev in &trace.events {
-            let t = cur.time_at(ev.pos);
+            let exec = ev.exec.0;
             match ev.kind {
-                TraceEventKind::ExecStart => {
-                    open_stack.push(ev.exec);
-                }
+                TraceEventKind::ExecStart => core.exec_start(exec),
                 TraceEventKind::IterStart { iter } => {
-                    // --- Verification: handoff to the speculated thread
-                    // for this iteration, if one exists. A segment whose
-                    // self-paced progress lags the current thread's
-                    // run-ahead is *stale* (its work is redundant) and is
-                    // discarded instead of taking over the frontier.
-                    if let Some(seg) = segments.remove(&(ev.exec, iter)) {
-                        live_total -= 1;
-                        if let Some(st) = spec.get_mut(&ev.exec) {
-                            st.live.remove(&iter);
-                        }
-                        stats.instr_to_outcome_sum += ev.pos - seg.spawn_pos;
-                        policy.on_thread_outcome(trace.exec(ev.exec).loop_id, true);
-                        let seg_virtual = seg.spawn_time as i128 - ev.pos as i128;
-                        let cur_virtual = cur.spawn_time as i128 - cur.start_pos as i128;
-                        if seg_virtual <= cur_virtual {
-                            stats.verified += 1;
-                            cur = CurThread {
-                                start_pos: ev.pos,
-                                spawn_time: seg.spawn_time,
-                                handoff_time: t,
-                            };
-                        } else {
-                            stats.squashed_stale += 1;
-                        }
-                    }
-
-                    // --- Speculation attempt.
-                    let idle_now = idle(live_total);
-                    let spawned = Self::attempt_spawn(
-                        trace,
-                        &policy,
-                        &predictor,
-                        &mut segments,
-                        &mut spec,
-                        &mut live_total,
-                        &mut stats,
-                        idle_now,
-                        &cur,
-                        ev.exec,
+                    let info = trace.exec(ev.exec);
+                    core.iter_start(
+                        exec,
+                        info.loop_id,
                         iter,
                         ev.pos,
-                        t,
+                        &|j| info.iter_pos(j),
+                        info.remaining_after(iter),
                     );
-
-                    // --- STR(i): a newly detected execution that could
-                    // not speculate counts against enclosing speculated
-                    // loops; exceeding the limit squashes the outermost
-                    // one and retries.
-                    if spawned == 0 && iter == 2 {
-                        if let Some(limit) = nesting_limit {
-                            let mut victim: Option<ExecId> = None;
-                            for &g in open_stack.iter() {
-                                if g == ev.exec {
-                                    continue;
-                                }
-                                if let Some(st) = spec.get_mut(&g) {
-                                    if !st.live.is_empty() {
-                                        st.nested_nonspec += 1;
-                                        if st.nested_nonspec > limit && victim.is_none() {
-                                            victim = Some(g);
-                                        }
-                                    }
-                                }
-                            }
-                            if let Some(g) = victim {
-                                let sacrificed = Self::squash_exec(
-                                    &mut segments,
-                                    &mut spec,
-                                    &mut live_total,
-                                    &mut stats,
-                                    g,
-                                    ev.pos,
-                                    false,
-                                );
-                                // Policy squashes sacrifice *correct*
-                                // speculation; they do not count against
-                                // a loop's suitability.
-                                let _ = sacrificed;
-                                let idle_retry = idle(live_total);
-                                let _ = Self::attempt_spawn(
-                                    trace,
-                                    &policy,
-                                    &predictor,
-                                    &mut segments,
-                                    &mut spec,
-                                    &mut live_total,
-                                    &mut stats,
-                                    idle_retry,
-                                    &cur,
-                                    ev.exec,
-                                    iter,
-                                    ev.pos,
-                                    t,
-                                );
-                            }
-                        }
-                    }
                 }
                 TraceEventKind::ExecEnd => {
-                    open_stack.retain(|&g| g != ev.exec);
-                    let info_loop = trace.exec(ev.exec).loop_id;
-                    let squashed = Self::squash_exec(
-                        &mut segments,
-                        &mut spec,
-                        &mut live_total,
-                        &mut stats,
-                        ev.exec,
-                        ev.pos,
-                        true,
-                    );
-                    for _ in 0..squashed {
-                        policy.on_thread_outcome(info_loop, false);
-                    }
-                    spec.remove(&ev.exec);
                     let info = trace.exec(ev.exec);
-                    if info.closed {
-                        predictor.record_execution(info.loop_id, info.total_iters);
-                    }
+                    core.exec_end(exec, info.loop_id, ev.pos, info.closed, info.total_iters);
                 }
             }
         }
 
-        let cycles = cur.time_at(trace.instructions);
-        EngineReport {
-            instructions: trace.instructions,
-            cycles,
-            spec: stats,
-            policy: policy_name,
-            tus: tus_label,
-        }
-    }
-
-    /// Launches new speculative threads per the policy; returns how many.
-    ///
-    /// Iterations whose start the current thread's speculative run-ahead
-    /// has already executed are not spawned — a TU pointed at work the
-    /// non-speculative thread has already done contributes nothing (it
-    /// would be discarded as stale at verification).
-    #[allow(clippy::too_many_arguments)]
-    fn attempt_spawn(
-        trace: &AnnotatedTrace,
-        policy: &P,
-        predictor: &IterPredictor,
-        segments: &mut HashMap<(ExecId, u32), Segment>,
-        spec: &mut HashMap<ExecId, ExecSpec>,
-        live_total: &mut u64,
-        stats: &mut SpecStats,
-        idle: u64,
-        cur: &CurThread,
-        exec: ExecId,
-        iter: u32,
-        pos: u64,
-        t: u64,
-    ) -> u64 {
-        if idle == 0 {
-            return 0;
-        }
-        let info = trace.exec(exec);
-        let already = spec.get(&exec).map_or(0, |s| s.live.len()) as u32;
-        let ctx = SpecContext {
-            loop_id: info.loop_id,
-            current_iter: iter,
-            idle_tus: idle,
-            already_speculated: already,
-            predictor,
-            actual_remaining: info.remaining_after(iter),
-        };
-        let n = policy.threads_to_spawn(&ctx).min(idle);
-        if n == 0 {
-            return 0;
-        }
-        // Self-paced position the current thread has reached by time t.
-        let covered = cur.start_pos + (t - cur.spawn_time);
-        let st = spec.entry(exec).or_default();
-        let next = st.live.iter().next_back().copied().unwrap_or(iter) + 1;
-        let mut spawned = 0u64;
-        for j in next..next + n as u32 {
-            if let Some(p) = info.iter_pos(j) {
-                if p < covered {
-                    continue; // already executed by the run-ahead
-                }
-            }
-            segments.insert(
-                (exec, j),
-                Segment {
-                    spawn_time: t,
-                    spawn_pos: pos,
-                },
-            );
-            st.live.insert(j);
-            spawned += 1;
-        }
-        if spawned == 0 {
-            return 0;
-        }
-        // Speculating resets the exec's STR(i) pressure counter.
-        st.nested_nonspec = 0;
-        *live_total += spawned;
-        stats.spec_actions += 1;
-        stats.threads_spawned += spawned;
-        spawned
-    }
-
-    /// Squashes every live thread of `exec`, freeing its TUs.
-    /// `misspec = true` for loop-end squashes (phantom iterations),
-    /// `false` for STR(i) policy squashes (correct work sacrificed).
-    fn squash_exec(
-        segments: &mut HashMap<(ExecId, u32), Segment>,
-        spec: &mut HashMap<ExecId, ExecSpec>,
-        live_total: &mut u64,
-        stats: &mut SpecStats,
-        exec: ExecId,
-        pos: u64,
-        misspec: bool,
-    ) -> u64 {
-        let Some(st) = spec.get_mut(&exec) else {
-            return 0;
-        };
-        let mut squashed = 0;
-        for iter in std::mem::take(&mut st.live) {
-            let seg = segments
-                .remove(&(exec, iter))
-                .expect("live set and segment map agree");
-            *live_total -= 1;
-            stats.instr_to_outcome_sum += pos - seg.spawn_pos;
-            if misspec {
-                stats.squashed_misspec += 1;
-            } else {
-                stats.squashed_policy += 1;
-            }
-            squashed += 1;
-        }
-        st.nested_nonspec = 0;
-        squashed
+        core.report(trace.instructions)
     }
 }
 

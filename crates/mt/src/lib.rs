@@ -55,6 +55,7 @@ mod ideal;
 mod policy;
 mod predictor;
 mod stats;
+mod stream;
 
 pub use annotate::{AnnotatedTrace, ExecId, ExecInfo, TraceEvent, TraceEventKind};
 pub use engine::{Engine, EngineReport};
@@ -65,3 +66,4 @@ pub use policy::{
 };
 pub use predictor::{IterPrediction, IterPredictor};
 pub use stats::SpecStats;
+pub use stream::{EngineSink, StreamEngine};

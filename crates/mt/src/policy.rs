@@ -51,6 +51,14 @@ pub trait SpeculationPolicy {
         false
     }
 
+    /// Whether the policy consults ground truth about the future
+    /// ([`SpecContext::actual_remaining`]). Such policies can only run on
+    /// the batch [`Engine`](crate::Engine), which has the whole trace;
+    /// the streaming [`StreamEngine`](crate::StreamEngine) refuses them.
+    fn requires_future_knowledge(&self) -> bool {
+        false
+    }
+
     /// Feedback from the engine: a thread speculated for `loop_id`
     /// resolved (`correct = false` only for control misspeculation, i.e.
     /// the iteration never existed). Default: ignored.
@@ -183,6 +191,10 @@ impl SpeculationPolicy for OraclePolicy {
     fn supports_unbounded_tus(&self) -> bool {
         true
     }
+
+    fn requires_future_knowledge(&self) -> bool {
+        true
+    }
 }
 
 /// The §2.3.2 extension: a table of loops "not suitable for speculation".
@@ -270,6 +282,10 @@ impl<P: SpeculationPolicy> SpeculationPolicy for SuitabilityFilter<P> {
 
     fn max_nonspec_nested(&self) -> Option<u32> {
         self.inner.max_nonspec_nested()
+    }
+
+    fn requires_future_knowledge(&self) -> bool {
+        self.inner.requires_future_knowledge()
     }
 
     fn on_thread_outcome(&mut self, loop_id: LoopId, correct: bool) {

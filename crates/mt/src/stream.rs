@@ -1,0 +1,514 @@
+//! The streaming engine driver: single-pass speculation with
+//! O(live-loops + run-ahead window) memory.
+//!
+//! [`StreamEngine`] consumes raw [`LoopEvent`]s exactly as the CLS emits
+//! them — no [`AnnotatedTrace`](crate::AnnotatedTrace), no `Vec` of the
+//! whole run — and produces an [`EngineReport`] **bit-identical** to the
+//! batch [`Engine`](crate::Engine) for every history-based policy (IDLE,
+//! STR, STR(i), filters). This is the shape of the paper's hardware: the
+//! speculation logic watches the committed stream once and decides on the
+//! fly.
+//!
+//! ## Why a bounded buffer is needed at all
+//!
+//! One decision consults the *near future*: when a burst is launched, the
+//! engine skips iterations whose start the current thread's speculative
+//! run-ahead has already executed (they would be discarded as stale at
+//! verification). The run-ahead extends at most `horizon - pos`
+//! instructions past the current position — the distance the verified
+//! thread ran ahead, bounded by one iteration body. The streaming driver
+//! therefore *delays* each iteration event until the stream frontier
+//! passes [`EngineCore::iter_start_horizon`](crate::Engine) for it,
+//! buffering the interim events. The buffer length is the run-ahead
+//! window, not the trace: memory stays proportional to live loop nesting
+//! plus one iteration of run-ahead, which the bounded-memory regression
+//! test pins down.
+//!
+//! ## Example
+//!
+//! ```
+//! use loopspec_asm::ProgramBuilder;
+//! use loopspec_core::{LoopDetector, LoopEventSink};
+//! use loopspec_cpu::{Cpu, InstrEvent, RunLimits, Tracer};
+//! use loopspec_mt::{StrPolicy, StreamEngine};
+//!
+//! struct Drive {
+//!     det: LoopDetector,
+//!     engine: StreamEngine<StrPolicy>,
+//! }
+//! impl Tracer for Drive {
+//!     fn on_retire(&mut self, ev: &InstrEvent) {
+//!         for e in self.det.process(ev) {
+//!             self.engine.on_loop_event(e);
+//!         }
+//!     }
+//! }
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.counted_loop(50, |b, _| b.work(20));
+//! let program = b.finish()?;
+//!
+//! let mut d = Drive {
+//!     det: LoopDetector::default(),
+//!     engine: StreamEngine::new(StrPolicy::new(), 4),
+//! };
+//! let summary = Cpu::new().run(&program, &mut d, RunLimits::default())?;
+//! d.engine.on_stream_end(summary.retired);
+//! let report = d.engine.report().expect("finished");
+//! assert!(report.tpc() > 1.5, "4 TUs should overlap iterations");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+
+use loopspec_core::{LoopEvent, LoopEventSink, LoopId};
+
+use crate::engine::{EngineCore, EngineReport};
+use crate::policy::SpeculationPolicy;
+
+/// Incremental annotation of one live (or end-pending) loop execution —
+/// the streaming replacement for
+/// [`ExecInfo`](crate::ExecInfo).
+#[derive(Debug)]
+struct ExecAnn {
+    loop_id: LoopId,
+    /// Known iteration starts `(iter, pos)` not yet consumed by the
+    /// engine — the lookahead the spawn decision may consult. Pruned as
+    /// iteration events are processed, so it holds the run-ahead window,
+    /// not the execution's history.
+    iters: VecDeque<(u32, u64)>,
+    /// Highest iteration index observed (1 before any detected start, as
+    /// the first iteration is undetectable).
+    last_iter: u32,
+    /// The end event has been observed (all iteration starts are known).
+    ended: bool,
+}
+
+/// A buffered boundary event awaiting delivery to the engine core.
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    Start {
+        exec: u32,
+    },
+    Iter {
+        exec: u32,
+        iter: u32,
+        pos: u64,
+    },
+    End {
+        exec: u32,
+        pos: u64,
+        closed: bool,
+        iterations: u32,
+    },
+}
+
+/// Single-pass speculation engine: a [`LoopEventSink`] that mirrors the
+/// batch [`Engine`](crate::Engine) decision-for-decision while retaining
+/// only a bounded window of events.
+///
+/// Feed it the detector's event stream (directly, or registered in a
+/// `loopspec_pipeline::Session`), call
+/// [`on_stream_end`](LoopEventSink::on_stream_end) with the final
+/// instruction count, then read [`StreamEngine::report`].
+#[derive(Debug)]
+pub struct StreamEngine<P> {
+    core: EngineCore<P>,
+    /// Annotation-time view: loop id → ordinal of its open execution.
+    open_by_loop: HashMap<LoopId, u32>,
+    /// Per-execution annotation, alive until its end event is processed.
+    execs: HashMap<u32, ExecAnn>,
+    next_exec: u32,
+    pending: VecDeque<Pending>,
+    /// Highest event position observed; all events at positions `<`
+    /// frontier are known.
+    frontier: u64,
+    report: Option<EngineReport>,
+    buffered_iters: usize,
+    peak_buffered: usize,
+    events_seen: u64,
+}
+
+impl<P: SpeculationPolicy> StreamEngine<P> {
+    /// Creates a streaming engine with `num_tus` thread units.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= num_tus <= 4096`, or when the policy requires
+    /// future knowledge (oracle policies can only run on the batch
+    /// [`Engine`](crate::Engine), which has the whole trace).
+    pub fn new(policy: P, num_tus: usize) -> Self {
+        assert!(
+            (2..=4096).contains(&num_tus),
+            "num_tus must be in 2..=4096 (got {num_tus})"
+        );
+        assert!(
+            !policy.requires_future_knowledge(),
+            "policy {} requires future knowledge and cannot run streaming",
+            policy.name()
+        );
+        StreamEngine {
+            core: EngineCore::new(policy, num_tus as u64, Some(num_tus)),
+            open_by_loop: HashMap::new(),
+            execs: HashMap::new(),
+            next_exec: 0,
+            pending: VecDeque::new(),
+            frontier: 0,
+            report: None,
+            buffered_iters: 0,
+            peak_buffered: 0,
+            events_seen: 0,
+        }
+    }
+
+    /// The report, once the stream has ended (`None` before).
+    pub fn report(&self) -> Option<&EngineReport> {
+        self.report.as_ref()
+    }
+
+    /// Consumes the engine, returning the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has not ended yet.
+    pub fn into_report(self) -> EngineReport {
+        self.report
+            .expect("StreamEngine::into_report before on_stream_end")
+    }
+
+    /// Peak number of simultaneously buffered items (pending boundary
+    /// events plus retained iteration starts) over the whole run — the
+    /// quantity the bounded-memory regression test asserts stays
+    /// O(live nesting + run-ahead window), not O(trace).
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Total loop events observed.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    fn note_peak(&mut self) {
+        let now = self.pending.len() + self.buffered_iters + self.execs.len();
+        if now > self.peak_buffered {
+            self.peak_buffered = now;
+        }
+    }
+
+    /// Processes every pending event whose decision horizon has been
+    /// reached (`finished` lifts the horizon entirely).
+    fn drain(&mut self, finished: bool) {
+        while let Some(&head) = self.pending.front() {
+            match head {
+                Pending::Start { exec } => {
+                    self.core.exec_start(exec);
+                    self.pending.pop_front();
+                }
+                Pending::End {
+                    exec,
+                    pos,
+                    closed,
+                    iterations,
+                } => {
+                    let ann = self
+                        .execs
+                        .remove(&exec)
+                        .expect("pending end has annotation");
+                    self.buffered_iters -= ann.iters.len();
+                    self.core
+                        .exec_end(exec, ann.loop_id, pos, closed, iterations);
+                    self.pending.pop_front();
+                }
+                Pending::Iter { exec, iter, pos } => {
+                    let ann = self
+                        .execs
+                        .get_mut(&exec)
+                        .expect("pending iter has annotation");
+                    // The spawn decision may consult iteration starts up
+                    // to the horizon; deliver only once every event below
+                    // it is known (frontier passed it, the execution
+                    // ended, or the stream is over).
+                    if !(finished || ann.ended) {
+                        let horizon = self.core.iter_start_horizon(exec, iter, pos);
+                        if self.frontier < horizon {
+                            break;
+                        }
+                    }
+                    // Starts at or before the current iteration can no
+                    // longer be consulted — spawn lookups ask only about
+                    // j > iter. Pruning them is what bounds memory.
+                    while ann.iters.front().is_some_and(|&(j, _)| j <= iter) {
+                        ann.iters.pop_front();
+                        self.buffered_iters -= 1;
+                    }
+                    let loop_id = ann.loop_id;
+                    let iters = &ann.iters;
+                    let lookup =
+                        move |j: u32| iters.iter().find(|&&(k, _)| k == j).map(|&(_, p)| p);
+                    self.core.iter_start(exec, loop_id, iter, pos, &lookup, 0);
+                    self.pending.pop_front();
+                }
+            }
+        }
+    }
+}
+
+impl<P: SpeculationPolicy> LoopEventSink for StreamEngine<P> {
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        debug_assert!(self.report.is_none(), "event after stream end");
+        self.events_seen += 1;
+        debug_assert!(ev.pos() >= self.frontier, "event positions regressed");
+        self.frontier = ev.pos();
+        match *ev {
+            LoopEvent::ExecutionStart { loop_id, .. } => {
+                let exec = self.next_exec;
+                self.next_exec += 1;
+                let prev = self.open_by_loop.insert(loop_id, exec);
+                debug_assert!(prev.is_none(), "loop {loop_id} already open");
+                self.execs.insert(
+                    exec,
+                    ExecAnn {
+                        loop_id,
+                        iters: VecDeque::new(),
+                        last_iter: 1,
+                        ended: false,
+                    },
+                );
+                self.pending.push_back(Pending::Start { exec });
+            }
+            LoopEvent::IterationStart { loop_id, iter, pos } => {
+                // Iterations of evicted executions are ignored, exactly
+                // like the batch annotator.
+                if let Some(&exec) = self.open_by_loop.get(&loop_id) {
+                    let ann = self.execs.get_mut(&exec).expect("open exec has annotation");
+                    debug_assert_eq!(ann.last_iter + 1, iter);
+                    ann.last_iter = iter;
+                    ann.iters.push_back((iter, pos));
+                    self.buffered_iters += 1;
+                    self.pending.push_back(Pending::Iter { exec, iter, pos });
+                }
+            }
+            LoopEvent::ExecutionEnd {
+                loop_id,
+                iterations,
+                pos,
+            }
+            | LoopEvent::Evicted {
+                loop_id,
+                iterations,
+                pos,
+            } => {
+                if let Some(exec) = self.open_by_loop.remove(&loop_id) {
+                    let closed = matches!(ev, LoopEvent::ExecutionEnd { .. });
+                    self.execs
+                        .get_mut(&exec)
+                        .expect("open exec has annotation")
+                        .ended = true;
+                    self.pending.push_back(Pending::End {
+                        exec,
+                        pos,
+                        closed,
+                        iterations,
+                    });
+                }
+            }
+            LoopEvent::OneShot { .. } => {}
+        }
+        self.note_peak();
+        self.drain(false);
+    }
+
+    fn on_stream_end(&mut self, instructions: u64) {
+        if self.report.is_some() {
+            return;
+        }
+        // Close executions left open by a truncated stream, in detection
+        // order — mirroring the batch annotator's trailing closes.
+        let mut leftovers: Vec<u32> = self.open_by_loop.values().copied().collect();
+        leftovers.sort_unstable();
+        for exec in leftovers {
+            let ann = self.execs.get_mut(&exec).expect("open exec has annotation");
+            ann.ended = true;
+            self.pending.push_back(Pending::End {
+                exec,
+                pos: instructions,
+                closed: false,
+                iterations: ann.last_iter,
+            });
+        }
+        self.open_by_loop.clear();
+        self.note_peak();
+        self.drain(true);
+        debug_assert!(self.pending.is_empty());
+        debug_assert!(self.execs.is_empty());
+        self.report = Some(self.core.report(instructions));
+    }
+}
+
+/// Object-safe access to a finished [`StreamEngine`] — lets callers keep
+/// a heterogeneous grid of engines (different policy types) behind
+/// `Box<dyn EngineSink>` and still read the reports back.
+pub trait EngineSink: LoopEventSink {
+    /// The report, once the stream has ended.
+    fn finished_report(&self) -> Option<&EngineReport>;
+
+    /// Peak buffered items (see [`StreamEngine::peak_buffered`]).
+    fn peak_buffered(&self) -> usize;
+}
+
+impl<P: SpeculationPolicy> EngineSink for StreamEngine<P> {
+    fn finished_report(&self) -> Option<&EngineReport> {
+        self.report()
+    }
+
+    fn peak_buffered(&self) -> usize {
+        StreamEngine::peak_buffered(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::AnnotatedTrace;
+    use crate::engine::Engine;
+    use crate::policy::{IdlePolicy, OraclePolicy, StrNestedPolicy, StrPolicy};
+    use loopspec_asm::ProgramBuilder;
+    use loopspec_core::EventCollector;
+    use loopspec_cpu::{Cpu, RunLimits};
+
+    fn events_of(build: impl FnOnce(&mut ProgramBuilder)) -> (Vec<LoopEvent>, u64) {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let p = b.finish().expect("assembles");
+        let mut c = EventCollector::default();
+        Cpu::new()
+            .run(&p, &mut c, RunLimits::default())
+            .expect("runs");
+        c.into_parts()
+    }
+
+    fn stream_report<P: SpeculationPolicy>(
+        events: &[LoopEvent],
+        n: u64,
+        policy: P,
+        tus: usize,
+    ) -> EngineReport {
+        let mut e = StreamEngine::new(policy, tus);
+        for ev in events {
+            e.on_loop_event(ev);
+        }
+        e.on_stream_end(n);
+        e.into_report()
+    }
+
+    #[test]
+    fn matches_batch_engine_on_nested_loops() {
+        let (events, n) = events_of(|b| {
+            b.counted_loop(6, |b, _| {
+                for _ in 0..3 {
+                    b.counted_loop(12, |b, _| b.work(8));
+                }
+            });
+        });
+        let trace = AnnotatedTrace::build(&events, n);
+        for tus in [2usize, 4, 8] {
+            assert_eq!(
+                stream_report(&events, n, IdlePolicy::new(), tus),
+                Engine::new(&trace, IdlePolicy::new(), tus).run(),
+                "IDLE@{tus}"
+            );
+            assert_eq!(
+                stream_report(&events, n, StrPolicy::new(), tus),
+                Engine::new(&trace, StrPolicy::new(), tus).run(),
+                "STR@{tus}"
+            );
+            assert_eq!(
+                stream_report(&events, n, StrNestedPolicy::new(1), tus),
+                Engine::new(&trace, StrNestedPolicy::new(1), tus).run(),
+                "STR(1)@{tus}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_batch_engine_on_repeated_executions() {
+        // Repeated executions warm the predictor: exercises verification
+        // handoffs, stale segments and the run-ahead skip.
+        let (events, n) = events_of(|b| {
+            b.define_func("kernel", |b| {
+                b.counted_loop(20, |b, _| b.work(10));
+            });
+            for _ in 0..10 {
+                b.call_func("kernel");
+            }
+        });
+        let trace = AnnotatedTrace::build(&events, n);
+        let s = stream_report(&events, n, StrPolicy::new(), 8);
+        let b = Engine::new(&trace, StrPolicy::new(), 8).run();
+        assert_eq!(s, b);
+        assert!(s.spec.verified > 0);
+    }
+
+    #[test]
+    fn matches_batch_engine_on_truncated_stream() {
+        // Drop the tail of the event stream so executions stay open: the
+        // trailing-close path must agree too.
+        let (mut events, _) = events_of(|b| {
+            b.counted_loop(30, |b, _| {
+                b.counted_loop(5, |b, _| b.work(6));
+            });
+        });
+        events.truncate(events.len() / 2);
+        let n = events.last().map_or(0, |e| e.pos()) + 10;
+        let trace = AnnotatedTrace::build(&events, n);
+        let s = stream_report(&events, n, StrPolicy::new(), 4);
+        let b = Engine::new(&trace, StrPolicy::new(), 4).run();
+        assert_eq!(s, b);
+    }
+
+    #[test]
+    fn sequential_stream_has_tpc_one() {
+        let (events, n) = events_of(|b| b.work(50));
+        let r = stream_report(&events, n, StrPolicy::new(), 4);
+        assert_eq!(r.cycles, n);
+        assert_eq!(r.spec.threads_spawned, 0);
+    }
+
+    #[test]
+    fn report_unavailable_before_stream_end() {
+        let e = StreamEngine::new(StrPolicy::new(), 4);
+        assert!(e.report().is_none());
+    }
+
+    #[test]
+    fn buffering_stays_bounded_on_long_runs() {
+        let (events, n) = events_of(|b| {
+            b.counted_loop(2000, |b, _| b.work(12));
+        });
+        let mut e = StreamEngine::new(StrPolicy::new(), 4);
+        for ev in &events {
+            e.on_loop_event(ev);
+        }
+        e.on_stream_end(n);
+        assert!(e.events_seen() > 2000);
+        assert!(
+            e.peak_buffered() < 64,
+            "peak buffered {} should be O(window), events {}",
+            e.peak_buffered(),
+            e.events_seen()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires future knowledge")]
+    fn rejects_oracle() {
+        let _ = StreamEngine::new(OraclePolicy::new(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_tus must be in 2..=4096")]
+    fn rejects_one_tu() {
+        let _ = StreamEngine::new(StrPolicy::new(), 1);
+    }
+}

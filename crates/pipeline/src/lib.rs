@@ -1,0 +1,382 @@
+//! # loopspec-pipeline — the single-pass streaming session
+//!
+//! The paper's mechanism is inherently streaming: the CLS watches the
+//! committed instruction stream once, and the LET/LIT, the speculation
+//! engine and the live-in profiler all hang off that single observation
+//! point. This crate reproduces that shape in software. A [`Session`]
+//! drives the [`Cpu`] instruction by instruction, feeds every retired
+//! instruction through **one shared** [`LoopDetector`], and fans the
+//! resulting [`LoopEvent`]s out to any number of registered
+//! [`LoopEventSink`]s — all in a single pass, with memory bounded by the
+//! sinks themselves (the streaming engine retains O(live-loops +
+//! run-ahead window), not O(trace)).
+//!
+//! Compare the two shapes:
+//!
+//! ```text
+//! legacy (three passes over the run):
+//!   Cpu ──▶ EventCollector ──▶ Vec<LoopEvent> ──▶ AnnotatedTrace ──▶ Engine
+//!
+//! streaming (one pass, many consumers):
+//!             ┌▶ StreamEngine(STR, 4 TUs)  ─▶ EngineReport
+//!   Cpu ─▶ CLS┼▶ StreamEngine(IDLE, 8 TUs) ─▶ EngineReport
+//!             ├▶ LoopStats / TableHitSim   ─▶ Table 1 / Figure 4
+//!             └▶ LiveInProfiler            ─▶ Figure 8
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use loopspec_asm::ProgramBuilder;
+//! use loopspec_core::LoopStats;
+//! use loopspec_cpu::RunLimits;
+//! use loopspec_mt::{StrPolicy, StreamEngine};
+//! use loopspec_pipeline::Session;
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.counted_loop(100, |b, _| b.work(20));
+//! let program = b.finish()?;
+//!
+//! let mut stats = LoopStats::new();
+//! let mut engine = StreamEngine::new(StrPolicy::new(), 4);
+//!
+//! let mut session = Session::new();
+//! session.observe_loops(&mut stats).observe_loops(&mut engine);
+//! let out = session.run(&program, RunLimits::default())?;
+//!
+//! assert!(out.halted());
+//! let report = engine.report().expect("stream ended");
+//! assert_eq!(report.instructions, out.instructions);
+//! assert!(report.tpc() > 2.0, "4 TUs should overlap iterations");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use std::fmt;
+
+use loopspec_core::{Cls, LoopDetector};
+use loopspec_cpu::{Cpu, CpuError, InstrEvent, RunLimits, RunSummary, Tracer};
+use loopspec_isa::ControlKind;
+
+// Re-exported so downstream code can name the whole streaming surface
+// through one crate.
+pub use loopspec_core::LoopEventSink;
+
+/// A consumer of both the instruction stream and the loop-event stream —
+/// e.g. [`loopspec_dataspec::LiveInProfiler`], which charges live-ins per
+/// instruction and rolls frames at iteration boundaries.
+///
+/// Blanket-implemented for everything that is both a [`Tracer`] and a
+/// [`LoopEventSink`]; register with [`Session::observe_both`].
+pub trait DualSink: Tracer + LoopEventSink {}
+
+impl<T: Tracer + LoopEventSink> DualSink for T {}
+
+enum Slot<'a> {
+    Loops(&'a mut dyn LoopEventSink),
+    Instrs(&'a mut dyn Tracer),
+    Both(&'a mut dyn DualSink),
+}
+
+/// Result of a [`Session::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct SessionSummary {
+    /// Committed instructions (the stream length every sink was told at
+    /// end-of-stream).
+    pub instructions: u64,
+    /// The CPU's own run summary.
+    pub run: RunSummary,
+}
+
+impl SessionSummary {
+    /// `true` when the program halted of its own accord.
+    pub fn halted(&self) -> bool {
+        self.run.halted()
+    }
+}
+
+/// A single-pass execution session: one CPU run, one shared loop
+/// detector, any number of streaming consumers.
+///
+/// Register consumers with [`Session::observe_loops`] (loop events only),
+/// [`Session::observe_instrs`] (retired instructions only) or
+/// [`Session::observe_both`], then call [`Session::run`]. Per retired
+/// instruction the dispatch order is fixed: first every instruction
+/// observer (in registration order), then the loop events that
+/// instruction produced (again in registration order) — so a
+/// [`DualSink`] sees the closing branch *before* the iteration-end event
+/// it causes, matching the bundled
+/// [`DataSpecProfiler`](loopspec_dataspec::DataSpecProfiler) semantics.
+///
+/// At end of stream (halt or fuel exhaustion) the detector is flushed and
+/// every loop/dual sink receives
+/// [`on_stream_end`](LoopEventSink::on_stream_end) with the final
+/// instruction count.
+pub struct Session<'a> {
+    detector: LoopDetector,
+    slots: Vec<Slot<'a>>,
+}
+
+impl fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("detector", &self.detector)
+            .field("sinks", &self.slots.len())
+            .finish()
+    }
+}
+
+impl Default for Session<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> Session<'a> {
+    /// A session with the paper's 16-entry CLS.
+    pub fn new() -> Self {
+        Session::with_cls(Cls::default())
+    }
+
+    /// A session detecting loops with a custom CLS (capacity ablations).
+    pub fn with_cls(cls: Cls) -> Self {
+        Session {
+            detector: LoopDetector::new(cls),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Registers a loop-event consumer.
+    pub fn observe_loops(&mut self, sink: &'a mut dyn LoopEventSink) -> &mut Self {
+        self.slots.push(Slot::Loops(sink));
+        self
+    }
+
+    /// Registers a per-instruction consumer.
+    pub fn observe_instrs(&mut self, tracer: &'a mut dyn Tracer) -> &mut Self {
+        self.slots.push(Slot::Instrs(tracer));
+        self
+    }
+
+    /// Registers a consumer of both streams (see [`DualSink`]).
+    pub fn observe_both(&mut self, sink: &'a mut dyn DualSink) -> &mut Self {
+        self.slots.push(Slot::Both(sink));
+        self
+    }
+
+    /// Number of registered consumers.
+    pub fn sinks(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Executes `program` on a fresh [`Cpu`] in one pass, feeding every
+    /// registered consumer, then ends the stream.
+    ///
+    /// Consumes the session: the sinks have received their end-of-stream
+    /// callback and the borrows are released, so results can be read
+    /// directly from the sink objects afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`CpuError`]; sinks see the partial stream but no
+    /// end-of-stream callback in that case.
+    pub fn run(
+        mut self,
+        program: &loopspec_asm::Program,
+        limits: RunLimits,
+    ) -> Result<SessionSummary, CpuError> {
+        let mut cpu = Cpu::new();
+        let run = {
+            let mut dispatch = Dispatch {
+                detector: &mut self.detector,
+                slots: &mut self.slots,
+            };
+            cpu.run(program, &mut dispatch, limits)?
+        };
+        let instructions = run.retired;
+        // A halt flushes the CLS through the detector; a fuel-exhausted
+        // run leaves executions open — close them at the cut, exactly
+        // like the batch annotator does for truncated traces.
+        let trailing = self.detector.flush(instructions);
+        for slot in self.slots.iter_mut() {
+            for ev in trailing {
+                match slot {
+                    Slot::Loops(s) => s.on_loop_event(ev),
+                    Slot::Both(d) => d.on_loop_event(ev),
+                    Slot::Instrs(_) => {}
+                }
+            }
+            match slot {
+                Slot::Loops(s) => s.on_stream_end(instructions),
+                Slot::Both(d) => d.on_stream_end(instructions),
+                Slot::Instrs(_) => {}
+            }
+        }
+        Ok(SessionSummary { instructions, run })
+    }
+}
+
+/// The internal fan-out tracer: one detector, many consumers.
+struct Dispatch<'s, 'a> {
+    detector: &'s mut LoopDetector,
+    slots: &'s mut Vec<Slot<'a>>,
+}
+
+impl Tracer for Dispatch<'_, '_> {
+    fn on_retire(&mut self, ev: &InstrEvent) {
+        for slot in self.slots.iter_mut() {
+            match slot {
+                Slot::Instrs(t) => t.on_retire(ev),
+                Slot::Both(d) => d.on_retire(ev),
+                Slot::Loops(_) => {}
+            }
+        }
+        if !matches!(ev.control.kind, ControlKind::None) {
+            let events = self.detector.process(ev);
+            for e in events {
+                for slot in self.slots.iter_mut() {
+                    match slot {
+                        Slot::Loops(s) => s.on_loop_event(e),
+                        Slot::Both(d) => d.on_loop_event(e),
+                        Slot::Instrs(_) => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopspec_asm::ProgramBuilder;
+    use loopspec_core::{CountingSink, EventCollector, LoopStats};
+    use loopspec_cpu::CountingTracer;
+    use loopspec_dataspec::{DataSpecProfiler, LiveInProfiler};
+    use loopspec_mt::{AnnotatedTrace, Engine, StrPolicy, StreamEngine};
+
+    fn program(build: impl FnOnce(&mut ProgramBuilder)) -> loopspec_asm::Program {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        b.finish().expect("assembles")
+    }
+
+    #[test]
+    fn single_pass_matches_collect_then_replay() {
+        let p = program(|b| {
+            b.counted_loop(20, |b, _| {
+                b.counted_loop(6, |b, _| b.work(5));
+            });
+        });
+
+        // Legacy: dedicated collector run, then annotate + engine.
+        let mut legacy = EventCollector::default();
+        Cpu::new()
+            .run(&p, &mut legacy, RunLimits::default())
+            .unwrap();
+        let (events, n) = legacy.into_parts();
+        let batch = Engine::new(&AnnotatedTrace::build(&events, n), StrPolicy::new(), 4).run();
+
+        // Streaming: everything in one pass.
+        let mut collected = EventCollector::default();
+        let mut engine = StreamEngine::new(StrPolicy::new(), 4);
+        let mut session = Session::new();
+        session
+            .observe_loops(&mut collected)
+            .observe_loops(&mut engine);
+        let out = session.run(&p, RunLimits::default()).unwrap();
+
+        assert!(out.halted());
+        assert_eq!(out.instructions, n);
+        assert_eq!(collected.events(), &events[..]);
+        assert_eq!(collected.instructions(), n);
+        assert_eq!(engine.report().unwrap(), &batch);
+    }
+
+    #[test]
+    fn dual_sink_profiler_matches_bundled_profiler() {
+        let p = program(|b| {
+            let acc = b.alloc_reg();
+            b.li(acc, 0);
+            b.counted_loop(40, |b, i| {
+                b.op(loopspec_isa::AluOp::Add, acc, acc, i);
+                b.work(5);
+            });
+        });
+
+        let mut bundled = DataSpecProfiler::new();
+        Cpu::new()
+            .run(&p, &mut bundled, RunLimits::default())
+            .unwrap();
+
+        let mut shared = LiveInProfiler::new();
+        let mut session = Session::new();
+        session.observe_both(&mut shared);
+        session.run(&p, RunLimits::default()).unwrap();
+
+        assert_eq!(shared.records(), bundled.records());
+        assert_eq!(shared.report(), bundled.report());
+    }
+
+    #[test]
+    fn instruction_tracers_see_every_retirement() {
+        let p = program(|b| b.counted_loop(10, |b, _| b.work(3)));
+        let mut counter = CountingTracer::default();
+        let mut counting = CountingSink::default();
+        let mut session = Session::new();
+        session
+            .observe_instrs(&mut counter)
+            .observe_loops(&mut counting);
+        let out = session.run(&p, RunLimits::default()).unwrap();
+        assert_eq!(counter.retired, out.instructions);
+        assert!(counting.events > 0);
+        assert_eq!(counting.instructions, out.instructions);
+    }
+
+    #[test]
+    fn fuel_exhaustion_flushes_open_executions() {
+        let p = program(|b| b.loop_forever(|b| b.work(5)));
+        let mut stats = LoopStats::new();
+        let mut counting = CountingSink::default();
+        let mut session = Session::new();
+        session
+            .observe_loops(&mut stats)
+            .observe_loops(&mut counting);
+        let out = session.run(&p, RunLimits::with_fuel(1000)).unwrap();
+        assert!(!out.halted());
+        assert_eq!(out.instructions, 1000);
+        assert_eq!(counting.instructions, 1000);
+        // The infinite loop's execution was closed by the session flush.
+        let report = stats.report(out.instructions);
+        assert_eq!(report.executions, 1);
+    }
+
+    #[test]
+    fn empty_session_is_fine() {
+        let p = program(|b| b.work(10));
+        let out = Session::new().run(&p, RunLimits::default()).unwrap();
+        assert!(out.halted());
+        assert_eq!(out.instructions, 13); // 2 startup + 10 work + halt
+    }
+
+    #[test]
+    fn custom_cls_capacity_is_respected() {
+        // A 3-deep nest through a 1-entry CLS: evictions must occur.
+        let p = program(|b| {
+            b.counted_loop(4, |b, _| {
+                b.counted_loop(4, |b, _| {
+                    b.counted_loop(4, |b, _| b.work(2));
+                });
+            });
+        });
+        let mut v: Vec<loopspec_core::LoopEvent> = Vec::new();
+        let mut session = Session::with_cls(Cls::new(1));
+        session.observe_loops(&mut v);
+        session.run(&p, RunLimits::default()).unwrap();
+        assert!(v
+            .iter()
+            .any(|e| matches!(e, loopspec_core::LoopEvent::Evicted { .. })));
+    }
+}

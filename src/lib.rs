@@ -1,8 +1,8 @@
 //! # loopspec — dynamic loop detection and thread-level control speculation
 //!
-//! A from-scratch Rust reproduction of **Tubella & González, “Control
+//! A from-scratch Rust reproduction of **Tubella & González, "Control
 //! Speculation in Multithreaded Processors through Dynamic Loop
-//! Detection” (HPCA 1998)**: a hardware mechanism that discovers loops in
+//! Detection" (HPCA 1998)**: a hardware mechanism that discovers loops in
 //! the committed instruction stream (no compiler/ISA support), gathers
 //! per-loop history in small associative tables, and uses it to run
 //! *future loop iterations* speculatively on idle thread units.
@@ -17,9 +17,15 @@
 //! | [`core`] | `loopspec-core` | CLS loop detector, LET/LIT tables, statistics |
 //! | [`mt`] | `loopspec-mt` | Thread-speculation engine (TPC, IDLE/STR/STR(i)) |
 //! | [`dataspec`] | `loopspec-dataspec` | Live-in value predictability (paper §4) |
+//! | [`pipeline`] | `loopspec-pipeline` | Single-pass streaming `Session` |
 //! | [`workloads`] | `loopspec-workloads` | 18 SPEC95-shaped synthetic programs |
 //!
 //! ## Quickstart
+//!
+//! One pass over the program drives detection, statistics and the
+//! speculation engine simultaneously — the streaming pipeline mirrors
+//! the paper's hardware, where everything watches the commit stream
+//! live:
 //!
 //! ```
 //! use loopspec::prelude::*;
@@ -29,21 +35,28 @@
 //! b.counted_loop(100, |b, _i| b.work(20));
 //! let program = b.finish()?;
 //!
-//! // 2. Run it once, detecting loops on the fly.
-//! let mut collector = EventCollector::default();
-//! Cpu::new().run(&program, &mut collector, RunLimits::default())?;
-//! let (events, instructions) = collector.into_parts();
+//! // 2. Run it once; every analysis taps the same committed stream.
+//! let mut engine = StreamEngine::new(StrPolicy::new(), 4);
+//! let mut stats = LoopStats::new();
+//! let mut session = Session::new();
+//! session.observe_loops(&mut engine).observe_loops(&mut stats);
+//! let out = session.run(&program, RunLimits::default())?;
 //!
-//! // 3. Ask the speculation engine what a 4-context machine gets.
-//! let trace = AnnotatedTrace::build(&events, instructions);
-//! let report = Engine::new(&trace, StrPolicy::new(), 4).run();
+//! // 3. What does a 4-context machine get?
+//! let report = engine.report().expect("stream ended");
+//! assert_eq!(report.instructions, out.instructions);
 //! assert!(report.tpc() > 2.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! See `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
-//! paper-vs-measured results; `cargo run --release -p loopspec-bench
-//! --bin repro -- all` regenerates every table and figure.
+//! The legacy two-pass shape (collect a `Vec<LoopEvent>`, then replay it
+//! through [`mt::AnnotatedTrace`] and [`mt::Engine`]) remains available
+//! and produces identical reports; oracle studies
+//! ([`mt::ideal_tpc`]) require it, since they consult the future.
+//!
+//! See `DESIGN.md` at the repository root for the architecture and
+//! `cargo run --release -p loopspec-bench --bin repro -- all` to
+//! regenerate every table and figure of the paper.
 
 #![deny(missing_docs)]
 
@@ -53,19 +66,23 @@ pub use loopspec_cpu as cpu;
 pub use loopspec_dataspec as dataspec;
 pub use loopspec_isa as isa;
 pub use loopspec_mt as mt;
+pub use loopspec_pipeline as pipeline;
 pub use loopspec_workloads as workloads;
 
 /// The most common types, importable in one line.
 pub mod prelude {
     pub use loopspec_asm::{Operand, Program, ProgramBuilder};
     pub use loopspec_core::{
-        Cls, EventCollector, LoopDetector, LoopEvent, LoopId, LoopStats, TableHitSim, TableKind,
+        Cls, CountingSink, EventCollector, LoopDetector, LoopEvent, LoopEventSink, LoopId,
+        LoopStats, TableHitSim, TableKind,
     };
     pub use loopspec_cpu::{Cpu, InstrEvent, RunLimits, Tracer};
-    pub use loopspec_dataspec::DataSpecProfiler;
+    pub use loopspec_dataspec::{DataSpecProfiler, LiveInProfiler};
     pub use loopspec_isa::{Addr, AluOp, Cond, Instruction, Reg};
     pub use loopspec_mt::{
-        ideal_tpc, AnnotatedTrace, Engine, IdlePolicy, StrNestedPolicy, StrPolicy,
+        ideal_tpc, AnnotatedTrace, Engine, EngineReport, EngineSink, IdlePolicy, StrNestedPolicy,
+        StrPolicy, StreamEngine,
     };
+    pub use loopspec_pipeline::{Session, SessionSummary};
     pub use loopspec_workloads::{all as all_workloads, by_name as workload_by_name, Scale};
 }

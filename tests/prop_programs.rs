@@ -1,10 +1,13 @@
-//! Property tests over *randomly generated structured programs*: for any
-//! terminating program the builder can express, the detector must emit a
-//! well-formed event stream, detection must be deterministic, and the
-//! speculation engine must obey its conservation laws.
+//! Property-style tests over *randomly generated structured programs*:
+//! for any terminating program the builder can express, the detector must
+//! emit a well-formed event stream, detection must be deterministic, and
+//! the speculation engine must obey its conservation laws.
+//!
+//! The original suite used `proptest`; the build environment is offline,
+//! so the same generators run off a deterministic xorshift RNG.
 
 use loopspec::prelude::*;
-use proptest::prelude::*;
+use loopspec_testutil::Rng;
 use std::collections::HashMap;
 
 /// A structured statement tree — the generator's portable AST.
@@ -24,32 +27,36 @@ enum Stmt {
     BreakIf,
 }
 
-fn arb_stmt() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![(1u8..12).prop_map(Stmt::Work), Just(Stmt::BreakIf),];
-    leaf.prop_recursive(
-        3,  // depth: keeps loop nesting within the register pool
-        24, // total nodes
-        4,  // items per collection
-        |inner| {
-            prop_oneof![
-                (0u8..5, prop::collection::vec(inner.clone(), 1..3))
-                    .prop_map(|(n, b)| Stmt::Loop(n, b)),
-                (1u8..5, prop::collection::vec(inner.clone(), 1..3))
-                    .prop_map(|(n, b)| Stmt::VarLoop(n, b)),
-                (1u8..5, prop::collection::vec(inner.clone(), 1..3))
-                    .prop_map(|(n, b)| Stmt::While(n, b)),
-                (
-                    prop::collection::vec(inner.clone(), 1..3),
-                    prop::collection::vec(inner, 1..3)
-                )
-                    .prop_map(|(t, e)| Stmt::If(t, e)),
-            ]
-        },
-    )
+fn arb_stmt(r: &mut Rng, depth: u32) -> Stmt {
+    // Depth cap keeps loop nesting within the builder's register pool.
+    let leafy = depth >= 3 || r.below(2) == 0;
+    if leafy {
+        if r.below(4) == 0 {
+            Stmt::BreakIf
+        } else {
+            Stmt::Work(r.range(1, 12) as u8)
+        }
+    } else {
+        let body = |r: &mut Rng| {
+            (0..r.range(1, 3))
+                .map(|_| arb_stmt(r, depth + 1))
+                .collect::<Vec<_>>()
+        };
+        match r.below(4) {
+            0 => Stmt::Loop(r.below(5) as u8, body(r)),
+            1 => Stmt::VarLoop(r.range(1, 5) as u8, body(r)),
+            2 => Stmt::While(r.range(1, 5) as u8, body(r)),
+            _ => {
+                let t = body(r);
+                let e = body(r);
+                Stmt::If(t, e)
+            }
+        }
+    }
 }
 
-fn arb_program() -> impl Strategy<Value = Vec<Stmt>> {
-    prop::collection::vec(arb_stmt(), 1..5)
+fn arb_program(r: &mut Rng) -> Vec<Stmt> {
+    (0..r.range(1, 5)).map(|_| arb_stmt(r, 0)).collect()
 }
 
 /// Lowers a statement list through the builder. `in_loop` gates
@@ -122,21 +129,21 @@ fn build_and_run(stmts: &[Stmt], seed: i64) -> (Vec<LoopEvent>, u64) {
 
 /// Event-stream well-formedness (same checker as the integration tests,
 /// reduced: dense iterations, matched open/close, monotone positions).
-fn check_events(events: &[LoopEvent]) -> Result<(), TestCaseError> {
+fn check_events(events: &[LoopEvent]) {
     let mut open: HashMap<LoopId, u32> = HashMap::new();
     let mut last_pos = 0u64;
     for e in events {
-        prop_assert!(e.pos() >= last_pos, "position went backwards at {e}");
+        assert!(e.pos() >= last_pos, "position went backwards at {e}");
         last_pos = e.pos();
         match *e {
             LoopEvent::ExecutionStart { loop_id, .. } => {
-                prop_assert!(open.insert(loop_id, 1).is_none(), "double open {loop_id}");
+                assert!(open.insert(loop_id, 1).is_none(), "double open {loop_id}");
             }
             LoopEvent::IterationStart { loop_id, iter, .. } => {
-                let last = open.get_mut(&loop_id);
-                prop_assert!(last.is_some(), "iteration of closed {loop_id}");
-                let last = last.unwrap();
-                prop_assert_eq!(iter, *last + 1, "non-dense iteration index");
+                let last = open
+                    .get_mut(&loop_id)
+                    .unwrap_or_else(|| panic!("iteration of closed {loop_id}"));
+                assert_eq!(iter, *last + 1, "non-dense iteration index");
                 *last = iter;
             }
             LoopEvent::ExecutionEnd {
@@ -149,78 +156,123 @@ fn check_events(events: &[LoopEvent]) -> Result<(), TestCaseError> {
                 iterations,
                 ..
             } => {
-                let last = open.remove(&loop_id);
-                prop_assert!(last.is_some(), "close of unopened {loop_id}");
-                prop_assert_eq!(iterations, last.unwrap());
+                let last = open
+                    .remove(&loop_id)
+                    .unwrap_or_else(|| panic!("close of unopened {loop_id}"));
+                assert_eq!(iterations, last);
             }
             LoopEvent::OneShot { .. } => {}
         }
     }
-    prop_assert!(open.is_empty(), "unflushed loops at halt");
-    Ok(())
+    assert!(open.is_empty(), "unflushed loops at halt");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        ..ProptestConfig::default()
-    })]
+const CASES: u64 = 48;
 
-    #[test]
-    fn random_programs_produce_well_formed_events(stmts in arb_program(), seed in 0i64..1_000_000) {
-        let (events, _) = build_and_run(&stmts, seed);
-        check_events(&events)?;
+fn case(seed: u64) -> (Vec<Stmt>, i64) {
+    let mut r = Rng::new(seed);
+    let stmts = arb_program(&mut r);
+    let rng_seed = r.below(1_000_000) as i64;
+    (stmts, rng_seed)
+}
+
+#[test]
+fn random_programs_produce_well_formed_events() {
+    for seed in 0..CASES {
+        let (stmts, s) = case(seed);
+        let (events, _) = build_and_run(&stmts, s);
+        check_events(&events);
     }
+}
 
-    #[test]
-    fn detection_is_deterministic(stmts in arb_program(), seed in 0i64..1_000_000) {
-        let (a, na) = build_and_run(&stmts, seed);
-        let (b, nb) = build_and_run(&stmts, seed);
-        prop_assert_eq!(na, nb);
-        prop_assert_eq!(a, b);
+#[test]
+fn detection_is_deterministic() {
+    for seed in 0..CASES {
+        let (stmts, s) = case(seed);
+        let (a, na) = build_and_run(&stmts, s);
+        let (b, nb) = build_and_run(&stmts, s);
+        assert_eq!(na, nb, "seed {seed}");
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    #[test]
-    fn engine_laws_hold_on_random_programs(stmts in arb_program(), seed in 0i64..1_000_000) {
-        let (events, n) = build_and_run(&stmts, seed);
+#[test]
+fn engine_laws_hold_on_random_programs() {
+    for seed in 0..CASES {
+        let (stmts, s) = case(seed);
+        let (events, n) = build_and_run(&stmts, s);
         let trace = AnnotatedTrace::build(&events, n);
         let ideal = ideal_tpc(&trace);
-        prop_assert!(ideal.tpc >= 1.0 - 1e-9);
+        assert!(ideal.tpc >= 1.0 - 1e-9);
         for tus in [2usize, 4] {
             let r = Engine::new(&trace, StrPolicy::new(), tus).run();
-            prop_assert_eq!(r.spec.threads_spawned, r.spec.resolved());
-            prop_assert!(r.cycles <= n);
-            prop_assert!(r.tpc() >= 1.0 - 1e-9);
-            prop_assert!(r.tpc() <= ideal.tpc + 1e-9,
-                "STR@{} tpc {} beats oracle {}", tus, r.tpc(), ideal.tpc);
+            assert_eq!(r.spec.threads_spawned, r.spec.resolved());
+            assert!(r.cycles <= n);
+            assert!(r.tpc() >= 1.0 - 1e-9);
+            assert!(
+                r.tpc() <= ideal.tpc + 1e-9,
+                "seed {seed}: STR@{tus} tpc {} beats oracle {}",
+                r.tpc(),
+                ideal.tpc
+            );
         }
     }
+}
 
-    #[test]
-    fn loop_stats_are_internally_consistent(stmts in arb_program(), seed in 0i64..1_000_000) {
-        let (events, n) = build_and_run(&stmts, seed);
+#[test]
+fn streaming_engine_matches_batch_on_random_programs() {
+    for seed in 0..CASES {
+        let (stmts, s) = case(seed);
+        let (events, n) = build_and_run(&stmts, s);
+        let trace = AnnotatedTrace::build(&events, n);
+        for tus in [2usize, 4] {
+            let mut streaming = StreamEngine::new(StrNestedPolicy::new(2), tus);
+            for e in &events {
+                streaming.on_loop_event(e);
+            }
+            streaming.on_stream_end(n);
+            let batch = Engine::new(&trace, StrNestedPolicy::new(2), tus).run();
+            assert_eq!(
+                streaming.into_report(),
+                batch,
+                "seed {seed}: streaming vs batch diverged at {tus} TUs"
+            );
+        }
+    }
+}
+
+#[test]
+fn loop_stats_are_internally_consistent() {
+    for seed in 0..CASES {
+        let (stmts, s) = case(seed);
+        let (events, n) = build_and_run(&stmts, s);
         let mut stats = LoopStats::new();
         stats.observe_all(&events);
         let r = stats.report(n);
-        prop_assert!(r.iterations >= r.executions);
-        prop_assert!(r.max_nesting as f64 >= r.avg_nesting);
-        prop_assert!(r.static_loops as u64 <= r.executions);
+        assert!(r.iterations >= r.executions, "seed {seed}");
+        assert!(r.max_nesting as f64 >= r.avg_nesting, "seed {seed}");
+        assert!(r.static_loops as u64 <= r.executions, "seed {seed}");
         if r.executions > 0 {
-            prop_assert!(r.iter_per_exec >= 1.0);
+            assert!(r.iter_per_exec >= 1.0, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn hit_ratio_monotone_in_table_size(stmts in arb_program(), seed in 0i64..1_000_000) {
-        let (events, _) = build_and_run(&stmts, seed);
+#[test]
+fn hit_ratio_monotone_in_table_size() {
+    for seed in 0..CASES {
+        let (stmts, s) = case(seed);
+        let (events, _) = build_and_run(&stmts, s);
         for kind in [TableKind::Let, TableKind::Lit] {
             let mut prev = -1.0f64;
             for entries in [2usize, 4, 8, 16] {
                 let mut sim = TableHitSim::new(kind, entries);
                 sim.observe_all(&events);
                 let pct = sim.ratio().percent();
-                prop_assert!(pct >= prev - 1e-9,
-                    "{:?} hit ratio fell from {} to {} at {} entries", kind, prev, pct, entries);
+                assert!(
+                    pct >= prev - 1e-9,
+                    "seed {seed}: {kind:?} hit ratio fell from {prev} to {pct} at {entries} entries"
+                );
                 prev = pct;
             }
         }

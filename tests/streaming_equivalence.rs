@@ -1,0 +1,109 @@
+//! The streaming `Session` path must produce **identical**
+//! `EngineReport`s (TPC, per-policy speculation statistics) to the legacy
+//! collect-then-replay path, on every workload and every history-based
+//! policy. One CPU pass per workload drives both: the session feeds the
+//! streaming engines live while an `EventCollector` captures the same
+//! event stream for the batch replay.
+
+use loopspec::prelude::*;
+
+/// The policies the acceptance criteria name: IDLE, STR, STR(i).
+fn streaming_engines(tus: usize) -> Vec<(&'static str, Box<dyn EngineSink>)> {
+    vec![
+        ("IDLE", Box::new(StreamEngine::new(IdlePolicy::new(), tus))),
+        ("STR", Box::new(StreamEngine::new(StrPolicy::new(), tus))),
+        (
+            "STR(3)",
+            Box::new(StreamEngine::new(StrNestedPolicy::new(3), tus)),
+        ),
+    ]
+}
+
+fn batch_report(trace: &AnnotatedTrace, name: &str, tus: usize) -> EngineReport {
+    match name {
+        "IDLE" => Engine::new(trace, IdlePolicy::new(), tus).run(),
+        "STR" => Engine::new(trace, StrPolicy::new(), tus).run(),
+        "STR(3)" => Engine::new(trace, StrNestedPolicy::new(3), tus).run(),
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+/// Runs one workload once; checks every policy at `tus` thread units.
+fn check_workload(name: &str, tus: usize) {
+    let w = workload_by_name(name).expect("workload exists");
+    let program = w.build(Scale::Test).expect("assembles");
+
+    let mut collector = EventCollector::default();
+    let mut engines = streaming_engines(tus);
+    let mut session = Session::new();
+    session.observe_loops(&mut collector);
+    for (_, engine) in engines.iter_mut() {
+        session.observe_loops(&mut **engine);
+    }
+    let out = session
+        .run(&program, RunLimits::default())
+        .expect("workload runs");
+    assert!(out.halted(), "{name} must halt");
+
+    let (events, n) = collector.into_parts();
+    assert_eq!(n, out.instructions);
+    let trace = AnnotatedTrace::build(&events, n);
+
+    for (policy, engine) in engines {
+        let streamed = engine
+            .finished_report()
+            .unwrap_or_else(|| panic!("{name}/{policy}: stream did not end"));
+        let batch = batch_report(&trace, policy, tus);
+        assert_eq!(
+            *streamed, batch,
+            "{name}: streaming vs batch diverged for {policy} @ {tus} TUs"
+        );
+    }
+}
+
+#[test]
+fn all_workloads_idle_str_strnested_at_4_tus() {
+    for w in all_workloads() {
+        check_workload(w.name, 4);
+    }
+}
+
+#[test]
+fn tu_sweep_on_representative_workloads() {
+    // Deep nesting (go), recursion (li), interpreter dispatch (perl),
+    // regular FP loops (swim): sweep the TU axis too.
+    for name in ["go", "li", "perl", "swim"] {
+        for tus in [2usize, 8, 16] {
+            check_workload(name, tus);
+        }
+    }
+}
+
+#[test]
+fn suitability_filter_streams_identically() {
+    // A wrapped policy (the §2.3.2 not-suitable-loops filter) exercises
+    // the policy feedback path (on_thread_outcome) in both drivers.
+    let w = workload_by_name("applu").unwrap();
+    let program = w.build(Scale::Test).unwrap();
+
+    let mut collector = EventCollector::default();
+    let mut engine = StreamEngine::new(
+        loopspec::mt::SuitabilityFilter::new(StrPolicy::new(), 8, 0.5),
+        4,
+    );
+    let mut session = Session::new();
+    session
+        .observe_loops(&mut collector)
+        .observe_loops(&mut engine);
+    session.run(&program, RunLimits::default()).unwrap();
+
+    let (events, n) = collector.into_parts();
+    let trace = AnnotatedTrace::build(&events, n);
+    let batch = Engine::new(
+        &trace,
+        loopspec::mt::SuitabilityFilter::new(StrPolicy::new(), 8, 0.5),
+        4,
+    )
+    .run();
+    assert_eq!(engine.report().unwrap(), &batch);
+}
