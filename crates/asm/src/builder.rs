@@ -123,8 +123,8 @@ type FuncBody = Box<dyn FnOnce(&mut ProgramBuilder)>;
 
 /// Structured code generator for SLA programs.
 ///
-/// See the [module docs](self) for register conventions and the
-/// [crate docs](crate) for an end-to-end example.
+/// See the [crate docs](crate) for register conventions and an
+/// end-to-end example.
 pub struct ProgramBuilder {
     asm: Assembler,
     main_free: Vec<Reg>,

@@ -39,6 +39,6 @@ mod error;
 mod program;
 
 pub use assembler::{Assembler, LabelId};
-pub use builder::{Operand, ProgramBuilder};
+pub use builder::{Operand, ProgramBuilder, STACK_BASE};
 pub use error::AsmError;
 pub use program::Program;

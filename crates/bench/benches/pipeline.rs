@@ -11,11 +11,11 @@
 //!   engine configurations, either replayed from the materialized trace
 //!   or fanned out in the single streaming pass.
 
-use loopspec_bench::experiments::{run_engine, PolicyKind, TU_COUNTS};
+use loopspec_bench::experiments::{grid_points, run_engine, PolicyKind, TU_COUNTS};
 use loopspec_bench::timing::Suite;
 use loopspec_core::EventCollector;
 use loopspec_cpu::{Cpu, RunLimits};
-use loopspec_mt::{AnnotatedTrace, StrPolicy, StreamEngine};
+use loopspec_mt::{AnnotatedTrace, EngineGrid, StrPolicy, StreamEngine};
 use loopspec_pipeline::Session;
 use loopspec_workloads::{by_name, Scale};
 
@@ -87,18 +87,18 @@ fn main() {
             &format!("20-sinks-one-pass/{name}"),
             Some(instructions),
             || {
-                let mut engines: Vec<_> = PolicyKind::ALL
-                    .iter()
-                    .flat_map(|&p| TU_COUNTS.iter().map(move |&t| p.stream_engine(t)))
-                    .collect();
-                let mut session = Session::new();
-                for e in engines.iter_mut() {
-                    session.observe_loops(&mut **e);
+                let mut grid = EngineGrid::new();
+                for (p, tus) in grid_points() {
+                    p.add_to_grid(&mut grid, tus);
                 }
+                let mut session = Session::new();
+                session.observe_loops(&mut grid);
                 session.run(&program, RunLimits::default()).expect("runs");
-                let acc: f64 = engines
+                let acc: f64 = grid
+                    .reports()
+                    .expect("finished")
                     .iter()
-                    .map(|e| e.finished_report().expect("finished").tpc())
+                    .map(|r| r.tpc())
                     .sum();
                 std::hint::black_box(acc)
             },

@@ -1,0 +1,66 @@
+//! CI perf-regression gate over `BENCH_pipeline.json` snapshots.
+//!
+//! ```text
+//! bench_gate <baseline.json> <fresh.json> [tolerance]
+//! ```
+//!
+//! Compares the streaming-grid / materialized-grid ratio per workload
+//! (machine-speed independent) and exits non-zero when any workload's
+//! fresh ratio exceeds `baseline_ratio * tolerance` (default 1.20,
+//! i.e. +20 %). See [`loopspec_bench::gate`] for the comparison rules.
+
+use std::process::ExitCode;
+
+use loopspec_bench::gate::{check, parse_snapshot};
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, fresh_path) = match &args[..] {
+        [b, f] | [b, f, _] => (b, f),
+        _ => return Err("usage: bench_gate <baseline.json> <fresh.json> [tolerance]".into()),
+    };
+    let tolerance: f64 = match args.get(2) {
+        Some(t) => t
+            .parse()
+            .map_err(|_| format!("bad tolerance '{t}' (want e.g. 1.2)"))?,
+        None => 1.20,
+    };
+    if tolerance < 1.0 {
+        return Err(format!("tolerance {tolerance} must be >= 1.0"));
+    }
+
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let baseline =
+        parse_snapshot(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let fresh = parse_snapshot(&read(fresh_path)?).map_err(|e| format!("{fresh_path}: {e}"))?;
+
+    println!(
+        "bench gate: {} vs {} (tolerance {tolerance}x)",
+        baseline_path, fresh_path
+    );
+    let rows = check(&baseline, &fresh, tolerance)?;
+    let mut ok = true;
+    for row in &rows {
+        println!("  {row}");
+        ok &= row.passed();
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("bench gate: PASS");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench gate: FAIL — streaming fan-out regressed past tolerance");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench gate: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

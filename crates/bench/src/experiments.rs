@@ -4,8 +4,8 @@ use loopspec_core::{Cls, EventCollector, LoopStatsReport, Replacement, TableHitS
 use loopspec_cpu::{Cpu, RunLimits};
 use loopspec_dataspec::DataSpecReport;
 use loopspec_mt::{
-    ideal_tpc, AnnotatedTrace, Engine, EngineReport, EngineSink, IdlePolicy, StrNestedPolicy,
-    StrPolicy, StreamEngine,
+    ideal_tpc, AnnotatedTrace, AnyStreamEngine, Engine, EngineGrid, EngineReport, EngineSink,
+    IdlePolicy, StrNestedPolicy, StrPolicy, StreamEngine,
 };
 use loopspec_workloads::{PaperRow, Scale, Workload};
 
@@ -52,7 +52,9 @@ impl PolicyKind {
     }
 
     /// Boxes a streaming engine for this policy, ready to register in a
-    /// [`loopspec_pipeline::Session`].
+    /// [`loopspec_pipeline::Session`]. For the full experiment grid,
+    /// prefer [`PolicyKind::add_to_grid`] — an [`EngineGrid`] shares
+    /// the annotation bookkeeping across all configurations.
     pub fn stream_engine(self, tus: usize) -> Box<dyn EngineSink> {
         match self {
             PolicyKind::Idle => Box::new(StreamEngine::new(IdlePolicy::new(), tus)),
@@ -60,6 +62,36 @@ impl PolicyKind {
             PolicyKind::StrNested(i) => Box::new(StreamEngine::new(StrNestedPolicy::new(i), tus)),
         }
     }
+
+    /// A monomorphized streaming engine for this policy, for
+    /// independent-sink fan-out
+    /// ([`loopspec_pipeline::SinkSet`]`<AnyStreamEngine>`); the grid
+    /// itself uses [`PolicyKind::add_to_grid`].
+    pub fn any_engine(self, tus: usize) -> AnyStreamEngine {
+        match self {
+            PolicyKind::Idle => AnyStreamEngine::idle(tus),
+            PolicyKind::Str => AnyStreamEngine::str(tus),
+            PolicyKind::StrNested(i) => AnyStreamEngine::str_nested(i, tus),
+        }
+    }
+
+    /// Adds a lane for this policy to a shared-annotation
+    /// [`EngineGrid`]; returns the lane index.
+    pub fn add_to_grid(self, grid: &mut EngineGrid, tus: usize) -> usize {
+        match self {
+            PolicyKind::Idle => grid.push_idle(tus),
+            PolicyKind::Str => grid.push_str(tus),
+            PolicyKind::StrNested(i) => grid.push_str_nested(i, tus),
+        }
+    }
+}
+
+/// The full experiment grid, in report order: every policy of
+/// [`PolicyKind::ALL`] at every TU count of [`TU_COUNTS`].
+pub fn grid_points() -> impl Iterator<Item = (PolicyKind, usize)> {
+    PolicyKind::ALL
+        .iter()
+        .flat_map(|&p| TU_COUNTS.iter().map(move |&tus| (p, tus)))
 }
 
 /// Runs the batch speculation engine for a policy given by value — used

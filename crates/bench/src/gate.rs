@@ -1,0 +1,294 @@
+//! The bench perf-regression gate.
+//!
+//! CI runs the `pipeline` bench, then compares the fresh
+//! `BENCH_pipeline.json` against the snapshot committed at the repo root.
+//! Comparing absolute nanoseconds across machines is meaningless, so the
+//! gate checks the **streaming-grid / materialized-grid ratio** per
+//! workload — a machine-speed-independent measure of the streaming
+//! fan-out's overhead — and fails when a workload's fresh ratio exceeds
+//! its baseline ratio by more than the tolerance factor.
+//!
+//! The parser handles exactly the JSON that
+//! [`Suite::to_json`](crate::timing::Suite::to_json) emits (one
+//! benchmark object per line); it is not a general JSON parser.
+
+use std::fmt;
+
+/// One parsed benchmark entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Benchmark group (e.g. `"streaming_grid"`).
+    pub group: String,
+    /// Benchmark name (e.g. `"20-sinks-one-pass/compress"`).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+impl BenchEntry {
+    /// The workload suffix of the benchmark name (after the last `/`).
+    pub fn workload(&self) -> &str {
+        self.name.rsplit('/').next().unwrap_or(&self.name)
+    }
+}
+
+/// A parsed `BENCH_*.json` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Suite name (e.g. `"pipeline"`).
+    pub suite: String,
+    /// All benchmark entries, in file order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchSnapshot {
+    /// The entry for `group` whose name ends in `/workload`, if any.
+    pub fn find(&self, group: &str, workload: &str) -> Option<&BenchEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.group == group && e.workload() == workload)
+    }
+}
+
+/// Extracts the string value of `"key": "value"` from a JSON line.
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Extracts the numeric value of `"key": 123.4` from a JSON line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a snapshot produced by
+/// [`Suite::write_json`](crate::timing::Suite::write_json).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line, or of a missing
+/// suite name.
+pub fn parse_snapshot(json: &str) -> Result<BenchSnapshot, String> {
+    let mut suite = None;
+    let mut entries = Vec::new();
+    for line in json.lines() {
+        if suite.is_none() {
+            if let Some(s) = str_field(line, "suite") {
+                suite = Some(s.to_string());
+                continue;
+            }
+        }
+        if let Some(group) = str_field(line, "group") {
+            let name = str_field(line, "name")
+                .ok_or_else(|| format!("benchmark line without name: {line}"))?;
+            let median_ns = num_field(line, "median_ns")
+                .ok_or_else(|| format!("benchmark line without median_ns: {line}"))?;
+            entries.push(BenchEntry {
+                group: group.to_string(),
+                name: name.to_string(),
+                median_ns,
+            });
+        }
+    }
+    Ok(BenchSnapshot {
+        suite: suite.ok_or("snapshot has no suite field")?,
+        entries,
+    })
+}
+
+/// One workload's gate verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Workload name (benchmark-name suffix).
+    pub workload: String,
+    /// streaming_grid / materialized_grid in the committed baseline.
+    pub baseline_ratio: f64,
+    /// The same ratio in the fresh run.
+    pub fresh_ratio: f64,
+    /// Highest acceptable fresh ratio (`baseline_ratio * tolerance`).
+    pub limit: f64,
+}
+
+impl GateRow {
+    /// `true` when the fresh ratio is within the limit.
+    pub fn passed(&self) -> bool {
+        self.fresh_ratio <= self.limit
+    }
+}
+
+impl fmt::Display for GateRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>10}: streaming/materialized {:.3}x (baseline {:.3}x, limit {:.3}x) {}",
+            self.workload,
+            self.fresh_ratio,
+            self.baseline_ratio,
+            self.limit,
+            if self.passed() { "OK" } else { "REGRESSION" },
+        )
+    }
+}
+
+/// The grid ratio of one workload within a snapshot, if both grid
+/// benchmarks are present.
+fn grid_ratio(snapshot: &BenchSnapshot, workload: &str) -> Option<f64> {
+    let streaming = snapshot.find("streaming_grid", workload)?.median_ns;
+    let materialized = snapshot.find("materialized_grid", workload)?.median_ns;
+    (materialized > 0.0).then_some(streaming / materialized)
+}
+
+/// Compares every workload that has grid measurements in **both**
+/// snapshots; `tolerance` is the multiplicative slack on the baseline
+/// ratio (e.g. `1.2` = +20 %).
+///
+/// # Errors
+///
+/// Errors when no workload can be compared — a gate that silently
+/// compares nothing would always pass.
+pub fn check(
+    baseline: &BenchSnapshot,
+    fresh: &BenchSnapshot,
+    tolerance: f64,
+) -> Result<Vec<GateRow>, String> {
+    let mut rows = Vec::new();
+    for entry in &fresh.entries {
+        if entry.group != "streaming_grid" {
+            continue;
+        }
+        let workload = entry.workload();
+        let (Some(baseline_ratio), Some(fresh_ratio)) =
+            (grid_ratio(baseline, workload), grid_ratio(fresh, workload))
+        else {
+            continue;
+        };
+        rows.push(GateRow {
+            workload: workload.to_string(),
+            baseline_ratio,
+            fresh_ratio,
+            limit: baseline_ratio * tolerance,
+        });
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "no comparable streaming_grid/materialized_grid pairs between \
+             baseline suite '{}' and fresh suite '{}'",
+            baseline.suite, fresh.suite
+        ));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(pairs: &[(&str, f64, f64)]) -> BenchSnapshot {
+        let entries = pairs
+            .iter()
+            .flat_map(|&(w, s, m)| {
+                [
+                    BenchEntry {
+                        group: "streaming_grid".into(),
+                        name: format!("20-sinks-one-pass/{w}"),
+                        median_ns: s,
+                    },
+                    BenchEntry {
+                        group: "materialized_grid".into(),
+                        name: format!("20-replays/{w}"),
+                        median_ns: m,
+                    },
+                ]
+            })
+            .collect();
+        BenchSnapshot {
+            suite: "pipeline".into(),
+            entries,
+        }
+    }
+
+    #[test]
+    fn parses_the_suite_writer_format() {
+        std::env::set_var("LOOPSPEC_BENCH_MS", "1");
+        let mut s = crate::timing::Suite::new("gate-test");
+        s.bench("streaming_grid", "x/compress", Some(10), || 1 + 1);
+        s.bench("materialized_grid", "y/compress", Some(10), || 1 + 1);
+        let parsed = parse_snapshot(&s.to_json()).expect("parses");
+        assert_eq!(parsed.suite, "gate-test");
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.entries[0].group, "streaming_grid");
+        assert_eq!(parsed.entries[0].workload(), "compress");
+        assert!(parsed.entries[0].median_ns >= 0.0);
+        assert!(parsed.find("materialized_grid", "compress").is_some());
+        assert!(parsed.find("materialized_grid", "go").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_snapshot("{}").is_err());
+        assert!(parse_snapshot("").is_err());
+    }
+
+    #[test]
+    fn equal_ratios_pass() {
+        let base = snapshot(&[("compress", 120.0, 100.0), ("go", 110.0, 100.0)]);
+        let rows = check(&base, &base, 1.2).expect("comparable");
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(GateRow::passed));
+    }
+
+    #[test]
+    fn improvement_passes_even_when_absolutes_differ() {
+        let base = snapshot(&[("compress", 120.0, 100.0)]);
+        // 10x slower machine, better ratio.
+        let fresh = snapshot(&[("compress", 1100.0, 1000.0)]);
+        let rows = check(&base, &fresh, 1.2).expect("comparable");
+        assert!(rows[0].passed());
+        assert!(rows[0].fresh_ratio < rows[0].baseline_ratio);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let base = snapshot(&[("compress", 120.0, 100.0)]);
+        let fresh = snapshot(&[("compress", 150.0, 100.0)]); // 1.5 > 1.2*1.2
+        let rows = check(&base, &fresh, 1.2).expect("comparable");
+        assert!(!rows[0].passed());
+        // ...but a looser tolerance admits it.
+        let rows = check(&base, &fresh, 1.3).expect("comparable");
+        assert!(rows[0].passed());
+    }
+
+    #[test]
+    fn missing_counterpart_is_skipped_not_failed() {
+        let base = snapshot(&[("compress", 120.0, 100.0)]);
+        let fresh = snapshot(&[("compress", 115.0, 100.0), ("go", 110.0, 100.0)]);
+        let rows = check(&base, &fresh, 1.2).expect("comparable");
+        assert_eq!(rows.len(), 1, "go has no baseline and is skipped");
+    }
+
+    #[test]
+    fn nothing_comparable_is_an_error() {
+        let base = snapshot(&[("compress", 120.0, 100.0)]);
+        let fresh = snapshot(&[("go", 110.0, 100.0)]);
+        assert!(check(&base, &fresh, 1.2).is_err());
+    }
+
+    #[test]
+    fn row_display_names_the_verdict() {
+        let row = GateRow {
+            workload: "go".into(),
+            baseline_ratio: 1.0,
+            fresh_ratio: 2.0,
+            limit: 1.2,
+        };
+        assert!(format!("{row}").contains("REGRESSION"));
+    }
+}

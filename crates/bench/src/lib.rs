@@ -12,7 +12,7 @@
 //! | Average TPC per policy | Figure 7 | [`experiments::fig7`] |
 //! | Speculation statistics, STR(3), 4 TUs | Table 2 | [`experiments::table2`] |
 //! | Data-speculation predictability | Figure 8 | [`experiments::fig8`] |
-//! | CLS capacity / replacement ablations | §2.2, §2.3.2 | [`experiments::ablation`] |
+//! | CLS capacity / replacement ablations | §2.2, §2.3.2 | [`experiments::cls_ablation`] |
 //!
 //! The `repro` binary prints each as an aligned text table with the
 //! paper's reference values alongside:
@@ -25,6 +25,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod gate;
 pub mod paper;
 pub mod report;
 pub mod run;

@@ -5,8 +5,10 @@
 //! the CPU and the shared CLS detector, and fans the live event stream
 //! out to
 //!
-//! * one [`StreamEngine`] per (policy × TU-count) grid point — so every
-//!   TPC figure/table reads from reports computed *during* execution,
+//! * one [`EngineGrid`] lane per (policy × TU-count) grid point — so
+//!   every TPC figure/table reads from reports computed *during*
+//!   execution, with the annotation bookkeeping shared across all 20
+//!   lanes,
 //! * the live-in profiler (when requested — only Figure 8 needs it),
 //! * an [`EventCollector`] that retains the compact event stream for the
 //!   replay-style analyses (Table 1 statistics, LET/LIT sweeps, and the
@@ -20,11 +22,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use loopspec_core::{EventCollector, LoopEvent, LoopStats, LoopStatsReport};
 use loopspec_cpu::RunLimits;
 use loopspec_dataspec::{DataSpecReport, LiveInProfiler};
-use loopspec_mt::{AnnotatedTrace, EngineReport, EngineSink};
+use loopspec_mt::{AnnotatedTrace, EngineGrid, EngineReport};
 use loopspec_pipeline::Session;
 use loopspec_workloads::{Scale, Workload};
 
-use crate::experiments::{PolicyKind, TU_COUNTS};
+use crate::experiments::{grid_points, PolicyKind};
 
 /// The reusable result of executing one workload once.
 #[derive(Debug)]
@@ -103,21 +105,26 @@ impl WorkloadRun {
         };
 
         let mut collector = EventCollector::default();
-        let mut engines: Vec<(PolicyKind, usize, Box<dyn EngineSink>)> = if opts.engine_grid {
-            PolicyKind::ALL
-                .iter()
-                .flat_map(|&p| TU_COUNTS.iter().map(move |&tus| (p, tus)))
-                .map(|(p, tus)| (p, tus, p.stream_engine(tus)))
-                .collect()
+        // The grid runs as ONE registered sink: a shared-annotation
+        // EngineGrid, so the session pays one virtual call per event
+        // chunk for all 20 grid points, the annotation bookkeeping runs
+        // once instead of per engine, and the per-lane fan-out
+        // dispatches statically.
+        let points: Vec<(PolicyKind, usize)> = if opts.engine_grid {
+            grid_points().collect()
         } else {
             Vec::new()
         };
+        let mut grid = EngineGrid::new();
+        for &(p, tus) in &points {
+            p.add_to_grid(&mut grid, tus);
+        }
         let mut profiler = opts.dataspec.then(LiveInProfiler::new);
 
         let mut session = Session::new();
         session.observe_loops(&mut collector);
-        for (_, _, engine) in engines.iter_mut() {
-            session.observe_loops(&mut **engine);
+        if !grid.is_empty() {
+            session.observe_loops(&mut grid);
         }
         if let Some(p) = profiler.as_mut() {
             session.observe_both(p);
@@ -128,15 +135,16 @@ impl WorkloadRun {
             .unwrap_or_else(|e| panic!("{}: run failed: {e}", workload.name));
         assert!(out.halted(), "{}: did not halt", workload.name);
 
-        let reports = engines
+        let lane_reports = if grid.is_empty() {
+            &[][..]
+        } else {
+            grid.reports()
+                .unwrap_or_else(|| panic!("{}: engine grid did not finish", workload.name))
+        };
+        let reports = points
             .into_iter()
-            .map(|(p, tus, engine)| {
-                let report = engine
-                    .finished_report()
-                    .unwrap_or_else(|| panic!("{}: engine did not finish", workload.name))
-                    .clone();
-                (p, tus, report)
-            })
+            .zip(lane_reports.iter())
+            .map(|((p, tus), report)| (p, tus, report.clone()))
             .collect();
 
         let dataspec = profiler.map(|p| p.report());
@@ -155,8 +163,9 @@ impl WorkloadRun {
     /// # Panics
     ///
     /// Panics when the point is outside the precomputed grid
-    /// ([`PolicyKind::ALL`] × [`TU_COUNTS`], empty when the run was
-    /// executed with [`ExecuteOptions::engine_grid`] off).
+    /// ([`PolicyKind::ALL`] × [`TU_COUNTS`](crate::experiments::TU_COUNTS),
+    /// empty when the run was executed with
+    /// [`ExecuteOptions::engine_grid`] off).
     pub fn report(&self, policy: PolicyKind, tus: usize) -> &EngineReport {
         self.reports
             .iter()
@@ -246,7 +255,7 @@ pub fn execute_all(workloads: &[Workload], scale: Scale, with_dataspec: bool) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::run_engine;
+    use crate::experiments::{run_engine, TU_COUNTS};
     use loopspec_workloads::by_name;
 
     #[test]

@@ -49,14 +49,30 @@ impl ClsEntry {
 ///
 /// On overflow the deepest (outermost) entry is discarded
 /// ([`LoopEvent::Evicted`]).
+///
+/// ## Buffered (chunked) emission
+///
+/// [`Cls::on_control`] hands every event to the sink immediately. The
+/// `*_buffered` variants instead append events to an internal chunk of
+/// up to [`chunk_capacity`](Cls::chunk_capacity) events (default
+/// [`DEFAULT_EVENT_CHUNK`](crate::DEFAULT_EVENT_CHUNK)) and report when
+/// the chunk is full, so a driver can fan a whole chunk out to many
+/// sinks with one [`LoopEventSink::on_loop_events`] call each instead of
+/// one virtual call per event per sink — the hot path of the streaming
+/// `Session`. See the [batching contract](crate::sink) for the
+/// semantics chunked delivery must (and does) preserve.
 #[derive(Debug, Clone)]
 pub struct Cls {
     entries: Vec<ClsEntry>,
     capacity: usize,
+    /// Events awaiting chunked delivery (the `*_buffered` emission path).
+    chunk: Vec<LoopEvent>,
+    chunk_capacity: usize,
 }
 
 impl Cls {
-    /// Creates a CLS with the given capacity.
+    /// Creates a CLS with the given capacity and the default event-chunk
+    /// size.
     ///
     /// # Panics
     ///
@@ -66,7 +82,63 @@ impl Cls {
         Cls {
             entries: Vec::with_capacity(capacity),
             capacity,
+            chunk: Vec::new(),
+            chunk_capacity: crate::DEFAULT_EVENT_CHUNK,
         }
+    }
+
+    /// Sets the buffered-emission chunk size (builder style). Chunk size
+    /// 1 degenerates to per-event delivery; larger chunks amortize
+    /// fan-out cost. Results are identical for any size (the
+    /// `chunked_equivalence` property test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events == 0`.
+    pub fn with_chunk_capacity(mut self, events: usize) -> Self {
+        assert!(events > 0, "chunk capacity must be positive");
+        self.chunk_capacity = events;
+        self
+    }
+
+    /// Events per chunk on the buffered emission path.
+    #[inline]
+    pub fn chunk_capacity(&self) -> usize {
+        self.chunk_capacity
+    }
+
+    /// The events buffered so far on the chunked emission path (in
+    /// commit order; drained by the driver via
+    /// [`clear_buffered`](Cls::clear_buffered)).
+    #[inline]
+    pub fn buffered(&self) -> &[LoopEvent] {
+        &self.chunk
+    }
+
+    /// Discards the buffered chunk (after the driver has delivered it).
+    #[inline]
+    pub fn clear_buffered(&mut self) {
+        self.chunk.clear();
+    }
+
+    /// [`Cls::on_control`], but appending events to the internal chunk.
+    /// Returns `true` when the chunk has reached capacity and should be
+    /// delivered (the chunk may exceed capacity by the handful of events
+    /// one instruction produces; it is never split mid-instruction).
+    pub fn on_control_buffered(&mut self, pc: Addr, outcome: &ControlOutcome, pos: u64) -> bool {
+        let mut chunk = std::mem::take(&mut self.chunk);
+        self.on_control(pc, outcome, pos, &mut chunk);
+        self.chunk = chunk;
+        self.chunk.len() >= self.chunk_capacity
+    }
+
+    /// [`Cls::flush`], but appending events to the internal chunk.
+    /// Returns `true` when the chunk has reached capacity.
+    pub fn flush_buffered(&mut self, pos: u64) -> bool {
+        let mut chunk = std::mem::take(&mut self.chunk);
+        self.flush(pos, &mut chunk);
+        self.chunk = chunk;
+        self.chunk.len() >= self.chunk_capacity
     }
 
     /// Current number of loops on the stack (the nesting depth).
@@ -553,6 +625,78 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = Cls::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk capacity must be positive")]
+    fn zero_chunk_capacity_rejected() {
+        let _ = Cls::default().with_chunk_capacity(0);
+    }
+
+    #[test]
+    fn buffered_emission_matches_direct() {
+        // The same control sequence through the direct and the buffered
+        // path must yield the same events, in the same order.
+        let drive = |cls: &mut Cls, direct: Option<&mut Vec<LoopEvent>>| {
+            let seq: [(u32, ControlOutcome, u64); 4] = [
+                (30, taken_branch(10), 1),
+                (25, taken_branch(15), 2),
+                (25, not_taken_branch(15, 25), 3),
+                (30, not_taken_branch(10, 30), 4),
+            ];
+            match direct {
+                Some(out) => {
+                    for (pc, o, pos) in &seq {
+                        cls.on_control(Addr::new(*pc), o, *pos, out);
+                    }
+                }
+                None => {
+                    for (pc, o, pos) in &seq {
+                        cls.on_control_buffered(Addr::new(*pc), o, *pos);
+                    }
+                }
+            }
+        };
+        let mut direct_cls = Cls::default();
+        let mut direct_out = Vec::new();
+        drive(&mut direct_cls, Some(&mut direct_out));
+
+        let mut buffered_cls = Cls::default();
+        drive(&mut buffered_cls, None);
+        assert_eq!(buffered_cls.buffered(), &direct_out[..]);
+        buffered_cls.clear_buffered();
+        assert!(buffered_cls.buffered().is_empty());
+    }
+
+    #[test]
+    fn buffered_reports_full_at_chunk_capacity() {
+        let mut cls = Cls::default().with_chunk_capacity(2);
+        assert_eq!(cls.chunk_capacity(), 2);
+        // First detection emits ExecutionStart + IterationStart: the
+        // 2-event chunk fills in one call and is never split
+        // mid-instruction.
+        let full = cls.on_control_buffered(Addr::new(20), &taken_branch(10), 1);
+        assert!(full);
+        assert_eq!(cls.buffered().len(), 2);
+        cls.clear_buffered();
+        // A mere iteration adds one event: not full yet.
+        let full = cls.on_control_buffered(Addr::new(20), &taken_branch(10), 2);
+        assert!(!full);
+        assert_eq!(cls.buffered().len(), 1);
+    }
+
+    #[test]
+    fn flush_buffered_appends_to_chunk() {
+        let mut cls = Cls::default();
+        cls.on_control_buffered(Addr::new(30), &taken_branch(10), 1);
+        cls.on_control_buffered(Addr::new(25), &taken_branch(15), 2);
+        let before = cls.buffered().len();
+        cls.flush_buffered(99);
+        assert_eq!(cls.depth(), 0);
+        assert_eq!(cls.buffered().len(), before + 2);
+        // Innermost first, as with the direct flush.
+        assert_eq!(cls.buffered()[before].loop_id(), LoopId(Addr::new(15)));
+        assert_eq!(cls.buffered()[before + 1].loop_id(), LoopId(Addr::new(10)));
     }
 
     #[test]

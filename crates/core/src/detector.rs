@@ -86,6 +86,43 @@ impl LoopDetector {
         &self.cls
     }
 
+    /// Processes one retired instruction on the **buffered** emission
+    /// path: events accumulate in the CLS's internal chunk instead of
+    /// being returned. Returns `true` when the chunk has reached
+    /// capacity and should be delivered (read it with
+    /// [`buffered`](LoopDetector::buffered), then
+    /// [`clear_buffered`](LoopDetector::clear_buffered)).
+    ///
+    /// A [`ControlKind::Halt`] flushes the CLS into the chunk.
+    pub fn process_buffered(&mut self, ev: &InstrEvent) -> bool {
+        match ev.control.kind {
+            ControlKind::None => self.cls.buffered().len() >= self.cls.chunk_capacity(),
+            ControlKind::Halt => self.cls.flush_buffered(ev.next_pos()),
+            _ => self
+                .cls
+                .on_control_buffered(ev.pc, &ev.control, ev.next_pos()),
+        }
+    }
+
+    /// The events buffered so far on the chunked emission path.
+    #[inline]
+    pub fn buffered(&self) -> &[LoopEvent] {
+        self.cls.buffered()
+    }
+
+    /// Discards the buffered chunk (after delivery).
+    #[inline]
+    pub fn clear_buffered(&mut self) {
+        self.cls.clear_buffered();
+    }
+
+    /// Closes still-open executions at stream position `pos` into the
+    /// internal chunk (for streams that end without a `halt`); returns
+    /// `true` when the chunk has reached capacity.
+    pub fn flush_buffered(&mut self, pos: u64) -> bool {
+        self.cls.flush_buffered(pos)
+    }
+
     /// Flushes open executions at stream position `pos` (for traces that
     /// end without a `halt`).
     pub fn flush(&mut self, pos: u64) -> &[LoopEvent] {

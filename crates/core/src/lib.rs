@@ -50,7 +50,7 @@ mod cls;
 mod detector;
 mod event;
 mod hitratio;
-mod sink;
+pub mod sink;
 mod stats;
 mod tables;
 
@@ -68,3 +68,13 @@ pub use tables::LoopTable;
 /// current loops" given that the maximum observed nesting level in SPEC95
 /// is 11 (Table 1).
 pub const DEFAULT_CLS_CAPACITY: usize = 16;
+
+/// Default number of events per chunk on the buffered emission path
+/// (see [`Cls::on_control_buffered`] and the [`sink`] batching
+/// contract).
+///
+/// Large enough to amortize one virtual dispatch per sink over many
+/// events, small enough that a chunk stays cache-resident (256 events ×
+/// 24 bytes ≈ 6 KiB) and that the streaming engine's bounded lookahead
+/// buffer stays O(chunk + run-ahead window).
+pub const DEFAULT_EVENT_CHUNK: usize = 256;

@@ -12,20 +12,64 @@
 //!   [`TableHitSim`](crate::TableHitSim) — incremental statistics;
 //! * `loopspec_mt::StreamEngine` — the single-pass speculation engine;
 //! * `loopspec_dataspec::LiveInProfiler` — live-in value profiling;
-//! * fan-out combinators (tuples, `&mut S`) so one detector can feed many
-//!   analyses in the same pass.
+//! * fan-out combinators (tuples up to arity 8, `&mut S`) so one
+//!   detector can feed many analyses in the same pass.
+//!
+//! ## The batching contract
+//!
+//! Producers may deliver events either one at a time
+//! ([`LoopEventSink::on_loop_event`]) or in chunks
+//! ([`LoopEventSink::on_loop_events`]). The two forms are
+//! interchangeable views of the *same* stream, and every implementation
+//! must treat them so:
+//!
+//! * **Ordering.** Concatenating the chunks (and single events) in
+//!   delivery order yields the commit-ordered event stream, with
+//!   non-decreasing stream positions. Chunk boundaries are arbitrary —
+//!   they carry no semantic meaning, and a sink must produce identical
+//!   results for any chunking of the same stream (the
+//!   `chunked_equivalence` property test pins this down).
+//! * **Default.** The default [`on_loop_events`] loops over
+//!   [`on_loop_event`], so implementing the per-event method alone is
+//!   always correct. Sinks override the batch method only to amortize
+//!   per-delivery work (one virtual call, one drain pass per chunk).
+//! * **Flush on stream end.** [`on_stream_end`] is called once, after
+//!   the last event. A producer that buffers events into chunks (the
+//!   CLS's internal chunk, `loopspec_pipeline::Session`) must flush its
+//!   partial final chunk *before* ending the stream, so a sink never
+//!   observes events after `on_stream_end`. A final chunk may therefore
+//!   be any length in `1..=chunk_capacity`, including one that
+//!   straddles what would otherwise be a chunk boundary.
+//!
+//! [`on_loop_events`]: LoopEventSink::on_loop_events
+//! [`on_loop_event`]: LoopEventSink::on_loop_event
+//! [`on_stream_end`]: LoopEventSink::on_stream_end
 
 use crate::LoopEvent;
 
 /// A consumer of the detector's loop-event stream.
 ///
-/// Events arrive in commit order with non-decreasing stream positions.
-/// [`LoopEventSink::on_stream_end`] is called once, after the last event,
-/// with the final instruction count; sinks that need to close open state
-/// (e.g. the streaming engine) finalize there.
+/// Events arrive in commit order with non-decreasing stream positions,
+/// either singly or in chunks (see the [module docs](self) for the
+/// batching contract). [`LoopEventSink::on_stream_end`] is called once,
+/// after the last event, with the final instruction count; sinks that
+/// need to close open state (e.g. the streaming engine) finalize there.
 pub trait LoopEventSink {
     /// Called for every loop event, in commit order.
     fn on_loop_event(&mut self, ev: &LoopEvent);
+
+    /// Called with a chunk of consecutive loop events, in commit order.
+    ///
+    /// Semantically identical to calling
+    /// [`on_loop_event`](LoopEventSink::on_loop_event) for each element;
+    /// the default implementation does exactly that. Batch-aware sinks
+    /// override it to pay their per-delivery bookkeeping once per chunk
+    /// instead of once per event.
+    fn on_loop_events(&mut self, events: &[LoopEvent]) {
+        for ev in events {
+            self.on_loop_event(ev);
+        }
+    }
 
     /// Called once when the instruction stream ends. `instructions` is
     /// the total number of committed instructions.
@@ -39,6 +83,11 @@ impl LoopEventSink for Vec<LoopEvent> {
     fn on_loop_event(&mut self, ev: &LoopEvent) {
         self.push(*ev);
     }
+
+    #[inline]
+    fn on_loop_events(&mut self, events: &[LoopEvent]) {
+        self.extend_from_slice(events);
+    }
 }
 
 impl<S: LoopEventSink + ?Sized> LoopEventSink for &mut S {
@@ -48,40 +97,47 @@ impl<S: LoopEventSink + ?Sized> LoopEventSink for &mut S {
     }
 
     #[inline]
+    fn on_loop_events(&mut self, events: &[LoopEvent]) {
+        (**self).on_loop_events(events);
+    }
+
+    #[inline]
     fn on_stream_end(&mut self, instructions: u64) {
         (**self).on_stream_end(instructions);
     }
 }
 
-impl<A: LoopEventSink, B: LoopEventSink> LoopEventSink for (A, B) {
-    #[inline]
-    fn on_loop_event(&mut self, ev: &LoopEvent) {
-        self.0.on_loop_event(ev);
-        self.1.on_loop_event(ev);
-    }
+/// Fans the stream out to every element of a tuple, in field order.
+/// One macro generates arities 2 through 8 — wide enough for the
+/// experiment grid without nesting pairs.
+macro_rules! impl_sink_for_tuple {
+    ($($T:ident => $idx:tt),+) => {
+        impl<$($T: LoopEventSink),+> LoopEventSink for ($($T,)+) {
+            #[inline]
+            fn on_loop_event(&mut self, ev: &LoopEvent) {
+                $(self.$idx.on_loop_event(ev);)+
+            }
 
-    #[inline]
-    fn on_stream_end(&mut self, instructions: u64) {
-        self.0.on_stream_end(instructions);
-        self.1.on_stream_end(instructions);
-    }
+            #[inline]
+            fn on_loop_events(&mut self, events: &[LoopEvent]) {
+                $(self.$idx.on_loop_events(events);)+
+            }
+
+            #[inline]
+            fn on_stream_end(&mut self, instructions: u64) {
+                $(self.$idx.on_stream_end(instructions);)+
+            }
+        }
+    };
 }
 
-impl<A: LoopEventSink, B: LoopEventSink, C: LoopEventSink> LoopEventSink for (A, B, C) {
-    #[inline]
-    fn on_loop_event(&mut self, ev: &LoopEvent) {
-        self.0.on_loop_event(ev);
-        self.1.on_loop_event(ev);
-        self.2.on_loop_event(ev);
-    }
-
-    #[inline]
-    fn on_stream_end(&mut self, instructions: u64) {
-        self.0.on_stream_end(instructions);
-        self.1.on_stream_end(instructions);
-        self.2.on_stream_end(instructions);
-    }
-}
+impl_sink_for_tuple!(A => 0, B => 1);
+impl_sink_for_tuple!(A => 0, B => 1, C => 2);
+impl_sink_for_tuple!(A => 0, B => 1, C => 2, D => 3);
+impl_sink_for_tuple!(A => 0, B => 1, C => 2, D => 3, E => 4);
+impl_sink_for_tuple!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+impl_sink_for_tuple!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6);
+impl_sink_for_tuple!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7);
 
 /// A sink that only counts events — useful for throughput measurements
 /// and as the cheapest possible pipeline endpoint.
@@ -97,6 +153,11 @@ impl LoopEventSink for CountingSink {
     #[inline]
     fn on_loop_event(&mut self, _ev: &LoopEvent) {
         self.events += 1;
+    }
+
+    #[inline]
+    fn on_loop_events(&mut self, events: &[LoopEvent]) {
+        self.events += events.len() as u64;
     }
 
     fn on_stream_end(&mut self, instructions: u64) {
@@ -129,6 +190,30 @@ mod tests {
     }
 
     #[test]
+    fn vec_sink_batches() {
+        let mut v: Vec<LoopEvent> = Vec::new();
+        v.on_loop_events(&[ev(1), ev(2), ev(3)]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn default_batch_loops_over_single() {
+        // A sink that only implements the per-event method still sees the
+        // whole chunk through the default on_loop_events.
+        struct Last(Option<u64>, usize);
+        impl LoopEventSink for Last {
+            fn on_loop_event(&mut self, ev: &LoopEvent) {
+                self.0 = Some(ev.pos());
+                self.1 += 1;
+            }
+        }
+        let mut s = Last(None, 0);
+        s.on_loop_events(&[ev(4), ev(9)]);
+        assert_eq!(s.0, Some(9));
+        assert_eq!(s.1, 2);
+    }
+
+    #[test]
     fn tuple_sinks_fan_out() {
         let mut pair = (Vec::new(), CountingSink::default());
         pair.on_loop_event(&ev(1));
@@ -139,14 +224,46 @@ mod tests {
     }
 
     #[test]
+    fn wide_tuples_fan_out_batches() {
+        // Arity 8, mixed element types, batch delivery.
+        let mut sinks = (
+            Vec::new(),
+            CountingSink::default(),
+            CountingSink::default(),
+            Vec::new(),
+            CountingSink::default(),
+            CountingSink::default(),
+            CountingSink::default(),
+            CountingSink::default(),
+        );
+        sinks.on_loop_events(&[ev(1), ev(2)]);
+        sinks.on_stream_end(5);
+        assert_eq!(sinks.0.len(), 2);
+        assert_eq!(sinks.3.len(), 2);
+        for c in [sinks.1, sinks.2, sinks.4, sinks.5, sinks.6, sinks.7] {
+            assert_eq!(c.events, 2);
+            assert_eq!(c.instructions, 5);
+        }
+    }
+
+    #[test]
+    fn counting_sink_batch_counts() {
+        let mut c = CountingSink::default();
+        c.on_loop_events(&[ev(1), ev(2), ev(3)]);
+        c.on_loop_event(&ev(4));
+        assert_eq!(c.events, 4);
+    }
+
+    #[test]
     fn mut_ref_delegates() {
         let mut c = CountingSink::default();
         {
             let mut r = &mut c;
             LoopEventSink::on_loop_event(&mut r, &ev(3));
+            LoopEventSink::on_loop_events(&mut r, &[ev(4), ev(5)]);
             LoopEventSink::on_stream_end(&mut r, 9);
         }
-        assert_eq!(c.events, 1);
+        assert_eq!(c.events, 3);
         assert_eq!(c.instructions, 9);
     }
 }

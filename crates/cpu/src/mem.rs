@@ -11,7 +11,7 @@ const PAGE_MASK: u64 = PAGE_WORDS - 1;
 /// SLA data memory is a flat space of 2⁶⁴ 64-bit words, materialised in
 /// pages on first *write*; reads of never-written locations return `0`
 /// without allocating. This matches what trace-driven simulators need:
-/// programs can scatter a stack at [`loopspec_asm::builder::STACK_BASE`]
+/// programs can scatter a stack at [`loopspec_asm::STACK_BASE`]
 /// (`2³⁰`) and static data at `2¹⁶` without any contiguous allocation.
 ///
 /// ```

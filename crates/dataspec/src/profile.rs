@@ -85,7 +85,7 @@ pub struct DataSpecReport {
 }
 
 /// The live-in analysis proper, detached from loop detection: charges
-/// instructions to the open iteration [frames](IterFrame) and rolls the
+/// instructions to the open iteration frames and rolls the
 /// stride predictors at the iteration boundaries *somebody else*
 /// announces.
 ///
@@ -230,6 +230,11 @@ impl LoopEventSink for LiveInProfiler {
             LoopEvent::ExecutionStart { .. } | LoopEvent::OneShot { .. } => {}
         }
     }
+
+    // The default `on_loop_events` (a loop over `on_loop_event`) is
+    // exactly right for this sink: boundary handling is inherently
+    // per-event, and the default body monomorphizes per impl, so there
+    // is nothing to override.
 }
 
 /// ATOM-style tracer computing the paper's data-speculation statistics:

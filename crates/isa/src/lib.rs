@@ -55,7 +55,7 @@ mod op;
 mod reg;
 
 pub use addr::Addr;
-pub use encode::DecodeError;
+pub use encode::{DecodeError, LOAD_IMM_MAX, LOAD_IMM_MIN};
 pub use instr::{ControlKind, Instruction, RegUse};
 pub use op::{AluOp, Cond, FAluOp, FUnOp};
 pub use reg::{FReg, Reg};

@@ -26,11 +26,12 @@
 //!   consumes raw `LoopEvent`s as the detector emits them, buffering only
 //!   a bounded run-ahead window.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use loopspec_core::LoopId;
 
 use crate::annotate::{AnnotatedTrace, TraceEventKind};
+use crate::hash::FastMap;
 use crate::policy::{SpecContext, SpeculationPolicy};
 use crate::predictor::IterPredictor;
 use crate::stats::SpecStats;
@@ -117,8 +118,8 @@ pub(crate) struct EngineCore<P> {
     tus_label: Option<usize>,
     nesting_limit: Option<u32>,
     cur: CurThread,
-    segments: HashMap<(u32, u32), Segment>,
-    spec: HashMap<u32, ExecSpec>,
+    segments: FastMap<(u32, u32), Segment>,
+    spec: FastMap<u32, ExecSpec>,
     open_stack: Vec<u32>,
     live_total: u64,
     predictor: IterPredictor,
@@ -141,8 +142,8 @@ impl<P: SpeculationPolicy> EngineCore<P> {
                 spawn_time: 0,
                 handoff_time: 0,
             },
-            segments: HashMap::new(),
-            spec: HashMap::new(),
+            segments: FastMap::default(),
+            spec: FastMap::default(),
             open_stack: Vec::new(),
             live_total: 0,
             predictor: IterPredictor::new(),

@@ -1,0 +1,520 @@
+//! Shared-annotation streaming for a whole grid of engine
+//! configurations.
+//!
+//! The experiment harness evaluates every (policy × TU-count)
+//! combination over the *same* loop-event stream. Running N independent
+//! [`StreamEngine`](crate::StreamEngine)s works, but each one repeats
+//! identical annotation bookkeeping — execution ordinals, per-execution
+//! iteration-start windows, the pending boundary-event queue — so the
+//! fan-out pays that cost N times per event.
+//!
+//! [`EngineGrid`] factors the annotation out: one shared ingest pass per
+//! event chunk builds a single queue of annotated boundary events, and
+//! each engine configuration becomes a **lane** — an
+//! [`EngineCore`](crate::Engine) plus a cursor into the shared queue.
+//! Lanes advance independently because the speculation *timing* differs
+//! per configuration: a lane may not consume an iteration event until
+//! the stream frontier passes *its own*
+//! `iter_start_horizon` for it. Entries are dropped once the slowest
+//! lane has passed them, so retention stays O(live nesting + slowest
+//! lane's run-ahead window + one chunk), exactly like the single-engine
+//! driver.
+//!
+//! Reports are **bit-identical** to both the batch
+//! [`Engine`](crate::Engine) and per-event
+//! [`StreamEngine`](crate::StreamEngine) delivery: a lane consults
+//! iteration-start positions only below its horizon, and every position
+//! below the horizon is known by the time the gate opens — the
+//! `streaming_equivalence` and `chunked_equivalence` suites enforce
+//! this.
+
+use std::collections::VecDeque;
+
+use loopspec_core::{LoopEvent, LoopEventSink, LoopId};
+
+use crate::engine::{EngineCore, EngineReport};
+use crate::policy::{IdlePolicy, StrNestedPolicy, StrPolicy};
+use crate::stream::{check_tus, Annotator, ExecAnn, Pending};
+
+/// One engine configuration: a monomorphized decision core plus this
+/// lane's read cursor into the shared annotated-event queue.
+#[derive(Debug)]
+struct Lane {
+    core: LaneCore,
+    /// Absolute sequence number of the next shared entry to consume.
+    cursor: u64,
+}
+
+/// The paper's three history-based policy families, monomorphized.
+#[derive(Debug)]
+enum LaneCore {
+    Idle(EngineCore<IdlePolicy>),
+    Str(EngineCore<StrPolicy>),
+    StrNested(EngineCore<StrNestedPolicy>),
+}
+
+impl LaneCore {
+    fn exec_start(&mut self, exec: u32) {
+        match self {
+            LaneCore::Idle(c) => c.exec_start(exec),
+            LaneCore::Str(c) => c.exec_start(exec),
+            LaneCore::StrNested(c) => c.exec_start(exec),
+        }
+    }
+
+    #[inline]
+    fn iter_start_horizon(&self, exec: u32, iter: u32, pos: u64) -> u64 {
+        match self {
+            LaneCore::Idle(c) => c.iter_start_horizon(exec, iter, pos),
+            LaneCore::Str(c) => c.iter_start_horizon(exec, iter, pos),
+            LaneCore::StrNested(c) => c.iter_start_horizon(exec, iter, pos),
+        }
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn iter_start(
+        &mut self,
+        exec: u32,
+        loop_id: LoopId,
+        iter: u32,
+        pos: u64,
+        iter_pos: &dyn Fn(u32) -> Option<u64>,
+    ) {
+        match self {
+            LaneCore::Idle(c) => c.iter_start(exec, loop_id, iter, pos, iter_pos, 0),
+            LaneCore::Str(c) => c.iter_start(exec, loop_id, iter, pos, iter_pos, 0),
+            LaneCore::StrNested(c) => c.iter_start(exec, loop_id, iter, pos, iter_pos, 0),
+        }
+    }
+
+    fn exec_end(&mut self, exec: u32, loop_id: LoopId, pos: u64, closed: bool, iters: u32) {
+        match self {
+            LaneCore::Idle(c) => c.exec_end(exec, loop_id, pos, closed, iters),
+            LaneCore::Str(c) => c.exec_end(exec, loop_id, pos, closed, iters),
+            LaneCore::StrNested(c) => c.exec_end(exec, loop_id, pos, closed, iters),
+        }
+    }
+
+    fn report(&self, instructions: u64) -> EngineReport {
+        match self {
+            LaneCore::Idle(c) => c.report(instructions),
+            LaneCore::Str(c) => c.report(instructions),
+            LaneCore::StrNested(c) => c.report(instructions),
+        }
+    }
+}
+
+/// A set of streaming speculation engines sharing one annotation pass —
+/// the experiment grid as a *single* [`LoopEventSink`].
+///
+/// Add lanes with [`EngineGrid::push_idle`], [`EngineGrid::push_str`]
+/// and [`EngineGrid::push_str_nested`] (each returns the lane's index),
+/// register the grid in a `loopspec_pipeline::Session` (or feed it
+/// events directly), and read the per-lane reports after the stream
+/// ends.
+///
+/// ```
+/// use loopspec_core::LoopEventSink;
+/// use loopspec_mt::EngineGrid;
+/// # use loopspec_asm::ProgramBuilder;
+/// # use loopspec_core::EventCollector;
+/// # use loopspec_cpu::{Cpu, RunLimits};
+///
+/// # let mut b = ProgramBuilder::new();
+/// # b.counted_loop(40, |b, _| b.work(10));
+/// # let program = b.finish()?;
+/// # let mut c = EventCollector::default();
+/// # Cpu::new().run(&program, &mut c, RunLimits::default())?;
+/// # let (events, n) = c.into_parts();
+/// let mut grid = EngineGrid::new();
+/// let str4 = grid.push_str(4);
+/// let idle8 = grid.push_idle(8);
+/// grid.on_loop_events(&events);
+/// grid.on_stream_end(n);
+/// assert!(grid.report(str4).unwrap().tpc() > 1.0);
+/// assert_eq!(grid.report(idle8).unwrap().instructions, n);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct EngineGrid {
+    lanes: Vec<Lane>,
+    /// The shared annotation rules — one copy for all lanes (see
+    /// [`Annotator`]).
+    ann: Annotator,
+    /// Annotated boundary events not yet consumed by every lane.
+    /// `shared[0]` has absolute sequence number `base_seq`.
+    shared: VecDeque<Pending>,
+    base_seq: u64,
+    peak_buffered: usize,
+    reports: Option<Vec<EngineReport>>,
+}
+
+impl EngineGrid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        EngineGrid::default()
+    }
+
+    fn push_lane(&mut self, core: LaneCore) -> usize {
+        assert!(
+            self.ann.events_seen == 0 && self.reports.is_none(),
+            "lanes must be added before the stream starts"
+        );
+        self.lanes.push(Lane { core, cursor: 0 });
+        self.lanes.len() - 1
+    }
+
+    /// Adds an IDLE-policy lane with `tus` thread units; returns its
+    /// lane index.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= tus <= 4096`, or if events were already
+    /// delivered.
+    pub fn push_idle(&mut self, tus: usize) -> usize {
+        check_tus(tus);
+        self.push_lane(LaneCore::Idle(EngineCore::new(
+            IdlePolicy::new(),
+            tus as u64,
+            Some(tus),
+        )))
+    }
+
+    /// Adds an STR-policy lane with `tus` thread units; returns its lane
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= tus <= 4096`, or if events were already
+    /// delivered.
+    pub fn push_str(&mut self, tus: usize) -> usize {
+        check_tus(tus);
+        self.push_lane(LaneCore::Str(EngineCore::new(
+            StrPolicy::new(),
+            tus as u64,
+            Some(tus),
+        )))
+    }
+
+    /// Adds an STR(`limit`)-policy lane with `tus` thread units; returns
+    /// its lane index.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= tus <= 4096`, or if events were already
+    /// delivered.
+    pub fn push_str_nested(&mut self, limit: u32, tus: usize) -> usize {
+        check_tus(tus);
+        self.push_lane(LaneCore::StrNested(EngineCore::new(
+            StrNestedPolicy::new(limit),
+            tus as u64,
+            Some(tus),
+        )))
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// `true` when the grid has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// The report of lane `lane`, once the stream has ended (`None`
+    /// before, or for an out-of-range index).
+    pub fn report(&self, lane: usize) -> Option<&EngineReport> {
+        self.reports.as_ref()?.get(lane)
+    }
+
+    /// All lane reports in lane order, once the stream has ended.
+    pub fn reports(&self) -> Option<&[EngineReport]> {
+        self.reports.as_deref()
+    }
+
+    /// Total loop events observed.
+    pub fn events_seen(&self) -> u64 {
+        self.ann.events_seen
+    }
+
+    /// Peak number of simultaneously buffered items (shared queue
+    /// entries plus retained iteration starts plus live execution
+    /// annotations) — O(live nesting + slowest lane's run-ahead window
+    /// + one chunk), never O(trace).
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Advances every lane as far as its horizon allows, then drops the
+    /// shared prefix every lane has consumed.
+    fn advance_lanes(&mut self, finished: bool) {
+        let base_seq = self.base_seq;
+        let frontier = self.ann.frontier;
+        // Straighten both ring buffers once per chunk so the 20-lane
+        // pass reads plain slices (no wrap check per entry per lane).
+        let shared: &[Pending] = self.shared.make_contiguous();
+        let (exec_base, exec_slots) = self.ann.execs.contiguous();
+        let ann_of = |exec: u32| -> &ExecAnn {
+            exec_slots[(exec - exec_base) as usize]
+                .as_ref()
+                .expect("pending entry has annotation")
+        };
+        for lane in &mut self.lanes {
+            while let Some(&entry) = shared.get((lane.cursor - base_seq) as usize) {
+                match entry {
+                    Pending::Start { exec } => lane.core.exec_start(exec),
+                    Pending::End {
+                        exec,
+                        pos,
+                        closed,
+                        iterations,
+                    } => {
+                        let loop_id = ann_of(exec).loop_id;
+                        lane.core.exec_end(exec, loop_id, pos, closed, iterations);
+                    }
+                    Pending::Iter { exec, iter, pos } => {
+                        let ann = ann_of(exec);
+                        // Same gate as the single-engine driver: the
+                        // spawn decision may consult iteration starts up
+                        // to the horizon; deliver only once every event
+                        // below it is known.
+                        if !(finished || ann.ended) {
+                            let horizon = lane.core.iter_start_horizon(exec, iter, pos);
+                            if frontier < horizon {
+                                break;
+                            }
+                        }
+                        // The shared window is pruned at the *slowest*
+                        // lane, so it can still hold starts at or before
+                        // this iteration; spawn lookups only ask about
+                        // j > iter, answered in O(1) because detected
+                        // iteration indices are consecutive.
+                        let iters = &ann.iters;
+                        let lookup = move |j: u32| -> Option<u64> {
+                            let &(front, _) = iters.front()?;
+                            let idx = j.checked_sub(front)? as usize;
+                            iters.get(idx).map(|&(_, p)| p)
+                        };
+                        lane.core.iter_start(exec, ann.loop_id, iter, pos, &lookup);
+                    }
+                }
+                lane.cursor += 1;
+            }
+        }
+
+        // Compact: drop entries every lane has passed, pruning the
+        // per-execution iteration windows as their consumers disappear.
+        let min_cursor = self
+            .lanes
+            .iter()
+            .map(|l| l.cursor)
+            .min()
+            .unwrap_or(self.base_seq + self.shared.len() as u64);
+        while self.base_seq < min_cursor {
+            let entry = self.shared.pop_front().expect("cursors within queue");
+            self.base_seq += 1;
+            match entry {
+                Pending::Start { .. } => {}
+                Pending::Iter { exec, iter, .. } => {
+                    let ann = self.ann.execs.get_mut(exec).expect("iter before its end");
+                    while ann.iters.front().is_some_and(|&(j, _)| j <= iter) {
+                        ann.iters.pop_front();
+                        self.ann.buffered_iters -= 1;
+                    }
+                }
+                Pending::End { exec, .. } => {
+                    let ann = self.ann.execs.remove(exec).expect("end has annotation");
+                    self.ann.buffered_iters -= ann.iters.len();
+                }
+            }
+        }
+    }
+
+    fn note_peak(&mut self) {
+        let now = self.shared.len() + self.ann.buffered_iters + self.ann.execs.len();
+        if now > self.peak_buffered {
+            self.peak_buffered = now;
+        }
+    }
+}
+
+impl LoopEventSink for EngineGrid {
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        debug_assert!(self.reports.is_none(), "event after stream end");
+        self.ann.ingest(ev, &mut self.shared);
+        self.note_peak();
+        self.advance_lanes(false);
+    }
+
+    fn on_loop_events(&mut self, events: &[LoopEvent]) {
+        debug_assert!(self.reports.is_none(), "events after stream end");
+        for ev in events {
+            self.ann.ingest(ev, &mut self.shared);
+        }
+        self.note_peak();
+        self.advance_lanes(false);
+    }
+
+    fn on_stream_end(&mut self, instructions: u64) {
+        if self.reports.is_some() {
+            return;
+        }
+        self.ann.close_leftovers(instructions, &mut self.shared);
+        self.note_peak();
+        self.advance_lanes(true);
+        debug_assert!(self.shared.is_empty());
+        debug_assert!(self.ann.execs.is_empty());
+        self.reports = Some(
+            self.lanes
+                .iter()
+                .map(|l| l.core.report(instructions))
+                .collect(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::AnnotatedTrace;
+    use crate::engine::Engine;
+    use crate::policy::{IdlePolicy, StrNestedPolicy, StrPolicy};
+    use loopspec_core::EventCollector;
+    use loopspec_cpu::{Cpu, RunLimits};
+
+    fn events_of(build: impl FnOnce(&mut loopspec_asm::ProgramBuilder)) -> (Vec<LoopEvent>, u64) {
+        let mut b = loopspec_asm::ProgramBuilder::new();
+        build(&mut b);
+        let p = b.finish().expect("assembles");
+        let mut c = EventCollector::default();
+        Cpu::new()
+            .run(&p, &mut c, RunLimits::default())
+            .expect("runs");
+        c.into_parts()
+    }
+
+    fn full_grid() -> (EngineGrid, Vec<&'static str>) {
+        let mut grid = EngineGrid::new();
+        let mut labels = Vec::new();
+        for tus in [2usize, 4, 8, 16] {
+            grid.push_idle(tus);
+            labels.push("IDLE");
+            grid.push_str(tus);
+            labels.push("STR");
+            for i in 1..=3 {
+                grid.push_str_nested(i, tus);
+                labels.push("STR(i)");
+            }
+        }
+        (grid, labels)
+    }
+
+    fn batch_for(trace: &AnnotatedTrace, label: &str, lane: usize) -> EngineReport {
+        let tus = [2usize, 4, 8, 16][lane / 5];
+        match label {
+            "IDLE" => Engine::new(trace, IdlePolicy::new(), tus).run(),
+            "STR" => Engine::new(trace, StrPolicy::new(), tus).run(),
+            _ => {
+                let i = (lane % 5 - 1) as u32;
+                Engine::new(trace, StrNestedPolicy::new(i), tus).run()
+            }
+        }
+    }
+
+    #[test]
+    fn grid_matches_batch_on_every_lane() {
+        let (events, n) = events_of(|b| {
+            b.counted_loop(6, |b, _| {
+                for _ in 0..3 {
+                    b.counted_loop(12, |b, _| b.work(8));
+                }
+            });
+        });
+        let trace = AnnotatedTrace::build(&events, n);
+        for chunk in [1usize, 7, 256, events.len()] {
+            let (mut grid, labels) = full_grid();
+            assert_eq!(grid.len(), 20);
+            for c in events.chunks(chunk) {
+                grid.on_loop_events(c);
+            }
+            grid.on_stream_end(n);
+            assert_eq!(grid.events_seen(), events.len() as u64);
+            for (lane, label) in labels.iter().enumerate() {
+                assert_eq!(
+                    grid.report(lane).unwrap(),
+                    &batch_for(&trace, label, lane),
+                    "lane {lane} ({label}) @ chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_matches_stream_engine_on_truncated_stream() {
+        let (mut events, _) = events_of(|b| {
+            b.counted_loop(30, |b, _| {
+                b.counted_loop(5, |b, _| b.work(6));
+            });
+        });
+        events.truncate(events.len() / 2);
+        let n = events.last().map_or(0, |e| e.pos()) + 10;
+        let trace = AnnotatedTrace::build(&events, n);
+
+        let mut grid = EngineGrid::new();
+        let lane = grid.push_str(4);
+        grid.on_loop_events(&events);
+        grid.on_stream_end(n);
+        assert_eq!(
+            grid.report(lane).unwrap(),
+            &Engine::new(&trace, StrPolicy::new(), 4).run()
+        );
+    }
+
+    #[test]
+    fn grid_buffering_stays_bounded() {
+        let (events, n) = events_of(|b| {
+            b.counted_loop(2000, |b, _| b.work(12));
+        });
+        let (mut grid, _) = full_grid();
+        for c in events.chunks(256) {
+            grid.on_loop_events(c);
+        }
+        grid.on_stream_end(n);
+        assert!(grid.events_seen() > 2000);
+        assert!(
+            grid.peak_buffered() < 1024,
+            "peak {} should be O(window + chunk), events {}",
+            grid.peak_buffered(),
+            grid.events_seen()
+        );
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let (events, n) = events_of(|b| b.counted_loop(5, |b, _| b.work(3)));
+        let mut grid = EngineGrid::new();
+        assert!(grid.is_empty());
+        grid.on_loop_events(&events);
+        grid.on_stream_end(n);
+        assert_eq!(grid.reports(), Some(&[][..]));
+        assert!(grid.report(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "num_tus must be in 2..=4096")]
+    fn rejects_one_tu() {
+        let _ = EngineGrid::new().push_str(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the stream starts")]
+    fn rejects_late_lanes() {
+        let (events, _) = events_of(|b| b.counted_loop(5, |b, _| b.work(3)));
+        let mut grid = EngineGrid::new();
+        grid.push_str(4);
+        grid.on_loop_events(&events);
+        grid.push_idle(4);
+    }
+}

@@ -51,6 +51,8 @@
 
 mod annotate;
 mod engine;
+mod grid;
+mod hash;
 mod ideal;
 mod policy;
 mod predictor;
@@ -59,6 +61,7 @@ mod stream;
 
 pub use annotate::{AnnotatedTrace, ExecId, ExecInfo, TraceEvent, TraceEventKind};
 pub use engine::{Engine, EngineReport};
+pub use grid::EngineGrid;
 pub use ideal::{ideal_tpc, IdealReport};
 pub use policy::{
     IdlePolicy, OraclePolicy, SpecContext, SpeculationPolicy, StrNestedPolicy, StrPolicy,
@@ -66,4 +69,4 @@ pub use policy::{
 };
 pub use predictor::{IterPrediction, IterPredictor};
 pub use stats::SpecStats;
-pub use stream::{EngineSink, StreamEngine};
+pub use stream::{AnyStreamEngine, EngineSink, StreamEngine};

@@ -59,34 +59,96 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use loopspec_core::{LoopEvent, LoopEventSink, LoopId};
 
 use crate::engine::{EngineCore, EngineReport};
-use crate::policy::SpeculationPolicy;
+use crate::policy::{IdlePolicy, SpeculationPolicy, StrNestedPolicy, StrPolicy};
 
 /// Incremental annotation of one live (or end-pending) loop execution —
 /// the streaming replacement for
 /// [`ExecInfo`](crate::ExecInfo).
 #[derive(Debug)]
-struct ExecAnn {
-    loop_id: LoopId,
+pub(crate) struct ExecAnn {
+    pub(crate) loop_id: LoopId,
     /// Known iteration starts `(iter, pos)` not yet consumed by the
     /// engine — the lookahead the spawn decision may consult. Pruned as
     /// iteration events are processed, so it holds the run-ahead window,
     /// not the execution's history.
-    iters: VecDeque<(u32, u64)>,
+    pub(crate) iters: VecDeque<(u32, u64)>,
     /// Highest iteration index observed (1 before any detected start, as
     /// the first iteration is undetectable).
-    last_iter: u32,
+    pub(crate) last_iter: u32,
     /// The end event has been observed (all iteration starts are known).
-    ended: bool,
+    pub(crate) ended: bool,
+}
+
+/// Per-execution annotations in a dense slab keyed by execution
+/// ordinal.
+///
+/// Execution ordinals are assigned in detection order, so new entries
+/// always append; entries die when their end event is delivered, in
+/// roughly stack order, so the slab stays as small as the live window.
+/// This is the streaming fan-out's hottest lookup (twice per iteration
+/// event per engine) — an index subtraction instead of a `HashMap`
+/// probe.
+#[derive(Debug, Default)]
+pub(crate) struct ExecSlab {
+    /// Ordinal of `slots[0]`.
+    base: u32,
+    slots: VecDeque<Option<ExecAnn>>,
+    live: usize,
+}
+
+impl ExecSlab {
+    /// Appends the annotation for the next execution ordinal.
+    pub(crate) fn push(&mut self, ann: ExecAnn) {
+        self.slots.push_back(Some(ann));
+        self.live += 1;
+    }
+
+    /// The slab as `(base_ordinal, contiguous_slots)` — hot readers
+    /// (the grid's lane pass) index a plain slice instead of paying the
+    /// ring-buffer wrap check per access.
+    pub(crate) fn contiguous(&mut self) -> (u32, &[Option<ExecAnn>]) {
+        (self.base, self.slots.make_contiguous())
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, exec: u32) -> Option<&mut ExecAnn> {
+        let i = exec.checked_sub(self.base)? as usize;
+        self.slots.get_mut(i)?.as_mut()
+    }
+
+    pub(crate) fn remove(&mut self, exec: u32) -> Option<ExecAnn> {
+        let i = exec.checked_sub(self.base)? as usize;
+        let ann = self.slots.get_mut(i)?.take();
+        if ann.is_some() {
+            self.live -= 1;
+        }
+        // Reclaim the dead prefix so `slots` tracks the live window.
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        ann
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.live == 0
+    }
 }
 
 /// A buffered boundary event awaiting delivery to the engine core.
 #[derive(Debug, Clone, Copy)]
-enum Pending {
+pub(crate) enum Pending {
     Start {
         exec: u32,
     },
@@ -103,6 +165,132 @@ enum Pending {
     },
 }
 
+/// Validates a finite TU count (shared by every streaming driver).
+///
+/// # Panics
+///
+/// Panics unless `2 <= num_tus <= 4096`.
+pub(crate) fn check_tus(num_tus: usize) {
+    assert!(
+        (2..=4096).contains(&num_tus),
+        "num_tus must be in 2..=4096 (got {num_tus})"
+    );
+}
+
+/// The streaming annotator: turns raw [`LoopEvent`]s into the
+/// [`Pending`] boundary entries an [`EngineCore`] consumes, assigning
+/// dense execution ordinals in detection order and maintaining the
+/// per-execution iteration-start windows.
+///
+/// This is the **single copy** of the annotation rules every streaming
+/// driver shares — [`StreamEngine`] (one engine, one pending queue) and
+/// [`EngineGrid`](crate::EngineGrid) (many engine lanes over one shared
+/// queue) differ only in how they *deliver* the entries, never in how
+/// the stream is annotated, so the equivalence-critical logic cannot
+/// drift between them.
+#[derive(Debug, Default)]
+pub(crate) struct Annotator {
+    /// Loop id → ordinal of its open execution. At most the CLS nesting
+    /// depth entries (16 in the paper), so a linear scan beats any
+    /// hash.
+    open_by_loop: Vec<(LoopId, u32)>,
+    /// Per-execution annotation, alive until its end entry is retired
+    /// by the driver.
+    pub(crate) execs: ExecSlab,
+    next_exec: u32,
+    /// Highest event position observed; all events at positions `<`
+    /// frontier are known.
+    pub(crate) frontier: u64,
+    /// Iteration starts currently retained across all windows (the
+    /// driver decrements as it prunes).
+    pub(crate) buffered_iters: usize,
+    /// Total loop events observed.
+    pub(crate) events_seen: u64,
+}
+
+impl Annotator {
+    /// Annotates one event, appending boundary entries to `out`.
+    pub(crate) fn ingest(&mut self, ev: &LoopEvent, out: &mut VecDeque<Pending>) {
+        self.events_seen += 1;
+        debug_assert!(ev.pos() >= self.frontier, "event positions regressed");
+        self.frontier = ev.pos();
+        match *ev {
+            LoopEvent::ExecutionStart { loop_id, .. } => {
+                let exec = self.next_exec;
+                self.next_exec += 1;
+                debug_assert!(
+                    self.open_by_loop.iter().all(|&(l, _)| l != loop_id),
+                    "loop {loop_id} already open"
+                );
+                self.open_by_loop.push((loop_id, exec));
+                self.execs.push(ExecAnn {
+                    loop_id,
+                    iters: VecDeque::new(),
+                    last_iter: 1,
+                    ended: false,
+                });
+                out.push_back(Pending::Start { exec });
+            }
+            LoopEvent::IterationStart { loop_id, iter, pos } => {
+                // Iterations of evicted executions are ignored, exactly
+                // like the batch annotator.
+                if let Some(&(_, exec)) = self.open_by_loop.iter().find(|&&(l, _)| l == loop_id) {
+                    let ann = self.execs.get_mut(exec).expect("open exec has annotation");
+                    debug_assert_eq!(ann.last_iter + 1, iter);
+                    ann.last_iter = iter;
+                    ann.iters.push_back((iter, pos));
+                    self.buffered_iters += 1;
+                    out.push_back(Pending::Iter { exec, iter, pos });
+                }
+            }
+            LoopEvent::ExecutionEnd {
+                loop_id,
+                iterations,
+                pos,
+            }
+            | LoopEvent::Evicted {
+                loop_id,
+                iterations,
+                pos,
+            } => {
+                if let Some(i) = self.open_by_loop.iter().position(|&(l, _)| l == loop_id) {
+                    let (_, exec) = self.open_by_loop.swap_remove(i);
+                    let closed = matches!(ev, LoopEvent::ExecutionEnd { .. });
+                    self.execs
+                        .get_mut(exec)
+                        .expect("open exec has annotation")
+                        .ended = true;
+                    out.push_back(Pending::End {
+                        exec,
+                        pos,
+                        closed,
+                        iterations,
+                    });
+                }
+            }
+            LoopEvent::OneShot { .. } => {}
+        }
+    }
+
+    /// Closes executions left open by a truncated stream, in detection
+    /// order — mirroring the batch annotator's trailing closes.
+    pub(crate) fn close_leftovers(&mut self, instructions: u64, out: &mut VecDeque<Pending>) {
+        let mut leftovers: Vec<u32> = self.open_by_loop.iter().map(|&(_, e)| e).collect();
+        leftovers.sort_unstable();
+        for exec in leftovers {
+            let ann = self.execs.get_mut(exec).expect("open exec has annotation");
+            ann.ended = true;
+            out.push_back(Pending::End {
+                exec,
+                pos: instructions,
+                closed: false,
+                iterations: ann.last_iter,
+            });
+        }
+        self.open_by_loop.clear();
+    }
+}
+
 /// Single-pass speculation engine: a [`LoopEventSink`] that mirrors the
 /// batch [`Engine`](crate::Engine) decision-for-decision while retaining
 /// only a bounded window of events.
@@ -114,19 +302,11 @@ enum Pending {
 #[derive(Debug)]
 pub struct StreamEngine<P> {
     core: EngineCore<P>,
-    /// Annotation-time view: loop id → ordinal of its open execution.
-    open_by_loop: HashMap<LoopId, u32>,
-    /// Per-execution annotation, alive until its end event is processed.
-    execs: HashMap<u32, ExecAnn>,
-    next_exec: u32,
+    /// The shared annotation rules (see [`Annotator`]).
+    ann: Annotator,
     pending: VecDeque<Pending>,
-    /// Highest event position observed; all events at positions `<`
-    /// frontier are known.
-    frontier: u64,
     report: Option<EngineReport>,
-    buffered_iters: usize,
     peak_buffered: usize,
-    events_seen: u64,
 }
 
 impl<P: SpeculationPolicy> StreamEngine<P> {
@@ -138,10 +318,7 @@ impl<P: SpeculationPolicy> StreamEngine<P> {
     /// future knowledge (oracle policies can only run on the batch
     /// [`Engine`](crate::Engine), which has the whole trace).
     pub fn new(policy: P, num_tus: usize) -> Self {
-        assert!(
-            (2..=4096).contains(&num_tus),
-            "num_tus must be in 2..=4096 (got {num_tus})"
-        );
+        check_tus(num_tus);
         assert!(
             !policy.requires_future_knowledge(),
             "policy {} requires future knowledge and cannot run streaming",
@@ -149,15 +326,10 @@ impl<P: SpeculationPolicy> StreamEngine<P> {
         );
         StreamEngine {
             core: EngineCore::new(policy, num_tus as u64, Some(num_tus)),
-            open_by_loop: HashMap::new(),
-            execs: HashMap::new(),
-            next_exec: 0,
+            ann: Annotator::default(),
             pending: VecDeque::new(),
-            frontier: 0,
             report: None,
-            buffered_iters: 0,
             peak_buffered: 0,
-            events_seen: 0,
         }
     }
 
@@ -186,11 +358,11 @@ impl<P: SpeculationPolicy> StreamEngine<P> {
 
     /// Total loop events observed.
     pub fn events_seen(&self) -> u64 {
-        self.events_seen
+        self.ann.events_seen
     }
 
     fn note_peak(&mut self) {
-        let now = self.pending.len() + self.buffered_iters + self.execs.len();
+        let now = self.pending.len() + self.ann.buffered_iters + self.ann.execs.len();
         if now > self.peak_buffered {
             self.peak_buffered = now;
         }
@@ -212,18 +384,20 @@ impl<P: SpeculationPolicy> StreamEngine<P> {
                     iterations,
                 } => {
                     let ann = self
+                        .ann
                         .execs
-                        .remove(&exec)
+                        .remove(exec)
                         .expect("pending end has annotation");
-                    self.buffered_iters -= ann.iters.len();
+                    self.ann.buffered_iters -= ann.iters.len();
                     self.core
                         .exec_end(exec, ann.loop_id, pos, closed, iterations);
                     self.pending.pop_front();
                 }
                 Pending::Iter { exec, iter, pos } => {
                     let ann = self
+                        .ann
                         .execs
-                        .get_mut(&exec)
+                        .get_mut(exec)
                         .expect("pending iter has annotation");
                     // The spawn decision may consult iteration starts up
                     // to the horizon; deliver only once every event below
@@ -231,22 +405,24 @@ impl<P: SpeculationPolicy> StreamEngine<P> {
                     // ended, or the stream is over).
                     if !(finished || ann.ended) {
                         let horizon = self.core.iter_start_horizon(exec, iter, pos);
-                        if self.frontier < horizon {
+                        if self.ann.frontier < horizon {
                             break;
                         }
                     }
                     // Starts at or before the current iteration can no
                     // longer be consulted — spawn lookups ask only about
                     // j > iter. Pruning them is what bounds memory.
+                    let mut pruned = 0;
                     while ann.iters.front().is_some_and(|&(j, _)| j <= iter) {
                         ann.iters.pop_front();
-                        self.buffered_iters -= 1;
+                        pruned += 1;
                     }
                     let loop_id = ann.loop_id;
                     let iters = &ann.iters;
                     let lookup =
                         move |j: u32| iters.iter().find(|&&(k, _)| k == j).map(|&(_, p)| p);
                     self.core.iter_start(exec, loop_id, iter, pos, &lookup, 0);
+                    self.ann.buffered_iters -= pruned;
                     self.pending.pop_front();
                 }
             }
@@ -257,63 +433,23 @@ impl<P: SpeculationPolicy> StreamEngine<P> {
 impl<P: SpeculationPolicy> LoopEventSink for StreamEngine<P> {
     fn on_loop_event(&mut self, ev: &LoopEvent) {
         debug_assert!(self.report.is_none(), "event after stream end");
-        self.events_seen += 1;
-        debug_assert!(ev.pos() >= self.frontier, "event positions regressed");
-        self.frontier = ev.pos();
-        match *ev {
-            LoopEvent::ExecutionStart { loop_id, .. } => {
-                let exec = self.next_exec;
-                self.next_exec += 1;
-                let prev = self.open_by_loop.insert(loop_id, exec);
-                debug_assert!(prev.is_none(), "loop {loop_id} already open");
-                self.execs.insert(
-                    exec,
-                    ExecAnn {
-                        loop_id,
-                        iters: VecDeque::new(),
-                        last_iter: 1,
-                        ended: false,
-                    },
-                );
-                self.pending.push_back(Pending::Start { exec });
-            }
-            LoopEvent::IterationStart { loop_id, iter, pos } => {
-                // Iterations of evicted executions are ignored, exactly
-                // like the batch annotator.
-                if let Some(&exec) = self.open_by_loop.get(&loop_id) {
-                    let ann = self.execs.get_mut(&exec).expect("open exec has annotation");
-                    debug_assert_eq!(ann.last_iter + 1, iter);
-                    ann.last_iter = iter;
-                    ann.iters.push_back((iter, pos));
-                    self.buffered_iters += 1;
-                    self.pending.push_back(Pending::Iter { exec, iter, pos });
-                }
-            }
-            LoopEvent::ExecutionEnd {
-                loop_id,
-                iterations,
-                pos,
-            }
-            | LoopEvent::Evicted {
-                loop_id,
-                iterations,
-                pos,
-            } => {
-                if let Some(exec) = self.open_by_loop.remove(&loop_id) {
-                    let closed = matches!(ev, LoopEvent::ExecutionEnd { .. });
-                    self.execs
-                        .get_mut(&exec)
-                        .expect("open exec has annotation")
-                        .ended = true;
-                    self.pending.push_back(Pending::End {
-                        exec,
-                        pos,
-                        closed,
-                        iterations,
-                    });
-                }
-            }
-            LoopEvent::OneShot { .. } => {}
+        self.ann.ingest(ev, &mut self.pending);
+        self.note_peak();
+        self.drain(false);
+    }
+
+    /// Chunked delivery: ingest the whole slice, then drain the decision
+    /// queue **once**. Decisions are bit-identical to per-event delivery
+    /// — a pending iteration event is released only once the frontier
+    /// passes its horizon, and a spawn decision consults iteration-start
+    /// positions only *below* that horizon, so the extra lookahead a
+    /// chunk provides is never observable (the `chunked_equivalence`
+    /// property test enforces this). Peak buffering grows by at most one
+    /// chunk over the per-event path.
+    fn on_loop_events(&mut self, events: &[LoopEvent]) {
+        debug_assert!(self.report.is_none(), "events after stream end");
+        for ev in events {
+            self.ann.ingest(ev, &mut self.pending);
         }
         self.note_peak();
         self.drain(false);
@@ -323,25 +459,11 @@ impl<P: SpeculationPolicy> LoopEventSink for StreamEngine<P> {
         if self.report.is_some() {
             return;
         }
-        // Close executions left open by a truncated stream, in detection
-        // order — mirroring the batch annotator's trailing closes.
-        let mut leftovers: Vec<u32> = self.open_by_loop.values().copied().collect();
-        leftovers.sort_unstable();
-        for exec in leftovers {
-            let ann = self.execs.get_mut(&exec).expect("open exec has annotation");
-            ann.ended = true;
-            self.pending.push_back(Pending::End {
-                exec,
-                pos: instructions,
-                closed: false,
-                iterations: ann.last_iter,
-            });
-        }
-        self.open_by_loop.clear();
+        self.ann.close_leftovers(instructions, &mut self.pending);
         self.note_peak();
         self.drain(true);
         debug_assert!(self.pending.is_empty());
-        debug_assert!(self.execs.is_empty());
+        debug_assert!(self.ann.execs.is_empty());
         self.report = Some(self.core.report(instructions));
     }
 }
@@ -364,6 +486,103 @@ impl<P: SpeculationPolicy> EngineSink for StreamEngine<P> {
 
     fn peak_buffered(&self) -> usize {
         StreamEngine::peak_buffered(self)
+    }
+}
+
+/// A [`StreamEngine`] over any of the paper's history-based policies,
+/// **monomorphized as an enum** instead of boxed behind
+/// `dyn `[`EngineSink`].
+///
+/// Holding heterogeneous-policy engines as trait objects costs a
+/// virtual call per delivery per engine; holding them as enum variants
+/// turns that into one match and a direct call, and lets a homogeneous
+/// container (`loopspec_pipeline::SinkSet<AnyStreamEngine>`) fan a
+/// whole event chunk out with zero dynamic dispatch. Each engine still
+/// runs its own annotation bookkeeping, though — for a whole grid of
+/// configurations over one stream, [`EngineGrid`](crate::EngineGrid)
+/// (which shares that work across lanes) is the faster choice and is
+/// what the experiment harness uses. Policies with type parameters
+/// beyond the paper's three families still go through [`EngineSink`].
+#[derive(Debug)]
+pub enum AnyStreamEngine {
+    /// IDLE: grab every idle TU.
+    Idle(StreamEngine<IdlePolicy>),
+    /// STR: stride-predicted burst sizing.
+    Str(StreamEngine<StrPolicy>),
+    /// STR(i): STR with a nesting limit.
+    StrNested(StreamEngine<StrNestedPolicy>),
+}
+
+impl AnyStreamEngine {
+    /// An IDLE-policy streaming engine with `tus` thread units.
+    pub fn idle(tus: usize) -> Self {
+        AnyStreamEngine::Idle(StreamEngine::new(IdlePolicy::new(), tus))
+    }
+
+    /// An STR-policy streaming engine with `tus` thread units.
+    pub fn str(tus: usize) -> Self {
+        AnyStreamEngine::Str(StreamEngine::new(StrPolicy::new(), tus))
+    }
+
+    /// An STR(`limit`)-policy streaming engine with `tus` thread units.
+    pub fn str_nested(limit: u32, tus: usize) -> Self {
+        AnyStreamEngine::StrNested(StreamEngine::new(StrNestedPolicy::new(limit), tus))
+    }
+
+    /// The report, once the stream has ended (`None` before).
+    pub fn report(&self) -> Option<&EngineReport> {
+        match self {
+            AnyStreamEngine::Idle(e) => e.report(),
+            AnyStreamEngine::Str(e) => e.report(),
+            AnyStreamEngine::StrNested(e) => e.report(),
+        }
+    }
+
+    /// Peak buffered items (see [`StreamEngine::peak_buffered`]).
+    pub fn peak_buffered(&self) -> usize {
+        match self {
+            AnyStreamEngine::Idle(e) => e.peak_buffered(),
+            AnyStreamEngine::Str(e) => e.peak_buffered(),
+            AnyStreamEngine::StrNested(e) => e.peak_buffered(),
+        }
+    }
+}
+
+impl LoopEventSink for AnyStreamEngine {
+    #[inline]
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        match self {
+            AnyStreamEngine::Idle(e) => e.on_loop_event(ev),
+            AnyStreamEngine::Str(e) => e.on_loop_event(ev),
+            AnyStreamEngine::StrNested(e) => e.on_loop_event(ev),
+        }
+    }
+
+    #[inline]
+    fn on_loop_events(&mut self, events: &[LoopEvent]) {
+        match self {
+            AnyStreamEngine::Idle(e) => e.on_loop_events(events),
+            AnyStreamEngine::Str(e) => e.on_loop_events(events),
+            AnyStreamEngine::StrNested(e) => e.on_loop_events(events),
+        }
+    }
+
+    fn on_stream_end(&mut self, instructions: u64) {
+        match self {
+            AnyStreamEngine::Idle(e) => e.on_stream_end(instructions),
+            AnyStreamEngine::Str(e) => e.on_stream_end(instructions),
+            AnyStreamEngine::StrNested(e) => e.on_stream_end(instructions),
+        }
+    }
+}
+
+impl EngineSink for AnyStreamEngine {
+    fn finished_report(&self) -> Option<&EngineReport> {
+        self.report()
+    }
+
+    fn peak_buffered(&self) -> usize {
+        AnyStreamEngine::peak_buffered(self)
     }
 }
 
@@ -498,6 +717,56 @@ mod tests {
             e.peak_buffered(),
             e.events_seen()
         );
+    }
+
+    #[test]
+    fn chunked_delivery_matches_per_event() {
+        let (events, n) = events_of(|b| {
+            b.counted_loop(8, |b, _| {
+                b.counted_loop(15, |b, _| b.work(6));
+            });
+        });
+        let per_event = stream_report(&events, n, StrPolicy::new(), 4);
+        for chunk in [1usize, 2, 3, 7, 64, 256, events.len().max(1)] {
+            let mut e = StreamEngine::new(StrPolicy::new(), 4);
+            for c in events.chunks(chunk) {
+                e.on_loop_events(c);
+            }
+            e.on_stream_end(n);
+            assert_eq!(e.events_seen(), events.len() as u64);
+            assert_eq!(e.into_report(), per_event, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn any_engine_matches_generic_engine() {
+        let (events, n) = events_of(|b| {
+            b.counted_loop(10, |b, _| {
+                b.counted_loop(9, |b, _| b.work(5));
+            });
+        });
+        let cases: Vec<(AnyStreamEngine, EngineReport)> = vec![
+            (
+                AnyStreamEngine::idle(4),
+                stream_report(&events, n, IdlePolicy::new(), 4),
+            ),
+            (
+                AnyStreamEngine::str(8),
+                stream_report(&events, n, StrPolicy::new(), 8),
+            ),
+            (
+                AnyStreamEngine::str_nested(2, 4),
+                stream_report(&events, n, crate::policy::StrNestedPolicy::new(2), 4),
+            ),
+        ];
+        for (mut any, expect) in cases {
+            assert!(any.report().is_none());
+            any.on_loop_events(&events);
+            any.on_stream_end(n);
+            assert_eq!(any.report().unwrap(), &expect);
+            assert_eq!(any.finished_report().unwrap(), &expect);
+            assert!(EngineSink::peak_buffered(&any) > 0);
+        }
     }
 
     #[test]

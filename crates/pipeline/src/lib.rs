@@ -56,7 +56,7 @@
 
 use std::fmt;
 
-use loopspec_core::{Cls, LoopDetector};
+use loopspec_core::{Cls, LoopDetector, LoopEvent};
 use loopspec_cpu::{Cpu, CpuError, InstrEvent, RunLimits, RunSummary, Tracer};
 use loopspec_isa::ControlKind;
 
@@ -105,15 +105,26 @@ impl SessionSummary {
 /// [`Session::observe_both`], then call [`Session::run`]. Per retired
 /// instruction the dispatch order is fixed: first every instruction
 /// observer (in registration order), then the loop events that
-/// instruction produced (again in registration order) — so a
-/// [`DualSink`] sees the closing branch *before* the iteration-end event
-/// it causes, matching the bundled
+/// instruction produced — so a [`DualSink`] sees the closing branch
+/// *before* the iteration-end event it causes, matching the bundled
 /// [`DataSpecProfiler`](loopspec_dataspec::DataSpecProfiler) semantics.
 ///
-/// At end of stream (halt or fuel exhaustion) the detector is flushed and
-/// every loop/dual sink receives
-/// [`on_stream_end`](LoopEventSink::on_stream_end) with the final
-/// instruction count.
+/// **Chunked fan-out.** Pure loop sinks do not receive events one at a
+/// time: the detector buffers them into fixed-size chunks (the session's
+/// [`Cls`] chunk capacity, default
+/// [`DEFAULT_EVENT_CHUNK`](loopspec_core::DEFAULT_EVENT_CHUNK) events)
+/// and each full chunk is delivered with one
+/// [`on_loop_events`](LoopEventSink::on_loop_events) call per sink, in
+/// registration order. Within every sink the stream is identical —
+/// same events, same order, positions non-decreasing — only the call
+/// granularity changes (see the batching contract in
+/// [`loopspec_core::sink`]). [`DualSink`]s still see each instruction's
+/// events before the next retirement, as their analyses require.
+///
+/// At end of stream (halt or fuel exhaustion) the detector is flushed,
+/// the final partial chunk is delivered, and every loop/dual sink
+/// receives [`on_stream_end`](LoopEventSink::on_stream_end) with the
+/// final instruction count.
 pub struct Session<'a> {
     detector: LoopDetector,
     slots: Vec<Slot<'a>>,
@@ -189,28 +200,41 @@ impl<'a> Session<'a> {
     ) -> Result<SessionSummary, CpuError> {
         let mut cpu = Cpu::new();
         let run = {
+            let instr_observers = self
+                .slots
+                .iter()
+                .any(|s| matches!(s, Slot::Instrs(_) | Slot::Both(_)));
             let mut dispatch = Dispatch {
                 detector: &mut self.detector,
                 slots: &mut self.slots,
+                instr_observers,
             };
             cpu.run(program, &mut dispatch, limits)?
         };
         let instructions = run.retired;
         // A halt flushes the CLS through the detector; a fuel-exhausted
         // run leaves executions open — close them at the cut, exactly
-        // like the batch annotator does for truncated traces.
-        let trailing = self.detector.flush(instructions);
+        // like the batch annotator does for truncated traces. Dual sinks
+        // have already seen everything up to `seen` live; loop sinks get
+        // the whole final partial chunk in one delivery.
+        let seen = self.detector.buffered().len();
+        self.detector.flush_buffered(instructions);
+        let chunk = self.detector.buffered();
+        let trailing = &chunk[seen..];
         for slot in self.slots.iter_mut() {
-            for ev in trailing {
-                match slot {
-                    Slot::Loops(s) => s.on_loop_event(ev),
-                    Slot::Both(d) => d.on_loop_event(ev),
-                    Slot::Instrs(_) => {}
-                }
-            }
             match slot {
-                Slot::Loops(s) => s.on_stream_end(instructions),
-                Slot::Both(d) => d.on_stream_end(instructions),
+                Slot::Loops(s) => {
+                    if !chunk.is_empty() {
+                        s.on_loop_events(chunk);
+                    }
+                    s.on_stream_end(instructions);
+                }
+                Slot::Both(d) => {
+                    if !trailing.is_empty() {
+                        d.on_loop_events(trailing);
+                    }
+                    d.on_stream_end(instructions);
+                }
                 Slot::Instrs(_) => {}
             }
         }
@@ -219,31 +243,188 @@ impl<'a> Session<'a> {
 }
 
 /// The internal fan-out tracer: one detector, many consumers.
+///
+/// Loop events are delivered on the **chunked** path: the detector
+/// buffers them into its internal chunk (capacity from the session's
+/// [`Cls`], default
+/// [`DEFAULT_EVENT_CHUNK`](loopspec_core::DEFAULT_EVENT_CHUNK)) and each
+/// full chunk is fanned out with a single
+/// [`on_loop_events`](LoopEventSink::on_loop_events) call per loop sink
+/// — one virtual call per chunk per sink instead of one per event per
+/// sink. [`DualSink`]s are the exception: their analysis interleaves the
+/// instruction and event streams (an instruction must be charged to the
+/// iteration that was open when it retired), so they receive each
+/// instruction's fresh events immediately, before the next retirement.
 struct Dispatch<'s, 'a> {
     detector: &'s mut LoopDetector,
     slots: &'s mut Vec<Slot<'a>>,
+    /// Whether any slot observes the instruction stream — when false
+    /// (the common grid case: loop sinks only) the per-retirement slot
+    /// walk is skipped entirely.
+    instr_observers: bool,
 }
 
 impl Tracer for Dispatch<'_, '_> {
     fn on_retire(&mut self, ev: &InstrEvent) {
-        for slot in self.slots.iter_mut() {
-            match slot {
-                Slot::Instrs(t) => t.on_retire(ev),
-                Slot::Both(d) => d.on_retire(ev),
-                Slot::Loops(_) => {}
+        if self.instr_observers {
+            for slot in self.slots.iter_mut() {
+                match slot {
+                    Slot::Instrs(t) => t.on_retire(ev),
+                    Slot::Both(d) => d.on_retire(ev),
+                    Slot::Loops(_) => {}
+                }
             }
         }
-        if !matches!(ev.control.kind, ControlKind::None) {
-            let events = self.detector.process(ev);
-            for e in events {
+        if matches!(ev.control.kind, ControlKind::None) {
+            return;
+        }
+        let before = self.detector.buffered().len();
+        let full = self.detector.process_buffered(ev);
+        if self.instr_observers {
+            let fresh = &self.detector.buffered()[before..];
+            if !fresh.is_empty() {
                 for slot in self.slots.iter_mut() {
-                    match slot {
-                        Slot::Loops(s) => s.on_loop_event(e),
-                        Slot::Both(d) => d.on_loop_event(e),
-                        Slot::Instrs(_) => {}
+                    if let Slot::Both(d) = slot {
+                        d.on_loop_events(fresh);
                     }
                 }
             }
+        }
+        if full {
+            let chunk = self.detector.buffered();
+            for slot in self.slots.iter_mut() {
+                if let Slot::Loops(s) = slot {
+                    s.on_loop_events(chunk);
+                }
+            }
+            self.detector.clear_buffered();
+        }
+    }
+}
+
+/// A homogeneous, **monomorphic** fan-out set: any number of same-type
+/// sinks registered in a [`Session`] as a *single* slot.
+///
+/// The session's fan-out crosses one `&mut dyn` boundary per registered
+/// slot per chunk. For many same-shaped consumers (e.g.
+/// [`loopspec_mt::AnyStreamEngine`]s), a `SinkSet` collapses that to
+/// one virtual call per chunk for the whole set, and the inner loop
+/// dispatches statically. See [`loopspec_core::sink`] for the batching
+/// contract it relies on.
+///
+/// For the *experiment grid* specifically — many speculation-engine
+/// configurations over one stream — prefer
+/// [`loopspec_mt::EngineGrid`], which additionally shares the
+/// annotation bookkeeping across all configurations instead of
+/// repeating it per sink; `SinkSet` is the general-purpose container
+/// for sinks that have no such shared work.
+///
+/// ```
+/// use loopspec_core::CountingSink;
+/// use loopspec_pipeline::{Session, SinkSet};
+/// use loopspec_cpu::RunLimits;
+/// use loopspec_asm::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.counted_loop(10, |b, _| b.work(3));
+/// let program = b.finish()?;
+///
+/// let mut grid: SinkSet<CountingSink> =
+///     (0..20).map(|_| CountingSink::default()).collect();
+/// let mut session = Session::new();
+/// session.observe_loops(&mut grid);
+/// session.run(&program, RunLimits::default())?;
+/// assert!(grid.iter().all(|c| c.events > 0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SinkSet<S> {
+    sinks: Vec<S>,
+}
+
+impl<S: LoopEventSink> SinkSet<S> {
+    /// An empty set.
+    pub fn new() -> Self {
+        SinkSet { sinks: Vec::new() }
+    }
+
+    /// Wraps an existing vector of sinks (delivery order = vector
+    /// order).
+    pub fn from_vec(sinks: Vec<S>) -> Self {
+        SinkSet { sinks }
+    }
+
+    /// Appends a sink.
+    pub fn push(&mut self, sink: S) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of sinks in the set.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// `true` when the set holds no sinks.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// The sink at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<&S> {
+        self.sinks.get(index)
+    }
+
+    /// Iterates the sinks in delivery order.
+    pub fn iter(&self) -> std::slice::Iter<'_, S> {
+        self.sinks.iter()
+    }
+
+    /// Mutably iterates the sinks in delivery order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, S> {
+        self.sinks.iter_mut()
+    }
+
+    /// Consumes the set, returning the sinks.
+    pub fn into_inner(self) -> Vec<S> {
+        self.sinks
+    }
+}
+
+impl<S: LoopEventSink> FromIterator<S> for SinkSet<S> {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        SinkSet {
+            sinks: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a, S: LoopEventSink> IntoIterator for &'a SinkSet<S> {
+    type Item = &'a S;
+    type IntoIter = std::slice::Iter<'a, S>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<S: LoopEventSink> LoopEventSink for SinkSet<S> {
+    #[inline]
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        for s in &mut self.sinks {
+            s.on_loop_event(ev);
+        }
+    }
+
+    #[inline]
+    fn on_loop_events(&mut self, events: &[LoopEvent]) {
+        for s in &mut self.sinks {
+            s.on_loop_events(events);
+        }
+    }
+
+    fn on_stream_end(&mut self, instructions: u64) {
+        for s in &mut self.sinks {
+            s.on_stream_end(instructions);
         }
     }
 }
@@ -359,6 +540,70 @@ mod tests {
         let out = Session::new().run(&p, RunLimits::default()).unwrap();
         assert!(out.halted());
         assert_eq!(out.instructions, 13); // 2 startup + 10 work + halt
+    }
+
+    #[test]
+    fn sink_set_matches_individual_registration() {
+        let p = program(|b| {
+            b.counted_loop(12, |b, _| {
+                b.counted_loop(5, |b, _| b.work(4));
+            });
+        });
+
+        let mut single = EventCollector::default();
+        let mut session = Session::new();
+        session.observe_loops(&mut single);
+        session.run(&p, RunLimits::default()).unwrap();
+
+        let mut set: SinkSet<EventCollector> = (0..3).map(|_| EventCollector::default()).collect();
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        let mut session = Session::new();
+        session.observe_loops(&mut set);
+        let out = session.run(&p, RunLimits::default()).unwrap();
+
+        for c in set.iter() {
+            assert_eq!(c.events(), single.events());
+            assert_eq!(c.instructions(), out.instructions);
+        }
+        assert_eq!(set.get(0).unwrap().events(), single.events());
+        assert_eq!(set.into_inner().len(), 3);
+    }
+
+    #[test]
+    fn chunk_capacity_does_not_change_results() {
+        // Any chunk size — including 1 (per-instruction delivery) and one
+        // larger than the whole stream (a single flush straddling
+        // on_stream_end) — must produce identical events and reports.
+        let p = program(|b| {
+            b.counted_loop(15, |b, _| {
+                b.counted_loop(4, |b, _| b.work(3));
+            });
+        });
+
+        let mut reference = EventCollector::default();
+        let mut ref_engine = StreamEngine::new(StrPolicy::new(), 4);
+        let mut session = Session::new();
+        session
+            .observe_loops(&mut reference)
+            .observe_loops(&mut ref_engine);
+        session.run(&p, RunLimits::default()).unwrap();
+
+        for cap in [1usize, 2, 3, 7, 1_000_000] {
+            let mut collected = EventCollector::default();
+            let mut engine = StreamEngine::new(StrPolicy::new(), 4);
+            let mut session = Session::with_cls(Cls::default().with_chunk_capacity(cap));
+            session
+                .observe_loops(&mut collected)
+                .observe_loops(&mut engine);
+            session.run(&p, RunLimits::default()).unwrap();
+            assert_eq!(collected.events(), reference.events(), "chunk {cap}");
+            assert_eq!(
+                engine.report().unwrap(),
+                ref_engine.report().unwrap(),
+                "chunk {cap}"
+            );
+        }
     }
 
     #[test]

@@ -80,9 +80,9 @@ pub mod prelude {
     pub use loopspec_dataspec::{DataSpecProfiler, LiveInProfiler};
     pub use loopspec_isa::{Addr, AluOp, Cond, Instruction, Reg};
     pub use loopspec_mt::{
-        ideal_tpc, AnnotatedTrace, Engine, EngineReport, EngineSink, IdlePolicy, StrNestedPolicy,
-        StrPolicy, StreamEngine,
+        ideal_tpc, AnnotatedTrace, AnyStreamEngine, Engine, EngineGrid, EngineReport, EngineSink,
+        IdlePolicy, StrNestedPolicy, StrPolicy, StreamEngine,
     };
-    pub use loopspec_pipeline::{Session, SessionSummary};
+    pub use loopspec_pipeline::{Session, SessionSummary, SinkSet};
     pub use loopspec_workloads::{all as all_workloads, by_name as workload_by_name, Scale};
 }

@@ -28,18 +28,26 @@ fn batch_report(trace: &AnnotatedTrace, name: &str, tus: usize) -> EngineReport 
     }
 }
 
-/// Runs one workload once; checks every policy at `tus` thread units.
+/// Runs one workload once; checks every policy at `tus` thread units,
+/// through both fan-out shapes: independent boxed `StreamEngine` sinks
+/// (chunk-delivered by the session) and the shared-annotation
+/// `EngineGrid` registered as a single sink.
 fn check_workload(name: &str, tus: usize) {
     let w = workload_by_name(name).expect("workload exists");
     let program = w.build(Scale::Test).expect("assembles");
 
     let mut collector = EventCollector::default();
     let mut engines = streaming_engines(tus);
+    let mut grid = loopspec::mt::EngineGrid::new();
+    grid.push_idle(tus);
+    grid.push_str(tus);
+    grid.push_str_nested(3, tus);
     let mut session = Session::new();
     session.observe_loops(&mut collector);
     for (_, engine) in engines.iter_mut() {
         session.observe_loops(&mut **engine);
     }
+    session.observe_loops(&mut grid);
     let out = session
         .run(&program, RunLimits::default())
         .expect("workload runs");
@@ -49,7 +57,7 @@ fn check_workload(name: &str, tus: usize) {
     assert_eq!(n, out.instructions);
     let trace = AnnotatedTrace::build(&events, n);
 
-    for (policy, engine) in engines {
+    for (lane, (policy, engine)) in engines.into_iter().enumerate() {
         let streamed = engine
             .finished_report()
             .unwrap_or_else(|| panic!("{name}/{policy}: stream did not end"));
@@ -57,6 +65,11 @@ fn check_workload(name: &str, tus: usize) {
         assert_eq!(
             *streamed, batch,
             "{name}: streaming vs batch diverged for {policy} @ {tus} TUs"
+        );
+        assert_eq!(
+            grid.report(lane).expect("grid finished"),
+            &batch,
+            "{name}: grid lane vs batch diverged for {policy} @ {tus} TUs"
         );
     }
 }
