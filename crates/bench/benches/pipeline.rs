@@ -16,8 +16,11 @@ use loopspec_bench::timing::Suite;
 use loopspec_core::EventCollector;
 use loopspec_cpu::{Cpu, RunLimits};
 use loopspec_mt::{AnnotatedTrace, EngineGrid, StrPolicy, StreamEngine};
-use loopspec_pipeline::Session;
+use loopspec_pipeline::{Session, ShardedRun};
 use loopspec_workloads::{by_name, Scale};
+
+/// Shard count for the `sharded_grid` benchmark (and its gate metric).
+const SHARDS: usize = 4;
 
 fn main() {
     let mut s = Suite::new("pipeline");
@@ -95,6 +98,36 @@ fn main() {
                 session.observe_loops(&mut grid);
                 session.run(&program, RunLimits::default()).expect("runs");
                 let acc: f64 = grid
+                    .reports()
+                    .expect("finished")
+                    .iter()
+                    .map(|r| r.tpc())
+                    .sum();
+                std::hint::black_box(acc)
+            },
+        );
+
+        // The streaming-grid pass split into checkpoint-linked shards:
+        // same 20-lane grid, same single logical pass, plus a full
+        // snapshot serialize → checksum → deserialize → restore cycle
+        // at every shard boundary. The gate tracks this against
+        // `streaming_grid` so checkpoint overhead regressions fail CI.
+        s.bench(
+            "sharded_grid",
+            &format!("{SHARDS}-shards-one-pass/{name}"),
+            Some(instructions),
+            || {
+                let out = ShardedRun::new(SHARDS)
+                    .run(&program, RunLimits::with_fuel(instructions), || {
+                        let mut grid = EngineGrid::new();
+                        for (p, tus) in grid_points() {
+                            p.add_to_grid(&mut grid, tus);
+                        }
+                        grid
+                    })
+                    .expect("sharded run succeeds");
+                let acc: f64 = out
+                    .sink
                     .reports()
                     .expect("finished")
                     .iter()

@@ -104,12 +104,31 @@ pub fn parse_snapshot(json: &str) -> Result<BenchSnapshot, String> {
     })
 }
 
-/// One workload's gate verdict.
+/// The ratio pairs the gate guards, as `(numerator_group,
+/// denominator_group, label)`:
+///
+/// * `streaming_grid / materialized_grid` — the streaming fan-out's
+///   overhead over batch replay;
+/// * `sharded_grid / streaming_grid` — the checkpoint/resume overhead
+///   of splitting the same pass into snapshot-linked shards (serialize,
+///   checksum, restore at every boundary).
+pub const METRICS: [(&str, &str, &str); 2] = [
+    (
+        "streaming_grid",
+        "materialized_grid",
+        "streaming/materialized",
+    ),
+    ("sharded_grid", "streaming_grid", "sharded/streaming"),
+];
+
+/// One workload's gate verdict for one metric.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateRow {
     /// Workload name (benchmark-name suffix).
     pub workload: String,
-    /// streaming_grid / materialized_grid in the committed baseline.
+    /// Which ratio this row checks (a label from [`METRICS`]).
+    pub metric: &'static str,
+    /// The metric's ratio in the committed baseline.
     pub baseline_ratio: f64,
     /// The same ratio in the fresh run.
     pub fresh_ratio: f64,
@@ -128,8 +147,9 @@ impl fmt::Display for GateRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:>10}: streaming/materialized {:.3}x (baseline {:.3}x, limit {:.3}x) {}",
+            "{:>10}: {} {:.3}x (baseline {:.3}x, limit {:.3}x) {}",
             self.workload,
+            self.metric,
             self.fresh_ratio,
             self.baseline_ratio,
             self.limit,
@@ -138,21 +158,22 @@ impl fmt::Display for GateRow {
     }
 }
 
-/// The grid ratio of one workload within a snapshot, if both grid
+/// The `num/den` group ratio of one workload within a snapshot, if both
 /// benchmarks are present.
-fn grid_ratio(snapshot: &BenchSnapshot, workload: &str) -> Option<f64> {
-    let streaming = snapshot.find("streaming_grid", workload)?.median_ns;
-    let materialized = snapshot.find("materialized_grid", workload)?.median_ns;
-    (materialized > 0.0).then_some(streaming / materialized)
+fn group_ratio(snapshot: &BenchSnapshot, num: &str, den: &str, workload: &str) -> Option<f64> {
+    let numerator = snapshot.find(num, workload)?.median_ns;
+    let denominator = snapshot.find(den, workload)?.median_ns;
+    (denominator > 0.0).then_some(numerator / denominator)
 }
 
-/// Compares every workload that has grid measurements in **both**
+/// Compares every `(metric, workload)` pair measured in **both**
 /// snapshots; `tolerance` is the multiplicative slack on the baseline
-/// ratio (e.g. `1.2` = +20 %).
+/// ratio (e.g. `1.2` = +20 %). Metrics absent from the baseline (e.g. a
+/// baseline predating `sharded_grid`) are skipped, never failed.
 ///
 /// # Errors
 ///
-/// Errors when no workload can be compared — a gate that silently
+/// Errors when nothing at all can be compared — a gate that silently
 /// compares nothing would always pass.
 pub fn check(
     baseline: &BenchSnapshot,
@@ -160,27 +181,31 @@ pub fn check(
     tolerance: f64,
 ) -> Result<Vec<GateRow>, String> {
     let mut rows = Vec::new();
-    for entry in &fresh.entries {
-        if entry.group != "streaming_grid" {
-            continue;
+    for (num, den, label) in METRICS {
+        for entry in &fresh.entries {
+            if entry.group != num {
+                continue;
+            }
+            let workload = entry.workload();
+            let (Some(baseline_ratio), Some(fresh_ratio)) = (
+                group_ratio(baseline, num, den, workload),
+                group_ratio(fresh, num, den, workload),
+            ) else {
+                continue;
+            };
+            rows.push(GateRow {
+                workload: workload.to_string(),
+                metric: label,
+                baseline_ratio,
+                fresh_ratio,
+                limit: baseline_ratio * tolerance,
+            });
         }
-        let workload = entry.workload();
-        let (Some(baseline_ratio), Some(fresh_ratio)) =
-            (grid_ratio(baseline, workload), grid_ratio(fresh, workload))
-        else {
-            continue;
-        };
-        rows.push(GateRow {
-            workload: workload.to_string(),
-            baseline_ratio,
-            fresh_ratio,
-            limit: baseline_ratio * tolerance,
-        });
     }
     if rows.is_empty() {
         return Err(format!(
-            "no comparable streaming_grid/materialized_grid pairs between \
-             baseline suite '{}' and fresh suite '{}'",
+            "no comparable grid-ratio pairs between baseline suite '{}' \
+             and fresh suite '{}'",
             baseline.suite, fresh.suite
         ));
     }
@@ -285,10 +310,62 @@ mod tests {
     fn row_display_names_the_verdict() {
         let row = GateRow {
             workload: "go".into(),
+            metric: "sharded/streaming",
             baseline_ratio: 1.0,
             fresh_ratio: 2.0,
             limit: 1.2,
         };
-        assert!(format!("{row}").contains("REGRESSION"));
+        let s = format!("{row}");
+        assert!(s.contains("REGRESSION"));
+        assert!(s.contains("sharded/streaming"));
+    }
+
+    fn with_sharded(mut snap: BenchSnapshot, pairs: &[(&str, f64)]) -> BenchSnapshot {
+        for &(w, ns) in pairs {
+            snap.entries.push(BenchEntry {
+                group: "sharded_grid".into(),
+                name: format!("4-shards-one-pass/{w}"),
+                median_ns: ns,
+            });
+        }
+        snap
+    }
+
+    #[test]
+    fn sharded_metric_is_gated_when_both_snapshots_have_it() {
+        let base = with_sharded(
+            snapshot(&[("compress", 120.0, 100.0)]),
+            &[("compress", 130.0)],
+        );
+        // Sharded overhead doubled: the second metric must fail even
+        // though streaming/materialized is unchanged.
+        let fresh = with_sharded(
+            snapshot(&[("compress", 120.0, 100.0)]),
+            &[("compress", 260.0)],
+        );
+        let rows = check(&base, &fresh, 1.2).expect("comparable");
+        assert_eq!(rows.len(), 2);
+        let sharded = rows
+            .iter()
+            .find(|r| r.metric == "sharded/streaming")
+            .unwrap();
+        assert!(!sharded.passed());
+        assert!(rows
+            .iter()
+            .any(|r| r.metric == "streaming/materialized" && r.passed()));
+    }
+
+    #[test]
+    fn sharded_metric_is_skipped_against_an_old_baseline() {
+        // Baselines predating sharded_grid still gate the streaming
+        // metric and silently skip the sharded one.
+        let base = snapshot(&[("compress", 120.0, 100.0)]);
+        let fresh = with_sharded(
+            snapshot(&[("compress", 120.0, 100.0)]),
+            &[("compress", 150.0)],
+        );
+        let rows = check(&base, &fresh, 1.2).expect("comparable");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].metric, "streaming/materialized");
     }
 }

@@ -371,6 +371,52 @@ impl Default for Cls {
     }
 }
 
+/// The CLS is a fixed hardware structure — a handful of `(T, B, iter)`
+/// entries plus the not-yet-delivered event chunk — so its exact state
+/// at any retirement boundary serializes in a few dozen bytes. The
+/// capacity and chunk capacity are configuration and are echoed into the
+/// snapshot: loading verifies they match the receiving CLS (a snapshot
+/// of a 16-entry CLS must not restore into a 1-entry ablation).
+impl crate::SnapshotState for Cls {
+    fn save_state(&self, out: &mut crate::snap::Enc) {
+        out.u64(self.capacity as u64);
+        out.u64(self.chunk_capacity as u64);
+        out.u64(self.entries.len() as u64);
+        for e in &self.entries {
+            out.u32(e.t.index());
+            out.u32(e.b.index());
+            out.u32(e.iter);
+        }
+        crate::snap::write_events(out, &self.chunk);
+    }
+
+    fn load_state(&mut self, src: &mut crate::snap::Dec<'_>) -> Result<(), crate::snap::SnapError> {
+        if src.u64()? != self.capacity as u64 {
+            return Err(crate::snap::SnapError::Mismatch {
+                what: "CLS capacity",
+            });
+        }
+        if src.u64()? != self.chunk_capacity as u64 {
+            return Err(crate::snap::SnapError::Mismatch {
+                what: "CLS chunk capacity",
+            });
+        }
+        let n = src.count()?;
+        if n > self.capacity {
+            return Err(crate::snap::SnapError::Corrupt { what: "CLS depth" });
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let t = Addr::new(src.u32()?);
+            let b = Addr::new(src.u32()?);
+            let iter = src.u32()?;
+            self.entries.push(ClsEntry { t, b, iter });
+        }
+        self.chunk = crate::snap::read_events(src)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -132,6 +132,20 @@ impl LoopDetector {
     }
 }
 
+/// Delegates to the wrapped [`Cls`] (the scratch buffer is transient
+/// per-instruction state and never part of a retirement-boundary
+/// snapshot).
+impl crate::SnapshotState for LoopDetector {
+    fn save_state(&self, out: &mut crate::snap::Enc) {
+        self.cls.save_state(out);
+    }
+
+    fn load_state(&mut self, src: &mut crate::snap::Dec<'_>) -> Result<(), crate::snap::SnapError> {
+        self.scratch.clear();
+        self.cls.load_state(src)
+    }
+}
+
 /// A [`Tracer`] that runs a [`LoopDetector`] over the instruction stream
 /// and collects every [`LoopEvent`] plus the total instruction count.
 ///
@@ -199,6 +213,28 @@ impl LoopEventSink for EventCollector {
 
     fn on_stream_end(&mut self, instructions: u64) {
         self.instructions = instructions;
+    }
+}
+
+/// Snapshots the collected events, the instruction count, **and** the
+/// internal detector. In a streaming `Session` (where the collector is
+/// a sink and the session's shared detector owns detection) the
+/// internal detector is idle and its section is a few fixed bytes; on
+/// the [`Tracer`] path the collector owns detection, and carrying the
+/// CLS state is what makes a `save_state` →
+/// [`Cpu::resume`](loopspec_cpu::Cpu::resume) → `load_state` round
+/// trip continue the event stream exactly.
+impl crate::SnapshotState for EventCollector {
+    fn save_state(&self, out: &mut crate::snap::Enc) {
+        out.u64(self.instructions);
+        crate::snap::write_events(out, &self.events);
+        self.detector.save_state(out);
+    }
+
+    fn load_state(&mut self, src: &mut crate::snap::Dec<'_>) -> Result<(), crate::snap::SnapError> {
+        self.instructions = src.u64()?;
+        self.events = crate::snap::read_events(src)?;
+        self.detector.load_state(src)
     }
 }
 
@@ -370,6 +406,45 @@ mod tests {
         let (_, n) = collect(&p);
         // 2 startup + 10 work + halt
         assert_eq!(n, 13);
+    }
+
+    #[test]
+    fn tracer_path_collector_round_trips_mid_loop() {
+        // The collector as a *Tracer* owns detection: a snapshot taken
+        // mid-loop must carry the internal CLS so a restored collector
+        // continues the event stream exactly.
+        use crate::SnapshotState;
+        let mut b = ProgramBuilder::new();
+        b.counted_loop(12, |b, _| {
+            b.counted_loop(5, |b, _| b.work(3));
+        });
+        let p = b.finish().unwrap();
+
+        let mut reference = EventCollector::default();
+        let mut cpu = Cpu::new();
+        cpu.run(&p, &mut reference, RunLimits::default()).unwrap();
+
+        // Interrupted run: cut mid-loop, round-trip through bytes.
+        let mut first = EventCollector::default();
+        let mut cpu = Cpu::new();
+        cpu.run(&p, &mut first, RunLimits::with_fuel(50)).unwrap();
+        let mut enc = crate::snap::Enc::new();
+        first.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        // A dirty target collector must be fully overwritten.
+        let mut second = EventCollector::default();
+        Cpu::new()
+            .run(&p, &mut second, RunLimits::with_fuel(30))
+            .unwrap();
+        let mut dec = crate::snap::Dec::new(&bytes);
+        second.load_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(second.detector.cls().depth(), first.detector.cls().depth());
+
+        cpu.resume(&p, &mut second, RunLimits::default()).unwrap();
+        assert_eq!(second.events(), reference.events());
+        assert_eq!(second.instructions(), reference.instructions());
     }
 
     #[test]

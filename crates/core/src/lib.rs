@@ -51,6 +51,7 @@ mod detector;
 mod event;
 mod hitratio;
 pub mod sink;
+pub mod snap;
 mod stats;
 mod tables;
 
@@ -59,6 +60,7 @@ pub use detector::{EventCollector, LoopDetector};
 pub use event::{LoopEvent, LoopId};
 pub use hitratio::{HitRatio, Replacement, TableHitSim, TableKind};
 pub use sink::{CountingSink, LoopEventSink};
+pub use snap::SnapshotState;
 pub use stats::{LoopStats, LoopStatsReport};
 pub use tables::LoopTable;
 

@@ -160,6 +160,56 @@ impl LoopEventSink for LoopStats {
     }
 }
 
+/// All counters plus the open-execution map (written sorted by loop id
+/// for byte determinism), so a restored collector continues mid-stream
+/// with exact spans.
+impl crate::SnapshotState for LoopStats {
+    fn save_state(&self, out: &mut crate::snap::Enc) {
+        out.u64(self.loops.len() as u64);
+        for id in &self.loops {
+            out.u32(id.0.index());
+        }
+        out.u64(self.executions);
+        out.u64(self.iterations);
+        out.u64(self.nesting_sum);
+        out.u64(self.nesting_samples);
+        out.u32(self.max_nesting);
+        let mut open: Vec<(LoopId, u64)> = self.open.iter().map(|(&l, &p)| (l, p)).collect();
+        open.sort_unstable();
+        out.u64(open.len() as u64);
+        for (l, p) in open {
+            out.u32(l.0.index());
+            out.u64(p);
+        }
+        out.u64(self.span_instrs);
+        out.u64(self.span_iters);
+    }
+
+    fn load_state(&mut self, src: &mut crate::snap::Dec<'_>) -> Result<(), crate::snap::SnapError> {
+        let n = src.count()?;
+        self.loops.clear();
+        for _ in 0..n {
+            self.loops
+                .insert(LoopId(loopspec_isa::Addr::new(src.u32()?)));
+        }
+        self.executions = src.u64()?;
+        self.iterations = src.u64()?;
+        self.nesting_sum = src.u64()?;
+        self.nesting_samples = src.u64()?;
+        self.max_nesting = src.u32()?;
+        let n = src.count()?;
+        self.open.clear();
+        for _ in 0..n {
+            let l = LoopId(loopspec_isa::Addr::new(src.u32()?));
+            let p = src.u64()?;
+            self.open.insert(l, p);
+        }
+        self.span_instrs = src.u64()?;
+        self.span_iters = src.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

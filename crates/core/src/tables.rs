@@ -160,6 +160,66 @@ impl<E> LoopTable<E> {
     pub fn iter(&self) -> impl Iterator<Item = (LoopId, &E)> + '_ {
         self.slots.iter().map(|s| (s.loop_id, &s.data))
     }
+
+    /// Serializes the table — slots in storage order (which is part of
+    /// the state: `swap_remove` eviction makes it observable), LRU
+    /// ticks, and eviction count — writing each entry's payload with
+    /// `write_entry`. The capacity is echoed for verification at load
+    /// time.
+    ///
+    /// The table is generic over its entry type, so callers supply the
+    /// payload codec; see [`LoopTable::load_state_with`] for the
+    /// inverse.
+    pub fn save_state_with(
+        &self,
+        out: &mut crate::snap::Enc,
+        mut write_entry: impl FnMut(&E, &mut crate::snap::Enc),
+    ) {
+        out.u64(self.capacity as u64);
+        out.u64(self.tick);
+        out.u64(self.evictions);
+        out.u64(self.slots.len() as u64);
+        for s in &self.slots {
+            out.u32(s.loop_id.0.index());
+            out.u64(s.lru);
+            write_entry(&s.data, out);
+        }
+    }
+
+    /// Restores state written by [`LoopTable::save_state_with`], reading
+    /// each entry's payload with `read_entry`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`](crate::snap::SnapError) on truncated/corrupt input
+    /// or when the snapshot's capacity does not match this table's.
+    pub fn load_state_with(
+        &mut self,
+        src: &mut crate::snap::Dec<'_>,
+        mut read_entry: impl FnMut(&mut crate::snap::Dec<'_>) -> Result<E, crate::snap::SnapError>,
+    ) -> Result<(), crate::snap::SnapError> {
+        if src.u64()? != self.capacity as u64 {
+            return Err(crate::snap::SnapError::Mismatch {
+                what: "loop table capacity",
+            });
+        }
+        self.tick = src.u64()?;
+        self.evictions = src.u64()?;
+        let n = src.count()?;
+        if n > self.capacity {
+            return Err(crate::snap::SnapError::Corrupt {
+                what: "loop table occupancy",
+            });
+        }
+        self.slots.clear();
+        for _ in 0..n {
+            let loop_id = LoopId(loopspec_isa::Addr::new(src.u32()?));
+            let lru = src.u64()?;
+            let data = read_entry(src)?;
+            self.slots.push(Slot { loop_id, lru, data });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

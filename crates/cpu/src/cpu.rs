@@ -191,6 +191,30 @@ impl Cpu {
         limits: RunLimits,
     ) -> Result<RunSummary, CpuError> {
         self.pc = program.entry();
+        self.resume(program, tracer, limits)
+    }
+
+    /// Continues execution from the **current** program counter — the
+    /// resumable half of [`Cpu::run`].
+    ///
+    /// After a fuel-exhausted `run`/`resume`, the CPU's cursor (pc,
+    /// registers, memory, retired count) sits exactly at the next
+    /// retirement boundary, so a later `resume` call picks up the
+    /// instruction stream where the previous call stopped — including
+    /// across a [`Cpu::save_state`]/[`Cpu::load_state`] round trip in
+    /// another process. `limits.max_instrs` is the budget for *this*
+    /// call, not a cumulative cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CpuError`] when control leaves the code, an indirect
+    /// target is not a code address, or the memory limit is exceeded.
+    pub fn resume<T: Tracer>(
+        &mut self,
+        program: &Program,
+        tracer: &mut T,
+        limits: RunLimits,
+    ) -> Result<RunSummary, CpuError> {
         let start_retired = self.retired;
         let budget = limits.max_instrs;
 
@@ -357,6 +381,50 @@ impl Cpu {
             retired: self.retired - start_retired,
             completion: Completion::OutOfFuel,
         })
+    }
+
+    /// Serializes the full architectural state — pc, integer and FP
+    /// register files, retired-instruction count, and every materialised
+    /// memory page — as the CPU cursor section of a checkpoint.
+    ///
+    /// The bytes are deterministic (equal state → equal bytes) and carry
+    /// no reference to the [`Program`]: a checkpoint is only meaningful
+    /// against the same program it was taken from, which the caller is
+    /// responsible for re-providing at resume time.
+    pub fn save_state(&self, out: &mut loopspec_isa::snap::Enc) {
+        for &r in &self.regs {
+            out.u64(r);
+        }
+        for &f in &self.fregs {
+            out.u64(f.to_bits());
+        }
+        out.u32(self.pc.index());
+        out.u64(self.retired);
+        self.mem.save_state(out);
+    }
+
+    /// Restores state written by [`Cpu::save_state`], replacing the
+    /// current registers, pc, retired count and memory. A subsequent
+    /// [`Cpu::resume`] continues the interrupted instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`](loopspec_isa::snap::SnapError) on
+    /// truncated or corrupt input; the CPU state is unspecified (but
+    /// memory-safe) after an error.
+    pub fn load_state(
+        &mut self,
+        src: &mut loopspec_isa::snap::Dec<'_>,
+    ) -> Result<(), loopspec_isa::snap::SnapError> {
+        for r in self.regs.iter_mut() {
+            *r = src.u64()?;
+        }
+        for f in self.fregs.iter_mut() {
+            *f = f64::from_bits(src.u64()?);
+        }
+        self.pc = Addr::new(src.u32()?);
+        self.retired = src.u64()?;
+        self.mem.load_state(src)
     }
 
     fn indirect_target(&self, pc: Addr, value: u64) -> Result<Addr, CpuError> {
@@ -640,6 +708,98 @@ mod tests {
         let mut probe = Probe { seen: Vec::new() };
         cpu.run(&p, &mut probe, RunLimits::default()).unwrap();
         assert!(probe.seen.contains(&(5, 6)));
+    }
+
+    #[test]
+    fn resume_continues_an_interrupted_run() {
+        // sum = Σ i for i in 0..10 in three fuel slices must equal the
+        // uninterrupted run, architecturally and in retirement count.
+        let mut b = ProgramBuilder::new();
+        let sum = b.alloc_reg();
+        b.li(sum, 0);
+        b.counted_loop(10, |b, i| {
+            b.op(AluOp::Add, sum, sum, i);
+        });
+        let out = b.alloc_static(1);
+        b.store_static(sum, out);
+        let p = b.finish().unwrap();
+
+        let (reference, _, ref_summary) = run_counting(&p);
+
+        let mut cpu = Cpu::new();
+        let mut t = CountingTracer::default();
+        let first = cpu.run(&p, &mut t, RunLimits::with_fuel(7)).unwrap();
+        assert_eq!(first.completion, Completion::OutOfFuel);
+        loop {
+            let s = cpu.resume(&p, &mut t, RunLimits::with_fuel(9)).unwrap();
+            if s.halted() {
+                break;
+            }
+        }
+        assert_eq!(cpu.retired(), ref_summary.retired);
+        assert_eq!(t.retired, ref_summary.retired);
+        assert_eq!(cpu.mem().read(out as u64), reference.mem().read(out as u64));
+    }
+
+    #[test]
+    fn state_round_trips_across_a_fresh_cpu() {
+        let mut b = ProgramBuilder::new();
+        let acc = b.alloc_reg();
+        b.li(acc, 0);
+        b.counted_loop(50, |b, i| {
+            b.op(AluOp::Add, acc, acc, i);
+            b.store_idx(acc, 0x100, i);
+        });
+        let out = b.alloc_static(1);
+        b.store_static(acc, out);
+        let p = b.finish().unwrap();
+
+        let (reference, _, _) = run_counting(&p);
+
+        let mut cpu = Cpu::new();
+        cpu.run(&p, &mut NullTracer, RunLimits::with_fuel(101))
+            .unwrap();
+
+        // Snapshot, restore into a fresh CPU, and finish the run there.
+        let mut enc = loopspec_isa::snap::Enc::new();
+        cpu.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        // Determinism: saving the same state twice yields the same bytes.
+        let mut enc2 = loopspec_isa::snap::Enc::new();
+        cpu.save_state(&mut enc2);
+        assert_eq!(bytes, enc2.into_bytes());
+
+        let mut fresh = Cpu::new();
+        let mut dec = loopspec_isa::snap::Dec::new(&bytes);
+        fresh.load_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(fresh.retired(), 101);
+
+        let s = fresh
+            .resume(&p, &mut NullTracer, RunLimits::default())
+            .unwrap();
+        assert!(s.halted());
+        assert_eq!(fresh.retired(), reference.retired());
+        assert_eq!(
+            fresh.mem().read(out as u64),
+            reference.mem().read(out as u64)
+        );
+        for r in 0..32usize {
+            let reg = Reg::from_index(r).unwrap();
+            assert_eq!(fresh.reg(reg), reference.reg(reg));
+        }
+    }
+
+    #[test]
+    fn truncated_state_is_rejected() {
+        let cpu = Cpu::new();
+        let mut enc = loopspec_isa::snap::Enc::new();
+        cpu.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut fresh = Cpu::new();
+        let mut dec = loopspec_isa::snap::Dec::new(&bytes[..bytes.len() - 1]);
+        assert!(fresh.load_state(&mut dec).is_err());
     }
 
     #[test]

@@ -61,6 +61,49 @@ impl Memory {
     pub fn clear(&mut self) {
         self.pages.clear();
     }
+
+    /// Serializes the materialised pages into `out` (part of the CPU's
+    /// checkpoint section; see [`Cpu::save_state`](crate::Cpu::save_state)).
+    ///
+    /// Pages are written sorted by page index so equal memory contents
+    /// always produce equal bytes, regardless of hash-map iteration
+    /// order.
+    pub fn save_state(&self, out: &mut loopspec_isa::snap::Enc) {
+        let mut indices: Vec<u64> = self.pages.keys().copied().collect();
+        indices.sort_unstable();
+        out.u64(indices.len() as u64);
+        for idx in indices {
+            out.u64(idx);
+            for &word in self.pages[&idx].iter() {
+                out.u64(word);
+            }
+        }
+    }
+
+    /// Restores the memory from bytes written by [`Memory::save_state`],
+    /// replacing the current contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`](loopspec_isa::snap::SnapError) on
+    /// truncated or corrupt input.
+    pub fn load_state(
+        &mut self,
+        src: &mut loopspec_isa::snap::Dec<'_>,
+    ) -> Result<(), loopspec_isa::snap::SnapError> {
+        let n = src.count()?;
+        let mut pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let idx = src.u64()?;
+            let mut page = vec![0u64; PAGE_WORDS as usize].into_boxed_slice();
+            for word in page.iter_mut() {
+                *word = src.u64()?;
+            }
+            pages.insert(idx, page);
+        }
+        self.pages = pages;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

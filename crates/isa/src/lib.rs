@@ -53,6 +53,7 @@ mod encode;
 mod instr;
 mod op;
 mod reg;
+pub mod snap;
 
 pub use addr::Addr;
 pub use encode::{DecodeError, LOAD_IMM_MAX, LOAD_IMM_MIN};

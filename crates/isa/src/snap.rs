@@ -1,0 +1,352 @@
+//! The snapshot byte codec: deterministic, std-only serialization
+//! primitives shared by every layer's checkpoint/resume support.
+//!
+//! The paper's mechanisms are small fixed hardware structures (the CLS,
+//! the LET/LIT, the speculation engine's per-execution bookkeeping), so
+//! their software twins are snapshotable at any retired-instruction
+//! boundary. This module provides the wire primitives those snapshots
+//! are written in: a byte [`Enc`]oder and a bounds-checked
+//! [`Dec`]oder over fixed-width little-endian fields.
+//!
+//! Design rules, chosen so snapshots can cross process boundaries and
+//! be compared byte-for-byte:
+//!
+//! * **Deterministic.** Equal state must produce equal bytes. Writers
+//!   must therefore iterate unordered containers (hash maps) in a
+//!   sorted order; every `save_state` in the workspace does.
+//! * **Self-checking.** Every variable-length read is bounds-checked
+//!   ([`SnapError::Truncated`]); collection counts are validated
+//!   against the remaining input ([`Dec::count`]) so corrupt input can
+//!   never trigger an over-allocation; decoders verify layout tags
+//!   ([`Dec::tag`]) and configuration echoes
+//!   ([`SnapError::Mismatch`]).
+//! * **No external dependencies.** The build environment is offline by
+//!   policy; the codec is ~200 lines of `std`.
+//!
+//! ```
+//! use loopspec_isa::snap::{Dec, Enc};
+//!
+//! let mut enc = Enc::new();
+//! enc.u32(7);
+//! enc.bytes(b"loop");
+//! let buf = enc.into_bytes();
+//!
+//! let mut dec = Dec::new(&buf);
+//! assert_eq!(dec.u32()?, 7);
+//! assert_eq!(dec.bytes()?, b"loop");
+//! dec.finish()?;
+//! # Ok::<(), loopspec_isa::snap::SnapError>(())
+//! ```
+
+use std::fmt;
+
+/// Why a snapshot could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapError {
+    /// The input ended before the field at byte offset `at` was complete.
+    Truncated {
+        /// Byte offset at which the read was attempted.
+        at: usize,
+    },
+    /// A field held a value no writer produces (bad tag, bad bool,
+    /// impossible count).
+    Corrupt {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// The snapshot is well-formed but was taken from a differently
+    /// configured object (e.g. an engine with another TU count).
+    Mismatch {
+        /// Which configuration echo disagreed.
+        what: &'static str,
+    },
+    /// Decoding finished with input left over.
+    Trailing {
+        /// Number of undecoded bytes.
+        bytes: usize,
+    },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Truncated { at } => write!(f, "snapshot truncated at byte {at}"),
+            SnapError::Corrupt { what } => write!(f, "snapshot corrupt: bad {what}"),
+            SnapError::Mismatch { what } => {
+                write!(
+                    f,
+                    "snapshot was taken from a different configuration: {what}"
+                )
+            }
+            SnapError::Trailing { bytes } => {
+                write!(f, "snapshot has {bytes} trailing bytes after decoding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// A snapshot byte encoder: fixed-width little-endian fields appended to
+/// a growable buffer. See the [module docs](self) for the format rules.
+#[derive(Debug, Default, Clone)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The encoded bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the encoder, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    #[inline]
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    #[inline]
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    #[inline]
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian two's complement.
+    #[inline]
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `bool` as one byte (`0`/`1`).
+    #[inline]
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// A bounds-checked snapshot decoder over a byte slice.
+///
+/// Every read either returns the decoded value or a [`SnapError`]; no
+/// read panics and no count can cause an allocation larger than the
+/// input itself.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, at: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated { at: self.at });
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, SnapError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `bool` written by [`Enc::bool`].
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Corrupt { what: "bool" }),
+        }
+    }
+
+    /// Reads a length-prefixed byte string written by [`Enc::bytes`].
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return Err(SnapError::Truncated { at: self.at });
+        }
+        self.take(n as usize)
+    }
+
+    /// Reads a collection count, validating it against the remaining
+    /// input (every element occupies at least one byte, so a count
+    /// larger than `remaining()` is corrupt — this is what makes
+    /// pre-allocating `count` elements safe).
+    pub fn count(&mut self) -> Result<usize, SnapError> {
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return Err(SnapError::Corrupt { what: "count" });
+        }
+        Ok(n as usize)
+    }
+
+    /// Reads one byte and requires it to equal `expected` — layout tags
+    /// that catch section mix-ups early.
+    pub fn tag(&mut self, expected: u8, what: &'static str) -> Result<(), SnapError> {
+        if self.u8()? != expected {
+            return Err(SnapError::Corrupt { what });
+        }
+        Ok(())
+    }
+
+    /// Requires the whole input to have been consumed.
+    pub fn finish(&self) -> Result<(), SnapError> {
+        if self.remaining() != 0 {
+            return Err(SnapError::Trailing {
+                bytes: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut e = Enc::new();
+        e.u8(0xab);
+        e.u32(0xdead_beef);
+        e.u64(u64::MAX - 1);
+        e.i64(-42);
+        e.bool(true);
+        e.bool(false);
+        e.bytes(b"chunk");
+        let buf = e.into_bytes();
+
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.u8().unwrap(), 0xab);
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.bytes().unwrap(), b"chunk");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut e = Enc::new();
+        e.u64(7);
+        let buf = e.into_bytes();
+        let mut d = Dec::new(&buf[..3]);
+        assert_eq!(d.u64(), Err(SnapError::Truncated { at: 0 }));
+    }
+
+    #[test]
+    fn oversized_counts_and_byte_strings_are_corrupt() {
+        let mut e = Enc::new();
+        e.u64(1 << 40); // a count no writer would emit for 8 bytes of input
+        let buf = e.into_bytes();
+        assert_eq!(
+            Dec::new(&buf).count(),
+            Err(SnapError::Corrupt { what: "count" })
+        );
+        assert!(matches!(
+            Dec::new(&buf).bytes(),
+            Err(SnapError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_bool_and_bad_tag_are_corrupt() {
+        let buf = [7u8];
+        assert_eq!(
+            Dec::new(&buf).bool(),
+            Err(SnapError::Corrupt { what: "bool" })
+        );
+        assert_eq!(
+            Dec::new(&buf).tag(3, "section"),
+            Err(SnapError::Corrupt { what: "section" })
+        );
+        assert!(Dec::new(&buf).tag(7, "section").is_ok());
+    }
+
+    #[test]
+    fn finish_reports_trailing_bytes() {
+        let buf = [0u8; 3];
+        let mut d = Dec::new(&buf);
+        d.u8().unwrap();
+        assert_eq!(d.finish(), Err(SnapError::Trailing { bytes: 2 }));
+        assert_eq!(d.remaining(), 2);
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        assert!(SnapError::Truncated { at: 9 }.to_string().contains('9'));
+        assert!(SnapError::Corrupt { what: "tag" }
+            .to_string()
+            .contains("tag"));
+        assert!(SnapError::Mismatch { what: "tus" }
+            .to_string()
+            .contains("tus"));
+        assert!(SnapError::Trailing { bytes: 2 }.to_string().contains('2'));
+    }
+}

@@ -280,6 +280,139 @@ impl<P: SpeculationPolicy> EngineCore<P> {
         }
     }
 
+    /// Serializes the decision-machine state: the current thread's
+    /// timing cursor, every live speculative segment, per-execution
+    /// speculation bookkeeping, the open-execution stack, the iteration
+    /// predictor (LET), the statistics counters, and the policy's
+    /// mutable state. Map contents are written sorted by key so equal
+    /// state yields equal bytes. The configuration (TU count, nesting
+    /// limit) is echoed for verification at load time.
+    pub(crate) fn save_state(&self, out: &mut loopspec_core::snap::Enc)
+    where
+        P: crate::policy::PolicySnapshot,
+    {
+        out.u64(self.total_tus);
+        out.u64(self.tus_label.map_or(u64::MAX, |t| t as u64));
+        out.u32(self.nesting_limit.map_or(u32::MAX, |l| l));
+        out.u64(self.cur.start_pos);
+        out.u64(self.cur.spawn_time);
+        out.u64(self.cur.handoff_time);
+
+        let mut segments: Vec<(&(u32, u32), &Segment)> = self.segments.iter().collect();
+        segments.sort_unstable_by_key(|(k, _)| **k);
+        out.u64(segments.len() as u64);
+        for (&(exec, iter), seg) in segments {
+            out.u32(exec);
+            out.u32(iter);
+            out.u64(seg.spawn_time);
+            out.u64(seg.spawn_pos);
+        }
+
+        let mut spec: Vec<(&u32, &ExecSpec)> = self.spec.iter().collect();
+        spec.sort_unstable_by_key(|(k, _)| **k);
+        out.u64(spec.len() as u64);
+        for (&exec, st) in spec {
+            out.u32(exec);
+            out.u64(st.live.len() as u64);
+            for &iter in &st.live {
+                out.u32(iter);
+            }
+            out.u32(st.nested_nonspec);
+        }
+
+        out.u64(self.open_stack.len() as u64);
+        for &exec in &self.open_stack {
+            out.u32(exec);
+        }
+        out.u64(self.live_total);
+        loopspec_core::SnapshotState::save_state(&self.predictor, out);
+        out.u64(self.stats.spec_actions);
+        out.u64(self.stats.threads_spawned);
+        out.u64(self.stats.verified);
+        out.u64(self.stats.squashed_misspec);
+        out.u64(self.stats.squashed_policy);
+        out.u64(self.stats.squashed_stale);
+        out.u64(self.stats.instr_to_outcome_sum);
+        self.policy.save_policy_state(out);
+    }
+
+    /// Restores state written by [`EngineCore::save_state`] into a core
+    /// constructed with the **same configuration** (policy, TU count).
+    pub(crate) fn load_state(
+        &mut self,
+        src: &mut loopspec_core::snap::Dec<'_>,
+    ) -> Result<(), loopspec_core::snap::SnapError>
+    where
+        P: crate::policy::PolicySnapshot,
+    {
+        use loopspec_core::snap::SnapError;
+        if src.u64()? != self.total_tus {
+            return Err(SnapError::Mismatch { what: "TU count" });
+        }
+        if src.u64()? != self.tus_label.map_or(u64::MAX, |t| t as u64) {
+            return Err(SnapError::Mismatch { what: "TU label" });
+        }
+        if src.u32()? != self.nesting_limit.map_or(u32::MAX, |l| l) {
+            return Err(SnapError::Mismatch {
+                what: "nesting limit",
+            });
+        }
+        self.cur = CurThread {
+            start_pos: src.u64()?,
+            spawn_time: src.u64()?,
+            handoff_time: src.u64()?,
+        };
+
+        let n = src.count()?;
+        self.segments.clear();
+        for _ in 0..n {
+            let exec = src.u32()?;
+            let iter = src.u32()?;
+            let seg = Segment {
+                spawn_time: src.u64()?,
+                spawn_pos: src.u64()?,
+            };
+            self.segments.insert((exec, iter), seg);
+        }
+
+        let n = src.count()?;
+        self.spec.clear();
+        for _ in 0..n {
+            let exec = src.u32()?;
+            let live_n = src.count()?;
+            let mut live = BTreeSet::new();
+            for _ in 0..live_n {
+                live.insert(src.u32()?);
+            }
+            let nested_nonspec = src.u32()?;
+            self.spec.insert(
+                exec,
+                ExecSpec {
+                    live,
+                    nested_nonspec,
+                },
+            );
+        }
+
+        let n = src.count()?;
+        self.open_stack.clear();
+        for _ in 0..n {
+            self.open_stack.push(src.u32()?);
+        }
+        self.live_total = src.u64()?;
+        loopspec_core::SnapshotState::load_state(&mut self.predictor, src)?;
+        self.stats = SpecStats {
+            spec_actions: src.u64()?,
+            threads_spawned: src.u64()?,
+            verified: src.u64()?,
+            squashed_misspec: src.u64()?,
+            squashed_policy: src.u64()?,
+            squashed_stale: src.u64()?,
+            instr_to_outcome_sum: src.u64()?,
+        };
+        self.policy.load_policy_state(src)
+    }
+
     /// Produces the report once the stream has ended.
     pub(crate) fn report(&self, instructions: u64) -> EngineReport {
         EngineReport {

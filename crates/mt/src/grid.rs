@@ -103,6 +103,34 @@ impl LaneCore {
             LaneCore::StrNested(c) => c.report(instructions),
         }
     }
+
+    /// Policy-family tag for the snapshot's configuration echo.
+    fn family_tag(&self) -> u8 {
+        match self {
+            LaneCore::Idle(_) => 0,
+            LaneCore::Str(_) => 1,
+            LaneCore::StrNested(_) => 2,
+        }
+    }
+
+    fn save_state(&self, out: &mut loopspec_core::snap::Enc) {
+        match self {
+            LaneCore::Idle(c) => c.save_state(out),
+            LaneCore::Str(c) => c.save_state(out),
+            LaneCore::StrNested(c) => c.save_state(out),
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        src: &mut loopspec_core::snap::Dec<'_>,
+    ) -> Result<(), loopspec_core::snap::SnapError> {
+        match self {
+            LaneCore::Idle(c) => c.load_state(src),
+            LaneCore::Str(c) => c.load_state(src),
+            LaneCore::StrNested(c) => c.load_state(src),
+        }
+    }
 }
 
 /// A set of streaming speculation engines sharing one annotation pass —
@@ -337,6 +365,78 @@ impl EngineGrid {
         if now > self.peak_buffered {
             self.peak_buffered = now;
         }
+    }
+}
+
+/// Serializes the whole grid: the shared annotation state, the shared
+/// annotated-event queue, and each lane's read cursor plus decision-core
+/// state. The lane list itself (policy families, TU counts) is
+/// configuration: the loader verifies that the receiving grid was built
+/// with the same lanes, in the same order, and refuses mismatches
+/// instead of silently relabelling reports. A finished grid stores only
+/// the final instruction count — lane reports are recomputed from the
+/// restored cores.
+impl loopspec_core::SnapshotState for EngineGrid {
+    fn save_state(&self, out: &mut loopspec_core::snap::Enc) {
+        out.u64(self.lanes.len() as u64);
+        for lane in &self.lanes {
+            out.u8(lane.core.family_tag());
+            out.u64(lane.cursor);
+            lane.core.save_state(out);
+        }
+        self.ann.save_state(out);
+        out.u64(self.shared.len() as u64);
+        for p in &self.shared {
+            crate::stream::write_pending(out, p);
+        }
+        out.u64(self.base_seq);
+        out.u64(self.peak_buffered as u64);
+        match &self.reports {
+            None => out.bool(false),
+            Some(reports) => {
+                out.bool(true);
+                out.u64(reports.first().map_or(0, |r| r.instructions));
+            }
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        src: &mut loopspec_core::snap::Dec<'_>,
+    ) -> Result<(), loopspec_core::snap::SnapError> {
+        use loopspec_core::snap::SnapError;
+        if src.count()? != self.lanes.len() {
+            return Err(SnapError::Mismatch { what: "lane count" });
+        }
+        for lane in &mut self.lanes {
+            if src.u8()? != lane.core.family_tag() {
+                return Err(SnapError::Mismatch {
+                    what: "lane policy family",
+                });
+            }
+            lane.cursor = src.u64()?;
+            lane.core.load_state(src)?;
+        }
+        self.ann.load_state(src)?;
+        let n = src.count()?;
+        self.shared.clear();
+        for _ in 0..n {
+            self.shared.push_back(crate::stream::read_pending(src)?);
+        }
+        self.base_seq = src.u64()?;
+        self.peak_buffered = src.u64()? as usize;
+        self.reports = if src.bool()? {
+            let instructions = src.u64()?;
+            Some(
+                self.lanes
+                    .iter()
+                    .map(|l| l.core.report(instructions))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        Ok(())
     }
 }
 

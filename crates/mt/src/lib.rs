@@ -24,6 +24,14 @@
 //!   cycle, so TPC equals committed instructions divided by total cycles,
 //!   and a purely sequential run has TPC exactly 1.
 //!
+//! The streaming drivers ([`StreamEngine`], [`EngineGrid`]) are
+//! **checkpointable**: they implement
+//! [`SnapshotState`](loopspec_core::SnapshotState), serializing their
+//! full mid-stream state (annotation windows, decision core, predictor
+//! history, policy feedback via [`PolicySnapshot`]) so a
+//! `loopspec_pipeline::Session` can capture a run at any
+//! retired-instruction boundary and resume it elsewhere bit-identically.
+//!
 //! ## Example
 //!
 //! ```
@@ -64,8 +72,8 @@ pub use engine::{Engine, EngineReport};
 pub use grid::EngineGrid;
 pub use ideal::{ideal_tpc, IdealReport};
 pub use policy::{
-    IdlePolicy, OraclePolicy, SpecContext, SpeculationPolicy, StrNestedPolicy, StrPolicy,
-    SuitabilityFilter,
+    IdlePolicy, OraclePolicy, PolicySnapshot, SpecContext, SpeculationPolicy, StrNestedPolicy,
+    StrPolicy, SuitabilityFilter,
 };
 pub use predictor::{IterPrediction, IterPredictor};
 pub use stats::SpecStats;

@@ -150,6 +150,34 @@ impl IterPredictor {
     }
 }
 
+/// Serializes the full LET contents — per-loop last count, stride,
+/// confidence, and the LRU ordering — so a restored engine predicts
+/// exactly what the uninterrupted one would.
+impl loopspec_core::SnapshotState for IterPredictor {
+    fn save_state(&self, out: &mut loopspec_core::snap::Enc) {
+        self.table.save_state_with(out, |e, out| {
+            out.u32(e.last_count);
+            out.i64(e.stride);
+            out.bool(e.has_stride);
+            out.u8(e.conf);
+        });
+    }
+
+    fn load_state(
+        &mut self,
+        src: &mut loopspec_core::snap::Dec<'_>,
+    ) -> Result<(), loopspec_core::snap::SnapError> {
+        self.table.load_state_with(src, |src| {
+            Ok(PredEntry {
+                last_count: src.u32()?,
+                stride: src.i64()?,
+                has_stride: src.bool()?,
+                conf: src.u8()?,
+            })
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

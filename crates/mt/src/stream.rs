@@ -165,6 +165,59 @@ pub(crate) enum Pending {
     },
 }
 
+/// Appends one [`Pending`] entry (tag byte + fields).
+pub(crate) fn write_pending(out: &mut loopspec_core::snap::Enc, p: &Pending) {
+    match *p {
+        Pending::Start { exec } => {
+            out.u8(0);
+            out.u32(exec);
+        }
+        Pending::Iter { exec, iter, pos } => {
+            out.u8(1);
+            out.u32(exec);
+            out.u32(iter);
+            out.u64(pos);
+        }
+        Pending::End {
+            exec,
+            pos,
+            closed,
+            iterations,
+        } => {
+            out.u8(2);
+            out.u32(exec);
+            out.u64(pos);
+            out.bool(closed);
+            out.u32(iterations);
+        }
+    }
+}
+
+/// Reads one [`Pending`] entry written by [`write_pending`].
+pub(crate) fn read_pending(
+    src: &mut loopspec_core::snap::Dec<'_>,
+) -> Result<Pending, loopspec_core::snap::SnapError> {
+    Ok(match src.u8()? {
+        0 => Pending::Start { exec: src.u32()? },
+        1 => Pending::Iter {
+            exec: src.u32()?,
+            iter: src.u32()?,
+            pos: src.u64()?,
+        },
+        2 => Pending::End {
+            exec: src.u32()?,
+            pos: src.u64()?,
+            closed: src.bool()?,
+            iterations: src.u32()?,
+        },
+        _ => {
+            return Err(loopspec_core::snap::SnapError::Corrupt {
+                what: "pending entry tag",
+            })
+        }
+    })
+}
+
 /// Validates a finite TU count (shared by every streaming driver).
 ///
 /// # Panics
@@ -270,6 +323,86 @@ impl Annotator {
             }
             LoopEvent::OneShot { .. } => {}
         }
+    }
+
+    /// Serializes the annotation state: open-execution bindings (in
+    /// insertion order — it is scanned linearly, so order is part of the
+    /// state), the per-execution slab with its iteration-start windows,
+    /// and the stream cursors.
+    pub(crate) fn save_state(&self, out: &mut loopspec_core::snap::Enc) {
+        out.u64(self.open_by_loop.len() as u64);
+        for &(l, e) in &self.open_by_loop {
+            out.u32(l.0.index());
+            out.u32(e);
+        }
+        out.u32(self.execs.base);
+        out.u64(self.execs.slots.len() as u64);
+        for slot in &self.execs.slots {
+            match slot {
+                None => out.bool(false),
+                Some(ann) => {
+                    out.bool(true);
+                    out.u32(ann.loop_id.0.index());
+                    out.u64(ann.iters.len() as u64);
+                    for &(iter, pos) in &ann.iters {
+                        out.u32(iter);
+                        out.u64(pos);
+                    }
+                    out.u32(ann.last_iter);
+                    out.bool(ann.ended);
+                }
+            }
+        }
+        out.u32(self.next_exec);
+        out.u64(self.frontier);
+        out.u64(self.buffered_iters as u64);
+        out.u64(self.events_seen);
+    }
+
+    /// Restores state written by [`Annotator::save_state`].
+    pub(crate) fn load_state(
+        &mut self,
+        src: &mut loopspec_core::snap::Dec<'_>,
+    ) -> Result<(), loopspec_core::snap::SnapError> {
+        let n = src.count()?;
+        self.open_by_loop.clear();
+        for _ in 0..n {
+            let l = LoopId(loopspec_isa::Addr::new(src.u32()?));
+            let e = src.u32()?;
+            self.open_by_loop.push((l, e));
+        }
+        self.execs.base = src.u32()?;
+        let n = src.count()?;
+        self.execs.slots.clear();
+        self.execs.live = 0;
+        for _ in 0..n {
+            if !src.bool()? {
+                self.execs.slots.push_back(None);
+                continue;
+            }
+            let loop_id = LoopId(loopspec_isa::Addr::new(src.u32()?));
+            let iters_n = src.count()?;
+            let mut iters = VecDeque::with_capacity(iters_n);
+            for _ in 0..iters_n {
+                let iter = src.u32()?;
+                let pos = src.u64()?;
+                iters.push_back((iter, pos));
+            }
+            let last_iter = src.u32()?;
+            let ended = src.bool()?;
+            self.execs.slots.push_back(Some(ExecAnn {
+                loop_id,
+                iters,
+                last_iter,
+                ended,
+            }));
+            self.execs.live += 1;
+        }
+        self.next_exec = src.u32()?;
+        self.frontier = src.u64()?;
+        self.buffered_iters = src.u64()? as usize;
+        self.events_seen = src.u64()?;
+        Ok(())
     }
 
     /// Closes executions left open by a truncated stream, in detection
@@ -430,6 +563,90 @@ impl<P: SpeculationPolicy> StreamEngine<P> {
     }
 }
 
+/// Serializes the engine's full mid-stream state — decision core
+/// (timing cursor, live segments, predictor, statistics, policy state),
+/// shared annotation, and the pending boundary-event queue — so a
+/// freshly constructed engine with the same policy and TU count can
+/// take over the stream at the exact retirement boundary and finish
+/// with a **bit-identical** [`EngineReport`] (enforced by the
+/// `checkpoint_resume` suite).
+///
+/// ```
+/// use loopspec_core::{LoopEventSink, SnapshotState};
+/// use loopspec_core::snap::{Dec, Enc};
+/// use loopspec_mt::{StrPolicy, StreamEngine};
+/// # use loopspec_asm::ProgramBuilder;
+/// # use loopspec_core::EventCollector;
+/// # use loopspec_cpu::{Cpu, RunLimits};
+///
+/// # let mut b = ProgramBuilder::new();
+/// # b.counted_loop(40, |b, _| b.work(10));
+/// # let program = b.finish()?;
+/// # let mut c = EventCollector::default();
+/// # Cpu::new().run(&program, &mut c, RunLimits::default())?;
+/// # let (events, n) = c.into_parts();
+/// let mut engine = StreamEngine::new(StrPolicy::new(), 4);
+/// engine.on_loop_events(&events[..events.len() / 2]);
+///
+/// // Capture mid-stream, restore into a fresh same-configured engine.
+/// let mut enc = Enc::new();
+/// engine.save_state(&mut enc);
+/// let bytes = enc.into_bytes();
+/// let mut restored = StreamEngine::new(StrPolicy::new(), 4);
+/// restored.load_state(&mut Dec::new(&bytes))?;
+///
+/// // Both halves of the stream land in the same report.
+/// engine.on_loop_events(&events[events.len() / 2..]);
+/// engine.on_stream_end(n);
+/// restored.on_loop_events(&events[events.len() / 2..]);
+/// restored.on_stream_end(n);
+/// assert_eq!(engine.report(), restored.report());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+impl<P: SpeculationPolicy + crate::policy::PolicySnapshot> loopspec_core::SnapshotState
+    for StreamEngine<P>
+{
+    fn save_state(&self, out: &mut loopspec_core::snap::Enc) {
+        self.core.save_state(out);
+        self.ann.save_state(out);
+        out.u64(self.pending.len() as u64);
+        for p in &self.pending {
+            write_pending(out, p);
+        }
+        out.u64(self.peak_buffered as u64);
+        match &self.report {
+            None => out.bool(false),
+            Some(r) => {
+                out.bool(true);
+                out.u64(r.instructions);
+            }
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        src: &mut loopspec_core::snap::Dec<'_>,
+    ) -> Result<(), loopspec_core::snap::SnapError> {
+        self.core.load_state(src)?;
+        self.ann.load_state(src)?;
+        let n = src.count()?;
+        self.pending.clear();
+        for _ in 0..n {
+            self.pending.push_back(read_pending(src)?);
+        }
+        self.peak_buffered = src.u64()? as usize;
+        // A finished engine's report is a pure function of the core
+        // state and the final instruction count, so only the count is
+        // stored.
+        self.report = if src.bool()? {
+            Some(self.core.report(src.u64()?))
+        } else {
+            None
+        };
+        Ok(())
+    }
+}
+
 impl<P: SpeculationPolicy> LoopEventSink for StreamEngine<P> {
     fn on_loop_event(&mut self, ev: &LoopEvent) {
         debug_assert!(self.report.is_none(), "event after stream end");
@@ -503,6 +720,33 @@ impl<P: SpeculationPolicy> EngineSink for StreamEngine<P> {
 /// (which shares that work across lanes) is the faster choice and is
 /// what the experiment harness uses. Policies with type parameters
 /// beyond the paper's three families still go through [`EngineSink`].
+///
+/// ```
+/// use loopspec_core::LoopEventSink;
+/// use loopspec_mt::AnyStreamEngine;
+/// # use loopspec_asm::ProgramBuilder;
+/// # use loopspec_core::EventCollector;
+/// # use loopspec_cpu::{Cpu, RunLimits};
+///
+/// # let mut b = ProgramBuilder::new();
+/// # b.counted_loop(40, |b, _| b.work(10));
+/// # let program = b.finish()?;
+/// # let mut c = EventCollector::default();
+/// # Cpu::new().run(&program, &mut c, RunLimits::default())?;
+/// # let (events, n) = c.into_parts();
+/// // Heterogeneous policies, one concrete type — no boxing.
+/// let mut engines = [
+///     AnyStreamEngine::idle(4),
+///     AnyStreamEngine::str(4),
+///     AnyStreamEngine::str_nested(2, 8),
+/// ];
+/// for e in &mut engines {
+///     e.on_loop_events(&events);
+///     e.on_stream_end(n);
+/// }
+/// assert!(engines.iter().all(|e| e.report().unwrap().instructions == n));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug)]
 pub enum AnyStreamEngine {
     /// IDLE: grab every idle TU.
@@ -544,6 +788,45 @@ impl AnyStreamEngine {
             AnyStreamEngine::Idle(e) => e.peak_buffered(),
             AnyStreamEngine::Str(e) => e.peak_buffered(),
             AnyStreamEngine::StrNested(e) => e.peak_buffered(),
+        }
+    }
+}
+
+/// Delegates to the wrapped engine, tagging the variant so a snapshot
+/// of one policy family can never restore into another.
+impl loopspec_core::SnapshotState for AnyStreamEngine {
+    fn save_state(&self, out: &mut loopspec_core::snap::Enc) {
+        match self {
+            AnyStreamEngine::Idle(e) => {
+                out.u8(0);
+                e.save_state(out);
+            }
+            AnyStreamEngine::Str(e) => {
+                out.u8(1);
+                e.save_state(out);
+            }
+            AnyStreamEngine::StrNested(e) => {
+                out.u8(2);
+                e.save_state(out);
+            }
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        src: &mut loopspec_core::snap::Dec<'_>,
+    ) -> Result<(), loopspec_core::snap::SnapError> {
+        let tag = src.u8()?;
+        match (tag, &mut *self) {
+            (0, AnyStreamEngine::Idle(e)) => e.load_state(src),
+            (1, AnyStreamEngine::Str(e)) => e.load_state(src),
+            (2, AnyStreamEngine::StrNested(e)) => e.load_state(src),
+            (0..=2, _) => Err(loopspec_core::snap::SnapError::Mismatch {
+                what: "engine policy family",
+            }),
+            _ => Err(loopspec_core::snap::SnapError::Corrupt {
+                what: "engine variant tag",
+            }),
         }
     }
 }

@@ -4,12 +4,13 @@
 //! committed instruction stream once, and the LET/LIT, the speculation
 //! engine and the live-in profiler all hang off that single observation
 //! point. This crate reproduces that shape in software. A [`Session`]
-//! drives the [`Cpu`] instruction by instruction, feeds every retired
-//! instruction through **one shared** [`LoopDetector`], and fans the
-//! resulting [`LoopEvent`]s out to any number of registered
-//! [`LoopEventSink`]s — all in a single pass, with memory bounded by the
-//! sinks themselves (the streaming engine retains O(live-loops +
-//! run-ahead window), not O(trace)).
+//! drives the [`Cpu`](loopspec_cpu::Cpu) instruction by instruction,
+//! feeds every retired instruction through **one shared**
+//! [`LoopDetector`](loopspec_core::LoopDetector), and fans the
+//! resulting [`LoopEvent`](loopspec_core::LoopEvent)s out to any number
+//! of registered [`LoopEventSink`]s — all in a single pass, with memory
+//! bounded by the sinks themselves (the streaming engine retains
+//! O(live-loops + run-ahead window), not O(trace)).
 //!
 //! Compare the two shapes:
 //!
@@ -23,6 +24,23 @@
 //!             ├▶ LoopStats / TableHitSim   ─▶ Table 1 / Figure 4
 //!             └▶ LiveInProfiler            ─▶ Figure 8
 //! ```
+//!
+//! ## Checkpoint, resume, shard
+//!
+//! Because the CLS and the engines are small fixed state machines, a
+//! session is snapshotable at any retired-instruction boundary:
+//!
+//! * [`Session::advance`] runs fuel-bounded segments instead of the
+//!   whole program;
+//! * [`Session::checkpoint`] captures CPU cursor + detector + sink
+//!   state as a [`Snapshot`] with a deterministic, checksummed byte
+//!   form ([`Snapshot::to_bytes`]) that crosses process boundaries;
+//! * [`Session::resume`] restores a snapshot into a fresh session;
+//! * [`ShardedRun`] chains the two into K contiguous shards of one
+//!   trace — each shard a fresh sink restored from the predecessor's
+//!   snapshot bytes — with results **bit-identical** to a single pass
+//!   (`examples/sharded_replay.rs` demonstrates; the
+//!   `sharded_equivalence` suite proves it on all 18 workloads).
 //!
 //! ## Example
 //!
@@ -54,389 +72,28 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
-use std::fmt;
-
-use loopspec_core::{Cls, LoopDetector, LoopEvent};
-use loopspec_cpu::{Cpu, CpuError, InstrEvent, RunLimits, RunSummary, Tracer};
-use loopspec_isa::ControlKind;
+mod session;
+mod shard;
+mod sinkset;
+mod snapshot;
 
 // Re-exported so downstream code can name the whole streaming surface
 // through one crate.
-pub use loopspec_core::LoopEventSink;
+pub use loopspec_core::{LoopEventSink, SnapshotState};
 
-/// A consumer of both the instruction stream and the loop-event stream —
-/// e.g. [`loopspec_dataspec::LiveInProfiler`], which charges live-ins per
-/// instruction and rolls frames at iteration boundaries.
-///
-/// Blanket-implemented for everything that is both a [`Tracer`] and a
-/// [`LoopEventSink`]; register with [`Session::observe_both`].
-pub trait DualSink: Tracer + LoopEventSink {}
-
-impl<T: Tracer + LoopEventSink> DualSink for T {}
-
-enum Slot<'a> {
-    Loops(&'a mut dyn LoopEventSink),
-    Instrs(&'a mut dyn Tracer),
-    Both(&'a mut dyn DualSink),
-}
-
-/// Result of a [`Session::run`].
-#[derive(Debug, Clone, Copy)]
-pub struct SessionSummary {
-    /// Committed instructions (the stream length every sink was told at
-    /// end-of-stream).
-    pub instructions: u64,
-    /// The CPU's own run summary.
-    pub run: RunSummary,
-}
-
-impl SessionSummary {
-    /// `true` when the program halted of its own accord.
-    pub fn halted(&self) -> bool {
-        self.run.halted()
-    }
-}
-
-/// A single-pass execution session: one CPU run, one shared loop
-/// detector, any number of streaming consumers.
-///
-/// Register consumers with [`Session::observe_loops`] (loop events only),
-/// [`Session::observe_instrs`] (retired instructions only) or
-/// [`Session::observe_both`], then call [`Session::run`]. Per retired
-/// instruction the dispatch order is fixed: first every instruction
-/// observer (in registration order), then the loop events that
-/// instruction produced — so a [`DualSink`] sees the closing branch
-/// *before* the iteration-end event it causes, matching the bundled
-/// [`DataSpecProfiler`](loopspec_dataspec::DataSpecProfiler) semantics.
-///
-/// **Chunked fan-out.** Pure loop sinks do not receive events one at a
-/// time: the detector buffers them into fixed-size chunks (the session's
-/// [`Cls`] chunk capacity, default
-/// [`DEFAULT_EVENT_CHUNK`](loopspec_core::DEFAULT_EVENT_CHUNK) events)
-/// and each full chunk is delivered with one
-/// [`on_loop_events`](LoopEventSink::on_loop_events) call per sink, in
-/// registration order. Within every sink the stream is identical —
-/// same events, same order, positions non-decreasing — only the call
-/// granularity changes (see the batching contract in
-/// [`loopspec_core::sink`]). [`DualSink`]s still see each instruction's
-/// events before the next retirement, as their analyses require.
-///
-/// At end of stream (halt or fuel exhaustion) the detector is flushed,
-/// the final partial chunk is delivered, and every loop/dual sink
-/// receives [`on_stream_end`](LoopEventSink::on_stream_end) with the
-/// final instruction count.
-pub struct Session<'a> {
-    detector: LoopDetector,
-    slots: Vec<Slot<'a>>,
-}
-
-impl fmt::Debug for Session<'_> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Session")
-            .field("detector", &self.detector)
-            .field("sinks", &self.slots.len())
-            .finish()
-    }
-}
-
-impl Default for Session<'_> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<'a> Session<'a> {
-    /// A session with the paper's 16-entry CLS.
-    pub fn new() -> Self {
-        Session::with_cls(Cls::default())
-    }
-
-    /// A session detecting loops with a custom CLS (capacity ablations).
-    pub fn with_cls(cls: Cls) -> Self {
-        Session {
-            detector: LoopDetector::new(cls),
-            slots: Vec::new(),
-        }
-    }
-
-    /// Registers a loop-event consumer.
-    pub fn observe_loops(&mut self, sink: &'a mut dyn LoopEventSink) -> &mut Self {
-        self.slots.push(Slot::Loops(sink));
-        self
-    }
-
-    /// Registers a per-instruction consumer.
-    pub fn observe_instrs(&mut self, tracer: &'a mut dyn Tracer) -> &mut Self {
-        self.slots.push(Slot::Instrs(tracer));
-        self
-    }
-
-    /// Registers a consumer of both streams (see [`DualSink`]).
-    pub fn observe_both(&mut self, sink: &'a mut dyn DualSink) -> &mut Self {
-        self.slots.push(Slot::Both(sink));
-        self
-    }
-
-    /// Number of registered consumers.
-    pub fn sinks(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Executes `program` on a fresh [`Cpu`] in one pass, feeding every
-    /// registered consumer, then ends the stream.
-    ///
-    /// Consumes the session: the sinks have received their end-of-stream
-    /// callback and the borrows are released, so results can be read
-    /// directly from the sink objects afterwards.
-    ///
-    /// # Errors
-    ///
-    /// Propagates any [`CpuError`]; sinks see the partial stream but no
-    /// end-of-stream callback in that case.
-    pub fn run(
-        mut self,
-        program: &loopspec_asm::Program,
-        limits: RunLimits,
-    ) -> Result<SessionSummary, CpuError> {
-        let mut cpu = Cpu::new();
-        let run = {
-            let instr_observers = self
-                .slots
-                .iter()
-                .any(|s| matches!(s, Slot::Instrs(_) | Slot::Both(_)));
-            let mut dispatch = Dispatch {
-                detector: &mut self.detector,
-                slots: &mut self.slots,
-                instr_observers,
-            };
-            cpu.run(program, &mut dispatch, limits)?
-        };
-        let instructions = run.retired;
-        // A halt flushes the CLS through the detector; a fuel-exhausted
-        // run leaves executions open — close them at the cut, exactly
-        // like the batch annotator does for truncated traces. Dual sinks
-        // have already seen everything up to `seen` live; loop sinks get
-        // the whole final partial chunk in one delivery.
-        let seen = self.detector.buffered().len();
-        self.detector.flush_buffered(instructions);
-        let chunk = self.detector.buffered();
-        let trailing = &chunk[seen..];
-        for slot in self.slots.iter_mut() {
-            match slot {
-                Slot::Loops(s) => {
-                    if !chunk.is_empty() {
-                        s.on_loop_events(chunk);
-                    }
-                    s.on_stream_end(instructions);
-                }
-                Slot::Both(d) => {
-                    if !trailing.is_empty() {
-                        d.on_loop_events(trailing);
-                    }
-                    d.on_stream_end(instructions);
-                }
-                Slot::Instrs(_) => {}
-            }
-        }
-        Ok(SessionSummary { instructions, run })
-    }
-}
-
-/// The internal fan-out tracer: one detector, many consumers.
-///
-/// Loop events are delivered on the **chunked** path: the detector
-/// buffers them into its internal chunk (capacity from the session's
-/// [`Cls`], default
-/// [`DEFAULT_EVENT_CHUNK`](loopspec_core::DEFAULT_EVENT_CHUNK)) and each
-/// full chunk is fanned out with a single
-/// [`on_loop_events`](LoopEventSink::on_loop_events) call per loop sink
-/// — one virtual call per chunk per sink instead of one per event per
-/// sink. [`DualSink`]s are the exception: their analysis interleaves the
-/// instruction and event streams (an instruction must be charged to the
-/// iteration that was open when it retired), so they receive each
-/// instruction's fresh events immediately, before the next retirement.
-struct Dispatch<'s, 'a> {
-    detector: &'s mut LoopDetector,
-    slots: &'s mut Vec<Slot<'a>>,
-    /// Whether any slot observes the instruction stream — when false
-    /// (the common grid case: loop sinks only) the per-retirement slot
-    /// walk is skipped entirely.
-    instr_observers: bool,
-}
-
-impl Tracer for Dispatch<'_, '_> {
-    fn on_retire(&mut self, ev: &InstrEvent) {
-        if self.instr_observers {
-            for slot in self.slots.iter_mut() {
-                match slot {
-                    Slot::Instrs(t) => t.on_retire(ev),
-                    Slot::Both(d) => d.on_retire(ev),
-                    Slot::Loops(_) => {}
-                }
-            }
-        }
-        if matches!(ev.control.kind, ControlKind::None) {
-            return;
-        }
-        let before = self.detector.buffered().len();
-        let full = self.detector.process_buffered(ev);
-        if self.instr_observers {
-            let fresh = &self.detector.buffered()[before..];
-            if !fresh.is_empty() {
-                for slot in self.slots.iter_mut() {
-                    if let Slot::Both(d) = slot {
-                        d.on_loop_events(fresh);
-                    }
-                }
-            }
-        }
-        if full {
-            let chunk = self.detector.buffered();
-            for slot in self.slots.iter_mut() {
-                if let Slot::Loops(s) = slot {
-                    s.on_loop_events(chunk);
-                }
-            }
-            self.detector.clear_buffered();
-        }
-    }
-}
-
-/// A homogeneous, **monomorphic** fan-out set: any number of same-type
-/// sinks registered in a [`Session`] as a *single* slot.
-///
-/// The session's fan-out crosses one `&mut dyn` boundary per registered
-/// slot per chunk. For many same-shaped consumers (e.g.
-/// [`loopspec_mt::AnyStreamEngine`]s), a `SinkSet` collapses that to
-/// one virtual call per chunk for the whole set, and the inner loop
-/// dispatches statically. See [`loopspec_core::sink`] for the batching
-/// contract it relies on.
-///
-/// For the *experiment grid* specifically — many speculation-engine
-/// configurations over one stream — prefer
-/// [`loopspec_mt::EngineGrid`], which additionally shares the
-/// annotation bookkeeping across all configurations instead of
-/// repeating it per sink; `SinkSet` is the general-purpose container
-/// for sinks that have no such shared work.
-///
-/// ```
-/// use loopspec_core::CountingSink;
-/// use loopspec_pipeline::{Session, SinkSet};
-/// use loopspec_cpu::RunLimits;
-/// use loopspec_asm::ProgramBuilder;
-///
-/// let mut b = ProgramBuilder::new();
-/// b.counted_loop(10, |b, _| b.work(3));
-/// let program = b.finish()?;
-///
-/// let mut grid: SinkSet<CountingSink> =
-///     (0..20).map(|_| CountingSink::default()).collect();
-/// let mut session = Session::new();
-/// session.observe_loops(&mut grid);
-/// session.run(&program, RunLimits::default())?;
-/// assert!(grid.iter().all(|c| c.events > 0));
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
-#[derive(Debug, Default)]
-pub struct SinkSet<S> {
-    sinks: Vec<S>,
-}
-
-impl<S: LoopEventSink> SinkSet<S> {
-    /// An empty set.
-    pub fn new() -> Self {
-        SinkSet { sinks: Vec::new() }
-    }
-
-    /// Wraps an existing vector of sinks (delivery order = vector
-    /// order).
-    pub fn from_vec(sinks: Vec<S>) -> Self {
-        SinkSet { sinks }
-    }
-
-    /// Appends a sink.
-    pub fn push(&mut self, sink: S) {
-        self.sinks.push(sink);
-    }
-
-    /// Number of sinks in the set.
-    pub fn len(&self) -> usize {
-        self.sinks.len()
-    }
-
-    /// `true` when the set holds no sinks.
-    pub fn is_empty(&self) -> bool {
-        self.sinks.is_empty()
-    }
-
-    /// The sink at `index`, if any.
-    pub fn get(&self, index: usize) -> Option<&S> {
-        self.sinks.get(index)
-    }
-
-    /// Iterates the sinks in delivery order.
-    pub fn iter(&self) -> std::slice::Iter<'_, S> {
-        self.sinks.iter()
-    }
-
-    /// Mutably iterates the sinks in delivery order.
-    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, S> {
-        self.sinks.iter_mut()
-    }
-
-    /// Consumes the set, returning the sinks.
-    pub fn into_inner(self) -> Vec<S> {
-        self.sinks
-    }
-}
-
-impl<S: LoopEventSink> FromIterator<S> for SinkSet<S> {
-    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
-        SinkSet {
-            sinks: iter.into_iter().collect(),
-        }
-    }
-}
-
-impl<'a, S: LoopEventSink> IntoIterator for &'a SinkSet<S> {
-    type Item = &'a S;
-    type IntoIter = std::slice::Iter<'a, S>;
-
-    fn into_iter(self) -> Self::IntoIter {
-        self.iter()
-    }
-}
-
-impl<S: LoopEventSink> LoopEventSink for SinkSet<S> {
-    #[inline]
-    fn on_loop_event(&mut self, ev: &LoopEvent) {
-        for s in &mut self.sinks {
-            s.on_loop_event(ev);
-        }
-    }
-
-    #[inline]
-    fn on_loop_events(&mut self, events: &[LoopEvent]) {
-        for s in &mut self.sinks {
-            s.on_loop_events(events);
-        }
-    }
-
-    fn on_stream_end(&mut self, instructions: u64) {
-        for s in &mut self.sinks {
-            s.on_stream_end(instructions);
-        }
-    }
-}
+pub use session::{DualSink, Session, SessionSummary};
+pub use shard::{ShardedOutcome, ShardedRun};
+pub use sinkset::SinkSet;
+pub use snapshot::{CheckpointSink, Snapshot, SnapshotError};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use loopspec_asm::ProgramBuilder;
-    use loopspec_core::{CountingSink, EventCollector, LoopStats};
-    use loopspec_cpu::CountingTracer;
+    use loopspec_core::{Cls, CountingSink, EventCollector, LoopStats};
+    use loopspec_cpu::{CountingTracer, Cpu, RunLimits};
     use loopspec_dataspec::{DataSpecProfiler, LiveInProfiler};
-    use loopspec_mt::{AnnotatedTrace, Engine, StrPolicy, StreamEngine};
+    use loopspec_mt::{AnnotatedTrace, Engine, EngineGrid, StrPolicy, StreamEngine};
 
     fn program(build: impl FnOnce(&mut ProgramBuilder)) -> loopspec_asm::Program {
         let mut b = ProgramBuilder::new();
@@ -623,5 +280,284 @@ mod tests {
         assert!(v
             .iter()
             .any(|e| matches!(e, loopspec_core::LoopEvent::Evicted { .. })));
+    }
+
+    // ------------------------------------------------------------------
+    // Segmented execution, checkpoints, sharding.
+
+    #[test]
+    fn advance_in_segments_matches_one_shot_run() {
+        let p = program(|b| {
+            b.counted_loop(30, |b, _| {
+                b.counted_loop(7, |b, _| b.work(4));
+            });
+        });
+
+        let mut reference = EventCollector::default();
+        let mut session = Session::new();
+        session.observe_loops(&mut reference);
+        let single = session.run(&p, RunLimits::default()).unwrap();
+
+        let mut collected = EventCollector::default();
+        let mut session = Session::new();
+        session.observe_loops(&mut collected);
+        let last = loop {
+            let s = session.advance(&p, RunLimits::with_fuel(500)).unwrap();
+            assert_eq!(s.instructions, session.position());
+            if s.halted() {
+                break s;
+            }
+        };
+        assert!(session.is_ended());
+        assert_eq!(last.instructions, single.instructions);
+        assert_eq!(collected.events(), reference.events());
+        assert_eq!(collected.instructions(), reference.instructions());
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trip_is_exact() {
+        let p = program(|b| {
+            b.counted_loop(25, |b, _| {
+                b.counted_loop(9, |b, _| b.work(6));
+            });
+        });
+
+        let mut reference = StreamEngine::new(StrPolicy::new(), 4);
+        let mut ref_events = EventCollector::default();
+        let mut session = Session::new();
+        session
+            .observe_checkpointable(&mut reference)
+            .observe_checkpointable(&mut ref_events);
+        let single = session.run(&p, RunLimits::default()).unwrap();
+
+        // Segment 1 in "process A".
+        let mut engine_a = StreamEngine::new(StrPolicy::new(), 4);
+        let mut events_a = EventCollector::default();
+        let mut session_a = Session::new();
+        session_a
+            .observe_checkpointable(&mut engine_a)
+            .observe_checkpointable(&mut events_a);
+        let s = session_a.advance(&p, RunLimits::with_fuel(777)).unwrap();
+        assert!(!s.halted());
+        let snap = session_a.checkpoint().unwrap();
+        assert_eq!(snap.instructions(), 777);
+        assert_eq!(snap.sink_sections(), 2);
+        let bytes = snap.to_bytes();
+        // Determinism: checkpointing the same state twice → same bytes.
+        assert_eq!(bytes, session_a.checkpoint().unwrap().to_bytes());
+
+        // Segment 2 in "process B": fresh sinks, state from bytes only.
+        let mut engine_b = StreamEngine::new(StrPolicy::new(), 4);
+        let mut events_b = EventCollector::default();
+        let mut session_b = Session::new();
+        session_b
+            .observe_checkpointable(&mut engine_b)
+            .observe_checkpointable(&mut events_b);
+        session_b
+            .resume(&Snapshot::from_bytes(&bytes).unwrap())
+            .unwrap();
+        assert_eq!(session_b.position(), 777);
+        let out = session_b.advance(&p, RunLimits::default()).unwrap();
+        assert!(out.halted());
+        assert_eq!(out.instructions, single.instructions);
+
+        assert_eq!(engine_b.report(), reference.report());
+        assert_eq!(events_b.events(), ref_events.events());
+    }
+
+    #[test]
+    fn checkpoint_requires_checkpointable_sinks() {
+        let p = program(|b| b.counted_loop(10, |b, _| b.work(3)));
+        let mut counting = CountingSink::default();
+        let mut session = Session::new();
+        session.observe_loops(&mut counting);
+        session.advance(&p, RunLimits::with_fuel(10)).unwrap();
+        assert_eq!(
+            session.checkpoint().unwrap_err(),
+            SnapshotError::NotCheckpointable
+        );
+    }
+
+    #[test]
+    fn checkpoint_after_stream_end_is_rejected() {
+        let p = program(|b| b.work(5));
+        let mut events = EventCollector::default();
+        let mut session = Session::new();
+        session.observe_checkpointable(&mut events);
+        session.advance(&p, RunLimits::default()).unwrap();
+        assert!(session.is_ended());
+        assert_eq!(
+            session.checkpoint().unwrap_err(),
+            SnapshotError::StreamEnded
+        );
+    }
+
+    #[test]
+    fn resume_validates_session_state_and_sink_count() {
+        let p = program(|b| b.counted_loop(20, |b, _| b.work(5)));
+        let mut events = EventCollector::default();
+        let mut session = Session::new();
+        session.observe_checkpointable(&mut events);
+        session.advance(&p, RunLimits::with_fuel(30)).unwrap();
+        let snap = session.checkpoint().unwrap();
+
+        // Started sessions refuse to resume.
+        assert_eq!(
+            session.resume(&snap).unwrap_err(),
+            SnapshotError::AlreadyStarted
+        );
+
+        // Wrong sink count.
+        let mut a = EventCollector::default();
+        let mut b2 = EventCollector::default();
+        let mut fresh = Session::new();
+        fresh
+            .observe_checkpointable(&mut a)
+            .observe_checkpointable(&mut b2);
+        assert_eq!(
+            fresh.resume(&snap).unwrap_err(),
+            SnapshotError::SinkCountMismatch {
+                snapshot: 1,
+                session: 2
+            }
+        );
+
+        // Differently configured sink: a grid where an engine was.
+        let mut grid = EngineGrid::new();
+        grid.push_str(4);
+        let mut fresh = Session::new();
+        fresh.observe_checkpointable(&mut grid);
+        assert!(matches!(
+            fresh.resume(&snap).unwrap_err(),
+            SnapshotError::Codec(_)
+        ));
+    }
+
+    #[test]
+    fn finish_ends_a_paused_stream_like_a_truncated_run() {
+        let p = program(|b| b.loop_forever(|b| b.work(4)));
+
+        let mut reference = LoopStats::new();
+        let mut session = Session::new();
+        session.observe_loops(&mut reference);
+        let single = session.run(&p, RunLimits::with_fuel(900)).unwrap();
+
+        let mut stats = LoopStats::new();
+        let mut session = Session::new();
+        session.observe_checkpointable(&mut stats);
+        for _ in 0..3 {
+            session.advance(&p, RunLimits::with_fuel(300)).unwrap();
+        }
+        assert!(!session.is_ended());
+        assert_eq!(session.finish(), 900);
+        assert!(session.is_ended());
+        assert_eq!(session.finish(), 900, "finish is idempotent");
+        assert_eq!(
+            stats.report(900),
+            reference.report(single.instructions),
+            "explicit finish == fuel-truncated run"
+        );
+    }
+
+    #[test]
+    fn sharded_run_matches_single_pass_grid() {
+        let p = program(|b| {
+            b.counted_loop(40, |b, _| {
+                b.counted_loop(8, |b, _| b.work(5));
+            });
+        });
+        let make_grid = || {
+            let mut g = EngineGrid::new();
+            g.push_idle(4);
+            g.push_str(4);
+            g.push_str_nested(2, 4);
+            g
+        };
+
+        let mut reference = make_grid();
+        let mut session = Session::new();
+        session.observe_checkpointable(&mut reference);
+        let single = session.run(&p, RunLimits::default()).unwrap();
+
+        for shards in [1usize, 2, 3, 8] {
+            let out = ShardedRun::new(shards)
+                .run(&p, RunLimits::with_fuel(single.instructions), make_grid)
+                .unwrap();
+            assert_eq!(out.summary.instructions, single.instructions);
+            assert_eq!(out.sink.reports(), reference.reports(), "K={shards}");
+            if shards > 1 {
+                assert_eq!(out.shards_run, shards);
+                assert!(out.handoff_bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_on_workers_matches_in_thread_run() {
+        let p = program(|b| {
+            b.counted_loop(60, |b, _| b.work(12));
+        });
+        let make = || StreamEngine::new(StrPolicy::new(), 4);
+        let n = {
+            let mut e = make();
+            let mut s = Session::new();
+            s.observe_checkpointable(&mut e);
+            s.run(&p, RunLimits::default()).unwrap().instructions
+        };
+        let seq = ShardedRun::new(4)
+            .run(&p, RunLimits::with_fuel(n), make)
+            .unwrap();
+        let par = ShardedRun::new(4)
+            .run_on_workers(&p, RunLimits::with_fuel(n), make)
+            .unwrap();
+        assert_eq!(seq.sink.report(), par.sink.report());
+        assert_eq!(seq.shards_run, par.shards_run);
+        assert_eq!(seq.handoff_bytes, par.handoff_bytes);
+    }
+
+    #[test]
+    fn sharded_run_handles_early_halt_and_tiny_budgets() {
+        let p = program(|b| b.work(20)); // halts after 23 instructions
+        let out = ShardedRun::new(8)
+            .run(&p, RunLimits::default(), EventCollector::default)
+            .unwrap();
+        assert_eq!(out.shards_run, 1, "halt in shard 0 short-circuits");
+        assert!(out.summary.halted());
+
+        // A budget smaller than the shard count still terminates.
+        let p = program(|b| b.loop_forever(|b| b.work(2)));
+        let out = ShardedRun::new(8)
+            .run(&p, RunLimits::with_fuel(3), EventCollector::default)
+            .unwrap();
+        assert_eq!(out.summary.instructions, 3);
+        assert_eq!(out.sink.instructions(), 3);
+    }
+
+    #[test]
+    fn checkpointable_sink_set_round_trips() {
+        let p = program(|b| {
+            b.counted_loop(50, |b, _| b.work(10));
+        });
+        let make = || -> SinkSet<loopspec_mt::AnyStreamEngine> {
+            [
+                loopspec_mt::AnyStreamEngine::idle(4),
+                loopspec_mt::AnyStreamEngine::str(8),
+                loopspec_mt::AnyStreamEngine::str_nested(1, 4),
+            ]
+            .into_iter()
+            .collect()
+        };
+
+        let mut reference = make();
+        let mut session = Session::new();
+        session.observe_checkpointable(&mut reference);
+        let single = session.run(&p, RunLimits::default()).unwrap();
+
+        let out = ShardedRun::new(3)
+            .run(&p, RunLimits::with_fuel(single.instructions), make)
+            .unwrap();
+        for (a, b) in out.sink.iter().zip(reference.iter()) {
+            assert_eq!(a.report(), b.report());
+        }
     }
 }

@@ -1,0 +1,300 @@
+//! Sharded replay: one workload trace split into K contiguous,
+//! checkpoint-linked shards.
+//!
+//! This is the distribution story the checkpoint subsystem exists for
+//! (and the shape of Prophet-style CMP execution: one speculative
+//! instruction stream split across cores with small per-core state
+//! handoffs). A [`ShardedRun`] cuts a run's instruction budget into K
+//! equal contiguous fuel slices; each shard constructs a **fresh** sink,
+//! restores the predecessor's [`Snapshot`] from *bytes* (so nothing
+//! survives a shard except the serialized handoff — exactly what
+//! crossing a process boundary requires), advances one slice, and
+//! either hands a new snapshot to its successor or ends the stream.
+//!
+//! The merged result is **bit-identical** to a single-pass
+//! [`Session::run`] — the `sharded_equivalence` suite proves it for
+//! K ∈ {2, 4, 8} over all 18 workloads. What sharding buys is not
+//! speed on one machine (shards are serially dependent) but the
+//! ability to distribute one huge trace across workers — bounded
+//! per-worker runtime, restartable segments, and a snapshot trail for
+//! free.
+
+use loopspec_asm::Program;
+use loopspec_cpu::RunLimits;
+
+use crate::session::{Session, SessionSummary};
+use crate::snapshot::{CheckpointSink, Snapshot, SnapshotError};
+
+/// Result of a sharded run.
+#[derive(Debug)]
+pub struct ShardedOutcome<S> {
+    /// The final shard's sink, after end-of-stream — holds the merged
+    /// result (reports, statistics) of the whole run.
+    pub sink: S,
+    /// The final shard's session summary (`instructions` is the whole
+    /// run's count).
+    pub summary: SessionSummary,
+    /// Shards actually executed (fewer than configured when the program
+    /// halts early).
+    pub shards_run: usize,
+    /// Total serialized snapshot bytes handed between shards.
+    pub handoff_bytes: u64,
+}
+
+/// Splits one run into K contiguous shards linked by serialized
+/// [`Snapshot`]s; the module-level comments above describe the
+/// execution model.
+///
+/// `limits.max_instrs` is the **total** instruction budget; it is cut
+/// into K equal fuel slices (the last one possibly short). A program
+/// that halts before the budget simply ends in an earlier shard; a
+/// program still running when the budget is exhausted is finished
+/// explicitly, exactly like a fuel-truncated [`Session::run`].
+///
+/// ```
+/// use loopspec_asm::ProgramBuilder;
+/// use loopspec_cpu::RunLimits;
+/// use loopspec_mt::{StrPolicy, StreamEngine};
+/// use loopspec_pipeline::{Session, ShardedRun};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.counted_loop(300, |b, _| b.work(15));
+/// let program = b.finish()?;
+///
+/// // Reference: one uninterrupted pass.
+/// let mut reference = StreamEngine::new(StrPolicy::new(), 4);
+/// let mut session = Session::new();
+/// session.observe_checkpointable(&mut reference);
+/// let single = session.run(&program, RunLimits::default())?;
+///
+/// // The same run as 4 checkpoint-linked shards.
+/// let sharded = ShardedRun::new(4).run(&program, RunLimits::with_fuel(single.instructions), || {
+///     StreamEngine::new(StrPolicy::new(), 4)
+/// })?;
+/// assert_eq!(sharded.shards_run, 4);
+/// assert_eq!(sharded.sink.report(), reference.report());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedRun {
+    shards: usize,
+}
+
+impl ShardedRun {
+    /// A run split into `shards` contiguous slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a run needs at least one shard");
+        ShardedRun { shards }
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Executes `program` shard by shard **in this thread**, handing
+    /// serialized snapshots between shards. `make_sink` constructs each
+    /// shard's fresh sink (same configuration every time — snapshot
+    /// loading verifies this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPU faults ([`SnapshotError::Cpu`]) and
+    /// checkpoint/restore failures.
+    pub fn run<S, F>(
+        &self,
+        program: &Program,
+        limits: RunLimits,
+        mut make_sink: F,
+    ) -> Result<ShardedOutcome<S>, SnapshotError>
+    where
+        S: CheckpointSink,
+        F: FnMut() -> S,
+    {
+        let mut handoff: Option<Vec<u8>> = None;
+        let mut handoff_bytes = 0u64;
+        for shard in 0..self.shards {
+            let mut sink = make_sink();
+            let (summary, done) = {
+                let mut session = Session::new();
+                session.observe_checkpointable(&mut sink);
+                let step = self.run_shard(program, limits, shard, handoff.take(), &mut session)?;
+                if let Some(bytes) = step.handoff {
+                    handoff_bytes += bytes.len() as u64;
+                    handoff = Some(bytes);
+                }
+                (step.summary, step.done)
+            };
+            if done {
+                return Ok(ShardedOutcome {
+                    sink,
+                    summary,
+                    shards_run: shard + 1,
+                    handoff_bytes,
+                });
+            }
+        }
+        unreachable!("the final shard always ends the stream")
+    }
+
+    /// Executes `program` with each shard on its **own worker thread**,
+    /// streaming the serialized snapshots through channels — the
+    /// pipeline-style handoff a distributed deployment would use (the
+    /// shards remain serially dependent; what moves between workers is
+    /// only the snapshot bytes).
+    ///
+    /// Produces exactly the same outcome as [`ShardedRun::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPU faults ([`SnapshotError::Cpu`]) and
+    /// checkpoint/restore failures from whichever worker hit them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panics.
+    pub fn run_on_workers<S, F>(
+        &self,
+        program: &Program,
+        limits: RunLimits,
+        make_sink: F,
+    ) -> Result<ShardedOutcome<S>, SnapshotError>
+    where
+        S: CheckpointSink + Send,
+        F: Fn() -> S + Sync,
+    {
+        use std::sync::mpsc;
+
+        /// What travels between consecutive workers.
+        enum Baton {
+            /// Run your shard, resuming from these snapshot bytes (or
+            /// from scratch for the first shard).
+            Run(Option<Vec<u8>>),
+            /// The stream ended upstream; do nothing.
+            Done,
+        }
+
+        type WorkerResult<S> = Result<(u64, Option<(S, SessionSummary, usize)>), SnapshotError>;
+
+        let shards = self.shards;
+        let make_sink = &make_sink;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards);
+            let (first_tx, mut rx) = mpsc::channel::<Baton>();
+            first_tx.send(Baton::Run(None)).expect("receiver alive");
+            drop(first_tx);
+            for shard in 0..shards {
+                let (tx_next, rx_next) = mpsc::channel::<Baton>();
+                let this = *self;
+                let rx_cur = std::mem::replace(&mut rx, rx_next);
+                handles.push(scope.spawn(move || -> WorkerResult<S> {
+                    // A closed channel means an upstream worker errored
+                    // out; its own result carries the error.
+                    let baton = rx_cur.recv().unwrap_or(Baton::Done);
+                    let Baton::Run(bytes) = baton else {
+                        let _ = tx_next.send(Baton::Done);
+                        return Ok((0, None));
+                    };
+                    let mut sink = make_sink();
+                    let step = {
+                        let mut session = Session::new();
+                        session.observe_checkpointable(&mut sink);
+                        this.run_shard(program, limits, shard, bytes, &mut session)?
+                    };
+                    if step.done {
+                        let _ = tx_next.send(Baton::Done);
+                        Ok((0, Some((sink, step.summary, shard + 1))))
+                    } else {
+                        let bytes = step.handoff.expect("non-final shard hands off");
+                        let sent = bytes.len() as u64;
+                        let _ = tx_next.send(Baton::Run(Some(bytes)));
+                        Ok((sent, None))
+                    }
+                }));
+            }
+            drop(rx);
+
+            let mut handoff_bytes = 0u64;
+            let mut outcome = None;
+            for handle in handles {
+                let (sent, done) = handle.join().expect("worker thread panicked")?;
+                handoff_bytes += sent;
+                if done.is_some() {
+                    outcome = done;
+                }
+            }
+            let (sink, summary, shards_run) = outcome.expect("one worker ends the stream");
+            Ok(ShardedOutcome {
+                sink,
+                summary,
+                shards_run,
+                handoff_bytes,
+            })
+        })
+    }
+
+    /// Runs one shard inside `session`: resume (if not the first),
+    /// advance one fuel slice, then halt-end / finish / checkpoint as
+    /// appropriate.
+    fn run_shard(
+        &self,
+        program: &Program,
+        limits: RunLimits,
+        shard: usize,
+        handoff: Option<Vec<u8>>,
+        session: &mut Session<'_>,
+    ) -> Result<ShardStep, SnapshotError> {
+        let per_shard = limits.max_instrs.div_ceil(self.shards as u64);
+        let executed = match handoff {
+            Some(bytes) => {
+                let snapshot = Snapshot::from_bytes(&bytes)?;
+                session.resume(&snapshot)?;
+                snapshot.instructions()
+            }
+            None => 0,
+        };
+        let budget = per_shard.min(limits.max_instrs - executed);
+        let summary = session.advance(
+            program,
+            RunLimits {
+                max_instrs: budget,
+                ..limits
+            },
+        )?;
+        let budget_exhausted =
+            shard + 1 == self.shards || summary.instructions >= limits.max_instrs;
+        if session.is_ended() {
+            // The program halted inside this shard.
+            Ok(ShardStep {
+                summary,
+                done: true,
+                handoff: None,
+            })
+        } else if budget_exhausted {
+            session.finish();
+            Ok(ShardStep {
+                summary,
+                done: true,
+                handoff: None,
+            })
+        } else {
+            let bytes = session.checkpoint()?.to_bytes();
+            Ok(ShardStep {
+                summary,
+                done: false,
+                handoff: Some(bytes),
+            })
+        }
+    }
+}
+
+/// One shard's outcome inside the driver loops.
+struct ShardStep {
+    summary: SessionSummary,
+    done: bool,
+    handoff: Option<Vec<u8>>,
+}

@@ -1,0 +1,164 @@
+//! The monomorphic fan-out container.
+
+use loopspec_core::{LoopEvent, LoopEventSink, SnapshotState};
+
+/// A homogeneous, **monomorphic** fan-out set: any number of same-type
+/// sinks registered in a [`Session`](crate::Session) as a *single*
+/// slot.
+///
+/// The session's fan-out crosses one `&mut dyn` boundary per registered
+/// slot per chunk. For many same-shaped consumers (e.g.
+/// [`loopspec_mt::AnyStreamEngine`]s), a `SinkSet` collapses that to
+/// one virtual call per chunk for the whole set, and the inner loop
+/// dispatches statically. See [`loopspec_core::sink`] for the batching
+/// contract it relies on.
+///
+/// For the *experiment grid* specifically — many speculation-engine
+/// configurations over one stream — prefer
+/// [`loopspec_mt::EngineGrid`], which additionally shares the
+/// annotation bookkeeping across all configurations instead of
+/// repeating it per sink; `SinkSet` is the general-purpose container
+/// for sinks that have no such shared work.
+///
+/// When the element type is checkpointable, so is the set: a `SinkSet`
+/// registered via
+/// [`observe_checkpointable`](crate::Session::observe_checkpointable)
+/// contributes one snapshot section holding every element's state, and
+/// restoring verifies the element count.
+///
+/// ```
+/// use loopspec_core::CountingSink;
+/// use loopspec_pipeline::{Session, SinkSet};
+/// use loopspec_cpu::RunLimits;
+/// use loopspec_asm::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.counted_loop(10, |b, _| b.work(3));
+/// let program = b.finish()?;
+///
+/// let mut grid: SinkSet<CountingSink> =
+///     (0..20).map(|_| CountingSink::default()).collect();
+/// let mut session = Session::new();
+/// session.observe_loops(&mut grid);
+/// session.run(&program, RunLimits::default())?;
+/// assert!(grid.iter().all(|c| c.events > 0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SinkSet<S> {
+    sinks: Vec<S>,
+}
+
+impl<S: LoopEventSink> SinkSet<S> {
+    /// An empty set.
+    pub fn new() -> Self {
+        SinkSet { sinks: Vec::new() }
+    }
+
+    /// Wraps an existing vector of sinks (delivery order = vector
+    /// order).
+    pub fn from_vec(sinks: Vec<S>) -> Self {
+        SinkSet { sinks }
+    }
+
+    /// Appends a sink.
+    pub fn push(&mut self, sink: S) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of sinks in the set.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// `true` when the set holds no sinks.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// The sink at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<&S> {
+        self.sinks.get(index)
+    }
+
+    /// Iterates the sinks in delivery order.
+    pub fn iter(&self) -> std::slice::Iter<'_, S> {
+        self.sinks.iter()
+    }
+
+    /// Mutably iterates the sinks in delivery order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, S> {
+        self.sinks.iter_mut()
+    }
+
+    /// Consumes the set, returning the sinks.
+    pub fn into_inner(self) -> Vec<S> {
+        self.sinks
+    }
+}
+
+impl<S: LoopEventSink> FromIterator<S> for SinkSet<S> {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        SinkSet {
+            sinks: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a, S: LoopEventSink> IntoIterator for &'a SinkSet<S> {
+    type Item = &'a S;
+    type IntoIter = std::slice::Iter<'a, S>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<S: LoopEventSink> LoopEventSink for SinkSet<S> {
+    #[inline]
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        for s in &mut self.sinks {
+            s.on_loop_event(ev);
+        }
+    }
+
+    #[inline]
+    fn on_loop_events(&mut self, events: &[LoopEvent]) {
+        for s in &mut self.sinks {
+            s.on_loop_events(events);
+        }
+    }
+
+    fn on_stream_end(&mut self, instructions: u64) {
+        for s in &mut self.sinks {
+            s.on_stream_end(instructions);
+        }
+    }
+}
+
+/// One section per element, in delivery order; the element count is
+/// echoed and verified so a snapshot of an N-sink set can only restore
+/// into an N-sink set.
+impl<S: LoopEventSink + SnapshotState> SnapshotState for SinkSet<S> {
+    fn save_state(&self, out: &mut loopspec_core::snap::Enc) {
+        out.u64(self.sinks.len() as u64);
+        for s in &self.sinks {
+            s.save_state(out);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        src: &mut loopspec_core::snap::Dec<'_>,
+    ) -> Result<(), loopspec_core::snap::SnapError> {
+        if src.u64()? != self.sinks.len() as u64 {
+            return Err(loopspec_core::snap::SnapError::Mismatch {
+                what: "sink set size",
+            });
+        }
+        for s in &mut self.sinks {
+            s.load_state(src)?;
+        }
+        Ok(())
+    }
+}

@@ -83,6 +83,8 @@ pub mod prelude {
         ideal_tpc, AnnotatedTrace, AnyStreamEngine, Engine, EngineGrid, EngineReport, EngineSink,
         IdlePolicy, StrNestedPolicy, StrPolicy, StreamEngine,
     };
-    pub use loopspec_pipeline::{Session, SessionSummary, SinkSet};
+    pub use loopspec_pipeline::{
+        CheckpointSink, Session, SessionSummary, ShardedRun, SinkSet, Snapshot, SnapshotState,
+    };
     pub use loopspec_workloads::{all as all_workloads, by_name as workload_by_name, Scale};
 }
