@@ -10,6 +10,11 @@
 //! * `*_grid/*` — the experiment-harness case: all 20 (policy × TU)
 //!   engine configurations, either replayed from the materialized trace
 //!   or fanned out in the single streaming pass.
+//! * `dist_grid/*` — the same 20-lane pass scheduled by the
+//!   `loopspec-dist` coordinator across two protocol-speaking workers
+//!   over Unix socket pairs (worker threads, so the gate prices the
+//!   frame protocol + snapshot chaining + scheduling, not process
+//!   spawn noise).
 
 use loopspec_bench::experiments::{grid_points, run_engine, PolicyKind, TU_COUNTS};
 use loopspec_bench::timing::Suite;
@@ -19,8 +24,48 @@ use loopspec_mt::{AnnotatedTrace, EngineGrid, StrPolicy, StreamEngine};
 use loopspec_pipeline::{Session, ShardedRun};
 use loopspec_workloads::{by_name, Scale};
 
-/// Shard count for the `sharded_grid` benchmark (and its gate metric).
+/// Shard count for the `sharded_grid` and `dist_grid` benchmarks (and
+/// their gate metrics).
 const SHARDS: usize = 4;
+
+/// Worker count for the `dist_grid` benchmark.
+#[cfg(unix)]
+const WORKERS: usize = 2;
+
+/// One distributed replay of `name` over the full 20-lane grid:
+/// `WORKERS` protocol-speaking worker threads on Unix socket pairs,
+/// the chain sliced into ~`SHARDS` snapshot-linked shards. Unix-only
+/// (the socket-pair transport); on other hosts the group is absent and
+/// the gate skips its metric.
+#[cfg(unix)]
+fn dist_grid_run(name: &str, shard_fuel: u64) -> f64 {
+    use loopspec_dist::{default_lanes, Coordinator, SuiteSpec, Worker, WorkerLink};
+    use loopspec_pipeline::Plan;
+
+    let mut links = Vec::with_capacity(WORKERS);
+    let mut handles = Vec::with_capacity(WORKERS);
+    for _ in 0..WORKERS {
+        let (ours, theirs) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+        links.push(WorkerLink::from_unix(ours).expect("clone"));
+        handles.push(std::thread::spawn(move || {
+            let reader = theirs.try_clone().expect("clone");
+            let _ = Worker::new().serve(reader, theirs);
+        }));
+    }
+    let spec = SuiteSpec::new(
+        [name],
+        Scale::Test,
+        default_lanes(),
+        Plan::sliced(shard_fuel),
+    );
+    let outcome = Coordinator::new(links)
+        .run_suite(&spec)
+        .expect("distributed run succeeds");
+    for h in handles {
+        h.join().expect("worker thread exits");
+    }
+    outcome.outcomes[0].lanes.iter().map(|l| l.tpc()).sum()
+}
 
 fn main() {
     let mut s = Suite::new("pipeline");
@@ -136,6 +181,23 @@ fn main() {
                 std::hint::black_box(acc)
             },
         );
+
+        // The same logical pass again, but scheduled by the dist
+        // coordinator across two protocol-speaking workers: every
+        // shard boundary is a snapshot serialize → frame → socket →
+        // decode → restore round trip. The gate tracks this against
+        // `streaming_grid` so wire-protocol overhead regressions fail
+        // CI.
+        #[cfg(unix)]
+        {
+            let shard_fuel = instructions.div_ceil(SHARDS as u64);
+            s.bench(
+                "dist_grid",
+                &format!("{WORKERS}-workers-{SHARDS}-shards/{name}"),
+                Some(instructions),
+                || std::hint::black_box(dist_grid_run(name, shard_fuel)),
+            );
+        }
     }
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");

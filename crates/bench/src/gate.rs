@@ -111,14 +111,20 @@ pub fn parse_snapshot(json: &str) -> Result<BenchSnapshot, String> {
 ///   overhead over batch replay;
 /// * `sharded_grid / streaming_grid` — the checkpoint/resume overhead
 ///   of splitting the same pass into snapshot-linked shards (serialize,
-///   checksum, restore at every boundary).
-pub const METRICS: [(&str, &str, &str); 2] = [
+///   checksum, restore at every boundary);
+/// * `dist_grid / streaming_grid` — the full distributed-replay
+///   overhead: the sharded pass again, but scheduled by the
+///   `loopspec-dist` coordinator across protocol-speaking workers on
+///   Unix sockets (frame encode/decode, snapshot shipping, job-queue
+///   round trips).
+pub const METRICS: [(&str, &str, &str); 3] = [
     (
         "streaming_grid",
         "materialized_grid",
         "streaming/materialized",
     ),
     ("sharded_grid", "streaming_grid", "sharded/streaming"),
+    ("dist_grid", "streaming_grid", "dist/streaming"),
 ];
 
 /// One workload's gate verdict for one metric.
@@ -353,6 +359,26 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r.metric == "streaming/materialized" && r.passed()));
+    }
+
+    #[test]
+    fn dist_metric_is_gated_when_both_snapshots_have_it() {
+        fn with_dist(mut snap: BenchSnapshot, ns: f64) -> BenchSnapshot {
+            snap.entries.push(BenchEntry {
+                group: "dist_grid".into(),
+                name: "2-workers-4-shards/compress".into(),
+                median_ns: ns,
+            });
+            snap
+        }
+        let base = with_dist(snapshot(&[("compress", 120.0, 100.0)]), 180.0);
+        let fresh = with_dist(snapshot(&[("compress", 120.0, 100.0)]), 400.0);
+        let rows = check(&base, &fresh, 1.2).expect("comparable");
+        let dist = rows.iter().find(|r| r.metric == "dist/streaming").unwrap();
+        assert!(!dist.passed(), "doubled wire overhead must fail");
+        // Against a baseline predating dist_grid, the metric is skipped.
+        let rows = check(&snapshot(&[("compress", 120.0, 100.0)]), &fresh, 1.2).unwrap();
+        assert!(rows.iter().all(|r| r.metric != "dist/streaming"));
     }
 
     #[test]

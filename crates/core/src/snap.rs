@@ -23,7 +23,9 @@
 //!   `checkpoint_resume` and `sharded_equivalence` suites at the repo
 //!   root enforce this end to end.
 
-pub use loopspec_isa::snap::{Dec, Enc, SnapError};
+pub use loopspec_isa::snap::{
+    fnv1a, frame, Dec, Enc, FrameBuf, SnapError, FRAME_HEADER, FRAME_TRAILER,
+};
 
 use crate::{LoopEvent, LoopId};
 use loopspec_isa::Addr;
@@ -164,7 +166,10 @@ pub fn write_events(out: &mut Enc, events: &[LoopEvent]) {
 ///
 /// [`SnapError`] on truncated/corrupt input.
 pub fn read_events(src: &mut Dec<'_>) -> Result<Vec<LoopEvent>, SnapError> {
-    let n = src.count()?;
+    // Every event encodes to exactly 17 bytes (tag + id + pos + arg);
+    // sizing the count check to that keeps a corrupt count from
+    // reserving 17x the input in `LoopEvent`s.
+    let n = src.count_elems(17)?;
     let mut events = Vec::with_capacity(n);
     for _ in 0..n {
         events.push(read_event(src)?);

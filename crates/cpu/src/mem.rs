@@ -91,7 +91,10 @@ impl Memory {
         &mut self,
         src: &mut loopspec_isa::snap::Dec<'_>,
     ) -> Result<(), loopspec_isa::snap::SnapError> {
-        let n = src.count()?;
+        // Each page encodes as an 8-byte index plus PAGE_WORDS words —
+        // sizing the count check to that keeps a corrupt count from
+        // reserving map capacity far beyond the input.
+        let n = src.count_elems(8 * (1 + PAGE_WORDS as usize))?;
         let mut pages = HashMap::with_capacity(n);
         for _ in 0..n {
             let idx = src.u64()?;

@@ -1,0 +1,1020 @@
+//! The coordinator: N worker processes, one job queue of
+//! snapshot-linked shards, crash-tolerant scheduling, bit-identical
+//! merged results.
+//!
+//! ## Scheduling model
+//!
+//! Each workload is a **chain**: a sequence of shards linked by
+//! serialized snapshots, scheduled by the same
+//! [`Plan`] the in-thread drivers use. Chains
+//! are mutually independent (one workload's shards never touch
+//! another's state), so the coordinator keeps every chain's *head
+//! shard* in a ready queue and hands heads to idle workers as they
+//! free up — with W workers, up to W workloads replay concurrently,
+//! each chain migrating between workers at every snapshot boundary.
+//! Within a chain, shards stay serial (iteration N+1 needs the state
+//! of iteration N); across chains, the suite saturates the worker
+//! pool.
+//!
+//! ## Failure model
+//!
+//! * **Worker death** (dropped connection — process exit, kill, broken
+//!   pipe): the in-flight job's *input* snapshot is still held by the
+//!   coordinator, so the chain is requeued from its last good snapshot
+//!   and handed to another worker. Work is lost, state is not; the
+//!   merged result is still bit-identical.
+//! * **Deterministic job failure** ([`Frame::Error`]: unknown
+//!   workload, invalid lane, snapshot rejected): retrying elsewhere
+//!   would fail identically, so the run fails with
+//!   [`DistError::Failed`].
+//! * **All workers dead** with work remaining:
+//!   [`DistError::AllWorkersDied`].
+//!
+//! ## Bit-identity
+//!
+//! A worker's [`Report`](crate::wire::Report) carries both the
+//! integer-exact per-lane reports and the final sink's deterministic
+//! `save_state` bytes. [`DistOutcome::verify_single_pass`] recomputes
+//! each workload in-process with one uninterrupted [`Session`] and
+//! compares **bytes**, not summaries — the distributed grid must be
+//! indistinguishable from the single-pass grid down to its serialized
+//! state.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+
+use loopspec_core::snap::Enc;
+use loopspec_core::SnapshotState;
+use loopspec_cpu::RunLimits;
+use loopspec_pipeline::{Plan, Session};
+use loopspec_workloads::Scale;
+
+use crate::wire::{
+    write_frame, Frame, FrameReader, Job, LaneReport, LaneSpec, WireError, PROTOCOL,
+};
+
+/// Why a distributed run failed.
+#[derive(Debug)]
+pub enum DistError {
+    /// Transport-level failure outside any worker conversation (e.g.
+    /// spawning a worker process).
+    Io(io::Error),
+    /// A job failed deterministically — on a worker
+    /// ([`Frame::Error`]) or locally while verifying.
+    Failed {
+        /// The workload involved (empty during the handshake).
+        workload: String,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Every worker died with work remaining; nothing left to
+    /// reassign jobs to.
+    AllWorkersDied {
+        /// Workload chains that did complete.
+        completed: usize,
+        /// Total chains in the suite.
+        total: usize,
+    },
+    /// A worker violated the protocol (wrong handshake echo, reply for
+    /// a job it was never given).
+    Protocol(String),
+    /// The bit-identity check failed: a distributed result differs
+    /// from the single-pass reference.
+    Mismatch {
+        /// The differing workload.
+        workload: String,
+        /// Which comparison differed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "distributed run i/o error: {e}"),
+            DistError::Failed { workload, message } if workload.is_empty() => {
+                write!(f, "worker failed: {message}")
+            }
+            DistError::Failed { workload, message } => {
+                write!(f, "workload '{workload}' failed: {message}")
+            }
+            DistError::AllWorkersDied { completed, total } => write!(
+                f,
+                "all workers died with {completed}/{total} workloads complete"
+            ),
+            DistError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            DistError::Mismatch { workload, what } => write!(
+                f,
+                "bit-identity violation on '{workload}': {what} differs from the single pass"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<io::Error> for DistError {
+    fn from(e: io::Error) -> Self {
+        DistError::Io(e)
+    }
+}
+
+/// One connected worker: a writable half the scheduler sends jobs on,
+/// a readable half a reader thread drains, and — for spawned workers —
+/// the child process handle.
+#[derive(Debug)]
+pub struct WorkerLink {
+    writer: LinkWriter,
+    reader: Option<LinkReader>,
+    child: Option<Child>,
+}
+
+#[derive(Debug)]
+enum LinkWriter {
+    Pipe(Option<std::process::ChildStdin>),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+#[derive(Debug)]
+enum LinkReader {
+    Pipe(std::process::ChildStdout),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Write for LinkWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            LinkWriter::Pipe(Some(w)) => w.write(buf),
+            LinkWriter::Pipe(None) => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "worker stdin already closed",
+            )),
+            #[cfg(unix)]
+            LinkWriter::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            LinkWriter::Pipe(Some(w)) => w.flush(),
+            LinkWriter::Pipe(None) => Ok(()),
+            #[cfg(unix)]
+            LinkWriter::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Read for LinkReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            LinkReader::Pipe(r) => r.read(buf),
+            #[cfg(unix)]
+            LinkReader::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl LinkWriter {
+    /// Signals end-of-jobs to the worker (EOF on its reading side).
+    fn close(&mut self) {
+        match self {
+            LinkWriter::Pipe(w) => drop(w.take()),
+            #[cfg(unix)]
+            LinkWriter::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Write);
+            }
+        }
+    }
+}
+
+impl WorkerLink {
+    /// Spawns `cmd` as a worker process talking frames on its
+    /// stdin/stdout (stderr is inherited, so worker diagnostics land in
+    /// the coordinator's stderr).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the spawn failure.
+    pub fn spawn(cmd: &mut Command) -> io::Result<Self> {
+        let mut child = cmd
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        Ok(WorkerLink {
+            writer: LinkWriter::Pipe(Some(stdin)),
+            reader: Some(LinkReader::Pipe(stdout)),
+            child: Some(child),
+        })
+    }
+
+    /// Wraps one end of a Unix socket pair whose other end a worker is
+    /// serving (e.g. a worker thread in the same process — the
+    /// transport the `dist_grid` bench uses, and the remote-host shape
+    /// a future TCP transport would generalize).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `try_clone` failure.
+    #[cfg(unix)]
+    pub fn from_unix(stream: std::os::unix::net::UnixStream) -> io::Result<Self> {
+        let reader = stream.try_clone()?;
+        Ok(WorkerLink {
+            writer: LinkWriter::Unix(stream),
+            reader: Some(LinkReader::Unix(reader)),
+            child: None,
+        })
+    }
+}
+
+/// The 20-lane experiment grid — every (policy × TU-count) point of the
+/// paper's evaluation, as wire lane specs.
+pub fn default_lanes() -> Vec<LaneSpec> {
+    let mut lanes = Vec::with_capacity(20);
+    for tus in [2u32, 4, 8, 16] {
+        lanes.push(LaneSpec::Idle { tus });
+        lanes.push(LaneSpec::Str { tus });
+        for limit in 1..=3 {
+            lanes.push(LaneSpec::StrNested { limit, tus });
+        }
+    }
+    lanes
+}
+
+/// What to replay, how to slice it, and through which lanes.
+#[derive(Debug, Clone)]
+pub struct SuiteSpec {
+    /// Workload names, scheduled as independent chains.
+    pub workloads: Vec<String>,
+    /// Scale every workload is built at.
+    pub scale: Scale,
+    /// Engine lanes each chain fans its events into.
+    pub lanes: Vec<LaneSpec>,
+    /// How each chain is sliced into shards (shared with the
+    /// in-thread drivers).
+    pub plan: Plan,
+    /// Total instruction budget per workload (the default
+    /// [`RunLimits`] fuel — workloads halt long before it).
+    pub total_fuel: u64,
+}
+
+impl SuiteSpec {
+    /// A spec over the named workloads.
+    pub fn new<S: Into<String>>(
+        workloads: impl IntoIterator<Item = S>,
+        scale: Scale,
+        lanes: Vec<LaneSpec>,
+        plan: Plan,
+    ) -> Self {
+        SuiteSpec {
+            workloads: workloads.into_iter().map(Into::into).collect(),
+            scale,
+            lanes,
+            plan,
+            total_fuel: RunLimits::default().max_instrs,
+        }
+    }
+
+    /// The full 18-workload suite through the 20-lane grid, sliced
+    /// into fixed `shard_fuel` checkpoints.
+    pub fn full_grid(scale: Scale, shard_fuel: u64) -> Self {
+        SuiteSpec::new(
+            loopspec_workloads::all().iter().map(|w| w.name),
+            scale,
+            default_lanes(),
+            Plan::sliced(shard_fuel),
+        )
+    }
+}
+
+/// One workload chain's merged result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadOutcome {
+    /// Workload name.
+    pub workload: String,
+    /// Total instructions replayed.
+    pub instructions: u64,
+    /// Shards the chain actually ran (requeued shards count once).
+    pub shards_run: u32,
+    /// Times the chain was requeued after losing a worker mid-shard.
+    pub retries: u32,
+    /// Per-lane final reports, in lane order.
+    pub lanes: Vec<LaneReport>,
+    /// The final sink grid's deterministic `save_state` bytes.
+    pub state: Vec<u8>,
+}
+
+/// A completed distributed run.
+#[derive(Debug, Clone)]
+pub struct DistOutcome {
+    /// Per-workload results, in suite order.
+    pub outcomes: Vec<WorkloadOutcome>,
+    /// Worker connections lost during the run.
+    pub workers_lost: u32,
+    /// Jobs dispatched (including requeued re-dispatches).
+    pub jobs_dispatched: u64,
+    /// Total snapshot bytes shipped back from workers at shard
+    /// boundaries.
+    pub handoff_bytes: u64,
+}
+
+impl DistOutcome {
+    /// Recomputes every workload with one uninterrupted in-process
+    /// [`Session`] and requires the distributed results to be
+    /// **byte-identical**: same instruction counts, same integer-exact
+    /// lane reports, same serialized final sink state.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Mismatch`] naming the first differing workload and
+    /// comparison; [`DistError::Failed`] if a reference run itself
+    /// fails.
+    pub fn verify_single_pass(&self, spec: &SuiteSpec) -> Result<(), DistError> {
+        for outcome in &self.outcomes {
+            let reference =
+                single_pass_outcome(&outcome.workload, spec.scale, &spec.lanes, spec.total_fuel)?;
+            let what = if outcome.instructions != reference.instructions {
+                Some("instruction count")
+            } else if outcome.lanes != reference.lanes {
+                Some("lane reports")
+            } else if outcome.state != reference.state {
+                Some("serialized sink state")
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                return Err(DistError::Mismatch {
+                    workload: outcome.workload.clone(),
+                    what,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The single-pass reference for one workload: the same lanes, one
+/// uninterrupted [`Session`], packaged as a [`WorkloadOutcome`]
+/// (`shards_run = 1`, `retries = 0`) so distributed results can be
+/// compared field for field.
+///
+/// # Errors
+///
+/// [`DistError::Failed`] when the workload is unknown, fails to
+/// assemble, or faults while running.
+pub fn single_pass_outcome(
+    workload: &str,
+    scale: Scale,
+    lanes: &[LaneSpec],
+    total_fuel: u64,
+) -> Result<WorkloadOutcome, DistError> {
+    let fail = |message: String| DistError::Failed {
+        workload: workload.to_string(),
+        message,
+    };
+    let w = loopspec_workloads::by_name(workload)
+        .ok_or_else(|| fail(format!("unknown workload '{workload}'")))?;
+    let program = w
+        .build(scale)
+        .map_err(|e| fail(format!("failed to assemble: {e}")))?;
+    let mut grid = LaneSpec::build_grid(lanes).map_err(|e| fail(format!("bad lane spec: {e}")))?;
+    let summary = {
+        let mut session = Session::new();
+        session.observe_checkpointable(&mut grid);
+        session
+            .run(&program, RunLimits::with_fuel(total_fuel))
+            .map_err(|e| fail(format!("cpu fault: {e}")))?
+    };
+    let lanes = grid
+        .reports()
+        .expect("stream ended")
+        .iter()
+        .map(Into::into)
+        .collect();
+    let mut enc = Enc::new();
+    grid.save_state(&mut enc);
+    Ok(WorkloadOutcome {
+        workload: workload.to_string(),
+        instructions: summary.instructions,
+        shards_run: 1,
+        retries: 0,
+        lanes,
+        state: enc.into_bytes(),
+    })
+}
+
+/// What a reader thread reports back to the scheduler.
+enum Event {
+    Frame(usize, Frame),
+    /// The worker's stream closed or broke mid-frame (EOF, transport
+    /// error): the worker is gone and its in-flight job is retryable.
+    Closed(usize),
+    /// The worker's stream decoded to garbage (bad checksum, bad tag,
+    /// oversized length). Unlike [`Event::Closed`], this is *not*
+    /// treated as retryable worker death: a worker that deterministically
+    /// produces malformed frames would tear down every link in turn and
+    /// surface as a misleading `AllWorkersDied`.
+    Garbled(usize, WireError),
+}
+
+/// Per-worker scheduler state.
+enum WorkerState {
+    /// Hello sent, echo not yet received.
+    Connecting,
+    Idle,
+    /// Executing the job for chain `chain` under job id `job`.
+    Busy {
+        job: u64,
+        chain: usize,
+    },
+    Dead,
+}
+
+/// One workload's chain through the job queue.
+struct Chain {
+    name: String,
+    shard: u32,
+    executed: u64,
+    /// Last good snapshot — input of the next (or in-flight) shard.
+    /// Retained until the *next* snapshot arrives, so a lost worker
+    /// only loses work, never state.
+    snapshot: Option<Vec<u8>>,
+    retries: u32,
+}
+
+/// The multi-process shard scheduler. Construct with connected
+/// [`WorkerLink`]s ([`Coordinator::spawn`] for the common
+/// re-invoke-current-binary case) and call [`Coordinator::run_suite`].
+#[derive(Debug)]
+pub struct Coordinator {
+    links: Vec<WorkerLink>,
+}
+
+impl Coordinator {
+    /// A coordinator over already-connected workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links` is empty.
+    pub fn new(links: Vec<WorkerLink>) -> Self {
+        assert!(!links.is_empty(), "a run needs at least one worker");
+        Coordinator { links }
+    }
+
+    /// Spawns `workers` processes by re-invoking the current executable
+    /// with `--worker` — the binary must call
+    /// [`maybe_serve_stdio`](crate::worker::maybe_serve_stdio) first
+    /// thing in `main` (the `dist_run` binary and the `distributed_run`
+    /// example both do).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn spawn(workers: usize) -> io::Result<Self> {
+        let exe = std::env::current_exe()?;
+        Self::spawn_with(workers, |_| {
+            let mut cmd = Command::new(&exe);
+            cmd.arg("--worker");
+            cmd
+        })
+    }
+
+    /// Spawns `workers` processes from per-worker commands — the hook
+    /// for custom binaries, per-worker environment (the crash-injection
+    /// tests use it), or remote-execution wrappers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn spawn_with(
+        workers: usize,
+        mut command: impl FnMut(usize) -> Command,
+    ) -> io::Result<Self> {
+        let links = (0..workers)
+            .map(|i| WorkerLink::spawn(&mut command(i)))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Self::new(links))
+    }
+
+    /// Number of connected workers.
+    pub fn workers(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Runs the whole suite across the worker pool and merges the
+    /// results; see the [module docs](self) for the scheduling and
+    /// failure model. Consumes the coordinator: workers are shut down
+    /// (EOF on their job streams) and reaped before this returns,
+    /// success or failure.
+    ///
+    /// # Errors
+    ///
+    /// See [`DistError`].
+    pub fn run_suite(mut self, spec: &SuiteSpec) -> Result<DistOutcome, DistError> {
+        let (tx, rx) = mpsc::channel::<Event>();
+        let mut readers = Vec::with_capacity(self.links.len());
+        for (i, link) in self.links.iter_mut().enumerate() {
+            let reader = link.reader.take().expect("fresh link has a reader");
+            let tx = tx.clone();
+            readers.push(std::thread::spawn(move || {
+                let mut frames = FrameReader::new(reader);
+                loop {
+                    match frames.read_frame() {
+                        Ok(Some(frame)) => {
+                            if tx.send(Event::Frame(i, frame)).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(None) | Err(WireError::Io(_)) => {
+                            let _ = tx.send(Event::Closed(i));
+                            break;
+                        }
+                        Err(e @ WireError::Codec(_)) => {
+                            let _ = tx.send(Event::Garbled(i, e));
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        drop(tx);
+
+        let result = self.schedule(spec, &rx);
+
+        // Shutdown: EOF the job streams, reap children, join readers.
+        for link in &mut self.links {
+            link.writer.close();
+        }
+        for link in &mut self.links {
+            if let Some(child) = &mut link.child {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        for handle in readers {
+            let _ = handle.join();
+        }
+        while rx.try_recv().is_ok() {}
+        result
+    }
+
+    /// The scheduler loop proper (shutdown handled by the caller).
+    fn schedule(
+        &mut self,
+        spec: &SuiteSpec,
+        rx: &mpsc::Receiver<Event>,
+    ) -> Result<DistOutcome, DistError> {
+        let mut chains: Vec<Chain> = spec
+            .workloads
+            .iter()
+            .map(|name| Chain {
+                name: name.clone(),
+                shard: 0,
+                executed: 0,
+                snapshot: None,
+                retries: 0,
+            })
+            .collect();
+        let mut ready: VecDeque<usize> = (0..chains.len()).collect();
+        let mut outcomes: Vec<Option<WorkloadOutcome>> = chains.iter().map(|_| None).collect();
+        let mut states: Vec<WorkerState> = Vec::new();
+        let mut completed = 0usize;
+        let mut workers_lost = 0u32;
+        let mut jobs_dispatched = 0u64;
+        let mut handoff_bytes = 0u64;
+        let mut next_job = 1u64;
+
+        // Handshake: offer our protocol version to every worker.
+        for (i, link) in self.links.iter_mut().enumerate() {
+            let hello = Frame::Hello {
+                protocol: PROTOCOL,
+                worker: i as u32,
+            };
+            states.push(match write_frame(&mut link.writer, &hello) {
+                Ok(()) => WorkerState::Connecting,
+                Err(_) => {
+                    workers_lost += 1;
+                    WorkerState::Dead
+                }
+            });
+        }
+
+        while completed < chains.len() {
+            // Hand every ready chain head to an idle worker.
+            'dispatch: while let Some(&chain_idx) = ready.front() {
+                let Some(worker) = states.iter().position(|s| matches!(s, WorkerState::Idle))
+                else {
+                    break 'dispatch;
+                };
+                ready.pop_front();
+                let chain = &mut chains[chain_idx];
+                let job_id = next_job;
+                next_job += 1;
+                // The snapshot is *moved* into the job (it is the
+                // largest object in the system — no clone on the
+                // dispatch hot path) and restored right after the
+                // write, so the chain still holds its last good
+                // snapshot if this worker is later lost mid-shard.
+                let job = Frame::Job(Job {
+                    id: job_id,
+                    workload: chain.name.clone(),
+                    scale: spec.scale,
+                    lanes: spec.lanes.clone(),
+                    shard: chain.shard,
+                    budget: spec.plan.budget(spec.total_fuel, chain.executed),
+                    total_fuel: spec.total_fuel,
+                    last: spec.plan.is_last(chain.shard as usize),
+                    snapshot: chain.snapshot.take(),
+                });
+                let wrote = write_frame(&mut self.links[worker].writer, &job);
+                let Frame::Job(job) = job else { unreachable!() };
+                chains[chain_idx].snapshot = job.snapshot;
+                match wrote {
+                    Ok(()) => {
+                        jobs_dispatched += 1;
+                        states[worker] = WorkerState::Busy {
+                            job: job_id,
+                            chain: chain_idx,
+                        };
+                    }
+                    Err(WireError::Codec(e)) => {
+                        // The job itself cannot be framed (e.g. its
+                        // snapshot outgrew the frame limit) — every
+                        // worker would refuse it identically, so fail
+                        // the run with the cause instead of cycling
+                        // through the pool.
+                        return Err(DistError::Failed {
+                            workload: chains[chain_idx].name.clone(),
+                            message: format!("job could not be framed: {e}"),
+                        });
+                    }
+                    Err(WireError::Io(_)) => {
+                        // The worker died between frames; its Closed
+                        // event will arrive too — requeue and retry on
+                        // another worker.
+                        states[worker] = WorkerState::Dead;
+                        workers_lost += 1;
+                        chains[chain_idx].retries += 1;
+                        ready.push_front(chain_idx);
+                    }
+                }
+            }
+
+            if states.iter().all(|s| matches!(s, WorkerState::Dead)) {
+                return Err(DistError::AllWorkersDied {
+                    completed,
+                    total: chains.len(),
+                });
+            }
+
+            let event = rx.recv().map_err(|_| DistError::AllWorkersDied {
+                completed,
+                total: chains.len(),
+            })?;
+            match event {
+                Event::Frame(w, Frame::Hello { protocol, worker })
+                    if matches!(states[w], WorkerState::Connecting) =>
+                {
+                    if protocol != PROTOCOL || worker != w as u32 {
+                        return Err(DistError::Protocol(format!(
+                            "worker {w} echoed protocol v{protocol} id {worker}, \
+                             expected v{PROTOCOL} id {w}"
+                        )));
+                    }
+                    states[w] = WorkerState::Idle;
+                }
+                Event::Frame(
+                    w,
+                    Frame::Snapshot {
+                        job,
+                        instructions,
+                        bytes,
+                    },
+                ) => {
+                    let chain_idx = self.expect_busy(&states, w, job)?;
+                    let chain = &mut chains[chain_idx];
+                    handoff_bytes += bytes.len() as u64;
+                    chain.executed = instructions;
+                    chain.shard += 1;
+                    chain.snapshot = Some(bytes);
+                    ready.push_back(chain_idx);
+                    states[w] = WorkerState::Idle;
+                }
+                Event::Frame(w, Frame::Report(report)) => {
+                    let chain_idx = self.expect_busy(&states, w, report.job)?;
+                    let chain = &mut chains[chain_idx];
+                    outcomes[chain_idx] = Some(WorkloadOutcome {
+                        workload: chain.name.clone(),
+                        instructions: report.instructions,
+                        shards_run: chain.shard + 1,
+                        retries: chain.retries,
+                        lanes: report.lanes,
+                        state: report.state,
+                    });
+                    completed += 1;
+                    states[w] = WorkerState::Idle;
+                }
+                Event::Frame(w, Frame::Error { message, .. }) => {
+                    let workload = match states[w] {
+                        WorkerState::Busy { chain, .. } => chains[chain].name.clone(),
+                        _ => String::new(),
+                    };
+                    return Err(DistError::Failed { workload, message });
+                }
+                Event::Frame(w, frame) => {
+                    return Err(DistError::Protocol(format!(
+                        "worker {w} sent an unexpected frame: {frame:?}"
+                    )));
+                }
+                Event::Closed(w) => {
+                    if let WorkerState::Busy { chain, .. } = states[w] {
+                        // Lost mid-shard: requeue from the last good
+                        // snapshot (still held here — work lost, state
+                        // not).
+                        chains[chain].retries += 1;
+                        ready.push_front(chain);
+                    }
+                    if !matches!(states[w], WorkerState::Dead) {
+                        workers_lost += 1;
+                        states[w] = WorkerState::Dead;
+                    }
+                }
+                Event::Garbled(w, e) => {
+                    return Err(DistError::Protocol(format!(
+                        "worker {w} produced a malformed frame stream: {e}"
+                    )));
+                }
+            }
+        }
+
+        Ok(DistOutcome {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("all chains completed"))
+                .collect(),
+            workers_lost,
+            jobs_dispatched,
+            handoff_bytes,
+        })
+    }
+
+    /// The chain a busy worker's reply belongs to; protocol error if
+    /// the worker is not busy or echoes the wrong job id.
+    fn expect_busy(
+        &self,
+        states: &[WorkerState],
+        worker: usize,
+        job: u64,
+    ) -> Result<usize, DistError> {
+        match states[worker] {
+            WorkerState::Busy { job: expect, chain } if expect == job => Ok(chain),
+            WorkerState::Busy { job: expect, .. } => Err(DistError::Protocol(format!(
+                "worker {worker} answered job {job}, expected {expect}"
+            ))),
+            _ => Err(DistError::Protocol(format!(
+                "worker {worker} answered job {job} while not busy"
+            ))),
+        }
+    }
+}
+
+// The socket-pair transport these tests drive is Unix-only (process
+// pipes, the production transport, are portable and covered by the
+// root-level `distributed_equivalence` suite); the portable tests
+// below the gated block run everywhere.
+#[cfg(all(test, unix))]
+mod unix_tests {
+    use super::*;
+    use crate::worker::Worker;
+    use std::os::unix::net::UnixStream;
+
+    /// A coordinator over `n` worker *threads* connected by Unix socket
+    /// pairs — the transport without the process spawn, so the unit
+    /// tests stay fast and hermetic. (Real process spawning is covered
+    /// by `tests/distributed_equivalence.rs` at the repo root and the
+    /// `distributed_run` example.)
+    fn thread_coordinator(n: usize) -> (Coordinator, Vec<std::thread::JoinHandle<()>>) {
+        let mut links = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let (ours, theirs) = UnixStream::pair().expect("socketpair");
+            links.push(WorkerLink::from_unix(ours).expect("clone"));
+            handles.push(std::thread::spawn(move || {
+                let reader = theirs.try_clone().expect("clone");
+                let _ = Worker::new().serve(reader, theirs);
+            }));
+        }
+        (Coordinator::new(links), handles)
+    }
+
+    fn small_spec() -> SuiteSpec {
+        SuiteSpec::new(
+            ["compress", "li"],
+            Scale::Test,
+            vec![LaneSpec::Str { tus: 4 }, LaneSpec::Idle { tus: 4 }],
+            Plan::sliced(20_000),
+        )
+    }
+
+    #[test]
+    fn socketpair_suite_is_bit_identical_to_single_pass() {
+        let spec = small_spec();
+        let (coordinator, handles) = thread_coordinator(2);
+        let outcome = coordinator.run_suite(&spec).expect("suite runs");
+        assert_eq!(outcome.outcomes.len(), 2);
+        assert_eq!(outcome.workers_lost, 0);
+        assert!(outcome.handoff_bytes > 0, "chains crossed checkpoints");
+        for o in &outcome.outcomes {
+            assert!(
+                o.shards_run > 1,
+                "{} ran {} shards",
+                o.workload,
+                o.shards_run
+            );
+            assert_eq!(o.retries, 0);
+        }
+        outcome.verify_single_pass(&spec).expect("bit-identical");
+        for h in handles {
+            h.join().expect("worker thread exits cleanly");
+        }
+    }
+
+    #[test]
+    fn one_worker_is_enough() {
+        let spec = small_spec();
+        let (coordinator, handles) = thread_coordinator(1);
+        let outcome = coordinator.run_suite(&spec).expect("suite runs");
+        outcome.verify_single_pass(&spec).expect("bit-identical");
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_workload_fails_the_run() {
+        let spec = SuiteSpec::new(
+            ["specmark"],
+            Scale::Test,
+            vec![LaneSpec::Str { tus: 4 }],
+            Plan::sliced(10_000),
+        );
+        let (coordinator, handles) = thread_coordinator(1);
+        let err = coordinator.run_suite(&spec).expect_err("must fail");
+        assert!(matches!(
+            err,
+            DistError::Failed { ref workload, .. } if workload == "specmark"
+        ));
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn dead_on_arrival_workers_fail_cleanly() {
+        // Workers whose far end is closed before the handshake: the
+        // run reports AllWorkersDied instead of hanging.
+        let mut links = Vec::new();
+        for _ in 0..2 {
+            let (ours, theirs) = UnixStream::pair().expect("socketpair");
+            drop(theirs);
+            links.push(WorkerLink::from_unix(ours).expect("clone"));
+        }
+        let err = Coordinator::new(links)
+            .run_suite(&small_spec())
+            .expect_err("must fail");
+        assert!(matches!(
+            err,
+            DistError::AllWorkersDied { completed: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn mid_run_worker_loss_requeues_from_the_last_snapshot() {
+        // Two workers; one serves exactly one job then drops the
+        // connection. The suite still completes bit-identically.
+        let spec = small_spec();
+        let mut links = Vec::new();
+        let mut handles = Vec::new();
+        for flaky in [true, false] {
+            let (ours, theirs) = UnixStream::pair().expect("socketpair");
+            links.push(WorkerLink::from_unix(ours).expect("clone"));
+            handles.push(std::thread::spawn(move || {
+                let reader = theirs.try_clone().expect("clone");
+                if flaky {
+                    // Serve the handshake plus one job by hand, then
+                    // vanish (drop both halves).
+                    let mut frames = FrameReader::new(reader);
+                    let mut writer = theirs;
+                    let Ok(Some(Frame::Hello { protocol, worker })) = frames.read_frame() else {
+                        return;
+                    };
+                    write_frame(&mut writer, &Frame::Hello { protocol, worker }).unwrap();
+                    // Receive a job and answer nothing: simulated loss
+                    // mid-shard.
+                    let _ = frames.read_frame();
+                } else {
+                    let _ = Worker::new().serve(reader, theirs);
+                }
+            }));
+        }
+        let outcome = Coordinator::new(links).run_suite(&spec).expect("completes");
+        assert_eq!(outcome.workers_lost, 1);
+        assert_eq!(
+            outcome.outcomes.iter().map(|o| o.retries).sum::<u32>(),
+            1,
+            "exactly one chain was requeued"
+        );
+        outcome.verify_single_pass(&spec).expect("bit-identical");
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn garbled_worker_stream_is_a_protocol_error_not_worker_death() {
+        // A "worker" that answers the handshake with garbage bytes: the
+        // run must fail fast with Protocol (a deterministic peer bug),
+        // not tear the link down as retryable death and end in a
+        // misleading AllWorkersDied.
+        let (ours, theirs) = UnixStream::pair().expect("socketpair");
+        let links = vec![WorkerLink::from_unix(ours).expect("clone")];
+        let handle = std::thread::spawn(move || {
+            use std::io::{Read, Write};
+            let mut theirs = theirs;
+            let mut sink = [0u8; 256];
+            let _ = theirs.read(&mut sink); // swallow the Hello
+            let _ = theirs.write_all(&[0xde, 0xad, 0xbe, 0xef].repeat(16));
+            let _ = theirs.shutdown(std::net::Shutdown::Both);
+        });
+        let err = Coordinator::new(links)
+            .run_suite(&small_spec())
+            .expect_err("must fail");
+        assert!(matches!(err, DistError::Protocol(_)), "got: {err}");
+        handle.join().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_lanes_are_the_20_point_grid() {
+        let lanes = default_lanes();
+        assert_eq!(lanes.len(), 20);
+        assert!(lanes.iter().all(|l| l.validate().is_ok()));
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        for (e, needle) in [
+            (
+                DistError::Failed {
+                    workload: "go".into(),
+                    message: "boom".into(),
+                },
+                "go",
+            ),
+            (
+                DistError::Failed {
+                    workload: String::new(),
+                    message: "handshake".into(),
+                },
+                "handshake",
+            ),
+            (
+                DistError::AllWorkersDied {
+                    completed: 3,
+                    total: 18,
+                },
+                "3/18",
+            ),
+            (DistError::Protocol("bad echo".into()), "bad echo"),
+            (
+                DistError::Mismatch {
+                    workload: "li".into(),
+                    what: "lane reports",
+                },
+                "lane reports",
+            ),
+            (DistError::Io(io::Error::other("io")), "i/o"),
+        ] {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

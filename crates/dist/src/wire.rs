@@ -1,0 +1,777 @@
+//! The coordinator ↔ worker frame protocol.
+//!
+//! Everything that crosses a worker boundary is a [`Frame`]: a tagged
+//! payload encoded with the `isa::snap` [`Enc`]/[`Dec`] primitives and
+//! wrapped in the length-prefixed, FNV-checksummed frame container
+//! (`len | payload | fnv1a`, see [`loopspec_core::snap::frame`]), so
+//! the byte stream (a pipe to a spawned process, or a Unix socket) is
+//! self-delimiting and self-checking. Incremental decoding reuses
+//! [`FrameBuf`], which verifies declared
+//! lengths against a limit *before* allocating — a corrupt or hostile
+//! length prefix can never trigger an OOM-sized reservation.
+//!
+//! The conversation (see [`Frame`] for each frame's fields):
+//!
+//! | direction | frame | meaning |
+//! |---|---|---|
+//! | C → W | [`Frame::Hello`] | protocol version + assigned worker id |
+//! | W → C | [`Frame::Hello`] | the same values echoed back (version handshake) |
+//! | C → W | [`Frame::Job`] | run one shard: workload + lanes + fuel budget + optional predecessor snapshot |
+//! | W → C | [`Frame::Snapshot`] | shard paused at a checkpoint: serialized [`Snapshot`](loopspec_pipeline::Snapshot) bytes for the successor shard |
+//! | W → C | [`Frame::Report`] | stream ended in this shard: per-lane reports + final sink state bytes |
+//! | W → C | [`Frame::Error`] | the job failed deterministically (unknown workload, bad lane, snapshot mismatch) |
+//!
+//! ```
+//! use loopspec_dist::wire::{Frame, PROTOCOL};
+//!
+//! let hello = Frame::Hello { protocol: PROTOCOL, worker: 3 };
+//! let bytes = hello.encode();
+//! assert_eq!(Frame::decode(&bytes)?, hello);
+//! # Ok::<(), loopspec_core::snap::SnapError>(())
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use loopspec_core::snap::{fnv1a, Dec, Enc, FrameBuf, SnapError};
+use loopspec_mt::{EngineGrid, EngineReport};
+use loopspec_workloads::Scale;
+
+/// Protocol version. The coordinator sends it in its [`Frame::Hello`];
+/// the worker echoes it back, and either side drops the connection on a
+/// mismatch — a worker from another build can never silently compute
+/// with different semantics.
+pub const PROTOCOL: u32 = 1;
+
+/// Default [`FrameBuf`] payload limit: large enough for any snapshot a
+/// workload produces (CPU memory pages dominate), small enough that a
+/// corrupt length prefix cannot balloon memory.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// One engine-lane configuration inside a [`Frame::Job`] — the wire
+/// twin of the three `EngineGrid::push_*` constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneSpec {
+    /// `EngineGrid::push_idle(tus)`.
+    Idle {
+        /// Thread units.
+        tus: u32,
+    },
+    /// `EngineGrid::push_str(tus)`.
+    Str {
+        /// Thread units.
+        tus: u32,
+    },
+    /// `EngineGrid::push_str_nested(limit, tus)`.
+    StrNested {
+        /// The STR(i) nesting limit.
+        limit: u32,
+        /// Thread units.
+        tus: u32,
+    },
+}
+
+impl LaneSpec {
+    /// The thread-unit count of this lane.
+    pub fn tus(&self) -> u32 {
+        match *self {
+            LaneSpec::Idle { tus } | LaneSpec::Str { tus } | LaneSpec::StrNested { tus, .. } => tus,
+        }
+    }
+
+    /// Checks the invariants `EngineGrid` would otherwise panic on, so
+    /// a worker can reject a malformed job with a [`Frame::Error`]
+    /// instead of dying.
+    pub fn validate(&self) -> Result<(), SnapError> {
+        let tus = self.tus();
+        if (2..=4096).contains(&tus) {
+            Ok(())
+        } else {
+            Err(SnapError::Corrupt {
+                what: "lane thread-unit count",
+            })
+        }
+    }
+
+    /// Appends this lane to `grid`.
+    pub fn add_to(&self, grid: &mut EngineGrid) {
+        match *self {
+            LaneSpec::Idle { tus } => grid.push_idle(tus as usize),
+            LaneSpec::Str { tus } => grid.push_str(tus as usize),
+            LaneSpec::StrNested { limit, tus } => grid.push_str_nested(limit, tus as usize),
+        };
+    }
+
+    /// Builds an [`EngineGrid`] with one lane per spec, in order.
+    ///
+    /// # Errors
+    ///
+    /// Rejects any lane [`LaneSpec::validate`] rejects.
+    pub fn build_grid(lanes: &[LaneSpec]) -> Result<EngineGrid, SnapError> {
+        let mut grid = EngineGrid::new();
+        for lane in lanes {
+            lane.validate()?;
+            lane.add_to(&mut grid);
+        }
+        Ok(grid)
+    }
+
+    fn save(&self, enc: &mut Enc) {
+        match *self {
+            LaneSpec::Idle { tus } => {
+                enc.u8(0);
+                enc.u32(tus);
+            }
+            LaneSpec::Str { tus } => {
+                enc.u8(1);
+                enc.u32(tus);
+            }
+            LaneSpec::StrNested { limit, tus } => {
+                enc.u8(2);
+                enc.u32(limit);
+                enc.u32(tus);
+            }
+        }
+    }
+
+    fn load(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        Ok(match dec.u8()? {
+            0 => LaneSpec::Idle { tus: dec.u32()? },
+            1 => LaneSpec::Str { tus: dec.u32()? },
+            2 => LaneSpec::StrNested {
+                limit: dec.u32()?,
+                tus: dec.u32()?,
+            },
+            _ => {
+                return Err(SnapError::Corrupt {
+                    what: "lane spec tag",
+                })
+            }
+        })
+    }
+}
+
+/// One shard of one workload's replay — the unit the coordinator's job
+/// queue schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// Coordinator-assigned id, echoed in every response frame.
+    pub id: u64,
+    /// Workload name (`loopspec_workloads::by_name`).
+    pub workload: String,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Engine lanes to fan the shard's events into (the sink
+    /// configuration — snapshots carry only mutable state, so every
+    /// shard of a chain must name the same lanes).
+    pub lanes: Vec<LaneSpec>,
+    /// Shard index within the chain (0-based; diagnostic).
+    pub shard: u32,
+    /// Fuel for **this shard** (already clamped by the scheduler).
+    pub budget: u64,
+    /// Total instruction budget of the whole run — reaching it ends
+    /// the stream like a fuel-truncated single pass.
+    pub total_fuel: u64,
+    /// Force an explicit end-of-stream when the budget is exhausted
+    /// (the final slice of a split plan).
+    pub last: bool,
+    /// The predecessor shard's serialized snapshot; `None` for the
+    /// first shard of a chain.
+    pub snapshot: Option<Vec<u8>>,
+}
+
+/// One lane's final engine report in wire form — a field-for-field,
+/// integer-exact copy of [`EngineReport`], so two reports are equal
+/// *iff* their encodings are byte-identical. This is the unit the
+/// distributed-equivalence check compares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneReport {
+    /// Policy name (e.g. `"STR"`).
+    pub policy: String,
+    /// Thread units (`0` = unbounded).
+    pub tus: u64,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// The seven speculation counters, in `SpecStats` field order.
+    pub spec: [u64; 7],
+}
+
+impl LaneReport {
+    /// Threads per cycle — same definition as [`EngineReport::tpc`].
+    pub fn tpc(&self) -> f64 {
+        if self.cycles == 0 {
+            1.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    fn save(&self, enc: &mut Enc) {
+        save_str(enc, &self.policy);
+        enc.u64(self.tus);
+        enc.u64(self.instructions);
+        enc.u64(self.cycles);
+        for v in self.spec {
+            enc.u64(v);
+        }
+    }
+
+    fn load(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let policy = load_str(dec)?;
+        let tus = dec.u64()?;
+        let instructions = dec.u64()?;
+        let cycles = dec.u64()?;
+        let mut spec = [0u64; 7];
+        for v in &mut spec {
+            *v = dec.u64()?;
+        }
+        Ok(LaneReport {
+            policy,
+            tus,
+            instructions,
+            cycles,
+            spec,
+        })
+    }
+}
+
+impl From<&EngineReport> for LaneReport {
+    fn from(r: &EngineReport) -> Self {
+        LaneReport {
+            policy: r.policy.to_string(),
+            tus: r.tus.map_or(0, |t| t as u64),
+            instructions: r.instructions,
+            cycles: r.cycles,
+            spec: [
+                r.spec.spec_actions,
+                r.spec.threads_spawned,
+                r.spec.verified,
+                r.spec.squashed_misspec,
+                r.spec.squashed_policy,
+                r.spec.squashed_stale,
+                r.spec.instr_to_outcome_sum,
+            ],
+        }
+    }
+}
+
+/// A worker's final answer for one workload chain: the stream ended in
+/// its shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// The finishing job's id.
+    pub job: u64,
+    /// Total instructions of the whole run.
+    pub instructions: u64,
+    /// One report per lane, in lane order.
+    pub lanes: Vec<LaneReport>,
+    /// The final grid's full `save_state` bytes — deterministic (equal
+    /// state ⇒ equal bytes), so the coordinator's bit-identity check
+    /// can compare entire sink states, not just reports.
+    pub state: Vec<u8>,
+}
+
+/// Everything that crosses the coordinator ↔ worker byte stream. See
+/// the [module docs](self) for the conversation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Version handshake; sent by the coordinator, echoed by the worker.
+    Hello {
+        /// Protocol version ([`PROTOCOL`]).
+        protocol: u32,
+        /// Coordinator-assigned worker id (echoed back verbatim).
+        worker: u32,
+    },
+    /// Run one shard.
+    Job(Job),
+    /// The shard paused at a checkpoint; bytes for the successor.
+    Snapshot {
+        /// The paused job's id.
+        job: u64,
+        /// Cumulative instructions retired so far (lets the scheduler
+        /// compute the next budget without decoding the snapshot).
+        instructions: u64,
+        /// Serialized [`Snapshot`](loopspec_pipeline::Snapshot).
+        bytes: Vec<u8>,
+    },
+    /// The stream ended in this shard; the chain is complete.
+    Report(Report),
+    /// The job failed deterministically; retrying elsewhere would fail
+    /// the same way.
+    Error {
+        /// The failing job's id (`0` when no job context exists).
+        job: u64,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+fn save_str(enc: &mut Enc, s: &str) {
+    enc.bytes(s.as_bytes());
+}
+
+fn load_str(dec: &mut Dec<'_>) -> Result<String, SnapError> {
+    std::str::from_utf8(dec.bytes()?)
+        .map(str::to_owned)
+        .map_err(|_| SnapError::Corrupt {
+            what: "utf-8 string",
+        })
+}
+
+fn save_scale(enc: &mut Enc, scale: Scale) {
+    enc.u8(match scale {
+        Scale::Test => 0,
+        Scale::Small => 1,
+        Scale::Full => 2,
+    });
+}
+
+fn load_scale(dec: &mut Dec<'_>) -> Result<Scale, SnapError> {
+    Ok(match dec.u8()? {
+        0 => Scale::Test,
+        1 => Scale::Small,
+        2 => Scale::Full,
+        _ => return Err(SnapError::Corrupt { what: "scale tag" }),
+    })
+}
+
+impl Frame {
+    /// Encodes the frame payload (tag + body). Wrap with
+    /// [`loopspec_core::snap::frame`] — or use [`write_frame`] — before
+    /// putting it on a stream.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        match self {
+            Frame::Hello { protocol, worker } => {
+                enc.u8(1);
+                enc.u32(*protocol);
+                enc.u32(*worker);
+            }
+            Frame::Job(job) => {
+                enc.u8(2);
+                enc.u64(job.id);
+                save_str(&mut enc, &job.workload);
+                save_scale(&mut enc, job.scale);
+                enc.u64(job.lanes.len() as u64);
+                for lane in &job.lanes {
+                    lane.save(&mut enc);
+                }
+                enc.u32(job.shard);
+                enc.u64(job.budget);
+                enc.u64(job.total_fuel);
+                enc.bool(job.last);
+                match &job.snapshot {
+                    None => enc.bool(false),
+                    Some(bytes) => {
+                        enc.bool(true);
+                        enc.bytes(bytes);
+                    }
+                }
+            }
+            Frame::Snapshot {
+                job,
+                instructions,
+                bytes,
+            } => {
+                enc.u8(3);
+                enc.u64(*job);
+                enc.u64(*instructions);
+                enc.bytes(bytes);
+            }
+            Frame::Report(report) => {
+                enc.u8(4);
+                enc.u64(report.job);
+                enc.u64(report.instructions);
+                enc.u64(report.lanes.len() as u64);
+                for lane in &report.lanes {
+                    lane.save(&mut enc);
+                }
+                enc.bytes(&report.state);
+            }
+            Frame::Error { job, message } => {
+                enc.u8(5);
+                enc.u64(*job);
+                save_str(&mut enc, message);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decodes a payload written by [`Frame::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on a bad tag, truncation, or malformed field.
+    pub fn decode(payload: &[u8]) -> Result<Frame, SnapError> {
+        let mut dec = Dec::new(payload);
+        let frame = match dec.u8()? {
+            1 => Frame::Hello {
+                protocol: dec.u32()?,
+                worker: dec.u32()?,
+            },
+            2 => {
+                let id = dec.u64()?;
+                let workload = load_str(&mut dec)?;
+                let scale = load_scale(&mut dec)?;
+                // A lane spec is at least 5 encoded bytes (tag + tus).
+                let n = dec.count_elems(5)?;
+                let mut lanes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    lanes.push(LaneSpec::load(&mut dec)?);
+                }
+                let shard = dec.u32()?;
+                let budget = dec.u64()?;
+                let total_fuel = dec.u64()?;
+                let last = dec.bool()?;
+                let snapshot = if dec.bool()? {
+                    Some(dec.bytes()?.to_vec())
+                } else {
+                    None
+                };
+                Frame::Job(Job {
+                    id,
+                    workload,
+                    scale,
+                    lanes,
+                    shard,
+                    budget,
+                    total_fuel,
+                    last,
+                    snapshot,
+                })
+            }
+            3 => Frame::Snapshot {
+                job: dec.u64()?,
+                instructions: dec.u64()?,
+                bytes: dec.bytes()?.to_vec(),
+            },
+            4 => {
+                let job = dec.u64()?;
+                let instructions = dec.u64()?;
+                // A lane report is at least 88 encoded bytes (string
+                // length prefix + ten u64 counters) — a wire-controlled
+                // count can never reserve more than ~the frame's size.
+                let n = dec.count_elems(88)?;
+                let mut lanes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    lanes.push(LaneReport::load(&mut dec)?);
+                }
+                let state = dec.bytes()?.to_vec();
+                Frame::Report(Report {
+                    job,
+                    instructions,
+                    lanes,
+                    state,
+                })
+            }
+            5 => Frame::Error {
+                job: dec.u64()?,
+                message: load_str(&mut dec)?,
+            },
+            _ => return Err(SnapError::Corrupt { what: "frame tag" }),
+        };
+        dec.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Why reading or writing a frame stream failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The transport failed (broken pipe, reset socket).
+    Io(io::Error),
+    /// The stream decoded to garbage (bad checksum, bad tag, truncated
+    /// field) — framing is lost; drop the connection.
+    Codec(SnapError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+            WireError::Codec(e) => write!(f, "malformed frame stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<SnapError> for WireError {
+    fn from(e: SnapError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+/// Writes one frame (container + payload) and flushes — a frame is a
+/// message, and the peer blocks until it arrives whole.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on transport failure; [`WireError::Codec`] when
+/// the payload exceeds [`MAX_FRAME`] — the receiver would reject it
+/// unread, so the send side refuses up front (a *deterministic*
+/// failure, distinguishable from a dead peer: a coordinator must fail
+/// the job instead of requeueing it into the same wall).
+pub fn write_frame(w: &mut impl Write, f: &Frame) -> Result<(), WireError> {
+    let payload = f.encode();
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::Codec(SnapError::Corrupt {
+            what: "frame length",
+        }));
+    }
+    // Header, payload and trailer are written separately instead of
+    // concatenated into one buffer: the payload is dominated by
+    // snapshot bytes (up to MAX_FRAME), and this path runs once per
+    // shard — no point copying megabytes to save two small writes.
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.write_all(&fnv1a(&payload).to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Blocking frame reader over any [`Read`] transport: an 8 KiB read
+/// buffer feeding a [`FrameBuf`], popping one decoded [`Frame`] at a
+/// time.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: FrameBuf,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// A reader over `inner` accepting frames up to [`MAX_FRAME`].
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            buf: FrameBuf::new(MAX_FRAME),
+        }
+    }
+
+    /// Reads until one whole frame is buffered and returns it; `None`
+    /// on a clean end-of-stream (the peer closed between frames).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on transport failure — including an EOF that
+    /// cuts a frame in half — and [`WireError::Codec`] when the stream
+    /// decodes to garbage.
+    pub fn read_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let mut chunk = [0u8; 8192];
+        loop {
+            if let Some(payload) = self.buf.next_frame()? {
+                return Ok(Some(Frame::decode(&payload)?));
+            }
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(WireError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream ended mid-frame",
+                        )))
+                    };
+                }
+                Ok(n) => self.buf.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                protocol: PROTOCOL,
+                worker: 7,
+            },
+            Frame::Job(Job {
+                id: 42,
+                workload: "compress".into(),
+                scale: Scale::Test,
+                lanes: vec![
+                    LaneSpec::Idle { tus: 4 },
+                    LaneSpec::Str { tus: 8 },
+                    LaneSpec::StrNested { limit: 3, tus: 2 },
+                ],
+                shard: 2,
+                budget: 25_000,
+                total_fuel: 100_000_000,
+                last: false,
+                snapshot: Some(vec![9, 8, 7]),
+            }),
+            Frame::Job(Job {
+                id: 43,
+                workload: "go".into(),
+                scale: Scale::Full,
+                lanes: vec![],
+                shard: 0,
+                budget: 1,
+                total_fuel: 1,
+                last: true,
+                snapshot: None,
+            }),
+            Frame::Snapshot {
+                job: 42,
+                instructions: 50_000,
+                bytes: vec![1; 300],
+            },
+            Frame::Report(Report {
+                job: 42,
+                instructions: 123_456,
+                lanes: vec![LaneReport {
+                    policy: "STR".into(),
+                    tus: 4,
+                    instructions: 123_456,
+                    cycles: 45_678,
+                    spec: [1, 2, 3, 4, 5, 6, 7],
+                }],
+                state: vec![0xaa; 64],
+            }),
+            Frame::Error {
+                job: 9,
+                message: "unknown workload 'specmark'".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for f in samples() {
+            let payload = f.encode();
+            assert_eq!(Frame::decode(&payload).unwrap(), f);
+            // Encoding is deterministic.
+            assert_eq!(payload, f.encode());
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_error_instead_of_panicking() {
+        for f in samples() {
+            let payload = f.encode();
+            for cut in 0..payload.len() {
+                assert!(
+                    Frame::decode(&payload[..cut]).is_err(),
+                    "{f:?} cut at {cut} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = samples()[0].encode();
+        payload.push(0);
+        assert_eq!(
+            Frame::decode(&payload),
+            Err(SnapError::Trailing { bytes: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_tags_are_corrupt() {
+        assert_eq!(
+            Frame::decode(&[0xee]),
+            Err(SnapError::Corrupt { what: "frame tag" })
+        );
+    }
+
+    #[test]
+    fn frames_cross_a_stream() {
+        let mut stream = Vec::new();
+        for f in samples() {
+            write_frame(&mut stream, &f).unwrap();
+        }
+        let mut reader = FrameReader::new(&stream[..]);
+        for f in samples() {
+            assert_eq!(reader.read_frame().unwrap(), Some(f));
+        }
+        assert_eq!(reader.read_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_payloads_are_refused_at_the_send_side() {
+        // A reply the receiver would reject unread must fail on write
+        // as a *codec* error (deterministic), not reach the stream.
+        let huge = Frame::Snapshot {
+            job: 1,
+            instructions: 0,
+            bytes: vec![0u8; MAX_FRAME],
+        };
+        let mut stream = Vec::new();
+        assert!(matches!(
+            write_frame(&mut stream, &huge),
+            Err(WireError::Codec(SnapError::Corrupt {
+                what: "frame length"
+            }))
+        ));
+        assert!(stream.is_empty(), "nothing half-written");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_io_error() {
+        let mut stream = Vec::new();
+        write_frame(
+            &mut stream,
+            &Frame::Hello {
+                protocol: PROTOCOL,
+                worker: 0,
+            },
+        )
+        .unwrap();
+        let cut = stream.len() - 3;
+        let mut reader = FrameReader::new(&stream[..cut]);
+        assert!(matches!(
+            reader.read_frame(),
+            Err(WireError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof
+        ));
+    }
+
+    #[test]
+    fn lane_spec_validation_and_grid_building() {
+        assert!(LaneSpec::Str { tus: 4 }.validate().is_ok());
+        assert!(LaneSpec::Str { tus: 1 }.validate().is_err());
+        assert!(LaneSpec::Idle { tus: 5000 }.validate().is_err());
+        let grid = LaneSpec::build_grid(&[
+            LaneSpec::Idle { tus: 4 },
+            LaneSpec::StrNested { limit: 2, tus: 4 },
+        ])
+        .unwrap();
+        assert_eq!(grid.len(), 2);
+        assert!(LaneSpec::build_grid(&[LaneSpec::Str { tus: 0 }]).is_err());
+    }
+
+    #[test]
+    fn lane_report_mirrors_engine_report() {
+        let report = LaneReport {
+            policy: "IDLE".into(),
+            tus: 0,
+            instructions: 10,
+            cycles: 0,
+            spec: [0; 7],
+        };
+        assert_eq!(report.tpc(), 1.0);
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        let io: WireError = io::Error::new(io::ErrorKind::BrokenPipe, "gone").into();
+        assert!(io.to_string().contains("transport"));
+        let codec: WireError = SnapError::Corrupt { what: "frame tag" }.into();
+        assert!(codec.to_string().contains("malformed"));
+    }
+}

@@ -6,7 +6,10 @@
 //! their software twins are snapshotable at any retired-instruction
 //! boundary. This module provides the wire primitives those snapshots
 //! are written in: a byte [`Enc`]oder and a bounds-checked
-//! [`Dec`]oder over fixed-width little-endian fields.
+//! [`Dec`]oder over fixed-width little-endian fields, plus the
+//! length-prefixed, checksummed [`frame`] container and its incremental
+//! [`FrameBuf`] decoder used when encoded state crosses a byte stream
+//! (a pipe or socket) instead of a function boundary.
 //!
 //! Design rules, chosen so snapshots can cross process boundaries and
 //! be compared byte-for-byte:
@@ -86,6 +89,139 @@ impl fmt::Display for SnapError {
 }
 
 impl std::error::Error for SnapError {}
+
+/// FNV-1a 64 over `bytes` — the workspace's shared integrity hash. It
+/// catches truncation and bit rot, not tampering; snapshot containers
+/// and wire frames both close with it.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Bytes a [`frame`] adds in front of the payload (the `u32` length).
+pub const FRAME_HEADER: usize = 4;
+/// Bytes a [`frame`] adds after the payload (the `u64` FNV-1a sum).
+pub const FRAME_TRAILER: usize = 8;
+
+/// Wraps `payload` in the stream frame container:
+/// `len: u32 LE | payload | fnv1a(payload): u64 LE`.
+///
+/// Frames are the unit of transmission when encoded state crosses a
+/// byte stream — a pipe to a worker process, a Unix socket — where the
+/// receiver sees arbitrary read boundaries instead of whole buffers.
+/// [`FrameBuf`] is the matching incremental decoder.
+///
+/// ```
+/// use loopspec_isa::snap::{frame, FrameBuf};
+///
+/// let wire = frame(b"hello");
+/// let mut buf = FrameBuf::new(1024);
+/// buf.extend(&wire[..3]); // arbitrary split: no frame yet
+/// assert_eq!(buf.next_frame()?, None);
+/// buf.extend(&wire[3..]);
+/// assert_eq!(buf.next_frame()?.as_deref(), Some(&b"hello"[..]));
+/// # Ok::<(), loopspec_isa::snap::SnapError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds `u32::MAX` bytes.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("frame payload fits in u32");
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len() + FRAME_TRAILER);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out
+}
+
+/// Incremental decoder for a stream of [`frame`]s.
+///
+/// Feed it whatever byte slices the transport delivers with
+/// [`FrameBuf::extend`]; [`FrameBuf::next_frame`] pops one complete,
+/// checksum-verified payload at a time, or `None` while a frame is
+/// still partial. A declared length larger than the construction limit
+/// is rejected *before* any allocation, so a corrupt or hostile length
+/// prefix can never trigger an OOM-sized reservation.
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted once it outgrows the live
+    /// suffix, so long sessions don't accumulate dead bytes).
+    start: usize,
+    limit: usize,
+}
+
+impl FrameBuf {
+    /// A decoder accepting payloads up to `limit` bytes.
+    pub fn new(limit: usize) -> Self {
+        FrameBuf {
+            buf: Vec::new(),
+            start: 0,
+            limit,
+        }
+    }
+
+    /// Appends transport bytes (any split the stream happened to make).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.start > 0 && self.start >= self.buf.len().saturating_sub(self.start) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// `true` when no partial frame is pending — the clean state a
+    /// stream should end in.
+    pub fn is_empty(&self) -> bool {
+        self.buffered() == 0
+    }
+
+    /// Pops the next complete frame's payload, if one is fully
+    /// buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] when the declared length exceeds the
+    /// limit or the checksum does not match — the stream is
+    /// unrecoverable at that point (framing is lost) and the caller
+    /// should drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, SnapError> {
+        let live = &self.buf[self.start..];
+        if live.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(live[..4].try_into().expect("4 bytes")) as usize;
+        if len > self.limit {
+            return Err(SnapError::Corrupt {
+                what: "frame length",
+            });
+        }
+        let total = FRAME_HEADER + len + FRAME_TRAILER;
+        if live.len() < total {
+            return Ok(None);
+        }
+        let payload = &live[FRAME_HEADER..FRAME_HEADER + len];
+        let sum = u64::from_le_bytes(live[FRAME_HEADER + len..total].try_into().expect("8 bytes"));
+        if fnv1a(payload) != sum {
+            return Err(SnapError::Corrupt {
+                what: "frame checksum",
+            });
+        }
+        let payload = payload.to_vec();
+        self.start += total;
+        Ok(Some(payload))
+    }
+}
 
 /// A snapshot byte encoder: fixed-width little-endian fields appended to
 /// a growable buffer. See the [module docs](self) for the format rules.
@@ -237,8 +373,21 @@ impl<'a> Dec<'a> {
     /// larger than `remaining()` is corrupt — this is what makes
     /// pre-allocating `count` elements safe).
     pub fn count(&mut self) -> Result<usize, SnapError> {
+        self.count_elems(1)
+    }
+
+    /// Reads a collection count for elements that each occupy at least
+    /// `min_elem_bytes` of encoded input, validating `count *
+    /// min_elem_bytes` against the remaining input. Use this instead of
+    /// [`Dec::count`] when the *in-memory* element is much larger than
+    /// one byte: it keeps a corrupt or hostile count from reserving
+    /// `count * size_of::<Elem>()` — a multiplied, possibly OOM-sized
+    /// allocation — before the first element even decodes.
+    pub fn count_elems(&mut self, min_elem_bytes: usize) -> Result<usize, SnapError> {
         let n = self.u64()?;
-        if n > self.remaining() as u64 {
+        if n.checked_mul(min_elem_bytes.max(1) as u64)
+            .is_none_or(|bytes| bytes > self.remaining() as u64)
+        {
             return Err(SnapError::Corrupt { what: "count" });
         }
         Ok(n as usize)
@@ -316,6 +465,33 @@ mod tests {
     }
 
     #[test]
+    fn element_sized_counts_bound_the_multiplied_reservation() {
+        // 32 bytes of input claiming 20 17-byte elements: plain count()
+        // would accept (20 < 32), but the multiplied check must refuse
+        // — 20 elements cannot fit in 32 bytes.
+        let mut e = Enc::new();
+        e.u64(20);
+        for _ in 0..24 {
+            e.u8(0);
+        }
+        let buf = e.into_bytes();
+        assert_eq!(Dec::new(&buf).count(), Ok(20));
+        assert_eq!(
+            Dec::new(&buf).count_elems(17),
+            Err(SnapError::Corrupt { what: "count" })
+        );
+        assert_eq!(Dec::new(&buf).count_elems(1), Ok(20));
+        // Overflow of count * min_elem_bytes is corrupt, not a wrap.
+        let mut e = Enc::new();
+        e.u64(u64::MAX / 2);
+        let buf = e.into_bytes();
+        assert_eq!(
+            Dec::new(&buf).count_elems(1024),
+            Err(SnapError::Corrupt { what: "count" })
+        );
+    }
+
+    #[test]
     fn bad_bool_and_bad_tag_are_corrupt() {
         let buf = [7u8];
         assert_eq!(
@@ -336,6 +512,97 @@ mod tests {
         d.u8().unwrap();
         assert_eq!(d.finish(), Err(SnapError::Trailing { bytes: 2 }));
         assert_eq!(d.remaining(), 2);
+    }
+
+    #[test]
+    fn frames_round_trip_across_arbitrary_splits() {
+        let payloads: [&[u8]; 4] = [b"", b"x", b"loopspec", &[0xff; 300]];
+        let mut wire = Vec::new();
+        for p in payloads {
+            wire.extend_from_slice(&frame(p));
+        }
+        // Feed every prefix-split of the concatenated stream.
+        for split in 0..wire.len() {
+            let mut buf = FrameBuf::new(1024);
+            buf.extend(&wire[..split]);
+            buf.extend(&wire[split..]);
+            for p in payloads {
+                assert_eq!(buf.next_frame().unwrap().as_deref(), Some(p));
+            }
+            assert_eq!(buf.next_frame().unwrap(), None);
+            assert!(buf.is_empty());
+        }
+        // Byte-at-a-time delivery.
+        let mut buf = FrameBuf::new(1024);
+        let mut got = Vec::new();
+        for &b in &wire {
+            buf.extend(&[b]);
+            while let Some(p) = buf.next_frame().unwrap() {
+                got.push(p);
+            }
+        }
+        assert_eq!(got.len(), payloads.len());
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected_before_allocation() {
+        // A hostile length prefix claiming 4 GiB must error immediately,
+        // not wait for (or reserve) 4 GiB.
+        let mut buf = FrameBuf::new(1 << 20);
+        buf.extend(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            buf.next_frame(),
+            Err(SnapError::Corrupt {
+                what: "frame length"
+            })
+        );
+    }
+
+    #[test]
+    fn frame_corruption_and_truncation_are_detected() {
+        let wire = frame(b"payload");
+        // Truncation: never an error, just "not yet complete".
+        for cut in 0..wire.len() {
+            let mut buf = FrameBuf::new(1024);
+            buf.extend(&wire[..cut]);
+            assert_eq!(buf.next_frame().unwrap(), None, "cut {cut}");
+            assert_eq!(buf.buffered(), cut);
+        }
+        // Any single bit flip in payload or checksum breaks the sum.
+        for byte in FRAME_HEADER..wire.len() {
+            let mut bad = wire.clone();
+            bad[byte] ^= 0x10;
+            let mut buf = FrameBuf::new(1024);
+            buf.extend(&bad);
+            assert_eq!(
+                buf.next_frame(),
+                Err(SnapError::Corrupt {
+                    what: "frame checksum"
+                }),
+                "byte {byte}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_buf_compacts_consumed_prefix() {
+        let mut buf = FrameBuf::new(1024);
+        for i in 0..100u8 {
+            buf.extend(&frame(&[i; 64]));
+            assert_eq!(buf.next_frame().unwrap().unwrap(), vec![i; 64]);
+        }
+        assert!(buf.is_empty());
+        // The internal buffer must not have grown to hold all 100
+        // frames: the consumed prefix is dropped as the stream drains.
+        assert!(buf.buf.capacity() < 100 * 64);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

@@ -381,7 +381,8 @@ impl Annotator {
                 continue;
             }
             let loop_id = LoopId(loopspec_isa::Addr::new(src.u32()?));
-            let iters_n = src.count()?;
+            // 12 encoded bytes per retained iteration start (u32 + u64).
+            let iters_n = src.count_elems(12)?;
             let mut iters = VecDeque::with_capacity(iters_n);
             for _ in 0..iters_n {
                 let iter = src.u32()?;

@@ -82,7 +82,7 @@ mod snapshot;
 pub use loopspec_core::{LoopEventSink, SnapshotState};
 
 pub use session::{DualSink, Session, SessionSummary};
-pub use shard::{ShardedOutcome, ShardedRun};
+pub use shard::{run_shard, Plan, ShardStep, ShardedOutcome, ShardedRun};
 pub use sinkset::SinkSet;
 pub use snapshot::{CheckpointSink, Snapshot, SnapshotError};
 

@@ -29,7 +29,7 @@
 
 use std::fmt;
 
-use loopspec_core::snap::{Dec, Enc, SnapError};
+use loopspec_core::snap::{fnv1a, Dec, Enc, SnapError};
 use loopspec_core::{LoopEventSink, SnapshotState};
 use loopspec_cpu::CpuError;
 
@@ -139,17 +139,6 @@ const MAGIC: u32 = 0x4c53_4e50;
 /// Container format version.
 const VERSION: u32 = 1;
 
-/// FNV-1a 64 over the payload — an integrity check, not a cryptographic
-/// one: it catches truncation and bit rot, not tampering.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 impl Snapshot {
     /// Stream position of the checkpoint: instructions retired before
     /// it. Resuming continues with instruction `instructions() + 1`.
@@ -219,7 +208,8 @@ impl Snapshot {
         let instructions = dec.u64()?;
         let cpu = dec.bytes()?.to_vec();
         let detector = dec.bytes()?.to_vec();
-        let n = dec.count()?;
+        // Each sink section carries at least its 8-byte length prefix.
+        let n = dec.count_elems(8)?;
         let mut sinks = Vec::with_capacity(n);
         for _ in 0..n {
             sinks.push(dec.bytes()?.to_vec());

@@ -1,0 +1,129 @@
+//! `dist_run` — the multi-process distributed replay driver.
+//!
+//! ```text
+//! dist_run [--workers N] [--shard-fuel F] [--scale test|small|full]
+//!          [--verify] [WORKLOAD...]
+//! dist_run --worker            # internal: serve jobs on stdin/stdout
+//! ```
+//!
+//! The coordinator spawns N copies of this same binary with `--worker`,
+//! schedules the requested workloads (default: the whole 18-program
+//! suite) as a job queue of snapshot-linked shards over the full
+//! 20-lane (policy × TU) grid, and prints one row per workload.
+//! `--verify` additionally recomputes every workload with a single
+//! uninterrupted in-process pass and checks the distributed results are
+//! byte-identical.
+
+use loopspec::dist::{worker, Coordinator, SuiteSpec};
+use loopspec::workloads::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dist_run [--workers N] [--shard-fuel F] \
+         [--scale test|small|full] [--verify] [WORKLOAD...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    // Spawned workers re-enter here; this serves and never returns.
+    worker::maybe_serve_stdio();
+
+    let mut workers = 4usize;
+    let mut shard_fuel = 25_000u64;
+    let mut scale = Scale::Test;
+    let mut verify = false;
+    let mut workloads: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--shard-fuel" => {
+                shard_fuel = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("full") => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--verify" => verify = true,
+            "--help" | "-h" => usage(),
+            w if !w.starts_with('-') => workloads.push(w.to_string()),
+            _ => usage(),
+        }
+    }
+    if workers == 0 || shard_fuel == 0 {
+        usage();
+    }
+
+    let mut spec = SuiteSpec::full_grid(scale, shard_fuel);
+    if !workloads.is_empty() {
+        spec.workloads = workloads;
+    }
+
+    let coordinator = match Coordinator::spawn(workers) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dist_run: failed to spawn workers: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "dist_run: {} workloads x {} lanes over {workers} workers, {shard_fuel} fuel/shard",
+        spec.workloads.len(),
+        spec.lanes.len(),
+    );
+
+    let outcome = match coordinator.run_suite(&spec) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("dist_run: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{:>10} {:>12} {:>7} {:>8} {:>10}",
+        "workload", "instrs", "shards", "retries", "TPC(STR@4)"
+    );
+    for o in &outcome.outcomes {
+        // Lane 6 of the default grid is STR with 4 TUs; fall back to
+        // the first lane for custom grids.
+        let tpc = o
+            .lanes
+            .iter()
+            .find(|l| l.policy == "STR" && l.tus == 4)
+            .or(o.lanes.first())
+            .map_or(0.0, |l| l.tpc());
+        println!(
+            "{:>10} {:>12} {:>7} {:>8} {:>10.2}",
+            o.workload, o.instructions, o.shards_run, o.retries, tpc
+        );
+    }
+    println!(
+        "{} jobs dispatched, {} snapshot bytes shipped, {} workers lost",
+        outcome.jobs_dispatched, outcome.handoff_bytes, outcome.workers_lost
+    );
+
+    if verify {
+        match outcome.verify_single_pass(&spec) {
+            Ok(()) => println!("verified: all workloads byte-identical to the single pass"),
+            Err(e) => {
+                eprintln!("dist_run: verification FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`mt`] | `loopspec-mt` | Thread-speculation engine (TPC, IDLE/STR/STR(i)) |
 //! | [`dataspec`] | `loopspec-dataspec` | Live-in value predictability (paper §4) |
 //! | [`pipeline`] | `loopspec-pipeline` | Single-pass streaming `Session` |
+//! | [`dist`] | `loopspec-dist` | Multi-process distributed replay (coordinator/workers) |
 //! | [`workloads`] | `loopspec-workloads` | 18 SPEC95-shaped synthetic programs |
 //!
 //! ## Quickstart
@@ -64,6 +65,7 @@ pub use loopspec_asm as asm;
 pub use loopspec_core as core;
 pub use loopspec_cpu as cpu;
 pub use loopspec_dataspec as dataspec;
+pub use loopspec_dist as dist;
 pub use loopspec_isa as isa;
 pub use loopspec_mt as mt;
 pub use loopspec_pipeline as pipeline;
@@ -78,13 +80,16 @@ pub mod prelude {
     };
     pub use loopspec_cpu::{Cpu, InstrEvent, RunLimits, Tracer};
     pub use loopspec_dataspec::{DataSpecProfiler, LiveInProfiler};
+    pub use loopspec_dist::{
+        Coordinator, DistError, DistOutcome, LaneReport, LaneSpec, SuiteSpec, WorkerLink,
+    };
     pub use loopspec_isa::{Addr, AluOp, Cond, Instruction, Reg};
     pub use loopspec_mt::{
         ideal_tpc, AnnotatedTrace, AnyStreamEngine, Engine, EngineGrid, EngineReport, EngineSink,
         IdlePolicy, StrNestedPolicy, StrPolicy, StreamEngine,
     };
     pub use loopspec_pipeline::{
-        CheckpointSink, Session, SessionSummary, ShardedRun, SinkSet, Snapshot, SnapshotState,
+        CheckpointSink, Plan, Session, SessionSummary, ShardedRun, SinkSet, Snapshot, SnapshotState,
     };
     pub use loopspec_workloads::{all as all_workloads, by_name as workload_by_name, Scale};
 }
