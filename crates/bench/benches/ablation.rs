@@ -33,6 +33,7 @@ fn bench_table_sim(s: &mut Suite) {
         Scale::Test,
         ExecuteOptions {
             engine_grid: false,
+            oracle: false,
             ..ExecuteOptions::default()
         },
     );

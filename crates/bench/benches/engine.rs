@@ -12,6 +12,7 @@ fn bench_policies(s: &mut Suite) {
         Scale::Test,
         ExecuteOptions {
             engine_grid: false,
+            oracle: false,
             ..ExecuteOptions::default()
         },
     );
@@ -42,6 +43,7 @@ fn bench_annotate(s: &mut Suite) {
         Scale::Test,
         ExecuteOptions {
             engine_grid: false,
+            oracle: false,
             ..ExecuteOptions::default()
         },
     );

@@ -15,12 +15,21 @@
 //!   over Unix socket pairs (worker threads, so the gate prices the
 //!   frame protocol + snapshot chaining + scheduling, not process
 //!   spawn noise).
+//! * `oracle_grid/*` vs `oracle_materialized/*` — the Figure 5 oracle
+//!   study both ways: the two-phase streaming pair (count log in the
+//!   CPU pass, oracle replay over the retained events) against the
+//!   legacy annotate-then-batch-replay shape it retired.
 
-use loopspec_bench::experiments::{grid_points, run_engine, PolicyKind, TU_COUNTS};
+use loopspec_bench::experiments::{
+    grid_points, run_engine, PolicyKind, FIG5_PREFIX_FRACTION, TU_COUNTS,
+};
 use loopspec_bench::timing::Suite;
 use loopspec_core::EventCollector;
 use loopspec_cpu::{Cpu, RunLimits};
-use loopspec_mt::{AnnotatedTrace, EngineGrid, StrPolicy, StreamEngine};
+use loopspec_mt::{
+    ideal_tpc, ideal_tpc_streaming, ideal_tpc_with_feed, prefix_split, AnnotatedTrace, EngineGrid,
+    IterationCountLog, StrPolicy, StreamEngine,
+};
 use loopspec_pipeline::{Session, ShardedRun};
 use loopspec_workloads::{by_name, Scale};
 
@@ -179,6 +188,53 @@ fn main() {
                     .map(|r| r.tpc())
                     .sum();
                 std::hint::black_box(acc)
+            },
+        );
+
+        // The Figure 5 oracle study, two-phase: the count log rides
+        // the CPU pass (phase 1), then the retained event stream is
+        // replayed through unbounded oracle lanes for the full run and
+        // the prefix (phase 2). The gate tracks this against
+        // `streaming_grid` so oracle-path regressions fail CI.
+        s.bench(
+            "oracle_grid",
+            &format!("two-phase-fig5/{name}"),
+            Some(instructions),
+            || {
+                let mut collector = EventCollector::default();
+                let mut log = IterationCountLog::new();
+                let mut session = Session::new();
+                session
+                    .observe_loops(&mut collector)
+                    .observe_loops(&mut log);
+                session.run(&program, RunLimits::default()).expect("runs");
+                let (events, n) = collector.into_parts();
+                let feed = log.into_feed();
+                let all = ideal_tpc_with_feed(&events, n, &feed);
+                let (split, cut) = prefix_split(&events, n, FIG5_PREFIX_FRACTION);
+                let prefix = ideal_tpc_streaming(&events[..split], cut);
+                std::hint::black_box(all.tpc + prefix.tpc)
+            },
+        );
+
+        // The legacy materialized fig5 shape this PR retired from
+        // production: collect, build an AnnotatedTrace (twice — full
+        // and prefix), replay the batch oracle. Informational — it
+        // prices what the two-phase path saves.
+        s.bench(
+            "oracle_materialized",
+            &format!("annotate-fig5/{name}"),
+            Some(instructions),
+            || {
+                let mut collector = EventCollector::default();
+                Cpu::new()
+                    .run(&program, &mut collector, RunLimits::default())
+                    .expect("runs");
+                let (events, n) = collector.into_parts();
+                let all = ideal_tpc(&AnnotatedTrace::build(&events, n));
+                let (split, cut) = prefix_split(&events, n, FIG5_PREFIX_FRACTION);
+                let prefix = ideal_tpc(&AnnotatedTrace::build(&events[..split], cut));
+                std::hint::black_box(all.tpc + prefix.tpc)
             },
         );
 

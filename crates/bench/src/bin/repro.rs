@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use loopspec_bench::experiments::{self, cls_ablation};
 use loopspec_bench::report;
-use loopspec_bench::run::{execute_all, WorkloadRun};
+use loopspec_bench::run::{execute_all, ExecuteOptions, WorkloadRun};
 use loopspec_core::Replacement;
 use loopspec_workloads::{all, Scale};
 
@@ -62,13 +62,23 @@ fn main() -> ExitCode {
 
     let workloads = all();
     let need_dataspec = wanted.iter().any(|w| w == "fig8");
+    let need_oracle = wanted.iter().any(|w| w == "fig5");
 
     eprintln!(
-        "repro: executing {} workloads at {scale:?} scale (dataspec: {need_dataspec}) ...",
+        "repro: executing {} workloads at {scale:?} scale \
+         (dataspec: {need_dataspec}, oracle: {need_oracle}) ...",
         workloads.len()
     );
     let t0 = Instant::now();
-    let runs: Vec<WorkloadRun> = execute_all(&workloads, scale, need_dataspec);
+    let runs: Vec<WorkloadRun> = execute_all(
+        &workloads,
+        scale,
+        ExecuteOptions {
+            dataspec: need_dataspec,
+            oracle: need_oracle,
+            ..ExecuteOptions::default()
+        },
+    );
     let total: u64 = runs.iter().map(|r| r.instructions).sum();
     eprintln!(
         "repro: {total} instructions across the suite in {:.1}s\n",

@@ -4,8 +4,8 @@ use loopspec_core::{Cls, EventCollector, LoopStatsReport, Replacement, TableHitS
 use loopspec_cpu::{Cpu, RunLimits};
 use loopspec_dataspec::DataSpecReport;
 use loopspec_mt::{
-    ideal_tpc, AnnotatedTrace, AnyStreamEngine, Engine, EngineGrid, EngineReport, EngineSink,
-    IdlePolicy, StrNestedPolicy, StrPolicy, StreamEngine,
+    AnnotatedTrace, AnyStreamEngine, Engine, EngineGrid, EngineReport, EngineSink, IdlePolicy,
+    StrNestedPolicy, StrPolicy, StreamEngine,
 };
 use loopspec_workloads::{PaperRow, Scale, Workload};
 
@@ -193,13 +193,22 @@ pub struct Fig5Row {
 /// Fraction of the run used as the Figure 5 "reduced part".
 pub const FIG5_PREFIX_FRACTION: f64 = 0.25;
 
-/// Reproduces Figure 5: potential TPC with infinite thread units.
+/// Reproduces Figure 5: potential TPC with infinite thread units, read
+/// from the two-phase streaming oracle computed by
+/// [`WorkloadRun::execute`] — phase 1 (the iteration-count log) rides
+/// the shared single pass, phase 2 streams the retained events through
+/// unbounded oracle lanes. No trace is materialized.
+///
+/// # Panics
+///
+/// Panics if the runs were executed with
+/// [`ExecuteOptions::oracle`](crate::run::ExecuteOptions) off.
 pub fn fig5(runs: &[WorkloadRun]) -> Vec<Fig5Row> {
     runs.iter()
         .map(|r| Fig5Row {
             name: r.workload.name,
-            tpc_all: ideal_tpc(&r.annotate()).tpc,
-            tpc_prefix: ideal_tpc(&r.annotate_prefix(FIG5_PREFIX_FRACTION)).tpc,
+            tpc_all: r.ideal_all().tpc,
+            tpc_prefix: r.ideal_prefix().tpc,
         })
         .collect()
 }
@@ -421,7 +430,7 @@ pub fn cls_ablation(workloads: &[Workload], scale: Scale) -> Vec<ClsAblationPoin
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run::execute_all;
+    use crate::run::{execute_all, ExecuteOptions};
     use loopspec_workloads::by_name;
 
     fn small_runs(with_ds: bool) -> Vec<WorkloadRun> {
@@ -429,7 +438,14 @@ mod tests {
             .iter()
             .map(|n| by_name(n).unwrap())
             .collect();
-        execute_all(&ws, Scale::Test, with_ds)
+        execute_all(
+            &ws,
+            Scale::Test,
+            ExecuteOptions {
+                dataspec: with_ds,
+                ..ExecuteOptions::default()
+            },
+        )
     }
 
     #[test]

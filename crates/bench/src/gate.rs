@@ -116,8 +116,12 @@ pub fn parse_snapshot(json: &str) -> Result<BenchSnapshot, String> {
 ///   overhead: the sharded pass again, but scheduled by the
 ///   `loopspec-dist` coordinator across protocol-speaking workers on
 ///   Unix sockets (frame encode/decode, snapshot shipping, job-queue
-///   round trips).
-pub const METRICS: [(&str, &str, &str); 3] = [
+///   round trips);
+/// * `oracle_grid / streaming_grid` — the two-phase streaming oracle
+///   (Figure 5: count-log forward pass + oracle replay of the retained
+///   events) relative to the plain streaming grid pass, so regressions
+///   in the oracle path fail CI.
+pub const METRICS: [(&str, &str, &str); 4] = [
     (
         "streaming_grid",
         "materialized_grid",
@@ -125,6 +129,7 @@ pub const METRICS: [(&str, &str, &str); 3] = [
     ),
     ("sharded_grid", "streaming_grid", "sharded/streaming"),
     ("dist_grid", "streaming_grid", "dist/streaming"),
+    ("oracle_grid", "streaming_grid", "oracle/streaming"),
 ];
 
 /// One workload's gate verdict for one metric.
@@ -379,6 +384,30 @@ mod tests {
         // Against a baseline predating dist_grid, the metric is skipped.
         let rows = check(&snapshot(&[("compress", 120.0, 100.0)]), &fresh, 1.2).unwrap();
         assert!(rows.iter().all(|r| r.metric != "dist/streaming"));
+    }
+
+    #[test]
+    fn oracle_metric_is_gated_when_both_snapshots_have_it() {
+        fn with_oracle(mut snap: BenchSnapshot, ns: f64) -> BenchSnapshot {
+            snap.entries.push(BenchEntry {
+                group: "oracle_grid".into(),
+                name: "two-phase-fig5/compress".into(),
+                median_ns: ns,
+            });
+            snap
+        }
+        let base = with_oracle(snapshot(&[("compress", 120.0, 100.0)]), 90.0);
+        let fresh = with_oracle(snapshot(&[("compress", 120.0, 100.0)]), 200.0);
+        let rows = check(&base, &fresh, 1.2).expect("comparable");
+        let oracle = rows
+            .iter()
+            .find(|r| r.metric == "oracle/streaming")
+            .unwrap();
+        assert!(!oracle.passed(), "doubled oracle overhead must fail");
+        // Against a baseline predating oracle_grid, the metric is
+        // skipped.
+        let rows = check(&snapshot(&[("compress", 120.0, 100.0)]), &fresh, 1.2).unwrap();
+        assert!(rows.iter().all(|r| r.metric != "oracle/streaming"));
     }
 
     #[test]

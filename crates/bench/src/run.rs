@@ -9,11 +9,15 @@
 //!   every TPC figure/table reads from reports computed *during*
 //!   execution, with the annotation bookkeeping shared across all 20
 //!   lanes,
+//! * an [`IterationCountLog`] — phase 1 of the two-phase streaming
+//!   oracle: per-execution iteration counts for the Figure 5 potential
+//!   study, replayed through unbounded-TU oracle lanes in a second
+//!   streaming pass over the retained event stream (no
+//!   [`AnnotatedTrace`] is materialized),
 //! * the live-in profiler (when requested — only Figure 8 needs it),
 //! * an [`EventCollector`] that retains the compact event stream for the
 //!   replay-style analyses (Table 1 statistics, LET/LIT sweeps, and the
-//!   oracle study, which needs future knowledge and therefore the batch
-//!   engine).
+//!   phase-2 oracle replay).
 //!
 //! Workloads run in parallel on a work-queue sized to the machine.
 
@@ -22,11 +26,25 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use loopspec_core::{EventCollector, LoopEvent, LoopStats, LoopStatsReport};
 use loopspec_cpu::RunLimits;
 use loopspec_dataspec::{DataSpecReport, LiveInProfiler};
-use loopspec_mt::{AnnotatedTrace, EngineGrid, EngineReport};
+use loopspec_mt::{
+    ideal_tpc_streaming, ideal_tpc_with_feed, prefix_split, AnnotatedTrace, EngineGrid,
+    EngineReport, IdealReport, IterationCountLog,
+};
 use loopspec_pipeline::Session;
 use loopspec_workloads::{Scale, Workload};
 
-use crate::experiments::{grid_points, PolicyKind};
+use crate::experiments::{grid_points, PolicyKind, FIG5_PREFIX_FRACTION};
+
+/// One workload's Figure 5 data points, computed by the two-phase
+/// streaming oracle (no materialized trace).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdealPair {
+    /// The ideal machine over the whole run.
+    pub all: IdealReport,
+    /// The ideal machine over the first
+    /// [`FIG5_PREFIX_FRACTION`] of the run.
+    pub prefix: IdealReport,
+}
 
 /// The reusable result of executing one workload once.
 #[derive(Debug)]
@@ -42,6 +60,9 @@ pub struct WorkloadRun {
     /// Streaming engine reports for every (policy, TUs) grid point,
     /// computed in the same pass as the event stream.
     reports: Vec<(PolicyKind, usize, EngineReport)>,
+    /// Figure 5 ideal-machine reports (two-phase streaming oracle), if
+    /// the oracle study was enabled.
+    ideal: Option<IdealPair>,
 }
 
 /// What a [`WorkloadRun::execute_with`] pass should compute alongside
@@ -55,14 +76,21 @@ pub struct ExecuteOptions {
     /// that only want the event stream (table/detector sweeps) can turn
     /// this off and skip the 20-sink overhead.
     pub engine_grid: bool,
+    /// Run the two-phase streaming oracle for the Figure 5 potential
+    /// study: an [`IterationCountLog`] rides the main fan-out (phase
+    /// 1), then unbounded-TU oracle lanes replay the retained event
+    /// stream (phase 2) for the full run and its prefix.
+    pub oracle: bool,
 }
 
 impl Default for ExecuteOptions {
-    /// Engine grid on, dataspec off — what the figure harness wants.
+    /// Engine grid and oracle on, dataspec off — what the figure
+    /// harness wants.
     fn default() -> Self {
         ExecuteOptions {
             dataspec: false,
             engine_grid: true,
+            oracle: true,
         }
     }
 }
@@ -120,11 +148,17 @@ impl WorkloadRun {
             p.add_to_grid(&mut grid, tus);
         }
         let mut profiler = opts.dataspec.then(LiveInProfiler::new);
+        // Phase 1 of the two-phase oracle: the count log rides the same
+        // fan-out as every other sink.
+        let mut count_log = opts.oracle.then(IterationCountLog::new);
 
         let mut session = Session::new();
         session.observe_loops(&mut collector);
         if !grid.is_empty() {
             session.observe_loops(&mut grid);
+        }
+        if let Some(log) = count_log.as_mut() {
+            session.observe_loops(log);
         }
         if let Some(p) = profiler.as_mut() {
             session.observe_both(p);
@@ -149,12 +183,27 @@ impl WorkloadRun {
 
         let dataspec = profiler.map(|p| p.report());
         let (events, instructions) = collector.into_parts();
+
+        // Phase 2: replay the retained event stream through unbounded
+        // oracle lanes. The full run consumes the counts the session
+        // already recorded; the prefix study is its own two-phase run
+        // over the event prefix (the truncated future differs from the
+        // full run's, exactly as the paper's reduced-input bars do).
+        let ideal = count_log.map(|log| {
+            let feed = log.into_feed();
+            let all = ideal_tpc_with_feed(&events, instructions, &feed);
+            let (split, cut) = prefix_split(&events, instructions, FIG5_PREFIX_FRACTION);
+            let prefix = ideal_tpc_streaming(&events[..split], cut);
+            IdealPair { all, prefix }
+        });
+
         WorkloadRun {
             workload,
             events,
             instructions,
             dataspec,
             reports,
+            ideal,
         }
     }
 
@@ -186,36 +235,53 @@ impl WorkloadRun {
         s.report(self.instructions)
     }
 
-    /// Annotated trace for the batch speculation engine (oracle studies
-    /// and ad-hoc sweeps outside the precomputed grid).
-    pub fn annotate(&self) -> AnnotatedTrace {
-        AnnotatedTrace::build(&self.events, self.instructions)
-    }
-
-    /// Annotated trace truncated to the first `fraction` of the run
-    /// (Figure 5's "first 10⁹ instructions" prefix).
+    /// Figure 5 ideal-machine report over the whole run, from the
+    /// two-phase streaming oracle.
     ///
     /// # Panics
     ///
-    /// Panics unless `0.0 < fraction <= 1.0`.
-    pub fn annotate_prefix(&self, fraction: f64) -> AnnotatedTrace {
-        assert!(fraction > 0.0 && fraction <= 1.0, "bad fraction {fraction}");
-        let cut = (self.instructions as f64 * fraction) as u64;
-        let events: Vec<LoopEvent> = self
-            .events
-            .iter()
-            .filter(|e| e.pos() <= cut)
-            .copied()
-            .collect();
-        AnnotatedTrace::build(&events, cut)
+    /// Panics when the run was executed with
+    /// [`ExecuteOptions::oracle`] off.
+    pub fn ideal_all(&self) -> &IdealReport {
+        &self
+            .ideal
+            .as_ref()
+            .expect("run executed without the oracle study")
+            .all
+    }
+
+    /// Figure 5 ideal-machine report over the first
+    /// [`FIG5_PREFIX_FRACTION`] of the run, from the two-phase
+    /// streaming oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run was executed with
+    /// [`ExecuteOptions::oracle`] off.
+    pub fn ideal_prefix(&self) -> &IdealReport {
+        &self
+            .ideal
+            .as_ref()
+            .expect("run executed without the oracle study")
+            .prefix
+    }
+
+    /// Annotated trace for the **legacy** batch engine — kept as the
+    /// cross-check reference for equivalence tests and the
+    /// `materialized` benchmark groups; no production figure reads it
+    /// (the grid and the Figure 5 oracle both stream).
+    pub fn annotate(&self) -> AnnotatedTrace {
+        AnnotatedTrace::build(&self.events, self.instructions)
     }
 }
 
 /// Executes all `workloads` in parallel and returns the runs in the same
-/// order. A shared work-queue feeds up to `available_parallelism` worker
-/// threads, so an 18-workload batch saturates the machine without
-/// spawning 18 threads on a 4-core box.
-pub fn execute_all(workloads: &[Workload], scale: Scale, with_dataspec: bool) -> Vec<WorkloadRun> {
+/// order, computing the artifacts `opts` asks for (callers that never
+/// render Figure 5 or Figure 8 should turn `oracle` / `dataspec` off
+/// and skip those passes entirely). A shared work-queue feeds up to
+/// `available_parallelism` worker threads, so an 18-workload batch
+/// saturates the machine without spawning 18 threads on a 4-core box.
+pub fn execute_all(workloads: &[Workload], scale: Scale, opts: ExecuteOptions) -> Vec<WorkloadRun> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -233,7 +299,7 @@ pub fn execute_all(workloads: &[Workload], scale: Scale, with_dataspec: bool) ->
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(w) = workloads.get(i) else { break };
-                        local.push((i, WorkloadRun::execute(*w, scale, with_dataspec)));
+                        local.push((i, WorkloadRun::execute_with(*w, scale, opts)));
                     }
                     local
                 })
@@ -268,6 +334,8 @@ mod tests {
         assert_eq!(stats.instructions, run.instructions);
         let trace = run.annotate();
         assert_eq!(trace.instructions, run.instructions);
+        assert_eq!(run.ideal_all().instructions, run.instructions);
+        assert!(run.ideal_prefix().instructions < run.instructions);
     }
 
     #[test]
@@ -296,18 +364,47 @@ mod tests {
     }
 
     #[test]
-    fn prefix_truncates() {
+    fn two_phase_ideal_matches_the_legacy_materialized_path() {
+        use crate::experiments::FIG5_PREFIX_FRACTION;
+        use loopspec_core::LoopEvent;
+        use loopspec_mt::ideal_tpc;
+
         let run = WorkloadRun::execute(by_name("swim").unwrap(), Scale::Test, false);
-        let full = run.annotate();
-        let half = run.annotate_prefix(0.5);
-        assert!(half.instructions < full.instructions);
-        assert!(half.events.len() <= full.events.len());
+        // Full run: the streaming pair must equal the batch oracle on
+        // the materialized trace.
+        assert_eq!(*run.ideal_all(), ideal_tpc(&run.annotate()));
+        // Prefix: same comparison against an annotated event prefix.
+        let cut = (run.instructions as f64 * FIG5_PREFIX_FRACTION) as u64;
+        let prefix: Vec<LoopEvent> = run
+            .events
+            .iter()
+            .filter(|e| e.pos() <= cut)
+            .copied()
+            .collect();
+        let legacy = ideal_tpc(&loopspec_mt::AnnotatedTrace::build(&prefix, cut));
+        assert_eq!(*run.ideal_prefix(), legacy);
+        assert!(run.ideal_prefix().instructions < run.ideal_all().instructions);
+    }
+
+    #[test]
+    #[should_panic(expected = "without the oracle study")]
+    fn ideal_reports_require_the_oracle_option() {
+        let run = WorkloadRun::execute_with(
+            by_name("compress").unwrap(),
+            Scale::Test,
+            ExecuteOptions {
+                oracle: false,
+                engine_grid: false,
+                ..ExecuteOptions::default()
+            },
+        );
+        let _ = run.ideal_all();
     }
 
     #[test]
     fn parallel_execution_preserves_order() {
         let ws: Vec<_> = ["gcc", "li"].iter().map(|n| by_name(n).unwrap()).collect();
-        let runs = execute_all(&ws, Scale::Test, false);
+        let runs = execute_all(&ws, Scale::Test, ExecuteOptions::default());
         assert_eq!(runs[0].workload.name, "gcc");
         assert_eq!(runs[1].workload.name, "li");
     }

@@ -24,7 +24,8 @@
 //!   root enforce this end to end.
 
 pub use loopspec_isa::snap::{
-    fnv1a, frame, Dec, Enc, FrameBuf, SnapError, FRAME_HEADER, FRAME_TRAILER,
+    fnv1a, fnv1a_update, frame, Dec, Enc, FrameBuf, SnapError, FNV1A_INIT, FRAME_HEADER,
+    FRAME_TRAILER,
 };
 
 use crate::{LoopEvent, LoopId};

@@ -21,14 +21,27 @@
 //! * **Worker death** (dropped connection — process exit, kill, broken
 //!   pipe): the in-flight job's *input* snapshot is still held by the
 //!   coordinator, so the chain is requeued from its last good snapshot
-//!   and handed to another worker. Work is lost, state is not; the
+//!   and handed to another worker — and, for spawned pools, a
+//!   replacement process is spawned the same way the initial pool was,
+//!   restoring the worker count. Work is lost, state is not; the
 //!   merged result is still bit-identical.
+//! * **Poison shard**: a shard that kills two workers in a row (no
+//!   completed shard on its chain in between) fails the run
+//!   ([`DistError::Failed`]) instead of grinding through fresh
+//!   processes forever.
+//! * **Spawn failure** (misconfigured binary path, missing stdio
+//!   pipes): [`DistError::Spawn`] up front; a failed mid-run respawn
+//!   silently shrinks the pool to the survivors. Respawns per run are
+//!   budgeted (2× the initial pool), so a binary that handshakes and
+//!   exits cannot respawn forever.
 //! * **Deterministic job failure** ([`Frame::Error`]: unknown
 //!   workload, invalid lane, snapshot rejected): retrying elsewhere
 //!   would fail identically, so the run fails with
 //!   [`DistError::Failed`].
 //! * **All workers dead** with work remaining:
-//!   [`DistError::AllWorkersDied`].
+//!   [`DistError::AllWorkersDied`] (always reachable for
+//!   pre-connected pools, which cannot respawn, and for
+//!   [`Coordinator::no_respawn`]).
 //!
 //! ## Bit-identity
 //!
@@ -59,9 +72,14 @@ use crate::wire::{
 /// Why a distributed run failed.
 #[derive(Debug)]
 pub enum DistError {
-    /// Transport-level failure outside any worker conversation (e.g.
-    /// spawning a worker process).
+    /// Transport-level failure outside any worker conversation.
     Io(io::Error),
+    /// A worker process could not be spawned or wired up (misconfigured
+    /// binary path, missing stdio pipes).
+    Spawn {
+        /// Human-readable cause.
+        message: String,
+    },
     /// A job failed deterministically — on a worker
     /// ([`Frame::Error`]) or locally while verifying.
     Failed {
@@ -95,6 +113,9 @@ impl fmt::Display for DistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DistError::Io(e) => write!(f, "distributed run i/o error: {e}"),
+            DistError::Spawn { message } => {
+                write!(f, "failed to spawn a worker process: {message}")
+            }
             DistError::Failed { workload, message } if workload.is_empty() => {
                 write!(f, "worker failed: {message}")
             }
@@ -199,15 +220,30 @@ impl WorkerLink {
     ///
     /// # Errors
     ///
-    /// Propagates the spawn failure.
-    pub fn spawn(cmd: &mut Command) -> io::Result<Self> {
+    /// [`DistError::Spawn`] when the process cannot be started or its
+    /// stdio pipes cannot be wired up (a misconfigured binary path
+    /// fails the suite cleanly instead of panicking).
+    pub fn spawn(cmd: &mut Command) -> Result<Self, DistError> {
+        let program = format!("{:?}", cmd.get_program());
+        let spawn_err = |what: &str| DistError::Spawn {
+            message: format!("{what} for worker command {program}"),
+        };
         let mut child = cmd
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
-            .spawn()?;
-        let stdin = child.stdin.take().expect("piped stdin");
-        let stdout = child.stdout.take().expect("piped stdout");
+            .spawn()
+            .map_err(|e| spawn_err(&e.to_string()))?;
+        let Some(stdin) = child.stdin.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(spawn_err("no piped stdin"));
+        };
+        let Some(stdout) = child.stdout.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(spawn_err("no piped stdout"));
+        };
         Ok(WorkerLink {
             writer: LinkWriter::Pipe(Some(stdin)),
             reader: Some(LinkReader::Pipe(stdout)),
@@ -318,6 +354,9 @@ pub struct DistOutcome {
     pub outcomes: Vec<WorkloadOutcome>,
     /// Worker connections lost during the run.
     pub workers_lost: u32,
+    /// Replacement worker processes spawned to keep the pool at full
+    /// strength after losses (0 for coordinators that cannot respawn).
+    pub workers_respawned: u32,
     /// Jobs dispatched (including requeued re-dispatches).
     pub jobs_dispatched: u64,
     /// Total snapshot bytes shipped back from workers at shard
@@ -447,43 +486,86 @@ struct Chain {
     /// only loses work, never state.
     snapshot: Option<Vec<u8>>,
     retries: u32,
+    /// Workers that died while executing the chain's *current* shard
+    /// (reset whenever a shard completes). One death is retryable
+    /// (requeue + respawn a replacement); a second death without
+    /// progress in between means the replacement died there too — a
+    /// poison shard that would grind through the pool forever, so the
+    /// suite fails instead.
+    deaths: u32,
 }
+
+/// How replacement worker processes are spawned after a worker death.
+type RespawnFn = Box<dyn FnMut(usize) -> Command>;
 
 /// The multi-process shard scheduler. Construct with connected
 /// [`WorkerLink`]s ([`Coordinator::spawn`] for the common
 /// re-invoke-current-binary case) and call [`Coordinator::run_suite`].
-#[derive(Debug)]
+///
+/// Coordinators built via [`Coordinator::spawn`] /
+/// [`Coordinator::spawn_with`] **replenish the pool**: when a worker
+/// dies mid-shard its chain is requeued from the last good snapshot
+/// *and* a replacement process is spawned the same way the initial pool
+/// was (bounded by a 2×-pool respawn budget per run), so the worker
+/// count stays constant. A shard that kills two workers in a row fails
+/// the suite ([`DistError::Failed`]) instead of cycling through fresh
+/// processes. Coordinators over pre-connected
+/// links ([`Coordinator::new`]) cannot respawn and simply shrink to the
+/// survivors, failing with [`DistError::AllWorkersDied`] when none
+/// remain — [`Coordinator::no_respawn`] opts a spawned pool into the
+/// same behavior.
 pub struct Coordinator {
     links: Vec<WorkerLink>,
+    /// `Some` when the coordinator knows how to spawn replacements
+    /// (built via `spawn`/`spawn_with`); the argument is the new
+    /// worker's slot index.
+    respawn: Option<RespawnFn>,
+}
+
+impl fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("workers", &self.links.len())
+            .field("respawn", &self.respawn.is_some())
+            .finish()
+    }
 }
 
 impl Coordinator {
-    /// A coordinator over already-connected workers.
+    /// A coordinator over already-connected workers. Such a pool cannot
+    /// be replenished (the coordinator does not know how its links were
+    /// made): worker deaths shrink it to the survivors.
     ///
     /// # Panics
     ///
     /// Panics if `links` is empty.
     pub fn new(links: Vec<WorkerLink>) -> Self {
         assert!(!links.is_empty(), "a run needs at least one worker");
-        Coordinator { links }
+        Coordinator {
+            links,
+            respawn: None,
+        }
     }
 
     /// Spawns `workers` processes by re-invoking the current executable
     /// with `--worker` — the binary must call
     /// [`maybe_serve_stdio`](crate::worker::maybe_serve_stdio) first
     /// thing in `main` (the `dist_run` binary and the `distributed_run`
-    /// example both do).
+    /// example both do). Workers lost mid-run are replaced the same
+    /// way, keeping the pool at `workers`.
     ///
     /// # Errors
     ///
-    /// Propagates spawn failures.
+    /// [`DistError::Spawn`] when a worker cannot be started.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
-    pub fn spawn(workers: usize) -> io::Result<Self> {
-        let exe = std::env::current_exe()?;
-        Self::spawn_with(workers, |_| {
+    pub fn spawn(workers: usize) -> Result<Self, DistError> {
+        let exe = std::env::current_exe().map_err(|e| DistError::Spawn {
+            message: format!("cannot resolve the current executable: {e}"),
+        })?;
+        Self::spawn_with(workers, move |_| {
             let mut cmd = Command::new(&exe);
             cmd.arg("--worker");
             cmd
@@ -492,26 +574,40 @@ impl Coordinator {
 
     /// Spawns `workers` processes from per-worker commands — the hook
     /// for custom binaries, per-worker environment (the crash-injection
-    /// tests use it), or remote-execution wrappers.
+    /// tests use it), or remote-execution wrappers. A replacement for a
+    /// worker lost mid-run is spawned with `command(i)` where `i` is
+    /// the replacement's fresh slot index (≥ `workers`).
     ///
     /// # Errors
     ///
-    /// Propagates spawn failures.
+    /// [`DistError::Spawn`] when a worker cannot be started.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
     pub fn spawn_with(
         workers: usize,
-        mut command: impl FnMut(usize) -> Command,
-    ) -> io::Result<Self> {
+        mut command: impl FnMut(usize) -> Command + 'static,
+    ) -> Result<Self, DistError> {
         let links = (0..workers)
             .map(|i| WorkerLink::spawn(&mut command(i)))
-            .collect::<io::Result<Vec<_>>>()?;
-        Ok(Self::new(links))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut coordinator = Self::new(links);
+        coordinator.respawn = Some(Box::new(command));
+        Ok(coordinator)
     }
 
-    /// Number of connected workers.
+    /// Disables pool replenishment: worker deaths shrink the pool to
+    /// the survivors even for a spawned coordinator (the strict mode
+    /// the all-workers-dead tests pin down).
+    pub fn no_respawn(mut self) -> Self {
+        self.respawn = None;
+        self
+    }
+
+    /// Number of connected workers (including replacements spawned
+    /// mid-run; dead workers are not removed from the count until the
+    /// run ends).
     pub fn workers(&self) -> usize {
         self.links.len()
     }
@@ -529,32 +625,11 @@ impl Coordinator {
         let (tx, rx) = mpsc::channel::<Event>();
         let mut readers = Vec::with_capacity(self.links.len());
         for (i, link) in self.links.iter_mut().enumerate() {
-            let reader = link.reader.take().expect("fresh link has a reader");
-            let tx = tx.clone();
-            readers.push(std::thread::spawn(move || {
-                let mut frames = FrameReader::new(reader);
-                loop {
-                    match frames.read_frame() {
-                        Ok(Some(frame)) => {
-                            if tx.send(Event::Frame(i, frame)).is_err() {
-                                break;
-                            }
-                        }
-                        Ok(None) | Err(WireError::Io(_)) => {
-                            let _ = tx.send(Event::Closed(i));
-                            break;
-                        }
-                        Err(e @ WireError::Codec(_)) => {
-                            let _ = tx.send(Event::Garbled(i, e));
-                            break;
-                        }
-                    }
-                }
-            }));
+            readers.push(Self::attach_reader(link, i, &tx));
         }
-        drop(tx);
 
-        let result = self.schedule(spec, &rx);
+        let result = self.schedule(spec, &rx, &tx, &mut readers);
+        drop(tx);
 
         // Shutdown: EOF the job streams, reap children, join readers.
         for link in &mut self.links {
@@ -573,11 +648,55 @@ impl Coordinator {
         result
     }
 
+    /// Spawns the reader thread draining worker `i`'s frames into the
+    /// scheduler's event channel. The thread *always* reports the
+    /// worker as closed when it exits — a drop guard delivers the
+    /// `Closed` event even if the read loop panics, so the scheduler
+    /// (which holds a live sender and can therefore never see the
+    /// channel disconnect) cannot block forever on a silently vanished
+    /// reader. A duplicate `Closed` after a normal exit is harmless:
+    /// the scheduler ignores deaths of already-dead workers.
+    fn attach_reader(
+        link: &mut WorkerLink,
+        i: usize,
+        tx: &mpsc::Sender<Event>,
+    ) -> std::thread::JoinHandle<()> {
+        let reader = link.reader.take().expect("fresh link has a reader");
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            struct ClosedOnExit(mpsc::Sender<Event>, usize);
+            impl Drop for ClosedOnExit {
+                fn drop(&mut self) {
+                    let _ = self.0.send(Event::Closed(self.1));
+                }
+            }
+            let guard = ClosedOnExit(tx.clone(), i);
+            let mut frames = FrameReader::new(reader);
+            loop {
+                match frames.read_frame() {
+                    Ok(Some(frame)) => {
+                        if tx.send(Event::Frame(i, frame)).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(None) | Err(WireError::Io(_)) => break,
+                    Err(e @ WireError::Codec(_)) => {
+                        let _ = tx.send(Event::Garbled(i, e));
+                        break;
+                    }
+                }
+            }
+            drop(guard);
+        })
+    }
+
     /// The scheduler loop proper (shutdown handled by the caller).
     fn schedule(
         &mut self,
         spec: &SuiteSpec,
         rx: &mpsc::Receiver<Event>,
+        tx: &mpsc::Sender<Event>,
+        readers: &mut Vec<std::thread::JoinHandle<()>>,
     ) -> Result<DistOutcome, DistError> {
         let mut chains: Vec<Chain> = spec
             .workloads
@@ -588,6 +707,7 @@ impl Coordinator {
                 executed: 0,
                 snapshot: None,
                 retries: 0,
+                deaths: 0,
             })
             .collect();
         let mut ready: VecDeque<usize> = (0..chains.len()).collect();
@@ -595,23 +715,47 @@ impl Coordinator {
         let mut states: Vec<WorkerState> = Vec::new();
         let mut completed = 0usize;
         let mut workers_lost = 0u32;
+        let mut workers_respawned = 0u32;
+        // Replacement processes spawned per run are bounded: a binary
+        // that handshakes and then exits (or workers dying faster than
+        // they serve) must not respawn forever. Exhausting the budget
+        // degrades to the shrink-to-survivors behavior, so the
+        // all-workers-dead error path stays reachable.
+        let mut respawn_budget = 2 * self.links.len() as u32;
         let mut jobs_dispatched = 0u64;
         let mut handoff_bytes = 0u64;
         let mut next_job = 1u64;
 
         // Handshake: offer our protocol version to every worker.
-        for (i, link) in self.links.iter_mut().enumerate() {
+        let initial = self.links.len();
+        for i in 0..initial {
             let hello = Frame::Hello {
                 protocol: PROTOCOL,
                 worker: i as u32,
             };
-            states.push(match write_frame(&mut link.writer, &hello) {
+            states.push(match write_frame(&mut self.links[i].writer, &hello) {
                 Ok(()) => WorkerState::Connecting,
                 Err(_) => {
                     workers_lost += 1;
                     WorkerState::Dead
                 }
             });
+        }
+        // An initial worker that died before its handshake is a loss
+        // like any other: replace it (replacements handshake inside
+        // respawn_worker) so a transient startup failure does not run
+        // the pool under strength.
+        for i in 0..initial {
+            if matches!(states[i], WorkerState::Dead) {
+                self.respawn_worker(
+                    &mut states,
+                    tx,
+                    readers,
+                    &mut respawn_budget,
+                    &mut workers_lost,
+                    &mut workers_respawned,
+                );
+            }
         }
 
         while completed < chains.len() {
@@ -665,12 +809,23 @@ impl Coordinator {
                     }
                     Err(WireError::Io(_)) => {
                         // The worker died between frames; its Closed
-                        // event will arrive too — requeue and retry on
-                        // another worker.
+                        // event will arrive too — requeue, retry on
+                        // another worker, and replace the lost process
+                        // so the pool keeps its strength. The job never
+                        // reached the worker, so this death does not
+                        // count against the chain.
                         states[worker] = WorkerState::Dead;
                         workers_lost += 1;
                         chains[chain_idx].retries += 1;
                         ready.push_front(chain_idx);
+                        self.respawn_worker(
+                            &mut states,
+                            tx,
+                            readers,
+                            &mut respawn_budget,
+                            &mut workers_lost,
+                            &mut workers_respawned,
+                        );
                     }
                 }
             }
@@ -712,6 +867,9 @@ impl Coordinator {
                     chain.executed = instructions;
                     chain.shard += 1;
                     chain.snapshot = Some(bytes);
+                    // Progress clears the poison-shard suspicion: only
+                    // deaths on the *same* shard count together.
+                    chain.deaths = 0;
                     ready.push_back(chain_idx);
                     states[w] = WorkerState::Idle;
                 }
@@ -742,16 +900,52 @@ impl Coordinator {
                     )));
                 }
                 Event::Closed(w) => {
-                    if let WorkerState::Busy { chain, .. } = states[w] {
+                    // A failed job write may already have marked the
+                    // worker Dead (and respawned a replacement); only
+                    // the first observation of a death counts.
+                    let was_alive = !matches!(states[w], WorkerState::Dead);
+                    let busy_chain = match states[w] {
+                        WorkerState::Busy { chain, .. } => Some(chain),
+                        _ => None,
+                    };
+                    if was_alive {
+                        workers_lost += 1;
+                        states[w] = WorkerState::Dead;
+                    }
+                    if let Some(chain_idx) = busy_chain {
                         // Lost mid-shard: requeue from the last good
                         // snapshot (still held here — work lost, state
                         // not).
-                        chains[chain].retries += 1;
-                        ready.push_front(chain);
+                        let chain = &mut chains[chain_idx];
+                        chain.retries += 1;
+                        chain.deaths += 1;
+                        if chain.deaths >= 2 && self.respawn.is_some() {
+                            // The replacement died on the same shard: a
+                            // poison shard would grind through fresh
+                            // processes forever, so fail with the cause.
+                            return Err(DistError::Failed {
+                                workload: chain.name.clone(),
+                                message: format!(
+                                    "shard {} killed {} workers in a row (no \
+                                     completed shard in between): poison shard",
+                                    chain.shard, chain.deaths
+                                ),
+                            });
+                        }
+                        ready.push_front(chain_idx);
                     }
-                    if !matches!(states[w], WorkerState::Dead) {
-                        workers_lost += 1;
-                        states[w] = WorkerState::Dead;
+                    // Replace the lost process — whether it was busy,
+                    // idle, or still connecting — so the pool keeps
+                    // its strength.
+                    if was_alive {
+                        self.respawn_worker(
+                            &mut states,
+                            tx,
+                            readers,
+                            &mut respawn_budget,
+                            &mut workers_lost,
+                            &mut workers_respawned,
+                        );
                     }
                 }
                 Event::Garbled(w, e) => {
@@ -768,9 +962,58 @@ impl Coordinator {
                 .map(|o| o.expect("all chains completed"))
                 .collect(),
             workers_lost,
+            workers_respawned,
             jobs_dispatched,
             handoff_bytes,
         })
+    }
+
+    /// Spawns a replacement worker into a fresh pool slot (handshake
+    /// sent, reader attached), counting it like the initial pool did:
+    /// each spawned process bumps `workers_respawned` and consumes one
+    /// unit of `budget`, and one whose handshake write fails also
+    /// bumps `workers_lost` (same as an initial worker that dies
+    /// during the handshake) — and is itself replaced while budget
+    /// remains, so a single flaky handshake does not shrink the pool.
+    /// A coordinator that cannot respawn, a failed spawn, or an
+    /// exhausted budget leaves the pool to the survivors, preserving
+    /// the all-workers-dead error path.
+    fn respawn_worker(
+        &mut self,
+        states: &mut Vec<WorkerState>,
+        tx: &mpsc::Sender<Event>,
+        readers: &mut Vec<std::thread::JoinHandle<()>>,
+        budget: &mut u32,
+        workers_lost: &mut u32,
+        workers_respawned: &mut u32,
+    ) {
+        // `make` is moved out and restored so the loop can push onto
+        // `self.links` while holding it.
+        let Some(mut make) = self.respawn.take() else {
+            return;
+        };
+        while *budget > 0 {
+            let idx = self.links.len();
+            let Ok(mut link) = WorkerLink::spawn(&mut make(idx)) else {
+                break;
+            };
+            readers.push(Self::attach_reader(&mut link, idx, tx));
+            let hello = Frame::Hello {
+                protocol: PROTOCOL,
+                worker: idx as u32,
+            };
+            let alive = write_frame(&mut link.writer, &hello).is_ok();
+            self.links.push(link);
+            *budget -= 1;
+            *workers_respawned += 1;
+            if alive {
+                states.push(WorkerState::Connecting);
+                break;
+            }
+            *workers_lost += 1;
+            states.push(WorkerState::Dead);
+        }
+        self.respawn = Some(make);
     }
 
     /// The chain a busy worker's reply belongs to; protocol error if
@@ -981,6 +1224,15 @@ mod tests {
     }
 
     #[test]
+    fn misconfigured_binary_is_a_clean_spawn_error() {
+        let err =
+            Coordinator::spawn_with(1, |_| Command::new("/nonexistent/loopspec-worker-binary"))
+                .expect_err("must fail");
+        assert!(matches!(err, DistError::Spawn { .. }), "got: {err}");
+        assert!(err.to_string().contains("spawn"), "{err}");
+    }
+
+    #[test]
     fn errors_display_their_cause() {
         for (e, needle) in [
             (
@@ -1005,6 +1257,12 @@ mod tests {
                 "3/18",
             ),
             (DistError::Protocol("bad echo".into()), "bad echo"),
+            (
+                DistError::Spawn {
+                    message: "no such file".into(),
+                },
+                "spawn",
+            ),
             (
                 DistError::Mismatch {
                     workload: "li".into(),

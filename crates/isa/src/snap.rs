@@ -90,16 +90,26 @@ impl fmt::Display for SnapError {
 
 impl std::error::Error for SnapError {}
 
-/// FNV-1a 64 over `bytes` — the workspace's shared integrity hash. It
-/// catches truncation and bit rot, not tampering; snapshot containers
-/// and wire frames both close with it.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+/// The FNV-1a 64 offset basis — the seed for incremental
+/// [`fnv1a_update`] folds.
+pub const FNV1A_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One incremental step of [`fnv1a`]: folds `bytes` into the running
+/// hash `h`. Seed with [`FNV1A_INIT`]; folding a byte stream in any
+/// chunking yields the same digest as one [`fnv1a`] over the whole.
+pub fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// FNV-1a 64 over `bytes` — the workspace's shared integrity hash. It
+/// catches truncation and bit rot, not tampering; snapshot containers
+/// and wire frames both close with it.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(FNV1A_INIT, bytes)
 }
 
 /// Bytes a [`frame`] adds in front of the payload (the `u32` length).

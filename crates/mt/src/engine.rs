@@ -185,8 +185,10 @@ impl<P: SpeculationPolicy> EngineCore<P> {
     /// `iter_pos` answers "at which stream position does iteration `j` of
     /// this execution start?" for any `j` up to the horizon (`None` when
     /// the iteration does not exist or starts at/after the horizon).
-    /// `actual_remaining` is ground truth for oracle policies (streaming
-    /// drivers pass 0 and refuse such policies).
+    /// `remaining_from_feed` is ground truth for oracle policies — the
+    /// batch driver reads it off the annotated trace, streaming drivers
+    /// off an [`OracleFeed`](crate::OracleFeed) (feed-less streaming
+    /// drivers pass 0 and refuse future-knowledge policies).
     pub(crate) fn iter_start(
         &mut self,
         exec: u32,
@@ -194,7 +196,7 @@ impl<P: SpeculationPolicy> EngineCore<P> {
         iter: u32,
         pos: u64,
         iter_pos: &dyn Fn(u32) -> Option<u64>,
-        actual_remaining: u32,
+        remaining_from_feed: u32,
     ) {
         let t = self.cur.time_at(pos);
 
@@ -225,7 +227,8 @@ impl<P: SpeculationPolicy> EngineCore<P> {
         }
 
         // --- Speculation attempt.
-        let spawned = self.attempt_spawn(exec, loop_id, iter, pos, t, iter_pos, actual_remaining);
+        let spawned =
+            self.attempt_spawn(exec, loop_id, iter, pos, t, iter_pos, remaining_from_feed);
 
         // --- STR(i): a newly detected execution that could not speculate
         // counts against enclosing speculated loops; exceeding the limit
@@ -251,8 +254,15 @@ impl<P: SpeculationPolicy> EngineCore<P> {
                     // Policy squashes sacrifice *correct* speculation;
                     // they do not count against a loop's suitability.
                     let _ = self.squash_exec(g, pos, false);
-                    let _ =
-                        self.attempt_spawn(exec, loop_id, iter, pos, t, iter_pos, actual_remaining);
+                    let _ = self.attempt_spawn(
+                        exec,
+                        loop_id,
+                        iter,
+                        pos,
+                        t,
+                        iter_pos,
+                        remaining_from_feed,
+                    );
                 }
             }
         }
@@ -439,7 +449,7 @@ impl<P: SpeculationPolicy> EngineCore<P> {
         pos: u64,
         t: u64,
         iter_pos: &dyn Fn(u32) -> Option<u64>,
-        actual_remaining: u32,
+        remaining_from_feed: u32,
     ) -> u64 {
         let idle = self.idle();
         if idle == 0 {
@@ -452,7 +462,7 @@ impl<P: SpeculationPolicy> EngineCore<P> {
             idle_tus: idle,
             already_speculated: already,
             predictor: &self.predictor,
-            actual_remaining,
+            remaining_from_feed,
         };
         let n = self.policy.threads_to_spawn(&ctx).min(idle);
         if n == 0 {

@@ -33,7 +33,8 @@ use std::collections::VecDeque;
 use loopspec_core::{LoopEvent, LoopEventSink, LoopId};
 
 use crate::engine::{EngineCore, EngineReport};
-use crate::policy::{IdlePolicy, StrNestedPolicy, StrPolicy};
+use crate::oracle::OracleFeed;
+use crate::policy::{IdlePolicy, OraclePolicy, StrNestedPolicy, StrPolicy};
 use crate::stream::{check_tus, Annotator, ExecAnn, Pending};
 
 /// One engine configuration: a monomorphized decision core plus this
@@ -45,12 +46,16 @@ struct Lane {
     cursor: u64,
 }
 
-/// The paper's three history-based policy families, monomorphized.
+/// The paper's three history-based policy families plus the two-phase
+/// oracle, monomorphized. An oracle lane carries its own
+/// [`OracleFeed`] — the phase-1 recording it answers future-knowledge
+/// questions from.
 #[derive(Debug)]
 enum LaneCore {
     Idle(EngineCore<IdlePolicy>),
     Str(EngineCore<StrPolicy>),
     StrNested(EngineCore<StrNestedPolicy>),
+    Oracle(EngineCore<OraclePolicy>, OracleFeed),
 }
 
 impl LaneCore {
@@ -59,6 +64,7 @@ impl LaneCore {
             LaneCore::Idle(c) => c.exec_start(exec),
             LaneCore::Str(c) => c.exec_start(exec),
             LaneCore::StrNested(c) => c.exec_start(exec),
+            LaneCore::Oracle(c, _) => c.exec_start(exec),
         }
     }
 
@@ -68,6 +74,7 @@ impl LaneCore {
             LaneCore::Idle(c) => c.iter_start_horizon(exec, iter, pos),
             LaneCore::Str(c) => c.iter_start_horizon(exec, iter, pos),
             LaneCore::StrNested(c) => c.iter_start_horizon(exec, iter, pos),
+            LaneCore::Oracle(c, _) => c.iter_start_horizon(exec, iter, pos),
         }
     }
 
@@ -85,6 +92,10 @@ impl LaneCore {
             LaneCore::Idle(c) => c.iter_start(exec, loop_id, iter, pos, iter_pos, 0),
             LaneCore::Str(c) => c.iter_start(exec, loop_id, iter, pos, iter_pos, 0),
             LaneCore::StrNested(c) => c.iter_start(exec, loop_id, iter, pos, iter_pos, 0),
+            LaneCore::Oracle(c, feed) => {
+                let remaining = feed.remaining_after(exec, iter);
+                c.iter_start(exec, loop_id, iter, pos, iter_pos, remaining);
+            }
         }
     }
 
@@ -93,6 +104,7 @@ impl LaneCore {
             LaneCore::Idle(c) => c.exec_end(exec, loop_id, pos, closed, iters),
             LaneCore::Str(c) => c.exec_end(exec, loop_id, pos, closed, iters),
             LaneCore::StrNested(c) => c.exec_end(exec, loop_id, pos, closed, iters),
+            LaneCore::Oracle(c, _) => c.exec_end(exec, loop_id, pos, closed, iters),
         }
     }
 
@@ -101,6 +113,7 @@ impl LaneCore {
             LaneCore::Idle(c) => c.report(instructions),
             LaneCore::Str(c) => c.report(instructions),
             LaneCore::StrNested(c) => c.report(instructions),
+            LaneCore::Oracle(c, _) => c.report(instructions),
         }
     }
 
@@ -110,6 +123,7 @@ impl LaneCore {
             LaneCore::Idle(_) => 0,
             LaneCore::Str(_) => 1,
             LaneCore::StrNested(_) => 2,
+            LaneCore::Oracle(..) => 3,
         }
     }
 
@@ -118,6 +132,12 @@ impl LaneCore {
             LaneCore::Idle(c) => c.save_state(out),
             LaneCore::Str(c) => c.save_state(out),
             LaneCore::StrNested(c) => c.save_state(out),
+            LaneCore::Oracle(c, feed) => {
+                // Configuration echo: an oracle lane must resume
+                // against the same future it was speculating from.
+                out.u64(feed.fingerprint());
+                c.save_state(out);
+            }
         }
     }
 
@@ -129,6 +149,14 @@ impl LaneCore {
             LaneCore::Idle(c) => c.load_state(src),
             LaneCore::Str(c) => c.load_state(src),
             LaneCore::StrNested(c) => c.load_state(src),
+            LaneCore::Oracle(c, feed) => {
+                if src.u64()? != feed.fingerprint() {
+                    return Err(loopspec_core::snap::SnapError::Mismatch {
+                        what: "oracle feed",
+                    });
+                }
+                c.load_state(src)
+            }
         }
     }
 }
@@ -239,6 +267,37 @@ impl EngineGrid {
             tus as u64,
             Some(tus),
         )))
+    }
+
+    /// Adds a two-phase-oracle lane with `tus` thread units, answering
+    /// future-knowledge questions from `feed` (a phase-1
+    /// [`IterationCountLog`](crate::IterationCountLog) recording of the
+    /// same stream); returns its lane index.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= tus <= 4096`, or if events were already
+    /// delivered.
+    pub fn push_oracle(&mut self, tus: usize, feed: OracleFeed) -> usize {
+        check_tus(tus);
+        self.push_lane(LaneCore::Oracle(
+            EngineCore::new(OraclePolicy::new(), tus as u64, Some(tus)),
+            feed,
+        ))
+    }
+
+    /// Adds a two-phase-oracle lane with an **unbounded** TU pool —
+    /// the ideal machine of the paper's Figure 5 — answering
+    /// future-knowledge questions from `feed`; returns its lane index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events were already delivered.
+    pub fn push_oracle_unbounded(&mut self, feed: OracleFeed) -> usize {
+        self.push_lane(LaneCore::Oracle(
+            EngineCore::new(OraclePolicy::new(), u64::MAX, None),
+            feed,
+        ))
     }
 
     /// Number of lanes.
@@ -600,6 +659,53 @@ mod tests {
         grid.on_stream_end(n);
         assert_eq!(grid.reports(), Some(&[][..]));
         assert!(grid.report(0).is_none());
+    }
+
+    #[test]
+    fn oracle_lanes_match_batch_oracle() {
+        use crate::oracle::IterationCountLog;
+        use crate::policy::OraclePolicy;
+
+        let (events, n) = events_of(|b| {
+            b.counted_loop(8, |b, _| {
+                for _ in 0..2 {
+                    b.counted_loop(10, |b, _| b.work(7));
+                }
+            });
+        });
+        // Phase 1: record the counts.
+        let mut log = IterationCountLog::new();
+        log.on_loop_events(&events);
+        log.on_stream_end(n);
+        let feed = log.into_feed();
+        let trace = AnnotatedTrace::build(&events, n);
+
+        // Phase 2: oracle lanes beside a history lane in one grid.
+        for chunk in [1usize, 7, 256] {
+            let mut grid = EngineGrid::new();
+            let o4 = grid.push_oracle(4, feed.clone());
+            let ideal = grid.push_oracle_unbounded(feed.clone());
+            let str4 = grid.push_str(4);
+            for c in events.chunks(chunk) {
+                grid.on_loop_events(c);
+            }
+            grid.on_stream_end(n);
+            assert_eq!(
+                grid.report(o4).unwrap(),
+                &Engine::new(&trace, OraclePolicy::new(), 4).run(),
+                "ORACLE@4 chunk {chunk}"
+            );
+            assert_eq!(
+                grid.report(ideal).unwrap(),
+                &Engine::unbounded(&trace, OraclePolicy::new()).run(),
+                "ideal chunk {chunk}"
+            );
+            assert_eq!(
+                grid.report(str4).unwrap(),
+                &Engine::new(&trace, StrPolicy::new(), 4).run(),
+                "STR@4 beside oracle lanes, chunk {chunk}"
+            );
+        }
     }
 
     #[test]

@@ -1,8 +1,21 @@
 //! The infinite-TU potential study (paper Figure 5).
+//!
+//! The production entry point is the **two-phase streaming** pair
+//! [`ideal_tpc_streaming`] / [`ideal_tpc_with_feed`]: a forward pass
+//! records per-execution iteration counts
+//! ([`IterationCountLog`](crate::IterationCountLog)), and a second
+//! streaming pass consumes them through an unbounded-TU oracle
+//! [`StreamEngine`](crate::StreamEngine). The materialized
+//! [`ideal_tpc`] remains as the legacy reference the equivalence tests
+//! cross-check against.
+
+use loopspec_core::{LoopEvent, LoopEventSink};
 
 use crate::annotate::AnnotatedTrace;
 use crate::engine::Engine;
+use crate::oracle::{IterationCountLog, OracleFeed};
 use crate::policy::OraclePolicy;
+use crate::stream::StreamEngine;
 
 /// Result of the ideal-machine experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,10 +29,23 @@ pub struct IdealReport {
     pub tpc: f64,
 }
 
+impl From<crate::engine::EngineReport> for IdealReport {
+    fn from(report: crate::engine::EngineReport) -> Self {
+        IdealReport {
+            instructions: report.instructions,
+            cycles: report.cycles,
+            tpc: report.tpc(),
+        }
+    }
+}
+
 /// Computes the TPC an ideal machine with infinite thread units achieves
 /// when every detected loop execution speculates all of its remaining
-/// iterations (paper Figure 5: "the potential TLP that can be exploited
-/// if loops are automatically detected is very high").
+/// iterations (paper Figure 5) — **legacy materialized path**: replays a
+/// prebuilt [`AnnotatedTrace`] through the batch engine. Kept as the
+/// cross-check reference for the streaming pair below (the
+/// `oracle_equivalence` suite proves them bit-identical); production
+/// flows use [`ideal_tpc_streaming`].
 ///
 /// ```
 /// use loopspec_asm::ProgramBuilder;
@@ -40,12 +66,76 @@ pub struct IdealReport {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn ideal_tpc(trace: &AnnotatedTrace) -> IdealReport {
-    let report = Engine::unbounded(trace, OraclePolicy::new()).run();
-    IdealReport {
-        instructions: report.instructions,
-        cycles: report.cycles,
-        tpc: report.tpc(),
-    }
+    Engine::unbounded(trace, OraclePolicy::new()).run().into()
+}
+
+/// The two-phase streaming Figure 5: phase 1 streams `events` through an
+/// [`IterationCountLog`](crate::IterationCountLog) (O(executions)
+/// state), phase 2 streams them again through an unbounded-TU oracle
+/// [`StreamEngine`](crate::StreamEngine) fed the recorded counts. No
+/// [`AnnotatedTrace`] is ever materialized; the result is bit-identical
+/// to [`ideal_tpc`].
+///
+/// ```
+/// use loopspec_asm::ProgramBuilder;
+/// use loopspec_cpu::{Cpu, RunLimits};
+/// use loopspec_core::EventCollector;
+/// use loopspec_mt::ideal_tpc_streaming;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.counted_loop(100, |b, _| b.work(20));
+/// let program = b.finish()?;
+/// let mut c = EventCollector::default();
+/// Cpu::new().run(&program, &mut c, RunLimits::default())?;
+/// let (events, n) = c.into_parts();
+///
+/// let ideal = ideal_tpc_streaming(&events, n);
+/// assert!(ideal.tpc > 10.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn ideal_tpc_streaming(events: &[LoopEvent], instructions: u64) -> IdealReport {
+    let mut log = IterationCountLog::new();
+    log.on_loop_events(events);
+    log.on_stream_end(instructions);
+    ideal_tpc_with_feed(events, instructions, &log.into_feed())
+}
+
+/// The event-stream split a fractional cut of a run studies (the
+/// paper's Figure 5 "reduced part"): returns the index of the first
+/// event past the cut and the cut itself in committed instructions,
+/// so `&events[..split]` with `cut` instructions is the prefix run.
+/// Events are emitted by a single forward pass, so positions are
+/// non-decreasing and the split is a binary search. Every consumer of
+/// the prefix study (the figure harness, the oracle benches, the
+/// equivalence suite) must cut through this one function so the rule
+/// cannot silently diverge between them.
+///
+/// # Panics
+///
+/// Panics unless `0.0 < fraction <= 1.0` — a typo'd fraction must not
+/// produce a plausible-looking but wrong "reduced part".
+pub fn prefix_split(events: &[LoopEvent], instructions: u64, fraction: f64) -> (usize, u64) {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "bad prefix fraction {fraction}"
+    );
+    let cut = (instructions as f64 * fraction) as u64;
+    (events.partition_point(|e| e.pos() <= cut), cut)
+}
+
+/// Phase 2 of [`ideal_tpc_streaming`] alone, for callers that already
+/// hold a phase-1 [`OracleFeed`] of the same stream (e.g. a count log
+/// that rode the main session's fan-out).
+pub fn ideal_tpc_with_feed(
+    events: &[LoopEvent],
+    instructions: u64,
+    feed: &OracleFeed,
+) -> IdealReport {
+    let mut engine = StreamEngine::unbounded_with_feed(OraclePolicy::new(), feed.clone())
+        .expect("the oracle supports unbounded TUs");
+    engine.on_loop_events(events);
+    engine.on_stream_end(instructions);
+    engine.into_report().into()
 }
 
 #[cfg(test)]
@@ -55,13 +145,17 @@ mod tests {
     use loopspec_core::EventCollector;
     use loopspec_cpu::{Cpu, RunLimits};
 
-    fn trace_of(build: impl FnOnce(&mut ProgramBuilder)) -> AnnotatedTrace {
+    fn events_of(build: impl FnOnce(&mut ProgramBuilder)) -> (Vec<LoopEvent>, u64) {
         let mut b = ProgramBuilder::new();
         build(&mut b);
         let p = b.finish().unwrap();
         let mut c = EventCollector::default();
         Cpu::new().run(&p, &mut c, RunLimits::default()).unwrap();
-        let (events, n) = c.into_parts();
+        c.into_parts()
+    }
+
+    fn trace_of(build: impl FnOnce(&mut ProgramBuilder)) -> AnnotatedTrace {
+        let (events, n) = events_of(build);
         AnnotatedTrace::build(&events, n)
     }
 
@@ -87,5 +181,24 @@ mod tests {
     fn no_loops_means_no_potential() {
         let r = ideal_tpc(&trace_of(|b| b.work(100)));
         assert!((r.tpc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_pair_matches_the_materialized_reference() {
+        let (events, n) = events_of(|b| {
+            b.counted_loop(12, |b, _| {
+                b.counted_loop(25, |b, _| b.work(9));
+            })
+        });
+        let legacy = ideal_tpc(&AnnotatedTrace::build(&events, n));
+        let streaming = ideal_tpc_streaming(&events, n);
+        assert_eq!(streaming, legacy);
+
+        // The phase-2-only entry point agrees when handed the phase-1
+        // feed explicitly.
+        let mut log = IterationCountLog::new();
+        log.on_loop_events(&events);
+        log.on_stream_end(n);
+        assert_eq!(ideal_tpc_with_feed(&events, n, &log.into_feed()), legacy);
     }
 }

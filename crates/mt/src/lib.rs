@@ -17,7 +17,11 @@
 //! * [`IterPredictor`] — the LET-backed iteration-count stride predictor
 //!   with a two-bit confidence counter (the paper's STR machinery);
 //! * [`SpeculationPolicy`] — IDLE, STR and STR(i) from §3.1.2, plus the
-//!   oracle used for the infinite-TU potential study (Figure 5);
+//!   oracle used for the infinite-TU potential study (Figure 5), which
+//!   runs streaming through the **two-phase oracle** ([`IterationCountLog`]
+//!   records per-execution iteration counts in a forward pass, an
+//!   [`OracleFeed`] replays them into oracle lanes in a second
+//!   streaming pass);
 //! * [`Engine`] — computes **TPC** (average number of active and
 //!   correctly-speculated threads per cycle) under the timing model
 //!   described in `DESIGN.md`: every TU retires one instruction per
@@ -62,6 +66,7 @@ mod engine;
 mod grid;
 mod hash;
 mod ideal;
+mod oracle;
 mod policy;
 mod predictor;
 mod stats;
@@ -70,11 +75,12 @@ mod stream;
 pub use annotate::{AnnotatedTrace, ExecId, ExecInfo, TraceEvent, TraceEventKind};
 pub use engine::{Engine, EngineReport};
 pub use grid::EngineGrid;
-pub use ideal::{ideal_tpc, IdealReport};
+pub use ideal::{ideal_tpc, ideal_tpc_streaming, ideal_tpc_with_feed, prefix_split, IdealReport};
+pub use oracle::{IterationCountLog, OracleFeed};
 pub use policy::{
     IdlePolicy, OraclePolicy, PolicySnapshot, SpecContext, SpeculationPolicy, StrNestedPolicy,
     StrPolicy, SuitabilityFilter,
 };
 pub use predictor::{IterPrediction, IterPredictor};
 pub use stats::SpecStats;
-pub use stream::{AnyStreamEngine, EngineSink, StreamEngine};
+pub use stream::{AnyStreamEngine, EngineSink, StreamEngine, StreamError};

@@ -88,9 +88,14 @@ pub struct SpecContext<'a> {
     pub already_speculated: u32,
     /// The shared iteration-count predictor (the LET).
     pub predictor: &'a IterPredictor,
-    /// Ground truth: actual iterations remaining after the current one.
-    /// Only the oracle may look at this.
-    pub actual_remaining: u32,
+    /// Ground truth: actual iterations remaining after the current one,
+    /// supplied by whichever future-knowledge channel the driver has —
+    /// the batch engine's [`AnnotatedTrace`](crate::AnnotatedTrace), or
+    /// a streaming driver's [`OracleFeed`](crate::OracleFeed) recorded
+    /// by a phase-1 [`IterationCountLog`](crate::IterationCountLog)
+    /// pass. Only the oracle may look at this; drivers with neither
+    /// channel pass 0 and refuse future-knowledge policies.
+    pub remaining_from_feed: u32,
 }
 
 /// A thread-count speculation policy.
@@ -120,9 +125,13 @@ pub trait SpeculationPolicy {
     }
 
     /// Whether the policy consults ground truth about the future
-    /// ([`SpecContext::actual_remaining`]). Such policies can only run on
-    /// the batch [`Engine`](crate::Engine), which has the whole trace;
-    /// the streaming [`StreamEngine`](crate::StreamEngine) refuses them.
+    /// ([`SpecContext::remaining_from_feed`]). Such policies run on the
+    /// batch [`Engine`](crate::Engine) (which has the whole trace) or on
+    /// a streaming driver constructed with an
+    /// [`OracleFeed`](crate::OracleFeed) — e.g.
+    /// [`StreamEngine::with_feed`](crate::StreamEngine::with_feed); a
+    /// feed-less [`StreamEngine`](crate::StreamEngine) refuses them with
+    /// [`StreamError::NeedsFeed`](crate::StreamError::NeedsFeed).
     fn requires_future_knowledge(&self) -> bool {
         false
     }
@@ -251,7 +260,7 @@ impl SpeculationPolicy for OraclePolicy {
     }
 
     fn threads_to_spawn(&self, ctx: &SpecContext<'_>) -> u64 {
-        (ctx.actual_remaining as u64)
+        (ctx.remaining_from_feed as u64)
             .saturating_sub(ctx.already_speculated as u64)
             .min(ctx.idle_tus)
     }
@@ -381,7 +390,7 @@ mod tests {
         current_iter: u32,
         idle: u64,
         already: u32,
-        actual_remaining: u32,
+        remaining_from_feed: u32,
     ) -> SpecContext<'a> {
         SpecContext {
             loop_id: lid(1),
@@ -389,7 +398,7 @@ mod tests {
             idle_tus: idle,
             already_speculated: already,
             predictor,
-            actual_remaining,
+            remaining_from_feed,
         }
     }
 

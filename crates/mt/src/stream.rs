@@ -60,11 +60,61 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use loopspec_core::{LoopEvent, LoopEventSink, LoopId};
 
 use crate::engine::{EngineCore, EngineReport};
+use crate::oracle::OracleFeed;
 use crate::policy::{IdlePolicy, SpeculationPolicy, StrNestedPolicy, StrPolicy};
+
+/// Why a streaming engine could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The policy consults ground truth about the future
+    /// ([`SpeculationPolicy::requires_future_knowledge`]) and no
+    /// [`OracleFeed`] was supplied — use
+    /// [`StreamEngine::with_feed`] /
+    /// [`StreamEngine::unbounded_with_feed`] with a phase-1
+    /// [`IterationCountLog`](crate::IterationCountLog) recording.
+    NeedsFeed {
+        /// The offending policy's display name.
+        policy: &'static str,
+    },
+    /// The TU count is outside the supported `2..=4096` range.
+    BadTus {
+        /// The rejected count.
+        got: usize,
+    },
+    /// The policy could over-speculate without a TU bound
+    /// (only oracle-style policies report
+    /// [`SpeculationPolicy::supports_unbounded_tus`]).
+    Unbounded {
+        /// The offending policy's display name.
+        policy: &'static str,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::NeedsFeed { policy } => write!(
+                f,
+                "policy {policy} requires future knowledge and cannot run \
+                 streaming without an OracleFeed (two-phase: record an \
+                 IterationCountLog, then construct with StreamEngine::with_feed)"
+            ),
+            StreamError::BadTus { got } => {
+                write!(f, "num_tus must be in 2..=4096 (got {got})")
+            }
+            StreamError::Unbounded { policy } => {
+                write!(f, "policy {policy} cannot run with unbounded TUs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
 
 /// Incremental annotation of one live (or end-pending) loop execution —
 /// the streaming replacement for
@@ -218,16 +268,25 @@ pub(crate) fn read_pending(
     })
 }
 
-/// Validates a finite TU count (shared by every streaming driver).
+/// Validates a finite TU count (the single source of the supported
+/// range, shared by every streaming driver — typed or panicking).
+pub(crate) fn validate_tus(num_tus: usize) -> Result<(), StreamError> {
+    if (2..=4096).contains(&num_tus) {
+        Ok(())
+    } else {
+        Err(StreamError::BadTus { got: num_tus })
+    }
+}
+
+/// Panicking form of [`validate_tus`] for the infallible constructors.
 ///
 /// # Panics
 ///
 /// Panics unless `2 <= num_tus <= 4096`.
 pub(crate) fn check_tus(num_tus: usize) {
-    assert!(
-        (2..=4096).contains(&num_tus),
-        "num_tus must be in 2..=4096 (got {num_tus})"
-    );
+    if let Err(e) = validate_tus(num_tus) {
+        panic!("{e}");
+    }
 }
 
 /// The streaming annotator: turns raw [`LoopEvent`]s into the
@@ -441,6 +500,9 @@ pub struct StreamEngine<P> {
     pending: VecDeque<Pending>,
     report: Option<EngineReport>,
     peak_buffered: usize,
+    /// Phase-2 future knowledge for oracle policies (`None` for the
+    /// history-based policies, which never consult it).
+    feed: Option<OracleFeed>,
 }
 
 impl<P: SpeculationPolicy> StreamEngine<P> {
@@ -448,23 +510,80 @@ impl<P: SpeculationPolicy> StreamEngine<P> {
     ///
     /// # Panics
     ///
-    /// Panics unless `2 <= num_tus <= 4096`, or when the policy requires
-    /// future knowledge (oracle policies can only run on the batch
-    /// [`Engine`](crate::Engine), which has the whole trace).
+    /// Panics when [`StreamEngine::try_new`] would return an error —
+    /// the TU count is outside `2..=4096`, or the policy requires
+    /// future knowledge (construct with [`StreamEngine::with_feed`]
+    /// and a phase-1 [`IterationCountLog`](crate::IterationCountLog)
+    /// recording instead).
     pub fn new(policy: P, num_tus: usize) -> Self {
-        check_tus(num_tus);
-        assert!(
-            !policy.requires_future_knowledge(),
-            "policy {} requires future knowledge and cannot run streaming",
-            policy.name()
-        );
-        StreamEngine {
+        Self::try_new(policy, num_tus).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a streaming engine with `num_tus` thread units,
+    /// reporting invalid configurations as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::BadTus`] unless `2 <= num_tus <= 4096`;
+    /// [`StreamError::NeedsFeed`] when the policy requires future
+    /// knowledge (supply an [`OracleFeed`] via
+    /// [`StreamEngine::with_feed`]).
+    pub fn try_new(policy: P, num_tus: usize) -> Result<Self, StreamError> {
+        if policy.requires_future_knowledge() {
+            return Err(StreamError::NeedsFeed {
+                policy: policy.name(),
+            });
+        }
+        Self::build(policy, num_tus, None)
+    }
+
+    /// Creates a streaming engine whose policy may consult future
+    /// knowledge, answered from `feed` (recorded by a phase-1
+    /// [`IterationCountLog`](crate::IterationCountLog) pass over the
+    /// same stream) — the two-phase streaming oracle.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::BadTus`] unless `2 <= num_tus <= 4096`.
+    pub fn with_feed(policy: P, num_tus: usize, feed: OracleFeed) -> Result<Self, StreamError> {
+        Self::build(policy, num_tus, Some(feed))
+    }
+
+    /// Creates a streaming engine with an **unbounded** TU pool — the
+    /// ideal machine of the paper's Figure 5 — fed future knowledge
+    /// from `feed`.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Unbounded`] when the policy could over-speculate
+    /// without a TU bound (only oracle-style policies report
+    /// [`SpeculationPolicy::supports_unbounded_tus`]).
+    pub fn unbounded_with_feed(policy: P, feed: OracleFeed) -> Result<Self, StreamError> {
+        if !policy.supports_unbounded_tus() {
+            return Err(StreamError::Unbounded {
+                policy: policy.name(),
+            });
+        }
+        Ok(StreamEngine {
+            core: EngineCore::new(policy, u64::MAX, None),
+            ann: Annotator::default(),
+            pending: VecDeque::new(),
+            report: None,
+            peak_buffered: 0,
+            feed: Some(feed),
+        })
+    }
+
+    fn build(policy: P, num_tus: usize, feed: Option<OracleFeed>) -> Result<Self, StreamError> {
+        validate_tus(num_tus)?;
+        Ok(StreamEngine {
             core: EngineCore::new(policy, num_tus as u64, Some(num_tus)),
             ann: Annotator::default(),
             pending: VecDeque::new(),
             report: None,
             peak_buffered: 0,
-        }
+            feed,
+        })
     }
 
     /// The report, once the stream has ended (`None` before).
@@ -555,7 +674,15 @@ impl<P: SpeculationPolicy> StreamEngine<P> {
                     let iters = &ann.iters;
                     let lookup =
                         move |j: u32| iters.iter().find(|&&(k, _)| k == j).map(|&(_, p)| p);
-                    self.core.iter_start(exec, loop_id, iter, pos, &lookup, 0);
+                    // Future knowledge for oracle policies: the phase-1
+                    // feed answers what the batch engine read off the
+                    // annotated trace. History policies never look.
+                    let remaining = self
+                        .feed
+                        .as_ref()
+                        .map_or(0, |f| f.remaining_after(exec, iter));
+                    self.core
+                        .iter_start(exec, loop_id, iter, pos, &lookup, remaining);
                     self.ann.buffered_iters -= pruned;
                     self.pending.pop_front();
                 }
@@ -610,6 +737,9 @@ impl<P: SpeculationPolicy + crate::policy::PolicySnapshot> loopspec_core::Snapsh
     fn save_state(&self, out: &mut loopspec_core::snap::Enc) {
         self.core.save_state(out);
         self.ann.save_state(out);
+        // Configuration echo: an oracle lane must resume against the
+        // same future it was speculating from (0 = no feed).
+        out.u64(self.feed.as_ref().map_or(0, OracleFeed::fingerprint));
         out.u64(self.pending.len() as u64);
         for p in &self.pending {
             write_pending(out, p);
@@ -630,6 +760,11 @@ impl<P: SpeculationPolicy + crate::policy::PolicySnapshot> loopspec_core::Snapsh
     ) -> Result<(), loopspec_core::snap::SnapError> {
         self.core.load_state(src)?;
         self.ann.load_state(src)?;
+        if src.u64()? != self.feed.as_ref().map_or(0, OracleFeed::fingerprint) {
+            return Err(loopspec_core::snap::SnapError::Mismatch {
+                what: "oracle feed",
+            });
+        }
         let n = src.count()?;
         self.pending.clear();
         for _ in 0..n {
@@ -1054,9 +1189,103 @@ mod tests {
     }
 
     #[test]
+    fn rejects_oracle_with_a_typed_error() {
+        // Without a feed the oracle is refused as a `Result`, not an
+        // assert; the error names the two-phase escape hatch.
+        let err = StreamEngine::try_new(OraclePolicy::new(), 4).unwrap_err();
+        assert_eq!(err, StreamError::NeedsFeed { policy: "ORACLE" });
+        assert!(err.to_string().contains("OracleFeed"), "{err}");
+        assert_eq!(
+            StreamEngine::try_new(StrPolicy::new(), 1).unwrap_err(),
+            StreamError::BadTus { got: 1 }
+        );
+        assert_eq!(
+            StreamEngine::unbounded_with_feed(
+                StrPolicy::new(),
+                crate::oracle::IterationCountLog::new().into_feed()
+            )
+            .unwrap_err(),
+            StreamError::Unbounded { policy: "STR" }
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "requires future knowledge")]
-    fn rejects_oracle() {
+    fn new_still_panics_on_oracle() {
         let _ = StreamEngine::new(OraclePolicy::new(), 4);
+    }
+
+    #[test]
+    fn oracle_with_feed_matches_batch_engine() {
+        use crate::oracle::IterationCountLog;
+        let (events, n) = events_of(|b| {
+            b.counted_loop(7, |b, _| {
+                for _ in 0..2 {
+                    b.counted_loop(13, |b, _| b.work(6));
+                }
+            });
+        });
+        let mut log = IterationCountLog::new();
+        log.on_loop_events(&events);
+        log.on_stream_end(n);
+        let feed = log.into_feed();
+        let trace = AnnotatedTrace::build(&events, n);
+
+        // Bounded oracle lanes.
+        for tus in [2usize, 4, 8] {
+            let mut e = StreamEngine::with_feed(OraclePolicy::new(), tus, feed.clone())
+                .expect("valid TU count");
+            e.on_loop_events(&events);
+            e.on_stream_end(n);
+            assert_eq!(
+                e.into_report(),
+                Engine::new(&trace, OraclePolicy::new(), tus).run(),
+                "ORACLE@{tus}"
+            );
+        }
+
+        // The unbounded ideal machine of Figure 5.
+        let mut e =
+            StreamEngine::unbounded_with_feed(OraclePolicy::new(), feed).expect("oracle policy");
+        e.on_loop_events(&events);
+        e.on_stream_end(n);
+        assert_eq!(
+            e.into_report(),
+            Engine::unbounded(&trace, OraclePolicy::new()).run()
+        );
+    }
+
+    #[test]
+    fn oracle_snapshot_refuses_a_different_feed() {
+        use crate::oracle::IterationCountLog;
+        use loopspec_core::snap::{Dec, Enc};
+        use loopspec_core::SnapshotState;
+
+        let (events, n) = events_of(|b| b.counted_loop(20, |b, _| b.work(8)));
+        let mut log = IterationCountLog::new();
+        log.on_loop_events(&events);
+        log.on_stream_end(n);
+        let feed = log.into_feed();
+
+        let mut e = StreamEngine::with_feed(OraclePolicy::new(), 4, feed.clone()).unwrap();
+        e.on_loop_events(&events[..events.len() / 2]);
+        let mut enc = Enc::new();
+        e.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+
+        // Same feed: restores.
+        let mut same = StreamEngine::with_feed(OraclePolicy::new(), 4, feed).unwrap();
+        same.load_state(&mut Dec::new(&bytes)).expect("same feed");
+
+        // Different feed (empty log): refused.
+        let other = IterationCountLog::new().into_feed();
+        let mut different = StreamEngine::with_feed(OraclePolicy::new(), 4, other).unwrap();
+        assert!(matches!(
+            different.load_state(&mut Dec::new(&bytes)),
+            Err(loopspec_core::snap::SnapError::Mismatch {
+                what: "oracle feed"
+            })
+        ));
     }
 
     #[test]

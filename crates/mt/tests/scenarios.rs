@@ -135,8 +135,9 @@ fn prefix_traces_report_lower_or_equal_instructions() {
     // Rebuild a half trace through the public API.
     let half_events: Vec<_> = trace.events.clone();
     let _ = half_events; // events themselves are not re-consumable here;
-                         // the WorkloadRun::annotate_prefix path is
-                         // exercised in loopspec-bench tests.
+                         // the Figure 5 prefix path (two-phase oracle
+                         // over the event prefix) is exercised in
+                         // loopspec-bench tests.
     assert!(r_full.instructions == trace.instructions);
 }
 

@@ -136,8 +136,10 @@ pub struct Snapshot {
 
 /// Container magic: `LSNP` (loopspec snapshot).
 const MAGIC: u32 = 0x4c53_4e50;
-/// Container format version.
-const VERSION: u32 = 1;
+/// Container format version. v2: `StreamEngine` sink state gained the
+/// oracle-feed fingerprint echo, so v1 checkpoints no longer decode —
+/// reject them cleanly here instead of misparsing the sink bytes.
+const VERSION: u32 = 2;
 
 impl Snapshot {
     /// Stream position of the checkpoint: instructions retired before

@@ -54,10 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.execs.len()
     );
 
-    // Sanity anchor: the ideal machine.
+    // Sanity anchor: the ideal machine, via the two-phase streaming
+    // oracle (count-log forward pass + fed oracle replay).
     println!(
         "ideal (infinite TUs, oracle): TPC {:.1}\n",
-        ideal_tpc(&trace).tpc
+        ideal_tpc_streaming(&events, instructions).tpc
     );
 
     let policies = ["IDLE", "STR", "STR(1)", "STR(2)", "STR(3)"];

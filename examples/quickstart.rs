@@ -63,7 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             engine.spec.squashed_misspec
         );
     }
-    let ideal = ideal_tpc(&trace);
+    // The ideal machine streams too: a forward pass records iteration
+    // counts, a second streaming pass replays them into the oracle.
+    let ideal = ideal_tpc_streaming(&events, instructions);
     println!("infinite thread units (oracle): TPC = {:.1}", ideal.tpc);
     Ok(())
 }

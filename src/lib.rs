@@ -52,8 +52,12 @@
 //!
 //! The legacy two-pass shape (collect a `Vec<LoopEvent>`, then replay it
 //! through [`mt::AnnotatedTrace`] and [`mt::Engine`]) remains available
-//! and produces identical reports; oracle studies
-//! ([`mt::ideal_tpc`]) require it, since they consult the future.
+//! and produces identical reports — it is the cross-check reference the
+//! equivalence suites compare against. Oracle studies stream too: a
+//! phase-1 [`mt::IterationCountLog`] records per-execution iteration
+//! counts, and a second streaming pass replays them into oracle lanes
+//! through an [`mt::OracleFeed`] ([`mt::ideal_tpc_streaming`] packages
+//! the pair for Figure 5).
 //!
 //! See `DESIGN.md` at the repository root for the architecture and
 //! `cargo run --release -p loopspec-bench --bin repro -- all` to
@@ -85,8 +89,10 @@ pub mod prelude {
     };
     pub use loopspec_isa::{Addr, AluOp, Cond, Instruction, Reg};
     pub use loopspec_mt::{
-        ideal_tpc, AnnotatedTrace, AnyStreamEngine, Engine, EngineGrid, EngineReport, EngineSink,
-        IdlePolicy, StrNestedPolicy, StrPolicy, StreamEngine,
+        ideal_tpc, ideal_tpc_streaming, ideal_tpc_with_feed, prefix_split, AnnotatedTrace,
+        AnyStreamEngine, Engine, EngineGrid, EngineReport, EngineSink, IdlePolicy,
+        IterationCountLog, OracleFeed, OraclePolicy, StrNestedPolicy, StrPolicy, StreamEngine,
+        StreamError,
     };
     pub use loopspec_pipeline::{
         CheckpointSink, Plan, Session, SessionSummary, ShardedRun, SinkSet, Snapshot, SnapshotState,

@@ -107,6 +107,7 @@ fn multi_process_suite_matches_single_pass_for_2_and_4_workers() {
             .run_suite(&spec)
             .unwrap_or_else(|e| panic!("N={workers}: {e}"));
         assert_eq!(outcome.workers_lost, 0, "N={workers}");
+        assert_eq!(outcome.workers_respawned, 0, "N={workers}");
         assert!(outcome.handoff_bytes > 0, "N={workers}: snapshots crossed");
         assert!(
             outcome.jobs_dispatched > spec.workloads.len() as u64,
@@ -117,14 +118,15 @@ fn multi_process_suite_matches_single_pass_for_2_and_4_workers() {
 }
 
 #[test]
-fn killed_worker_mid_shard_requeues_and_stays_byte_identical() {
+fn killed_worker_mid_shard_replenishes_the_pool_and_stays_byte_identical() {
     let spec = spec();
     let references = references(&spec);
     for workers in [2usize, 4] {
         // Worker 0 is rigged to vanish (no reply, exit 3) upon
         // receiving its 4th job — after real work has flowed through
         // it, mid-suite. The coordinator must requeue its in-flight
-        // chain from the last good snapshot onto the survivors.
+        // chain from the last good snapshot AND spawn a replacement
+        // process so the pool stays at `workers` strong.
         let coordinator = Coordinator::spawn_with(workers, |i| {
             let mut cmd = worker_command();
             if i == 0 {
@@ -137,6 +139,10 @@ fn killed_worker_mid_shard_requeues_and_stays_byte_identical() {
             .run_suite(&spec)
             .unwrap_or_else(|e| panic!("N={workers} with crash: {e}"));
         assert_eq!(outcome.workers_lost, 1, "N={workers}: one worker died");
+        assert_eq!(
+            outcome.workers_respawned, 1,
+            "N={workers}: the pool was replenished to full strength"
+        );
         let retries: u32 = outcome.outcomes.iter().map(|o| o.retries).sum();
         assert_eq!(
             retries, 1,
@@ -147,17 +153,40 @@ fn killed_worker_mid_shard_requeues_and_stays_byte_identical() {
 }
 
 #[test]
+fn poison_chain_fails_instead_of_grinding_through_replacements() {
+    // Every worker — initial and replacement alike — crashes on its
+    // first job. The first deaths are absorbed by respawns; as soon as
+    // a replacement dies on the same chain, the run must fail with the
+    // workload named, not keep burning fresh processes.
+    let spec = spec();
+    let coordinator = Coordinator::spawn_with(2, |_| {
+        let mut cmd = worker_command();
+        cmd.env(CRASH_AFTER_ENV, "0");
+        cmd
+    })
+    .expect("workers spawn");
+    let err = coordinator.run_suite(&spec).expect_err("must fail");
+    assert!(
+        matches!(err, DistError::Failed { ref workload, .. } if !workload.is_empty()),
+        "got: {err}"
+    );
+}
+
+#[test]
 fn losing_every_worker_fails_instead_of_hanging() {
-    // Both workers are rigged to crash; 18 chains cannot finish on 6
-    // jobs, so the run must end in AllWorkersDied — promptly and with
-    // all children reaped, not a hang.
+    // Both workers are rigged to crash and respawn is disabled: 18
+    // chains cannot finish on 6 jobs, so the run must end in
+    // AllWorkersDied — promptly and with all children reaped, not a
+    // hang. (With respawn left on, the pool would be replenished; the
+    // strict path is what this test pins down.)
     let spec = spec();
     let coordinator = Coordinator::spawn_with(2, |_| {
         let mut cmd = worker_command();
         cmd.env(CRASH_AFTER_ENV, "3");
         cmd
     })
-    .expect("workers spawn");
+    .expect("workers spawn")
+    .no_respawn();
     let err = coordinator.run_suite(&spec).expect_err("must fail");
     assert!(
         matches!(err, DistError::AllWorkersDied { .. }),
