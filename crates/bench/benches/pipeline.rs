@@ -19,18 +19,23 @@
 //!   study both ways: the two-phase streaming pair (count log in the
 //!   CPU pass, oracle replay over the retained events) against the
 //!   legacy annotate-then-batch-replay shape it retired.
+//! * `cpu_only/*` vs `cpu_only_legacy/*` — raw interpreter throughput
+//!   into a null sink: the pre-decoded threaded-code front-end against
+//!   the legacy fetch/decode loop (gated: decoded must stay faster).
+//! * `parallel_grid/*` — the 20-lane pass with the grid split across
+//!   `ParallelSinkSet` worker threads (informational).
 
 use loopspec_bench::experiments::{
     grid_points, run_engine, PolicyKind, FIG5_PREFIX_FRACTION, TU_COUNTS,
 };
 use loopspec_bench::timing::Suite;
 use loopspec_core::EventCollector;
-use loopspec_cpu::{Cpu, RunLimits};
+use loopspec_cpu::{Cpu, DecodedProgram, NullTracer, RunLimits};
 use loopspec_mt::{
     ideal_tpc, ideal_tpc_streaming, ideal_tpc_with_feed, prefix_split, AnnotatedTrace, EngineGrid,
     IterationCountLog, StrPolicy, StreamEngine,
 };
-use loopspec_pipeline::{Session, ShardedRun};
+use loopspec_pipeline::{ParallelSinkSet, Session, ShardedRun};
 use loopspec_workloads::{by_name, Scale};
 
 /// Shard count for the `sharded_grid` and `dist_grid` benchmarks (and
@@ -89,6 +94,37 @@ fn main() {
             .run(&program, &mut probe, RunLimits::default())
             .expect("runs");
         let instructions = probe.instructions();
+
+        // Raw interpreter throughput, no detector and no sinks: the
+        // pre-decoded threaded-code front-end vs. the legacy
+        // fetch/decode loop, both into a `NullTracer` (whose demand
+        // mask lets both paths skip event assembly). The gate tracks
+        // the `cpu_only / cpu_only_legacy` ratio so the decoded path's
+        // advantage can't silently erode.
+        let decoded = DecodedProgram::new(&program);
+        s.bench(
+            "cpu_only",
+            &format!("decoded-null-tracer/{name}"),
+            Some(instructions),
+            || {
+                let out = Cpu::new()
+                    .run_decoded(&decoded, &mut NullTracer, RunLimits::default())
+                    .expect("runs");
+                std::hint::black_box(out.retired)
+            },
+        );
+
+        s.bench(
+            "cpu_only_legacy",
+            &format!("legacy-null-tracer/{name}"),
+            Some(instructions),
+            || {
+                let out = Cpu::new()
+                    .run(&program, &mut NullTracer, RunLimits::default())
+                    .expect("runs");
+                std::hint::black_box(out.retired)
+            },
+        );
 
         s.bench(
             "materialized",
@@ -156,6 +192,45 @@ fn main() {
                     .expect("finished")
                     .iter()
                     .map(|r| r.tpc())
+                    .sum();
+                std::hint::black_box(acc)
+            },
+        );
+
+        // The same 20-lane pass with the grid split into 4 engine-lane
+        // subsets, each owned by a `ParallelSinkSet` worker thread: the
+        // CPU/detector pass stays on this thread while the per-event
+        // engine work runs on 4 cores. Informational (thread spawn +
+        // channel overhead make it workload-size sensitive); results
+        // are bit-identical to `streaming_grid` by construction.
+        s.bench(
+            "parallel_grid",
+            &format!("4-workers-20-lanes/{name}"),
+            Some(instructions),
+            || {
+                let points: Vec<_> = grid_points().collect();
+                let mut pool: ParallelSinkSet<EngineGrid> = points
+                    .chunks(5)
+                    .map(|subset| {
+                        let mut grid = EngineGrid::new();
+                        for &(p, tus) in subset {
+                            p.add_to_grid(&mut grid, tus);
+                        }
+                        grid
+                    })
+                    .collect();
+                let mut session = Session::new();
+                session.observe_loops(&mut pool);
+                session.run(&program, RunLimits::default()).expect("runs");
+                let acc: f64 = pool
+                    .with_each(|_, grid| {
+                        grid.reports()
+                            .expect("finished")
+                            .iter()
+                            .map(|r| r.tpc())
+                            .sum::<f64>()
+                    })
+                    .into_iter()
                     .sum();
                 std::hint::black_box(acc)
             },

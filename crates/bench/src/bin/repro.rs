@@ -13,6 +13,7 @@ use loopspec_bench::experiments::{self, cls_ablation};
 use loopspec_bench::report;
 use loopspec_bench::run::{execute_all, ExecuteOptions, WorkloadRun};
 use loopspec_core::Replacement;
+use loopspec_pipeline::Interp;
 use loopspec_workloads::{all, Scale};
 
 const USAGE: &str = "usage: repro [table1|fig4|fig5|fig6|fig7|table2|fig8|ablation|all ...] \
@@ -66,8 +67,10 @@ fn main() -> ExitCode {
 
     eprintln!(
         "repro: executing {} workloads at {scale:?} scale \
-         (dataspec: {need_dataspec}, oracle: {need_oracle}) ...",
-        workloads.len()
+         (dataspec: {need_dataspec}, oracle: {need_oracle}, \
+         interpreter: {}) ...",
+        workloads.len(),
+        Interp::from_env(),
     );
     let t0 = Instant::now();
     let runs: Vec<WorkloadRun> = execute_all(
@@ -79,10 +82,12 @@ fn main() -> ExitCode {
             ..ExecuteOptions::default()
         },
     );
+    let elapsed = t0.elapsed().as_secs_f64();
     let total: u64 = runs.iter().map(|r| r.instructions).sum();
     eprintln!(
-        "repro: {total} instructions across the suite in {:.1}s\n",
-        t0.elapsed().as_secs_f64()
+        "repro: {total} instructions across the suite in {elapsed:.1}s \
+         ({:.2} M retired instrs/sec)\n",
+        total as f64 / elapsed.max(1e-9) / 1e6
     );
 
     for exp in &wanted {

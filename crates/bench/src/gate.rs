@@ -120,8 +120,12 @@ pub fn parse_snapshot(json: &str) -> Result<BenchSnapshot, String> {
 /// * `oracle_grid / streaming_grid` — the two-phase streaming oracle
 ///   (Figure 5: count-log forward pass + oracle replay of the retained
 ///   events) relative to the plain streaming grid pass, so regressions
-///   in the oracle path fail CI.
-pub const METRICS: [(&str, &str, &str); 4] = [
+///   in the oracle path fail CI;
+/// * `cpu_only / cpu_only_legacy` — the pre-decoded threaded-code
+///   front-end against the legacy fetch/decode interpreter, both into a
+///   null sink: the decoded path must stay decisively faster (the
+///   baseline ratio is well under 1), and losing that edge fails CI.
+pub const METRICS: [(&str, &str, &str); 5] = [
     (
         "streaming_grid",
         "materialized_grid",
@@ -130,6 +134,7 @@ pub const METRICS: [(&str, &str, &str); 4] = [
     ("sharded_grid", "streaming_grid", "sharded/streaming"),
     ("dist_grid", "streaming_grid", "dist/streaming"),
     ("oracle_grid", "streaming_grid", "oracle/streaming"),
+    ("cpu_only", "cpu_only_legacy", "decoded/legacy"),
 ];
 
 /// One workload's gate verdict for one metric.
@@ -408,6 +413,34 @@ mod tests {
         // skipped.
         let rows = check(&snapshot(&[("compress", 120.0, 100.0)]), &fresh, 1.2).unwrap();
         assert!(rows.iter().all(|r| r.metric != "oracle/streaming"));
+    }
+
+    #[test]
+    fn cpu_only_metric_is_gated_when_both_snapshots_have_it() {
+        fn with_cpu_only(mut snap: BenchSnapshot, decoded: f64, legacy: f64) -> BenchSnapshot {
+            snap.entries.push(BenchEntry {
+                group: "cpu_only".into(),
+                name: "decoded-null-tracer/compress".into(),
+                median_ns: decoded,
+            });
+            snap.entries.push(BenchEntry {
+                group: "cpu_only_legacy".into(),
+                name: "legacy-null-tracer/compress".into(),
+                median_ns: legacy,
+            });
+            snap
+        }
+        // Baseline: decoded runs in half the legacy time (ratio 0.5).
+        let base = with_cpu_only(snapshot(&[("compress", 120.0, 100.0)]), 50.0, 100.0);
+        // Fresh: decoded slowed to 0.8x of legacy — the edge eroded
+        // beyond 0.5 * 1.2, so the gate must fail.
+        let fresh = with_cpu_only(snapshot(&[("compress", 120.0, 100.0)]), 80.0, 100.0);
+        let rows = check(&base, &fresh, 1.2).expect("comparable");
+        let cpu = rows.iter().find(|r| r.metric == "decoded/legacy").unwrap();
+        assert!(!cpu.passed(), "eroded decoded advantage must fail");
+        // Against a baseline predating cpu_only, the metric is skipped.
+        let rows = check(&snapshot(&[("compress", 120.0, 100.0)]), &fresh, 1.2).unwrap();
+        assert!(rows.iter().all(|r| r.metric != "decoded/legacy"));
     }
 
     #[test]

@@ -129,7 +129,10 @@ impl Suite {
         for (k, m) in self.results.iter().enumerate() {
             let comma = if k + 1 == self.results.len() { "" } else { "," };
             let elems = match m.elements {
-                Some(e) => format!(", \"elements\": {e}"),
+                Some(e) => format!(
+                    ", \"elements\": {e}, \"elements_per_sec\": {:.1}",
+                    e as f64 * 1e9 / m.median_ns.max(1e-9)
+                ),
                 None => String::new(),
             };
             let _ = writeln!(
@@ -193,6 +196,7 @@ mod tests {
         assert!(json.contains("\"suite\": \"test\""));
         assert!(json.contains("\"median_ns\""));
         assert!(json.contains("\"elements\": 10"));
+        assert!(json.contains("\"elements_per_sec\":"));
         assert_eq!(s.results().len(), 1);
         assert!(s.results()[0].median_ns >= 0.0);
     }

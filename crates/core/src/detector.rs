@@ -1,6 +1,6 @@
 //! Packaged per-instruction loop detection.
 
-use loopspec_cpu::{InstrEvent, Tracer};
+use loopspec_cpu::{Demand, InstrEvent, Tracer};
 use loopspec_isa::ControlKind;
 
 use crate::{Cls, LoopEvent, LoopEventSink};
@@ -198,6 +198,12 @@ impl Tracer for EventCollector {
             let events = self.detector.process(ev);
             self.events.extend_from_slice(events);
         }
+    }
+
+    fn demand(&self) -> Demand {
+        // Loop detection consumes only pc, seq and the control
+        // outcome, all of which are always populated.
+        Demand::NONE
     }
 }
 

@@ -1,6 +1,7 @@
 //! The functional interpreter.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use loopspec_asm::Program;
 use loopspec_isa::{Addr, Instruction, Reg};
@@ -24,12 +25,27 @@ pub struct RunSummary {
     pub retired: u64,
     /// Why execution stopped.
     pub completion: Completion,
+    /// Wall-clock time the run took (diagnostic; see
+    /// [`instrs_per_sec`](RunSummary::instrs_per_sec)).
+    pub elapsed: Duration,
 }
 
 impl RunSummary {
     /// `true` when the program halted of its own accord.
     pub fn halted(&self) -> bool {
         self.completion == Completion::Halted
+    }
+
+    /// Interpreter throughput for this run: retired instructions per
+    /// wall-clock second (`0.0` for an empty or unmeasurably short
+    /// run).
+    pub fn instrs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.retired as f64 / secs
+        } else {
+            0.0
+        }
     }
 }
 
@@ -117,11 +133,11 @@ impl RunLimits {
 /// See the [crate docs](crate) for an end-to-end example.
 #[derive(Debug, Clone)]
 pub struct Cpu {
-    regs: [u64; 32],
-    fregs: [f64; 32],
-    pc: Addr,
-    mem: Memory,
-    retired: u64,
+    pub(crate) regs: [u64; 32],
+    pub(crate) fregs: [f64; 32],
+    pub(crate) pc: Addr,
+    pub(crate) mem: Memory,
+    pub(crate) retired: u64,
 }
 
 impl Default for Cpu {
@@ -215,8 +231,14 @@ impl Cpu {
         tracer: &mut T,
         limits: RunLimits,
     ) -> Result<RunSummary, CpuError> {
+        let started = Instant::now();
         let start_retired = self.retired;
         let budget = limits.max_instrs;
+        // Demand-mask fast path: the reads array is the expensive part
+        // of event assembly (a reg_use walk per retirement); skip it
+        // for tracers that declare they never look (e.g. NullTracer,
+        // loop-only pipelines).
+        let wants_reads = tracer.demand().reads();
 
         while self.retired - start_retired < budget {
             let pc = self.pc;
@@ -236,7 +258,9 @@ impl Cpu {
                 mem_read: None,
                 mem_write: None,
             };
-            self.capture_reads(&instr, &mut ev);
+            if wants_reads {
+                self.capture_reads(&instr, &mut ev);
+            }
 
             let mut next_pc = pc.next();
             let mut halted = false;
@@ -372,6 +396,7 @@ impl Cpu {
                 return Ok(RunSummary {
                     retired: self.retired - start_retired,
                     completion: Completion::Halted,
+                    elapsed: started.elapsed(),
                 });
             }
             self.pc = next_pc;
@@ -380,6 +405,7 @@ impl Cpu {
         Ok(RunSummary {
             retired: self.retired - start_retired,
             completion: Completion::OutOfFuel,
+            elapsed: started.elapsed(),
         })
     }
 
@@ -427,7 +453,7 @@ impl Cpu {
         self.mem.load_state(src)
     }
 
-    fn indirect_target(&self, pc: Addr, value: u64) -> Result<Addr, CpuError> {
+    pub(crate) fn indirect_target(&self, pc: Addr, value: u64) -> Result<Addr, CpuError> {
         if value > u32::MAX as u64 {
             return Err(CpuError::BadIndirectTarget { pc, value });
         }

@@ -1,0 +1,1419 @@
+//! The pre-decoded (threaded-code) dispatch loop.
+//!
+//! [`DecodedProgram`] pairs a [`Program`]'s entry point with its
+//! [`DecodedImage`] (see [`loopspec_isa::DecodedImage`] for what the
+//! decode and fusion passes precompute). [`Cpu::run_decoded`] /
+//! [`Cpu::resume_decoded`] execute that image with semantics
+//! **bit-identical** to the legacy [`Cpu::run`] / [`Cpu::resume`]:
+//!
+//! * the same [`InstrEvent`] sequence reaches the tracer, one event
+//!   per retired instruction, fused or not (modulo fields the tracer's
+//!   [`Demand`] mask waives);
+//! * the same faults surface at the same retirement counts;
+//! * every pause — fuel exhaustion, halt, fault — lands at an
+//!   instruction boundary, so [`Cpu::save_state`] emits the same bytes
+//!   the legacy interpreter would. There is no mid-block cursor to
+//!   persist: the pc alone locates the resume point, and a resumed run
+//!   re-enters the middle of a fused run via the per-pc suffix
+//!   run-length table.
+//!
+//! What the decoded path *saves* per retirement: the fetch through
+//! `Option`, the `control_kind()` reclassification, the `reg_use()`
+//! walk (pre-computed, and skipped outright when un-demanded), the
+//! immediate sign-extension, and — inside straight-line runs — the
+//! per-instruction fuel, halt and pc checks, which hoist to one check
+//! per run.
+
+use std::time::Instant;
+
+use loopspec_asm::Program;
+use loopspec_isa::{
+    Addr, AluOp, ControlKind, DecodedImage, DecodedOp, FAluOp, FReg, FUnOp, FlatCode, FlatOp, Reg,
+    RegUse,
+};
+
+use crate::cpu::{Completion, Cpu, CpuError, RunLimits, RunSummary};
+use crate::tracer::{
+    ArchReg, ControlOutcome, Demand, InstrEvent, MemAccess, RegRead, RegWrite, Tracer,
+};
+
+/// The fall-through successor of a *fetched* pc. `Addr::next()` folds a
+/// checked-overflow panic into the caller — a side effect that blocks
+/// dead-code elimination of otherwise unused event fields — but a
+/// fetched pc is `< len`, so the wrapping successor is identical.
+#[inline(always)]
+fn succ(pc: Addr) -> Addr {
+    Addr::new(pc.index().wrapping_add(1))
+}
+
+/// [`AluOp`]s in [`FlatCode`] register-immediate block order, padded to
+/// 16 entries so indexing by a `sub` nibble (`sub & 15`, `sub >> 4`)
+/// needs no bounds check.
+const RI_OPS: [AluOp; 16] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Sar,
+    AluOp::SltS,
+    AluOp::SltU,
+    AluOp::Add,
+    AluOp::Add,
+    AluOp::Add,
+];
+
+/// A [`Program`] lowered to threaded code: the input of
+/// [`Cpu::run_decoded`].
+///
+/// Build once per program (an `O(code size)` pass), reuse across runs,
+/// resumes and CPUs. The image keeps a copy of the source
+/// instructions, so [`matches`](DecodedProgram::matches) can verify it
+/// still corresponds to a given program before executing.
+///
+/// ```
+/// use loopspec_asm::ProgramBuilder;
+/// use loopspec_cpu::{Cpu, DecodedProgram, NullTracer, RunLimits};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.counted_loop(10, |b, _| b.work(4));
+/// let program = b.finish()?;
+///
+/// let decoded = DecodedProgram::new(&program);
+/// assert!(decoded.matches(&program));
+/// let summary = Cpu::new().run_decoded(&decoded, &mut NullTracer, RunLimits::default())?;
+/// assert!(summary.halted());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    image: DecodedImage,
+    entry: Addr,
+}
+
+impl DecodedProgram {
+    /// Decodes `program` (including the superinstruction fusion pass).
+    pub fn new(program: &Program) -> DecodedProgram {
+        DecodedProgram {
+            image: DecodedImage::build(program.code()),
+            entry: program.entry(),
+        }
+    }
+
+    /// The decoded image.
+    pub fn image(&self) -> &DecodedImage {
+        &self.image
+    }
+
+    /// The program's entry point.
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// `true` when this decoding was built from exactly `program`
+    /// (same code words, same entry point).
+    pub fn matches(&self, program: &Program) -> bool {
+        self.entry == program.entry() && self.image.instrs() == program.code()
+    }
+
+    /// Number of fused superinstructions in the image.
+    pub fn fused_pairs(&self) -> usize {
+        self.image.fused_pairs()
+    }
+}
+
+impl Cpu {
+    /// Runs a pre-decoded program from its entry point — the
+    /// threaded-code counterpart of [`Cpu::run`], observably identical
+    /// to it (events, faults, architectural state, snapshot bytes).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Cpu::run`].
+    pub fn run_decoded<T: Tracer>(
+        &mut self,
+        program: &DecodedProgram,
+        tracer: &mut T,
+        limits: RunLimits,
+    ) -> Result<RunSummary, CpuError> {
+        self.pc = program.entry();
+        self.resume_decoded(program, tracer, limits)
+    }
+
+    /// Continues a pre-decoded run from the current program counter —
+    /// the threaded-code counterpart of [`Cpu::resume`].
+    ///
+    /// Resumption composes freely with the legacy interpreter: a run
+    /// paused by either can be continued by the other, because every
+    /// pause lands at an instruction boundary where the pc alone
+    /// locates the next dispatch (a budget cut inside a fused run
+    /// simply shortens the run via the suffix run-length table).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Cpu::resume`].
+    pub fn resume_decoded<T: Tracer>(
+        &mut self,
+        program: &DecodedProgram,
+        tracer: &mut T,
+        limits: RunLimits,
+    ) -> Result<RunSummary, CpuError> {
+        let started = Instant::now();
+        let img = program.image();
+        let demand = tracer.demand();
+        let start_retired = self.retired;
+        let budget = limits.max_instrs;
+        let len = img.len();
+
+        while self.retired - start_retired < budget {
+            let pc = self.pc;
+            let mut pcu = pc.index() as usize;
+            if pcu >= len {
+                return Err(CpuError::PcOutOfRange { pc });
+            }
+            let mut fuel = budget - (self.retired - start_retired);
+
+            // One packed-metadata load classifies the dispatch:
+            // straight-line superblock, fused pair, or single step.
+            let mut meta = img.meta(pcu);
+
+            // Straight-line superblock: retire the whole control-free
+            // run with a single fuel/pc check. Clamping to the
+            // remaining fuel keeps every pause at an instruction
+            // boundary. Runs of one (value ops squeezed between
+            // branches) take this path too: it is the only dispatch
+            // that jumps straight off the flat opcode.
+            let run = ((meta >> 1) as u64).min(fuel) as usize;
+            if run >= 1 {
+                if run as u32 == meta >> 1 {
+                    // Full suffix: every superinstruction fits the
+                    // window by construction, so the checked walk's
+                    // guards would be dead weight.
+                    self.exec_run_full(img, pcu, run, tracer, demand, limits.max_pages)?;
+                } else {
+                    self.exec_run(img, pcu, run, tracer, demand, limits.max_pages)?;
+                }
+                // Run→terminator glue: an *unclamped* run ends exactly
+                // at its terminator (a control op or fused-pair head —
+                // run length 0 by construction), so classify that next
+                // dispatch right here instead of repeating the loop-top
+                // bookkeeping. A fuel-clamped run, an exhausted budget,
+                // or a run falling off the end of code goes back to the
+                // loop top, which owns those exits.
+                fuel -= run as u64;
+                pcu += run;
+                if run as u32 != meta >> 1 || fuel == 0 || pcu >= len {
+                    continue;
+                }
+                meta = img.meta(pcu);
+            }
+
+            // Fused value→branch superinstruction (the counted-loop
+            // back edge): two retirements, one dispatch.
+            if meta & 1 != 0 && fuel >= 2 {
+                self.exec_straight(img, pcu, tracer, demand, limits.max_pages)?;
+                let DecodedOp::Branch {
+                    cond,
+                    ra,
+                    rb,
+                    target,
+                } = img.op(pcu + 1)
+                else {
+                    unreachable!("fused pair tail must be a branch")
+                };
+                self.exec_branch(img, pcu + 1, cond, ra, rb, target, tracer, demand);
+                continue;
+            }
+
+            if self.step(img, pcu, tracer, demand, limits.max_pages)? {
+                return Ok(RunSummary {
+                    retired: self.retired - start_retired,
+                    completion: Completion::Halted,
+                    elapsed: started.elapsed(),
+                });
+            }
+        }
+
+        Ok(RunSummary {
+            retired: self.retired - start_retired,
+            completion: Completion::OutOfFuel,
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// [`Cpu::exec_run`] for a run that is the *entire* straight-line
+    /// suffix at `pcu` (not clamped by fuel). The fusion pass only
+    /// plants a superinstruction whose span fits the suffix it was
+    /// built from, so on this path every fused op is known to fit the
+    /// window: the checked walk's window guards and its unfused
+    /// re-fetch fallback are dead weight and this walk omits them.
+    #[inline(always)]
+    fn exec_run_full<T: Tracer>(
+        &mut self,
+        img: &DecodedImage,
+        pcu: usize,
+        n: usize,
+        tracer: &mut T,
+        demand: Demand,
+        max_pages: usize,
+    ) -> Result<(), CpuError> {
+        let fused = &img.flat2()[pcu..pcu + n];
+        let instrs = &img.instrs()[pcu..pcu + n];
+        let uses = &img.uses()[pcu..pcu + n];
+        let seq0 = self.retired;
+        let mut i = 0;
+        while i < n {
+            let f = fused[i];
+            if f.code.fuses_two() {
+                let r = if f.code.is_rep() {
+                    let k = f.sub as usize;
+                    // Literal `store` flags keep the forced element
+                    // opcode a constant inside each instantiation.
+                    let r = if f.code == FlatCode::StRep {
+                        self.exec_rep_mem(
+                            true,
+                            img,
+                            pcu + i,
+                            k,
+                            seq0 + i as u64,
+                            tracer,
+                            demand,
+                            max_pages,
+                        )
+                    } else {
+                        self.exec_rep_mem(
+                            false,
+                            img,
+                            pcu + i,
+                            k,
+                            seq0 + i as u64,
+                            tracer,
+                            demand,
+                            max_pages,
+                        )
+                    };
+                    if r.is_ok() {
+                        i += k;
+                        continue;
+                    }
+                    r
+                } else {
+                    let r = self.exec_flat_pair(
+                        f,
+                        instrs[i],
+                        &uses[i],
+                        instrs[i + 1],
+                        &uses[i + 1],
+                        pcu + i,
+                        seq0 + i as u64,
+                        tracer,
+                        demand,
+                        max_pages,
+                    );
+                    if r.is_ok() {
+                        i += 2;
+                        continue;
+                    }
+                    r
+                };
+                // Element `j` faulted; it did retire (the page-limit
+                // check runs post-retirement).
+                let (e, j) = r.unwrap_err();
+                self.retired = seq0 + (i + j) as u64 + 1;
+                self.pc = Addr::new((pcu + i + j) as u32);
+                return Err(e);
+            }
+            let pc = Addr::new((pcu + i) as u32);
+            if let Err(e) = self.exec_flat_op(
+                f,
+                instrs[i],
+                &uses[i],
+                pc,
+                seq0 + i as u64,
+                tracer,
+                demand,
+                max_pages,
+            ) {
+                self.retired = seq0 + i as u64 + 1;
+                self.pc = pc;
+                return Err(e);
+            }
+            i += 1;
+        }
+        self.retired = seq0 + n as u64;
+        self.pc = Addr::new((pcu + n) as u32);
+        Ok(())
+    }
+
+    /// Executes `n` straight-line ops starting at `pcu` (the caller
+    /// guarantees they are control-free and in bounds), then advances
+    /// the pc past them. On a fault the pc is left at the faulting
+    /// instruction, as the legacy interpreter does.
+    ///
+    /// This is the *windowed* walk for fuel-clamped runs: a
+    /// superinstruction cut off by the window tail re-fetches its
+    /// unfused form from `flat`. Full runs take
+    /// [`Cpu::exec_run_full`], which drops those guards.
+    ///
+    /// Inlined into the dispatcher: every straight-line op — including
+    /// runs of one — executes from here, so the call boundary would be
+    /// pure per-run overhead.
+    #[inline(always)]
+    fn exec_run<T: Tracer>(
+        &mut self,
+        img: &DecodedImage,
+        pcu: usize,
+        n: usize,
+        tracer: &mut T,
+        demand: Demand,
+        max_pages: usize,
+    ) -> Result<(), CpuError> {
+        // Slice once up front: the per-op loop then walks the image
+        // arrays with no further bounds checks (all the slices have
+        // length exactly `n`, which the optimizer can see).
+        let fused = &img.flat2()[pcu..pcu + n];
+        let instrs = &img.instrs()[pcu..pcu + n];
+        let uses = &img.uses()[pcu..pcu + n];
+        // Keep the retirement counter in a register across the run:
+        // each op takes its sequence number as an argument instead of
+        // bumping `self.retired` through memory (a serial
+        // load→inc→store chain the whole loop would wait on).
+        let seq0 = self.retired;
+        let mut i = 0;
+        while i < n {
+            // Greedy superinstruction walk: dispatch the fused stream
+            // when the fuel window still covers every element, the
+            // plain stream otherwise. Unfused pcs execute straight
+            // from the fused stream (the two streams coincide there);
+            // only a superinstruction head cut off by the window tail
+            // re-fetches its unfused form from `flat`.
+            let mut f = fused[i];
+            if f.code.fuses_two() {
+                if f.code.is_rep() {
+                    let k = f.sub as usize;
+                    if i + k <= n {
+                        let r = if f.code == FlatCode::StRep {
+                            self.exec_rep_mem(
+                                true,
+                                img,
+                                pcu + i,
+                                k,
+                                seq0 + i as u64,
+                                tracer,
+                                demand,
+                                max_pages,
+                            )
+                        } else {
+                            self.exec_rep_mem(
+                                false,
+                                img,
+                                pcu + i,
+                                k,
+                                seq0 + i as u64,
+                                tracer,
+                                demand,
+                                max_pages,
+                            )
+                        };
+                        match r {
+                            Ok(()) => {
+                                i += k;
+                                continue;
+                            }
+                            Err((e, j)) => {
+                                // Element `j` faulted; it did retire
+                                // (the page-limit check runs
+                                // post-retirement).
+                                self.retired = seq0 + (i + j) as u64 + 1;
+                                self.pc = Addr::new((pcu + i + j) as u32);
+                                return Err(e);
+                            }
+                        }
+                    }
+                } else if i + 1 < n {
+                    match self.exec_flat_pair(
+                        f,
+                        instrs[i],
+                        &uses[i],
+                        instrs[i + 1],
+                        &uses[i + 1],
+                        pcu + i,
+                        seq0 + i as u64,
+                        tracer,
+                        demand,
+                        max_pages,
+                    ) {
+                        Ok(()) => {
+                            i += 2;
+                            continue;
+                        }
+                        Err((e, k)) => {
+                            // Sub-op `k` faulted; it did retire (the
+                            // page-limit check runs post-retirement).
+                            self.retired = seq0 + (i + k) as u64 + 1;
+                            self.pc = Addr::new((pcu + i + k) as u32);
+                            return Err(e);
+                        }
+                    }
+                }
+                f = img.flat()[pcu + i];
+            }
+            let pc = Addr::new((pcu + i) as u32);
+            if let Err(e) = self.exec_flat_op(
+                f,
+                instrs[i],
+                &uses[i],
+                pc,
+                seq0 + i as u64,
+                tracer,
+                demand,
+                max_pages,
+            ) {
+                // The faulting op did retire (the page-limit check runs
+                // post-retirement, like the legacy interpreter's).
+                self.retired = seq0 + i as u64 + 1;
+                self.pc = pc;
+                return Err(e);
+            }
+            i += 1;
+        }
+        self.retired = seq0 + n as u64;
+        self.pc = Addr::new((pcu + n) as u32);
+        Ok(())
+    }
+
+    /// Retires the two architectural instructions packed into the
+    /// two-op superinstruction `f` (whose head sits at absolute index
+    /// `at`). Each half goes through [`Cpu::exec_flat_op`] with a
+    /// *constant* opcode, so the inner dispatch match constant-folds
+    /// away and the half's semantics — event layout, zero-register
+    /// guard, page-limit fault point — are the unfused ones by
+    /// construction; the pair saves the second jump-table hop and the
+    /// second round of loop overhead.
+    ///
+    /// On a fault, `Err((error, k))` names the faulting half (`k` is 0
+    /// or 1) so the caller can place the pc and retirement count at
+    /// the exact instruction, as the unfused path would.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_flat_pair<T: Tracer>(
+        &mut self,
+        f: FlatOp,
+        instr0: loopspec_isa::Instruction,
+        u0: &RegUse,
+        instr1: loopspec_isa::Instruction,
+        u1: &RegUse,
+        at: usize,
+        seq: u64,
+        tracer: &mut T,
+        demand: Demand,
+        max_pages: usize,
+    ) -> Result<(), (CpuError, usize)> {
+        use FlatCode::*;
+        // The packed immediates: two sign-extended i32 halves
+        // (low = first op's), except LiAdd, which keeps the load
+        // constant full-width in `imm`.
+        let lo = f.imm as u32 as i32 as i64 as u64;
+        let hi = (f.imm >> 32) as u32 as i32 as i64 as u64;
+        let op = |code, a, b, imm| FlatOp {
+            code,
+            a,
+            b,
+            c: 0,
+            d: 0,
+            sub: 0,
+            imm,
+        };
+        macro_rules! two_first {
+            ($first:expr) => {
+                self.exec_flat_op(
+                    $first,
+                    instr0,
+                    u0,
+                    Addr::new(at as u32),
+                    seq,
+                    tracer,
+                    demand,
+                    max_pages,
+                )
+                .map_err(|e| (e, 0))
+            };
+        }
+        macro_rules! two_second {
+            ($second:expr) => {
+                self.exec_flat_op(
+                    $second,
+                    instr1,
+                    u1,
+                    Addr::new((at + 1) as u32),
+                    seq + 1,
+                    tracer,
+                    demand,
+                    max_pages,
+                )
+                .map_err(|e| (e, 1))
+            };
+        }
+        macro_rules! two {
+            ($first:expr, $second:expr) => {{
+                two_first!($first)?;
+                two_second!($second)
+            }};
+        }
+        match f.code {
+            LiAdd => two!(
+                op(Li, f.a, 0, f.imm),
+                FlatOp {
+                    code: AddRR,
+                    a: f.b,
+                    b: f.c,
+                    c: f.d,
+                    d: 0,
+                    sub: 0,
+                    imm: 0,
+                }
+            ),
+            MulAnd => two!(op(MulRI, f.a, f.b, lo), op(AndRI, f.c, f.d, hi)),
+            LdAdd => two!(op(Ld, f.a, f.b, lo), op(AddRI, f.c, f.d, hi)),
+            LdLd => two!(op(Ld, f.a, f.b, lo), op(Ld, f.c, f.d, hi)),
+            ShlShr => two!(op(ShlRI, f.a, f.b, lo), op(ShrRI, f.c, f.d, hi)),
+            AddXor => two!(op(AddRI, f.a, f.b, lo), op(XorRI, f.c, f.d, hi)),
+            StSt => two!(op(St, f.a, f.b, lo), op(St, f.c, f.d, hi)),
+            StLi => two!(op(St, f.a, f.b, lo), op(Li, f.c, 0, hi)),
+            AddLi => two!(op(AddRI, f.a, f.b, lo), op(Li, f.c, 0, hi)),
+            LiLd => two!(op(Li, f.a, 0, lo), op(Ld, f.c, f.d, hi)),
+            AddSt => two!(op(AddRI, f.a, f.b, lo), op(St, f.c, f.d, hi)),
+            LdLi => two!(op(Ld, f.a, f.b, lo), op(Li, f.c, 0, hi)),
+            // Generic shapes: the ALU sub-op(s) come out of the packed
+            // `sub` nibbles at runtime via [`Cpu::exec_alu_ri_dyn`]
+            // rather than cloning the full 60-arm dispatch per half.
+            AluAlu => {
+                self.exec_alu_ri_dyn(
+                    RI_OPS[(f.sub & 15) as usize],
+                    f,
+                    false,
+                    lo,
+                    instr0,
+                    u0,
+                    at,
+                    seq,
+                    tracer,
+                    demand,
+                );
+                self.exec_alu_ri_dyn(
+                    RI_OPS[(f.sub >> 4) as usize],
+                    f,
+                    true,
+                    hi,
+                    instr1,
+                    u1,
+                    at + 1,
+                    seq + 1,
+                    tracer,
+                    demand,
+                );
+                Ok(())
+            }
+            AluLi => {
+                self.exec_alu_ri_dyn(
+                    RI_OPS[(f.sub & 15) as usize],
+                    f,
+                    false,
+                    lo,
+                    instr0,
+                    u0,
+                    at,
+                    seq,
+                    tracer,
+                    demand,
+                );
+                two_second!(op(Li, f.c, 0, hi))
+            }
+            AluLd => {
+                self.exec_alu_ri_dyn(
+                    RI_OPS[(f.sub & 15) as usize],
+                    f,
+                    false,
+                    lo,
+                    instr0,
+                    u0,
+                    at,
+                    seq,
+                    tracer,
+                    demand,
+                );
+                two_second!(op(Ld, f.c, f.d, hi))
+            }
+            LiAlu => {
+                two_first!(op(Li, f.a, 0, lo))?;
+                self.exec_alu_ri_dyn(
+                    RI_OPS[(f.sub >> 4) as usize],
+                    f,
+                    true,
+                    hi,
+                    instr1,
+                    u1,
+                    at + 1,
+                    seq + 1,
+                    tracer,
+                    demand,
+                );
+                Ok(())
+            }
+            _ => unreachable!("exec_flat_pair dispatched on a single-op code"),
+        }
+    }
+
+    /// Retires a same-code `St`/`Ld` block ([`FlatCode::StRep`] /
+    /// [`FlatCode::LdRep`]) in one dispatch: the count rides in the
+    /// superinstruction, each element's registers and immediate are
+    /// re-read from the unfused `flat` stream. Both call sites pass
+    /// `store` as a literal, so the forced opcode below is a constant
+    /// and each element executes the plain `St`/`Ld` arm of
+    /// [`Cpu::exec_flat_op`] — semantics, events, and fault points are
+    /// the unfused ones by construction.
+    ///
+    /// On a fault, `Err((error, j))` names the faulting element so the
+    /// caller can place the pc and retirement count exactly.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_rep_mem<T: Tracer>(
+        &mut self,
+        store: bool,
+        img: &DecodedImage,
+        at: usize,
+        k: usize,
+        seq: u64,
+        tracer: &mut T,
+        demand: Demand,
+        max_pages: usize,
+    ) -> Result<(), (CpuError, usize)> {
+        let elems = &img.flat()[at..at + k];
+        let instrs = &img.instrs()[at..at + k];
+        let uses = &img.uses()[at..at + k];
+        let code = if store { FlatCode::St } else { FlatCode::Ld };
+        for j in 0..k {
+            self.exec_flat_op(
+                FlatOp { code, ..elems[j] },
+                instrs[j],
+                &uses[j],
+                Addr::new((at + j) as u32),
+                seq + j as u64,
+                tracer,
+                demand,
+                max_pages,
+            )
+            .map_err(|e| (e, j))?;
+        }
+        Ok(())
+    }
+
+    /// Retires one register-immediate ALU half of a generic fused pair
+    /// ([`FlatCode::AluAlu`] and friends), with the sub-op supplied at
+    /// runtime from the pair's packed `sub` byte. Mirrors the
+    /// [`Cpu::exec_flat_op`] RI path exactly — same event skeleton,
+    /// demand-gated read capture, zero-register guard — minus the store
+    /// bookkeeping an ALU op can never need. `second` selects the
+    /// pair's c/d register pair over a/b.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_alu_ri_dyn<T: Tracer>(
+        &mut self,
+        op: AluOp,
+        f: FlatOp,
+        second: bool,
+        imm: u64,
+        instr: loopspec_isa::Instruction,
+        u: &RegUse,
+        at: usize,
+        seq: u64,
+        tracer: &mut T,
+        demand: Demand,
+    ) {
+        let (dst, src) = if second { (f.c, f.d) } else { (f.a, f.b) };
+        let pc = Addr::new(at as u32);
+        let mut ev = InstrEvent {
+            seq,
+            pc,
+            instr,
+            control: ControlOutcome {
+                kind: ControlKind::None,
+                taken: false,
+                target: succ(pc),
+            },
+            reads: [None; 5],
+            write: None,
+            mem_read: None,
+            mem_write: None,
+        };
+        if demand.reads() {
+            self.capture_reads_from(u, &mut ev);
+        }
+        let v = op.eval(self.regs[(src & 31) as usize], imm);
+        self.write_int_flat(dst, v, &mut ev, demand);
+        tracer.on_retire(&ev);
+    }
+
+    /// Retires one non-control op at `pcu`, fetching its flat form
+    /// from the image (the indexed convenience form of
+    /// [`Cpu::exec_flat_op`] for the pair-head and fuel-tail paths,
+    /// which retire one op per dispatch anyway).
+    #[inline(always)]
+    fn exec_straight<T: Tracer>(
+        &mut self,
+        img: &DecodedImage,
+        pcu: usize,
+        tracer: &mut T,
+        demand: Demand,
+        max_pages: usize,
+    ) -> Result<(), CpuError> {
+        let r = self.exec_flat_op(
+            img.flat()[pcu],
+            img.instr(pcu),
+            img.reg_use(pcu),
+            Addr::new(pcu as u32),
+            self.retired,
+            tracer,
+            demand,
+            max_pages,
+        );
+        // Unconditional: the only fault (page limit) fires after the op
+        // has retired, exactly as on the legacy path.
+        self.retired += 1;
+        r
+    }
+
+    /// Retires one non-control op from its flat execution form:
+    /// execute (one jump-table dispatch — ALU sub-op and FP-compare
+    /// condition are folded into the opcode), emit the (demand-trimmed)
+    /// event, check the memory limit if a store ran. Does **not**
+    /// advance the pc — run/pair/step callers own the cursor.
+    ///
+    /// Register operands index with `& 31`, which the image's lowering
+    /// guarantees is the identity (see [`FlatOp`]) and which elides the
+    /// bounds checks on the `[u64; 32]` / `[f64; 32]` register files.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_flat_op<T: Tracer>(
+        &mut self,
+        f: FlatOp,
+        instr: loopspec_isa::Instruction,
+        u: &RegUse,
+        pc: Addr,
+        seq: u64,
+        tracer: &mut T,
+        demand: Demand,
+        max_pages: usize,
+    ) -> Result<(), CpuError> {
+        let mut ev = InstrEvent {
+            seq,
+            pc,
+            instr,
+            control: ControlOutcome {
+                kind: ControlKind::None,
+                taken: false,
+                target: succ(pc),
+            },
+            reads: [None; 5],
+            write: None,
+            mem_read: None,
+            mem_write: None,
+        };
+        if demand.reads() {
+            self.capture_reads_from(u, &mut ev);
+        }
+
+        let mut stored = false;
+        // Arm bodies: `$op.eval` / the comparison operator const-fold
+        // against the constant sub-op, leaving one small straight-line
+        // arm per opcode behind a single jump table.
+        macro_rules! rr {
+            ($op:expr) => {{
+                let v = $op.eval(
+                    self.regs[(f.b & 31) as usize],
+                    self.regs[(f.c & 31) as usize],
+                );
+                self.write_int_flat(f.a, v, &mut ev, demand);
+            }};
+        }
+        macro_rules! ri {
+            ($op:expr) => {{
+                let v = $op.eval(self.regs[(f.b & 31) as usize], f.imm);
+                self.write_int_flat(f.a, v, &mut ev, demand);
+            }};
+        }
+        macro_rules! frr {
+            ($op:expr) => {{
+                let v = $op.eval(
+                    self.fregs[(f.b & 31) as usize],
+                    self.fregs[(f.c & 31) as usize],
+                );
+                self.write_fp_flat(f.a, v, &mut ev, demand);
+            }};
+        }
+        macro_rules! fcmp {
+            ($cmp:tt) => {{
+                let x = self.fregs[(f.b & 31) as usize];
+                let y = self.fregs[(f.c & 31) as usize];
+                self.write_int_flat(f.a, (x $cmp y) as u64, &mut ev, demand);
+            }};
+        }
+        match f.code {
+            FlatCode::Nop => {}
+            FlatCode::AddRR => rr!(AluOp::Add),
+            FlatCode::SubRR => rr!(AluOp::Sub),
+            FlatCode::MulRR => rr!(AluOp::Mul),
+            FlatCode::DivRR => rr!(AluOp::Div),
+            FlatCode::RemRR => rr!(AluOp::Rem),
+            FlatCode::AndRR => rr!(AluOp::And),
+            FlatCode::OrRR => rr!(AluOp::Or),
+            FlatCode::XorRR => rr!(AluOp::Xor),
+            FlatCode::ShlRR => rr!(AluOp::Shl),
+            FlatCode::ShrRR => rr!(AluOp::Shr),
+            FlatCode::SarRR => rr!(AluOp::Sar),
+            FlatCode::SltSRR => rr!(AluOp::SltS),
+            FlatCode::SltURR => rr!(AluOp::SltU),
+            FlatCode::AddRI => ri!(AluOp::Add),
+            FlatCode::SubRI => ri!(AluOp::Sub),
+            FlatCode::MulRI => ri!(AluOp::Mul),
+            FlatCode::DivRI => ri!(AluOp::Div),
+            FlatCode::RemRI => ri!(AluOp::Rem),
+            FlatCode::AndRI => ri!(AluOp::And),
+            FlatCode::OrRI => ri!(AluOp::Or),
+            FlatCode::XorRI => ri!(AluOp::Xor),
+            FlatCode::ShlRI => ri!(AluOp::Shl),
+            FlatCode::ShrRI => ri!(AluOp::Shr),
+            FlatCode::SarRI => ri!(AluOp::Sar),
+            FlatCode::SltSRI => ri!(AluOp::SltS),
+            FlatCode::SltURI => ri!(AluOp::SltU),
+            FlatCode::Li => self.write_int_flat(f.a, f.imm, &mut ev, demand),
+            FlatCode::Ld => {
+                let addr = self.regs[(f.b & 31) as usize].wrapping_add(f.imm);
+                let v = self.mem.read(addr);
+                if demand.mem() {
+                    ev.mem_read = Some(MemAccess { addr, value: v });
+                }
+                self.write_int_flat(f.a, v, &mut ev, demand);
+            }
+            FlatCode::St => {
+                let addr = self.regs[(f.b & 31) as usize].wrapping_add(f.imm);
+                let v = self.regs[(f.a & 31) as usize];
+                self.mem.write(addr, v);
+                if demand.mem() {
+                    ev.mem_write = Some(MemAccess { addr, value: v });
+                }
+                stored = true;
+            }
+            FlatCode::FAdd => frr!(FAluOp::Add),
+            FlatCode::FSub => frr!(FAluOp::Sub),
+            FlatCode::FMul => frr!(FAluOp::Mul),
+            FlatCode::FDiv => frr!(FAluOp::Div),
+            FlatCode::FMin => frr!(FAluOp::Min),
+            FlatCode::FMax => frr!(FAluOp::Max),
+            FlatCode::FNeg => {
+                let v = FUnOp::Neg.eval(self.fregs[(f.b & 31) as usize]);
+                self.write_fp_flat(f.a, v, &mut ev, demand);
+            }
+            FlatCode::FAbs => {
+                let v = FUnOp::Abs.eval(self.fregs[(f.b & 31) as usize]);
+                self.write_fp_flat(f.a, v, &mut ev, demand);
+            }
+            FlatCode::FSqrt => {
+                let v = FUnOp::Sqrt.eval(self.fregs[(f.b & 31) as usize]);
+                self.write_fp_flat(f.a, v, &mut ev, demand);
+            }
+            FlatCode::FLi => {
+                self.write_fp_flat(f.a, f64::from_bits(f.imm), &mut ev, demand);
+            }
+            FlatCode::FLd => {
+                let addr = self.regs[(f.b & 31) as usize].wrapping_add(f.imm);
+                let bits = self.mem.read(addr);
+                if demand.mem() {
+                    ev.mem_read = Some(MemAccess { addr, value: bits });
+                }
+                self.write_fp_flat(f.a, f64::from_bits(bits), &mut ev, demand);
+            }
+            FlatCode::FSt => {
+                let addr = self.regs[(f.b & 31) as usize].wrapping_add(f.imm);
+                let bits = self.fregs[(f.a & 31) as usize].to_bits();
+                self.mem.write(addr, bits);
+                if demand.mem() {
+                    ev.mem_write = Some(MemAccess { addr, value: bits });
+                }
+                stored = true;
+            }
+            // Numeric FP comparison (NaN compares false except Ne),
+            // matching the legacy interpreter exactly.
+            FlatCode::FcEq => fcmp!(==),
+            FlatCode::FcNe => fcmp!(!=),
+            FlatCode::FcLt => fcmp!(<),
+            FlatCode::FcLe => fcmp!(<=),
+            FlatCode::FcGt => fcmp!(>),
+            FlatCode::FcGe => fcmp!(>=),
+            FlatCode::ItoF => {
+                let v = self.regs[(f.b & 31) as usize] as i64 as f64;
+                self.write_fp_flat(f.a, v, &mut ev, demand);
+            }
+            FlatCode::FtoI => {
+                let v = self.fregs[(f.b & 31) as usize] as i64 as u64;
+                self.write_int_flat(f.a, v, &mut ev, demand);
+            }
+            FlatCode::Ctl
+            | FlatCode::LiAdd
+            | FlatCode::MulAnd
+            | FlatCode::LdAdd
+            | FlatCode::LdLd
+            | FlatCode::ShlShr
+            | FlatCode::AddXor
+            | FlatCode::StSt
+            | FlatCode::StLi
+            | FlatCode::AddLi
+            | FlatCode::LiLd
+            | FlatCode::AddSt
+            | FlatCode::AluAlu
+            | FlatCode::AluLi
+            | FlatCode::LiAlu
+            | FlatCode::AluLd
+            | FlatCode::LdLi
+            | FlatCode::StRep
+            | FlatCode::LdRep => {
+                unreachable!("control or fused op dispatched as a single straight-line op")
+            }
+        }
+
+        // The caller owns the retirement counter (`seq` is the count
+        // before this op): the run loop keeps it in a register and
+        // stores it once per run instead of once per op.
+        tracer.on_retire(&ev);
+
+        // Loads never materialise pages (absent words read as 0), so
+        // the legacy per-instruction page check can only ever fire
+        // after a store — checking there is behaviourally identical.
+        if stored && self.mem.pages_allocated() > max_pages {
+            return Err(CpuError::MemoryLimit {
+                pages: self.mem.pages_allocated(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Retires a conditional branch at `pcu` (already destructured by
+    /// the caller's dispatch — no second op load) and advances the pc.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_branch<T: Tracer>(
+        &mut self,
+        img: &DecodedImage,
+        pcu: usize,
+        cond: loopspec_isa::Cond,
+        ra: Reg,
+        rb: Reg,
+        target: Addr,
+        tracer: &mut T,
+        demand: Demand,
+    ) {
+        let pc = Addr::new(pcu as u32);
+        let mut ev = InstrEvent {
+            seq: self.retired,
+            pc,
+            instr: img.instr(pcu),
+            control: ControlOutcome {
+                kind: img.kind(pcu),
+                taken: false,
+                target: succ(pc),
+            },
+            reads: [None; 5],
+            write: None,
+            mem_read: None,
+            mem_write: None,
+        };
+        if demand.reads() {
+            self.capture_reads_from(img.reg_use(pcu), &mut ev);
+        }
+        let next = if cond.eval(self.regs[ra.index()], self.regs[rb.index()]) {
+            ev.control.taken = true;
+            ev.control.target = target;
+            target
+        } else {
+            succ(pc)
+        };
+        self.retired += 1;
+        tracer.on_retire(&ev);
+        self.pc = next;
+    }
+
+    /// Generic single-instruction dispatch (control transfers, halt,
+    /// fuel-tail straight-line ops). Returns `Ok(true)` on halt.
+    /// Inlined: in call-heavy programs this is the second-hottest
+    /// dispatch after [`Cpu::exec_run`], and the call preamble would
+    /// cost more than the body's jump table.
+    #[inline(always)]
+    fn step<T: Tracer>(
+        &mut self,
+        img: &DecodedImage,
+        pcu: usize,
+        tracer: &mut T,
+        demand: Demand,
+        max_pages: usize,
+    ) -> Result<bool, CpuError> {
+        let pc = Addr::new(pcu as u32);
+        let op = img.op(pcu);
+        match op {
+            DecodedOp::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
+                self.exec_branch(img, pcu, cond, ra, rb, target, tracer, demand);
+                Ok(false)
+            }
+            DecodedOp::Halt
+            | DecodedOp::Jump { .. }
+            | DecodedOp::JumpInd { .. }
+            | DecodedOp::Call { .. }
+            | DecodedOp::CallInd { .. }
+            | DecodedOp::Ret { .. } => {
+                let mut ev = InstrEvent {
+                    seq: self.retired,
+                    pc,
+                    instr: img.instr(pcu),
+                    control: ControlOutcome {
+                        kind: img.kind(pcu),
+                        taken: false,
+                        target: succ(pc),
+                    },
+                    reads: [None; 5],
+                    write: None,
+                    mem_read: None,
+                    mem_write: None,
+                };
+                if demand.reads() {
+                    self.capture_reads_from(img.reg_use(pcu), &mut ev);
+                }
+                let mut halted = false;
+                let next = match op {
+                    DecodedOp::Halt => {
+                        halted = true;
+                        succ(pc)
+                    }
+                    DecodedOp::Jump { target } => {
+                        ev.control.taken = true;
+                        ev.control.target = target;
+                        target
+                    }
+                    DecodedOp::JumpInd { base } => {
+                        let target = self.indirect_target(pc, self.regs[base.index()])?;
+                        ev.control.taken = true;
+                        ev.control.target = target;
+                        target
+                    }
+                    DecodedOp::Call { target, link } => {
+                        self.write_int_flat(
+                            link.index() as u8,
+                            succ(pc).index() as u64,
+                            &mut ev,
+                            demand,
+                        );
+                        ev.control.taken = true;
+                        ev.control.target = target;
+                        target
+                    }
+                    DecodedOp::CallInd { base, link } => {
+                        let target = self.indirect_target(pc, self.regs[base.index()])?;
+                        self.write_int_flat(
+                            link.index() as u8,
+                            succ(pc).index() as u64,
+                            &mut ev,
+                            demand,
+                        );
+                        ev.control.taken = true;
+                        ev.control.target = target;
+                        target
+                    }
+                    DecodedOp::Ret { link } => {
+                        let target = self.indirect_target(pc, self.regs[link.index()])?;
+                        ev.control.taken = true;
+                        ev.control.target = target;
+                        target
+                    }
+                    _ => unreachable!(),
+                };
+                self.retired += 1;
+                tracer.on_retire(&ev);
+                if halted {
+                    return Ok(true);
+                }
+                self.pc = next;
+                Ok(false)
+            }
+            _ => {
+                self.exec_straight(img, pcu, tracer, demand, max_pages)?;
+                self.pc = succ(pc);
+                Ok(false)
+            }
+        }
+    }
+
+    /// [`Cpu::capture_reads`] with the pre-computed [`RegUse`] from
+    /// the decoded image instead of a per-retirement `reg_use()` call.
+    #[inline(always)]
+    fn capture_reads_from(&self, u: &RegUse, ev: &mut InstrEvent) {
+        let mut slot = 0;
+        for r in u.reads.iter().flatten() {
+            ev.reads[slot] = Some(RegRead {
+                reg: ArchReg::Int(*r),
+                value: self.regs[r.index()],
+            });
+            slot += 1;
+        }
+        for r in u.freads.iter().flatten() {
+            ev.reads[slot] = Some(RegRead {
+                reg: ArchReg::Fp(*r),
+                value: self.fregs[r.index()].to_bits(),
+            });
+            slot += 1;
+        }
+    }
+
+    /// Writes an integer register by flat (byte) index, recording the
+    /// event write when demanded and dropping writes to the hardwired
+    /// zero register — exactly [`Cpu::set_reg`]'s semantics.
+    #[inline(always)]
+    fn write_int_flat(&mut self, a: u8, v: u64, ev: &mut InstrEvent, demand: Demand) {
+        if demand.write() {
+            ev.write = Some(RegWrite {
+                reg: ArchReg::Int(Reg::ALL[(a & 31) as usize]),
+                value: v,
+            });
+        }
+        if a != 0 {
+            self.regs[(a & 31) as usize] = v;
+        }
+    }
+
+    /// Writes an FP register by flat (byte) index, recording the event
+    /// write (as bits) when demanded.
+    #[inline(always)]
+    fn write_fp_flat(&mut self, a: u8, v: f64, ev: &mut InstrEvent, demand: Demand) {
+        if demand.write() {
+            ev.write = Some(RegWrite {
+                reg: ArchReg::Fp(FReg::ALL[(a & 31) as usize]),
+                value: v.to_bits(),
+            });
+        }
+        self.fregs[(a & 31) as usize] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{CountingTracer, NullTracer};
+    use loopspec_asm::ProgramBuilder;
+    use loopspec_isa::AluOp;
+
+    /// A workload with loops, calls, branches and memory traffic.
+    fn mixed_program() -> Program {
+        let mut b = ProgramBuilder::with_seed(11);
+        b.define_func("accum", |b| {
+            b.op(
+                AluOp::Add,
+                ProgramBuilder::RET_REG,
+                ProgramBuilder::ARG_REGS[0],
+                ProgramBuilder::ARG_REGS[1],
+            );
+        });
+        let sum = b.alloc_reg();
+        let out = b.alloc_static(8);
+        b.li(sum, 0);
+        b.counted_loop(8, |b, i| {
+            b.work(3);
+            b.op(AluOp::Add, sum, sum, i);
+            b.store_idx(sum, out, i);
+        });
+        b.set_arg(0, 5);
+        b.set_arg(1, 37);
+        b.call_func("accum");
+        b.store_static(ProgramBuilder::RET_REG, out);
+        b.finish().unwrap()
+    }
+
+    /// Records every event verbatim, demanding everything.
+    #[derive(Default)]
+    struct Recorder {
+        events: Vec<InstrEvent>,
+    }
+    impl Tracer for Recorder {
+        fn on_retire(&mut self, ev: &InstrEvent) {
+            self.events.push(*ev);
+        }
+    }
+
+    fn arch_state(cpu: &Cpu) -> Vec<u8> {
+        let mut enc = loopspec_isa::snap::Enc::new();
+        cpu.save_state(&mut enc);
+        enc.into_bytes()
+    }
+
+    #[test]
+    fn decoded_events_and_state_match_legacy() {
+        let p = mixed_program();
+        let decoded = DecodedProgram::new(&p);
+        assert!(decoded.matches(&p));
+        assert!(decoded.fused_pairs() > 0, "loop back edges should fuse");
+
+        let mut legacy_cpu = Cpu::new();
+        let mut legacy = Recorder::default();
+        let ls = legacy_cpu
+            .run(&p, &mut legacy, RunLimits::default())
+            .unwrap();
+
+        let mut dec_cpu = Cpu::new();
+        let mut dec = Recorder::default();
+        let ds = dec_cpu
+            .run_decoded(&decoded, &mut dec, RunLimits::default())
+            .unwrap();
+
+        assert_eq!(ls.retired, ds.retired);
+        assert_eq!(ls.completion, ds.completion);
+        assert_eq!(legacy.events, dec.events);
+        assert_eq!(arch_state(&legacy_cpu), arch_state(&dec_cpu));
+    }
+
+    #[test]
+    fn fuel_cuts_inside_fused_runs_resume_exactly() {
+        let p = mixed_program();
+        let decoded = DecodedProgram::new(&p);
+
+        let mut reference = Cpu::new();
+        let mut ref_rec = Recorder::default();
+        reference
+            .run(&p, &mut ref_rec, RunLimits::default())
+            .unwrap();
+
+        // Odd fuel slices force pauses mid-run and mid-pair.
+        for fuel in [1u64, 2, 3, 5, 7] {
+            let mut cpu = Cpu::new();
+            let mut rec = Recorder::default();
+            let mut s = cpu
+                .run_decoded(&decoded, &mut rec, RunLimits::with_fuel(fuel))
+                .unwrap();
+            while !s.halted() {
+                s = cpu
+                    .resume_decoded(&decoded, &mut rec, RunLimits::with_fuel(fuel))
+                    .unwrap();
+            }
+            assert_eq!(rec.events, ref_rec.events, "fuel {fuel}");
+            assert_eq!(arch_state(&cpu), arch_state(&reference), "fuel {fuel}");
+        }
+    }
+
+    #[test]
+    fn legacy_and_decoded_interpreters_interleave() {
+        let p = mixed_program();
+        let decoded = DecodedProgram::new(&p);
+
+        let mut reference = Cpu::new();
+        reference
+            .run(&p, &mut NullTracer, RunLimits::default())
+            .unwrap();
+
+        let mut cpu = Cpu::new();
+        cpu.pc = p.entry();
+        let mut use_decoded = false;
+        loop {
+            let s = if use_decoded {
+                cpu.resume_decoded(&decoded, &mut NullTracer, RunLimits::with_fuel(9))
+            } else {
+                cpu.resume(&p, &mut NullTracer, RunLimits::with_fuel(9))
+            }
+            .unwrap();
+            if s.halted() {
+                break;
+            }
+            use_decoded = !use_decoded;
+        }
+        assert_eq!(arch_state(&cpu), arch_state(&reference));
+    }
+
+    #[test]
+    fn counting_tracer_sees_identical_counts() {
+        let p = mixed_program();
+        let decoded = DecodedProgram::new(&p);
+        let mut a = CountingTracer::default();
+        Cpu::new().run(&p, &mut a, RunLimits::default()).unwrap();
+        let mut b = CountingTracer::default();
+        Cpu::new()
+            .run_decoded(&decoded, &mut b, RunLimits::default())
+            .unwrap();
+        assert_eq!(a.retired, b.retired);
+        assert_eq!(a.branches, b.branches);
+        assert_eq!(a.taken_branches, b.taken_branches);
+        assert_eq!(a.calls, b.calls);
+        assert_eq!(a.returns, b.returns);
+        assert_eq!(a.loads, b.loads);
+        assert_eq!(a.stores, b.stores);
+    }
+
+    #[test]
+    fn faults_match_legacy() {
+        // Control past the end of code.
+        let mut b = ProgramBuilder::new();
+        b.work(2);
+        let p = b.finish().unwrap();
+        // Drop the halt by jumping past it: build a raw program whose
+        // last instruction is not a terminator.
+        let code = {
+            let mut c = p.code().to_vec();
+            c.pop(); // remove halt
+            c
+        };
+        let raw = Program::new(code, p.entry(), std::collections::BTreeMap::new()).unwrap();
+        let decoded = DecodedProgram::new(&raw);
+        let legacy_err = Cpu::new()
+            .run(&raw, &mut NullTracer, RunLimits::default())
+            .unwrap_err();
+        let decoded_err = Cpu::new()
+            .run_decoded(&decoded, &mut NullTracer, RunLimits::default())
+            .unwrap_err();
+        assert_eq!(legacy_err, decoded_err);
+
+        // Bad indirect target.
+        let mut b = ProgramBuilder::new();
+        let r = b.alloc_reg();
+        b.li(r, i64::MAX);
+        b.emit(loopspec_isa::Instruction::JumpInd { base: r });
+        let p = b.finish().unwrap();
+        let decoded = DecodedProgram::new(&p);
+        let mut legacy_cpu = Cpu::new();
+        let legacy_err = legacy_cpu
+            .run(&p, &mut NullTracer, RunLimits::default())
+            .unwrap_err();
+        let mut dec_cpu = Cpu::new();
+        let decoded_err = dec_cpu
+            .run_decoded(&decoded, &mut NullTracer, RunLimits::default())
+            .unwrap_err();
+        assert_eq!(legacy_err, decoded_err);
+        assert_eq!(legacy_cpu.retired(), dec_cpu.retired());
+    }
+
+    #[test]
+    fn throughput_is_reported() {
+        let p = mixed_program();
+        let decoded = DecodedProgram::new(&p);
+        let s = Cpu::new()
+            .run_decoded(&decoded, &mut NullTracer, RunLimits::default())
+            .unwrap();
+        assert!(s.retired > 0);
+        // Wall clock may be below timer resolution, but the accessor
+        // must never report nonsense.
+        assert!(s.instrs_per_sec().is_finite());
+        assert!(s.instrs_per_sec() >= 0.0);
+    }
+}

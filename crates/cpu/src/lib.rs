@@ -36,12 +36,14 @@
 #![deny(missing_debug_implementations)]
 
 mod cpu;
+mod decoded;
 mod mem;
 mod tracer;
 
 pub use cpu::{Completion, Cpu, CpuError, RunLimits, RunSummary};
+pub use decoded::DecodedProgram;
 pub use mem::Memory;
 pub use tracer::{
-    ArchReg, ControlOutcome, CountingTracer, InstrEvent, MemAccess, NullTracer, RegRead, RegWrite,
-    Tracer,
+    ArchReg, ControlOutcome, CountingTracer, Demand, InstrEvent, MemAccess, NullTracer, RegRead,
+    RegWrite, Tracer,
 };

@@ -105,6 +105,63 @@ impl InstrEvent {
     }
 }
 
+/// The event fields a [`Tracer`] actually consumes — a capability mask
+/// the interpreter queries once per run to skip assembling data nobody
+/// reads.
+///
+/// `seq`, `pc`, `instr` and the full [`ControlOutcome`] are **always**
+/// populated (the interpreter computes them to execute the instruction
+/// anyway); the mask covers only the optional payload:
+///
+/// * [`READS`](Demand::READS) — the `reads` array (register values at
+///   read time, the expensive part: a `reg_use` walk per retirement);
+/// * [`WRITE`](Demand::WRITE) — the `write` record;
+/// * [`MEM`](Demand::MEM) — `mem_read` / `mem_write` records.
+///
+/// A tracer that declares a field un-demanded must not read it: the
+/// interpreter is free to leave it `None`. Composite tracers (tuples,
+/// `&mut`) take the union of their parts, so under-declaring is the
+/// only way to go wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Demand(u8);
+
+impl Demand {
+    /// Only the always-populated fields (seq, pc, instr, control).
+    pub const NONE: Demand = Demand(0);
+    /// The `reads` array.
+    pub const READS: Demand = Demand(1);
+    /// The `write` record.
+    pub const WRITE: Demand = Demand(1 << 1);
+    /// The `mem_read` / `mem_write` records.
+    pub const MEM: Demand = Demand(1 << 2);
+    /// Every event field — the conservative default.
+    pub const ALL: Demand = Demand(0b111);
+
+    /// Combines two masks (used by composite tracers).
+    #[must_use]
+    pub const fn union(self, other: Demand) -> Demand {
+        Demand(self.0 | other.0)
+    }
+
+    /// `true` when the `reads` array is demanded.
+    #[inline]
+    pub const fn reads(self) -> bool {
+        self.0 & Demand::READS.0 != 0
+    }
+
+    /// `true` when the `write` record is demanded.
+    #[inline]
+    pub const fn write(self) -> bool {
+        self.0 & Demand::WRITE.0 != 0
+    }
+
+    /// `true` when the memory-access records are demanded.
+    #[inline]
+    pub const fn mem(self) -> bool {
+        self.0 & Demand::MEM.0 != 0
+    }
+}
+
 /// Per-retired-instruction analysis callback — the ATOM substitute.
 ///
 /// Implementations must be cheap: they run inline in the interpreter
@@ -113,6 +170,14 @@ impl InstrEvent {
 pub trait Tracer {
     /// Called once per retired instruction, in program order.
     fn on_retire(&mut self, ev: &InstrEvent);
+
+    /// Which optional event fields this tracer reads; see [`Demand`].
+    /// The interpreter queries it once at the start of a run and skips
+    /// assembling un-demanded fields. Defaults to [`Demand::ALL`], so
+    /// existing tracers keep seeing fully populated events.
+    fn demand(&self) -> Demand {
+        Demand::ALL
+    }
 }
 
 /// A tracer that ignores every event (pure functional execution).
@@ -122,6 +187,10 @@ pub struct NullTracer;
 impl Tracer for NullTracer {
     #[inline]
     fn on_retire(&mut self, _ev: &InstrEvent) {}
+
+    fn demand(&self) -> Demand {
+        Demand::NONE
+    }
 }
 
 /// A tracer that counts retired instructions by category — handy in tests
@@ -165,12 +234,22 @@ impl Tracer for CountingTracer {
             self.stores += 1;
         }
     }
+
+    fn demand(&self) -> Demand {
+        // Control outcomes are always populated; only the memory
+        // records are optional payload this tracer touches.
+        Demand::MEM
+    }
 }
 
 impl<T: Tracer + ?Sized> Tracer for &mut T {
     #[inline]
     fn on_retire(&mut self, ev: &InstrEvent) {
         (**self).on_retire(ev);
+    }
+
+    fn demand(&self) -> Demand {
+        (**self).demand()
     }
 }
 
@@ -180,6 +259,10 @@ impl<A: Tracer, B: Tracer> Tracer for (A, B) {
         self.0.on_retire(ev);
         self.1.on_retire(ev);
     }
+
+    fn demand(&self) -> Demand {
+        self.0.demand().union(self.1.demand())
+    }
 }
 
 impl<A: Tracer, B: Tracer, C: Tracer> Tracer for (A, B, C) {
@@ -188,6 +271,13 @@ impl<A: Tracer, B: Tracer, C: Tracer> Tracer for (A, B, C) {
         self.0.on_retire(ev);
         self.1.on_retire(ev);
         self.2.on_retire(ev);
+    }
+
+    fn demand(&self) -> Demand {
+        self.0
+            .demand()
+            .union(self.1.demand())
+            .union(self.2.demand())
     }
 }
 
@@ -241,5 +331,32 @@ mod tests {
     fn arch_reg_display() {
         assert_eq!(ArchReg::Int(Reg::R3).to_string(), "r3");
         assert_eq!(ArchReg::Fp(FReg::F9).to_string(), "f9");
+    }
+
+    #[test]
+    fn demand_flags_decompose() {
+        assert!(Demand::ALL.reads() && Demand::ALL.write() && Demand::ALL.mem());
+        assert!(!Demand::NONE.reads() && !Demand::NONE.write() && !Demand::NONE.mem());
+        let rw = Demand::READS.union(Demand::WRITE);
+        assert!(rw.reads() && rw.write() && !rw.mem());
+    }
+
+    #[test]
+    fn composite_tracers_union_their_demand() {
+        assert_eq!(NullTracer.demand(), Demand::NONE);
+        assert_eq!(CountingTracer::default().demand(), Demand::MEM);
+        let pair = (NullTracer, CountingTracer::default());
+        assert_eq!(pair.demand(), Demand::MEM);
+        let triple = (NullTracer, NullTracer, CountingTracer::default());
+        assert_eq!(triple.demand(), Demand::MEM);
+        let mut c = CountingTracer::default();
+        let r: &mut CountingTracer = &mut c;
+        assert_eq!(r.demand(), Demand::MEM);
+        // Custom tracers keep the conservative default.
+        struct Plain;
+        impl Tracer for Plain {
+            fn on_retire(&mut self, _ev: &InstrEvent) {}
+        }
+        assert_eq!(Plain.demand(), Demand::ALL);
     }
 }

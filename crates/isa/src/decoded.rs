@@ -1,0 +1,1071 @@
+//! Pre-decoded ("threaded code") program image.
+//!
+//! The legacy interpreter in `loopspec-cpu` re-derives everything it
+//! needs per retired instruction: it fetches through an `Option`,
+//! classifies control flow with [`Instruction::control_kind`], and
+//! walks [`Instruction::reg_use`] to assemble the trace event. All of
+//! that is static — it depends only on the code word, never on machine
+//! state — so a one-time decode pass can hoist it out of the dispatch
+//! loop entirely, in the style of classic threaded-code VMs.
+//!
+//! [`DecodedImage::build`] lowers a code slice into:
+//!
+//! * one [`DecodedOp`] per code word, with immediates already
+//!   sign-extended to the machine's 64-bit width (`f32` constants
+//!   pre-widened to `f64`) so the executor applies them with a bare
+//!   `wrapping_add`;
+//! * the static per-pc metadata the tracer path needs
+//!   ([`ControlKind`], [`RegUse`], and the original [`Instruction`]
+//!   for the event's `instr` field);
+//! * a **basic-block table**: for every pc, the length of the
+//!   straight-line (control-free) run starting there. The executor
+//!   uses it to retire whole loop bodies in a tight inner loop with a
+//!   single fuel check, and because the table is per-*pc* (a suffix
+//!   run length, not a block-entry map) any branch target — even one
+//!   landing mid-block — starts a maximal run;
+//! * a peephole **fusion table** marking `alu→branch` /
+//!   `cmp→branch` pairs (the canonical counted-loop back edge:
+//!   `addi i, i, 1; b.lt i, n, top`) that the executor dispatches as
+//!   one superinstruction. Fusion is purely a dispatch-count
+//!   optimization: the fused pair still retires as two instructions
+//!   and emits the exact same two trace events as the unfused path.
+//!
+//! Branch targets are *not* re-validated here: the assembler
+//! (`loopspec-asm`) only produces programs whose direct targets are in
+//! range, and the executor bounds-checks the pc at each control
+//! transfer — exactly as the legacy interpreter does — so out-of-range
+//! targets fault identically on both paths.
+
+use crate::{Addr, AluOp, Cond, ControlKind, FAluOp, FReg, FUnOp, Instruction, Reg, RegUse};
+
+/// A fully decoded SLA instruction: the executable form of one
+/// [`Instruction`], with register operands pre-resolved and immediates
+/// pre-extended to operation width.
+///
+/// Mirrors [`Instruction`] variant-for-variant; only the operand
+/// representations differ:
+///
+/// * integer immediates and memory offsets are sign-extended to `u64`
+///   (the CPU's wrapping word arithmetic applies them directly);
+/// * the `f32` immediate of `FLoadImm` is pre-widened to `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecodedOp {
+    /// No operation.
+    Nop,
+    /// Machine halt.
+    Halt,
+    /// `rd <- op(ra, rb)`.
+    Alu {
+        /// Operation to apply.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// `rd <- op(ra, imm)` with the immediate pre-extended.
+    AluImm {
+        /// Operation to apply.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Sign-extended immediate operand.
+        imm: u64,
+    },
+    /// `rd <- imm` with the immediate pre-extended.
+    LoadImm {
+        /// Destination register.
+        rd: Reg,
+        /// Sign-extended immediate value.
+        imm: u64,
+    },
+    /// `rd <- mem[ra + offset]` with the offset pre-extended.
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Sign-extended word offset.
+        offset: u64,
+    },
+    /// `mem[base + offset] <- src` with the offset pre-extended.
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Sign-extended word offset.
+        offset: u64,
+    },
+    /// `fd <- op(fa, fb)`.
+    FAlu {
+        /// Operation to apply.
+        op: FAluOp,
+        /// Destination FP register.
+        fd: FReg,
+        /// First source FP register.
+        fa: FReg,
+        /// Second source FP register.
+        fb: FReg,
+    },
+    /// `fd <- op(fa)`.
+    FUn {
+        /// Operation to apply.
+        op: FUnOp,
+        /// Destination FP register.
+        fd: FReg,
+        /// Source FP register.
+        fa: FReg,
+    },
+    /// `fd <- value` with the constant pre-widened to `f64`.
+    FLoadImm {
+        /// Destination FP register.
+        fd: FReg,
+        /// Pre-widened immediate value.
+        value: f64,
+    },
+    /// `fd <- mem[base + offset]` with the offset pre-extended.
+    FLoad {
+        /// Destination FP register.
+        fd: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Sign-extended word offset.
+        offset: u64,
+    },
+    /// `mem[base + offset] <- fsrc` with the offset pre-extended.
+    FStore {
+        /// Source FP register.
+        fsrc: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Sign-extended word offset.
+        offset: u64,
+    },
+    /// `rd <- cond(fa, fb) ? 1 : 0`.
+    FCmp {
+        /// Condition evaluated on the FP operands.
+        cond: Cond,
+        /// Destination integer register.
+        rd: Reg,
+        /// First source FP register.
+        fa: FReg,
+        /// Second source FP register.
+        fb: FReg,
+    },
+    /// `fd <- (f64) ra`.
+    ItoF {
+        /// Destination FP register.
+        fd: FReg,
+        /// Source integer register.
+        ra: Reg,
+    },
+    /// `rd <- (i64) fa`.
+    FtoI {
+        /// Destination integer register.
+        rd: Reg,
+        /// Source FP register.
+        fa: FReg,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Branch condition.
+        cond: Cond,
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+        /// Branch target.
+        target: Addr,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Jump target.
+        target: Addr,
+    },
+    /// Unconditional indirect jump.
+    JumpInd {
+        /// Register holding the target address.
+        base: Reg,
+    },
+    /// Direct subroutine call.
+    Call {
+        /// Call target.
+        target: Addr,
+        /// Link register.
+        link: Reg,
+    },
+    /// Indirect subroutine call.
+    CallInd {
+        /// Register holding the callee address.
+        base: Reg,
+        /// Link register.
+        link: Reg,
+    },
+    /// Subroutine return.
+    Ret {
+        /// Register holding the return address.
+        link: Reg,
+    },
+}
+
+impl DecodedOp {
+    /// Lowers one instruction, pre-extending immediates.
+    fn lower(instr: Instruction) -> DecodedOp {
+        match instr {
+            Instruction::Nop => DecodedOp::Nop,
+            Instruction::Halt => DecodedOp::Halt,
+            Instruction::Alu { op, rd, ra, rb } => DecodedOp::Alu { op, rd, ra, rb },
+            Instruction::AluImm { op, rd, ra, imm } => DecodedOp::AluImm {
+                op,
+                rd,
+                ra,
+                imm: imm as i64 as u64,
+            },
+            Instruction::LoadImm { rd, imm } => DecodedOp::LoadImm {
+                rd,
+                imm: imm as u64,
+            },
+            Instruction::Load { rd, base, offset } => DecodedOp::Load {
+                rd,
+                base,
+                offset: offset as i64 as u64,
+            },
+            Instruction::Store { src, base, offset } => DecodedOp::Store {
+                src,
+                base,
+                offset: offset as i64 as u64,
+            },
+            Instruction::FAlu { op, fd, fa, fb } => DecodedOp::FAlu { op, fd, fa, fb },
+            Instruction::FUn { op, fd, fa } => DecodedOp::FUn { op, fd, fa },
+            Instruction::FLoadImm { fd, value } => DecodedOp::FLoadImm {
+                fd,
+                value: value as f64,
+            },
+            Instruction::FLoad { fd, base, offset } => DecodedOp::FLoad {
+                fd,
+                base,
+                offset: offset as i64 as u64,
+            },
+            Instruction::FStore { fsrc, base, offset } => DecodedOp::FStore {
+                fsrc,
+                base,
+                offset: offset as i64 as u64,
+            },
+            Instruction::FCmp { cond, rd, fa, fb } => DecodedOp::FCmp { cond, rd, fa, fb },
+            Instruction::ItoF { fd, ra } => DecodedOp::ItoF { fd, ra },
+            Instruction::FtoI { rd, fa } => DecodedOp::FtoI { rd, fa },
+            Instruction::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => DecodedOp::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            },
+            Instruction::Jump { target } => DecodedOp::Jump { target },
+            Instruction::JumpInd { base } => DecodedOp::JumpInd { base },
+            Instruction::Call { target, link } => DecodedOp::Call { target, link },
+            Instruction::CallInd { base, link } => DecodedOp::CallInd { base, link },
+            Instruction::Ret { link } => DecodedOp::Ret { link },
+        }
+    }
+
+    /// `true` for register-only value ops that may lead a fused
+    /// `op→branch` superinstruction: non-control, non-memory, single
+    /// integer write. This is exactly the shape of counted-loop
+    /// back-edge producers (`addi`) and compare-and-branch feeders
+    /// (`fcmp`, `slt`-style ALU compares).
+    fn fusable_value_op(&self) -> bool {
+        matches!(
+            self,
+            DecodedOp::Alu { .. }
+                | DecodedOp::AluImm { .. }
+                | DecodedOp::LoadImm { .. }
+                | DecodedOp::FCmp { .. }
+        )
+    }
+}
+
+/// Flat execution opcode: one discriminant per *executable operation*,
+/// with the ALU sub-operation and FP-compare condition folded in.
+///
+/// [`DecodedOp`] mirrors the architectural [`Instruction`] shape, which
+/// leaves the executor with two dependent dispatches per value op: the
+/// variant match, then the nested `AluOp`/`Cond` match inside the arm.
+/// The flat form collapses both into a single jump table with small,
+/// self-contained arms — the classic threaded-code opcode layout. Only
+/// non-control ops get real flat codes; control transfers lower to
+/// [`FlatCode::Ctl`], which straight-line runs never reach (their
+/// run-length is 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FlatCode {
+    /// `a <- b + c` (wrapping).
+    AddRR,
+    /// `a <- b - c` (wrapping).
+    SubRR,
+    /// `a <- b * c` (wrapping).
+    MulRR,
+    /// `a <- b / c` signed (0 on divide-by-zero).
+    DivRR,
+    /// `a <- b % c` signed (0 on divide-by-zero).
+    RemRR,
+    /// `a <- b & c`.
+    AndRR,
+    /// `a <- b | c`.
+    OrRR,
+    /// `a <- b ^ c`.
+    XorRR,
+    /// `a <- b << c` (shift amount mod 64).
+    ShlRR,
+    /// `a <- b >> c` logical (shift amount mod 64).
+    ShrRR,
+    /// `a <- b >> c` arithmetic (shift amount mod 64).
+    SarRR,
+    /// `a <- (b < c) ? 1 : 0` signed.
+    SltSRR,
+    /// `a <- (b < c) ? 1 : 0` unsigned.
+    SltURR,
+    /// `a <- b + imm` (wrapping).
+    AddRI,
+    /// `a <- b - imm` (wrapping).
+    SubRI,
+    /// `a <- b * imm` (wrapping).
+    MulRI,
+    /// `a <- b / imm` signed (0 on divide-by-zero).
+    DivRI,
+    /// `a <- b % imm` signed (0 on divide-by-zero).
+    RemRI,
+    /// `a <- b & imm`.
+    AndRI,
+    /// `a <- b | imm`.
+    OrRI,
+    /// `a <- b ^ imm`.
+    XorRI,
+    /// `a <- b << imm` (shift amount mod 64).
+    ShlRI,
+    /// `a <- b >> imm` logical (shift amount mod 64).
+    ShrRI,
+    /// `a <- b >> imm` arithmetic (shift amount mod 64).
+    SarRI,
+    /// `a <- (b < imm) ? 1 : 0` signed.
+    SltSRI,
+    /// `a <- (b < imm) ? 1 : 0` unsigned.
+    SltURI,
+    /// `a <- imm`.
+    Li,
+    /// `a <- mem[b + imm]`.
+    Ld,
+    /// `mem[b + imm] <- a`.
+    St,
+    /// `fa <- fb + fc`.
+    FAdd,
+    /// `fa <- fb - fc`.
+    FSub,
+    /// `fa <- fb * fc`.
+    FMul,
+    /// `fa <- fb / fc`.
+    FDiv,
+    /// `fa <- min(fb, fc)` (`fb` if either is NaN).
+    FMin,
+    /// `fa <- max(fb, fc)` (`fb` if either is NaN).
+    FMax,
+    /// `fa <- -fb`.
+    FNeg,
+    /// `fa <- |fb|`.
+    FAbs,
+    /// `fa <- sqrt(fb)`.
+    FSqrt,
+    /// `fa <- f64::from_bits(imm)` (pre-widened constant).
+    FLi,
+    /// `fa <- mem[b + imm]` (bit pattern).
+    FLd,
+    /// `mem[b + imm] <- fa` (bit pattern).
+    FSt,
+    /// `a <- (fb == fc) ? 1 : 0`.
+    FcEq,
+    /// `a <- (fb != fc) ? 1 : 0`.
+    FcNe,
+    /// `a <- (fb < fc) ? 1 : 0`.
+    FcLt,
+    /// `a <- (fb <= fc) ? 1 : 0`.
+    FcLe,
+    /// `a <- (fb > fc) ? 1 : 0`.
+    FcGt,
+    /// `a <- (fb >= fc) ? 1 : 0`.
+    FcGe,
+    /// `fa <- (f64) b` (signed int to FP).
+    ItoF,
+    /// `a <- (i64) fb` (FP to signed int, truncating).
+    FtoI,
+    /// No operation.
+    Nop,
+    /// Control transfer or halt: never executed as straight-line code
+    /// (its run length is 0); the dispatcher handles it structurally.
+    Ctl,
+    // ------------------------------------------------------------------
+    // Two-op superinstructions: the straight-line fusion pass packs the
+    // hottest adjacent op pairs into one dispatch (two retirements,
+    // two events, one jump-table hop). They appear only in the
+    // [`DecodedImage::flat2`] stream — the per-pc [`flat`] stream keeps
+    // the unfused ops so a fuel cut can resume between the halves.
+    // Their discriminants sit at the end of the enum on purpose:
+    // `code >= LiAdd` is the executor's one-compare pair test (see
+    // [`FlatCode::fuses_two`]).
+    //
+    // Unless noted, `a`/`b` carry the first op's registers, `c`/`d`
+    // the second's, and `imm` packs both immediates as sign-extended
+    // `i32` halves (low = first).
+    // ------------------------------------------------------------------
+    /// `a <- imm` then `b <- c + d`. Exception to the packing rule:
+    /// `imm` is the full-width load constant (the add has none).
+    LiAdd,
+    /// `a <- b * imm.lo` then `c <- d & imm.hi`.
+    MulAnd,
+    /// `a <- mem[b + imm.lo]` then `c <- d + imm.hi`.
+    LdAdd,
+    /// `a <- mem[b + imm.lo]` then `c <- mem[d + imm.hi]`.
+    LdLd,
+    /// `a <- b << imm.lo` then `c <- d >> imm.hi` (logical).
+    ShlShr,
+    /// `a <- b + imm.lo` then `c <- d ^ imm.hi`.
+    AddXor,
+    /// `mem[b + imm.lo] <- a` then `mem[d + imm.hi] <- c`.
+    StSt,
+    /// `mem[b + imm.lo] <- a` then `c <- imm.hi`.
+    StLi,
+    /// `a <- b + imm.lo` then `c <- imm.hi`.
+    AddLi,
+    /// `a <- imm.lo` then `c <- mem[d + imm.hi]`.
+    LiLd,
+    /// `a <- b + imm.lo` then `mem[d + imm.hi] <- c`.
+    AddSt,
+    // Generic shapes for the long tail the specific patterns miss:
+    // the ALU sub-op(s) ride in the `sub` byte (low nibble = first
+    // half, high nibble = second), indexed in [`AluOp`] order.
+    /// `a <- b <op1> imm.lo` then `c <- d <op2> imm.hi`.
+    AluAlu,
+    /// `a <- b <op1> imm.lo` then `c <- imm.hi`.
+    AluLi,
+    /// `a <- imm.lo` then `c <- d <op2> imm.hi`.
+    LiAlu,
+    /// `a <- b <op1> imm.lo` then `c <- mem[d + imm.hi]`.
+    AluLd,
+    /// `a <- mem[b + imm.lo]` then `c <- imm.hi`.
+    LdLi,
+    // Same-code repeat superinstructions, for the block moves the pair
+    // shapes only halve: register save/restore frames, memcpy-style
+    // loops. `sub` holds the element count (3..=255); the elements'
+    // registers and immediates are re-read from the unfused [`flat`]
+    // stream at runtime, so the single operand word only carries the
+    // count. They sit after the pair codes so `is_rep` is one compare.
+    /// `sub` consecutive `St` ops in one dispatch.
+    StRep,
+    /// `sub` consecutive `Ld` ops in one dispatch.
+    LdRep,
+}
+
+impl FlatCode {
+    /// `true` for superinstructions — flat codes that retire *two or
+    /// more* architectural instructions per dispatch. Their
+    /// discriminants form the tail of the enum, so this is a single
+    /// compare on the dispatch path.
+    #[inline(always)]
+    pub fn fuses_two(self) -> bool {
+        self as u8 >= FlatCode::LiAdd as u8
+    }
+
+    /// `true` for same-code repeat superinstructions ([`FlatCode::StRep`],
+    /// [`FlatCode::LdRep`]), whose element count rides in `sub`.
+    #[inline(always)]
+    pub fn is_rep(self) -> bool {
+        self as u8 >= FlatCode::StRep as u8
+    }
+}
+
+/// The flat threaded-code form of one op: a [`FlatCode`] plus packed
+/// byte operands and one pre-extended immediate.
+///
+/// Operand convention (see each [`FlatCode`] doc): `a` is the
+/// destination (source for stores), `b` and `c` are sources; register
+/// fields index `regs`/`fregs` and are always `< 32`, so executors may
+/// mask with `& 31` to elide bounds checks. Two-op superinstructions
+/// (see [`FlatCode::fuses_two`]) use all four register bytes and pack
+/// two `i32` immediates into `imm`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatOp {
+    /// Operation selector (single-level dispatch).
+    pub code: FlatCode,
+    /// Destination register index (source for `St`/`FSt`).
+    pub a: u8,
+    /// First source register index.
+    pub b: u8,
+    /// Second source register index.
+    pub c: u8,
+    /// Fourth register index, used only by two-op superinstructions.
+    pub d: u8,
+    /// Packed ALU sub-ops for the generic superinstruction shapes
+    /// (low nibble = first half, high nibble = second, in [`AluOp`]
+    /// order); `0` everywhere else.
+    pub sub: u8,
+    /// Pre-extended immediate: ALU operand, memory offset, constant
+    /// bits, or two packed `i32` halves in a superinstruction.
+    pub imm: u64,
+}
+
+impl FlatOp {
+    /// Lowers a decoded op to its flat execution form.
+    fn lower(op: DecodedOp) -> FlatOp {
+        fn flat(code: FlatCode, a: usize, b: usize, c: usize, imm: u64) -> FlatOp {
+            FlatOp {
+                code,
+                a: a as u8,
+                b: b as u8,
+                c: c as u8,
+                d: 0,
+                sub: 0,
+                imm,
+            }
+        }
+        let alu_rr = |op: AluOp| {
+            use FlatCode::*;
+            match op {
+                AluOp::Add => AddRR,
+                AluOp::Sub => SubRR,
+                AluOp::Mul => MulRR,
+                AluOp::Div => DivRR,
+                AluOp::Rem => RemRR,
+                AluOp::And => AndRR,
+                AluOp::Or => OrRR,
+                AluOp::Xor => XorRR,
+                AluOp::Shl => ShlRR,
+                AluOp::Shr => ShrRR,
+                AluOp::Sar => SarRR,
+                AluOp::SltS => SltSRR,
+                AluOp::SltU => SltURR,
+            }
+        };
+        let alu_ri = |op: AluOp| {
+            use FlatCode::*;
+            match op {
+                AluOp::Add => AddRI,
+                AluOp::Sub => SubRI,
+                AluOp::Mul => MulRI,
+                AluOp::Div => DivRI,
+                AluOp::Rem => RemRI,
+                AluOp::And => AndRI,
+                AluOp::Or => OrRI,
+                AluOp::Xor => XorRI,
+                AluOp::Shl => ShlRI,
+                AluOp::Shr => ShrRI,
+                AluOp::Sar => SarRI,
+                AluOp::SltS => SltSRI,
+                AluOp::SltU => SltURI,
+            }
+        };
+        match op {
+            DecodedOp::Nop => flat(FlatCode::Nop, 0, 0, 0, 0),
+            DecodedOp::Alu { op, rd, ra, rb } => {
+                flat(alu_rr(op), rd.index(), ra.index(), rb.index(), 0)
+            }
+            DecodedOp::AluImm { op, rd, ra, imm } => {
+                flat(alu_ri(op), rd.index(), ra.index(), 0, imm)
+            }
+            DecodedOp::LoadImm { rd, imm } => flat(FlatCode::Li, rd.index(), 0, 0, imm),
+            DecodedOp::Load { rd, base, offset } => {
+                flat(FlatCode::Ld, rd.index(), base.index(), 0, offset)
+            }
+            DecodedOp::Store { src, base, offset } => {
+                flat(FlatCode::St, src.index(), base.index(), 0, offset)
+            }
+            DecodedOp::FAlu { op, fd, fa, fb } => {
+                let code = match op {
+                    FAluOp::Add => FlatCode::FAdd,
+                    FAluOp::Sub => FlatCode::FSub,
+                    FAluOp::Mul => FlatCode::FMul,
+                    FAluOp::Div => FlatCode::FDiv,
+                    FAluOp::Min => FlatCode::FMin,
+                    FAluOp::Max => FlatCode::FMax,
+                };
+                flat(code, fd.index(), fa.index(), fb.index(), 0)
+            }
+            DecodedOp::FUn { op, fd, fa } => {
+                let code = match op {
+                    FUnOp::Neg => FlatCode::FNeg,
+                    FUnOp::Abs => FlatCode::FAbs,
+                    FUnOp::Sqrt => FlatCode::FSqrt,
+                };
+                flat(code, fd.index(), fa.index(), 0, 0)
+            }
+            DecodedOp::FLoadImm { fd, value } => {
+                flat(FlatCode::FLi, fd.index(), 0, 0, value.to_bits())
+            }
+            DecodedOp::FLoad { fd, base, offset } => {
+                flat(FlatCode::FLd, fd.index(), base.index(), 0, offset)
+            }
+            DecodedOp::FStore { fsrc, base, offset } => {
+                flat(FlatCode::FSt, fsrc.index(), base.index(), 0, offset)
+            }
+            DecodedOp::FCmp { cond, rd, fa, fb } => {
+                // Numeric FP comparison: signed/unsigned integer
+                // condition pairs collapse (there is one FP ordering),
+                // NaN semantics follow IEEE-754 operator results.
+                let code = match cond {
+                    Cond::Eq => FlatCode::FcEq,
+                    Cond::Ne => FlatCode::FcNe,
+                    Cond::LtS | Cond::LtU => FlatCode::FcLt,
+                    Cond::LeS => FlatCode::FcLe,
+                    Cond::GtS => FlatCode::FcGt,
+                    Cond::GeS | Cond::GeU => FlatCode::FcGe,
+                };
+                flat(code, rd.index(), fa.index(), fb.index(), 0)
+            }
+            DecodedOp::ItoF { fd, ra } => flat(FlatCode::ItoF, fd.index(), ra.index(), 0, 0),
+            DecodedOp::FtoI { rd, fa } => flat(FlatCode::FtoI, rd.index(), fa.index(), 0, 0),
+            DecodedOp::Halt
+            | DecodedOp::Branch { .. }
+            | DecodedOp::Jump { .. }
+            | DecodedOp::JumpInd { .. }
+            | DecodedOp::Call { .. }
+            | DecodedOp::CallInd { .. }
+            | DecodedOp::Ret { .. } => flat(FlatCode::Ctl, 0, 0, 0, 0),
+        }
+    }
+
+    /// Fuses two adjacent straight-line ops into one two-op
+    /// superinstruction, when the pair matches one of the profiled-hot
+    /// patterns and both immediates fit the packed encoding. The
+    /// executor decomposes the result back into exactly `first` then
+    /// `second`, so fusion is invisible to tracers.
+    fn fuse2(first: FlatOp, second: FlatOp) -> Option<FlatOp> {
+        use FlatCode::*;
+        // Two sign-extended i32 halves in one imm word (low = first's).
+        fn pack2(lo: u64, hi: u64) -> Option<u64> {
+            let l = i32::try_from(lo as i64).ok()? as u32;
+            let h = i32::try_from(hi as i64).ok()? as u32;
+            Some(l as u64 | (h as u64) << 32)
+        }
+        let duo = |code, a: u8, b: u8, c: u8, d: u8, sub: u8, imm| {
+            Some(FlatOp {
+                code,
+                a,
+                b,
+                c,
+                d,
+                sub,
+                imm,
+            })
+        };
+        // Register-immediate ALU codes map back to their [`AluOp`]
+        // index (the RI block is declared in `AluOp` order).
+        let ri = |code: FlatCode| {
+            let i = code as u8;
+            let base = AddRI as u8;
+            (base..base + 13).contains(&i).then(|| i - base)
+        };
+        let (f, s) = (first, second);
+        match (f.code, s.code) {
+            // The add carries no immediate, so the load constant keeps
+            // its full width and the add's three registers take b/c/d.
+            (Li, AddRR) => duo(LiAdd, f.a, s.a, s.b, s.c, 0, f.imm),
+            (MulRI, AndRI) => duo(MulAnd, f.a, f.b, s.a, s.b, 0, pack2(f.imm, s.imm)?),
+            (Ld, AddRI) => duo(LdAdd, f.a, f.b, s.a, s.b, 0, pack2(f.imm, s.imm)?),
+            (Ld, Ld) => duo(LdLd, f.a, f.b, s.a, s.b, 0, pack2(f.imm, s.imm)?),
+            (ShlRI, ShrRI) => duo(ShlShr, f.a, f.b, s.a, s.b, 0, pack2(f.imm, s.imm)?),
+            (AddRI, XorRI) => duo(AddXor, f.a, f.b, s.a, s.b, 0, pack2(f.imm, s.imm)?),
+            (St, St) => duo(StSt, f.a, f.b, s.a, s.b, 0, pack2(f.imm, s.imm)?),
+            (St, Li) => duo(StLi, f.a, f.b, s.a, 0, 0, pack2(f.imm, s.imm)?),
+            (AddRI, Li) => duo(AddLi, f.a, f.b, s.a, 0, 0, pack2(f.imm, s.imm)?),
+            (Li, Ld) => duo(LiLd, f.a, 0, s.a, s.b, 0, pack2(f.imm, s.imm)?),
+            (AddRI, St) => duo(AddSt, f.a, f.b, s.a, s.b, 0, pack2(f.imm, s.imm)?),
+            (Ld, Li) => duo(LdLi, f.a, f.b, s.a, 0, 0, pack2(f.imm, s.imm)?),
+            // Generic tails: any remaining RI×RI / RI×Li / Li×RI /
+            // RI×Ld pair, sub-ops packed by nibble.
+            (x, y) => match (ri(x), ri(y)) {
+                (Some(i), Some(j)) => {
+                    duo(AluAlu, f.a, f.b, s.a, s.b, i | j << 4, pack2(f.imm, s.imm)?)
+                }
+                (Some(i), None) if y == Li => duo(AluLi, f.a, f.b, s.a, 0, i, pack2(f.imm, s.imm)?),
+                (Some(i), None) if y == Ld => {
+                    duo(AluLd, f.a, f.b, s.a, s.b, i, pack2(f.imm, s.imm)?)
+                }
+                (None, Some(j)) if x == Li => {
+                    duo(LiAlu, f.a, 0, s.a, s.b, j << 4, pack2(f.imm, s.imm)?)
+                }
+                _ => None,
+            },
+        }
+    }
+}
+
+/// The pre-decoded, fusion-annotated form of a program's code: one
+/// [`DecodedOp`] per code word plus the static per-pc metadata the
+/// dispatch loop and the tracer path consume.
+///
+/// Built once per program with [`DecodedImage::build`]; executed by
+/// `loopspec_cpu::Cpu::run_decoded`. The image holds a copy of the
+/// original instructions, so callers can verify it still matches a
+/// given program (and trace events can report the architectural
+/// [`Instruction`], not the lowered op).
+#[derive(Debug, Clone)]
+pub struct DecodedImage {
+    ops: Vec<DecodedOp>,
+    instrs: Vec<Instruction>,
+    kinds: Vec<ControlKind>,
+    uses: Vec<RegUse>,
+    run_len: Vec<u32>,
+    pair: Vec<bool>,
+    meta: Vec<u32>,
+    flat: Vec<FlatOp>,
+    flat2: Vec<FlatOp>,
+}
+
+impl DecodedImage {
+    /// Decodes a code slice and runs the fusion peephole pass.
+    pub fn build(code: &[Instruction]) -> DecodedImage {
+        let n = code.len();
+        let ops: Vec<DecodedOp> = code.iter().map(|&i| DecodedOp::lower(i)).collect();
+        let kinds: Vec<ControlKind> = code.iter().map(|i| i.control_kind()).collect();
+        let uses: Vec<RegUse> = code.iter().map(|i| i.reg_use()).collect();
+
+        // Peephole: a fusable value op immediately feeding a
+        // conditional branch dispatches as one superinstruction.
+        let mut pair = vec![false; n];
+        for pc in 0..n.saturating_sub(1) {
+            pair[pc] =
+                ops[pc].fusable_value_op() && matches!(ops[pc + 1], DecodedOp::Branch { .. });
+        }
+
+        // Suffix straight-line run lengths: run_len[pc] counts the
+        // control-free ops from pc up to (not including) the block
+        // terminator. Control transfers and fused-pair heads have run
+        // length 0, which also makes them terminate the run of every
+        // preceding pc.
+        let mut run_len = vec![0u32; n];
+        for pc in (0..n).rev() {
+            if kinds[pc] == ControlKind::None && !pair[pc] {
+                run_len[pc] = 1 + if pc + 1 < n { run_len[pc + 1] } else { 0 };
+            }
+        }
+
+        // Packed dispatch word: `run_len << 1 | pair`. The interpreter
+        // classifies every dispatch (long run / fused pair / single
+        // step) from this one load.
+        let meta = (0..n)
+            .map(|pc| run_len[pc] << 1 | pair[pc] as u32)
+            .collect();
+
+        let flat: Vec<FlatOp> = ops.iter().map(|&op| FlatOp::lower(op)).collect();
+
+        // Straight-line fusion: where adjacent ops of the same run
+        // match a hot pattern, flat2[pc] holds their superinstruction
+        // (elsewhere it mirrors flat[pc]). A same-code `St`/`Ld` block
+        // of three or more — a register save/restore frame, a block
+        // move — becomes a repeat op (count in `sub`, elements re-read
+        // from `flat`); otherwise two-op patterns fuse. The executor
+        // walks flat2 greedily; flat keeps the unfused ops so any pc —
+        // e.g. a fuel cut between the halves — is still a valid entry
+        // point.
+        let mut flat2 = flat.clone();
+        for pc in 0..n {
+            let within_run = run_len[pc] as usize;
+            if within_run < 2 {
+                continue;
+            }
+            let rep_code = match flat[pc].code {
+                FlatCode::St => Some(FlatCode::StRep),
+                FlatCode::Ld => Some(FlatCode::LdRep),
+                _ => None,
+            };
+            if let Some(rep) = rep_code {
+                let same = (1..within_run.min(255))
+                    .take_while(|&j| flat[pc + j].code == flat[pc].code)
+                    .count()
+                    + 1;
+                if same >= 3 {
+                    flat2[pc] = FlatOp {
+                        code: rep,
+                        a: 0,
+                        b: 0,
+                        c: 0,
+                        d: 0,
+                        sub: same as u8,
+                        imm: 0,
+                    };
+                    continue;
+                }
+            }
+            if let Some(fused) = FlatOp::fuse2(flat[pc], flat[pc + 1]) {
+                flat2[pc] = fused;
+            }
+        }
+
+        DecodedImage {
+            ops,
+            instrs: code.to_vec(),
+            kinds,
+            uses,
+            run_len,
+            pair,
+            meta,
+            flat,
+            flat2,
+        }
+    }
+
+    /// Number of code words in the image.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the image holds no code.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The decoded op at `pc` (callers guarantee `pc < len`).
+    #[inline(always)]
+    pub fn op(&self, pc: usize) -> DecodedOp {
+        self.ops[pc]
+    }
+
+    /// The original instruction at `pc`, for trace events.
+    #[inline(always)]
+    pub fn instr(&self, pc: usize) -> Instruction {
+        self.instrs[pc]
+    }
+
+    /// The pre-computed control classification at `pc`.
+    #[inline(always)]
+    pub fn kind(&self, pc: usize) -> ControlKind {
+        self.kinds[pc]
+    }
+
+    /// The pre-computed register-use summary at `pc`.
+    #[inline(always)]
+    pub fn reg_use(&self, pc: usize) -> &RegUse {
+        &self.uses[pc]
+    }
+
+    /// Length of the straight-line (control-free, fusion-free) run
+    /// starting at `pc`; `0` at control transfers and fused-pair
+    /// heads.
+    #[inline(always)]
+    pub fn run_len(&self, pc: usize) -> u32 {
+        self.run_len[pc]
+    }
+
+    /// `true` when `pc` heads a fused `op→branch` superinstruction.
+    #[inline(always)]
+    pub fn is_pair(&self, pc: usize) -> bool {
+        self.pair[pc]
+    }
+
+    /// Packed dispatch word at `pc`: `run_len << 1 | fused_pair`. Zero
+    /// means "single-step this op" (control transfers, halt); the
+    /// interpreter's dispatcher classifies each pc from this one load
+    /// instead of touching the `run_len` and `pair` tables separately.
+    #[inline(always)]
+    pub fn meta(&self, pc: usize) -> u32 {
+        self.meta[pc]
+    }
+
+    /// All decoded ops, indexed by pc. The executor slices this once
+    /// per straight-line run so the per-op loop compiles to a pointer
+    /// walk with a single up-front bounds check.
+    #[inline(always)]
+    pub fn ops(&self) -> &[DecodedOp] {
+        &self.ops
+    }
+
+    /// All per-pc register-use summaries, indexed by pc (slice
+    /// counterpart of [`DecodedImage::reg_use`]).
+    #[inline(always)]
+    pub fn uses(&self) -> &[RegUse] {
+        &self.uses
+    }
+
+    /// All flat execution ops, indexed by pc — the single-dispatch form
+    /// the straight-line executor walks (control pcs hold
+    /// [`FlatCode::Ctl`] fillers and are never executed from here).
+    #[inline(always)]
+    pub fn flat(&self) -> &[FlatOp] {
+        &self.flat
+    }
+
+    /// The fusion-annotated flat stream, indexed by pc: at pcs heading
+    /// a fused straight-line pair this holds the two-op
+    /// superinstruction, elsewhere it mirrors [`DecodedImage::flat`].
+    /// Executors walk this stream greedily inside runs and fall back
+    /// to `flat` when the fuel window cuts a pair in half.
+    #[inline(always)]
+    pub fn flat2(&self) -> &[FlatOp] {
+        &self.flat2
+    }
+
+    /// The instruction copy the image was built from, for verifying an
+    /// image still matches a program.
+    pub fn instrs(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Number of fused `op→branch` superinstructions found by the
+    /// peephole pass (a decode-quality statistic).
+    pub fn fused_pairs(&self) -> usize {
+        self.pair.iter().filter(|&&p| p).count()
+    }
+
+    /// Number of two-op straight-line superinstructions in the
+    /// [`flat2`](DecodedImage::flat2) stream (a decode-quality
+    /// statistic; each replaces two dispatches with one when executed
+    /// from its head).
+    pub fn fused_straight(&self) -> usize {
+        self.flat2.iter().filter(|f| f.code.fuses_two()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addi(rd: Reg, ra: Reg, imm: i32) -> Instruction {
+        Instruction::AluImm {
+            op: AluOp::Add,
+            rd,
+            ra,
+            imm,
+        }
+    }
+
+    /// A canonical counted loop:
+    /// ```text
+    /// 0: li   r1, 0
+    /// 1: addi r2, r2, 7    <- loop body (run of 2)
+    /// 2: addi r2, r2, 9
+    /// 3: addi r1, r1, 1    <- fused pair head
+    /// 4: b.lt r1, r3, @1
+    /// 5: halt
+    /// ```
+    fn counted_loop() -> Vec<Instruction> {
+        vec![
+            Instruction::LoadImm {
+                rd: Reg::R1,
+                imm: 0,
+            },
+            addi(Reg::R2, Reg::R2, 7),
+            addi(Reg::R2, Reg::R2, 9),
+            addi(Reg::R1, Reg::R1, 1),
+            Instruction::Branch {
+                cond: Cond::LtS,
+                ra: Reg::R1,
+                rb: Reg::R3,
+                target: Addr::new(1),
+            },
+            Instruction::Halt,
+        ]
+    }
+
+    #[test]
+    fn immediates_are_pre_extended() {
+        let img = DecodedImage::build(&[
+            addi(Reg::R1, Reg::R1, -1),
+            Instruction::Load {
+                rd: Reg::R1,
+                base: Reg::R2,
+                offset: -4,
+            },
+        ]);
+        assert_eq!(
+            img.op(0),
+            DecodedOp::AluImm {
+                op: AluOp::Add,
+                rd: Reg::R1,
+                ra: Reg::R1,
+                imm: u64::MAX,
+            }
+        );
+        assert_eq!(
+            img.op(1),
+            DecodedOp::Load {
+                rd: Reg::R1,
+                base: Reg::R2,
+                offset: (-4i64) as u64,
+            }
+        );
+    }
+
+    #[test]
+    fn back_edge_pair_is_fused_and_runs_stop_before_it() {
+        let img = DecodedImage::build(&counted_loop());
+        assert!(img.is_pair(3), "addi feeding a branch fuses");
+        assert!(!img.is_pair(4));
+        assert_eq!(img.fused_pairs(), 1);
+        // The body run from the branch target covers pcs 1..=2 and
+        // stops at the fused pair.
+        assert_eq!(img.run_len(1), 2);
+        assert_eq!(img.run_len(2), 1);
+        assert_eq!(img.run_len(3), 0, "pair head is not part of a run");
+        assert_eq!(img.run_len(4), 0, "control op");
+        assert_eq!(img.run_len(5), 0, "halt");
+    }
+
+    #[test]
+    fn suffix_run_lengths_cover_every_entry_point() {
+        let code = vec![
+            addi(Reg::R1, Reg::R1, 1),
+            addi(Reg::R2, Reg::R2, 1),
+            addi(Reg::R3, Reg::R3, 1),
+            Instruction::Halt,
+        ];
+        let img = DecodedImage::build(&code);
+        // No branch follows, so nothing fuses; each pc sees the
+        // maximal remaining run.
+        assert_eq!(img.run_len(0), 3);
+        assert_eq!(img.run_len(1), 2);
+        assert_eq!(img.run_len(2), 1);
+        assert_eq!(img.run_len(3), 0);
+    }
+
+    #[test]
+    fn memory_ops_never_lead_a_fused_pair() {
+        let code = vec![
+            Instruction::Load {
+                rd: Reg::R1,
+                base: Reg::R2,
+                offset: 0,
+            },
+            Instruction::Branch {
+                cond: Cond::Ne,
+                ra: Reg::R1,
+                rb: Reg::R0,
+                target: Addr::new(0),
+            },
+            Instruction::Halt,
+        ];
+        let img = DecodedImage::build(&code);
+        assert!(!img.is_pair(0), "loads keep their own mem-limit check");
+        assert_eq!(img.run_len(0), 1);
+    }
+
+    #[test]
+    fn lowering_preserves_the_instruction_copy() {
+        let code = counted_loop();
+        let img = DecodedImage::build(&code);
+        assert_eq!(img.instrs(), &code[..]);
+        assert_eq!(img.len(), code.len());
+        assert!(!img.is_empty());
+        for (pc, instr) in code.iter().enumerate() {
+            assert_eq!(img.kind(pc), instr.control_kind());
+            assert_eq!(*img.reg_use(pc), instr.reg_use());
+            assert_eq!(img.instr(pc), *instr);
+        }
+    }
+}

@@ -49,6 +49,7 @@
 #![deny(missing_debug_implementations)]
 
 mod addr;
+mod decoded;
 mod encode;
 mod instr;
 mod op;
@@ -56,6 +57,7 @@ mod reg;
 pub mod snap;
 
 pub use addr::Addr;
+pub use decoded::{DecodedImage, DecodedOp, FlatCode, FlatOp};
 pub use encode::{DecodeError, LOAD_IMM_MAX, LOAD_IMM_MIN};
 pub use instr::{ControlKind, Instruction, RegUse};
 pub use op::{AluOp, Cond, FAluOp, FUnOp};

@@ -71,7 +71,7 @@ impl AluOp {
     ];
 
     /// Applies the operation to two 64-bit operands.
-    #[inline]
+    #[inline(always)]
     pub fn eval(self, a: u64, b: u64) -> u64 {
         match self {
             AluOp::Add => a.wrapping_add(b),
@@ -164,7 +164,7 @@ impl FAluOp {
     ];
 
     /// Applies the operation to two `f64` operands.
-    #[inline]
+    #[inline(always)]
     pub fn eval(self, a: f64, b: f64) -> f64 {
         match self {
             FAluOp::Add => a + b,
@@ -230,7 +230,7 @@ impl FUnOp {
     pub const ALL: [FUnOp; 3] = [FUnOp::Neg, FUnOp::Abs, FUnOp::Sqrt];
 
     /// Applies the operation to an `f64` operand.
-    #[inline]
+    #[inline(always)]
     pub fn eval(self, a: f64) -> f64 {
         match self {
             FUnOp::Neg => -a,
@@ -299,7 +299,7 @@ impl Cond {
     ];
 
     /// Evaluates the condition on two 64-bit operands.
-    #[inline]
+    #[inline(always)]
     pub fn eval(self, a: u64, b: u64) -> bool {
         match self {
             Cond::Eq => a == b,

@@ -72,6 +72,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod parallel;
 mod session;
 mod shard;
 mod sinkset;
@@ -81,7 +82,8 @@ mod snapshot;
 // through one crate.
 pub use loopspec_core::{LoopEventSink, SnapshotState};
 
-pub use session::{DualSink, Session, SessionSummary};
+pub use parallel::ParallelSinkSet;
+pub use session::{DualSink, Interp, Session, SessionSummary};
 pub use shard::{run_shard, Plan, ShardStep, ShardedOutcome, ShardedRun};
 pub use sinkset::SinkSet;
 pub use snapshot::{CheckpointSink, Snapshot, SnapshotError};
@@ -531,6 +533,70 @@ mod tests {
             .unwrap();
         assert_eq!(out.summary.instructions, 3);
         assert_eq!(out.sink.instructions(), 3);
+    }
+
+    #[test]
+    fn parallel_engine_subsets_match_one_serial_grid() {
+        let p = program(|b| {
+            b.counted_loop(35, |b, _| {
+                b.counted_loop(6, |b, _| b.work(5));
+            });
+        });
+
+        // Serial reference: one grid holding all four configurations.
+        let mut serial = EngineGrid::new();
+        serial.push_idle(4);
+        serial.push_str(4);
+        serial.push_str_nested(2, 4);
+        serial.push_str(8);
+        let mut session = Session::new();
+        session.observe_checkpointable(&mut serial);
+        session.run(&p, RunLimits::default()).unwrap();
+        let expected = serial.reports().unwrap();
+
+        // Parallel: the same four lanes as two 2-lane grid subsets, each
+        // on its own worker thread.
+        let make_pool = || -> ParallelSinkSet<EngineGrid> {
+            let mut a = EngineGrid::new();
+            a.push_idle(4);
+            a.push_str(4);
+            let mut b = EngineGrid::new();
+            b.push_str_nested(2, 4);
+            b.push_str(8);
+            ParallelSinkSet::from_vec(vec![a, b])
+        };
+        let mut pool = make_pool();
+        let mut session = Session::new();
+        session.observe_checkpointable(&mut pool);
+        session.run(&p, RunLimits::default()).unwrap();
+        let got: Vec<_> = pool
+            .with_each(|_, grid| grid.reports().unwrap().to_vec())
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(got, expected);
+
+        // And the checkpoint chain: a mid-run snapshot of the pool
+        // restores into a fresh pool and finishes identically.
+        let mut pool_a = make_pool();
+        let mut session_a = Session::new();
+        session_a.observe_checkpointable(&mut pool_a);
+        session_a.advance(&p, RunLimits::with_fuel(600)).unwrap();
+        let bytes = session_a.checkpoint().unwrap().to_bytes();
+
+        let mut pool_b = make_pool();
+        let mut session_b = Session::new();
+        session_b.observe_checkpointable(&mut pool_b);
+        session_b
+            .resume(&Snapshot::from_bytes(&bytes).unwrap())
+            .unwrap();
+        session_b.advance(&p, RunLimits::default()).unwrap();
+        let resumed: Vec<_> = pool_b
+            .with_each(|_, grid| grid.reports().unwrap().to_vec())
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(resumed, expected);
     }
 
     #[test]

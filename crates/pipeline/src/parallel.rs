@@ -1,0 +1,357 @@
+//! The multi-threaded fan-out container.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use loopspec_core::{LoopEvent, LoopEventSink, SnapshotState};
+
+/// One instruction to a worker thread. The channel is the only
+/// synchronization: commands are applied strictly in send order, so a
+/// worker's sink always reflects a chunk-boundary prefix of the stream.
+enum Cmd<S> {
+    /// Apply a shared chunk of consecutive loop events.
+    Chunk(Arc<[LoopEvent]>),
+    /// Apply a single loop event.
+    One(LoopEvent),
+    /// The stream ended after this many committed instructions.
+    End(u64),
+    /// Hand the sink to the coordinator and block until it comes back.
+    ///
+    /// The worker sends its sink through the first channel and parks on
+    /// the second. Because the command channel is FIFO, the leased sink
+    /// has absorbed every event sent before the lease — exactly the
+    /// serial [`SinkSet`](crate::SinkSet) state at that boundary. If
+    /// the return channel is dropped instead, the worker exits and
+    /// ownership stays with the coordinator (used by
+    /// [`ParallelSinkSet::into_inner`]).
+    Lease(mpsc::Sender<S>, mpsc::Receiver<S>),
+}
+
+fn worker_main<S: LoopEventSink>(mut sink: S, rx: mpsc::Receiver<Cmd<S>>) {
+    for cmd in rx {
+        match cmd {
+            Cmd::Chunk(events) => sink.on_loop_events(&events),
+            Cmd::One(ev) => sink.on_loop_event(&ev),
+            Cmd::End(instructions) => sink.on_stream_end(instructions),
+            Cmd::Lease(give, take) => {
+                if give.send(sink).is_err() {
+                    return;
+                }
+                match take.recv() {
+                    Ok(s) => sink = s,
+                    Err(_) => return,
+                }
+            }
+        }
+    }
+}
+
+/// One owned sink on one worker thread.
+struct Worker<S> {
+    tx: Option<mpsc::Sender<Cmd<S>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<S: LoopEventSink + Send + 'static> Worker<S> {
+    fn spawn(sink: S) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || worker_main(sink, rx));
+        Worker {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    fn send(&self, cmd: Cmd<S>) {
+        self.tx
+            .as_ref()
+            .expect("worker channel open")
+            .send(cmd)
+            .expect("parallel sink worker disconnected");
+    }
+
+    /// Borrows the worker's sink on the coordinator thread; the worker
+    /// blocks until the closure returns.
+    fn lease<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        let (give_tx, give_rx) = mpsc::channel();
+        let (take_tx, take_rx) = mpsc::channel();
+        self.send(Cmd::Lease(give_tx, take_rx));
+        let mut sink = give_rx.recv().expect("parallel sink worker disconnected");
+        let out = f(&mut sink);
+        take_tx
+            .send(sink)
+            .expect("parallel sink worker disconnected");
+        out
+    }
+
+    /// Takes the worker's sink for good; the worker thread exits.
+    fn take(&self) -> S {
+        let (give_tx, give_rx) = mpsc::channel();
+        let (take_tx, take_rx) = mpsc::channel();
+        self.send(Cmd::Lease(give_tx, take_rx));
+        let sink = give_rx.recv().expect("parallel sink worker disconnected");
+        drop(take_tx);
+        sink
+    }
+}
+
+impl<S> Drop for Worker<S> {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            if let Err(payload) = handle.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// A [`SinkSet`](crate::SinkSet) whose elements live on worker
+/// threads: each registered sink is owned by its own thread, and every
+/// event chunk the session fans out is broadcast (as one shared
+/// allocation) to all of them.
+///
+/// The intended elements are *engine-lane subsets* of the experiment
+/// grid — e.g. four [`loopspec_mt::EngineGrid`]s of five configurations
+/// each instead of one grid of twenty — so the per-event engine work
+/// runs on four cores while the CPU/detector pass stays on the caller's
+/// thread.
+///
+/// ## Determinism
+///
+/// Each worker consumes its command channel in FIFO order and touches
+/// only its own sink, so every sink sees the exact event sequence, in
+/// the exact chunks, that it would see inside a serial
+/// [`SinkSet`](crate::SinkSet). Reports, snapshot bytes, and
+/// [`checkpoint`](crate::Session::checkpoint)/[`resume`](crate::Session::resume)
+/// cut points are bit-identical to the serial container; only
+/// wall-clock time changes. Reads ([`with_each`](Self::with_each),
+/// [`save_state`](SnapshotState::save_state)) briefly *lease* each sink
+/// back to the coordinator thread, which doubles as the deterministic
+/// join: a lease observes the sink only after it has absorbed every
+/// chunk sent before the lease.
+///
+/// Snapshot sections are byte-compatible with `SinkSet` of the same
+/// element count, so a serial snapshot restores into a parallel set and
+/// vice versa.
+///
+/// ```
+/// use loopspec_core::CountingSink;
+/// use loopspec_pipeline::{ParallelSinkSet, Session};
+/// use loopspec_cpu::RunLimits;
+/// use loopspec_asm::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.counted_loop(10, |b, _| b.work(3));
+/// let program = b.finish()?;
+///
+/// let mut pool: ParallelSinkSet<CountingSink> =
+///     (0..4).map(|_| CountingSink::default()).collect();
+/// let mut session = Session::new();
+/// session.observe_loops(&mut pool);
+/// session.run(&program, RunLimits::default())?;
+/// for counts in pool.into_inner() {
+///     assert!(counts.events > 0);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ParallelSinkSet<S: LoopEventSink + Send + 'static> {
+    workers: Vec<Worker<S>>,
+}
+
+impl<S: LoopEventSink + Send + 'static> ParallelSinkSet<S> {
+    /// An empty set.
+    pub fn new() -> Self {
+        ParallelSinkSet {
+            workers: Vec::new(),
+        }
+    }
+
+    /// Spawns one worker per element of `sinks` (delivery order =
+    /// vector order).
+    pub fn from_vec(sinks: Vec<S>) -> Self {
+        sinks.into_iter().collect()
+    }
+
+    /// Appends a sink, spawning its worker thread.
+    pub fn push(&mut self, sink: S) {
+        self.workers.push(Worker::spawn(sink));
+    }
+
+    /// Number of sinks (= worker threads) in the set.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// `true` when the set holds no sinks.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Visits every sink in delivery order on the calling thread,
+    /// joining each worker at the current chunk boundary first. Use
+    /// this to pull reports after a run.
+    pub fn with_each<R>(&self, mut f: impl FnMut(usize, &mut S) -> R) -> Vec<R> {
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| w.lease(|sink| f(i, sink)))
+            .collect()
+    }
+
+    /// Consumes the set, returning the sinks and joining all workers.
+    pub fn into_inner(mut self) -> Vec<S> {
+        let workers = std::mem::take(&mut self.workers);
+        workers.iter().map(Worker::take).collect()
+    }
+}
+
+impl<S: LoopEventSink + Send + 'static> Default for ParallelSinkSet<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: LoopEventSink + Send + 'static> std::fmt::Debug for ParallelSinkSet<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelSinkSet")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl<S: LoopEventSink + Send + 'static> FromIterator<S> for ParallelSinkSet<S> {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        ParallelSinkSet {
+            workers: iter.into_iter().map(Worker::spawn).collect(),
+        }
+    }
+}
+
+impl<S: LoopEventSink + Send + 'static> LoopEventSink for ParallelSinkSet<S> {
+    #[inline]
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        for w in &self.workers {
+            w.send(Cmd::One(*ev));
+        }
+    }
+
+    #[inline]
+    fn on_loop_events(&mut self, events: &[LoopEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let chunk: Arc<[LoopEvent]> = events.into();
+        for w in &self.workers {
+            w.send(Cmd::Chunk(chunk.clone()));
+        }
+    }
+
+    fn on_stream_end(&mut self, instructions: u64) {
+        for w in &self.workers {
+            w.send(Cmd::End(instructions));
+        }
+    }
+}
+
+/// Byte-compatible with [`SinkSet`](crate::SinkSet): the element count
+/// followed by one section per element, in delivery order. Saving and
+/// loading lease each sink in turn, so both sides observe the
+/// deterministic chunk-boundary state.
+impl<S: LoopEventSink + SnapshotState + Send + 'static> SnapshotState for ParallelSinkSet<S> {
+    fn save_state(&self, out: &mut loopspec_core::snap::Enc) {
+        out.u64(self.workers.len() as u64);
+        for w in &self.workers {
+            w.lease(|sink| sink.save_state(out));
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        src: &mut loopspec_core::snap::Dec<'_>,
+    ) -> Result<(), loopspec_core::snap::SnapError> {
+        if src.u64()? != self.workers.len() as u64 {
+            return Err(loopspec_core::snap::SnapError::Mismatch {
+                what: "sink set size",
+            });
+        }
+        for w in &self.workers {
+            w.lease(|sink| sink.load_state(src))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SinkSet;
+    use loopspec_core::snap::Enc;
+    use loopspec_core::{CountingSink, EventCollector};
+
+    fn ev(pos: u64) -> LoopEvent {
+        LoopEvent::IterationStart {
+            loop_id: loopspec_core::LoopId(loopspec_isa::Addr::new(4)),
+            iter: 2,
+            pos,
+        }
+    }
+
+    #[test]
+    fn broadcasts_chunks_to_every_worker() {
+        let mut pool: ParallelSinkSet<CountingSink> =
+            (0..3).map(|_| CountingSink::default()).collect();
+        let events: Vec<LoopEvent> = (0..100).map(ev).collect();
+        pool.on_loop_events(&events);
+        pool.on_loop_event(&ev(100));
+        pool.on_stream_end(500);
+        for sink in pool.into_inner() {
+            assert_eq!(sink.events, 101);
+        }
+    }
+
+    #[test]
+    fn matches_serial_sink_set_bytes() {
+        let mut serial: SinkSet<EventCollector> =
+            (0..4).map(|_| EventCollector::default()).collect();
+        let mut pool: ParallelSinkSet<EventCollector> =
+            (0..4).map(|_| EventCollector::default()).collect();
+        let events: Vec<LoopEvent> = (0..256).map(ev).collect();
+        for chunk in events.chunks(37) {
+            serial.on_loop_events(chunk);
+            pool.on_loop_events(chunk);
+        }
+        let (mut a, mut b) = (Enc::new(), Enc::new());
+        serial.save_state(&mut a);
+        pool.save_state(&mut b);
+        assert_eq!(a.into_bytes(), b.into_bytes());
+    }
+
+    #[test]
+    fn lease_joins_at_the_current_boundary() {
+        let mut pool: ParallelSinkSet<CountingSink> =
+            (0..2).map(|_| CountingSink::default()).collect();
+        let events: Vec<LoopEvent> = (0..64).map(ev).collect();
+        pool.on_loop_events(&events);
+        let counts = pool.with_each(|_, sink| sink.events);
+        assert_eq!(counts, vec![64, 64]);
+        pool.on_loop_events(&events);
+        let counts = pool.with_each(|_, sink| sink.events);
+        assert_eq!(counts, vec![128, 128]);
+    }
+
+    #[test]
+    fn size_mismatch_is_rejected_on_load() {
+        let serial: SinkSet<EventCollector> = (0..3).map(|_| EventCollector::default()).collect();
+        let mut enc = Enc::new();
+        serial.save_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut pool: ParallelSinkSet<EventCollector> =
+            (0..2).map(|_| EventCollector::default()).collect();
+        let mut dec = loopspec_core::snap::Dec::new(&bytes);
+        assert!(pool.load_state(&mut dec).is_err());
+    }
+}

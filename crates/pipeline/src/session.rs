@@ -6,7 +6,9 @@ use std::fmt;
 
 use loopspec_core::snap::Enc;
 use loopspec_core::{Cls, LoopDetector, SnapshotState};
-use loopspec_cpu::{Cpu, CpuError, InstrEvent, RunLimits, RunSummary, Tracer};
+use loopspec_cpu::{
+    Cpu, CpuError, DecodedProgram, Demand, InstrEvent, RunLimits, RunSummary, Tracer,
+};
 use loopspec_isa::ControlKind;
 
 use crate::snapshot::{CheckpointSink, Snapshot, SnapshotError};
@@ -29,6 +31,46 @@ enum Slot<'a> {
     /// A loop sink whose state travels in session checkpoints. Delivery
     /// is identical to [`Slot::Loops`].
     Ckpt(&'a mut dyn CheckpointSink),
+}
+
+/// Which CPU front-end a [`Session`] drives.
+///
+/// The decoded interpreter is the default: it lowers the program to
+/// threaded code once per session (see
+/// [`DecodedProgram`]) and is observably identical to the legacy
+/// fetch-decode-execute loop — same events, same faults, same snapshot
+/// bytes. The legacy interpreter stays available as a cross-check
+/// oracle, selected per session with [`Session::set_interp`] or
+/// globally with the `LOOPSPEC_INTERP=legacy` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Interp {
+    /// Pre-decoded threaded-code dispatch with superinstruction
+    /// fusion (the default).
+    #[default]
+    Decoded,
+    /// The legacy per-instruction fetch-decode-execute loop.
+    Legacy,
+}
+
+impl Interp {
+    /// The interpreter selected by the `LOOPSPEC_INTERP` environment
+    /// variable: `legacy` picks [`Interp::Legacy`], anything else (or
+    /// unset) the default [`Interp::Decoded`].
+    pub fn from_env() -> Interp {
+        match std::env::var("LOOPSPEC_INTERP") {
+            Ok(v) if v.eq_ignore_ascii_case("legacy") => Interp::Legacy,
+            _ => Interp::Decoded,
+        }
+    }
+}
+
+impl fmt::Display for Interp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interp::Decoded => f.write_str("decoded"),
+            Interp::Legacy => f.write_str("legacy"),
+        }
+    }
 }
 
 /// Result of a [`Session::run`] or [`Session::advance`].
@@ -144,6 +186,10 @@ pub struct Session<'a> {
     slots: Vec<Slot<'a>>,
     started: bool,
     ended: bool,
+    interp: Interp,
+    /// The threaded-code lowering of the last program this session
+    /// advanced, rebuilt whenever the program changes.
+    decoded: Option<DecodedProgram>,
 }
 
 impl fmt::Debug for Session<'_> {
@@ -154,6 +200,7 @@ impl fmt::Debug for Session<'_> {
             .field("position", &self.cpu.retired())
             .field("started", &self.started)
             .field("ended", &self.ended)
+            .field("interp", &self.interp)
             .finish()
     }
 }
@@ -178,7 +225,21 @@ impl<'a> Session<'a> {
             slots: Vec::new(),
             started: false,
             ended: false,
+            interp: Interp::from_env(),
+            decoded: None,
         }
+    }
+
+    /// The CPU front-end this session drives (see [`Interp`]).
+    pub fn interp(&self) -> Interp {
+        self.interp
+    }
+
+    /// Overrides the CPU front-end for this session — e.g. pinning
+    /// [`Interp::Legacy`] to cross-check the decoded path.
+    pub fn set_interp(&mut self, interp: Interp) -> &mut Self {
+        self.interp = interp;
+        self
     }
 
     /// Registers a loop-event consumer.
@@ -285,6 +346,10 @@ impl<'a> Session<'a> {
         limits: RunLimits,
     ) -> Result<SessionSummary, CpuError> {
         assert!(!self.ended, "Session::advance after the stream ended");
+        if self.interp == Interp::Decoded && !matches!(&self.decoded, Some(d) if d.matches(program))
+        {
+            self.decoded = Some(DecodedProgram::new(program));
+        }
         let fresh = !self.started;
         self.started = true;
         let run = {
@@ -292,6 +357,8 @@ impl<'a> Session<'a> {
                 cpu,
                 detector,
                 slots,
+                interp,
+                decoded,
                 ..
             } = self;
             let instr_observers = slots
@@ -302,10 +369,21 @@ impl<'a> Session<'a> {
                 slots,
                 instr_observers,
             };
-            if fresh {
-                cpu.run(program, &mut dispatch, limits)?
-            } else {
-                cpu.resume(program, &mut dispatch, limits)?
+            match (*interp, decoded.as_ref()) {
+                (Interp::Decoded, Some(dp)) => {
+                    if fresh {
+                        cpu.run_decoded(dp, &mut dispatch, limits)?
+                    } else {
+                        cpu.resume_decoded(dp, &mut dispatch, limits)?
+                    }
+                }
+                _ => {
+                    if fresh {
+                        cpu.run(program, &mut dispatch, limits)?
+                    } else {
+                        cpu.resume(program, &mut dispatch, limits)?
+                    }
+                }
             }
         };
         if run.halted() {
@@ -471,6 +549,19 @@ struct Dispatch<'s, 'a> {
 }
 
 impl Tracer for Dispatch<'_, '_> {
+    /// The detector itself reads only always-populated event fields
+    /// (pc, seq, control outcome), so the session's demand is exactly
+    /// the union of its instruction observers' demands — an all-loop
+    /// grid session lets the interpreter skip event payload assembly
+    /// entirely.
+    fn demand(&self) -> Demand {
+        self.slots.iter().fold(Demand::NONE, |d, slot| match slot {
+            Slot::Instrs(t) => d.union(t.demand()),
+            Slot::Both(b) => d.union(b.demand()),
+            Slot::Loops(_) | Slot::Ckpt(_) => d,
+        })
+    }
+
     fn on_retire(&mut self, ev: &InstrEvent) {
         if self.instr_observers {
             for slot in self.slots.iter_mut() {

@@ -82,7 +82,7 @@ pub mod prelude {
         Cls, CountingSink, EventCollector, LoopDetector, LoopEvent, LoopEventSink, LoopId,
         LoopStats, TableHitSim, TableKind,
     };
-    pub use loopspec_cpu::{Cpu, InstrEvent, RunLimits, Tracer};
+    pub use loopspec_cpu::{Cpu, DecodedProgram, Demand, InstrEvent, RunLimits, Tracer};
     pub use loopspec_dataspec::{DataSpecProfiler, LiveInProfiler};
     pub use loopspec_dist::{
         Coordinator, DistError, DistOutcome, LaneReport, LaneSpec, SuiteSpec, WorkerLink,
@@ -95,7 +95,8 @@ pub mod prelude {
         StreamError,
     };
     pub use loopspec_pipeline::{
-        CheckpointSink, Plan, Session, SessionSummary, ShardedRun, SinkSet, Snapshot, SnapshotState,
+        CheckpointSink, Interp, ParallelSinkSet, Plan, Session, SessionSummary, ShardedRun,
+        SinkSet, Snapshot, SnapshotState,
     };
     pub use loopspec_workloads::{all as all_workloads, by_name as workload_by_name, Scale};
 }
