@@ -15,6 +15,10 @@
 //!   over Unix socket pairs (worker threads, so the gate prices the
 //!   frame protocol + snapshot chaining + scheduling, not process
 //!   spawn noise).
+//! * `svc_grid/*` — the same job submitted to a persistent
+//!   `loopspec-svc` replay service (cache disabled): the distributed
+//!   pass plus submission, admission control, and the report round
+//!   trip (gated against `streaming_grid`).
 //! * `oracle_grid/*` vs `oracle_materialized/*` — the Figure 5 oracle
 //!   study both ways: the two-phase streaming pair (count log in the
 //!   CPU pass, oracle replay over the retained events) against the
@@ -45,6 +49,56 @@ const SHARDS: usize = 4;
 /// Worker count for the `dist_grid` benchmark.
 #[cfg(unix)]
 const WORKERS: usize = 2;
+
+/// One replay-service job for `name` over the full 20-lane grid,
+/// submitted to a persistent [`loopspec_svc::Service`] running with
+/// the cache disabled — so every iteration prices the whole service
+/// path (submission, admission, scheduling over the worker pool,
+/// report handoff) and never a cache hit. Unix-only, like
+/// [`dist_grid_run`].
+#[cfg(unix)]
+fn svc_grid_run(service: &loopspec_svc::Service, name: &str, shard_fuel: u64) -> f64 {
+    use loopspec_dist::JobSpec;
+    use loopspec_pipeline::Plan;
+
+    let completion = service
+        .client()
+        .run(JobSpec::new(name).plan(Plan::sliced(shard_fuel)))
+        .expect("service job succeeds");
+    assert!(!completion.cached, "the bench service runs cache-disabled");
+    completion.report.lanes.iter().map(|l| l.tpc()).sum()
+}
+
+/// A persistent replay service over `WORKERS` protocol-speaking
+/// worker threads on Unix socket pairs, cache disabled. The joiner
+/// reaps the worker threads after the service shuts down.
+#[cfg(unix)]
+fn svc_start() -> (loopspec_svc::Service, impl FnOnce()) {
+    use loopspec_dist::{Worker, WorkerLink};
+    use loopspec_svc::{Service, SvcConfig};
+
+    let mut links = Vec::with_capacity(WORKERS);
+    let mut handles = Vec::with_capacity(WORKERS);
+    for _ in 0..WORKERS {
+        let (ours, theirs) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+        links.push(WorkerLink::from_unix(ours).expect("clone"));
+        handles.push(std::thread::spawn(move || {
+            let reader = theirs.try_clone().expect("clone");
+            let _ = Worker::new().serve(reader, theirs);
+        }));
+    }
+    let config = SvcConfig {
+        workers: WORKERS,
+        cache_capacity: 0,
+        ..SvcConfig::default()
+    };
+    let service = Service::with_links(config, links);
+    (service, move || {
+        for h in handles {
+            h.join().expect("worker thread exits");
+        }
+    })
+}
 
 /// One distributed replay of `name` over the full 20-lane grid:
 /// `WORKERS` protocol-speaking worker threads on Unix socket pairs,
@@ -83,6 +137,12 @@ fn dist_grid_run(name: &str, shard_fuel: u64) -> f64 {
 
 fn main() {
     let mut s = Suite::new("pipeline");
+
+    // One persistent service for the whole suite — that is the shape
+    // being priced: a long-lived scheduler answering many submissions,
+    // not a service spawned per job.
+    #[cfg(unix)]
+    let (service, join_workers) = svc_start();
 
     for name in ["compress", "go"] {
         let w = by_name(name).expect("workload exists");
@@ -328,7 +388,25 @@ fn main() {
                 Some(instructions),
                 || std::hint::black_box(dist_grid_run(name, shard_fuel)),
             );
+
+            // The same job again, but submitted to the persistent
+            // replay service (cache disabled): submission, admission
+            // control, scheduling, and the report round trip on top of
+            // the distributed pass. The gate tracks this against
+            // `streaming_grid` so service-path regressions fail CI.
+            s.bench(
+                "svc_grid",
+                &format!("service-{WORKERS}-workers/{name}"),
+                Some(instructions),
+                || std::hint::black_box(svc_grid_run(&service, name, shard_fuel)),
+            );
         }
+    }
+
+    #[cfg(unix)]
+    {
+        service.shutdown();
+        join_workers();
     }
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");

@@ -55,7 +55,7 @@ impl PolicyKind {
     /// [`loopspec_pipeline::Session`]. For the full experiment grid,
     /// prefer [`PolicyKind::add_to_grid`] — an [`EngineGrid`] shares
     /// the annotation bookkeeping across all configurations.
-    pub fn stream_engine(self, tus: usize) -> Box<dyn EngineSink> {
+    pub fn stream_engine(self, tus: usize) -> Box<dyn EngineSink + Send> {
         match self {
             PolicyKind::Idle => Box::new(StreamEngine::new(IdlePolicy::new(), tus)),
             PolicyKind::Str => Box::new(StreamEngine::new(StrPolicy::new(), tus)),

@@ -121,11 +121,16 @@ pub fn parse_snapshot(json: &str) -> Result<BenchSnapshot, String> {
 ///   (Figure 5: count-log forward pass + oracle replay of the retained
 ///   events) relative to the plain streaming grid pass, so regressions
 ///   in the oracle path fail CI;
+/// * `svc_grid / streaming_grid` — the replay-service overhead: the
+///   same distributed job submitted through a persistent
+///   `loopspec-svc` service with the cache disabled, so the gate
+///   prices submission, admission control, scheduling, and the report
+///   round trip on top of the worker-pool pass;
 /// * `cpu_only / cpu_only_legacy` — the pre-decoded threaded-code
 ///   front-end against the legacy fetch/decode interpreter, both into a
 ///   null sink: the decoded path must stay decisively faster (the
 ///   baseline ratio is well under 1), and losing that edge fails CI.
-pub const METRICS: [(&str, &str, &str); 5] = [
+pub const METRICS: [(&str, &str, &str); 6] = [
     (
         "streaming_grid",
         "materialized_grid",
@@ -134,6 +139,7 @@ pub const METRICS: [(&str, &str, &str); 5] = [
     ("sharded_grid", "streaming_grid", "sharded/streaming"),
     ("dist_grid", "streaming_grid", "dist/streaming"),
     ("oracle_grid", "streaming_grid", "oracle/streaming"),
+    ("svc_grid", "streaming_grid", "svc/streaming"),
     ("cpu_only", "cpu_only_legacy", "decoded/legacy"),
 ];
 

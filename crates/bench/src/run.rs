@@ -95,6 +95,20 @@ impl Default for ExecuteOptions {
     }
 }
 
+impl From<&loopspec_dist::JobSpec> for ExecuteOptions {
+    /// Derives the artifacts a [`loopspec_dist::JobSpec`] asks for. A
+    /// job's lane grid always runs (that is what the spec's fingerprint
+    /// promises), so `engine_grid` is unconditionally on; the optional
+    /// oracle and data-speculation studies map straight through.
+    fn from(spec: &loopspec_dist::JobSpec) -> Self {
+        ExecuteOptions {
+            dataspec: spec.dataspec,
+            engine_grid: true,
+            oracle: spec.oracle,
+        }
+    }
+}
+
 impl WorkloadRun {
     /// Executes `workload` at `scale` in a single streaming pass.
     /// `with_dataspec` additionally runs the live-in profiler; the full
@@ -414,6 +428,19 @@ mod tests {
     fn off_grid_report_panics() {
         let run = WorkloadRun::execute(by_name("compress").unwrap(), Scale::Test, false);
         let _ = run.report(PolicyKind::Str, 3);
+    }
+
+    #[test]
+    fn job_spec_maps_to_execute_options() {
+        let spec = loopspec_dist::JobSpec::new("compress")
+            .oracle(true)
+            .dataspec(true);
+        let opts = ExecuteOptions::from(&spec);
+        assert!(opts.dataspec && opts.engine_grid && opts.oracle);
+
+        let lean = loopspec_dist::JobSpec::new("compress");
+        let opts = ExecuteOptions::from(&lean);
+        assert!(!opts.dataspec && opts.engine_grid && !opts.oracle);
     }
 
     #[test]

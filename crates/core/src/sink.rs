@@ -107,6 +107,23 @@ impl<S: LoopEventSink + ?Sized> LoopEventSink for &mut S {
     }
 }
 
+impl<S: LoopEventSink + ?Sized> LoopEventSink for Box<S> {
+    #[inline]
+    fn on_loop_event(&mut self, ev: &LoopEvent) {
+        (**self).on_loop_event(ev);
+    }
+
+    #[inline]
+    fn on_loop_events(&mut self, events: &[LoopEvent]) {
+        (**self).on_loop_events(events);
+    }
+
+    #[inline]
+    fn on_stream_end(&mut self, instructions: u64) {
+        (**self).on_stream_end(instructions);
+    }
+}
+
 /// Fans the stream out to every element of a tuple, in field order.
 /// One macro generates arities 2 through 8 — wide enough for the
 /// experiment grid without nesting pairs.

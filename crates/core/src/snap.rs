@@ -24,8 +24,8 @@
 //!   root enforce this end to end.
 
 pub use loopspec_isa::snap::{
-    fnv1a, fnv1a_update, frame, Dec, Enc, FrameBuf, SnapError, FNV1A_INIT, FRAME_HEADER,
-    FRAME_TRAILER,
+    fnv1a, fnv1a_update, frame, seal, unseal, Dec, Enc, FrameBuf, SnapError, FNV1A_INIT,
+    FRAME_HEADER, FRAME_TRAILER,
 };
 
 use crate::{LoopEvent, LoopId};
@@ -49,6 +49,16 @@ pub trait SnapshotState {
     /// taken from a differently configured object. State is unspecified
     /// (but memory-safe) after an error.
     fn load_state(&mut self, src: &mut Dec<'_>) -> Result<(), SnapError>;
+}
+
+impl<S: SnapshotState + ?Sized> SnapshotState for Box<S> {
+    fn save_state(&self, out: &mut Enc) {
+        (**self).save_state(out);
+    }
+
+    fn load_state(&mut self, src: &mut Dec<'_>) -> Result<(), SnapError> {
+        (**self).load_state(src)
+    }
 }
 
 const EV_EXEC_START: u8 = 0;

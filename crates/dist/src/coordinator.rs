@@ -55,8 +55,8 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::io::{self, Read, Write};
-use std::process::{Child, Command, Stdio};
+use std::io;
+use std::process::Command;
 use std::sync::mpsc;
 
 use loopspec_core::snap::Enc;
@@ -65,9 +65,10 @@ use loopspec_cpu::RunLimits;
 use loopspec_pipeline::{Plan, Session};
 use loopspec_workloads::Scale;
 
-use crate::wire::{
-    write_frame, Frame, FrameReader, Job, LaneReport, LaneSpec, WireError, PROTOCOL,
-};
+use crate::pool::{PoolEvent, RespawnFn, WorkerPool};
+use crate::wire::{Frame, Job, LaneReport, LaneSpec, WireError, PROTOCOL};
+
+pub use crate::pool::WorkerLink;
 
 /// Why a distributed run failed.
 #[derive(Debug)]
@@ -140,133 +141,6 @@ impl std::error::Error for DistError {}
 impl From<io::Error> for DistError {
     fn from(e: io::Error) -> Self {
         DistError::Io(e)
-    }
-}
-
-/// One connected worker: a writable half the scheduler sends jobs on,
-/// a readable half a reader thread drains, and — for spawned workers —
-/// the child process handle.
-#[derive(Debug)]
-pub struct WorkerLink {
-    writer: LinkWriter,
-    reader: Option<LinkReader>,
-    child: Option<Child>,
-}
-
-#[derive(Debug)]
-enum LinkWriter {
-    Pipe(Option<std::process::ChildStdin>),
-    #[cfg(unix)]
-    Unix(std::os::unix::net::UnixStream),
-}
-
-#[derive(Debug)]
-enum LinkReader {
-    Pipe(std::process::ChildStdout),
-    #[cfg(unix)]
-    Unix(std::os::unix::net::UnixStream),
-}
-
-impl Write for LinkWriter {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            LinkWriter::Pipe(Some(w)) => w.write(buf),
-            LinkWriter::Pipe(None) => Err(io::Error::new(
-                io::ErrorKind::BrokenPipe,
-                "worker stdin already closed",
-            )),
-            #[cfg(unix)]
-            LinkWriter::Unix(s) => s.write(buf),
-        }
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        match self {
-            LinkWriter::Pipe(Some(w)) => w.flush(),
-            LinkWriter::Pipe(None) => Ok(()),
-            #[cfg(unix)]
-            LinkWriter::Unix(s) => s.flush(),
-        }
-    }
-}
-
-impl Read for LinkReader {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            LinkReader::Pipe(r) => r.read(buf),
-            #[cfg(unix)]
-            LinkReader::Unix(s) => s.read(buf),
-        }
-    }
-}
-
-impl LinkWriter {
-    /// Signals end-of-jobs to the worker (EOF on its reading side).
-    fn close(&mut self) {
-        match self {
-            LinkWriter::Pipe(w) => drop(w.take()),
-            #[cfg(unix)]
-            LinkWriter::Unix(s) => {
-                let _ = s.shutdown(std::net::Shutdown::Write);
-            }
-        }
-    }
-}
-
-impl WorkerLink {
-    /// Spawns `cmd` as a worker process talking frames on its
-    /// stdin/stdout (stderr is inherited, so worker diagnostics land in
-    /// the coordinator's stderr).
-    ///
-    /// # Errors
-    ///
-    /// [`DistError::Spawn`] when the process cannot be started or its
-    /// stdio pipes cannot be wired up (a misconfigured binary path
-    /// fails the suite cleanly instead of panicking).
-    pub fn spawn(cmd: &mut Command) -> Result<Self, DistError> {
-        let program = format!("{:?}", cmd.get_program());
-        let spawn_err = |what: &str| DistError::Spawn {
-            message: format!("{what} for worker command {program}"),
-        };
-        let mut child = cmd
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()
-            .map_err(|e| spawn_err(&e.to_string()))?;
-        let Some(stdin) = child.stdin.take() else {
-            let _ = child.kill();
-            let _ = child.wait();
-            return Err(spawn_err("no piped stdin"));
-        };
-        let Some(stdout) = child.stdout.take() else {
-            let _ = child.kill();
-            let _ = child.wait();
-            return Err(spawn_err("no piped stdout"));
-        };
-        Ok(WorkerLink {
-            writer: LinkWriter::Pipe(Some(stdin)),
-            reader: Some(LinkReader::Pipe(stdout)),
-            child: Some(child),
-        })
-    }
-
-    /// Wraps one end of a Unix socket pair whose other end a worker is
-    /// serving (e.g. a worker thread in the same process — the
-    /// transport the `dist_grid` bench uses, and the remote-host shape
-    /// a future TCP transport would generalize).
-    ///
-    /// # Errors
-    ///
-    /// Propagates `try_clone` failure.
-    #[cfg(unix)]
-    pub fn from_unix(stream: std::os::unix::net::UnixStream) -> io::Result<Self> {
-        let reader = stream.try_clone()?;
-        Ok(WorkerLink {
-            writer: LinkWriter::Unix(stream),
-            reader: Some(LinkReader::Unix(reader)),
-            child: None,
-        })
     }
 }
 
@@ -449,20 +323,6 @@ pub fn single_pass_outcome(
     })
 }
 
-/// What a reader thread reports back to the scheduler.
-enum Event {
-    Frame(usize, Frame),
-    /// The worker's stream closed or broke mid-frame (EOF, transport
-    /// error): the worker is gone and its in-flight job is retryable.
-    Closed(usize),
-    /// The worker's stream decoded to garbage (bad checksum, bad tag,
-    /// oversized length). Unlike [`Event::Closed`], this is *not*
-    /// treated as retryable worker death: a worker that deterministically
-    /// produces malformed frames would tear down every link in turn and
-    /// surface as a misleading `AllWorkersDied`.
-    Garbled(usize, WireError),
-}
-
 /// Per-worker scheduler state.
 enum WorkerState {
     /// Hello sent, echo not yet received.
@@ -494,9 +354,6 @@ struct Chain {
     /// suite fails instead.
     deaths: u32,
 }
-
-/// How replacement worker processes are spawned after a worker death.
-type RespawnFn = Box<dyn FnMut(usize) -> Command>;
 
 /// The multi-process shard scheduler. Construct with connected
 /// [`WorkerLink`]s ([`Coordinator::spawn`] for the common
@@ -587,7 +444,7 @@ impl Coordinator {
     /// Panics if `workers == 0`.
     pub fn spawn_with(
         workers: usize,
-        mut command: impl FnMut(usize) -> Command + 'static,
+        mut command: impl FnMut(usize) -> Command + Send + 'static,
     ) -> Result<Self, DistError> {
         let links = (0..workers)
             .map(|i| WorkerLink::spawn(&mut command(i)))
@@ -621,418 +478,284 @@ impl Coordinator {
     /// # Errors
     ///
     /// See [`DistError`].
-    pub fn run_suite(mut self, spec: &SuiteSpec) -> Result<DistOutcome, DistError> {
-        let (tx, rx) = mpsc::channel::<Event>();
-        let mut readers = Vec::with_capacity(self.links.len());
-        for (i, link) in self.links.iter_mut().enumerate() {
-            readers.push(Self::attach_reader(link, i, &tx));
-        }
-
-        let result = self.schedule(spec, &rx, &tx, &mut readers);
-        drop(tx);
-
-        // Shutdown: EOF the job streams, reap children, join readers.
-        for link in &mut self.links {
-            link.writer.close();
-        }
-        for link in &mut self.links {
-            if let Some(child) = &mut link.child {
-                let _ = child.kill();
-                let _ = child.wait();
-            }
-        }
-        for handle in readers {
-            let _ = handle.join();
-        }
+    pub fn run_suite(self, spec: &SuiteSpec) -> Result<DistOutcome, DistError> {
+        let (tx, rx) = mpsc::channel::<PoolEvent>();
+        let (mut pool, alive) = WorkerPool::start(self.links, self.respawn, tx);
+        let result = schedule(spec, &rx, &mut pool, &alive);
+        // Shutdown: EOF the job streams, reap children, join readers;
+        // then drain the final Closed events the reader guards sent.
+        pool.shutdown();
         while rx.try_recv().is_ok() {}
         result
     }
+}
 
-    /// Spawns the reader thread draining worker `i`'s frames into the
-    /// scheduler's event channel. The thread *always* reports the
-    /// worker as closed when it exits — a drop guard delivers the
-    /// `Closed` event even if the read loop panics, so the scheduler
-    /// (which holds a live sender and can therefore never see the
-    /// channel disconnect) cannot block forever on a silently vanished
-    /// reader. A duplicate `Closed` after a normal exit is harmless:
-    /// the scheduler ignores deaths of already-dead workers.
-    fn attach_reader(
-        link: &mut WorkerLink,
-        i: usize,
-        tx: &mpsc::Sender<Event>,
-    ) -> std::thread::JoinHandle<()> {
-        let reader = link.reader.take().expect("fresh link has a reader");
-        let tx = tx.clone();
-        std::thread::spawn(move || {
-            struct ClosedOnExit(mpsc::Sender<Event>, usize);
-            impl Drop for ClosedOnExit {
-                fn drop(&mut self) {
-                    let _ = self.0.send(Event::Closed(self.1));
-                }
-            }
-            let guard = ClosedOnExit(tx.clone(), i);
-            let mut frames = FrameReader::new(reader);
-            loop {
-                match frames.read_frame() {
-                    Ok(Some(frame)) => {
-                        if tx.send(Event::Frame(i, frame)).is_err() {
-                            break;
-                        }
-                    }
-                    Ok(None) | Err(WireError::Io(_)) => break,
-                    Err(e @ WireError::Codec(_)) => {
-                        let _ = tx.send(Event::Garbled(i, e));
-                        break;
-                    }
-                }
-            }
-            drop(guard);
+/// The scheduler loop proper (pool bring-up and shutdown handled by
+/// [`Coordinator::run_suite`]). `alive` is the per-initial-slot
+/// handshake aliveness [`WorkerPool::start`] reported.
+fn schedule(
+    spec: &SuiteSpec,
+    rx: &mpsc::Receiver<PoolEvent>,
+    pool: &mut WorkerPool<PoolEvent>,
+    alive: &[bool],
+) -> Result<DistOutcome, DistError> {
+    let mut chains: Vec<Chain> = spec
+        .workloads
+        .iter()
+        .map(|name| Chain {
+            name: name.clone(),
+            shard: 0,
+            executed: 0,
+            snapshot: None,
+            retries: 0,
+            deaths: 0,
         })
+        .collect();
+    let mut ready: VecDeque<usize> = (0..chains.len()).collect();
+    let mut outcomes: Vec<Option<WorkloadOutcome>> = chains.iter().map(|_| None).collect();
+    let mut states: Vec<WorkerState> = alive
+        .iter()
+        .map(|&ok| {
+            if ok {
+                WorkerState::Connecting
+            } else {
+                WorkerState::Dead
+            }
+        })
+        .collect();
+    let mut completed = 0usize;
+    let mut jobs_dispatched = 0u64;
+    let mut handoff_bytes = 0u64;
+    let mut next_job = 1u64;
+
+    // An initial worker that died before its handshake is a loss like
+    // any other: replace it (replacements handshake inside the pool)
+    // so a transient startup failure does not run the pool under
+    // strength.
+    for i in 0..states.len() {
+        if matches!(states[i], WorkerState::Dead) {
+            respawn_into(pool, &mut states);
+        }
     }
 
-    /// The scheduler loop proper (shutdown handled by the caller).
-    fn schedule(
-        &mut self,
-        spec: &SuiteSpec,
-        rx: &mpsc::Receiver<Event>,
-        tx: &mpsc::Sender<Event>,
-        readers: &mut Vec<std::thread::JoinHandle<()>>,
-    ) -> Result<DistOutcome, DistError> {
-        let mut chains: Vec<Chain> = spec
-            .workloads
-            .iter()
-            .map(|name| Chain {
-                name: name.clone(),
-                shard: 0,
-                executed: 0,
-                snapshot: None,
-                retries: 0,
-                deaths: 0,
-            })
-            .collect();
-        let mut ready: VecDeque<usize> = (0..chains.len()).collect();
-        let mut outcomes: Vec<Option<WorkloadOutcome>> = chains.iter().map(|_| None).collect();
-        let mut states: Vec<WorkerState> = Vec::new();
-        let mut completed = 0usize;
-        let mut workers_lost = 0u32;
-        let mut workers_respawned = 0u32;
-        // Replacement processes spawned per run are bounded: a binary
-        // that handshakes and then exits (or workers dying faster than
-        // they serve) must not respawn forever. Exhausting the budget
-        // degrades to the shrink-to-survivors behavior, so the
-        // all-workers-dead error path stays reachable.
-        let mut respawn_budget = 2 * self.links.len() as u32;
-        let mut jobs_dispatched = 0u64;
-        let mut handoff_bytes = 0u64;
-        let mut next_job = 1u64;
-
-        // Handshake: offer our protocol version to every worker.
-        let initial = self.links.len();
-        for i in 0..initial {
-            let hello = Frame::Hello {
-                protocol: PROTOCOL,
-                worker: i as u32,
+    while completed < chains.len() {
+        // Hand every ready chain head to an idle worker.
+        'dispatch: while let Some(&chain_idx) = ready.front() {
+            let Some(worker) = states.iter().position(|s| matches!(s, WorkerState::Idle)) else {
+                break 'dispatch;
             };
-            states.push(match write_frame(&mut self.links[i].writer, &hello) {
-                Ok(()) => WorkerState::Connecting,
-                Err(_) => {
-                    workers_lost += 1;
-                    WorkerState::Dead
-                }
+            ready.pop_front();
+            let chain = &mut chains[chain_idx];
+            let job_id = next_job;
+            next_job += 1;
+            // The snapshot is *moved* into the job (it is the largest
+            // object in the system — no clone on the dispatch hot
+            // path) and restored right after the write, so the chain
+            // still holds its last good snapshot if this worker is
+            // later lost mid-shard.
+            let job = Frame::Job(Job {
+                id: job_id,
+                workload: chain.name.clone(),
+                scale: spec.scale,
+                lanes: spec.lanes.clone(),
+                shard: chain.shard,
+                budget: spec.plan.budget(spec.total_fuel, chain.executed),
+                total_fuel: spec.total_fuel,
+                last: spec.plan.is_last(chain.shard as usize),
+                snapshot: chain.snapshot.take(),
             });
-        }
-        // An initial worker that died before its handshake is a loss
-        // like any other: replace it (replacements handshake inside
-        // respawn_worker) so a transient startup failure does not run
-        // the pool under strength.
-        for i in 0..initial {
-            if matches!(states[i], WorkerState::Dead) {
-                self.respawn_worker(
-                    &mut states,
-                    tx,
-                    readers,
-                    &mut respawn_budget,
-                    &mut workers_lost,
-                    &mut workers_respawned,
-                );
-            }
-        }
-
-        while completed < chains.len() {
-            // Hand every ready chain head to an idle worker.
-            'dispatch: while let Some(&chain_idx) = ready.front() {
-                let Some(worker) = states.iter().position(|s| matches!(s, WorkerState::Idle))
-                else {
-                    break 'dispatch;
-                };
-                ready.pop_front();
-                let chain = &mut chains[chain_idx];
-                let job_id = next_job;
-                next_job += 1;
-                // The snapshot is *moved* into the job (it is the
-                // largest object in the system — no clone on the
-                // dispatch hot path) and restored right after the
-                // write, so the chain still holds its last good
-                // snapshot if this worker is later lost mid-shard.
-                let job = Frame::Job(Job {
-                    id: job_id,
-                    workload: chain.name.clone(),
-                    scale: spec.scale,
-                    lanes: spec.lanes.clone(),
-                    shard: chain.shard,
-                    budget: spec.plan.budget(spec.total_fuel, chain.executed),
-                    total_fuel: spec.total_fuel,
-                    last: spec.plan.is_last(chain.shard as usize),
-                    snapshot: chain.snapshot.take(),
-                });
-                let wrote = write_frame(&mut self.links[worker].writer, &job);
-                let Frame::Job(job) = job else { unreachable!() };
-                chains[chain_idx].snapshot = job.snapshot;
-                match wrote {
-                    Ok(()) => {
-                        jobs_dispatched += 1;
-                        states[worker] = WorkerState::Busy {
-                            job: job_id,
-                            chain: chain_idx,
-                        };
-                    }
-                    Err(WireError::Codec(e)) => {
-                        // The job itself cannot be framed (e.g. its
-                        // snapshot outgrew the frame limit) — every
-                        // worker would refuse it identically, so fail
-                        // the run with the cause instead of cycling
-                        // through the pool.
-                        return Err(DistError::Failed {
-                            workload: chains[chain_idx].name.clone(),
-                            message: format!("job could not be framed: {e}"),
-                        });
-                    }
-                    Err(WireError::Io(_)) => {
-                        // The worker died between frames; its Closed
-                        // event will arrive too — requeue, retry on
-                        // another worker, and replace the lost process
-                        // so the pool keeps its strength. The job never
-                        // reached the worker, so this death does not
-                        // count against the chain.
-                        states[worker] = WorkerState::Dead;
-                        workers_lost += 1;
-                        chains[chain_idx].retries += 1;
-                        ready.push_front(chain_idx);
-                        self.respawn_worker(
-                            &mut states,
-                            tx,
-                            readers,
-                            &mut respawn_budget,
-                            &mut workers_lost,
-                            &mut workers_respawned,
-                        );
-                    }
+            let wrote = pool.send(worker, &job);
+            let Frame::Job(job) = job else { unreachable!() };
+            chains[chain_idx].snapshot = job.snapshot;
+            match wrote {
+                Ok(()) => {
+                    jobs_dispatched += 1;
+                    states[worker] = WorkerState::Busy {
+                        job: job_id,
+                        chain: chain_idx,
+                    };
+                }
+                Err(WireError::Codec(e)) => {
+                    // The job itself cannot be framed (e.g. its
+                    // snapshot outgrew the frame limit) — every worker
+                    // would refuse it identically, so fail the run
+                    // with the cause instead of cycling through the
+                    // pool.
+                    return Err(DistError::Failed {
+                        workload: chains[chain_idx].name.clone(),
+                        message: format!("job could not be framed: {e}"),
+                    });
+                }
+                Err(WireError::Io(_)) => {
+                    // The worker died between frames; its Closed event
+                    // will arrive too — requeue, retry on another
+                    // worker, and replace the lost process so the pool
+                    // keeps its strength. The job never reached the
+                    // worker, so this death does not count against the
+                    // chain.
+                    states[worker] = WorkerState::Dead;
+                    pool.note_lost();
+                    chains[chain_idx].retries += 1;
+                    ready.push_front(chain_idx);
+                    respawn_into(pool, &mut states);
                 }
             }
+        }
 
-            if states.iter().all(|s| matches!(s, WorkerState::Dead)) {
-                return Err(DistError::AllWorkersDied {
-                    completed,
-                    total: chains.len(),
-                });
-            }
-
-            let event = rx.recv().map_err(|_| DistError::AllWorkersDied {
+        if states.iter().all(|s| matches!(s, WorkerState::Dead)) {
+            return Err(DistError::AllWorkersDied {
                 completed,
                 total: chains.len(),
-            })?;
-            match event {
-                Event::Frame(w, Frame::Hello { protocol, worker })
-                    if matches!(states[w], WorkerState::Connecting) =>
-                {
-                    if protocol != PROTOCOL || worker != w as u32 {
-                        return Err(DistError::Protocol(format!(
-                            "worker {w} echoed protocol v{protocol} id {worker}, \
-                             expected v{PROTOCOL} id {w}"
-                        )));
-                    }
-                    states[w] = WorkerState::Idle;
-                }
-                Event::Frame(
-                    w,
-                    Frame::Snapshot {
-                        job,
-                        instructions,
-                        bytes,
-                    },
-                ) => {
-                    let chain_idx = self.expect_busy(&states, w, job)?;
-                    let chain = &mut chains[chain_idx];
-                    handoff_bytes += bytes.len() as u64;
-                    chain.executed = instructions;
-                    chain.shard += 1;
-                    chain.snapshot = Some(bytes);
-                    // Progress clears the poison-shard suspicion: only
-                    // deaths on the *same* shard count together.
-                    chain.deaths = 0;
-                    ready.push_back(chain_idx);
-                    states[w] = WorkerState::Idle;
-                }
-                Event::Frame(w, Frame::Report(report)) => {
-                    let chain_idx = self.expect_busy(&states, w, report.job)?;
-                    let chain = &mut chains[chain_idx];
-                    outcomes[chain_idx] = Some(WorkloadOutcome {
-                        workload: chain.name.clone(),
-                        instructions: report.instructions,
-                        shards_run: chain.shard + 1,
-                        retries: chain.retries,
-                        lanes: report.lanes,
-                        state: report.state,
-                    });
-                    completed += 1;
-                    states[w] = WorkerState::Idle;
-                }
-                Event::Frame(w, Frame::Error { message, .. }) => {
-                    let workload = match states[w] {
-                        WorkerState::Busy { chain, .. } => chains[chain].name.clone(),
-                        _ => String::new(),
-                    };
-                    return Err(DistError::Failed { workload, message });
-                }
-                Event::Frame(w, frame) => {
+            });
+        }
+
+        let event = rx.recv().map_err(|_| DistError::AllWorkersDied {
+            completed,
+            total: chains.len(),
+        })?;
+        match event {
+            PoolEvent::Frame(w, Frame::Hello { protocol, worker })
+                if matches!(states[w], WorkerState::Connecting) =>
+            {
+                if protocol != PROTOCOL || worker != w as u32 {
                     return Err(DistError::Protocol(format!(
-                        "worker {w} sent an unexpected frame: {frame:?}"
+                        "worker {w} echoed protocol v{protocol} id {worker}, \
+                         expected v{PROTOCOL} id {w}"
                     )));
                 }
-                Event::Closed(w) => {
-                    // A failed job write may already have marked the
-                    // worker Dead (and respawned a replacement); only
-                    // the first observation of a death counts.
-                    let was_alive = !matches!(states[w], WorkerState::Dead);
-                    let busy_chain = match states[w] {
-                        WorkerState::Busy { chain, .. } => Some(chain),
-                        _ => None,
-                    };
-                    if was_alive {
-                        workers_lost += 1;
-                        states[w] = WorkerState::Dead;
-                    }
-                    if let Some(chain_idx) = busy_chain {
-                        // Lost mid-shard: requeue from the last good
-                        // snapshot (still held here — work lost, state
-                        // not).
-                        let chain = &mut chains[chain_idx];
-                        chain.retries += 1;
-                        chain.deaths += 1;
-                        if chain.deaths >= 2 && self.respawn.is_some() {
-                            // The replacement died on the same shard: a
-                            // poison shard would grind through fresh
-                            // processes forever, so fail with the cause.
-                            return Err(DistError::Failed {
-                                workload: chain.name.clone(),
-                                message: format!(
-                                    "shard {} killed {} workers in a row (no \
-                                     completed shard in between): poison shard",
-                                    chain.shard, chain.deaths
-                                ),
-                            });
-                        }
-                        ready.push_front(chain_idx);
-                    }
-                    // Replace the lost process — whether it was busy,
-                    // idle, or still connecting — so the pool keeps
-                    // its strength.
-                    if was_alive {
-                        self.respawn_worker(
-                            &mut states,
-                            tx,
-                            readers,
-                            &mut respawn_budget,
-                            &mut workers_lost,
-                            &mut workers_respawned,
-                        );
-                    }
+                states[w] = WorkerState::Idle;
+            }
+            PoolEvent::Frame(
+                w,
+                Frame::Snapshot {
+                    job,
+                    instructions,
+                    bytes,
+                },
+            ) => {
+                let chain_idx = expect_busy(&states, w, job)?;
+                let chain = &mut chains[chain_idx];
+                handoff_bytes += bytes.len() as u64;
+                chain.executed = instructions;
+                chain.shard += 1;
+                chain.snapshot = Some(bytes);
+                // Progress clears the poison-shard suspicion: only
+                // deaths on the *same* shard count together.
+                chain.deaths = 0;
+                ready.push_back(chain_idx);
+                states[w] = WorkerState::Idle;
+            }
+            PoolEvent::Frame(w, Frame::Report(report)) => {
+                let chain_idx = expect_busy(&states, w, report.job)?;
+                let chain = &mut chains[chain_idx];
+                outcomes[chain_idx] = Some(WorkloadOutcome {
+                    workload: chain.name.clone(),
+                    instructions: report.instructions,
+                    shards_run: chain.shard + 1,
+                    retries: chain.retries,
+                    lanes: report.lanes,
+                    state: report.state,
+                });
+                completed += 1;
+                states[w] = WorkerState::Idle;
+            }
+            PoolEvent::Frame(w, Frame::Error { message, .. }) => {
+                let workload = match states[w] {
+                    WorkerState::Busy { chain, .. } => chains[chain].name.clone(),
+                    _ => String::new(),
+                };
+                return Err(DistError::Failed { workload, message });
+            }
+            PoolEvent::Frame(w, frame) => {
+                return Err(DistError::Protocol(format!(
+                    "worker {w} sent an unexpected frame: {frame:?}"
+                )));
+            }
+            PoolEvent::Closed(w) => {
+                // A failed job write may already have marked the
+                // worker Dead (and respawned a replacement); only the
+                // first observation of a death counts.
+                let was_alive = !matches!(states[w], WorkerState::Dead);
+                let busy_chain = match states[w] {
+                    WorkerState::Busy { chain, .. } => Some(chain),
+                    _ => None,
+                };
+                if was_alive {
+                    pool.note_lost();
+                    states[w] = WorkerState::Dead;
                 }
-                Event::Garbled(w, e) => {
-                    return Err(DistError::Protocol(format!(
-                        "worker {w} produced a malformed frame stream: {e}"
-                    )));
+                if let Some(chain_idx) = busy_chain {
+                    // Lost mid-shard: requeue from the last good
+                    // snapshot (still held here — work lost, state
+                    // not).
+                    let chain = &mut chains[chain_idx];
+                    chain.retries += 1;
+                    chain.deaths += 1;
+                    if chain.deaths >= 2 && pool.can_respawn() {
+                        // The replacement died on the same shard: a
+                        // poison shard would grind through fresh
+                        // processes forever, so fail with the cause.
+                        return Err(DistError::Failed {
+                            workload: chain.name.clone(),
+                            message: format!(
+                                "shard {} killed {} workers in a row (no \
+                                 completed shard in between): poison shard",
+                                chain.shard, chain.deaths
+                            ),
+                        });
+                    }
+                    ready.push_front(chain_idx);
+                }
+                // Replace the lost process — whether it was busy,
+                // idle, or still connecting — so the pool keeps its
+                // strength.
+                if was_alive {
+                    respawn_into(pool, &mut states);
                 }
             }
-        }
-
-        Ok(DistOutcome {
-            outcomes: outcomes
-                .into_iter()
-                .map(|o| o.expect("all chains completed"))
-                .collect(),
-            workers_lost,
-            workers_respawned,
-            jobs_dispatched,
-            handoff_bytes,
-        })
-    }
-
-    /// Spawns a replacement worker into a fresh pool slot (handshake
-    /// sent, reader attached), counting it like the initial pool did:
-    /// each spawned process bumps `workers_respawned` and consumes one
-    /// unit of `budget`, and one whose handshake write fails also
-    /// bumps `workers_lost` (same as an initial worker that dies
-    /// during the handshake) — and is itself replaced while budget
-    /// remains, so a single flaky handshake does not shrink the pool.
-    /// A coordinator that cannot respawn, a failed spawn, or an
-    /// exhausted budget leaves the pool to the survivors, preserving
-    /// the all-workers-dead error path.
-    fn respawn_worker(
-        &mut self,
-        states: &mut Vec<WorkerState>,
-        tx: &mpsc::Sender<Event>,
-        readers: &mut Vec<std::thread::JoinHandle<()>>,
-        budget: &mut u32,
-        workers_lost: &mut u32,
-        workers_respawned: &mut u32,
-    ) {
-        // `make` is moved out and restored so the loop can push onto
-        // `self.links` while holding it.
-        let Some(mut make) = self.respawn.take() else {
-            return;
-        };
-        while *budget > 0 {
-            let idx = self.links.len();
-            let Ok(mut link) = WorkerLink::spawn(&mut make(idx)) else {
-                break;
-            };
-            readers.push(Self::attach_reader(&mut link, idx, tx));
-            let hello = Frame::Hello {
-                protocol: PROTOCOL,
-                worker: idx as u32,
-            };
-            let alive = write_frame(&mut link.writer, &hello).is_ok();
-            self.links.push(link);
-            *budget -= 1;
-            *workers_respawned += 1;
-            if alive {
-                states.push(WorkerState::Connecting);
-                break;
+            PoolEvent::Garbled(w, e) => {
+                return Err(DistError::Protocol(format!(
+                    "worker {w} produced a malformed frame stream: {e}"
+                )));
             }
-            *workers_lost += 1;
-            states.push(WorkerState::Dead);
         }
-        self.respawn = Some(make);
     }
 
-    /// The chain a busy worker's reply belongs to; protocol error if
-    /// the worker is not busy or echoes the wrong job id.
-    fn expect_busy(
-        &self,
-        states: &[WorkerState],
-        worker: usize,
-        job: u64,
-    ) -> Result<usize, DistError> {
-        match states[worker] {
-            WorkerState::Busy { job: expect, chain } if expect == job => Ok(chain),
-            WorkerState::Busy { job: expect, .. } => Err(DistError::Protocol(format!(
-                "worker {worker} answered job {job}, expected {expect}"
-            ))),
-            _ => Err(DistError::Protocol(format!(
-                "worker {worker} answered job {job} while not busy"
-            ))),
-        }
+    Ok(DistOutcome {
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("all chains completed"))
+            .collect(),
+        workers_lost: pool.lost(),
+        workers_respawned: pool.respawned(),
+        jobs_dispatched,
+        handoff_bytes,
+    })
+}
+
+/// Asks the pool for a replacement worker and mirrors the new slots
+/// into the scheduler's state table.
+fn respawn_into(pool: &mut WorkerPool<PoolEvent>, states: &mut Vec<WorkerState>) {
+    for (_, ok) in pool.respawn_worker() {
+        states.push(if ok {
+            WorkerState::Connecting
+        } else {
+            WorkerState::Dead
+        });
+    }
+}
+
+/// The chain a busy worker's reply belongs to; protocol error if the
+/// worker is not busy or echoes the wrong job id.
+fn expect_busy(states: &[WorkerState], worker: usize, job: u64) -> Result<usize, DistError> {
+    match states[worker] {
+        WorkerState::Busy { job: expect, chain } if expect == job => Ok(chain),
+        WorkerState::Busy { job: expect, .. } => Err(DistError::Protocol(format!(
+            "worker {worker} answered job {job}, expected {expect}"
+        ))),
+        _ => Err(DistError::Protocol(format!(
+            "worker {worker} answered job {job} while not busy"
+        ))),
     }
 }
 
@@ -1043,6 +766,7 @@ impl Coordinator {
 #[cfg(all(test, unix))]
 mod unix_tests {
     use super::*;
+    use crate::wire::{write_frame, FrameReader};
     use crate::worker::Worker;
     use std::os::unix::net::UnixStream;
 

@@ -49,6 +49,8 @@
 #![deny(missing_debug_implementations)]
 
 pub mod coordinator;
+pub mod job;
+pub mod pool;
 pub mod wire;
 pub mod worker;
 
@@ -56,5 +58,9 @@ pub use coordinator::{
     default_lanes, single_pass_outcome, Coordinator, DistError, DistOutcome, SuiteSpec, WorkerLink,
     WorkloadOutcome,
 };
-pub use wire::{Frame, Job, LaneReport, LaneSpec, Report, WireError, MAX_FRAME, PROTOCOL};
+pub use job::{JobSpec, Policy};
+pub use pool::{PoolEvent, RespawnFn, WorkerPool};
+pub use wire::{
+    Frame, Job, LaneReport, LaneSpec, Report, SvcStats, WireError, MAX_FRAME, PROTOCOL,
+};
 pub use worker::Worker;

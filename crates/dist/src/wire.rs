@@ -37,11 +37,17 @@ use loopspec_core::snap::{fnv1a, Dec, Enc, FrameBuf, SnapError};
 use loopspec_mt::{EngineGrid, EngineReport};
 use loopspec_workloads::Scale;
 
+use crate::job::JobSpec;
+
 /// Protocol version. The coordinator sends it in its [`Frame::Hello`];
 /// the worker echoes it back, and either side drops the connection on a
 /// mismatch — a worker from another build can never silently compute
 /// with different semantics.
-pub const PROTOCOL: u32 = 1;
+///
+/// v2 added the replay-service frames ([`Frame::Submit`],
+/// [`Frame::Done`], [`Frame::StatsRequest`], [`Frame::Stats`],
+/// [`Frame::Rejected`]).
+pub const PROTOCOL: u32 = 2;
 
 /// Default [`FrameBuf`] payload limit: large enough for any snapshot a
 /// workload produces (CPU memory pages dominate), small enough that a
@@ -116,7 +122,7 @@ impl LaneSpec {
         Ok(grid)
     }
 
-    fn save(&self, enc: &mut Enc) {
+    pub(crate) fn save(&self, enc: &mut Enc) {
         match *self {
             LaneSpec::Idle { tus } => {
                 enc.u8(0);
@@ -134,7 +140,7 @@ impl LaneSpec {
         }
     }
 
-    fn load(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+    pub(crate) fn load(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
         Ok(match dec.u8()? {
             0 => LaneSpec::Idle { tus: dec.u32()? },
             1 => LaneSpec::Str { tus: dec.u32()? },
@@ -273,6 +279,117 @@ pub struct Report {
     pub state: Vec<u8>,
 }
 
+/// The replay service's metrics counters, as one flat wire-encodable
+/// struct (every field a `u64`, encoded in declaration order). The
+/// service guarantees two invariants at every observation point:
+/// `submitted == accepted + rejected` and
+/// `accepted == completed + failed + in_flight`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SvcStats {
+    /// Jobs received over [`Frame::Submit`] (or the in-process API).
+    pub submitted: u64,
+    /// Jobs admitted past backpressure control.
+    pub accepted: u64,
+    /// Jobs refused with [`Frame::Rejected`] (queue full).
+    pub rejected: u64,
+    /// Accepted jobs answered with a report.
+    pub completed: u64,
+    /// Accepted jobs answered with an error.
+    pub failed: u64,
+    /// Accepted jobs not yet answered.
+    pub in_flight: u64,
+    /// Submissions answered straight from the report cache.
+    pub cache_hits: u64,
+    /// Submissions that had to compute (includes coalesced waiters'
+    /// leaders).
+    pub cache_misses: u64,
+    /// Submissions attached to an already-running identical job
+    /// (counted as neither hit nor miss).
+    pub coalesced: u64,
+    /// Cache entries evicted (capacity pressure or corruption).
+    pub evictions: u64,
+    /// Jobs waiting for a worker right now.
+    pub queue_depth: u64,
+    /// Workers currently idle.
+    pub workers_idle: u64,
+    /// Workers currently running a shard.
+    pub workers_busy: u64,
+    /// Workers currently dead (lost and not yet replaced).
+    pub workers_dead: u64,
+    /// Worker processes lost over the service's lifetime.
+    pub workers_lost: u64,
+    /// Replacement workers spawned over the service's lifetime.
+    pub workers_respawned: u64,
+    /// Shard jobs dispatched to workers.
+    pub jobs_dispatched: u64,
+    /// Snapshot bytes that crossed a worker boundary.
+    pub handoff_bytes: u64,
+}
+
+impl SvcStats {
+    const FIELDS: usize = 18;
+
+    fn to_array(self) -> [u64; Self::FIELDS] {
+        [
+            self.submitted,
+            self.accepted,
+            self.rejected,
+            self.completed,
+            self.failed,
+            self.in_flight,
+            self.cache_hits,
+            self.cache_misses,
+            self.coalesced,
+            self.evictions,
+            self.queue_depth,
+            self.workers_idle,
+            self.workers_busy,
+            self.workers_dead,
+            self.workers_lost,
+            self.workers_respawned,
+            self.jobs_dispatched,
+            self.handoff_bytes,
+        ]
+    }
+
+    fn from_array(v: [u64; Self::FIELDS]) -> Self {
+        SvcStats {
+            submitted: v[0],
+            accepted: v[1],
+            rejected: v[2],
+            completed: v[3],
+            failed: v[4],
+            in_flight: v[5],
+            cache_hits: v[6],
+            cache_misses: v[7],
+            coalesced: v[8],
+            evictions: v[9],
+            queue_depth: v[10],
+            workers_idle: v[11],
+            workers_busy: v[12],
+            workers_dead: v[13],
+            workers_lost: v[14],
+            workers_respawned: v[15],
+            jobs_dispatched: v[16],
+            handoff_bytes: v[17],
+        }
+    }
+
+    fn save(&self, enc: &mut Enc) {
+        for v in self.to_array() {
+            enc.u64(v);
+        }
+    }
+
+    fn load(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let mut v = [0u64; Self::FIELDS];
+        for slot in &mut v {
+            *slot = dec.u64()?;
+        }
+        Ok(Self::from_array(v))
+    }
+}
+
 /// Everything that crosses the coordinator ↔ worker byte stream. See
 /// the [module docs](self) for the conversation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -306,13 +423,43 @@ pub enum Frame {
         /// Human-readable cause.
         message: String,
     },
+    /// Client → service: run this spec (or answer it from the cache).
+    Submit {
+        /// Client-chosen id, echoed in the [`Frame::Done`] /
+        /// [`Frame::Rejected`] / [`Frame::Error`] answer.
+        id: u64,
+        /// What to replay.
+        spec: JobSpec,
+    },
+    /// Service → client: the submission's report grid.
+    Done {
+        /// The submission's id.
+        id: u64,
+        /// Whether the report came from the content-addressed cache.
+        cached: bool,
+        /// The full report — same shape (and same bytes) as a
+        /// coordinator-path [`Frame::Report`].
+        report: Report,
+    },
+    /// Client → service: send me a [`Frame::Stats`].
+    StatsRequest,
+    /// Service → client: the current metrics counters.
+    Stats(SvcStats),
+    /// Service → client: the submission was refused by admission
+    /// control — the queue is full; back off and retry.
+    Rejected {
+        /// The refused submission's id.
+        id: u64,
+        /// The queue depth that triggered the refusal.
+        queue_depth: u64,
+    },
 }
 
-fn save_str(enc: &mut Enc, s: &str) {
+pub(crate) fn save_str(enc: &mut Enc, s: &str) {
     enc.bytes(s.as_bytes());
 }
 
-fn load_str(dec: &mut Dec<'_>) -> Result<String, SnapError> {
+pub(crate) fn load_str(dec: &mut Dec<'_>) -> Result<String, SnapError> {
     std::str::from_utf8(dec.bytes()?)
         .map(str::to_owned)
         .map_err(|_| SnapError::Corrupt {
@@ -320,7 +467,7 @@ fn load_str(dec: &mut Dec<'_>) -> Result<String, SnapError> {
         })
 }
 
-fn save_scale(enc: &mut Enc, scale: Scale) {
+pub(crate) fn save_scale(enc: &mut Enc, scale: Scale) {
     enc.u8(match scale {
         Scale::Test => 0,
         Scale::Small => 1,
@@ -328,7 +475,7 @@ fn save_scale(enc: &mut Enc, scale: Scale) {
     });
 }
 
-fn load_scale(dec: &mut Dec<'_>) -> Result<Scale, SnapError> {
+pub(crate) fn load_scale(dec: &mut Dec<'_>) -> Result<Scale, SnapError> {
     Ok(match dec.u8()? {
         0 => Scale::Test,
         1 => Scale::Small,
@@ -394,6 +541,35 @@ impl Frame {
                 enc.u8(5);
                 enc.u64(*job);
                 save_str(&mut enc, message);
+            }
+            Frame::Submit { id, spec } => {
+                enc.u8(6);
+                enc.u64(*id);
+                spec.save(&mut enc);
+            }
+            Frame::Done { id, cached, report } => {
+                enc.u8(7);
+                enc.u64(*id);
+                enc.bool(*cached);
+                enc.u64(report.job);
+                enc.u64(report.instructions);
+                enc.u64(report.lanes.len() as u64);
+                for lane in &report.lanes {
+                    lane.save(&mut enc);
+                }
+                enc.bytes(&report.state);
+            }
+            Frame::StatsRequest => {
+                enc.u8(8);
+            }
+            Frame::Stats(stats) => {
+                enc.u8(9);
+                stats.save(&mut enc);
+            }
+            Frame::Rejected { id, queue_depth } => {
+                enc.u8(10);
+                enc.u64(*id);
+                enc.u64(*queue_depth);
             }
         }
         enc.into_bytes()
@@ -469,6 +645,38 @@ impl Frame {
             5 => Frame::Error {
                 job: dec.u64()?,
                 message: load_str(&mut dec)?,
+            },
+            6 => Frame::Submit {
+                id: dec.u64()?,
+                spec: JobSpec::load(&mut dec)?,
+            },
+            7 => {
+                let id = dec.u64()?;
+                let cached = dec.bool()?;
+                let job = dec.u64()?;
+                let instructions = dec.u64()?;
+                let n = dec.count_elems(88)?;
+                let mut lanes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    lanes.push(LaneReport::load(&mut dec)?);
+                }
+                let state = dec.bytes()?.to_vec();
+                Frame::Done {
+                    id,
+                    cached,
+                    report: Report {
+                        job,
+                        instructions,
+                        lanes,
+                        state,
+                    },
+                }
+            }
+            8 => Frame::StatsRequest,
+            9 => Frame::Stats(SvcStats::load(&mut dec)?),
+            10 => Frame::Rejected {
+                id: dec.u64()?,
+                queue_depth: dec.u64()?,
             },
             _ => return Err(SnapError::Corrupt { what: "frame tag" }),
         };
@@ -645,6 +853,43 @@ mod tests {
             Frame::Error {
                 job: 9,
                 message: "unknown workload 'specmark'".into(),
+            },
+            // In wire-canonical form: decoding expands the policy ×
+            // TU cross product into an explicit lane list.
+            Frame::Submit {
+                id: 11,
+                spec: JobSpec::new("compress")
+                    .scale(Scale::Small)
+                    .total_fuel(1_000_000)
+                    .policies([])
+                    .tus([])
+                    .lanes(JobSpec::new("compress").tus([2, 16]).lane_specs()),
+            },
+            Frame::Done {
+                id: 11,
+                cached: true,
+                report: Report {
+                    job: 0,
+                    instructions: 77,
+                    lanes: vec![],
+                    state: vec![3, 1, 4],
+                },
+            },
+            Frame::StatsRequest,
+            Frame::Stats(SvcStats {
+                submitted: 12,
+                accepted: 10,
+                rejected: 2,
+                completed: 9,
+                failed: 0,
+                in_flight: 1,
+                cache_hits: 4,
+                cache_misses: 6,
+                ..SvcStats::default()
+            }),
+            Frame::Rejected {
+                id: 12,
+                queue_depth: 64,
             },
         ]
     }

@@ -149,6 +149,45 @@ pub fn frame(payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Seals `payload` for storage at rest by appending its FNV-1a sum:
+/// `payload | fnv1a(payload): u64 LE`.
+///
+/// This is the cache-entry twin of [`frame`]: entries that sit in a
+/// content-addressed store (rather than crossing a stream) need no
+/// length prefix — the container they live in delimits them — but they
+/// do need the integrity trailer, so a flipped bit surfaces as a clean
+/// [`SnapError::Corrupt`] on [`unseal`] instead of a misparse. Sealing
+/// is deterministic: equal payloads seal to equal bytes, so sealed
+/// entries can be compared and deduplicated like the payloads
+/// themselves.
+pub fn seal(mut payload: Vec<u8>) -> Vec<u8> {
+    let sum = fnv1a(&payload);
+    payload.extend_from_slice(&sum.to_le_bytes());
+    payload
+}
+
+/// Verifies and strips the trailer of a [`seal`]ed entry, returning the
+/// payload.
+///
+/// # Errors
+///
+/// [`SnapError::Truncated`] when `bytes` is shorter than the trailer;
+/// [`SnapError::Corrupt`] when the checksum does not match the payload
+/// (bit rot, a torn write, or deliberate fault injection).
+pub fn unseal(bytes: &[u8]) -> Result<&[u8], SnapError> {
+    if bytes.len() < FRAME_TRAILER {
+        return Err(SnapError::Truncated { at: bytes.len() });
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - FRAME_TRAILER);
+    let expect = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    if fnv1a(payload) != expect {
+        return Err(SnapError::Corrupt {
+            what: "sealed entry checksum",
+        });
+    }
+    Ok(payload)
+}
+
 /// Incremental decoder for a stream of [`frame`]s.
 ///
 /// Feed it whatever byte slices the transport delivers with
@@ -613,6 +652,43 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn seal_round_trips_and_is_deterministic() {
+        let sealed = seal(b"report grid".to_vec());
+        assert_eq!(sealed, seal(b"report grid".to_vec()));
+        assert_eq!(unseal(&sealed).unwrap(), b"report grid");
+        // The empty payload is a valid entry too.
+        assert_eq!(unseal(&seal(Vec::new())).unwrap(), b"");
+    }
+
+    #[test]
+    fn unseal_detects_every_single_bit_flip() {
+        let sealed = seal(vec![0xa5; 32]);
+        for byte in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut poked = sealed.clone();
+                poked[byte] ^= 1 << bit;
+                assert!(
+                    unseal(&poked).is_err(),
+                    "flip of byte {byte} bit {bit} must not unseal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unseal_rejects_truncation() {
+        let sealed = seal(vec![7; 16]);
+        for cut in 0..FRAME_TRAILER {
+            assert!(matches!(
+                unseal(&sealed[..cut]),
+                Err(SnapError::Truncated { .. })
+            ));
+        }
+        // Cutting into the payload shifts the trailer: corrupt.
+        assert!(unseal(&sealed[..sealed.len() - 1]).is_err());
     }
 
     #[test]

@@ -368,6 +368,96 @@ mod tests {
     }
 
     #[test]
+    fn owned_sinks_match_borrowed_and_travel_across_threads() {
+        let p = program(|b| {
+            b.counted_loop(25, |b, _| {
+                b.counted_loop(9, |b, _| b.work(6));
+            });
+        });
+
+        let mut reference = StreamEngine::new(StrPolicy::new(), 4);
+        let mut ref_events = EventCollector::default();
+        let mut session = Session::new();
+        session
+            .observe_checkpointable(&mut reference)
+            .observe_checkpointable(&mut ref_events);
+        session.run(&p, RunLimits::default()).unwrap();
+
+        // A fully owned session is 'static + Send: build it here, run it
+        // on another thread (the job-table shape the replay service uses).
+        let mut owned = Session::new();
+        owned
+            .add_sink(StreamEngine::new(StrPolicy::new(), 4))
+            .add_sink(EventCollector::default());
+        let p2 = p.clone();
+        let mut owned = std::thread::spawn(move || {
+            owned.advance(&p2, RunLimits::default()).unwrap();
+            owned
+        })
+        .join()
+        .unwrap();
+        assert!(owned.is_ended());
+
+        // Accessors: right slot + right type only.
+        assert!(owned.sink::<EventCollector>(0).is_none(), "wrong type");
+        assert!(
+            owned.sink::<StreamEngine<StrPolicy>>(2).is_none(),
+            "no slot"
+        );
+        let engine = owned
+            .sink_mut::<StreamEngine<StrPolicy>>(0)
+            .expect("slot 0 is the engine");
+        assert_eq!(engine.report(), reference.report());
+        let events: EventCollector = owned.into_sink(1).expect("slot 1 is the collector");
+        assert_eq!(events.events(), ref_events.events());
+    }
+
+    #[test]
+    fn owned_sink_checkpoints_byte_identical_to_borrowed() {
+        let p = program(|b| {
+            b.counted_loop(25, |b, _| {
+                b.counted_loop(9, |b, _| b.work(6));
+            });
+        });
+
+        let mut borrowed = StreamEngine::new(StrPolicy::new(), 4);
+        let mut session = Session::new();
+        session.observe_checkpointable(&mut borrowed);
+        session.advance(&p, RunLimits::with_fuel(777)).unwrap();
+        let reference_bytes = session.checkpoint().unwrap().to_bytes();
+
+        // Type-erased sinks register too (`Box<dyn CheckpointSink + Send>`
+        // is itself a `CheckpointSink`), and the owned slot contributes
+        // the same snapshot section as the borrowed registration.
+        let boxed: Box<dyn CheckpointSink + Send> =
+            Box::new(StreamEngine::new(StrPolicy::new(), 4));
+        let mut owned = Session::new();
+        owned.add_sink(boxed);
+        owned.advance(&p, RunLimits::with_fuel(777)).unwrap();
+        let bytes = owned.checkpoint().unwrap().to_bytes();
+        assert_eq!(bytes, reference_bytes);
+
+        // And an owned session resumes from a borrowed session's
+        // snapshot (the sections don't know how their sink is held).
+        let mut resumed = Session::new();
+        resumed.add_sink(StreamEngine::new(StrPolicy::new(), 4));
+        resumed
+            .resume(&Snapshot::from_bytes(&reference_bytes).unwrap())
+            .unwrap();
+        let out = resumed.advance(&p, RunLimits::default()).unwrap();
+        assert!(out.halted());
+
+        let mut single = StreamEngine::new(StrPolicy::new(), 4);
+        let mut single_session = Session::new();
+        single_session.observe_checkpointable(&mut single);
+        single_session.run(&p, RunLimits::default()).unwrap();
+        assert_eq!(
+            resumed.sink::<StreamEngine<StrPolicy>>(0).unwrap().report(),
+            single.report()
+        );
+    }
+
+    #[test]
     fn checkpoint_requires_checkpointable_sinks() {
         let p = program(|b| b.counted_loop(10, |b, _| b.work(3)));
         let mut counting = CountingSink::default();

@@ -2,13 +2,12 @@
 //! fan-out to any number of consumers — now resumable at any
 //! retired-instruction boundary.
 
+use std::any::Any;
 use std::fmt;
 
 use loopspec_core::snap::Enc;
 use loopspec_core::{Cls, LoopDetector, SnapshotState};
-use loopspec_cpu::{
-    Cpu, CpuError, DecodedProgram, Demand, InstrEvent, RunLimits, RunSummary, Tracer,
-};
+use loopspec_cpu::{Cpu, DecodedProgram, Demand, InstrEvent, RunLimits, RunSummary, Tracer};
 use loopspec_isa::ControlKind;
 
 use crate::snapshot::{CheckpointSink, Snapshot, SnapshotError};
@@ -24,13 +23,50 @@ pub trait DualSink: Tracer + LoopEventSink {}
 
 impl<T: Tracer + LoopEventSink> DualSink for T {}
 
+/// An owned, checkpointable sink stored inside the session (no borrow,
+/// no `'a`): the object-safe shape behind [`Session::add_sink`].
+///
+/// The `Any` hooks let callers recover the concrete sink afterwards via
+/// [`Session::sink`] / [`Session::sink_mut`] / [`Session::into_sink`].
+/// Blanket-implemented for every `CheckpointSink + Send + 'static` —
+/// including `Box<dyn CheckpointSink + Send>` itself, so type-erased
+/// sinks can be registered too.
+trait OwnedSink: Send {
+    fn ckpt(&self) -> &dyn CheckpointSink;
+    fn ckpt_mut(&mut self) -> &mut dyn CheckpointSink;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<S: CheckpointSink + Send + 'static> OwnedSink for S {
+    fn ckpt(&self) -> &dyn CheckpointSink {
+        self
+    }
+    fn ckpt_mut(&mut self) -> &mut dyn CheckpointSink {
+        self
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
 enum Slot<'a> {
-    Loops(&'a mut dyn LoopEventSink),
-    Instrs(&'a mut dyn Tracer),
-    Both(&'a mut dyn DualSink),
+    Loops(&'a mut (dyn LoopEventSink + Send)),
+    Instrs(&'a mut (dyn Tracer + Send)),
+    Both(&'a mut (dyn DualSink + Send)),
     /// A loop sink whose state travels in session checkpoints. Delivery
     /// is identical to [`Slot::Loops`].
-    Ckpt(&'a mut dyn CheckpointSink),
+    Ckpt(&'a mut (dyn CheckpointSink + Send)),
+    /// An owned checkpointable sink ([`Session::add_sink`]). Delivery
+    /// and snapshot treatment are identical to [`Slot::Ckpt`].
+    Owned(Box<dyn OwnedSink>),
 }
 
 /// Which CPU front-end a [`Session`] drives.
@@ -98,8 +134,11 @@ impl SessionSummary {
 ///
 /// Register consumers with [`Session::observe_loops`] (loop events only),
 /// [`Session::observe_instrs`] (retired instructions only),
-/// [`Session::observe_both`], or [`Session::observe_checkpointable`]
-/// (loop events, with state captured by [`Session::checkpoint`]); then
+/// [`Session::observe_both`], [`Session::observe_checkpointable`]
+/// (loop events, with state captured by [`Session::checkpoint`]), or
+/// [`Session::add_sink`] (like `observe_checkpointable` but **owned**:
+/// the session holds the sink itself, so it is `'static + Send` when
+/// all of its sinks are owned and can live in a job table); then
 /// call [`Session::run`]. Per retired instruction the dispatch order is
 /// fixed: first every instruction observer (in registration order), then
 /// the loop events that instruction produced — so a [`DualSink`] sees a
@@ -242,22 +281,21 @@ impl<'a> Session<'a> {
         self
     }
 
-    /// Registers a loop-event consumer.
-    pub fn observe_loops(&mut self, sink: &'a mut dyn LoopEventSink) -> &mut Self {
-        self.slots.push(Slot::Loops(sink));
-        self
+    /// Registers a loop-event consumer borrowed for the session's
+    /// lifetime. Thin wrapper over the slot table shared with
+    /// [`Session::add_sink`].
+    pub fn observe_loops(&mut self, sink: &'a mut (dyn LoopEventSink + Send)) -> &mut Self {
+        self.register(Slot::Loops(sink))
     }
 
-    /// Registers a per-instruction consumer.
-    pub fn observe_instrs(&mut self, tracer: &'a mut dyn Tracer) -> &mut Self {
-        self.slots.push(Slot::Instrs(tracer));
-        self
+    /// Registers a per-instruction consumer (borrowed).
+    pub fn observe_instrs(&mut self, tracer: &'a mut (dyn Tracer + Send)) -> &mut Self {
+        self.register(Slot::Instrs(tracer))
     }
 
-    /// Registers a consumer of both streams (see [`DualSink`]).
-    pub fn observe_both(&mut self, sink: &'a mut dyn DualSink) -> &mut Self {
-        self.slots.push(Slot::Both(sink));
-        self
+    /// Registers a consumer of both streams (see [`DualSink`]; borrowed).
+    pub fn observe_both(&mut self, sink: &'a mut (dyn DualSink + Send)) -> &mut Self {
+        self.register(Slot::Both(sink))
     }
 
     /// Registers a loop-event consumer whose state is captured by
@@ -266,11 +304,84 @@ impl<'a> Session<'a> {
     /// Event delivery is identical to [`Session::observe_loops`]; the
     /// only difference is that the sink contributes a state section to
     /// snapshots. A session can only be checkpointed when **every**
-    /// registered sink was registered this way — a snapshot missing one
-    /// sink's state could not resume faithfully.
-    pub fn observe_checkpointable(&mut self, sink: &'a mut dyn CheckpointSink) -> &mut Self {
-        self.slots.push(Slot::Ckpt(sink));
+    /// registered sink was registered this way or via
+    /// [`Session::add_sink`] — a snapshot missing one sink's state
+    /// could not resume faithfully.
+    pub fn observe_checkpointable(
+        &mut self,
+        sink: &'a mut (dyn CheckpointSink + Send),
+    ) -> &mut Self {
+        self.register(Slot::Ckpt(sink))
+    }
+
+    /// Registers an **owned** checkpointable sink: the session takes the
+    /// sink by value, so a fully owned session is `'static`, [`Send`],
+    /// and can live in a job table or move across threads — no borrow
+    /// ties it to the caller's stack frame.
+    ///
+    /// Delivery and snapshot treatment are identical to
+    /// [`Session::observe_checkpointable`] (which, like every
+    /// `observe_*` method, is now a thin wrapper over the same slot
+    /// table). `Box<dyn CheckpointSink + Send>` works as `S` too, for
+    /// callers assembling sinks dynamically.
+    ///
+    /// Read the sink back with [`Session::sink`] / [`Session::sink_mut`]
+    /// while the session lives, or [`Session::into_sink`] to take it out
+    /// at the end.
+    ///
+    /// ```
+    /// use loopspec_asm::ProgramBuilder;
+    /// use loopspec_cpu::RunLimits;
+    /// use loopspec_mt::{StrPolicy, StreamEngine};
+    /// use loopspec_pipeline::Session;
+    ///
+    /// let mut b = ProgramBuilder::new();
+    /// b.counted_loop(100, |b, _| b.work(10));
+    /// let program = b.finish()?;
+    ///
+    /// let mut session = Session::new();
+    /// session.add_sink(StreamEngine::new(StrPolicy::new(), 4));
+    /// session.advance(&program, RunLimits::default())?;
+    /// let engine: StreamEngine<StrPolicy> = session.into_sink(0).expect("slot 0");
+    /// assert!(engine.report().is_some());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn add_sink<S: CheckpointSink + Send + 'static>(&mut self, sink: S) -> &mut Self {
+        self.register(Slot::Owned(Box::new(sink)))
+    }
+
+    fn register(&mut self, slot: Slot<'a>) -> &mut Self {
+        self.slots.push(slot);
         self
+    }
+
+    /// The owned sink registered at `index` (registration order, shared
+    /// with the `observe_*` methods), if that slot is owned and of
+    /// concrete type `S`. Borrowed slots return `None` — the caller
+    /// still holds those.
+    pub fn sink<S: 'static>(&self, index: usize) -> Option<&S> {
+        match self.slots.get(index)? {
+            Slot::Owned(s) => s.as_any().downcast_ref(),
+            _ => None,
+        }
+    }
+
+    /// Mutable twin of [`Session::sink`].
+    pub fn sink_mut<S: 'static>(&mut self, index: usize) -> Option<&mut S> {
+        match self.slots.get_mut(index)? {
+            Slot::Owned(s) => s.as_any_mut().downcast_mut(),
+            _ => None,
+        }
+    }
+
+    /// Consumes the session and takes back the owned sink at `index`
+    /// (`None` when the slot is borrowed or a different type). Usually
+    /// called after the stream ended to extract results.
+    pub fn into_sink<S: 'static>(self, index: usize) -> Option<S> {
+        match self.slots.into_iter().nth(index)? {
+            Slot::Owned(s) => s.into_any().downcast().ok().map(|b| *b),
+            _ => None,
+        }
     }
 
     /// Number of registered consumers.
@@ -303,8 +414,13 @@ impl<'a> Session<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates any [`CpuError`]; sinks see the partial stream but no
-    /// end-of-stream callback in that case.
+    /// Propagates any CPU fault as [`SnapshotError::Cpu`] — every
+    /// session entry point ([`run`](Session::run),
+    /// [`advance`](Session::advance), [`checkpoint`](Session::checkpoint),
+    /// [`resume`](Session::resume)) shares the one [`SnapshotError`]
+    /// type, which the `loopspec` facade absorbs into `loopspec::Error`.
+    /// Sinks see the partial stream but no end-of-stream callback in
+    /// that case.
     ///
     /// # Panics
     ///
@@ -314,7 +430,7 @@ impl<'a> Session<'a> {
         mut self,
         program: &loopspec_asm::Program,
         limits: RunLimits,
-    ) -> Result<SessionSummary, CpuError> {
+    ) -> Result<SessionSummary, SnapshotError> {
         let summary = self.advance(program, limits)?;
         if !self.ended {
             self.end_stream();
@@ -335,7 +451,8 @@ impl<'a> Session<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates any [`CpuError`].
+    /// Propagates any [`CpuError`](loopspec_cpu::CpuError) as
+    /// [`SnapshotError::Cpu`].
     ///
     /// # Panics
     ///
@@ -344,7 +461,7 @@ impl<'a> Session<'a> {
         &mut self,
         program: &loopspec_asm::Program,
         limits: RunLimits,
-    ) -> Result<SessionSummary, CpuError> {
+    ) -> Result<SessionSummary, SnapshotError> {
         assert!(!self.ended, "Session::advance after the stream ended");
         if self.interp == Interp::Decoded && !matches!(&self.decoded, Some(d) if d.matches(program))
         {
@@ -434,6 +551,13 @@ impl<'a> Session<'a> {
                     }
                     s.on_stream_end(instructions);
                 }
+                Slot::Owned(s) => {
+                    let s = s.ckpt_mut();
+                    if !chunk.is_empty() {
+                        s.on_loop_events(chunk);
+                    }
+                    s.on_stream_end(instructions);
+                }
                 Slot::Both(d) => {
                     if !trailing.is_empty() {
                         d.on_loop_events(trailing);
@@ -467,6 +591,7 @@ impl<'a> Session<'a> {
         for slot in &self.slots {
             match slot {
                 Slot::Ckpt(s) => sinks.push(Snapshot::section(|enc| s.save_state(enc))),
+                Slot::Owned(s) => sinks.push(Snapshot::section(|enc| s.ckpt().save_state(enc))),
                 _ => return Err(SnapshotError::NotCheckpointable),
             }
         }
@@ -504,7 +629,7 @@ impl<'a> Session<'a> {
         let ckpt = self
             .slots
             .iter()
-            .filter(|s| matches!(s, Slot::Ckpt(_)))
+            .filter(|s| matches!(s, Slot::Ckpt(_) | Slot::Owned(_)))
             .count();
         if ckpt != self.slots.len() {
             return Err(SnapshotError::NotCheckpointable);
@@ -518,8 +643,13 @@ impl<'a> Session<'a> {
         Snapshot::load_section(&snapshot.cpu, |dec| self.cpu.load_state(dec))?;
         Snapshot::load_section(&snapshot.detector, |dec| self.detector.load_state(dec))?;
         for (slot, bytes) in self.slots.iter_mut().zip(&snapshot.sinks) {
-            let Slot::Ckpt(s) = slot else { unreachable!() };
-            Snapshot::load_section(bytes, |dec| s.load_state(dec))?;
+            match slot {
+                Slot::Ckpt(s) => Snapshot::load_section(bytes, |dec| s.load_state(dec))?,
+                Slot::Owned(s) => {
+                    Snapshot::load_section(bytes, |dec| s.ckpt_mut().load_state(dec))?
+                }
+                _ => unreachable!(),
+            }
         }
         self.started = snapshot.started;
         Ok(())
@@ -558,7 +688,7 @@ impl Tracer for Dispatch<'_, '_> {
         self.slots.iter().fold(Demand::NONE, |d, slot| match slot {
             Slot::Instrs(t) => d.union(t.demand()),
             Slot::Both(b) => d.union(b.demand()),
-            Slot::Loops(_) | Slot::Ckpt(_) => d,
+            Slot::Loops(_) | Slot::Ckpt(_) | Slot::Owned(_) => d,
         })
     }
 
@@ -568,7 +698,7 @@ impl Tracer for Dispatch<'_, '_> {
                 match slot {
                     Slot::Instrs(t) => t.on_retire(ev),
                     Slot::Both(d) => d.on_retire(ev),
-                    Slot::Loops(_) | Slot::Ckpt(_) => {}
+                    Slot::Loops(_) | Slot::Ckpt(_) | Slot::Owned(_) => {}
                 }
             }
         }
@@ -593,6 +723,7 @@ impl Tracer for Dispatch<'_, '_> {
                 match slot {
                     Slot::Loops(s) => s.on_loop_events(chunk),
                     Slot::Ckpt(s) => s.on_loop_events(chunk),
+                    Slot::Owned(s) => s.ckpt_mut().on_loop_events(chunk),
                     Slot::Instrs(_) | Slot::Both(_) => {}
                 }
             }

@@ -49,13 +49,16 @@ pub trait CheckpointSink: LoopEventSink + SnapshotState {}
 
 impl<T: LoopEventSink + SnapshotState + ?Sized> CheckpointSink for T {}
 
-/// Why a checkpoint or resume failed.
+/// Why a session operation failed: the one error type shared by every
+/// [`Session`](crate::Session) entry point
+/// (`run`/`advance`/`checkpoint`/`resume`) and the sharded drivers
+/// built on them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SnapshotError {
     /// A snapshot section failed to decode (truncated, corrupt, or
     /// taken from a differently configured object).
     Codec(SnapError),
-    /// The CPU faulted while a sharded run was executing a shard.
+    /// The CPU faulted while executing a session segment.
     Cpu(CpuError),
     /// The session's stream has already ended — there is nothing left
     /// to checkpoint.
@@ -83,7 +86,7 @@ impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SnapshotError::Codec(e) => write!(f, "snapshot codec error: {e}"),
-            SnapshotError::Cpu(e) => write!(f, "cpu fault during sharded run: {e}"),
+            SnapshotError::Cpu(e) => write!(f, "cpu fault during session segment: {e}"),
             SnapshotError::StreamEnded => {
                 write!(f, "the session's stream has already ended")
             }

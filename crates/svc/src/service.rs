@@ -1,0 +1,1085 @@
+//! The persistent replay service: a scheduler thread multiplexing many
+//! concurrent [`JobSpec`] submissions over one
+//! [`WorkerPool`], fronted by the
+//! content-addressed [`ReportCache`].
+//!
+//! ## Job lifecycle
+//!
+//! Every submission is first fingerprinted. A cache hit answers
+//! immediately (no worker touched). A fingerprint already being
+//! computed attaches the submission as an extra waiter (*coalescing* —
+//! one computation, N answers). Otherwise admission control applies:
+//! if the number of distinct in-flight computations has reached the
+//! configured queue limit, the submission is rejected (backpressure —
+//! the client backs off and retries); else a new snapshot-linked chain
+//! is queued and dispatched shard by shard through the same
+//! [`run_shard`](loopspec_pipeline::run_shard) core every other driver
+//! uses.
+//!
+//! ## Failure model
+//!
+//! Worker death mid-shard requeues the chain from its last good
+//! snapshot and spawns a replacement (bounded budget, exactly the
+//! coordinator's rules). A shard that kills two workers in a row while
+//! respawn is active fails **that job only** — a poison job cannot
+//! take the service down. Deterministic job failures (unknown
+//! workload, bad lane) likewise fail only their own waiters. Even with
+//! every worker dead the service keeps serving cache hits; misses fail
+//! fast with an explanatory error.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::process::Command;
+use std::sync::mpsc;
+
+use loopspec_dist::pool::{PoolEvent, RespawnFn, WorkerPool};
+use loopspec_dist::wire::{write_frame, Frame, FrameReader, Job};
+use loopspec_dist::{DistError, JobSpec, LaneSpec, Report, SvcStats, WireError, WorkerLink};
+
+use crate::cache::ReportCache;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SvcConfig {
+    /// Worker processes (or pre-connected links) in the pool.
+    pub workers: usize,
+    /// Admission limit: maximum distinct in-flight computations before
+    /// new (uncached, uncoalesced) submissions are rejected.
+    pub queue_limit: usize,
+    /// Report-cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for SvcConfig {
+    /// Two workers, 64 queued computations, 256 cached reports.
+    fn default() -> Self {
+        SvcConfig {
+            workers: 2,
+            queue_limit: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// Why a submission did not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SvcError {
+    /// Admission control refused the job — the service is at its
+    /// in-flight limit. Back off and resubmit.
+    Rejected {
+        /// Distinct computations in flight when the job was refused.
+        queue_depth: u64,
+    },
+    /// The job failed (deterministic worker error, poison shard, or no
+    /// workers left alive).
+    Failed {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// The service is gone (shut down, or its scheduler thread died).
+    Disconnected,
+}
+
+impl fmt::Display for SvcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvcError::Rejected { queue_depth } => {
+                write!(f, "rejected by admission control ({queue_depth} in flight)")
+            }
+            SvcError::Failed { message } => write!(f, "job failed: {message}"),
+            SvcError::Disconnected => write!(f, "replay service is gone"),
+        }
+    }
+}
+
+impl std::error::Error for SvcError {}
+
+/// A finished submission: the report grid, and whether it came from
+/// the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The full report — byte-identical to what a single-pass run of
+    /// the same spec produces.
+    pub report: Report,
+    /// `true` when answered from the content-addressed cache.
+    pub cached: bool,
+}
+
+type Reply = Result<Completion, SvcError>;
+
+/// Everything the scheduler thread reacts to: pool traffic plus client
+/// requests, merged on one channel.
+#[derive(Debug)]
+enum SvcEvent {
+    Pool(PoolEvent),
+    Submit {
+        spec: JobSpec,
+        reply: mpsc::Sender<Reply>,
+    },
+    Stats {
+        reply: mpsc::Sender<SvcStats>,
+    },
+    Corrupt {
+        fingerprint: u64,
+        reply: mpsc::Sender<bool>,
+    },
+    Shutdown,
+}
+
+impl From<PoolEvent> for SvcEvent {
+    fn from(ev: PoolEvent) -> Self {
+        SvcEvent::Pool(ev)
+    }
+}
+
+/// A pending submission's handle; blocks on [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Blocks until the service answers.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError`] when the job was rejected, failed, or the service
+    /// went away.
+    pub fn wait(self) -> Reply {
+        self.rx.recv().unwrap_or(Err(SvcError::Disconnected))
+    }
+}
+
+/// A cheap, cloneable, thread-safe handle for submitting jobs.
+#[derive(Debug, Clone)]
+pub struct Client {
+    tx: mpsc::Sender<SvcEvent>,
+}
+
+impl Client {
+    /// Submits `spec` without blocking; the [`Ticket`] resolves when
+    /// the service answers.
+    pub fn submit(&self, spec: JobSpec) -> Ticket {
+        let (reply, rx) = mpsc::channel();
+        let _ = self.tx.send(SvcEvent::Submit { spec, reply });
+        Ticket { rx }
+    }
+
+    /// Submits `spec` and blocks for the answer.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError`] when the job was rejected, failed, or the service
+    /// went away.
+    pub fn run(&self, spec: JobSpec) -> Reply {
+        self.submit(spec).wait()
+    }
+
+    /// A snapshot of the service's metrics counters.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::Disconnected`] when the service is gone.
+    pub fn stats(&self) -> Result<SvcStats, SvcError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(SvcEvent::Stats { reply })
+            .map_err(|_| SvcError::Disconnected)?;
+        rx.recv().map_err(|_| SvcError::Disconnected)
+    }
+
+    /// Serves the wire protocol to one connected client: answers
+    /// [`Frame::Submit`] with [`Frame::Done`] / [`Frame::Rejected`] /
+    /// [`Frame::Error`], and [`Frame::StatsRequest`] with
+    /// [`Frame::Stats`], until the peer closes the stream.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] when the transport fails, the stream decodes to
+    /// garbage, or the peer sends a frame that is not a request.
+    pub fn serve(&self, reader: impl Read, mut writer: impl Write) -> Result<(), WireError> {
+        let mut frames = FrameReader::new(reader);
+        while let Some(frame) = frames.read_frame()? {
+            match frame {
+                Frame::Submit { id, spec } => {
+                    let answer = match self.run(spec) {
+                        Ok(done) => Frame::Done {
+                            id,
+                            cached: done.cached,
+                            report: done.report,
+                        },
+                        Err(SvcError::Rejected { queue_depth }) => {
+                            Frame::Rejected { id, queue_depth }
+                        }
+                        Err(e) => Frame::Error {
+                            job: id,
+                            message: e.to_string(),
+                        },
+                    };
+                    write_frame(&mut writer, &answer)?;
+                }
+                Frame::StatsRequest => {
+                    let stats = self.stats().unwrap_or_default();
+                    write_frame(&mut writer, &Frame::Stats(stats))?;
+                }
+                other => {
+                    return Err(WireError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("client sent a non-request frame: {other:?}"),
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The persistent replay service; owns the scheduler thread and,
+/// transitively, the worker pool. See the [module docs](self).
+#[derive(Debug)]
+pub struct Service {
+    tx: mpsc::Sender<SvcEvent>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts a service over `config.workers` processes spawned by
+    /// re-invoking the current executable with `--worker` (the binary
+    /// must call
+    /// [`maybe_serve_stdio`](loopspec_dist::worker::maybe_serve_stdio)
+    /// first thing in `main`). Workers lost while serving are replaced
+    /// under the pool's bounded respawn budget.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Spawn`] when a worker cannot be started.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0`.
+    pub fn spawn(config: SvcConfig) -> Result<Self, DistError> {
+        let exe = std::env::current_exe().map_err(|e| DistError::Spawn {
+            message: format!("cannot resolve the current executable: {e}"),
+        })?;
+        Self::spawn_with(config, move |_| {
+            let mut cmd = Command::new(&exe);
+            cmd.arg("--worker");
+            cmd
+        })
+    }
+
+    /// Starts a service over `config.workers` processes from
+    /// per-worker commands — the hook for custom binaries or
+    /// per-worker environment. Replacements use the same hook with
+    /// fresh slot indices.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Spawn`] when a worker cannot be started.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0`.
+    pub fn spawn_with(
+        config: SvcConfig,
+        mut command: impl FnMut(usize) -> Command + Send + 'static,
+    ) -> Result<Self, DistError> {
+        assert!(config.workers > 0, "a service needs at least one worker");
+        let links = (0..config.workers)
+            .map(|i| WorkerLink::spawn(&mut command(i)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::start(config, links, Some(Box::new(command))))
+    }
+
+    /// Starts a service over already-connected links (worker threads
+    /// on socket pairs, pre-spawned processes). Such a pool cannot be
+    /// replenished: worker deaths shrink it to the survivors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links` is empty.
+    pub fn with_links(config: SvcConfig, links: Vec<WorkerLink>) -> Self {
+        assert!(!links.is_empty(), "a service needs at least one worker");
+        Self::start(config, links, None)
+    }
+
+    fn start(config: SvcConfig, links: Vec<WorkerLink>, respawn: Option<RespawnFn>) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let pool_tx = tx.clone();
+        let scheduler = std::thread::spawn(move || {
+            let (pool, alive) = WorkerPool::start(links, respawn, pool_tx);
+            Scheduler::new(config, pool, &alive, rx).run();
+        });
+        Service {
+            tx,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// A cloneable submission handle.
+    pub fn client(&self) -> Client {
+        Client {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// A snapshot of the service's metrics counters.
+    pub fn stats(&self) -> SvcStats {
+        self.client().stats().unwrap_or_default()
+    }
+
+    /// The metrics surface in plain-text exposition format: one
+    /// `svc_<counter> <value>` line per [`SvcStats`] field, suitable
+    /// for scraping or for a human terminal.
+    pub fn metrics_text(&self) -> String {
+        render_metrics(&self.stats())
+    }
+
+    /// Fault-injection hook: flips one byte of the cached report for
+    /// `fingerprint` so the next lookup detects corruption, evicts the
+    /// entry, and recomputes. Returns whether an entry existed.
+    pub fn corrupt_cache_entry(&self, fingerprint: u64) -> bool {
+        let (reply, rx) = mpsc::channel();
+        if self
+            .tx
+            .send(SvcEvent::Corrupt { fingerprint, reply })
+            .is_err()
+        {
+            return false;
+        }
+        rx.recv().unwrap_or(false)
+    }
+
+    /// Stops the scheduler, fails any jobs still in flight with
+    /// [`SvcError::Disconnected`], and tears the worker pool down.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let _ = self.tx.send(SvcEvent::Shutdown);
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Renders a stats snapshot as `svc_<counter> <value>` lines.
+pub fn render_metrics(stats: &SvcStats) -> String {
+    let mut out = String::new();
+    let total_lookups = stats.cache_hits + stats.cache_misses;
+    let hit_rate = if total_lookups == 0 {
+        0.0
+    } else {
+        stats.cache_hits as f64 / total_lookups as f64
+    };
+    for (name, value) in [
+        ("submitted", stats.submitted),
+        ("accepted", stats.accepted),
+        ("rejected", stats.rejected),
+        ("completed", stats.completed),
+        ("failed", stats.failed),
+        ("in_flight", stats.in_flight),
+        ("cache_hits", stats.cache_hits),
+        ("cache_misses", stats.cache_misses),
+        ("coalesced", stats.coalesced),
+        ("evictions", stats.evictions),
+        ("queue_depth", stats.queue_depth),
+        ("workers_idle", stats.workers_idle),
+        ("workers_busy", stats.workers_busy),
+        ("workers_dead", stats.workers_dead),
+        ("workers_lost", stats.workers_lost),
+        ("workers_respawned", stats.workers_respawned),
+        ("jobs_dispatched", stats.jobs_dispatched),
+        ("handoff_bytes", stats.handoff_bytes),
+    ] {
+        out.push_str(&format!("svc_{name} {value}\n"));
+    }
+    out.push_str(&format!("svc_cache_hit_rate {hit_rate:.3}\n"));
+    out
+}
+
+/// Per-worker scheduling state (the pool only knows transport).
+#[derive(Debug, Clone, Copy)]
+enum WorkerState {
+    /// Handshake sent, echo not yet received.
+    Connecting,
+    /// Ready for a job.
+    Idle,
+    /// Running shard `job` of the run keyed by `fingerprint`.
+    Busy { job: u64, fingerprint: u64 },
+    /// Lost; the slot stays dead for the pool's lifetime.
+    Dead,
+}
+
+/// One in-flight computation: a snapshot-linked shard chain plus every
+/// submission waiting on its result.
+#[derive(Debug)]
+struct Run {
+    spec: JobSpec,
+    lanes: Vec<LaneSpec>,
+    shard: u32,
+    executed: u64,
+    snapshot: Option<Vec<u8>>,
+    /// Workers killed by the current shard with no completed shard in
+    /// between — the poison-job detector.
+    deaths: u32,
+    waiters: Vec<mpsc::Sender<Reply>>,
+}
+
+struct Scheduler {
+    rx: mpsc::Receiver<SvcEvent>,
+    pool: WorkerPool<SvcEvent>,
+    states: Vec<WorkerState>,
+    /// In-flight computations by fingerprint.
+    runs: HashMap<u64, Run>,
+    /// Fingerprints with a shard ready to dispatch.
+    queue: VecDeque<u64>,
+    cache: ReportCache,
+    queue_limit: usize,
+    stats: SvcStats,
+    next_job: u64,
+}
+
+impl Scheduler {
+    fn new(
+        config: SvcConfig,
+        pool: WorkerPool<SvcEvent>,
+        alive: &[bool],
+        rx: mpsc::Receiver<SvcEvent>,
+    ) -> Self {
+        let states = alive
+            .iter()
+            .map(|&ok| {
+                if ok {
+                    WorkerState::Connecting
+                } else {
+                    WorkerState::Dead
+                }
+            })
+            .collect::<Vec<_>>();
+        let mut scheduler = Scheduler {
+            rx,
+            pool,
+            states,
+            runs: HashMap::new(),
+            queue: VecDeque::new(),
+            cache: ReportCache::new(config.cache_capacity),
+            queue_limit: config.queue_limit,
+            stats: SvcStats::default(),
+            next_job: 1,
+        };
+        // Replace initial workers that died before their handshake.
+        for i in 0..scheduler.states.len() {
+            if matches!(scheduler.states[i], WorkerState::Dead) {
+                scheduler.respawn();
+            }
+        }
+        scheduler
+    }
+
+    fn run(mut self) {
+        loop {
+            let Ok(event) = self.rx.recv() else {
+                // Every sender gone (service handle dropped without a
+                // shutdown, pool already down): nothing can ever
+                // arrive again.
+                break;
+            };
+            match event {
+                SvcEvent::Submit { spec, reply } => self.on_submit(spec, reply),
+                SvcEvent::Stats { reply } => {
+                    let _ = reply.send(self.snapshot());
+                }
+                SvcEvent::Corrupt { fingerprint, reply } => {
+                    let _ = reply.send(self.cache.corrupt(fingerprint));
+                }
+                SvcEvent::Shutdown => break,
+                SvcEvent::Pool(ev) => self.on_pool(ev),
+            }
+        }
+        // Fail whatever is still waiting, then tear the pool down.
+        let fingerprints: Vec<u64> = self.runs.keys().copied().collect();
+        for fp in fingerprints {
+            self.finish_run(fp, &Err(SvcError::Disconnected));
+        }
+        self.pool.shutdown();
+        while self.rx.try_recv().is_ok() {}
+    }
+
+    // ---- client events ------------------------------------------------
+
+    fn on_submit(&mut self, spec: JobSpec, reply: mpsc::Sender<Reply>) {
+        self.stats.submitted += 1;
+        if let Err(e) = spec.validate() {
+            self.stats.accepted += 1;
+            self.stats.failed += 1;
+            let _ = reply.send(Err(SvcError::Failed {
+                message: format!("invalid job spec: {e}"),
+            }));
+            return;
+        }
+        let fingerprint = spec.fingerprint();
+        if let Some(report) = self.cache.get(fingerprint) {
+            self.stats.accepted += 1;
+            self.stats.completed += 1;
+            self.stats.cache_hits += 1;
+            let _ = reply.send(Ok(Completion {
+                report,
+                cached: true,
+            }));
+            return;
+        }
+        if let Some(run) = self.runs.get_mut(&fingerprint) {
+            // Identical job already computing: one computation, one
+            // more answer.
+            self.stats.accepted += 1;
+            self.stats.in_flight += 1;
+            self.stats.coalesced += 1;
+            run.waiters.push(reply);
+            return;
+        }
+        if self.runs.len() >= self.queue_limit {
+            self.stats.rejected += 1;
+            let _ = reply.send(Err(SvcError::Rejected {
+                queue_depth: self.runs.len() as u64,
+            }));
+            return;
+        }
+        if self.all_workers_dead() {
+            // The cache outlives the pool, but a miss cannot compute.
+            self.stats.accepted += 1;
+            self.stats.failed += 1;
+            let _ = reply.send(Err(SvcError::Failed {
+                message: "no workers left alive".into(),
+            }));
+            return;
+        }
+        self.stats.accepted += 1;
+        self.stats.in_flight += 1;
+        self.stats.cache_misses += 1;
+        self.runs.insert(
+            fingerprint,
+            Run {
+                lanes: spec.lane_specs(),
+                spec,
+                shard: 0,
+                executed: 0,
+                snapshot: None,
+                deaths: 0,
+                waiters: vec![reply],
+            },
+        );
+        self.queue.push_back(fingerprint);
+        self.dispatch();
+    }
+
+    // ---- pool events --------------------------------------------------
+
+    fn on_pool(&mut self, event: PoolEvent) {
+        match event {
+            PoolEvent::Frame(w, Frame::Hello { .. })
+                if matches!(self.states[w], WorkerState::Connecting) =>
+            {
+                // Echo validation is the pool's job at handshake time;
+                // a wrong echo would already have surfaced as garbage.
+                self.states[w] = WorkerState::Idle;
+                self.dispatch();
+            }
+            PoolEvent::Frame(
+                w,
+                Frame::Snapshot {
+                    job,
+                    instructions,
+                    bytes,
+                },
+            ) => {
+                let Some(fp) = self.busy_fingerprint(w, job) else {
+                    self.quarantine(w);
+                    return;
+                };
+                self.stats.handoff_bytes += bytes.len() as u64;
+                let run = self.runs.get_mut(&fp).expect("busy run exists");
+                run.executed = instructions;
+                run.shard += 1;
+                run.snapshot = Some(bytes);
+                // Progress clears poison suspicion: only deaths on the
+                // *same* shard count together.
+                run.deaths = 0;
+                self.queue.push_back(fp);
+                self.states[w] = WorkerState::Idle;
+                self.dispatch();
+            }
+            PoolEvent::Frame(w, Frame::Report(mut report)) => {
+                let Some(fp) = self.busy_fingerprint(w, report.job) else {
+                    self.quarantine(w);
+                    return;
+                };
+                // The echoed wire job id is scheduler state, not report
+                // content: zero it so a cached answer is byte-identical
+                // to a fresh recompute of the same spec.
+                report.job = 0;
+                self.cache.insert(fp, &report);
+                self.finish_run(
+                    fp,
+                    &Ok(Completion {
+                        report,
+                        cached: false,
+                    }),
+                );
+                self.states[w] = WorkerState::Idle;
+                self.dispatch();
+            }
+            PoolEvent::Frame(w, Frame::Error { job, message }) => {
+                let Some(fp) = self.busy_fingerprint(w, job) else {
+                    self.quarantine(w);
+                    return;
+                };
+                // Deterministic failure: retrying elsewhere would fail
+                // identically, so fail this job — and only this job.
+                self.finish_run(fp, &Err(SvcError::Failed { message }));
+                self.states[w] = WorkerState::Idle;
+                self.dispatch();
+            }
+            PoolEvent::Frame(w, _) | PoolEvent::Garbled(w, _) => {
+                // A worker speaking out of turn (or producing garbage)
+                // can no longer be trusted with jobs.
+                self.quarantine(w);
+            }
+            PoolEvent::Closed(w) => {
+                // A failed job write may already have marked this slot
+                // dead; only the first observation counts.
+                if !matches!(self.states[w], WorkerState::Dead) {
+                    self.pool.note_lost();
+                    self.worker_died(w);
+                }
+            }
+        }
+    }
+
+    /// Marks `w` dead (transport loss or protocol violation), requeues
+    /// its in-flight shard from the last good snapshot — or fails the
+    /// job if the shard looks poisonous — and spawns a replacement.
+    fn worker_died(&mut self, w: usize) {
+        let busy = match self.states[w] {
+            WorkerState::Busy { fingerprint, .. } => Some(fingerprint),
+            _ => None,
+        };
+        self.states[w] = WorkerState::Dead;
+        if let Some(fp) = busy {
+            let run = self.runs.get_mut(&fp).expect("busy run exists");
+            run.deaths += 1;
+            if run.deaths >= 2 && self.pool.can_respawn() {
+                // The replacement died on the same shard: a poison job
+                // would grind through fresh processes forever. Fail
+                // the job; the service (and every other job) lives.
+                let shard = run.shard;
+                let deaths = run.deaths;
+                self.finish_run(
+                    fp,
+                    &Err(SvcError::Failed {
+                        message: format!(
+                            "shard {shard} killed {deaths} workers in a row (no \
+                             completed shard in between): poison job"
+                        ),
+                    }),
+                );
+            } else {
+                self.queue.push_front(fp);
+            }
+        }
+        self.respawn();
+        self.fail_if_all_dead();
+        self.dispatch();
+    }
+
+    /// A protocol violation from worker `w`: quarantine the slot like
+    /// a death. (The reader thread follows a garbled stream with a
+    /// `Closed`, which the dead-slot check then ignores.)
+    fn quarantine(&mut self, w: usize) {
+        if !matches!(self.states[w], WorkerState::Dead) {
+            self.pool.note_lost();
+            self.worker_died(w);
+        }
+    }
+
+    // ---- scheduling ---------------------------------------------------
+
+    /// Hands every ready chain head to an idle worker.
+    fn dispatch(&mut self) {
+        while let Some(&fp) = self.queue.front() {
+            let Some(w) = self
+                .states
+                .iter()
+                .position(|s| matches!(s, WorkerState::Idle))
+            else {
+                return;
+            };
+            self.queue.pop_front();
+            let run = self.runs.get_mut(&fp).expect("queued run exists");
+            let job_id = self.next_job;
+            self.next_job += 1;
+            // The snapshot is *moved* into the job frame (it dominates
+            // the payload) and restored right after the write, so the
+            // run still holds its last good snapshot if this worker is
+            // later lost mid-shard.
+            let job = Frame::Job(Job {
+                id: job_id,
+                workload: run.spec.workload.clone(),
+                scale: run.spec.scale,
+                lanes: run.lanes.clone(),
+                shard: run.shard,
+                budget: run.spec.plan.budget(run.spec.total_fuel, run.executed),
+                total_fuel: run.spec.total_fuel,
+                last: run.spec.plan.is_last(run.shard as usize),
+                snapshot: run.snapshot.take(),
+            });
+            let wrote = self.pool.send(w, &job);
+            let Frame::Job(job) = job else { unreachable!() };
+            self.runs.get_mut(&fp).expect("queued run exists").snapshot = job.snapshot;
+            match wrote {
+                Ok(()) => {
+                    self.stats.jobs_dispatched += 1;
+                    self.states[w] = WorkerState::Busy {
+                        job: job_id,
+                        fingerprint: fp,
+                    };
+                }
+                Err(WireError::Codec(e)) => {
+                    // The job itself cannot be framed (e.g. a snapshot
+                    // over the frame limit): every worker would refuse
+                    // it identically — fail the job, not the worker.
+                    self.finish_run(
+                        fp,
+                        &Err(SvcError::Failed {
+                            message: format!("job could not be framed: {e}"),
+                        }),
+                    );
+                }
+                Err(WireError::Io(_)) => {
+                    // The worker died between frames; the job never
+                    // reached it, so this death does not count against
+                    // the run's poison detector.
+                    self.states[w] = WorkerState::Dead;
+                    self.pool.note_lost();
+                    self.queue.push_front(fp);
+                    self.respawn();
+                    if self.fail_if_all_dead() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The run a busy worker's reply belongs to; `None` (protocol
+    /// violation) when the worker is not busy or echoes the wrong id.
+    fn busy_fingerprint(&self, w: usize, job: u64) -> Option<u64> {
+        match self.states[w] {
+            WorkerState::Busy {
+                job: expect,
+                fingerprint,
+            } if expect == job => Some(fingerprint),
+            _ => None,
+        }
+    }
+
+    /// Answers every waiter of `fp` and removes the run, keeping the
+    /// accepted = completed + failed + in_flight invariant.
+    fn finish_run(&mut self, fp: u64, reply: &Reply) {
+        let Some(run) = self.runs.remove(&fp) else {
+            return;
+        };
+        self.queue.retain(|&k| k != fp);
+        let n = run.waiters.len() as u64;
+        self.stats.in_flight -= n;
+        match reply {
+            Ok(_) => self.stats.completed += n,
+            Err(_) => self.stats.failed += n,
+        }
+        for waiter in run.waiters {
+            let _ = waiter.send(reply.clone());
+        }
+    }
+
+    /// Asks the pool for a replacement worker and mirrors the new
+    /// slots into the scheduler's state table.
+    fn respawn(&mut self) {
+        for (_, ok) in self.pool.respawn_worker() {
+            self.states.push(if ok {
+                WorkerState::Connecting
+            } else {
+                WorkerState::Dead
+            });
+        }
+    }
+
+    fn all_workers_dead(&self) -> bool {
+        self.states.iter().all(|s| matches!(s, WorkerState::Dead))
+    }
+
+    /// With no worker left nothing queued can ever complete: fail all
+    /// in-flight jobs now. The service itself keeps running — the
+    /// cache still answers hits. Returns whether the pool is dead.
+    fn fail_if_all_dead(&mut self) -> bool {
+        if !self.all_workers_dead() {
+            return false;
+        }
+        let fingerprints: Vec<u64> = self.runs.keys().copied().collect();
+        for fp in fingerprints {
+            self.finish_run(
+                fp,
+                &Err(SvcError::Failed {
+                    message: "all workers died".into(),
+                }),
+            );
+        }
+        self.queue.clear();
+        true
+    }
+
+    /// A consistent stats snapshot: the monotonic counters plus the
+    /// live gauges (queue depth, worker states, cache/pool totals).
+    fn snapshot(&self) -> SvcStats {
+        let mut s = self.stats;
+        s.queue_depth = self.queue.len() as u64;
+        s.evictions = self.cache.evictions();
+        s.workers_lost = u64::from(self.pool.lost());
+        s.workers_respawned = u64::from(self.pool.respawned());
+        s.workers_idle = 0;
+        s.workers_busy = 0;
+        s.workers_dead = 0;
+        for state in &self.states {
+            match state {
+                WorkerState::Idle => s.workers_idle += 1,
+                // A handshaking worker is not available for work yet.
+                WorkerState::Busy { .. } | WorkerState::Connecting => s.workers_busy += 1,
+                WorkerState::Dead => s.workers_dead += 1,
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("pool", &self.pool)
+            .field("runs", &self.runs.len())
+            .field("queue", &self.queue.len())
+            .field("cache", &self.cache.len())
+            .finish()
+    }
+}
+
+// The socket-pair transport these tests drive is Unix-only; the
+// process-spawning production path is covered by the root-level
+// `service_cache` / `service_traffic` suites and the `replay_service`
+// example.
+#[cfg(all(test, unix))]
+mod unix_tests {
+    use super::*;
+    use loopspec_dist::worker::Worker;
+    use loopspec_dist::Policy;
+    use std::os::unix::net::UnixStream;
+
+    /// A service over `n` worker *threads* connected by Unix socket
+    /// pairs — the transport without the process spawn, so the unit
+    /// tests stay fast and hermetic.
+    fn thread_service(n: usize, config: SvcConfig) -> Service {
+        let mut links = Vec::new();
+        for _ in 0..n {
+            let (ours, theirs) = UnixStream::pair().expect("socketpair");
+            links.push(WorkerLink::from_unix(ours).expect("clone"));
+            std::thread::spawn(move || {
+                let reader = theirs.try_clone().expect("clone");
+                let _ = Worker::new().serve(reader, theirs);
+            });
+        }
+        Service::with_links(config, links)
+    }
+
+    fn small_spec(workload: &str) -> JobSpec {
+        JobSpec::new(workload)
+            .policies([Policy::Str])
+            .tus([2])
+            .total_fuel(200_000)
+    }
+
+    fn assert_invariants(s: &SvcStats) {
+        assert_eq!(s.submitted, s.accepted + s.rejected, "{s:?}");
+        assert_eq!(s.accepted, s.completed + s.failed + s.in_flight, "{s:?}");
+    }
+
+    #[test]
+    fn repeat_submission_hits_the_cache() {
+        let service = thread_service(2, SvcConfig::default());
+        let client = service.client();
+        let first = client.run(small_spec("compress")).expect("first run");
+        let again = client.run(small_spec("compress")).expect("second run");
+        assert!(!first.cached, "first submission must compute");
+        assert!(again.cached, "repeat submission must hit the cache");
+        assert_eq!(first.report, again.report, "cache answers byte-identically");
+
+        // Re-slicing the same study is still the same cache line.
+        let resliced = client
+            .run(small_spec("compress").plan(loopspec_pipeline::Plan::split(3)))
+            .expect("resliced run");
+        assert!(resliced.cached, "slicing is excluded from the fingerprint");
+        assert_eq!(resliced.report, first.report);
+
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 1);
+        assert_invariants(&stats);
+        let text = service.metrics_text();
+        assert!(text.contains("svc_cache_hits 2"), "{text}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn identical_inflight_submissions_coalesce() {
+        let service = thread_service(1, SvcConfig::default());
+        let client = service.client();
+        let a = client.submit(small_spec("compress"));
+        let b = client.submit(small_spec("compress"));
+        let (a, b) = (a.wait().expect("a"), b.wait().expect("b"));
+        assert_eq!(a.report, b.report);
+        let stats = service.stats();
+        // Depending on timing the second submission either coalesced
+        // onto the running computation or hit the freshly filled
+        // cache; exactly one worker computation happened either way.
+        assert_eq!(stats.cache_misses, 1, "{stats:?}");
+        assert_eq!(stats.coalesced + stats.cache_hits, 1, "{stats:?}");
+        assert_invariants(&stats);
+        service.shutdown();
+    }
+
+    #[test]
+    fn admission_control_rejects_beyond_the_queue_limit() {
+        let service = thread_service(
+            1,
+            SvcConfig {
+                workers: 1,
+                queue_limit: 1,
+                cache_capacity: 16,
+            },
+        );
+        let client = service.client();
+        // Distinct specs so neither coalesces with the other; the
+        // second is submitted while the first still occupies the one
+        // admission slot.
+        let slow = client.submit(small_spec("compress").total_fuel(2_000_000));
+        let refused = client.submit(small_spec("go"));
+        match refused.wait() {
+            Err(SvcError::Rejected { queue_depth }) => assert_eq!(queue_depth, 1),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        slow.wait().expect("admitted job completes");
+        let stats = service.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_invariants(&stats);
+        service.shutdown();
+    }
+
+    #[test]
+    fn invalid_specs_fail_without_touching_workers() {
+        let service = thread_service(1, SvcConfig::default());
+        let client = service.client();
+        match client.run(JobSpec::new("specmark")) {
+            Err(SvcError::Failed { message }) => assert!(message.contains("invalid")),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        let stats = service.stats();
+        assert_eq!((stats.failed, stats.jobs_dispatched), (1, 0));
+        assert_invariants(&stats);
+        service.shutdown();
+    }
+
+    #[test]
+    fn wire_clients_get_done_stats_and_rejection_frames() {
+        let service = thread_service(2, SvcConfig::default());
+        let client = service.client();
+        let spec = small_spec("compress");
+        let mut input = Vec::new();
+        write_frame(
+            &mut input,
+            &Frame::Submit {
+                id: 1,
+                spec: spec.clone(),
+            },
+        )
+        .unwrap();
+        write_frame(&mut input, &Frame::Submit { id: 2, spec }).unwrap();
+        write_frame(&mut input, &Frame::StatsRequest).unwrap();
+        let mut output = Vec::new();
+        client.serve(&input[..], &mut output).expect("serve");
+        let mut frames = FrameReader::new(&output[..]);
+        let Some(Frame::Done {
+            id: 1,
+            cached: false,
+            report,
+        }) = frames.read_frame().unwrap()
+        else {
+            panic!("expected an uncached Done");
+        };
+        let Some(Frame::Done {
+            id: 2,
+            cached: true,
+            report: cached_report,
+        }) = frames.read_frame().unwrap()
+        else {
+            panic!("expected a cached Done");
+        };
+        assert_eq!(report, cached_report);
+        let Some(Frame::Stats(stats)) = frames.read_frame().unwrap() else {
+            panic!("expected Stats");
+        };
+        assert_eq!(stats.submitted, 2);
+        assert_invariants(&stats);
+        assert_eq!(frames.read_frame().unwrap(), None);
+        service.shutdown();
+    }
+
+    #[test]
+    fn corrupted_cache_entries_recompute() {
+        let service = thread_service(1, SvcConfig::default());
+        let client = service.client();
+        let spec = small_spec("compress");
+        let fingerprint = spec.fingerprint();
+        let first = client.run(spec.clone()).expect("first run");
+        assert!(service.corrupt_cache_entry(fingerprint));
+        let recomputed = client.run(spec.clone()).expect("recompute");
+        assert!(!recomputed.cached, "corrupt entry must not serve");
+        assert_eq!(recomputed.report, first.report);
+        let healed = client.run(spec).expect("healed");
+        assert!(healed.cached, "recompute re-fills the cache line");
+        let stats = service.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.cache_misses, 2);
+        assert_invariants(&stats);
+        service.shutdown();
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        assert!(SvcError::Rejected { queue_depth: 3 }
+            .to_string()
+            .contains("admission"));
+        assert!(SvcError::Failed {
+            message: "poison".into()
+        }
+        .to_string()
+        .contains("poison"));
+        assert!(SvcError::Disconnected.to_string().contains("gone"));
+    }
+}

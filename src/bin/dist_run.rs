@@ -14,7 +14,8 @@
 //! uninterrupted in-process pass and checks the distributed results are
 //! byte-identical.
 
-use loopspec::dist::{worker, Coordinator, SuiteSpec};
+use loopspec::dist::{worker, Coordinator, JobSpec};
+use loopspec::pipeline::Plan;
 use loopspec::workloads::Scale;
 
 fn usage() -> ! {
@@ -68,10 +69,20 @@ fn main() {
         usage();
     }
 
-    let mut spec = SuiteSpec::full_grid(scale, shard_fuel);
-    if !workloads.is_empty() {
-        spec.workloads = workloads;
+    if workloads.is_empty() {
+        workloads = loopspec::workloads::all()
+            .iter()
+            .map(|w| w.name.to_string())
+            .collect();
     }
+    // One typed template describes the whole study (the default
+    // JobSpec grid IS the paper's 20-lane grid); the suite just runs
+    // it over every requested workload.
+    let template = JobSpec::new(workloads[0].clone())
+        .scale(scale)
+        .plan(Plan::sliced(shard_fuel));
+    let mut spec = template.suite();
+    spec.workloads = workloads;
 
     let coordinator = match Coordinator::spawn(workers) {
         Ok(c) => c,

@@ -19,7 +19,12 @@
 //! | [`dataspec`] | `loopspec-dataspec` | Live-in value predictability (paper §4) |
 //! | [`pipeline`] | `loopspec-pipeline` | Single-pass streaming `Session` |
 //! | [`dist`] | `loopspec-dist` | Multi-process distributed replay (coordinator/workers) |
+//! | [`svc`] | `loopspec-svc` | Persistent replay service with a content-addressed report cache |
 //! | [`workloads`] | `loopspec-workloads` | 18 SPEC95-shaped synthetic programs |
+//!
+//! Failures from any layer unify into [`enum@Error`], so application
+//! code can `?` across assembler, CPU, session, wire, distributed and
+//! service calls with one error type.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +70,10 @@
 
 #![deny(missing_docs)]
 
+mod error;
+
+pub use error::Error;
+
 pub use loopspec_asm as asm;
 pub use loopspec_core as core;
 pub use loopspec_cpu as cpu;
@@ -73,6 +82,7 @@ pub use loopspec_dist as dist;
 pub use loopspec_isa as isa;
 pub use loopspec_mt as mt;
 pub use loopspec_pipeline as pipeline;
+pub use loopspec_svc as svc;
 pub use loopspec_workloads as workloads;
 
 /// The most common types, importable in one line.
@@ -85,7 +95,8 @@ pub mod prelude {
     pub use loopspec_cpu::{Cpu, DecodedProgram, Demand, InstrEvent, RunLimits, Tracer};
     pub use loopspec_dataspec::{DataSpecProfiler, LiveInProfiler};
     pub use loopspec_dist::{
-        Coordinator, DistError, DistOutcome, LaneReport, LaneSpec, SuiteSpec, WorkerLink,
+        Coordinator, DistError, DistOutcome, JobSpec, LaneReport, LaneSpec, Policy, SuiteSpec,
+        SvcStats, WorkerLink,
     };
     pub use loopspec_isa::{Addr, AluOp, Cond, Instruction, Reg};
     pub use loopspec_mt::{
@@ -98,5 +109,8 @@ pub mod prelude {
         CheckpointSink, Interp, ParallelSinkSet, Plan, Session, SessionSummary, ShardedRun,
         SinkSet, Snapshot, SnapshotState,
     };
+    pub use loopspec_svc::{Client, Completion, Service, SvcConfig, SvcError};
     pub use loopspec_workloads::{all as all_workloads, by_name as workload_by_name, Scale};
+
+    pub use crate::Error;
 }

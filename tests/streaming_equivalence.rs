@@ -8,7 +8,7 @@
 use loopspec::prelude::*;
 
 /// The policies the acceptance criteria name: IDLE, STR, STR(i).
-fn streaming_engines(tus: usize) -> Vec<(&'static str, Box<dyn EngineSink>)> {
+fn streaming_engines(tus: usize) -> Vec<(&'static str, Box<dyn EngineSink + Send>)> {
     vec![
         ("IDLE", Box::new(StreamEngine::new(IdlePolicy::new(), tus))),
         ("STR", Box::new(StreamEngine::new(StrPolicy::new(), tus))),
