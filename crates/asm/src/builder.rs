@@ -259,6 +259,19 @@ impl ProgramBuilder {
         pool.push(r);
     }
 
+    /// How many registers the active pool (main or function scratch)
+    /// still has free — the headroom compilers building on top of this
+    /// builder (the `loopspec-gen` lowering pass) consult before
+    /// choosing between register-resident and memory-resident loop
+    /// counters.
+    pub fn free_regs(&self) -> usize {
+        if self.in_function {
+            self.func_free.len()
+        } else {
+            self.main_free.len()
+        }
+    }
+
     /// Allocates a register, runs `f` with it, then frees it.
     pub fn with_reg<T>(&mut self, f: impl FnOnce(&mut Self, Reg) -> T) -> T {
         let r = self.alloc_reg();
@@ -552,6 +565,32 @@ impl ProgramBuilder {
         self.asm.call(label, Reg::RA);
     }
 
+    /// Loads the entry address of function `name` into `rd` — the
+    /// building block for function-pointer tables. The function may be
+    /// defined before or after this point; an address taken of a
+    /// function that is never defined fails [`ProgramBuilder::finish`].
+    pub fn func_addr(&mut self, rd: Reg, name: &str) {
+        let label = self.func_label(name);
+        self.asm.load_label_addr(rd, label);
+    }
+
+    /// Emits an indirect call through `target` (a register holding a
+    /// function entry address, e.g. one produced by
+    /// [`ProgramBuilder::func_addr`] or loaded from a function-pointer
+    /// table). Uses the same `RA` linkage as [`ProgramBuilder::call_func`],
+    /// so the callee's prologue/epilogue work unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is `RA` (the link write would race the read).
+    pub fn call_reg(&mut self, target: Reg) {
+        assert_ne!(target, Reg::RA, "indirect-call target must not be RA");
+        self.emit(Instruction::CallInd {
+            base: target,
+            link: Reg::RA,
+        });
+    }
+
     /// Sets argument `k` of an upcoming call.
     ///
     /// # Panics
@@ -671,6 +710,20 @@ impl ProgramBuilder {
             base: Reg::AT,
             offset: 0,
         });
+    }
+
+    /// `rd <- mem[base + offset]` — register-indirect load through a
+    /// pointer register (pointer chasing, stack slots). Unlike
+    /// [`ProgramBuilder::load_static`] this never touches `AT`, so it is
+    /// safe while `AT` holds live builder state.
+    pub fn load_at(&mut self, rd: Reg, base: Reg, offset: i32) {
+        self.emit(Instruction::Load { rd, base, offset });
+    }
+
+    /// `mem[base + offset] <- src` — register-indirect store through a
+    /// pointer register. Never touches `AT`.
+    pub fn store_at(&mut self, src: Reg, base: Reg, offset: i32) {
+        self.emit(Instruction::Store { src, base, offset });
     }
 
     /// Emits `n` filler integer ALU instructions (a fresh constant load
@@ -965,6 +1018,63 @@ mod tests {
             .count();
         assert_eq!(stores, loads);
         assert_eq!(stores, FRAME_WORDS as usize);
+    }
+
+    #[test]
+    fn free_regs_tracks_the_active_pool() {
+        let mut b = ProgramBuilder::new();
+        let full = b.free_regs();
+        let r = b.alloc_reg();
+        assert_eq!(b.free_regs(), full - 1);
+        b.free_reg(r);
+        assert_eq!(b.free_regs(), full);
+    }
+
+    #[test]
+    fn indirect_call_through_func_addr() {
+        let mut b = ProgramBuilder::new();
+        b.define_func("leaf", |b| b.work(1));
+        let r = b.alloc_reg();
+        b.func_addr(r, "leaf");
+        b.call_reg(r);
+        b.free_reg(r);
+        let p = b.finish().unwrap();
+        let leaf = p.symbol("leaf").unwrap();
+        let indirect = p
+            .code()
+            .iter()
+            .filter(|i| matches!(i.control_kind(), ControlKind::IndirectCall))
+            .count();
+        assert_eq!(indirect, 1);
+        // The address materialized for the call is the function entry.
+        let loaded = p
+            .code()
+            .iter()
+            .find_map(|i| match i {
+                Instruction::LoadImm { imm, .. } if *imm == leaf.index() as i64 => Some(*imm),
+                _ => None,
+            })
+            .is_some();
+        assert!(loaded, "func_addr must materialize the entry address");
+    }
+
+    #[test]
+    fn indirect_addressing_never_touches_at() {
+        let mut b = ProgramBuilder::new();
+        let p = b.alloc_reg();
+        b.li(p, STATIC_BASE);
+        b.load_at(p, p, 3);
+        b.store_at(p, p, -1);
+        b.free_reg(p);
+        let prog = b.finish().unwrap();
+        let at_writes = prog
+            .code()
+            .iter()
+            .filter(|i| {
+                matches!(i, Instruction::Load { base, .. } | Instruction::Store { base, .. } if *base == Reg::AT)
+            })
+            .count();
+        assert_eq!(at_writes, 0);
     }
 
     #[test]

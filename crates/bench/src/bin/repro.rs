@@ -3,7 +3,7 @@
 //! ```text
 //! repro [EXPERIMENT ...] [--scale test|small|full]
 //!
-//! EXPERIMENT: table1 fig4 fig5 fig6 fig7 table2 fig8 ablation all
+//! EXPERIMENT: table1 fig4 fig5 fig6 genfig6 fig7 table2 fig8 ablation all
 //! ```
 
 use std::process::ExitCode;
@@ -16,12 +16,16 @@ use loopspec_core::Replacement;
 use loopspec_pipeline::Interp;
 use loopspec_workloads::{all, Scale};
 
-const USAGE: &str = "usage: repro [table1|fig4|fig5|fig6|fig7|table2|fig8|ablation|all ...] \
+const USAGE: &str =
+    "usage: repro [table1|fig4|fig5|fig6|genfig6|fig7|table2|fig8|ablation|all ...] \
                      [--scale test|small|full]";
 
-const ALL_EXPERIMENTS: [&str; 8] = [
-    "table1", "fig4", "fig5", "fig6", "fig7", "table2", "fig8", "ablation",
+const ALL_EXPERIMENTS: [&str; 9] = [
+    "table1", "fig4", "fig5", "fig6", "genfig6", "fig7", "table2", "fig8", "ablation",
 ];
+
+/// Seeds per generated family in the `genfig6` sweep.
+const GEN_SEEDS: u64 = 4;
 
 fn main() -> ExitCode {
     let mut scale = Scale::Full;
@@ -97,6 +101,7 @@ fn main() -> ExitCode {
             "fig4" => report::render_fig4(&experiments::fig4(&runs)),
             "fig5" => report::render_fig5(&experiments::fig5(&runs)),
             "fig6" => report::render_fig6(&experiments::fig6(&runs)),
+            "genfig6" => report::render_gen_fig6(&experiments::gen_fig6(GEN_SEEDS, scale)),
             "fig7" => report::render_fig7(&experiments::fig7(&runs)),
             "table2" => report::render_table2(&experiments::table2(&runs)),
             "fig8" => {

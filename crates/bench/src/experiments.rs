@@ -245,6 +245,68 @@ pub fn fig6(runs: &[WorkloadRun]) -> Vec<Fig6Row> {
 }
 
 // ---------------------------------------------------------------------
+// Figure 6 by loop shape (generated scenario families)
+// ---------------------------------------------------------------------
+
+/// One "Figure 6 by loop shape" row: a generated scenario family's
+/// STR TPC across TU counts, averaged over its seed corpus, plus the
+/// differential-harness verdict for those seeds.
+#[derive(Debug, Clone)]
+pub struct GenFig6Row {
+    /// Family name (see `loopspec_gen::families`).
+    pub family: &'static str,
+    /// Seeds swept (`0..seeds`).
+    pub seeds: u64,
+    /// Seeds that passed the full differential harness.
+    pub passed: u64,
+    /// Committed instructions across the corpus.
+    pub instructions: u64,
+    /// Loop events across the corpus.
+    pub loop_events: u64,
+    /// Corpus-average STR TPC at 2, 4, 8 and 16 TUs.
+    pub tpc: [f64; 4],
+}
+
+/// The generated-scenario companion to Figure 6: the STR TPC sweep of
+/// the paper, broken down *by loop shape* instead of by SPEC program.
+/// Every seed is first pushed through the full differential harness
+/// (legacy vs decoded, batch vs streaming vs sharded), so a row's TPC
+/// numbers are only reported for programs whose reports were proven
+/// byte-identical on every execution path.
+pub fn gen_fig6(seeds: u64, scale: Scale) -> Vec<GenFig6Row> {
+    let size = scale.factor() as u32;
+    loopspec_gen::families()
+        .iter()
+        .map(|family| {
+            let verdict = loopspec_gen::run_family(family, seeds, size);
+            let mut tpc = [0.0f64; 4];
+            for seed in 0..seeds {
+                let program = loopspec_gen::compile(&family.generate(seed, size))
+                    .expect("family programs compile");
+                let mut collector = EventCollector::default();
+                Cpu::new()
+                    .run(&program, &mut collector, RunLimits::default())
+                    .expect("family programs execute");
+                let (events, n) = collector.into_parts();
+                let trace = AnnotatedTrace::build(&events, n);
+                for (k, tus) in TU_COUNTS.iter().enumerate() {
+                    tpc[k] +=
+                        Engine::new(&trace, StrPolicy::new(), *tus).run().tpc() / seeds as f64;
+                }
+            }
+            GenFig6Row {
+                family: family.name,
+                seeds,
+                passed: verdict.passed,
+                instructions: verdict.instructions,
+                loop_events: verdict.loop_events,
+                tpc,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // Figure 7
 // ---------------------------------------------------------------------
 
@@ -531,6 +593,24 @@ mod tests {
         assert_eq!(rows.len(), 3);
         for v in avg {
             assert!((0.0..=100.0).contains(&v), "{avg:?}");
+        }
+    }
+
+    #[test]
+    fn gen_fig6_verifies_and_reports_every_family() {
+        let rows = gen_fig6(2, Scale::Test);
+        assert_eq!(rows.len(), loopspec_gen::families().len());
+        for r in &rows {
+            assert_eq!(r.passed, r.seeds, "{}: harness failures", r.family);
+            assert!(r.instructions > 0);
+            for (k, tpc) in r.tpc.iter().enumerate() {
+                assert!(
+                    *tpc >= 1.0 - 1e-9 && *tpc <= TU_COUNTS[k] as f64 + 1e-9,
+                    "{}: TPC {tpc} out of range at {} TUs",
+                    r.family,
+                    TU_COUNTS[k]
+                );
+            }
         }
     }
 

@@ -5,8 +5,8 @@ use std::fmt::Write as _;
 use loopspec_core::TableKind;
 
 use crate::experiments::{
-    ClsAblationPoint, Fig4Point, Fig5Row, Fig6Row, Fig7Row, Fig8Row, Table1Row, Table2Row,
-    TU_COUNTS,
+    ClsAblationPoint, Fig4Point, Fig5Row, Fig6Row, Fig7Row, Fig8Row, GenFig6Row, Table1Row,
+    Table2Row, TU_COUNTS,
 };
 use crate::paper;
 
@@ -165,6 +165,37 @@ pub fn render_fig6(rows: &[Fig6Row]) -> String {
         paper[3].clone(),
     ]);
     format!("Figure 6: TPC with the STR policy\n{}", t.render())
+}
+
+/// Renders the generated-scenario companion to Figure 6.
+pub fn render_gen_fig6(rows: &[GenFig6Row]) -> String {
+    let mut t = TextTable::new([
+        "family",
+        "verified",
+        "instrs",
+        "loop evts",
+        "2 TUs",
+        "4 TUs",
+        "8 TUs",
+        "16 TUs",
+    ]);
+    for r in rows {
+        t.row([
+            r.family.to_string(),
+            format!("{}/{}", r.passed, r.seeds),
+            r.instructions.to_string(),
+            r.loop_events.to_string(),
+            f2(r.tpc[0]),
+            f2(r.tpc[1]),
+            f2(r.tpc[2]),
+            f2(r.tpc[3]),
+        ]);
+    }
+    format!(
+        "Figure 6 by loop shape: STR TPC over generated scenario families\n\
+         (each seed differentially verified: legacy = decoded, batch = streaming = sharded)\n{}",
+        t.render()
+    )
 }
 
 /// Renders Figure 7.

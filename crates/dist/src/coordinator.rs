@@ -292,10 +292,8 @@ pub fn single_pass_outcome(
         workload: workload.to_string(),
         message,
     };
-    let w = loopspec_workloads::by_name(workload)
-        .ok_or_else(|| fail(format!("unknown workload '{workload}'")))?;
-    let program = w
-        .build(scale)
+    let program = loopspec_workloads::build_named(workload, scale)
+        .ok_or_else(|| fail(format!("unknown workload '{workload}'")))?
         .map_err(|e| fail(format!("failed to assemble: {e}")))?;
     let mut grid = LaneSpec::build_grid(lanes).map_err(|e| fail(format!("bad lane spec: {e}")))?;
     let summary = {

@@ -181,14 +181,15 @@ impl JobSpec {
     }
 
     /// Checks everything a worker or service would otherwise reject
-    /// mid-run: a known workload name, a non-empty valid lane grid,
-    /// and a non-zero fuel budget.
+    /// mid-run: a known workload name (a calibrated kernel or a
+    /// well-formed `gen:<family>:<seed>` scenario), a non-empty valid
+    /// lane grid, and a non-zero fuel budget.
     ///
     /// # Errors
     ///
     /// [`SnapError::Corrupt`] naming the offending field.
     pub fn validate(&self) -> Result<(), SnapError> {
-        if loopspec_workloads::by_name(&self.workload).is_none() {
+        if !loopspec_workloads::known_name(&self.workload) {
             return Err(SnapError::Corrupt {
                 what: "unknown workload name",
             });
@@ -377,6 +378,46 @@ mod tests {
         assert!(JobSpec::new("compress").tus([]).validate().is_err());
         assert!(JobSpec::new("compress").tus([1]).validate().is_err());
         assert!(JobSpec::new("compress").total_fuel(0).validate().is_err());
+    }
+
+    #[test]
+    fn validation_admits_generated_scenarios() {
+        assert!(JobSpec::new("gen:chase:7").validate().is_ok());
+        assert!(JobSpec::new("gen:mixed:123456789").validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_malformed_gen_tokens() {
+        // Every malformation admission control must stop before a
+        // worker sees it: bad family, bad seed, bad shape.
+        for name in [
+            "gen:",
+            "gen:chase",
+            "gen:chase:",
+            "gen:chase:seed",
+            "gen:chase:-1",
+            "gen:chase:1.5",
+            "gen::7",
+            "gen:unknownfamily:7",
+            "gen:CHASE:7",
+        ] {
+            let err = JobSpec::new(name).validate();
+            assert!(err.is_err(), "{name:?} must be rejected");
+        }
+        // Other fields are still checked for gen names.
+        assert!(JobSpec::new("gen:chase:7")
+            .total_fuel(0)
+            .validate()
+            .is_err());
+        assert!(JobSpec::new("gen:chase:7").tus([]).validate().is_err());
+    }
+
+    #[test]
+    fn gen_fingerprints_distinguish_family_and_seed() {
+        let a = JobSpec::new("gen:chase:7");
+        assert_ne!(a.fingerprint(), JobSpec::new("gen:chase:8").fingerprint());
+        assert_ne!(a.fingerprint(), JobSpec::new("gen:trips:7").fingerprint());
+        assert_eq!(a.fingerprint(), JobSpec::new("gen:chase:7").fingerprint());
     }
 
     #[test]

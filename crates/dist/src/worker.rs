@@ -145,10 +145,8 @@ fn execute_job(
     let program = match programs.entry(key) {
         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
         std::collections::hash_map::Entry::Vacant(e) => {
-            let workload = loopspec_workloads::by_name(&job.workload)
-                .ok_or_else(|| format!("unknown workload '{}'", job.workload))?;
-            let program = workload
-                .build(job.scale)
+            let program = loopspec_workloads::build_named(&job.workload, job.scale)
+                .ok_or_else(|| format!("unknown workload '{}'", job.workload))?
                 .map_err(|e| format!("workload '{}' failed to assemble: {e}", job.workload))?;
             e.insert(program)
         }

@@ -1,0 +1,263 @@
+//! A simple register allocator over the builder's physical pools.
+//!
+//! Every virtual register of a function (or of the main body) gets a
+//! *location* for its whole scope: a physical register from the
+//! builder's active pool, or — once the pool budget is spent — a spill
+//! slot. Spill slots live in static memory for the main body and in
+//! the function's own stack frame for function bodies (so recursive
+//! activations do not clobber each other). Two pool registers are
+//! reserved as scratch for spill traffic and address arithmetic, and a
+//! fixed headroom of pool registers is left free for the lowering
+//! pass's register-resident loop counters.
+
+use loopspec_asm::ProgramBuilder;
+use loopspec_isa::Reg;
+
+use crate::ast::VReg;
+
+/// Pool registers the allocator leaves free for loop counters; when
+/// they run out too, the lowering pass switches to memory-resident
+/// counters, so deeper nests cost memory traffic instead of failing.
+const LOOP_HEADROOM: usize = 4;
+
+/// A spill-slot address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// Absolute static-memory word address (main body).
+    Static(i64),
+    /// Stack-frame word offset from `SP` (function bodies).
+    Stack(i32),
+}
+
+impl Slot {
+    /// Emits `dest <- mem[slot]`.
+    pub fn load(self, b: &mut ProgramBuilder, dest: Reg) {
+        match self {
+            Slot::Static(addr) => b.load_static(dest, addr),
+            Slot::Stack(off) => b.load_at(dest, Reg::SP, off),
+        }
+    }
+
+    /// Emits `mem[slot] <- src`.
+    pub fn store(self, b: &mut ProgramBuilder, src: Reg) {
+        match self {
+            Slot::Static(addr) => b.store_static(src, addr),
+            Slot::Stack(off) => b.store_at(src, Reg::SP, off),
+        }
+    }
+}
+
+/// Where a virtual register lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A pool register for the whole scope.
+    Reg(Reg),
+    /// A spill slot; reads/writes go through the scratch registers.
+    Spill(Slot),
+}
+
+#[derive(Debug)]
+enum Frame {
+    /// Spills and loop counters come from `alloc_static`.
+    Static,
+    /// Spills and loop counters come from a pre-reserved stack region;
+    /// `next` bumps toward `limit`.
+    Stack { next: i32, limit: i32 },
+}
+
+/// The per-scope allocation: virtual-register locations, the two
+/// scratch registers, and the spill frame.
+#[derive(Debug)]
+pub struct RegAlloc {
+    locs: Vec<Loc>,
+    scratch: [Reg; 2],
+    homes: Vec<Reg>,
+    frame: Frame,
+}
+
+impl RegAlloc {
+    /// Plans the main body: scratches and register homes come from the
+    /// main pool, spills from static memory.
+    pub fn plan_main(b: &mut ProgramBuilder, vregs: u32) -> RegAlloc {
+        let scratch = [b.alloc_reg(), b.alloc_reg()];
+        let n_homes = (vregs as usize).min(b.free_regs().saturating_sub(LOOP_HEADROOM));
+        let homes: Vec<Reg> = (0..n_homes).map(|_| b.alloc_reg()).collect();
+        let n_spills = vregs as usize - n_homes;
+        let spill_base = if n_spills > 0 {
+            b.alloc_static(n_spills as i64)
+        } else {
+            0
+        };
+        let locs = (0..vregs as usize)
+            .map(|k| {
+                if k < n_homes {
+                    Loc::Reg(homes[k])
+                } else {
+                    Loc::Spill(Slot::Static(spill_base + (k - n_homes) as i64))
+                }
+            })
+            .collect();
+        RegAlloc {
+            locs,
+            scratch,
+            homes,
+            frame: Frame::Static,
+        }
+    }
+
+    /// Plans a function body: scratches and homes come from the
+    /// function pool, spills and loop counters from a stack region of
+    /// `loop_words` + spill-count words. Returns the allocation and the
+    /// total frame size the lowering pass must reserve (`addi SP, -n` …
+    /// `addi SP, +n` around the body).
+    pub fn plan_func(b: &mut ProgramBuilder, vregs: u32, loop_words: i32) -> (RegAlloc, i32) {
+        let scratch = [b.alloc_reg(), b.alloc_reg()];
+        let n_homes = (vregs as usize).min(b.free_regs().saturating_sub(LOOP_HEADROOM));
+        let homes: Vec<Reg> = (0..n_homes).map(|_| b.alloc_reg()).collect();
+        let n_spills = (vregs as usize - n_homes) as i32;
+        let frame_words = n_spills + loop_words;
+        let locs = (0..vregs as usize)
+            .map(|k| {
+                if k < n_homes {
+                    Loc::Reg(homes[k])
+                } else {
+                    Loc::Spill(Slot::Stack((k - n_homes) as i32))
+                }
+            })
+            .collect();
+        let alloc = RegAlloc {
+            locs,
+            scratch,
+            homes,
+            frame: Frame::Stack {
+                next: n_spills,
+                limit: frame_words,
+            },
+        };
+        (alloc, frame_words)
+    }
+
+    /// Scratch register `k` (`k < 2`).
+    pub fn scratch(&self, k: usize) -> Reg {
+        self.scratch[k]
+    }
+
+    /// The location of `v`.
+    pub fn loc(&self, v: VReg) -> Loc {
+        self.locs[v.0 as usize]
+    }
+
+    /// Materializes `v` for reading: its home register, or a load into
+    /// scratch `slot` when spilled. The returned register must not be
+    /// written unless it is also the destination of the current op.
+    pub fn read(&self, b: &mut ProgramBuilder, v: VReg, slot: usize) -> Reg {
+        match self.loc(v) {
+            Loc::Reg(r) => r,
+            Loc::Spill(s) => {
+                let sc = self.scratch[slot];
+                s.load(b, sc);
+                sc
+            }
+        }
+    }
+
+    /// The register an op should write `v` through: the home register,
+    /// or scratch 0 for spilled vregs ([`RegAlloc::commit`] then stores
+    /// it back).
+    pub fn dest(&self, v: VReg) -> Reg {
+        match self.loc(v) {
+            Loc::Reg(r) => r,
+            Loc::Spill(_) => self.scratch[0],
+        }
+    }
+
+    /// Completes a write to `v`: stores scratch 0 back to the spill
+    /// slot when `v` is spilled, no-op otherwise.
+    pub fn commit(&self, b: &mut ProgramBuilder, v: VReg) {
+        if let Loc::Spill(s) = self.loc(v) {
+            s.store(b, self.scratch[0]);
+        }
+    }
+
+    /// Reserves a `(counter, bound)` slot pair for a memory-resident
+    /// loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function body reserves more loop slots than the
+    /// lowering pass pre-counted (an internal bug, not a user error).
+    pub fn loop_slots(&mut self, b: &mut ProgramBuilder) -> (Slot, Slot) {
+        match &mut self.frame {
+            Frame::Static => {
+                let base = b.alloc_static(2);
+                (Slot::Static(base), Slot::Static(base + 1))
+            }
+            Frame::Stack { next, limit } => {
+                assert!(*next + 2 <= *limit, "loop-slot reservation exceeded");
+                let off = *next;
+                *next += 2;
+                (Slot::Stack(off), Slot::Stack(off + 1))
+            }
+        }
+    }
+
+    /// Returns all claimed pool registers; call once at scope end.
+    pub fn release(self, b: &mut ProgramBuilder) {
+        for r in self.homes.into_iter().rev() {
+            b.free_reg(r);
+        }
+        b.free_reg(self.scratch[1]);
+        b.free_reg(self.scratch[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_counts_live_in_registers() {
+        let mut b = ProgramBuilder::new();
+        let a = RegAlloc::plan_main(&mut b, 3);
+        for k in 0..3 {
+            assert!(matches!(a.loc(VReg(k)), Loc::Reg(_)));
+        }
+        a.release(&mut b);
+    }
+
+    #[test]
+    fn overflow_spills_to_static_memory() {
+        let mut b = ProgramBuilder::new();
+        let a = RegAlloc::plan_main(&mut b, 20);
+        let spilled = (0..20)
+            .filter(|&k| matches!(a.loc(VReg(k)), Loc::Spill(Slot::Static(_))))
+            .count();
+        assert!(spilled >= 10, "expected heavy spilling, got {spilled}");
+        // Headroom for loop counters must remain.
+        assert!(b.free_regs() >= 4);
+        a.release(&mut b);
+    }
+
+    #[test]
+    fn function_spills_use_the_stack_frame() {
+        let mut b = ProgramBuilder::new();
+        b.define_func("probe", |b| {
+            let (a, frame) = RegAlloc::plan_func(b, 12, 4);
+            let spilled = (0..12)
+                .filter(|&k| matches!(a.loc(VReg(k)), Loc::Spill(Slot::Stack(_))))
+                .count();
+            assert!(spilled > 0);
+            assert_eq!(frame, spilled as i32 + 4);
+            let (i, n) = {
+                let mut a = a;
+                let pair = a.loop_slots(b);
+                a.release(b);
+                pair
+            };
+            assert!(matches!(i, Slot::Stack(_)));
+            assert!(matches!(n, Slot::Stack(_)));
+        });
+        b.call_func("probe");
+        b.finish().unwrap();
+    }
+}

@@ -1,0 +1,546 @@
+//! The structured-program AST.
+//!
+//! A portable statement tree over *virtual registers*: loops,
+//! conditionals, calls (direct, recursive and through function-pointer
+//! tables), and memory operations on declared static arrays or raw
+//! pointers. The [allocator](crate::alloc) maps virtual registers to
+//! the builder's physical pools (spilling the overflow), and the
+//! [lowering pass](crate::compile) turns the tree into an executable
+//! [`Program`](loopspec_asm::Program).
+//!
+//! The tree absorbs the ad-hoc `Stmt` generator that used to live
+//! privately in `tests/prop_programs.rs` and extends it with the nodes
+//! that suite could not express: data-dependent trip counts, calls and
+//! recursion, interpreter-style dispatch, and pointer chasing.
+
+use loopspec_isa::{AluOp, Cond};
+
+use crate::rng::Rng;
+
+/// A virtual register. Each function (and the main body) numbers its
+/// own dense namespace from zero; [`AstProgram::vregs`] /
+/// [`FuncDef::vregs`] give the counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VReg(pub u32);
+
+/// Handle of a static array declared in [`AstProgram::arrays`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayId(pub u32);
+
+/// Handle of a function defined in [`AstProgram::funcs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuncId(pub u32);
+
+/// Register-or-immediate right-hand side of compares and ALU ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rhs {
+    /// Immediate operand.
+    Imm(i32),
+    /// Virtual-register operand.
+    Reg(VReg),
+}
+
+/// A value-producing expression (the right-hand side of [`Stmt::Let`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Constant.
+    Const(i64),
+    /// Copy of another virtual register.
+    Copy(VReg),
+    /// Guest-side RNG draw in `0..n` (advances the global LCG state).
+    RngBelow(i32),
+    /// Function argument `k` (valid only as one of the first statements
+    /// of a function body, before any call clobbers the argument regs).
+    Arg(u8),
+    /// The return value of the immediately preceding [`Stmt::Call`] /
+    /// [`Stmt::CallTab`].
+    RetVal,
+    /// Base address of a static array (for pointer arithmetic).
+    ArrayBase(ArrayId),
+    /// Binary ALU operation.
+    Bin(AluOp, VReg, Rhs),
+    /// `array[index & (len-1)]` — masked element load (array lengths
+    /// are rounded to powers of two by the lowering pass, so any index
+    /// value is safe).
+    LoadArr(ArrayId, VReg),
+    /// `mem[ptr + offset]` — raw pointer load. The generator must
+    /// guarantee pointer validity (see the `chase` family).
+    LoadPtr(VReg, i32),
+}
+
+/// A compare of a virtual register against a [`Rhs`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CondExpr {
+    /// Comparison condition.
+    pub cond: Cond,
+    /// Left-hand register.
+    pub lhs: VReg,
+    /// Right-hand operand.
+    pub rhs: Rhs,
+}
+
+/// A structured statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A transparent statement sequence — flattened during lowering,
+    /// carries no control flow of its own. Generator sugar for
+    /// "set up a vreg, then use it" pairs that form one logical node.
+    Seq(Vec<Stmt>),
+    /// `n` filler integer ALU instructions.
+    Work(u32),
+    /// `n` filler floating-point instructions.
+    FWork(u32),
+    /// `vreg <- expr`.
+    Let(VReg, Expr),
+    /// `array[index & (len-1)] <- val`.
+    StoreArr(ArrayId, VReg, VReg),
+    /// `mem[ptr + offset] <- val` — raw pointer store.
+    StorePtr {
+        /// Pointer register.
+        ptr: VReg,
+        /// Word offset.
+        offset: i32,
+        /// Value register.
+        val: VReg,
+    },
+    /// Counted loop running `max(trips, 0)` iterations.
+    For {
+        /// Trip-count expression, evaluated once on entry.
+        trips: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Head-tested loop running while the condition holds. The body is
+    /// responsible for making progress.
+    While {
+        /// Continue condition, re-evaluated each iteration.
+        cond: CondExpr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Two-sided conditional.
+    If {
+        /// Branch condition.
+        cond: CondExpr,
+        /// Then-branch statements.
+        then_b: Vec<Stmt>,
+        /// Else-branch statements (may be empty).
+        else_b: Vec<Stmt>,
+    },
+    /// Exits the innermost loop when the condition holds (no-op outside
+    /// loops — the lowering pass drops it there).
+    BreakIf(CondExpr),
+    /// Re-tests the innermost loop when the condition holds (no-op
+    /// outside loops).
+    ContinueIf(CondExpr),
+    /// N-way dispatch over `sel` (normalized into `0..arms.len()` by
+    /// the lowering pass) through an indirect jump table.
+    Switch {
+        /// Selector register.
+        sel: VReg,
+        /// Dispatch arms.
+        arms: Vec<Vec<Stmt>>,
+    },
+    /// Direct call with up to four argument expressions.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument expressions (evaluated left to right).
+        args: Vec<Expr>,
+    },
+    /// Indirect call through the program's function-pointer table
+    /// ([`AstProgram::table`]); `sel` is normalized into range.
+    CallTab {
+        /// Table-index register.
+        sel: VReg,
+        /// Argument expressions (evaluated left to right).
+        args: Vec<Expr>,
+    },
+    /// Sets the function return value (function bodies only; returning
+    /// happens by falling off the end of the body).
+    SetRet(Expr),
+}
+
+/// How a static array is initialized before `main` runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayInit {
+    /// All zeros (static memory starts zeroed; no code emitted).
+    Zero,
+    /// Explicit word values (length gives the array length before
+    /// power-of-two rounding; the padding is zero).
+    Values(Vec<i64>),
+    /// `a[i] = &a[(i * mul + add) & (len-1)]` — a pointer chain through
+    /// the array's own cells, for the pointer-chasing family. With odd
+    /// `mul` the chain is a permutation of the cells.
+    PtrChain {
+        /// Index multiplier (use an odd value for a full cycle).
+        mul: u32,
+        /// Index increment.
+        add: u32,
+    },
+}
+
+/// A static array declaration. The lowering pass rounds `len` up to a
+/// power of two and masks every index, so no generated index can leave
+/// the array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDecl {
+    /// Requested length in words (rounded up to a power of two).
+    pub len: u32,
+    /// Initial contents.
+    pub init: ArrayInit,
+}
+
+/// A function definition. Argument values arrive through
+/// [`Expr::Arg`]; results leave through [`Stmt::SetRet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Number of virtual registers the body uses.
+    pub vregs: u32,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole structured program: static data, functions, a
+/// function-pointer table and the main body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstProgram {
+    /// Seed of the guest-side LCG (`ProgramBuilder::with_seed`).
+    pub rng_seed: i64,
+    /// Static arrays.
+    pub arrays: Vec<ArrayDecl>,
+    /// Function definitions (`FuncId` indexes this).
+    pub funcs: Vec<FuncDef>,
+    /// Function-pointer table for [`Stmt::CallTab`] (may be empty).
+    pub table: Vec<FuncId>,
+    /// Number of virtual registers the main body uses.
+    pub vregs: u32,
+    /// Main-body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl AstProgram {
+    /// An empty program with the given guest RNG seed.
+    pub fn new(rng_seed: i64) -> Self {
+        AstProgram {
+            rng_seed,
+            arrays: Vec::new(),
+            funcs: Vec::new(),
+            table: Vec::new(),
+            vregs: 0,
+            body: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh main-body virtual register.
+    pub fn vreg(&mut self) -> VReg {
+        let v = VReg(self.vregs);
+        self.vregs += 1;
+        v
+    }
+
+    /// Declares a static array, returning its handle.
+    pub fn array(&mut self, len: u32, init: ArrayInit) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayDecl { len, init });
+        id
+    }
+
+    /// Defines a function, returning its handle.
+    pub fn func(&mut self, vregs: u32, body: Vec<Stmt>) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(FuncDef { vregs, body });
+        id
+    }
+
+    /// Total statement count across main and function bodies (a size
+    /// proxy for generator tests).
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Seq(inner) => count(inner),
+                    Stmt::For { body, .. } | Stmt::While { body, .. } => 1 + count(body),
+                    Stmt::If { then_b, else_b, .. } => 1 + count(then_b) + count(else_b),
+                    Stmt::Switch { arms, .. } => 1 + arms.iter().map(|a| count(a)).sum::<usize>(),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.body) + self.funcs.iter().map(|f| count(&f.body)).sum::<usize>()
+    }
+}
+
+// ----------------------------------------------------------------
+// Structured fuzzing: arbitrary terminating programs
+// ----------------------------------------------------------------
+
+/// Shape parameters for [`arb_program`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArbConfig {
+    /// Maximum loop/branch nesting depth.
+    pub max_depth: u32,
+    /// Top-level statement count is drawn from `1..=max_top`.
+    pub max_top: u64,
+    /// Allow call/dispatch/array nodes (off reproduces the historical
+    /// `prop_programs` shape distribution exactly).
+    pub extended: bool,
+}
+
+impl Default for ArbConfig {
+    fn default() -> Self {
+        ArbConfig {
+            max_depth: 3,
+            max_top: 4,
+            extended: true,
+        }
+    }
+}
+
+/// Generates an arbitrary *terminating* structured program — the
+/// `mixed` scenario family and the engine of the property suite. Same
+/// seed, same program, forever.
+pub fn arb_program(r: &mut Rng, cfg: ArbConfig) -> AstProgram {
+    let mut p = AstProgram::new(r.below(1_000_000) as i64);
+    let mut cx = Arb { cfg, helper: None };
+    let top = r.range(1, cfg.max_top + 1);
+    let mut body = Vec::new();
+    for _ in 0..top {
+        let s = cx.stmt(&mut p, r, 0, false);
+        body.push(s);
+    }
+    p.body = body;
+    p
+}
+
+struct Arb {
+    cfg: ArbConfig,
+    /// Lazily created leaf function for call nodes.
+    helper: Option<FuncId>,
+}
+
+impl Arb {
+    fn helper(&mut self, p: &mut AstProgram) -> FuncId {
+        if let Some(f) = self.helper {
+            return f;
+        }
+        // fn helper(n): loop n & 3 times over some work, return n + 1.
+        let v = VReg(0);
+        let t = VReg(1);
+        let body = vec![
+            Stmt::Let(v, Expr::Arg(0)),
+            Stmt::Let(t, Expr::Bin(AluOp::And, v, Rhs::Imm(3))),
+            Stmt::For {
+                trips: Expr::Copy(t),
+                body: vec![Stmt::Work(4)],
+            },
+            Stmt::SetRet(Expr::Bin(AluOp::Add, v, Rhs::Imm(1))),
+        ];
+        let f = p.func(2, body);
+        self.helper = Some(f);
+        f
+    }
+
+    fn block(&mut self, p: &mut AstProgram, r: &mut Rng, depth: u32, in_loop: bool) -> Vec<Stmt> {
+        (0..r.range(1, 3))
+            .map(|_| self.stmt(p, r, depth, in_loop))
+            .collect()
+    }
+
+    /// One statement — the historical `arb_stmt` distribution, with the
+    /// extended nodes mixed in at low probability when enabled.
+    fn stmt(&mut self, p: &mut AstProgram, r: &mut Rng, depth: u32, in_loop: bool) -> Stmt {
+        let leafy = depth >= self.cfg.max_depth || r.below(2) == 0;
+        if leafy {
+            if self.cfg.extended && r.below(8) == 0 {
+                return self.leaf_extended(p, r, in_loop);
+            }
+            if r.below(4) == 0 {
+                return self.break_if(p, r, in_loop);
+            }
+            return Stmt::Work(r.range(1, 12) as u32);
+        }
+        if self.cfg.extended && r.below(8) == 0 {
+            return self.branchy_extended(p, r, depth, in_loop);
+        }
+        match r.below(4) {
+            0 => Stmt::For {
+                trips: Expr::Const(r.below(5) as i64),
+                body: self.block(p, r, depth + 1, true),
+            },
+            1 => {
+                // Variable trip count in 1..=n, drawn from the guest RNG.
+                let v = p.vreg();
+                let n = r.range(1, 5) as i32;
+                Stmt::For {
+                    trips: Expr::Copy(v),
+                    body: self.block(p, r, depth + 1, true),
+                }
+                .prefixed(vec![
+                    Stmt::Let(v, Expr::RngBelow(n)),
+                    Stmt::Let(v, Expr::Bin(AluOp::Add, v, Rhs::Imm(1))),
+                ])
+            }
+            2 => {
+                // Count-down while loop; the decrement leads the body so
+                // every iteration makes progress.
+                let c = p.vreg();
+                let n = r.range(1, 5) as i64;
+                let mut body = vec![Stmt::Let(c, Expr::Bin(AluOp::Add, c, Rhs::Imm(-1)))];
+                body.extend(self.block(p, r, depth + 1, true));
+                Stmt::While {
+                    cond: CondExpr {
+                        cond: Cond::GtS,
+                        lhs: c,
+                        rhs: Rhs::Imm(0),
+                    },
+                    body,
+                }
+                .prefixed(vec![Stmt::Let(c, Expr::Const(n))])
+            }
+            _ => {
+                let v = p.vreg();
+                let then_b = self.block(p, r, depth + 1, in_loop);
+                let else_b = self.block(p, r, depth + 1, in_loop);
+                Stmt::If {
+                    cond: CondExpr {
+                        cond: Cond::Eq,
+                        lhs: v,
+                        rhs: Rhs::Imm(0),
+                    },
+                    then_b,
+                    else_b,
+                }
+                .prefixed(vec![Stmt::Let(v, Expr::RngBelow(2))])
+            }
+        }
+    }
+
+    fn break_if(&mut self, p: &mut AstProgram, _r: &mut Rng, in_loop: bool) -> Stmt {
+        if !in_loop {
+            return Stmt::Work(1);
+        }
+        let v = p.vreg();
+        Stmt::BreakIf(CondExpr {
+            cond: Cond::Eq,
+            lhs: v,
+            rhs: Rhs::Imm(0),
+        })
+        .prefixed(vec![Stmt::Let(v, Expr::RngBelow(8))])
+    }
+
+    /// Extended leaves: FP work, a call, or an array touch.
+    fn leaf_extended(&mut self, p: &mut AstProgram, r: &mut Rng, in_loop: bool) -> Stmt {
+        match r.below(3) {
+            0 => Stmt::FWork(r.range(1, 6) as u32),
+            1 => {
+                let f = self.helper(p);
+                let v = p.vreg();
+                Stmt::Call {
+                    func: f,
+                    args: vec![Expr::Copy(v)],
+                }
+                .prefixed(vec![Stmt::Let(v, Expr::RngBelow(4))])
+            }
+            _ => {
+                if in_loop && r.below(2) == 0 {
+                    return self.break_if(p, r, in_loop);
+                }
+                let a = self.array(p);
+                let i = p.vreg();
+                let v = p.vreg();
+                Stmt::StoreArr(a, i, v).prefixed(vec![
+                    Stmt::Let(i, Expr::RngBelow(8)),
+                    Stmt::Let(v, Expr::RngBelow(100)),
+                ])
+            }
+        }
+    }
+
+    /// Extended branchy nodes: dispatch over guest-RNG opcodes, or a
+    /// data-dependent trip count read back from an array.
+    fn branchy_extended(
+        &mut self,
+        p: &mut AstProgram,
+        r: &mut Rng,
+        depth: u32,
+        in_loop: bool,
+    ) -> Stmt {
+        if r.below(2) == 0 {
+            let sel = p.vreg();
+            let n = r.range(2, 5) as usize;
+            let arms = (0..n)
+                .map(|_| self.block(p, r, depth + 1, in_loop))
+                .collect();
+            Stmt::Switch { sel, arms }.prefixed(vec![Stmt::Let(sel, Expr::RngBelow(n as i32))])
+        } else {
+            let a = self.array(p);
+            let i = p.vreg();
+            let t = p.vreg();
+            Stmt::For {
+                trips: Expr::Copy(t),
+                body: self.block(p, r, depth + 1, true),
+            }
+            .prefixed(vec![
+                Stmt::Let(i, Expr::RngBelow(8)),
+                Stmt::Let(t, Expr::LoadArr(a, i)),
+                Stmt::Let(t, Expr::Bin(AluOp::And, t, Rhs::Imm(3))),
+            ])
+        }
+    }
+
+    fn array(&mut self, p: &mut AstProgram) -> ArrayId {
+        if p.arrays.is_empty() {
+            let init = (0..8).map(|i| (i * 3 + 1) % 5).collect();
+            return p.array(8, ArrayInit::Values(init));
+        }
+        ArrayId(0)
+    }
+}
+
+impl Stmt {
+    /// Wraps `self` behind set-up statements that run unconditionally —
+    /// generator sugar turning "let v = …; use v" pairs into one node.
+    fn prefixed(self, mut setup: Vec<Stmt>) -> Stmt {
+        setup.push(self);
+        Stmt::Seq(setup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arb_is_deterministic() {
+        let a = arb_program(&mut Rng::new(9), ArbConfig::default());
+        let b = arb_program(&mut Rng::new(9), ArbConfig::default());
+        assert_eq!(a, b);
+        let c = arb_program(&mut Rng::new(10), ArbConfig::default());
+        assert_ne!(a, c, "different seeds should differ (typically)");
+    }
+
+    #[test]
+    fn arb_respects_depth_cap() {
+        fn depth(stmts: &[Stmt]) -> u32 {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Seq(inner) => depth(inner),
+                    Stmt::For { body, .. } | Stmt::While { body, .. } => 1 + depth(body),
+                    Stmt::If { then_b, else_b, .. } => 1 + depth(then_b).max(depth(else_b)),
+                    Stmt::Switch { arms, .. } => {
+                        1 + arms.iter().map(|a| depth(a)).max().unwrap_or(0)
+                    }
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        for seed in 0..32 {
+            let p = arb_program(&mut Rng::new(seed), ArbConfig::default());
+            assert!(depth(&p.body) <= 4, "seed {seed} exceeded the depth cap");
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Seeded scenario families: named generators of structured programs.
+//!
+//! Each family stresses one loop shape from the paper's taxonomy —
+//! data-dependent trip counts, deep irregular nesting, recursion-driven
+//! iteration, interpreter-style dispatch, pointer chasing — plus a
+//! `mixed` family wrapping the structured fuzzer. A `(family, seed)`
+//! pair regenerates the identical program forever, which is what makes
+//! failing-seed replay (`genfuzz --replay family:seed`) possible.
+
+use std::fmt;
+use std::str::FromStr;
+
+use loopspec_isa::{AluOp, Cond};
+
+use crate::ast::{
+    arb_program, ArbConfig, ArrayInit, AstProgram, CondExpr, Expr, FuncDef, FuncId, Rhs, Stmt, VReg,
+};
+use crate::rng::Rng;
+
+/// A named scenario family: a seeded generator of structured programs.
+#[derive(Debug, Clone, Copy)]
+pub struct Family {
+    /// Short identifier used in replay tokens and reports.
+    pub name: &'static str,
+    /// One-line description for `genfuzz --list` and the repro table.
+    pub description: &'static str,
+    gen: fn(&mut Rng, u32) -> AstProgram,
+}
+
+impl Family {
+    /// Generates this family's program for `(seed, size)`. Same
+    /// arguments, same program, forever.
+    pub fn generate(&self, seed: u64, size: u32) -> AstProgram {
+        // Mix the family name into the stream so equal seeds do not
+        // produce correlated draws across families.
+        let tag = self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        });
+        let mut r = Rng::new(seed ^ tag);
+        (self.gen)(&mut r, size.max(1))
+    }
+}
+
+const FAMILIES: [Family; 6] = [
+    Family {
+        name: "trips",
+        description: "data-dependent trip counts from a self-mutating array",
+        gen: gen_trips,
+    },
+    Family {
+        name: "nest",
+        description: "deep irregular loop nests (depth 6-8) with guards and breaks",
+        gen: gen_nest,
+    },
+    Family {
+        name: "rec",
+        description: "recursion-driven loops with data-dependent depth",
+        gen: gen_rec,
+    },
+    Family {
+        name: "dispatch",
+        description: "interpreter-style bytecode dispatch with indirect calls",
+        gen: gen_dispatch,
+    },
+    Family {
+        name: "chase",
+        description: "pointer chasing through a permutation chain",
+        gen: gen_chase,
+    },
+    Family {
+        name: "mixed",
+        description: "structured-fuzz programs over the full AST",
+        gen: gen_mixed,
+    },
+];
+
+/// The scenario-family registry.
+pub fn families() -> &'static [Family] {
+    &FAMILIES
+}
+
+/// Looks up a family by name.
+pub fn family_by_name(name: &str) -> Option<&'static Family> {
+    FAMILIES.iter().find(|f| f.name == name)
+}
+
+/// A parsed `family:seed` replay token, as printed by harness failures
+/// (optionally carrying the `gen:` workload-name prefix).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayToken {
+    /// Family name.
+    pub family: String,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl ReplayToken {
+    /// Regenerates the program this token names, if the family exists.
+    pub fn program(&self, size: u32) -> Option<AstProgram> {
+        family_by_name(&self.family).map(|f| f.generate(self.seed, size))
+    }
+}
+
+impl fmt::Display for ReplayToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.family, self.seed)
+    }
+}
+
+impl FromStr for ReplayToken {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_prefix("gen:").unwrap_or(s);
+        let (family, seed) = s
+            .split_once(':')
+            .ok_or_else(|| format!("expected family:seed, got {s:?}"))?;
+        if family.is_empty() {
+            return Err(format!("empty family name in {s:?}"));
+        }
+        let seed = seed
+            .parse::<u64>()
+            .map_err(|_| format!("bad seed {seed:?} in {s:?}"))?;
+        Ok(ReplayToken {
+            family: family.to_string(),
+            seed,
+        })
+    }
+}
+
+fn cond(c: Cond, lhs: VReg, rhs: Rhs) -> CondExpr {
+    CondExpr { cond: c, lhs, rhs }
+}
+
+/// Trip counts come from array cells the loop itself mutates: the
+/// iteration space of the inner loop depends on the data the outer loop
+/// wrote on earlier passes.
+fn gen_trips(r: &mut Rng, size: u32) -> AstProgram {
+    let mut p = AstProgram::new(r.below(1 << 20) as i64);
+    let init: Vec<i64> = (0..16).map(|_| r.below(8) as i64).collect();
+    let a = p.array(16, ArrayInit::Values(init));
+    let i = p.vreg();
+    let t = p.vreg();
+    let u = p.vreg();
+    let work = r.range(2, 6) as u32;
+    p.body = vec![Stmt::For {
+        trips: Expr::Const(4 * size as i64),
+        body: vec![
+            Stmt::Let(i, Expr::RngBelow(16)),
+            Stmt::Let(t, Expr::LoadArr(a, i)),
+            Stmt::Let(t, Expr::Bin(AluOp::And, t, Rhs::Imm(7))),
+            Stmt::For {
+                trips: Expr::Copy(t),
+                body: vec![Stmt::Work(work)],
+            },
+            Stmt::Let(u, Expr::Bin(AluOp::Add, t, Rhs::Imm(1))),
+            Stmt::StoreArr(a, i, u),
+        ],
+    }];
+    p
+}
+
+/// Deep irregular nests: 6-8 loop levels with random small trip
+/// counts, guest-RNG guards and rare breaks — the shapes that exhaust
+/// register-resident counters and exercise the memory-loop fallback.
+fn gen_nest(r: &mut Rng, size: u32) -> AstProgram {
+    fn level(p: &mut AstProgram, r: &mut Rng, d: u32) -> Vec<Stmt> {
+        if d == 0 {
+            return vec![Stmt::Work(r.range(1, 6) as u32)];
+        }
+        let mut body = Vec::new();
+        if r.below(2) == 0 {
+            body.push(Stmt::Work(r.range(1, 4) as u32));
+        }
+        if r.below(4) == 0 {
+            // Rare early exit from this level.
+            let v = p.vreg();
+            body.push(Stmt::Seq(vec![
+                Stmt::Let(v, Expr::RngBelow(10)),
+                Stmt::BreakIf(cond(Cond::Eq, v, Rhs::Imm(9))),
+            ]));
+        }
+        let inner = level(p, r, d - 1);
+        let looped = Stmt::For {
+            trips: Expr::Const(r.range(1, 4) as i64),
+            body: inner,
+        };
+        if r.below(3) == 0 {
+            // Guard the next level behind a data-dependent branch.
+            let v = p.vreg();
+            body.push(Stmt::Seq(vec![
+                Stmt::Let(v, Expr::RngBelow(4)),
+                Stmt::If {
+                    cond: cond(Cond::Ne, v, Rhs::Imm(0)),
+                    then_b: vec![looped],
+                    else_b: vec![Stmt::Work(2)],
+                },
+            ]));
+        } else {
+            body.push(looped);
+        }
+        body
+    }
+    let mut p = AstProgram::new(r.below(1 << 20) as i64);
+    let depth = r.range(6, 9) as u32;
+    let nest = level(&mut p, r, depth);
+    p.body = vec![Stmt::For {
+        trips: Expr::Const(size as i64),
+        body: nest,
+    }];
+    p
+}
+
+/// Recursion-driven iteration: a self-recursive function whose depth is
+/// drawn from the guest RNG per call site, with a counted loop at every
+/// activation.
+fn gen_rec(r: &mut Rng, size: u32) -> AstProgram {
+    let mut p = AstProgram::new(r.below(1 << 20) as i64);
+    let n = VReg(0);
+    let t = VReg(1);
+    let work = r.range(1, 6) as u32;
+    let body = vec![
+        Stmt::Let(n, Expr::Arg(0)),
+        Stmt::Let(t, Expr::Bin(AluOp::And, n, Rhs::Imm(3))),
+        Stmt::For {
+            trips: Expr::Copy(t),
+            body: vec![Stmt::Work(work)],
+        },
+        Stmt::If {
+            cond: cond(Cond::GtS, n, Rhs::Imm(0)),
+            then_b: vec![Stmt::Call {
+                func: FuncId(0),
+                args: vec![Expr::Bin(AluOp::Add, n, Rhs::Imm(-1))],
+            }],
+            else_b: vec![Stmt::FWork(1)],
+        },
+        Stmt::SetRet(Expr::Copy(n)),
+    ];
+    p.funcs.push(FuncDef { vregs: 2, body });
+    let d = p.vreg();
+    let depth_mod = r.range(3, 9) as i32;
+    p.body = vec![Stmt::For {
+        trips: Expr::Const(2 * size as i64),
+        body: vec![
+            Stmt::Let(d, Expr::RngBelow(depth_mod)),
+            Stmt::Let(d, Expr::Bin(AluOp::Add, d, Rhs::Imm(2))),
+            Stmt::Call {
+                func: FuncId(0),
+                args: vec![Expr::Copy(d)],
+            },
+        ],
+    }];
+    p
+}
+
+/// Interpreter-style dispatch: a bytecode array driven by a `pc` loop
+/// whose body switches over the fetched opcode; one opcode dispatches
+/// further through the function-pointer table.
+fn gen_dispatch(r: &mut Rng, size: u32) -> AstProgram {
+    let mut p = AstProgram::new(r.below(1 << 20) as i64);
+    let v0 = VReg(0);
+    let f0 = p.func(
+        1,
+        vec![
+            Stmt::Let(v0, Expr::Arg(0)),
+            Stmt::For {
+                trips: Expr::Bin(AluOp::And, v0, Rhs::Imm(3)),
+                body: vec![Stmt::Work(2)],
+            },
+            Stmt::SetRet(Expr::Bin(AluOp::Add, v0, Rhs::Imm(1))),
+        ],
+    );
+    let f1 = p.func(
+        1,
+        vec![
+            Stmt::Let(v0, Expr::Arg(0)),
+            Stmt::Work(3),
+            Stmt::FWork(2),
+            Stmt::SetRet(Expr::Bin(AluOp::Xor, v0, Rhs::Imm(5))),
+        ],
+    );
+    p.table = vec![f0, f1, f0];
+    let clen = 32u32;
+    let code: Vec<i64> = (0..clen).map(|_| r.below(5) as i64).collect();
+    let a = p.array(clen, ArrayInit::Values(code));
+    let pc = p.vreg();
+    let op = p.vreg();
+    let acc = p.vreg();
+    let arms = vec![
+        vec![Stmt::Work(2)],
+        vec![Stmt::FWork(1)],
+        vec![Stmt::For {
+            trips: Expr::Bin(AluOp::And, acc, Rhs::Imm(3)),
+            body: vec![Stmt::Work(1)],
+        }],
+        vec![
+            Stmt::CallTab {
+                sel: acc,
+                args: vec![Expr::Copy(acc)],
+            },
+            Stmt::Let(acc, Expr::RetVal),
+        ],
+        vec![Stmt::Let(acc, Expr::Bin(AluOp::Add, acc, Rhs::Imm(1)))],
+    ];
+    p.body = vec![Stmt::For {
+        trips: Expr::Const(size as i64),
+        body: vec![
+            Stmt::Let(pc, Expr::Const(0)),
+            Stmt::Let(acc, Expr::RngBelow(7)),
+            Stmt::While {
+                cond: cond(Cond::LtS, pc, Rhs::Imm(clen as i32)),
+                body: vec![
+                    Stmt::Let(op, Expr::LoadArr(a, pc)),
+                    Stmt::Switch { sel: op, arms },
+                    Stmt::Let(pc, Expr::Bin(AluOp::Add, pc, Rhs::Imm(1))),
+                ],
+            },
+        ],
+    }];
+    p
+}
+
+/// Pointer chasing: the array is initialized as a pointer chain through
+/// its own cells (odd multiplier → a permutation), and the loop follows
+/// absolute addresses with raw pointer loads.
+fn gen_chase(r: &mut Rng, size: u32) -> AstProgram {
+    let mut p = AstProgram::new(r.below(1 << 20) as i64);
+    const MULS: [u32; 5] = [3, 5, 7, 9, 11];
+    let mul = MULS[r.below(5) as usize];
+    let add = r.below(64) as u32;
+    let a = p.array(64, ArrayInit::PtrChain { mul, add });
+    let st = p.vreg();
+    let ptr = p.vreg();
+    let steps = r.range(16, 33) as i64;
+    p.body = vec![Stmt::For {
+        trips: Expr::Const(2 * size as i64),
+        body: vec![
+            Stmt::Let(st, Expr::RngBelow(64)),
+            Stmt::Let(ptr, Expr::LoadArr(a, st)),
+            Stmt::For {
+                trips: Expr::Const(steps),
+                body: vec![Stmt::Let(ptr, Expr::LoadPtr(ptr, 0))],
+            },
+            Stmt::Work(2),
+        ],
+    }];
+    p
+}
+
+/// The structured fuzzer as a family: arbitrary terminating programs
+/// over the full AST, top width scaled by size.
+fn gen_mixed(r: &mut Rng, size: u32) -> AstProgram {
+    let cfg = ArbConfig {
+        max_depth: 3,
+        max_top: (2 + size as u64).min(8),
+        extended: true,
+    };
+    arb_program(r, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use loopspec_cpu::{Cpu, NullTracer, RunLimits};
+
+    #[test]
+    fn every_family_is_seeded_and_reproducible() {
+        for f in families() {
+            let a = f.generate(11, 2);
+            let b = f.generate(11, 2);
+            assert_eq!(a, b, "family {} is not reproducible", f.name);
+            let c = f.generate(12, 2);
+            assert_ne!(a, c, "family {} ignores its seed", f.name);
+        }
+    }
+
+    #[test]
+    fn every_family_compiles_and_halts() {
+        for f in families() {
+            for seed in [0u64, 1, 2] {
+                let ast = f.generate(seed, 1);
+                let prog = compile(&ast)
+                    .unwrap_or_else(|e| panic!("{}:{seed} failed to compile: {e:?}", f.name));
+                let s = Cpu::new()
+                    .run(&prog, &mut NullTracer, RunLimits::with_fuel(5_000_000))
+                    .unwrap_or_else(|e| panic!("{}:{seed} faulted: {e:?}", f.name));
+                assert!(s.halted(), "{}:{seed} did not halt", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_token_round_trips() {
+        let t = ReplayToken {
+            family: "dispatch".into(),
+            seed: 991,
+        };
+        assert_eq!(t.to_string(), "dispatch:991");
+        assert_eq!("dispatch:991".parse::<ReplayToken>().unwrap(), t);
+        assert_eq!("gen:dispatch:991".parse::<ReplayToken>().unwrap(), t);
+        assert!("nocolon".parse::<ReplayToken>().is_err());
+        assert!(":7".parse::<ReplayToken>().is_err());
+        assert!("chase:notanumber".parse::<ReplayToken>().is_err());
+        let p = t.program(1).expect("known family");
+        assert_eq!(p, family_by_name("dispatch").unwrap().generate(991, 1));
+        assert!(ReplayToken {
+            family: "nope".into(),
+            seed: 0
+        }
+        .program(1)
+        .is_none());
+    }
+}

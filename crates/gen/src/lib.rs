@@ -1,0 +1,55 @@
+//! # loopspec-gen — structured-program compiler and scenario families
+//!
+//! The repo's hand-written workloads cover the paper's benchmark
+//! shapes; this crate generates *programs we did not think of*. It is
+//! a small compiler pipeline on top of `loopspec-asm`:
+//!
+//! 1. **[AST](ast)** — a portable statement tree over virtual
+//!    registers: loops, conditionals, calls (direct, recursive, and
+//!    through function-pointer tables), dispatch, and memory ops on
+//!    declared arrays or raw pointers.
+//! 2. **[Allocator](alloc)** — maps virtual registers onto the
+//!    builder's physical pools, spilling the overflow to static memory
+//!    (main) or the stack frame (functions, recursion-safe).
+//! 3. **[Lowering](compile)** — emits ISA code: canonical loop shapes
+//!    with register counters while they last and memory-resident
+//!    counters beyond, masked array indexing, normalized dispatch.
+//!
+//! On top sit the **[scenario families](family)** — named, seeded
+//! generators (`trips`, `nest`, `rec`, `dispatch`, `chase`, `mixed`)
+//! each stressing one loop shape from the paper's taxonomy — and the
+//! **[differential harness](harness)**, which runs each generated
+//! program through every execution path in the repo (legacy vs decoded
+//! CPU, batch vs streaming vs sharded engines) and cross-checks the
+//! results bit for bit. A failure prints a `genfuzz --replay
+//! family:seed` line that regenerates the exact program anywhere.
+//!
+//! ## Example
+//!
+//! ```
+//! use loopspec_gen::{compile, family_by_name, harness};
+//!
+//! let family = family_by_name("trips").unwrap();
+//! let ast = family.generate(3, 1);          // seeded: same program forever
+//! let program = compile(&ast)?;             // executable ISA code
+//! assert!(program.len() > 0);
+//! let check = harness::check_program(family, 3, 1).unwrap();
+//! assert!(check.instructions > 0);
+//! # Ok::<(), loopspec_asm::AsmError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod alloc;
+pub mod ast;
+pub mod family;
+pub mod harness;
+mod lower;
+mod rng;
+
+pub use ast::{arb_program, ArbConfig, AstProgram, Stmt};
+pub use family::{families, family_by_name, Family, ReplayToken};
+pub use harness::{check_events, check_program, run_corpus, run_family, FamilyReport};
+pub use lower::compile;
+pub use rng::Rng;

@@ -1,0 +1,529 @@
+//! Lowering: [`AstProgram`] → executable [`Program`].
+//!
+//! The pass plans a [`RegAlloc`] per scope, emits an initialization
+//! prelude (array contents, the function-pointer table), then walks the
+//! statement tree emitting ISA code through the
+//! [`ProgramBuilder`]. Control flow is emitted directly over assembler
+//! labels — the canonical backward-branch loop shapes the detector
+//! recognizes — with the pass keeping its own continue/break label
+//! stack so `BreakIf`/`ContinueIf` work uniformly in both loop forms:
+//!
+//! * **Register loops.** While at least two pool registers are free, a
+//!   `For` gets a register counter and bound (`li i, 0` … `addi` +
+//!   closing backward branch).
+//! * **Memory loops.** Deeper nests fall back to memory-resident
+//!   counters — a static slot pair in the main body, stack-frame slots
+//!   inside functions (so recursion stays re-entrant). The increment
+//!   leads the loop head, making `ContinueIf` safe.
+//!
+//! Array indices are masked to the power-of-two-rounded length, and
+//! `Switch`/`CallTab` selectors are normalized with a
+//! `rem n; add n; rem n` chain, so any generated integer is a safe
+//! index: lowered programs cannot read or write outside their declared
+//! static data no matter what the generator drew.
+
+use loopspec_asm::{AsmError, Program, ProgramBuilder};
+use loopspec_isa::{AluOp, Cond, Reg};
+
+use crate::alloc::RegAlloc;
+use crate::ast::{ArrayInit, AstProgram, CondExpr, Expr, FuncDef, Rhs, Stmt, VReg};
+
+/// Label of the `k`-th AST function in the builder's namespace.
+fn func_name(k: usize) -> String {
+    format!("f{k}")
+}
+
+/// Per-program lowering context shared by main and function scopes.
+#[derive(Debug, Clone)]
+struct Ctx {
+    /// `(base, mask)` per declared array, lengths rounded to powers of
+    /// two.
+    arrays: Vec<(i64, i64)>,
+    /// Static base of the function-pointer table (0 when empty).
+    table_base: i64,
+    /// Entries in the function-pointer table.
+    table_len: usize,
+}
+
+/// One scope's lowering state: the shared context, the scope's
+/// allocation, and the active continue/break label stack.
+struct Lower<'c> {
+    ctx: &'c Ctx,
+    alloc: RegAlloc,
+    loops: Vec<(loopspec_asm::LabelId, loopspec_asm::LabelId)>,
+}
+
+/// Compiles a structured program to an executable [`Program`].
+///
+/// # Panics
+///
+/// Panics on malformed ASTs — an out-of-range [`VReg`]/array/function
+/// handle, a `CallTab` against an empty table, or more than four call
+/// arguments. Generators are expected to uphold these invariants; the
+/// panic message names the violation.
+pub fn compile(ast: &AstProgram) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::with_seed(ast.rng_seed);
+
+    let mut arrays = Vec::with_capacity(ast.arrays.len());
+    for a in &ast.arrays {
+        let len = a.len.max(1).next_power_of_two() as i64;
+        arrays.push((b.alloc_static(len), len - 1));
+    }
+    let table_base = if ast.table.is_empty() {
+        0
+    } else {
+        b.alloc_static(ast.table.len() as i64)
+    };
+    let ctx = Ctx {
+        arrays,
+        table_base,
+        table_len: ast.table.len(),
+    };
+
+    for (k, f) in ast.funcs.iter().enumerate() {
+        let body = f.clone();
+        let fctx = ctx.clone();
+        b.define_func(&func_name(k), move |b| lower_func(b, &fctx, &body));
+    }
+
+    let alloc = RegAlloc::plan_main(&mut b, ast.vregs);
+    let mut lo = Lower {
+        ctx: &ctx,
+        alloc,
+        loops: Vec::new(),
+    };
+    lo.prelude(&mut b, ast);
+    lo.block(&mut b, &ast.body);
+    lo.alloc.release(&mut b);
+    b.finish()
+}
+
+/// Lowers one function body inside the builder's prologue/epilogue.
+fn lower_func(b: &mut ProgramBuilder, ctx: &Ctx, f: &FuncDef) {
+    let loop_words = 2 * count_fors(&f.body) as i32;
+    let (alloc, frame) = RegAlloc::plan_func(b, f.vregs, loop_words);
+    if frame > 0 {
+        b.addi(Reg::SP, Reg::SP, -frame);
+    }
+    let mut lo = Lower {
+        ctx,
+        alloc,
+        loops: Vec::new(),
+    };
+    lo.block(b, &f.body);
+    if frame > 0 {
+        b.addi(Reg::SP, Reg::SP, frame);
+    }
+    lo.alloc.release(b);
+}
+
+/// Counts `For` nodes (recursively) to pre-size a function's
+/// loop-counter stack region; register-form loops simply leave their
+/// reservation unused.
+fn count_fors(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Seq(inner) => count_fors(inner),
+            Stmt::For { body, .. } => 1 + count_fors(body),
+            Stmt::While { body, .. } => count_fors(body),
+            Stmt::If { then_b, else_b, .. } => count_fors(then_b) + count_fors(else_b),
+            Stmt::Switch { arms, .. } => arms.iter().map(|a| count_fors(a)).sum(),
+            _ => 0,
+        })
+        .sum()
+}
+
+impl Lower<'_> {
+    fn block(&mut self, b: &mut ProgramBuilder, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(b, s);
+        }
+    }
+
+    fn stmt(&mut self, b: &mut ProgramBuilder, s: &Stmt) {
+        match s {
+            Stmt::Seq(inner) => self.block(b, inner),
+            Stmt::Work(n) => b.work(*n),
+            Stmt::FWork(n) => b.fwork(*n),
+            Stmt::Let(v, e) => {
+                let d = self.alloc.dest(*v);
+                self.eval(b, e, d);
+                self.alloc.commit(b, *v);
+            }
+            Stmt::StoreArr(a, idx, val) => {
+                let (base, mask) = self.ctx.arrays[a.0 as usize];
+                let ri = self.alloc.read(b, *idx, 0);
+                let s0 = self.alloc.scratch(0);
+                b.op_imm(AluOp::And, s0, ri, mask as i32);
+                let rv = self.alloc.read(b, *val, 1);
+                b.store_idx(rv, base, s0);
+            }
+            Stmt::StorePtr { ptr, offset, val } => {
+                let rp = self.alloc.read(b, *ptr, 0);
+                let rv = self.alloc.read(b, *val, 1);
+                b.store_at(rv, rp, *offset);
+            }
+            Stmt::For { trips, body } => self.lower_for(b, trips, body),
+            Stmt::While { cond, body } => self.lower_while(b, cond, body),
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => self.lower_if(b, cond, then_b, else_b),
+            Stmt::BreakIf(c) => {
+                if let Some(&(_, brk)) = self.loops.last() {
+                    let (cond, ra, rb) = self.cond(b, c);
+                    b.asm().branch(cond, ra, rb, brk);
+                }
+            }
+            Stmt::ContinueIf(c) => {
+                if let Some(&(cont, _)) = self.loops.last() {
+                    let (cond, ra, rb) = self.cond(b, c);
+                    b.asm().branch(cond, ra, rb, cont);
+                }
+            }
+            Stmt::Switch { sel, arms } => {
+                assert!(!arms.is_empty(), "Switch with no arms");
+                let s0 = self.normalized_sel(b, *sel, arms.len());
+                b.switch_table(s0, arms.len(), |b, k| self.block(b, &arms[k]));
+            }
+            Stmt::Call { func, args } => {
+                self.eval_args(b, args);
+                b.call_func(&func_name(func.0 as usize));
+            }
+            Stmt::CallTab { sel, args } => {
+                assert!(self.ctx.table_len > 0, "CallTab against an empty table");
+                self.eval_args(b, args);
+                let s0 = self.normalized_sel(b, *sel, self.ctx.table_len);
+                b.load_idx(s0, self.ctx.table_base, s0);
+                b.call_reg(s0);
+            }
+            Stmt::SetRet(e) => {
+                let s0 = self.alloc.scratch(0);
+                self.eval(b, e, s0);
+                b.set_ret(s0);
+            }
+        }
+    }
+
+    /// Evaluates `e` into `dest`. Reads may pass through the scratch
+    /// registers, but the result always lands in `dest` last, so
+    /// `dest == scratch 0` (the spilled-destination convention) is
+    /// safe.
+    fn eval(&mut self, b: &mut ProgramBuilder, e: &Expr, dest: Reg) {
+        match e {
+            Expr::Const(c) => b.li(dest, *c),
+            Expr::Copy(v) => {
+                let r = self.alloc.read(b, *v, 1);
+                if r != dest {
+                    b.mov(dest, r);
+                }
+            }
+            Expr::RngBelow(n) => b.rng_below(dest, *n),
+            Expr::Arg(k) => b.mov(dest, ProgramBuilder::ARG_REGS[*k as usize]),
+            Expr::RetVal => b.mov(dest, ProgramBuilder::RET_REG),
+            Expr::ArrayBase(a) => {
+                let (base, _) = self.ctx.arrays[a.0 as usize];
+                b.li(dest, base);
+            }
+            Expr::Bin(op, a, rhs) => match rhs {
+                Rhs::Imm(i) => {
+                    let ra = self.alloc.read(b, *a, 0);
+                    b.op_imm(*op, dest, ra, *i);
+                }
+                Rhs::Reg(c) => {
+                    let ra = self.alloc.read(b, *a, 0);
+                    let rc = self.alloc.read(b, *c, 1);
+                    b.op(*op, dest, ra, rc);
+                }
+            },
+            Expr::LoadArr(a, idx) => {
+                let (base, mask) = self.ctx.arrays[a.0 as usize];
+                let ri = self.alloc.read(b, *idx, 1);
+                let s1 = self.alloc.scratch(1);
+                b.op_imm(AluOp::And, s1, ri, mask as i32);
+                b.load_idx(dest, base, s1);
+            }
+            Expr::LoadPtr(p, off) => {
+                let rp = self.alloc.read(b, *p, 1);
+                b.load_at(dest, rp, *off);
+            }
+        }
+    }
+
+    /// Evaluates up to four call arguments into the argument registers.
+    fn eval_args(&mut self, b: &mut ProgramBuilder, args: &[Expr]) {
+        assert!(args.len() <= 4, "more than four call arguments");
+        for (k, a) in args.iter().enumerate() {
+            let s0 = self.alloc.scratch(0);
+            self.eval(b, a, s0);
+            b.set_arg(k, s0);
+        }
+    }
+
+    /// Materializes a compare's operands.
+    fn cond(&mut self, b: &mut ProgramBuilder, c: &CondExpr) -> (Cond, Reg, Reg) {
+        let ra = self.alloc.read(b, c.lhs, 0);
+        let rb = match c.rhs {
+            Rhs::Imm(0) => Reg::R0,
+            Rhs::Imm(i) => {
+                let s1 = self.alloc.scratch(1);
+                b.li(s1, i as i64);
+                s1
+            }
+            Rhs::Reg(v) => self.alloc.read(b, v, 1),
+        };
+        (c.cond, ra, rb)
+    }
+
+    /// Folds an arbitrary selector into `0..n` (in scratch 0):
+    /// `rem n; add n; rem n` is total for any signed input.
+    fn normalized_sel(&mut self, b: &mut ProgramBuilder, sel: VReg, n: usize) -> Reg {
+        let rs = self.alloc.read(b, sel, 0);
+        let s0 = self.alloc.scratch(0);
+        let n = n as i32;
+        b.op_imm(AluOp::Rem, s0, rs, n);
+        b.op_imm(AluOp::Add, s0, s0, n);
+        b.op_imm(AluOp::Rem, s0, s0, n);
+        s0
+    }
+
+    fn lower_for(&mut self, b: &mut ProgramBuilder, trips: &Expr, body: &[Stmt]) {
+        if b.free_regs() >= 2 {
+            // Register form: canonical counted-loop shape.
+            let n = b.alloc_reg();
+            self.eval(b, trips, n);
+            let i = b.alloc_reg();
+            b.li(i, 0);
+            let top = b.asm().new_label();
+            let cont = b.asm().new_label();
+            let exit = b.asm().new_label();
+            b.asm().branch(Cond::GeS, i, n, exit);
+            b.asm().bind(top).expect("fresh label");
+            self.loops.push((cont, exit));
+            self.block(b, body);
+            self.loops.pop();
+            b.asm().bind(cont).expect("fresh label");
+            b.addi(i, i, 1);
+            b.asm().branch(Cond::LtS, i, n, top);
+            b.asm().bind(exit).expect("fresh label");
+            b.free_reg(i);
+            b.free_reg(n);
+        } else {
+            // Memory form: counter and bound in slots, increment at the
+            // loop head so `continue` re-enters through the increment.
+            let (slot_i, slot_n) = self.alloc.loop_slots(b);
+            let s0 = self.alloc.scratch(0);
+            let s1 = self.alloc.scratch(1);
+            self.eval(b, trips, s0);
+            slot_n.store(b, s0);
+            b.li(s0, -1);
+            slot_i.store(b, s0);
+            let top = b.asm().label_here();
+            let exit = b.asm().new_label();
+            slot_i.load(b, s0);
+            b.addi(s0, s0, 1);
+            slot_i.store(b, s0);
+            slot_n.load(b, s1);
+            b.asm().branch(Cond::GeS, s0, s1, exit);
+            self.loops.push((top, exit));
+            self.block(b, body);
+            self.loops.pop();
+            b.asm().jump(top);
+            b.asm().bind(exit).expect("fresh label");
+        }
+    }
+
+    fn lower_while(&mut self, b: &mut ProgramBuilder, cond: &CondExpr, body: &[Stmt]) {
+        let top = b.asm().label_here();
+        let exit = b.asm().new_label();
+        let (c, ra, rb) = self.cond(b, cond);
+        b.asm().branch(c.negate(), ra, rb, exit);
+        self.loops.push((top, exit));
+        self.block(b, body);
+        self.loops.pop();
+        b.asm().jump(top);
+        b.asm().bind(exit).expect("fresh label");
+    }
+
+    fn lower_if(
+        &mut self,
+        b: &mut ProgramBuilder,
+        cond: &CondExpr,
+        then_b: &[Stmt],
+        else_b: &[Stmt],
+    ) {
+        let (c, ra, rb) = self.cond(b, cond);
+        let else_l = b.asm().new_label();
+        let end = b.asm().new_label();
+        b.asm().branch(c.negate(), ra, rb, else_l);
+        self.block(b, then_b);
+        b.asm().jump(end);
+        b.asm().bind(else_l).expect("fresh label");
+        self.block(b, else_b);
+        b.asm().bind(end).expect("fresh label");
+    }
+
+    /// Emits the initialization prelude: array contents and the
+    /// function-pointer table.
+    fn prelude(&mut self, b: &mut ProgramBuilder, ast: &AstProgram) {
+        let s0 = self.alloc.scratch(0);
+        let s1 = self.alloc.scratch(1);
+        for (a, (base, mask)) in ast.arrays.iter().zip(self.ctx.arrays.iter()) {
+            match &a.init {
+                ArrayInit::Zero => {}
+                ArrayInit::Values(vs) => {
+                    for (i, v) in vs.iter().enumerate() {
+                        if *v != 0 {
+                            b.li(s0, *v);
+                            b.store_static(s0, base + i as i64);
+                        }
+                    }
+                }
+                ArrayInit::PtrChain { mul, add } => {
+                    // a[i] = &a[(i*mul + add) & mask] — absolute word
+                    // addresses, so LoadPtr(p, 0) follows the chain.
+                    let len = mask + 1;
+                    b.li(s0, 0);
+                    let top = b.asm().label_here();
+                    b.op_imm(AluOp::Mul, s1, s0, *mul as i32);
+                    b.op_imm(AluOp::Add, s1, s1, *add as i32);
+                    b.op_imm(AluOp::And, s1, s1, *mask as i32);
+                    b.op_imm(AluOp::Add, s1, s1, *base as i32);
+                    b.store_idx(s1, *base, s0);
+                    b.addi(s0, s0, 1);
+                    b.li(s1, len);
+                    b.asm().branch(Cond::LtS, s0, s1, top);
+                }
+            }
+        }
+        for (k, f) in ast.table.iter().enumerate() {
+            b.func_addr(s0, &func_name(f.0 as usize));
+            b.store_static(s0, self.ctx.table_base + k as i64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ArrayDecl, FuncId};
+    use crate::{arb_program, ArbConfig, Rng};
+    use loopspec_cpu::{Cpu, NullTracer, RunLimits};
+
+    fn run(p: &Program) -> loopspec_cpu::RunSummary {
+        Cpu::new()
+            .run(p, &mut NullTracer, RunLimits::with_fuel(2_000_000))
+            .expect("generated program executes")
+    }
+
+    #[test]
+    fn trivial_program_compiles_and_halts() {
+        let mut ast = AstProgram::new(1);
+        let v = ast.vreg();
+        ast.body = vec![
+            Stmt::Let(v, Expr::Const(3)),
+            Stmt::For {
+                trips: Expr::Copy(v),
+                body: vec![Stmt::Work(2)],
+            },
+        ];
+        let p = compile(&ast).unwrap();
+        assert!(run(&p).halted());
+    }
+
+    #[test]
+    fn recursion_with_stack_spills_halts() {
+        // f(n): if n > 0 { f(n - 1) twice-ish }, with enough vregs to
+        // force stack spilling inside the function.
+        let mut ast = AstProgram::new(2);
+        let vr: Vec<VReg> = (0..12).map(VReg).collect();
+        let mut body = vec![Stmt::Let(vr[0], Expr::Arg(0))];
+        for k in 1..12 {
+            body.push(Stmt::Let(
+                vr[k],
+                Expr::Bin(AluOp::Add, vr[k - 1], Rhs::Imm(1)),
+            ));
+        }
+        body.push(Stmt::If {
+            cond: CondExpr {
+                cond: Cond::GtS,
+                lhs: vr[0],
+                rhs: Rhs::Imm(0),
+            },
+            then_b: vec![Stmt::Call {
+                func: FuncId(0),
+                args: vec![Expr::Bin(AluOp::Add, vr[0], Rhs::Imm(-1))],
+            }],
+            else_b: vec![Stmt::Work(1)],
+        });
+        // The last vreg must still hold first + 11 after the recursive
+        // call returns (stack slots survived the callee).
+        body.push(Stmt::SetRet(Expr::Copy(vr[11])));
+        ast.funcs.push(FuncDef { vregs: 12, body });
+        let res = ast.vreg();
+        ast.body = vec![
+            Stmt::Call {
+                func: FuncId(0),
+                args: vec![Expr::Const(5)],
+            },
+            Stmt::Let(res, Expr::RetVal),
+            Stmt::For {
+                trips: Expr::Bin(AluOp::And, res, Rhs::Imm(3)),
+                body: vec![Stmt::Work(1)],
+            },
+        ];
+        let p = compile(&ast).unwrap();
+        assert!(run(&p).halted());
+    }
+
+    #[test]
+    fn deep_nesting_falls_back_to_memory_loops() {
+        // Nest 8 counted loops: the inner ones must switch to
+        // memory-resident counters without the pool panicking.
+        let mut ast = AstProgram::new(3);
+        let mut body = vec![Stmt::Work(1)];
+        for _ in 0..8 {
+            body = vec![Stmt::For {
+                trips: Expr::Const(2),
+                body,
+            }];
+        }
+        ast.body = body;
+        let p = compile(&ast).unwrap();
+        let s = run(&p);
+        assert!(s.halted());
+        // 2^8 innermost executions of Work(1) prove every level looped.
+        assert!(s.retired > 256, "retired only {}", s.retired);
+    }
+
+    #[test]
+    fn arbitrary_programs_compile_and_halt() {
+        for seed in 0..24 {
+            let ast = arb_program(&mut Rng::new(seed), ArbConfig::default());
+            let p = compile(&ast).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            assert!(run(&p).halted(), "seed {seed} did not halt");
+        }
+    }
+
+    #[test]
+    fn ptr_chain_init_builds_valid_pointers() {
+        let mut ast = AstProgram::new(4);
+        let a = ast.array(8, ArrayInit::PtrChain { mul: 3, add: 1 });
+        // Walk the chain 20 steps from element 0.
+        let p0 = ast.vreg();
+        let i = ast.vreg();
+        ast.body = vec![
+            Stmt::Let(i, Expr::Const(0)),
+            Stmt::Let(p0, Expr::LoadArr(a, i)),
+            Stmt::For {
+                trips: Expr::Const(20),
+                body: vec![Stmt::Let(p0, Expr::LoadPtr(p0, 0))],
+            },
+        ];
+        let ArrayDecl { .. } = ast.arrays[0].clone();
+        let p = compile(&ast).unwrap();
+        assert!(run(&p).halted());
+    }
+}

@@ -64,9 +64,55 @@ impl Rng {
     }
 }
 
+/// Extracts the `<family>:<seed>` replay token from a harness failure
+/// message.
+///
+/// Failures from the generated-scenario harness print a self-contained
+/// reproduction line of the form `genfuzz --replay <family>:<seed>`;
+/// this scans any text (a panic payload, a captured stderr dump, a CI
+/// log excerpt) for that marker and parses the token after it, so a
+/// test that catches a failure can immediately re-run the exact case.
+///
+/// ```
+/// use loopspec_testutil::parse_replay_line;
+/// let log = "gen harness failure in chase:41 — reports diverged\n    \
+///            reproduce with: genfuzz --replay chase:41";
+/// assert_eq!(parse_replay_line(log), Some(("chase".to_string(), 41)));
+/// assert_eq!(parse_replay_line("no replay marker here"), None);
+/// ```
+pub fn parse_replay_line(text: &str) -> Option<(String, u64)> {
+    let marker = "--replay ";
+    let at = text.find(marker)? + marker.len();
+    let token = text[at..]
+        .split_whitespace()
+        .next()?
+        .trim_start_matches("gen:");
+    let (family, seed) = token.split_once(':')?;
+    if family.is_empty() {
+        return None;
+    }
+    let seed = seed.parse().ok()?;
+    Some((family.to_string(), seed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn replay_line_parses_from_surrounding_noise() {
+        let log =
+            "worker log junk\nreproduce with: genfuzz --replay nest:18446744073709551615\ntrailing";
+        assert_eq!(parse_replay_line(log), Some(("nest".to_string(), u64::MAX)));
+        assert_eq!(
+            parse_replay_line("genfuzz --replay gen:trips:9"),
+            Some(("trips".to_string(), 9))
+        );
+        assert_eq!(parse_replay_line("genfuzz --replay :9"), None);
+        assert_eq!(parse_replay_line("genfuzz --replay trips:"), None);
+        assert_eq!(parse_replay_line("genfuzz --replay trips:x"), None);
+        assert_eq!(parse_replay_line("genfuzz --list"), None);
+    }
 
     #[test]
     fn deterministic_and_spread() {

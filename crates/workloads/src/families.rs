@@ -1,0 +1,50 @@
+//! Bridge from workload names to generated scenario families.
+//!
+//! Generated programs join the suite under `gen:<family>:<seed>`
+//! names, so every consumer that addresses workloads by string — the
+//! distributed job protocol, the replay service, `genfuzz` — reaches
+//! them through the same [`build_named`](crate::build_named) door as
+//! the 18 calibrated kernels. The seed travels inside the name, which
+//! keeps jobs self-describing: a coordinator can hand `gen:chase:42`
+//! to any worker and both sides regenerate the identical program.
+
+use loopspec_gen::{family_by_name, ReplayToken};
+
+/// Parses and validates a `gen:<family>:<seed>` workload name.
+///
+/// Returns `None` when the name lacks the `gen:` prefix, is not
+/// `family:seed` shaped, names an unknown family, or carries a
+/// non-numeric seed — the rejection paths admission control relies on.
+pub fn parse(name: &str) -> Option<ReplayToken> {
+    let rest = name.strip_prefix("gen:")?;
+    let token = rest.parse::<ReplayToken>().ok()?;
+    family_by_name(&token.family)?;
+    Some(token)
+}
+
+/// The `gen:<family>:<seed>` name for a family/seed pair.
+pub fn name_of(family: &str, seed: u64) -> String {
+    format!("gen:{family}:{seed}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_valid_tokens() {
+        let t = parse("gen:chase:42").expect("valid");
+        assert_eq!(t.family, "chase");
+        assert_eq!(t.seed, 42);
+        assert_eq!(name_of("chase", 42), "gen:chase:42");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_names() {
+        assert!(parse("chase:42").is_none(), "missing prefix");
+        assert!(parse("gen:chase").is_none(), "missing seed");
+        assert!(parse("gen:chase:forty").is_none(), "non-numeric seed");
+        assert!(parse("gen:unknown:1").is_none(), "unknown family");
+        assert!(parse("gen::1").is_none(), "empty family");
+    }
+}

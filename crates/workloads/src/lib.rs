@@ -37,6 +37,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod families;
 pub mod kernels;
 mod suite;
 
@@ -122,6 +123,33 @@ pub fn by_name(name: &str) -> Option<Workload> {
     all().into_iter().find(|w| w.name == name)
 }
 
+/// `true` when `name` resolves to a buildable program: one of the 18
+/// calibrated kernels, or a well-formed `gen:<family>:<seed>` scenario
+/// (see [`families`]). This is the admission-control predicate — a
+/// name this rejects must never reach a worker.
+pub fn known_name(name: &str) -> bool {
+    if name.starts_with("gen:") {
+        families::parse(name).is_some()
+    } else {
+        by_name(name).is_some()
+    }
+}
+
+/// Builds any named program — calibrated kernel or generated scenario
+/// — at the given scale. Generated scenarios use `scale.factor()` as
+/// their size parameter, so the same scale ladder applies to both.
+///
+/// Returns `None` for unknown names (see [`known_name`]), and
+/// `Some(Err(..))` when the program fails to assemble.
+pub fn build_named(name: &str, scale: Scale) -> Option<Result<Program, AsmError>> {
+    if name.starts_with("gen:") {
+        let token = families::parse(name)?;
+        let ast = token.program(scale.factor() as u32)?;
+        return Some(loopspec_gen::compile(&ast));
+    }
+    by_name(name).map(|w| w.build(scale))
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     //! Shared helpers for per-workload shape tests.
@@ -169,6 +197,23 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("gcc").is_some());
         assert!(by_name("specmark").is_none());
+    }
+
+    #[test]
+    fn named_lookup_covers_generated_scenarios() {
+        assert!(known_name("compress"));
+        assert!(known_name("gen:trips:5"));
+        assert!(!known_name("gen:trips:x"));
+        assert!(!known_name("gen:nope:1"));
+        assert!(!known_name("specmark"));
+        let p = build_named("gen:trips:5", Scale::Test)
+            .expect("known name")
+            .expect("assembles");
+        assert!(!p.is_empty());
+        // The name alone regenerates the identical program.
+        let q = build_named("gen:trips:5", Scale::Test).unwrap().unwrap();
+        assert_eq!(p.len(), q.len());
+        assert!(build_named("specmark", Scale::Test).is_none());
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! `genfuzz` — the differential harness over generated scenario
+//! families.
+//!
+//! ```text
+//! genfuzz [--seeds N] [--size S] [--families a,b,..] [--out FILE]
+//!         [--skip-service]
+//! genfuzz --replay <family>:<seed> [--size S]
+//! genfuzz --list
+//! genfuzz --worker            # internal: serve dist jobs on stdin/stdout
+//! ```
+//!
+//! Default mode runs the fixed-seed corpus: every registered family ×
+//! `--seeds` consecutive seeds through [`loopspec::gen::harness`]
+//! (legacy vs decoded CPU, batch vs streaming vs K-sharded engines, all
+//! cross-checked bit for bit), printing one row per family. Unless
+//! `--skip-service` is given, it then pushes one `gen:<family>:<seed>`
+//! job per family through a real multi-process [`Service`] (this binary
+//! re-entered with `--worker`) and compares the distributed report
+//! against the in-process single-pass reference — the same byte-identity
+//! bar the calibrated kernels are held to.
+//!
+//! Every failure prints a self-contained `genfuzz --replay family:seed`
+//! line (also written to `--out`, which CI uploads as an artifact), and
+//! the process exits non-zero.
+
+use std::io::Write as _;
+
+use loopspec::dist::{single_pass_outcome, worker, JobSpec, Policy};
+use loopspec::gen::{families, family_by_name, harness, FamilyReport, ReplayToken};
+use loopspec::svc::{Service, SvcConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: genfuzz [--seeds N] [--size S] [--families a,b,..] [--out FILE] [--skip-service]\n\
+         \x20      genfuzz --replay <family>:<seed> [--size S]\n\
+         \x20      genfuzz --list"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    // Spawned service workers re-enter here; this serves and never
+    // returns.
+    worker::maybe_serve_stdio();
+
+    let mut seeds = 4u64;
+    let mut size = 1u32;
+    let mut replay: Option<String> = None;
+    let mut wanted: Option<Vec<String>> = None;
+    let mut out: Option<String> = None;
+    let mut skip_service = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--size" => {
+                size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--families" => {
+                wanted = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage())
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                );
+            }
+            "--replay" => replay = Some(args.next().unwrap_or_else(|| usage())),
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--skip-service" => skip_service = true,
+            "--list" => {
+                for f in families() {
+                    println!("{:>10}  {}", f.name, f.description);
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    if let Some(token) = replay {
+        run_replay(&token, size);
+        return;
+    }
+
+    let selected: Vec<_> = match &wanted {
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                family_by_name(n).copied().unwrap_or_else(|| {
+                    eprintln!("genfuzz: unknown family '{n}' (try --list)");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        None => families().to_vec(),
+    };
+
+    println!(
+        "genfuzz: {} families x {seeds} seeds at size {size}",
+        selected.len()
+    );
+    println!(
+        "{:>10} {:>6} {:>6} {:>14} {:>12}",
+        "family", "seeds", "pass", "instructions", "loop events"
+    );
+    let mut reports: Vec<FamilyReport> = Vec::new();
+    for f in &selected {
+        let r = harness::run_family(f, seeds, size);
+        println!(
+            "{:>10} {:>6} {:>6} {:>14} {:>12}",
+            r.family, r.seeds, r.passed, r.instructions, r.loop_events
+        );
+        reports.push(r);
+    }
+
+    let mut replay_lines: Vec<String> = Vec::new();
+    for r in &reports {
+        for f in &r.failures {
+            eprintln!("{f}");
+            replay_lines.push(format!("genfuzz --replay {}:{}", r.family, f.seed));
+        }
+    }
+
+    if !skip_service && replay_lines.is_empty() {
+        if let Err(lines) = service_leg(&selected, size) {
+            replay_lines.extend(lines);
+        }
+    }
+
+    if let Some(path) = out {
+        let body = if replay_lines.is_empty() {
+            "ok\n".to_string()
+        } else {
+            replay_lines.join("\n") + "\n"
+        };
+        if let Err(e) = std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes()))
+        {
+            eprintln!("genfuzz: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if !replay_lines.is_empty() {
+        eprintln!(
+            "genfuzz: {} failure(s); replay lines above",
+            replay_lines.len()
+        );
+        std::process::exit(1);
+    }
+    println!("genfuzz: all checks passed");
+}
+
+/// Re-runs one `(family, seed)` pair with full detail — the
+/// self-contained reproduction path printed by every failure.
+fn run_replay(token: &str, size: u32) {
+    let token: ReplayToken = token.parse().unwrap_or_else(|e| {
+        eprintln!("genfuzz: bad replay token: {e}");
+        std::process::exit(2);
+    });
+    let family = family_by_name(&token.family).unwrap_or_else(|| {
+        eprintln!("genfuzz: unknown family '{}' (try --list)", token.family);
+        std::process::exit(2);
+    });
+    let ast = family.generate(token.seed, size);
+    println!(
+        "replaying {token} at size {size}: {} statements, {} functions, {} arrays",
+        ast.stmt_count(),
+        ast.funcs.len(),
+        ast.arrays.len()
+    );
+    match harness::check_program(family, token.seed, size) {
+        Ok(c) => println!(
+            "ok: {} instructions, {} loop events, all paths agree",
+            c.instructions, c.loop_events
+        ),
+        Err(f) => {
+            eprintln!("{f}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The distributed leg: one `gen:` job per family through a spawned
+/// multi-process service, each report compared byte for byte against
+/// the in-process single-pass reference. Returns replay lines on
+/// failure.
+fn service_leg(selected: &[loopspec::gen::Family], size: u32) -> Result<(), Vec<String>> {
+    // The gen size parameter is Scale::factor(); Test maps to 1.
+    if size != 1 {
+        println!("genfuzz: service leg runs at size 1 only, skipping (size {size})");
+        return Ok(());
+    }
+    let service = match Service::spawn(SvcConfig {
+        workers: 2,
+        ..SvcConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("genfuzz: failed to start the service: {e}");
+            return Err(vec!["(service failed to start)".into()]);
+        }
+    };
+    let client = service.client();
+    let mut lines = Vec::new();
+    for f in selected {
+        let name = format!("gen:{}:0", f.name);
+        let spec = JobSpec::new(name.clone())
+            .policies([Policy::Idle, Policy::Str])
+            .tus([2, 4]);
+        let reference =
+            match single_pass_outcome(&name, spec.scale, &spec.lane_specs(), spec.total_fuel) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("genfuzz: {name}: reference run failed: {e}");
+                    lines.push(format!("genfuzz --replay {}:0", f.name));
+                    continue;
+                }
+            };
+        match client.run(spec) {
+            Ok(completion) => {
+                let r = &completion.report;
+                if r.instructions != reference.instructions
+                    || r.lanes != reference.lanes
+                    || r.state != reference.state
+                {
+                    eprintln!("genfuzz: {name}: distributed report diverges from single pass");
+                    lines.push(format!("genfuzz --replay {}:0", f.name));
+                } else {
+                    println!(
+                        "service: {name} ok ({} instructions, {} lanes)",
+                        r.instructions,
+                        r.lanes.len()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("genfuzz: {name}: service run failed: {e}");
+                lines.push(format!("genfuzz --replay {}:0", f.name));
+            }
+        }
+    }
+    let stats = service.stats();
+    service.shutdown();
+    let consistent = stats.submitted == stats.accepted + stats.rejected
+        && stats.accepted == stats.completed + stats.failed + stats.in_flight;
+    if !consistent {
+        eprintln!("genfuzz: service metrics invariants violated: {stats:?}");
+        lines.push("(service metrics inconsistent)".into());
+    }
+    if lines.is_empty() {
+        Ok(())
+    } else {
+        Err(lines)
+    }
+}

@@ -20,7 +20,8 @@
 //! | [`pipeline`] | `loopspec-pipeline` | Single-pass streaming `Session` |
 //! | [`dist`] | `loopspec-dist` | Multi-process distributed replay (coordinator/workers) |
 //! | [`svc`] | `loopspec-svc` | Persistent replay service with a content-addressed report cache |
-//! | [`workloads`] | `loopspec-workloads` | 18 SPEC95-shaped synthetic programs |
+//! | [`gen`] | `loopspec-gen` | Structured-program compiler, seeded scenario families, differential harness |
+//! | [`workloads`] | `loopspec-workloads` | 18 SPEC95-shaped synthetic programs + `gen:` scenario names |
 //!
 //! Failures from any layer unify into [`enum@Error`], so application
 //! code can `?` across assembler, CPU, session, wire, distributed and
@@ -79,6 +80,7 @@ pub use loopspec_core as core;
 pub use loopspec_cpu as cpu;
 pub use loopspec_dataspec as dataspec;
 pub use loopspec_dist as dist;
+pub use loopspec_gen as gen;
 pub use loopspec_isa as isa;
 pub use loopspec_mt as mt;
 pub use loopspec_pipeline as pipeline;
@@ -98,6 +100,10 @@ pub mod prelude {
         Coordinator, DistError, DistOutcome, JobSpec, LaneReport, LaneSpec, Policy, SuiteSpec,
         SvcStats, WorkerLink,
     };
+    pub use loopspec_gen::{
+        arb_program, compile as compile_ast, families, family_by_name, ArbConfig, AstProgram,
+        Family, ReplayToken,
+    };
     pub use loopspec_isa::{Addr, AluOp, Cond, Instruction, Reg};
     pub use loopspec_mt::{
         ideal_tpc, ideal_tpc_streaming, ideal_tpc_with_feed, prefix_split, AnnotatedTrace,
@@ -110,7 +116,9 @@ pub mod prelude {
         SinkSet, Snapshot, SnapshotState,
     };
     pub use loopspec_svc::{Client, Completion, Service, SvcConfig, SvcError};
-    pub use loopspec_workloads::{all as all_workloads, by_name as workload_by_name, Scale};
+    pub use loopspec_workloads::{
+        all as all_workloads, build_named, by_name as workload_by_name, known_name, Scale,
+    };
 
     pub use crate::Error;
 }

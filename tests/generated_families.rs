@@ -1,0 +1,137 @@
+//! Seeded scenario families, cross-checked over every execution path.
+//!
+//! Each family × seed pair is pushed through the full differential
+//! harness in `loopspec-gen`: legacy interpreter vs pre-decoded
+//! front-end (including resume across arbitrary fuel cuts), batch
+//! engines vs the streaming session vs K-sharded runs, with reports
+//! required to be byte-identical everywhere. These are the fixed seeds
+//! CI pins; `genfuzz` sweeps wider ranges of the same corpus.
+
+use loopspec::gen::{families, family_by_name, harness, ReplayToken};
+use loopspec::prelude::*;
+
+/// The fixed seed set every family must pass. Deliberately includes
+/// "ugly" seeds (large, bit-dense) alongside the small ones the corpus
+/// runner defaults to.
+const SEEDS: [u64; 5] = [0, 1, 2, 0xDEAD_BEEF, u64::MAX / 7];
+
+#[test]
+fn every_family_passes_the_differential_harness_on_fixed_seeds() {
+    for family in families() {
+        for &seed in &SEEDS {
+            let check = harness::check_program(family, seed, 1).unwrap_or_else(|f| panic!("{f}"));
+            assert!(
+                check.instructions > 0,
+                "{}:{seed}: empty program",
+                family.name
+            );
+        }
+    }
+}
+
+#[test]
+fn family_registry_is_complete_and_stable() {
+    assert!(
+        families().len() >= 5,
+        "the paper's fig6 sweep needs at least five loop-shape families"
+    );
+    let mut names: Vec<_> = families().iter().map(|f| f.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), families().len(), "duplicate family names");
+    for f in families() {
+        assert!(family_by_name(f.name).is_some());
+        // Same (seed, size) must always yield the same program.
+        let a = f.generate(7, 1);
+        let b = f.generate(7, 1);
+        assert_eq!(a.stmt_count(), b.stmt_count());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "{} not seeded", f.name);
+        // Different seeds should not collapse to one program.
+        let c = f.generate(8, 1);
+        assert_ne!(
+            format!("{a:?}"),
+            format!("{c:?}"),
+            "{} ignores its seed",
+            f.name
+        );
+    }
+}
+
+#[test]
+fn families_exercise_distinct_loop_shapes() {
+    // The corpus only earns its keep if the families genuinely differ:
+    // every family must produce loop events, and the per-family event
+    // streams must not all look alike.
+    let mut signatures = Vec::new();
+    for family in families() {
+        let check = harness::check_program(family, 0, 1).unwrap_or_else(|f| panic!("{f}"));
+        signatures.push((family.name, check.instructions, check.loop_events));
+    }
+    let with_loops = signatures.iter().filter(|(_, _, ev)| *ev > 0).count();
+    assert!(
+        with_loops >= 5,
+        "families without loop events: {signatures:?}"
+    );
+    let mut counts: Vec<_> = signatures.iter().map(|(_, n, _)| *n).collect();
+    counts.sort_unstable();
+    counts.dedup();
+    assert!(
+        counts.len() >= 4,
+        "instruction counts suspiciously uniform: {signatures:?}"
+    );
+}
+
+#[test]
+fn corpus_runner_reports_per_family() {
+    let reports = harness::run_corpus(2, 1);
+    assert_eq!(reports.len(), families().len());
+    for r in &reports {
+        assert!(r.ok(), "{}: {:?}", r.family, r.failures);
+        assert_eq!(r.seeds, 2);
+        assert_eq!(r.passed, 2);
+        assert!(r.instructions > 0);
+    }
+}
+
+#[test]
+fn harness_failures_print_a_parsable_replay_line() {
+    // Failing-seed ergonomics: whatever a harness failure prints must
+    // round-trip through the shared replay-line parser, so a captured
+    // panic or CI log can always be turned back into `genfuzz --replay`.
+    let failure = harness::Failure {
+        family: "dispatch".to_string(),
+        seed: 0xDEAD_BEEF,
+        what: "sharded K=4 report diverged from single pass".to_string(),
+    };
+    let printed = failure.to_string();
+    assert!(
+        printed.contains("genfuzz --replay dispatch:3735928559"),
+        "failure text lost its reproduction line: {printed}"
+    );
+    let (family, seed) =
+        loopspec_testutil::parse_replay_line(&printed).expect("replay line parses back");
+    assert_eq!(family, "dispatch");
+    assert_eq!(seed, 0xDEAD_BEEF);
+    // And the parsed pair addresses a real family + program.
+    let token: ReplayToken = format!("{family}:{seed}").parse().unwrap();
+    assert!(token.program(1).is_some());
+}
+
+#[test]
+fn replay_tokens_round_trip_through_workload_names() {
+    for family in families() {
+        for &seed in &SEEDS {
+            let name = loopspec::workloads::families::name_of(family.name, seed);
+            assert!(known_name(&name), "{name} not admitted");
+            let token: ReplayToken = name.parse().unwrap();
+            assert_eq!(token.family, family.name);
+            assert_eq!(token.seed, seed);
+            // The name builds the exact program the harness checked.
+            let via_name = build_named(&name, Scale::Test)
+                .expect("gen name resolves")
+                .expect("gen name compiles");
+            let direct = compile_ast(&family.generate(seed, Scale::Test.factor() as u32)).unwrap();
+            assert_eq!(via_name, direct, "{name}: name path diverges");
+        }
+    }
+}

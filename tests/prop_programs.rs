@@ -1,123 +1,25 @@
 //! Property-style tests over *randomly generated structured programs*:
-//! for any terminating program the builder can express, the detector must
-//! emit a well-formed event stream, detection must be deterministic, and
-//! the speculation engine must obey its conservation laws.
+//! for any terminating program the generator can express, the detector
+//! must emit a well-formed event stream, detection must be
+//! deterministic, and the speculation engine must obey its conservation
+//! laws.
 //!
-//! The original suite used `proptest`; the build environment is offline,
-//! so the same generators run off a deterministic xorshift RNG.
+//! The statement tree, generator and lowering live in `loopspec-gen`
+//! (`arb_program` + `compile`); this suite drives them off a
+//! deterministic xorshift RNG — the original used `proptest`, but the
+//! build environment is offline. With [`ArbConfig::default`] the
+//! generator mixes calls, dispatch tables and memory traffic into the
+//! historical loop/branch shape distribution, so these laws now cover
+//! every AST node the compiler can emit.
 
+use loopspec::gen::{check_events, Rng};
 use loopspec::prelude::*;
-use loopspec_testutil::Rng;
-use std::collections::HashMap;
 
-/// A structured statement tree — the generator's portable AST.
-#[derive(Debug, Clone)]
-enum Stmt {
-    /// `n` filler ALU instructions.
-    Work(u8),
-    /// Counted loop with a fixed trip count.
-    Loop(u8, Vec<Stmt>),
-    /// Counted loop with an RNG trip count in `1..=n`.
-    VarLoop(u8, Vec<Stmt>),
-    /// Count-down while loop.
-    While(u8, Vec<Stmt>),
-    /// Two-sided conditional on RNG parity.
-    If(Vec<Stmt>, Vec<Stmt>),
-    /// Early exit from the innermost loop (no-op outside loops).
-    BreakIf,
-}
-
-fn arb_stmt(r: &mut Rng, depth: u32) -> Stmt {
-    // Depth cap keeps loop nesting within the builder's register pool.
-    let leafy = depth >= 3 || r.below(2) == 0;
-    if leafy {
-        if r.below(4) == 0 {
-            Stmt::BreakIf
-        } else {
-            Stmt::Work(r.range(1, 12) as u8)
-        }
-    } else {
-        let body = |r: &mut Rng| {
-            (0..r.range(1, 3))
-                .map(|_| arb_stmt(r, depth + 1))
-                .collect::<Vec<_>>()
-        };
-        match r.below(4) {
-            0 => Stmt::Loop(r.below(5) as u8, body(r)),
-            1 => Stmt::VarLoop(r.range(1, 5) as u8, body(r)),
-            2 => Stmt::While(r.range(1, 5) as u8, body(r)),
-            _ => {
-                let t = body(r);
-                let e = body(r);
-                Stmt::If(t, e)
-            }
-        }
-    }
-}
-
-fn arb_program(r: &mut Rng) -> Vec<Stmt> {
-    (0..r.range(1, 5)).map(|_| arb_stmt(r, 0)).collect()
-}
-
-/// Lowers a statement list through the builder. `in_loop` gates
-/// `BreakIf`.
-fn emit(b: &mut ProgramBuilder, stmts: &[Stmt], in_loop: bool) {
-    for s in stmts {
-        match s {
-            Stmt::Work(n) => b.work(*n as u32),
-            Stmt::Loop(n, body) => {
-                b.counted_loop(*n as i64, |b, _i| emit(b, body, true));
-            }
-            Stmt::VarLoop(n, body) => {
-                let r = b.alloc_reg();
-                b.rng_below(r, *n as i32);
-                b.addi(r, r, 1);
-                b.counted_loop(r, |b, _i| emit(b, body, true));
-                b.free_reg(r);
-            }
-            Stmt::While(n, body) => {
-                let c = b.alloc_reg();
-                b.li(c, *n as i64);
-                b.while_loop(
-                    |_| (Cond::GtS, c, Reg::R0),
-                    |b| {
-                        b.addi(c, c, -1);
-                        emit(b, body, true);
-                    },
-                );
-                b.free_reg(c);
-            }
-            Stmt::If(t, e) => {
-                let r = b.alloc_reg();
-                b.rng_below(r, 2);
-                b.if_else(
-                    Cond::Eq,
-                    r,
-                    Reg::R0,
-                    |b| emit(b, t, in_loop),
-                    |b| emit(b, e, in_loop),
-                );
-                b.free_reg(r);
-            }
-            Stmt::BreakIf => {
-                if in_loop {
-                    let r = b.alloc_reg();
-                    b.rng_below(r, 8);
-                    b.break_if(Cond::Eq, r, Reg::R0);
-                    b.free_reg(r);
-                }
-            }
-        }
-    }
-}
-
-fn build_and_run(stmts: &[Stmt], seed: i64) -> (Vec<LoopEvent>, u64) {
-    let mut b = ProgramBuilder::with_seed(seed);
-    emit(&mut b, stmts, false);
-    let program = b.finish().expect("generated program assembles");
+fn build_and_run(ast: &AstProgram) -> (Vec<LoopEvent>, u64) {
+    let program = compile_ast(ast).expect("generated program compiles");
     let mut c = EventCollector::default();
     let summary = Cpu::new()
-        .run(&program, &mut c, RunLimits::with_fuel(500_000))
+        .run(&program, &mut c, RunLimits::with_fuel(2_000_000))
         .expect("generated program executes");
     assert!(
         summary.halted(),
@@ -127,70 +29,34 @@ fn build_and_run(stmts: &[Stmt], seed: i64) -> (Vec<LoopEvent>, u64) {
     c.into_parts()
 }
 
-/// Event-stream well-formedness (same checker as the integration tests,
-/// reduced: dense iterations, matched open/close, monotone positions).
-fn check_events(events: &[LoopEvent]) {
-    let mut open: HashMap<LoopId, u32> = HashMap::new();
-    let mut last_pos = 0u64;
-    for e in events {
-        assert!(e.pos() >= last_pos, "position went backwards at {e}");
-        last_pos = e.pos();
-        match *e {
-            LoopEvent::ExecutionStart { loop_id, .. } => {
-                assert!(open.insert(loop_id, 1).is_none(), "double open {loop_id}");
-            }
-            LoopEvent::IterationStart { loop_id, iter, .. } => {
-                let last = open
-                    .get_mut(&loop_id)
-                    .unwrap_or_else(|| panic!("iteration of closed {loop_id}"));
-                assert_eq!(iter, *last + 1, "non-dense iteration index");
-                *last = iter;
-            }
-            LoopEvent::ExecutionEnd {
-                loop_id,
-                iterations,
-                ..
-            }
-            | LoopEvent::Evicted {
-                loop_id,
-                iterations,
-                ..
-            } => {
-                let last = open
-                    .remove(&loop_id)
-                    .unwrap_or_else(|| panic!("close of unopened {loop_id}"));
-                assert_eq!(iterations, last);
-            }
-            LoopEvent::OneShot { .. } => {}
-        }
-    }
-    assert!(open.is_empty(), "unflushed loops at halt");
-}
-
 const CASES: u64 = 48;
 
-fn case(seed: u64) -> (Vec<Stmt>, i64) {
+fn case(seed: u64) -> AstProgram {
     let mut r = Rng::new(seed);
-    let stmts = arb_program(&mut r);
-    let rng_seed = r.below(1_000_000) as i64;
-    (stmts, rng_seed)
+    arb_program(&mut r, ArbConfig::default())
 }
 
 #[test]
 fn random_programs_produce_well_formed_events() {
     for seed in 0..CASES {
-        let (stmts, s) = case(seed);
-        let (events, _) = build_and_run(&stmts, s);
-        check_events(&events);
+        let ast = case(seed);
+        let (events, _) = build_and_run(&ast);
+        check_events(&events).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
 
 #[test]
-fn detection_is_deterministic() {
+fn generation_and_detection_are_deterministic() {
     for seed in 0..CASES {
-        let (stmts, s) = case(seed);
-        let (a, na) = build_and_run(&stmts, s);
-        let (b, nb) = build_and_run(&stmts, s);
+        let x = case(seed);
+        let y = case(seed);
+        assert_eq!(
+            x.stmt_count(),
+            y.stmt_count(),
+            "seed {seed}: generator not deterministic"
+        );
+        let (a, na) = build_and_run(&x);
+        let (b, nb) = build_and_run(&y);
         assert_eq!(na, nb, "seed {seed}");
         assert_eq!(a, b, "seed {seed}");
     }
@@ -199,8 +65,8 @@ fn detection_is_deterministic() {
 #[test]
 fn engine_laws_hold_on_random_programs() {
     for seed in 0..CASES {
-        let (stmts, s) = case(seed);
-        let (events, n) = build_and_run(&stmts, s);
+        let ast = case(seed);
+        let (events, n) = build_and_run(&ast);
         let trace = AnnotatedTrace::build(&events, n);
         let ideal = ideal_tpc(&trace);
         assert!(ideal.tpc >= 1.0 - 1e-9);
@@ -222,8 +88,8 @@ fn engine_laws_hold_on_random_programs() {
 #[test]
 fn streaming_engine_matches_batch_on_random_programs() {
     for seed in 0..CASES {
-        let (stmts, s) = case(seed);
-        let (events, n) = build_and_run(&stmts, s);
+        let ast = case(seed);
+        let (events, n) = build_and_run(&ast);
         let trace = AnnotatedTrace::build(&events, n);
         for tus in [2usize, 4] {
             let mut streaming = StreamEngine::new(StrNestedPolicy::new(2), tus);
@@ -244,8 +110,8 @@ fn streaming_engine_matches_batch_on_random_programs() {
 #[test]
 fn loop_stats_are_internally_consistent() {
     for seed in 0..CASES {
-        let (stmts, s) = case(seed);
-        let (events, n) = build_and_run(&stmts, s);
+        let ast = case(seed);
+        let (events, n) = build_and_run(&ast);
         let mut stats = LoopStats::new();
         stats.observe_all(&events);
         let r = stats.report(n);
@@ -261,8 +127,8 @@ fn loop_stats_are_internally_consistent() {
 #[test]
 fn hit_ratio_monotone_in_table_size() {
     for seed in 0..CASES {
-        let (stmts, s) = case(seed);
-        let (events, _) = build_and_run(&stmts, s);
+        let ast = case(seed);
+        let (events, _) = build_and_run(&ast);
         for kind in [TableKind::Let, TableKind::Lit] {
             let mut prev = -1.0f64;
             for entries in [2usize, 4, 8, 16] {
