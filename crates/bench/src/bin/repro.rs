@@ -1,10 +1,14 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--scale test|small|full]
+//! repro [EXPERIMENT ...] [--scale test|small|full] [--metrics]
 //!
 //! EXPERIMENT: table1 fig4 fig5 fig6 genfig6 fig7 table2 fig8 ablation all
 //! ```
+//!
+//! `--metrics` appends the process-wide telemetry registry (counters,
+//! histograms, span aggregates) as exposition text plus a one-line
+//! JSON snapshot after the experiment output.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -18,7 +22,7 @@ use loopspec_workloads::{all, Scale};
 
 const USAGE: &str =
     "usage: repro [table1|fig4|fig5|fig6|genfig6|fig7|table2|fig8|ablation|all ...] \
-                     [--scale test|small|full]";
+                     [--scale test|small|full] [--metrics]";
 
 const ALL_EXPERIMENTS: [&str; 9] = [
     "table1", "fig4", "fig5", "fig6", "genfig6", "fig7", "table2", "fig8", "ablation",
@@ -29,10 +33,12 @@ const GEN_SEEDS: u64 = 4;
 
 fn main() -> ExitCode {
     let mut scale = Scale::Full;
+    let mut metrics = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--metrics" => metrics = true,
             "--scale" => {
                 let Some(v) = args.next() else {
                     eprintln!("{USAGE}");
@@ -130,6 +136,15 @@ fn main() -> ExitCode {
         };
         println!("{text}");
         eprintln!("({exp} in {:.1}s)\n", t.elapsed().as_secs_f64());
+    }
+
+    if metrics {
+        // Everything the suite's pipeline runs recorded out-of-band:
+        // CPU front-end counters, chunk fan-out, span aggregates.
+        println!("== metrics ==");
+        print!("{}", loopspec_obs::global().render_text());
+        println!("== metrics json ==");
+        println!("{}", loopspec_obs::global().snapshot_json());
     }
     ExitCode::SUCCESS
 }

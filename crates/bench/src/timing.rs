@@ -10,8 +10,22 @@
 //! change the per-sample target time (default 200 ms; the CI smoke run
 //! uses a small value).
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
+
+/// One span's accumulated activity during a benchmark's measured
+/// samples — the delta of the global `loopspec-obs` span aggregates
+/// across the sample loop (warm-up and calibration excluded).
+#[derive(Debug, Clone)]
+pub struct SpanTotal {
+    /// Span name (a call-site literal like `"session.advance"`).
+    pub name: String,
+    /// Times the span was entered during the measured samples.
+    pub count: u64,
+    /// Total nanoseconds spent inside the span across all samples.
+    pub total_ns: u64,
+}
 
 /// One measured benchmark.
 #[derive(Debug, Clone)]
@@ -25,6 +39,12 @@ pub struct Measurement {
     /// Elements processed per iteration, when meaningful (enables a
     /// throughput column).
     pub elements: Option<u64>,
+    /// Per-span time totals recorded while the samples ran, when the
+    /// benched code is span-instrumented. Informational: the JSON
+    /// snapshot emits it as an extra `breakdown` object, which the
+    /// bench gate's parser (keyed on `group`/`name`/`median_ns`)
+    /// ignores.
+    pub breakdown: Vec<SpanTotal>,
 }
 
 impl Measurement {
@@ -87,6 +107,7 @@ impl Suite {
             iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
         }
 
+        let spans_before = span_marks();
         let mut per_iter: Vec<f64> = (0..self.samples)
             .map(|_| {
                 let t0 = Instant::now();
@@ -104,6 +125,7 @@ impl Suite {
             name: name.to_string(),
             median_ns,
             elements,
+            breakdown: span_delta(&spans_before),
         };
         let thr = match m.melem_per_s() {
             Some(t) => format!("  ({t:.1} Melem/s)"),
@@ -135,9 +157,27 @@ impl Suite {
                 ),
                 None => String::new(),
             };
+            let breakdown = if m.breakdown.is_empty() {
+                String::new()
+            } else {
+                let entries: Vec<String> = m
+                    .breakdown
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "\"{}\": {{\"count\": {}, \"total_ns\": {}}}",
+                            esc(&s.name),
+                            s.count,
+                            s.total_ns
+                        )
+                    })
+                    .collect();
+                format!(", \"breakdown\": {{{}}}", entries.join(", "))
+            };
             let _ = writeln!(
                 out,
-                "    {{\"group\": \"{}\", \"name\": \"{}\", \"median_ns\": {:.1}{elems}}}{comma}",
+                "    {{\"group\": \"{}\", \"name\": \"{}\", \
+                 \"median_ns\": {:.1}{elems}{breakdown}}}{comma}",
                 esc(&m.group),
                 esc(&m.name),
                 m.median_ns,
@@ -159,6 +199,32 @@ impl Suite {
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("wrote {path}");
     }
+}
+
+/// The global span aggregates as a name-keyed `(count, total_ns)` map.
+fn span_marks() -> HashMap<String, (u64, u64)> {
+    loopspec_obs::global()
+        .span_totals()
+        .into_iter()
+        .map(|(name, count, total, _)| (name, (count, total)))
+        .collect()
+}
+
+/// Span activity since `before`, dropping spans that never fired
+/// during the measurement window.
+fn span_delta(before: &HashMap<String, (u64, u64)>) -> Vec<SpanTotal> {
+    loopspec_obs::global()
+        .span_totals()
+        .into_iter()
+        .filter_map(|(name, count, total, _)| {
+            let (c0, t0) = before.get(&name).copied().unwrap_or((0, 0));
+            (count > c0).then(|| SpanTotal {
+                count: count - c0,
+                total_ns: total.saturating_sub(t0),
+                name,
+            })
+        })
+        .collect()
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -199,6 +265,28 @@ mod tests {
         assert!(json.contains("\"elements_per_sec\":"));
         assert_eq!(s.results().len(), 1);
         assert!(s.results()[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn span_breakdown_rides_the_snapshot_without_new_gate_keys() {
+        std::env::set_var("LOOPSPEC_BENCH_MS", "1");
+        let mut s = Suite::new("bd-test");
+        s.bench("g", "spanned", None, || {
+            let _g = loopspec_obs::span!("bench.breakdown_test");
+            std::hint::black_box(1 + 1)
+        });
+        let m = &s.results()[0];
+        assert!(
+            m.breakdown.iter().any(|b| b.name == "bench.breakdown_test"),
+            "span delta captured: {:?}",
+            m.breakdown
+        );
+        let json = s.to_json();
+        assert!(json.contains("\"breakdown\": {"), "{json}");
+        let parsed = crate::gate::parse_snapshot(&json).expect("gate parser tolerates breakdown");
+        assert_eq!(parsed.entries.len(), 1);
+        assert_eq!(parsed.entries[0].name, "spanned");
+        assert!(parsed.entries[0].median_ns >= 0.0);
     }
 
     #[test]

@@ -138,6 +138,10 @@ pub struct Cpu {
     pub(crate) pc: Addr,
     pub(crate) mem: Memory,
     pub(crate) retired: u64,
+    /// Out-of-band dispatch counters (see [`crate::DecodedTelemetry`]):
+    /// bumped by the decoded front-end, never serialized by
+    /// [`Cpu::save_state`], never read by execution.
+    pub(crate) telem: crate::DecodedTelemetry,
 }
 
 impl Default for Cpu {
@@ -155,7 +159,16 @@ impl Cpu {
             pc: Addr::ZERO,
             mem: Memory::new(),
             retired: 0,
+            telem: crate::DecodedTelemetry::default(),
         }
+    }
+
+    /// Returns the decoded-dispatch telemetry accumulated since the
+    /// last take (or construction) and resets it to zero. Purely
+    /// observational: taking (or ignoring) it never affects execution,
+    /// snapshots, or reports.
+    pub fn take_decoded_telemetry(&mut self) -> crate::DecodedTelemetry {
+        std::mem::take(&mut self.telem)
     }
 
     /// Reads an integer register.

@@ -190,6 +190,7 @@ impl Cpu {
             // that jumps straight off the flat opcode.
             let run = ((meta >> 1) as u64).min(fuel) as usize;
             if run >= 1 {
+                self.telem.record_superblock(run as u64);
                 if run as u32 == meta >> 1 {
                     // Full suffix: every superinstruction fits the
                     // window by construction, so the checked walk's
@@ -216,6 +217,7 @@ impl Cpu {
             // Fused value→branch superinstruction (the counted-loop
             // back edge): two retirements, one dispatch.
             if meta & 1 != 0 && fuel >= 2 {
+                self.telem.fused_branch_pairs += 1;
                 self.exec_straight(img, pcu, tracer, demand, limits.max_pages)?;
                 let DecodedOp::Branch {
                     cond,
@@ -270,6 +272,7 @@ impl Cpu {
         while i < n {
             let f = fused[i];
             if f.code.fuses_two() {
+                self.telem.record_fused(f.code);
                 let r = if f.code.is_rep() {
                     let k = f.sub as usize;
                     // Literal `store` flags keep the forced element
@@ -397,6 +400,7 @@ impl Cpu {
                 if f.code.is_rep() {
                     let k = f.sub as usize;
                     if i + k <= n {
+                        self.telem.record_fused(f.code);
                         let r = if f.code == FlatCode::StRep {
                             self.exec_rep_mem(
                                 true,
@@ -436,6 +440,7 @@ impl Cpu {
                         }
                     }
                 } else if i + 1 < n {
+                    self.telem.record_fused(f.code);
                     match self.exec_flat_pair(
                         f,
                         instrs[i],

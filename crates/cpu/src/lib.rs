@@ -38,11 +38,13 @@
 mod cpu;
 mod decoded;
 mod mem;
+mod telemetry;
 mod tracer;
 
 pub use cpu::{Completion, Cpu, CpuError, RunLimits, RunSummary};
 pub use decoded::DecodedProgram;
 pub use mem::Memory;
+pub use telemetry::{DecodedTelemetry, FUSED_SHAPES, FUSED_SHAPE_NAMES};
 pub use tracer::{
     ArchReg, ControlOutcome, CountingTracer, Demand, InstrEvent, MemAccess, NullTracer, RegRead,
     RegWrite, Tracer,

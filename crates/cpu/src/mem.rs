@@ -88,6 +88,12 @@ pub struct Memory {
     way0: Cell<(u64, u32)>,
     /// Second-most-recent translation.
     way1: Cell<(u64, u32)>,
+    /// Telemetry: accesses answered by a cache way. Plain `Cell`
+    /// counters (no atomics on the interpreter hot path); strictly
+    /// out-of-band — never serialized, never compared.
+    mru_hits: Cell<u64>,
+    /// Telemetry: accesses that fell through to the page map.
+    mru_misses: Cell<u64>,
 }
 
 impl Default for Memory {
@@ -98,6 +104,8 @@ impl Default for Memory {
             ids: Vec::new(),
             way0: Cell::new((EMPTY_TAG, 0)),
             way1: Cell::new((EMPTY_TAG, 0)),
+            mru_hits: Cell::new(0),
+            mru_misses: Cell::new(0),
         }
     }
 }
@@ -114,14 +122,17 @@ impl Memory {
     fn translate(&self, page: u64) -> Option<u32> {
         let (tag0, slot0) = self.way0.get();
         if page == tag0 {
+            self.mru_hits.set(self.mru_hits.get() + 1);
             return Some(slot0);
         }
         let (tag1, slot1) = self.way1.get();
         if page == tag1 {
             self.way1.set((tag0, slot0));
             self.way0.set((tag1, slot1));
+            self.mru_hits.set(self.mru_hits.get() + 1);
             return Some(slot1);
         }
+        self.mru_misses.set(self.mru_misses.get() + 1);
         None
     }
 
@@ -184,6 +195,17 @@ impl Memory {
     #[inline]
     pub fn pages_allocated(&self) -> usize {
         self.store.len()
+    }
+
+    /// Telemetry: returns `(hits, misses)` of the MRU translation cache
+    /// accumulated since the last take, and resets both to zero. The
+    /// counters are out-of-band — excluded from [`Memory::save_state`]
+    /// and from every equality the equivalence suites compare.
+    pub fn take_mru_telemetry(&self) -> (u64, u64) {
+        let taken = (self.mru_hits.get(), self.mru_misses.get());
+        self.mru_hits.set(0);
+        self.mru_misses.set(0);
+        taken
     }
 
     /// Releases all pages, returning the memory to the all-zeros state.
@@ -319,6 +341,18 @@ mod tests {
             assert_eq!(m.read((1 << 20) + i), i + 50);
             assert_eq!(m.read((1 << 30) + i), i + 100);
         }
+    }
+
+    #[test]
+    fn mru_telemetry_counts_and_resets() {
+        let mut m = Memory::new();
+        m.write(0, 1); // miss (cold), installs
+        m.write(1, 2); // hit (way 0)
+        let _ = m.read(2); // hit
+        let _ = m.read(1 << 30); // miss, unallocated
+        let (hits, misses) = m.take_mru_telemetry();
+        assert_eq!((hits, misses), (2, 2));
+        assert_eq!(m.take_mru_telemetry(), (0, 0), "take resets");
     }
 
     #[test]

@@ -58,10 +58,12 @@ use std::fmt;
 use std::io;
 use std::process::Command;
 use std::sync::mpsc;
+use std::time::Instant;
 
 use loopspec_core::snap::Enc;
 use loopspec_core::SnapshotState;
 use loopspec_cpu::RunLimits;
+use loopspec_obs::{self as obs, journal, EventKind};
 use loopspec_pipeline::{Plan, Session};
 use loopspec_workloads::Scale;
 
@@ -326,10 +328,13 @@ enum WorkerState {
     /// Hello sent, echo not yet received.
     Connecting,
     Idle,
-    /// Executing the job for chain `chain` under job id `job`.
+    /// Executing the job for chain `chain` under job id `job`,
+    /// dispatched at `since` (coordinator-side shard wall clock —
+    /// observational only).
     Busy {
         job: u64,
         chain: usize,
+        since: Instant,
     },
     Dead,
 }
@@ -568,9 +573,11 @@ fn schedule(
             match wrote {
                 Ok(()) => {
                     jobs_dispatched += 1;
+                    obs::counter("dist_jobs_dispatched").inc();
                     states[worker] = WorkerState::Busy {
                         job: job_id,
                         chain: chain_idx,
+                        since: Instant::now(),
                     };
                 }
                 Err(WireError::Codec(e)) => {
@@ -594,6 +601,13 @@ fn schedule(
                     states[worker] = WorkerState::Dead;
                     pool.note_lost();
                     chains[chain_idx].retries += 1;
+                    obs::counter("dist_requeues").inc();
+                    journal::record(
+                        EventKind::Requeue,
+                        job_id,
+                        chains[chain_idx].shard,
+                        format!("job write to worker {worker} failed; requeued"),
+                    );
                     ready.push_front(chain_idx);
                     respawn_into(pool, &mut states);
                 }
@@ -632,8 +646,13 @@ fn schedule(
                 },
             ) => {
                 let chain_idx = expect_busy(&states, w, job)?;
+                if let WorkerState::Busy { since, .. } = states[w] {
+                    obs::histogram("dist_shard_wall_us")
+                        .observe(since.elapsed().as_micros() as u64);
+                }
                 let chain = &mut chains[chain_idx];
                 handoff_bytes += bytes.len() as u64;
+                obs::counter("dist_handoff_bytes").add(bytes.len() as u64);
                 chain.executed = instructions;
                 chain.shard += 1;
                 chain.snapshot = Some(bytes);
@@ -645,6 +664,10 @@ fn schedule(
             }
             PoolEvent::Frame(w, Frame::Report(report)) => {
                 let chain_idx = expect_busy(&states, w, report.job)?;
+                if let WorkerState::Busy { since, .. } = states[w] {
+                    obs::histogram("dist_shard_wall_us")
+                        .observe(since.elapsed().as_micros() as u64);
+                }
                 let chain = &mut chains[chain_idx];
                 outcomes[chain_idx] = Some(WorkloadOutcome {
                     workload: chain.name.clone(),
@@ -674,15 +697,24 @@ fn schedule(
                 // worker Dead (and respawned a replacement); only the
                 // first observation of a death counts.
                 let was_alive = !matches!(states[w], WorkerState::Dead);
-                let busy_chain = match states[w] {
-                    WorkerState::Busy { chain, .. } => Some(chain),
+                let busy = match states[w] {
+                    WorkerState::Busy { job, chain, .. } => Some((job, chain)),
                     _ => None,
                 };
                 if was_alive {
                     pool.note_lost();
                     states[w] = WorkerState::Dead;
+                    let (job, shard) = busy
+                        .map(|(job, chain)| (job, chains[chain].shard))
+                        .unwrap_or((0, 0));
+                    journal::record(
+                        EventKind::WorkerDeath,
+                        job,
+                        shard,
+                        format!("worker {w} connection closed"),
+                    );
                 }
-                if let Some(chain_idx) = busy_chain {
+                if let Some((job, chain_idx)) = busy {
                     // Lost mid-shard: requeue from the last good
                     // snapshot (still held here — work lost, state
                     // not).
@@ -693,6 +725,12 @@ fn schedule(
                         // The replacement died on the same shard: a
                         // poison shard would grind through fresh
                         // processes forever, so fail with the cause.
+                        journal::record(
+                            EventKind::PoisonShard,
+                            job,
+                            chain.shard,
+                            format!("workload '{}' killed {} workers", chain.name, chain.deaths),
+                        );
                         return Err(DistError::Failed {
                             workload: chain.name.clone(),
                             message: format!(
@@ -702,6 +740,13 @@ fn schedule(
                             ),
                         });
                     }
+                    obs::counter("dist_requeues").inc();
+                    journal::record(
+                        EventKind::Requeue,
+                        job,
+                        chain.shard,
+                        format!("worker {w} died mid-shard; requeued '{}'", chain.name),
+                    );
                     ready.push_front(chain_idx);
                 }
                 // Replace the lost process — whether it was busy,
@@ -734,7 +779,17 @@ fn schedule(
 /// Asks the pool for a replacement worker and mirrors the new slots
 /// into the scheduler's state table.
 fn respawn_into(pool: &mut WorkerPool<PoolEvent>, states: &mut Vec<WorkerState>) {
-    for (_, ok) in pool.respawn_worker() {
+    for (slot, ok) in pool.respawn_worker() {
+        journal::record(
+            EventKind::WorkerRespawn,
+            0,
+            slot as u32,
+            if ok {
+                "replacement worker spawned"
+            } else {
+                "replacement worker failed to spawn"
+            },
+        );
         states.push(if ok {
             WorkerState::Connecting
         } else {
@@ -747,7 +802,9 @@ fn respawn_into(pool: &mut WorkerPool<PoolEvent>, states: &mut Vec<WorkerState>)
 /// worker is not busy or echoes the wrong job id.
 fn expect_busy(states: &[WorkerState], worker: usize, job: u64) -> Result<usize, DistError> {
     match states[worker] {
-        WorkerState::Busy { job: expect, chain } if expect == job => Ok(chain),
+        WorkerState::Busy {
+            job: expect, chain, ..
+        } if expect == job => Ok(chain),
         WorkerState::Busy { job: expect, .. } => Err(DistError::Protocol(format!(
             "worker {worker} answered job {job}, expected {expect}"
         ))),

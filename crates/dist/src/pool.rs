@@ -241,6 +241,16 @@ impl<E: From<PoolEvent> + Send + 'static> WorkerPool<E> {
                 if !ok {
                     pool.lost += 1;
                 }
+                loopspec_obs::journal::record(
+                    loopspec_obs::EventKind::WorkerSpawn,
+                    0,
+                    i as u32,
+                    if ok {
+                        "worker connected"
+                    } else {
+                        "worker handshake write failed"
+                    },
+                );
                 ok
             })
             .collect();

@@ -743,6 +743,9 @@ pub fn write_frame(w: &mut impl Write, f: &Frame) -> Result<(), WireError> {
     w.write_all(&payload)?;
     w.write_all(&fnv1a(&payload).to_le_bytes())?;
     w.flush()?;
+    // Out-of-band transport telemetry (header + payload + trailer);
+    // once per frame, never on the retirement path.
+    loopspec_obs::counter("dist_frame_bytes_out").add(payload.len() as u64 + 8);
     Ok(())
 }
 
@@ -776,6 +779,7 @@ impl<R: Read> FrameReader<R> {
         let mut chunk = [0u8; 8192];
         loop {
             if let Some(payload) = self.buf.next_frame()? {
+                loopspec_obs::counter("dist_frame_bytes_in").add(payload.len() as u64 + 8);
                 return Ok(Some(Frame::decode(&payload)?));
             }
             match self.inner.read(&mut chunk) {

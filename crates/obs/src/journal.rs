@@ -1,0 +1,250 @@
+//! The bounded structured event journal.
+//!
+//! A process-wide ring buffer of typed [`EventRecord`]s — worker
+//! lifecycle, cache traffic, admission decisions, corruption recovery,
+//! fuzzing sweep summaries — each stamped with a monotonic sequence
+//! number, the job fingerprint (or id) it belongs to, and the shard
+//! index. The ring holds the most recent [`CAPACITY`] records; older
+//! ones are dropped (the drop count is kept, so a dump says how much
+//! history it is missing). Records dump as JSON lines for artifact
+//! upload and offline triage.
+//!
+//! Recording is gated on [`crate::enabled`]; a disabled process never
+//! takes the journal mutex.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Ring capacity: enough for a full service run's cache and worker
+/// traffic, small enough to stay resident.
+pub const CAPACITY: usize = 1024;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A worker process (or link) was brought up.
+    WorkerSpawn,
+    /// A worker connection was lost.
+    WorkerDeath,
+    /// A replacement worker was spawned after a loss.
+    WorkerRespawn,
+    /// A shard killed two workers in a row and failed the run.
+    PoisonShard,
+    /// A chain was requeued from its last good snapshot.
+    Requeue,
+    /// A submission was answered from the report cache.
+    CacheHit,
+    /// A submission missed the cache and went to compute.
+    CacheMiss,
+    /// A cache entry was evicted (capacity or corruption).
+    CacheEviction,
+    /// A sealed cache entry failed its checksum and was dropped for
+    /// recompute.
+    SealRecovery,
+    /// A submission was refused by admission control.
+    AdmissionReject,
+    /// A generated-scenario replay token (fuzzing context).
+    ReplayToken,
+    /// A per-family fuzzing sweep summary.
+    SweepSummary,
+}
+
+impl EventKind {
+    /// The snake_case name used in JSON dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::WorkerSpawn => "worker_spawn",
+            EventKind::WorkerDeath => "worker_death",
+            EventKind::WorkerRespawn => "worker_respawn",
+            EventKind::PoisonShard => "poison_shard",
+            EventKind::Requeue => "requeue",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::CacheEviction => "cache_eviction",
+            EventKind::SealRecovery => "seal_recovery",
+            EventKind::AdmissionReject => "admission_reject",
+            EventKind::ReplayToken => "replay_token",
+            EventKind::SweepSummary => "sweep_summary",
+        }
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Monotonic sequence number (1-based; survives ring eviction, so
+    /// gaps in a dump mean dropped history).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The job fingerprint or coordinator job id this event belongs to
+    /// (0 when no job context exists).
+    pub job: u64,
+    /// The shard index within the job's chain (0 when not sharded).
+    pub shard: u32,
+    /// Free-form human-readable context.
+    pub detail: String,
+}
+
+impl EventRecord {
+    /// Renders the record as one JSON object (one line, no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"seq\": {}, \"event\": \"{}\", \"job\": \"{:#018x}\", \"shard\": {}, \"detail\": \"{}\"}}",
+            self.seq,
+            self.kind.name(),
+            self.job,
+            self.shard,
+            crate::render::esc(&self.detail),
+        );
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    records: VecDeque<EventRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+static JOURNAL: Mutex<Option<Ring>> = Mutex::new(None);
+
+fn with_ring<R>(f: impl FnOnce(&mut Ring) -> R) -> R {
+    let mut guard = JOURNAL.lock().expect("obs journal poisoned");
+    f(guard.get_or_insert_with(Ring::default))
+}
+
+/// Appends a record (no-op while telemetry is disabled). `job` is the
+/// job fingerprint or id, `shard` the shard index; pass 0 when there is
+/// no such context.
+pub fn record(kind: EventKind, job: u64, shard: u32, detail: impl Into<String>) {
+    if !crate::enabled() {
+        return;
+    }
+    with_ring(|ring| {
+        ring.next_seq += 1;
+        if ring.records.len() == CAPACITY {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        ring.records.push_back(EventRecord {
+            seq: ring.next_seq,
+            kind,
+            job,
+            shard,
+            detail: detail.into(),
+        });
+    });
+}
+
+/// Number of records currently held (at most [`CAPACITY`]).
+pub fn len() -> usize {
+    with_ring(|ring| ring.records.len())
+}
+
+/// Records evicted by the ring so far.
+pub fn dropped() -> u64 {
+    with_ring(|ring| ring.dropped)
+}
+
+/// Clears the journal (tests and long-lived drivers that want per-phase
+/// dumps).
+pub fn clear() {
+    with_ring(|ring| {
+        ring.records.clear();
+        ring.dropped = 0;
+    });
+}
+
+/// A copy of the current records, oldest first.
+pub fn snapshot() -> Vec<EventRecord> {
+    with_ring(|ring| ring.records.iter().cloned().collect())
+}
+
+/// The journal as JSON lines (one object per line, oldest first).
+pub fn lines() -> String {
+    let mut out = String::new();
+    for r in snapshot() {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes [`lines`] to `path`.
+///
+/// # Errors
+///
+/// Any [`std::io::Error`] from creating or writing the file.
+pub fn dump_to(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, lines())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The journal is process-global state shared by every test in this
+    // binary, so the ring tests serialize behind one lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn records_round_trip_through_the_ring() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        clear();
+        record(EventKind::CacheHit, 0xabcd, 3, "warm");
+        record(EventKind::WorkerDeath, 7, 0, "pipe closed");
+        let snap = snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].kind, EventKind::CacheHit);
+        assert_eq!(snap[0].job, 0xabcd);
+        assert_eq!(snap[0].shard, 3);
+        assert_eq!(snap[1].kind, EventKind::WorkerDeath);
+        assert!(snap[1].seq > snap[0].seq);
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        clear();
+        for i in 0..(CAPACITY as u64 + 10) {
+            record(EventKind::Requeue, i, 0, "");
+        }
+        assert_eq!(len(), CAPACITY);
+        assert_eq!(dropped(), 10);
+        let snap = snapshot();
+        assert_eq!(snap[0].job, 10, "oldest ten evicted");
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        clear();
+        crate::set_enabled(false);
+        record(EventKind::CacheMiss, 1, 0, "ignored");
+        crate::set_enabled(true);
+        assert_eq!(len(), 0);
+    }
+
+    #[test]
+    fn json_lines_are_one_object_per_record() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        clear();
+        record(EventKind::AdmissionReject, 42, 0, "queue \"full\"");
+        let text = lines();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"event\": \"admission_reject\""));
+        assert!(text.contains("\\\"full\\\""), "detail escaped: {text}");
+        assert!(text.contains("\"job\": \"0x000000000000002a\""));
+    }
+}

@@ -1,0 +1,421 @@
+//! Named metric cells: counters, gauges, and log2-bucketed histograms.
+//!
+//! Registration takes a short-lived lock to find or create the named
+//! cell; the returned handle then works lock-free — every write is one
+//! relaxed atomic RMW on a shared [`AtomicU64`]. Handles are cheap
+//! clones (an `Arc` bump) and can be stored in structs, passed across
+//! threads, or re-fetched by name at any time. Rendering preserves
+//! registration order, so metric text output is deterministic for a
+//! deterministic program.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::span::SpanStat;
+
+/// Number of log2 buckets in a [`Histogram`] — bucket `i` counts
+/// observations `v` with `v <= 2^i` (cumulatively rendered, Prometheus
+/// style).
+pub const BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable up/down value (queue depths, in-flight counts).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` (saturating at zero in aggregate use; callers keep
+    /// the invariant that decrements never exceed increments).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The cell behind a [`Histogram`]: one counter per power-of-two
+/// bucket, plus sum and count.
+#[derive(Debug)]
+pub struct HistogramCell {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        HistogramCell {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The index of the smallest bucket bound `2^i >= v` (v = 0 and 1 both
+/// land in bucket 0, whose bound is 1).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        (64 - (v - 1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// A log2-bucketed histogram of `u64` observations (latencies in
+/// nanoseconds, sizes in bytes, run lengths).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCell>);
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let cell = &*self.0;
+        cell.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        cell.sum.fetch_add(v, Ordering::Relaxed);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merges a pre-aggregated bucket array (e.g. plain per-run `u64`
+    /// slots kept off the atomic path by a hot loop) into this
+    /// histogram. `pre[i]` observations are credited at bound `2^i`.
+    pub fn merge_prebucketed(&self, pre: &[u64], sum: u64) {
+        let cell = &*self.0;
+        let mut count = 0u64;
+        for (i, &n) in pre.iter().take(BUCKETS).enumerate() {
+            if n > 0 {
+                cell.buckets[i].fetch_add(n, Ordering::Relaxed);
+                count += n;
+            }
+        }
+        cell.sum.fetch_add(sum, Ordering::Relaxed);
+        cell.count.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the cell.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let cell = &*self.0;
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| cell.buckets[i].load(Ordering::Relaxed)),
+            sum: cell.sum.load(Ordering::Relaxed),
+            count: cell.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) observation counts; bucket `i`
+    /// holds observations `<= 2^i` not already counted lower.
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// One metric's current value, as handed to [`Registry::visit`].
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// A counter's value.
+    Counter(u64),
+    /// A gauge's value.
+    Gauge(u64),
+    /// A histogram's point-in-time snapshot (boxed: the bucket array
+    /// dwarfs the scalar variants).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One named metric, in registration order.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Registration order drives rendering order.
+    metrics: Vec<(String, Metric)>,
+    index: HashMap<String, usize>,
+    /// Span aggregates, separate from metrics: the [`crate::span!`]
+    /// macro caches `&'static` stats per call site, so these are leaked
+    /// once per distinct name (a bounded set of string literals).
+    spans: Vec<(String, &'static SpanStat)>,
+}
+
+/// A set of named metrics. Most code uses the process-wide
+/// [`global()`](crate::global) instance; subsystems that need isolated
+/// numbers (one per service instance, say) create their own.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        if let Some(&i) = inner.index.get(name) {
+            return inner.metrics[i].1.clone();
+        }
+        let metric = make();
+        let slot = inner.metrics.len();
+        inner.index.insert(name.to_string(), slot);
+        inner.metrics.push((name.to_string(), metric.clone()));
+        metric
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// kind — mixed-kind reuse is a programming error, not a runtime
+    /// condition.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.register(name, || {
+            Metric::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("metric '{name}' already registered as {other:?}"),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mixed-kind reuse of `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.register(name, || Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0))))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric '{name}' already registered as {other:?}"),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mixed-kind reuse of `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.register(name, || {
+            Metric::Histogram(Histogram(Arc::new(HistogramCell::new())))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric '{name}' already registered as {other:?}"),
+        }
+    }
+
+    /// The span aggregate named `name`, created (and leaked — spans are
+    /// a bounded set of call-site literals) on first use.
+    pub fn span_stat(&self, name: &str) -> &'static SpanStat {
+        let mut inner = self.inner.lock().expect("obs registry poisoned");
+        if let Some((_, stat)) = inner.spans.iter().find(|(n, _)| n == name) {
+            return stat;
+        }
+        let stat: &'static SpanStat = Box::leak(Box::new(SpanStat::new()));
+        inner.spans.push((name.to_string(), stat));
+        stat
+    }
+
+    /// Every metric's current value, in registration order — the
+    /// rendering and JSON snapshot input.
+    pub fn visit(&self, mut f: impl FnMut(&str, MetricValue)) {
+        let inner = self.inner.lock().expect("obs registry poisoned");
+        for (name, metric) in &inner.metrics {
+            match metric {
+                Metric::Counter(c) => f(name, MetricValue::Counter(c.get())),
+                Metric::Gauge(g) => f(name, MetricValue::Gauge(g.get())),
+                Metric::Histogram(h) => f(name, MetricValue::Histogram(Box::new(h.snapshot()))),
+            }
+        }
+    }
+
+    /// Every span aggregate `(name, count, total_ns, max_ns)` with at
+    /// least one recording, in registration order.
+    pub fn span_totals(&self) -> Vec<(String, u64, u64, u64)> {
+        let inner = self.inner.lock().expect("obs registry poisoned");
+        inner
+            .spans
+            .iter()
+            .map(|(n, s)| {
+                let (count, total, max) = s.read();
+                (n.clone(), count, total, max)
+            })
+            .filter(|&(_, count, _, _)| count > 0)
+            .collect()
+    }
+
+    /// Renders the whole registry as Prometheus-style text: one
+    /// `name value` line per counter/gauge, `_bucket`/`_sum`/`_count`
+    /// lines per histogram, and `_count`/`_sum_ns`/`_max_ns` lines per
+    /// span.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        self.visit(|name, value| match value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                crate::render::counter_line(&mut out, name, v);
+            }
+            MetricValue::Histogram(h) => crate::render::histogram_lines(&mut out, name, &h),
+        });
+        for (name, count, total, max) in self.span_totals() {
+            crate::render::span_lines(&mut out, &name, count, total, max);
+        }
+        out
+    }
+
+    /// Renders the registry as one JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...},
+    /// "spans": {...}}`.
+    pub fn snapshot_json(&self) -> String {
+        crate::render::snapshot_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_inclusive_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 20) + 1), 21);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn counters_and_gauges_read_back() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.add(5);
+        c.inc();
+        assert_eq!(c.get(), 6);
+        let g = r.gauge("g");
+        g.set(10);
+        g.sub(3);
+        g.add(1);
+        assert_eq!(g.get(), 8);
+    }
+
+    #[test]
+    fn histogram_observations_land_in_their_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        h.observe(1);
+        h.observe(3);
+        h.observe(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 1004);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[10], 1);
+    }
+
+    #[test]
+    fn prebucketed_merge_preserves_counts() {
+        let r = Registry::new();
+        let h = r.histogram("pre");
+        let mut pre = [0u64; 8];
+        pre[0] = 2;
+        pre[3] = 5;
+        h.merge_prebucketed(&pre, 42);
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 42);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[3], 5);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_ordered() {
+        let r = Registry::new();
+        r.counter("first");
+        r.gauge("second");
+        r.counter("first").add(1);
+        let mut names = Vec::new();
+        r.visit(|n, _| names.push(n.to_string()));
+        assert_eq!(names, ["first", "second"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn mixed_kind_reuse_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn concurrent_increments_conserve_counts() {
+        let r = Registry::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let c = r.counter("hammer");
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("hammer").get(), threads * per_thread);
+    }
+}

@@ -1,0 +1,212 @@
+//! Text and JSON exposition.
+//!
+//! The line helpers here are the shared vocabulary for *byte-stable*
+//! metric text: `loopspec-svc`'s `render_metrics` renders its
+//! long-standing `svc_<name> <value>` lines through [`counter_line`] /
+//! [`float_line`] (so the pre-existing output is preserved verbatim)
+//! and appends histogram exposition through [`histogram_lines`]. The
+//! whole-registry renderers ([`Registry::render_text`],
+//! [`Registry::snapshot_json`]) build on the same helpers.
+
+use std::fmt::Write as _;
+
+use crate::registry::{HistogramSnapshot, MetricValue, Registry, BUCKETS};
+
+/// `name value\n` — the counter/gauge exposition line.
+pub fn counter_line(out: &mut String, name: &str, value: u64) {
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// `name value\n` with three decimal places — ratio gauges.
+pub fn float_line(out: &mut String, name: &str, value: f64) {
+    let _ = writeln!(out, "{name} {value:.3}");
+}
+
+/// Prometheus-style histogram exposition: cumulative
+/// `name_bucket{le="2^i"}` lines up to the highest populated bucket,
+/// a `+Inf` bucket, then `name_sum` and `name_count`. Empty histograms
+/// render only the `+Inf`/`_sum`/`_count` triple.
+pub fn histogram_lines(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let top = h
+        .buckets
+        .iter()
+        .rposition(|&n| n > 0)
+        .map_or(0, |i| i + 1)
+        .min(BUCKETS - 1);
+    let mut cum = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate().take(top) {
+        cum += n;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", 1u64 << i);
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Span exposition: `name_count`, `name_sum_ns`, `name_max_ns`.
+pub fn span_lines(out: &mut String, name: &str, count: u64, total_ns: u64, max_ns: u64) {
+    let _ = writeln!(out, "{name}_count {count}");
+    let _ = writeln!(out, "{name}_sum_ns {total_ns}");
+    let _ = writeln!(out, "{name}_max_ns {max_ns}");
+}
+
+/// Appends [`histogram_lines`] for every histogram in `registry` whose
+/// name starts with `prefix` — how `svc::render_metrics` picks up its
+/// latency histograms without re-rendering its counter lines.
+pub fn histograms_with_prefix(out: &mut String, registry: &Registry, prefix: &str) {
+    registry.visit(|name, value| {
+        if let MetricValue::Histogram(h) = value {
+            if name.starts_with(prefix) {
+                histogram_lines(out, name, &h);
+            }
+        }
+    });
+}
+
+/// Conservative JSON string escaping (metric names are identifiers;
+/// journal details may carry quotes and backslashes).
+pub(crate) fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' | '\\' => {
+                out.push('\\');
+                out.push(c);
+            }
+            c if (c as u32) < 0x20 => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The whole registry as one JSON object with `counters`, `gauges`,
+/// `histograms` (buckets as a sparse `{"2^i": n}` map plus `sum` and
+/// `count`), and `spans` sections.
+pub fn snapshot_json(registry: &Registry) -> String {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    registry.visit(|name, value| match value {
+        MetricValue::Counter(v) => counters.push(format!("\"{}\": {v}", esc(name))),
+        MetricValue::Gauge(v) => gauges.push(format!("\"{}\": {v}", esc(name))),
+        MetricValue::Histogram(h) => {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(i, &n)| format!("\"{}\": {n}", 1u64 << i.min(63)))
+                .collect();
+            histograms.push(format!(
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": {{{}}}}}",
+                esc(name),
+                h.count,
+                h.sum,
+                buckets.join(", ")
+            ));
+        }
+    });
+    let spans: Vec<String> = registry
+        .span_totals()
+        .into_iter()
+        .map(|(name, count, total, max)| {
+            format!(
+                "\"{}\": {{\"count\": {count}, \"total_ns\": {total}, \"max_ns\": {max}}}",
+                esc(&name)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"counters\": {{{}}}, \"gauges\": {{{}}}, \"histograms\": {{{}}}, \"spans\": {{{}}}}}",
+        counters.join(", "),
+        gauges.join(", "),
+        histograms.join(", "),
+        spans.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_float_lines_are_byte_stable() {
+        let mut out = String::new();
+        counter_line(&mut out, "svc_submitted", 12);
+        float_line(&mut out, "svc_cache_hit_rate", 0.5);
+        assert_eq!(out, "svc_submitted 12\nsvc_cache_hit_rate 0.500\n");
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        h.observe(1);
+        h.observe(1);
+        h.observe(5); // bucket le=8
+        let mut out = String::new();
+        histogram_lines(&mut out, "lat", &h.snapshot());
+        assert_eq!(
+            out,
+            "lat_bucket{le=\"1\"} 2\n\
+             lat_bucket{le=\"2\"} 2\n\
+             lat_bucket{le=\"4\"} 2\n\
+             lat_bucket{le=\"8\"} 3\n\
+             lat_bucket{le=\"+Inf\"} 3\n\
+             lat_sum 7\n\
+             lat_count 3\n"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_renders_the_inf_triple() {
+        let r = Registry::new();
+        let h = r.histogram("empty");
+        let mut out = String::new();
+        histogram_lines(&mut out, "empty", &h.snapshot());
+        assert_eq!(
+            out,
+            "empty_bucket{le=\"+Inf\"} 0\nempty_sum 0\nempty_count 0\n"
+        );
+    }
+
+    #[test]
+    fn prefix_filter_selects_histograms() {
+        let r = Registry::new();
+        r.histogram("svc_lat").observe(1);
+        r.histogram("other_lat").observe(1);
+        r.counter("svc_counter").add(5);
+        let mut out = String::new();
+        histograms_with_prefix(&mut out, &r, "svc_");
+        assert!(out.contains("svc_lat_count 1"));
+        assert!(!out.contains("other_lat"));
+        assert!(!out.contains("svc_counter"), "counters not rendered here");
+    }
+
+    #[test]
+    fn snapshot_json_has_all_sections() {
+        let r = Registry::new();
+        r.counter("c").add(1);
+        r.gauge("g").set(2);
+        r.histogram("h").observe(3);
+        let json = r.snapshot_json();
+        for needle in [
+            "\"counters\": {\"c\": 1}",
+            "\"gauges\": {\"g\": 2}",
+            "\"h\": {\"count\": 1, \"sum\": 3, \"buckets\": {\"4\": 1}}",
+            "\"spans\": {",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn registry_text_renders_in_registration_order() {
+        let r = Registry::new();
+        r.counter("one").add(1);
+        r.gauge("two").set(2);
+        let text = r.render_text();
+        assert!(text.starts_with("one 1\ntwo 2\n"), "{text}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Lightweight timed spans.
+//!
+//! `obs::span!("shard.run")` resolves its aggregate once per call site
+//! (a `OnceLock`'d `&'static` [`SpanStat`] from the global registry),
+//! reads the monotonic clock on entry, and on drop folds the elapsed
+//! nanoseconds into the aggregate with three relaxed atomics — count,
+//! total, and a `fetch_max` for the maximum. When telemetry is
+//! [disabled](crate::set_enabled) the guard is empty and no clock is
+//! read.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A span's aggregate: how many times it ran, total and maximum
+/// nanoseconds.
+#[derive(Debug, Default)]
+pub struct SpanStat {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl SpanStat {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        SpanStat::default()
+    }
+
+    /// Folds one timed interval in.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// `(count, total_ns, max_ns)` right now.
+    pub fn read(&self) -> (u64, u64, u64) {
+        (
+            self.count.load(Ordering::Relaxed),
+            self.total_ns.load(Ordering::Relaxed),
+            self.max_ns.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// An in-flight span; records into its [`SpanStat`] on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    live: Option<(&'static SpanStat, Instant)>,
+}
+
+impl SpanGuard {
+    /// An inert guard that records nothing (what [`enter`] hands out
+    /// while telemetry is disabled).
+    pub fn noop() -> Self {
+        SpanGuard { live: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((stat, start)) = self.live.take() {
+            stat.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Starts a span against `stat` (no-op while telemetry is disabled).
+/// Usually called through [`span!`](crate::span!), which caches the
+/// stat lookup per call site.
+#[inline]
+pub fn enter(stat: &'static SpanStat) -> SpanGuard {
+    if crate::enabled() {
+        SpanGuard {
+            live: Some((stat, Instant::now())),
+        }
+    } else {
+        SpanGuard::noop()
+    }
+}
+
+/// Times the enclosing scope under the given span name.
+///
+/// ```
+/// use loopspec_obs as obs;
+/// {
+///     let _guard = obs::span!("example.work");
+///     // ... timed ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static STAT: ::std::sync::OnceLock<&'static $crate::SpanStat> =
+            ::std::sync::OnceLock::new();
+        $crate::span::enter(STAT.get_or_init(|| $crate::global().span_stat($name)))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_aggregate_count_total_max() {
+        let stat = crate::global().span_stat("span_test.aggregate");
+        stat.record(10);
+        stat.record(30);
+        stat.record(20);
+        let (count, total, max) = stat.read();
+        assert_eq!(count, 3);
+        assert_eq!(total, 60);
+        assert_eq!(max, 30);
+    }
+
+    #[test]
+    fn guard_records_on_drop() {
+        crate::set_enabled(true);
+        let stat = crate::global().span_stat("span_test.guard");
+        {
+            let _g = enter(stat);
+        }
+        let (count, _, _) = stat.read();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        crate::set_enabled(false);
+        let stat = crate::global().span_stat("span_test.disabled");
+        {
+            let _g = enter(stat);
+        }
+        crate::set_enabled(true);
+        assert_eq!(stat.read().0, 0);
+    }
+
+    #[test]
+    fn macro_resolves_one_stat_per_site() {
+        crate::set_enabled(true);
+        for _ in 0..3 {
+            let _g = crate::span!("span_test.macro");
+        }
+        let found = crate::global()
+            .span_totals()
+            .into_iter()
+            .find(|(n, ..)| n == "span_test.macro")
+            .expect("span registered");
+        assert_eq!(found.1, 3);
+    }
+}

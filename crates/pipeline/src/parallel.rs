@@ -5,6 +5,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use loopspec_core::{LoopEvent, LoopEventSink, SnapshotState};
+use loopspec_obs as obs;
 
 /// One instruction to a worker thread. The channel is the only
 /// synchronization: commands are applied strictly in send order, so a
@@ -77,7 +78,11 @@ impl<S: LoopEventSink + Send + 'static> Worker<S> {
         let (give_tx, give_rx) = mpsc::channel();
         let (take_tx, take_rx) = mpsc::channel();
         self.send(Cmd::Lease(give_tx, take_rx));
+        // The recv is the deterministic join: how long the coordinator
+        // waited here is the worker's lease-wait (backlog) time.
+        let wait = obs::span!("parallel.lease_wait");
         let mut sink = give_rx.recv().expect("parallel sink worker disconnected");
+        drop(wait);
         let out = f(&mut sink);
         take_tx
             .send(sink)

@@ -10,8 +10,38 @@ use loopspec_core::{Cls, LoopDetector, SnapshotState};
 use loopspec_cpu::{Cpu, DecodedProgram, Demand, InstrEvent, RunLimits, RunSummary, Tracer};
 use loopspec_isa::ControlKind;
 
+use loopspec_obs as obs;
+
 use crate::snapshot::{CheckpointSink, Snapshot, SnapshotError};
 use crate::LoopEventSink;
+
+/// Drains the CPU's out-of-band execution telemetry (page-table MRU
+/// hits, decoded-dispatch counters) into the global metrics registry.
+/// Called at end of stream so steady-state retirement pays nothing; the
+/// counters it feeds are purely observational and never loop back into
+/// simulation state.
+fn flush_cpu_telemetry(cpu: &mut Cpu) {
+    let (mru_hits, mru_misses) = cpu.mem().take_mru_telemetry();
+    if mru_hits > 0 {
+        obs::counter("cpu_mru_hits").add(mru_hits);
+    }
+    if mru_misses > 0 {
+        obs::counter("cpu_mru_misses").add(mru_misses);
+    }
+    let t = cpu.take_decoded_telemetry();
+    if !t.is_empty() {
+        obs::counter("cpu_superblock_runs").add(t.superblock_runs);
+        obs::counter("cpu_superblock_instrs").add(t.superblock_instrs);
+        obs::counter("cpu_fused_branch_pairs").add(t.fused_branch_pairs);
+        obs::histogram("cpu_superblock_len")
+            .merge_prebucketed(&t.superblock_len_buckets, t.superblock_instrs);
+        for (shape, hits) in t.fused_shapes() {
+            obs::global()
+                .counter(&format!("cpu_fused_{shape}"))
+                .add(hits);
+        }
+    }
+}
 
 /// A consumer of both the instruction stream and the loop-event stream —
 /// e.g. [`loopspec_dataspec::LiveInProfiler`], which charges live-ins per
@@ -463,6 +493,7 @@ impl<'a> Session<'a> {
         limits: RunLimits,
     ) -> Result<SessionSummary, SnapshotError> {
         assert!(!self.ended, "Session::advance after the stream ended");
+        let _span = obs::span!("session.advance");
         if self.interp == Interp::Decoded && !matches!(&self.decoded, Some(d) if d.matches(program))
         {
             self.decoded = Some(DecodedProgram::new(program));
@@ -485,6 +516,7 @@ impl<'a> Session<'a> {
                 detector,
                 slots,
                 instr_observers,
+                chunks: obs::counter("pipeline_chunks_delivered"),
             };
             match (*interp, decoded.as_ref()) {
                 (Interp::Decoded, Some(dp)) => {
@@ -530,6 +562,7 @@ impl<'a> Session<'a> {
     /// which is what lets a checkpoint land mid-chunk.
     fn end_stream(&mut self) {
         let instructions = self.cpu.retired();
+        flush_cpu_telemetry(&mut self.cpu);
         // Dual sinks have already seen every currently buffered event
         // live (they get each instruction's fresh events immediately);
         // loop sinks have not. Flush-produced closes are new to both.
@@ -537,6 +570,9 @@ impl<'a> Session<'a> {
         self.detector.flush_buffered(instructions);
         let chunk = self.detector.buffered();
         let trailing = &chunk[seen..];
+        if !chunk.is_empty() {
+            obs::counter("pipeline_chunks_delivered").inc();
+        }
         for slot in self.slots.iter_mut() {
             match slot {
                 Slot::Loops(s) => {
@@ -676,6 +712,10 @@ struct Dispatch<'s, 'a> {
     /// (the common grid case: loop sinks only) the per-retirement slot
     /// walk is skipped entirely.
     instr_observers: bool,
+    /// Full event chunks fanned out so far (out-of-band telemetry; the
+    /// handle is cached here so the hot path never touches the registry
+    /// lock).
+    chunks: obs::Counter,
 }
 
 impl Tracer for Dispatch<'_, '_> {
@@ -718,6 +758,7 @@ impl Tracer for Dispatch<'_, '_> {
             }
         }
         if full {
+            self.chunks.inc();
             let chunk = self.detector.buffered();
             for slot in self.slots.iter_mut() {
                 match slot {

@@ -1,6 +1,7 @@
 //! The monomorphic fan-out container.
 
 use loopspec_core::{LoopEvent, LoopEventSink, SnapshotState};
+use loopspec_obs as obs;
 
 /// A homogeneous, **monomorphic** fan-out set: any number of same-type
 /// sinks registered in a [`Session`](crate::Session) as a *single*
@@ -125,6 +126,10 @@ impl<S: LoopEventSink> LoopEventSink for SinkSet<S> {
     #[inline]
     fn on_loop_events(&mut self, events: &[LoopEvent]) {
         for s in &mut self.sinks {
+            // Per-sink drain time: one span sample per sink per chunk
+            // (a chunk is hundreds of events, so the clock reads are
+            // off the per-event path; zero cost when telemetry is off).
+            let _drain = obs::span!("sinkset.drain");
             s.on_loop_events(events);
         }
     }

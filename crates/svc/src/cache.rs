@@ -14,6 +14,7 @@ use std::collections::{HashMap, VecDeque};
 
 use loopspec_core::snap::{seal, unseal};
 use loopspec_dist::{Frame, Report};
+use loopspec_obs::{journal, EventKind};
 
 /// A bounded, LRU-evicting, corruption-detecting store of sealed
 /// replay reports. See the [module docs](self).
@@ -67,6 +68,12 @@ impl ReportCache {
                 if let Some(cold) = self.order.pop_front() {
                     self.entries.remove(&cold);
                     self.evictions += 1;
+                    journal::record(
+                        EventKind::CacheEviction,
+                        cold,
+                        0,
+                        "coldest entry evicted under capacity pressure",
+                    );
                 }
             }
         } else {
@@ -98,6 +105,12 @@ impl ReportCache {
                 self.entries.remove(&fingerprint);
                 self.order.retain(|&k| k != fingerprint);
                 self.evictions += 1;
+                journal::record(
+                    EventKind::SealRecovery,
+                    fingerprint,
+                    0,
+                    "sealed entry failed its checksum; evicted for recompute",
+                );
                 None
             }
         }

@@ -32,10 +32,12 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::process::Command;
 use std::sync::mpsc;
+use std::time::Instant;
 
 use loopspec_dist::pool::{PoolEvent, RespawnFn, WorkerPool};
 use loopspec_dist::wire::{write_frame, Frame, FrameReader, Job};
 use loopspec_dist::{DistError, JobSpec, LaneSpec, Report, SvcStats, WireError, WorkerLink};
+use loopspec_obs::{self as obs, journal, EventKind};
 
 use crate::cache::ReportCache;
 
@@ -121,6 +123,9 @@ enum SvcEvent {
     Stats {
         reply: mpsc::Sender<SvcStats>,
     },
+    MetricsText {
+        reply: mpsc::Sender<String>,
+    },
     Corrupt {
         fingerprint: u64,
         reply: mpsc::Sender<bool>,
@@ -186,6 +191,21 @@ impl Client {
         let (reply, rx) = mpsc::channel();
         self.tx
             .send(SvcEvent::Stats { reply })
+            .map_err(|_| SvcError::Disconnected)?;
+        rx.recv().map_err(|_| SvcError::Disconnected)
+    }
+
+    /// The service's metrics surface as exposition text: the
+    /// byte-stable `svc_<counter> <value>` lines of [`render_metrics`]
+    /// followed by the scheduler's latency histograms.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::Disconnected`] when the service is gone.
+    pub fn metrics_text(&self) -> Result<String, SvcError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(SvcEvent::MetricsText { reply })
             .map_err(|_| SvcError::Disconnected)?;
         rx.recv().map_err(|_| SvcError::Disconnected)
     }
@@ -331,10 +351,14 @@ impl Service {
     }
 
     /// The metrics surface in plain-text exposition format: one
-    /// `svc_<counter> <value>` line per [`SvcStats`] field, suitable
-    /// for scraping or for a human terminal.
+    /// `svc_<counter> <value>` line per [`SvcStats`] field (byte-stable
+    /// since the counters first shipped), followed by the scheduler's
+    /// cache-latency histograms in Prometheus `_bucket`/`_sum`/`_count`
+    /// form. Suitable for scraping or for a human terminal.
     pub fn metrics_text(&self) -> String {
-        render_metrics(&self.stats())
+        self.client()
+            .metrics_text()
+            .unwrap_or_else(|_| render_metrics(&SvcStats::default()))
     }
 
     /// Fault-injection hook: flips one byte of the cached report for
@@ -372,7 +396,10 @@ impl Drop for Service {
     }
 }
 
-/// Renders a stats snapshot as `svc_<counter> <value>` lines.
+/// Renders a stats snapshot as `svc_<counter> <value>` lines, through
+/// the byte-stable [`obs::render`] line helpers — the output for these
+/// eighteen counters (and the `svc_cache_hit_rate` ratio) is preserved
+/// verbatim from before the telemetry substrate existed.
 pub fn render_metrics(stats: &SvcStats) -> String {
     let mut out = String::new();
     let total_lookups = stats.cache_hits + stats.cache_misses;
@@ -382,28 +409,28 @@ pub fn render_metrics(stats: &SvcStats) -> String {
         stats.cache_hits as f64 / total_lookups as f64
     };
     for (name, value) in [
-        ("submitted", stats.submitted),
-        ("accepted", stats.accepted),
-        ("rejected", stats.rejected),
-        ("completed", stats.completed),
-        ("failed", stats.failed),
-        ("in_flight", stats.in_flight),
-        ("cache_hits", stats.cache_hits),
-        ("cache_misses", stats.cache_misses),
-        ("coalesced", stats.coalesced),
-        ("evictions", stats.evictions),
-        ("queue_depth", stats.queue_depth),
-        ("workers_idle", stats.workers_idle),
-        ("workers_busy", stats.workers_busy),
-        ("workers_dead", stats.workers_dead),
-        ("workers_lost", stats.workers_lost),
-        ("workers_respawned", stats.workers_respawned),
-        ("jobs_dispatched", stats.jobs_dispatched),
-        ("handoff_bytes", stats.handoff_bytes),
+        ("svc_submitted", stats.submitted),
+        ("svc_accepted", stats.accepted),
+        ("svc_rejected", stats.rejected),
+        ("svc_completed", stats.completed),
+        ("svc_failed", stats.failed),
+        ("svc_in_flight", stats.in_flight),
+        ("svc_cache_hits", stats.cache_hits),
+        ("svc_cache_misses", stats.cache_misses),
+        ("svc_coalesced", stats.coalesced),
+        ("svc_evictions", stats.evictions),
+        ("svc_queue_depth", stats.queue_depth),
+        ("svc_workers_idle", stats.workers_idle),
+        ("svc_workers_busy", stats.workers_busy),
+        ("svc_workers_dead", stats.workers_dead),
+        ("svc_workers_lost", stats.workers_lost),
+        ("svc_workers_respawned", stats.workers_respawned),
+        ("svc_jobs_dispatched", stats.jobs_dispatched),
+        ("svc_handoff_bytes", stats.handoff_bytes),
     ] {
-        out.push_str(&format!("svc_{name} {value}\n"));
+        obs::render::counter_line(&mut out, name, value);
     }
-    out.push_str(&format!("svc_cache_hit_rate {hit_rate:.3}\n"));
+    obs::render::float_line(&mut out, "svc_cache_hit_rate", hit_rate);
     out
 }
 
@@ -432,7 +459,58 @@ struct Run {
     /// Workers killed by the current shard with no completed shard in
     /// between — the poison-job detector.
     deaths: u32,
+    /// Submission time of the miss that started this computation —
+    /// telemetry only (the miss-latency histogram), never serialized.
+    started: Instant,
     waiters: Vec<mpsc::Sender<Reply>>,
+}
+
+/// The scheduler's metric cells: a per-service [`obs::Registry`] (two
+/// services in one process never mix numbers) with every handle cached
+/// at startup, so each bookkeeping bump is one relaxed atomic add. The
+/// monotonic [`SvcStats`] counters live here; the live gauges (worker
+/// states, cache evictions, pool totals) are still derived from
+/// scheduler state at snapshot time.
+#[derive(Debug)]
+struct SvcMetrics {
+    registry: obs::Registry,
+    submitted: obs::Counter,
+    accepted: obs::Counter,
+    rejected: obs::Counter,
+    completed: obs::Counter,
+    failed: obs::Counter,
+    in_flight: obs::Gauge,
+    cache_hits: obs::Counter,
+    cache_misses: obs::Counter,
+    coalesced: obs::Counter,
+    jobs_dispatched: obs::Counter,
+    handoff_bytes: obs::Counter,
+    queue_depth: obs::Gauge,
+    hit_latency: obs::Histogram,
+    miss_latency: obs::Histogram,
+}
+
+impl SvcMetrics {
+    fn new() -> Self {
+        let registry = obs::Registry::new();
+        SvcMetrics {
+            submitted: registry.counter("svc_submitted"),
+            accepted: registry.counter("svc_accepted"),
+            rejected: registry.counter("svc_rejected"),
+            completed: registry.counter("svc_completed"),
+            failed: registry.counter("svc_failed"),
+            in_flight: registry.gauge("svc_in_flight"),
+            cache_hits: registry.counter("svc_cache_hits"),
+            cache_misses: registry.counter("svc_cache_misses"),
+            coalesced: registry.counter("svc_coalesced"),
+            jobs_dispatched: registry.counter("svc_jobs_dispatched"),
+            handoff_bytes: registry.counter("svc_handoff_bytes"),
+            queue_depth: registry.gauge("svc_queue_depth"),
+            hit_latency: registry.histogram("svc_cache_hit_latency_us"),
+            miss_latency: registry.histogram("svc_cache_miss_latency_us"),
+            registry,
+        }
+    }
 }
 
 struct Scheduler {
@@ -445,7 +523,7 @@ struct Scheduler {
     queue: VecDeque<u64>,
     cache: ReportCache,
     queue_limit: usize,
-    stats: SvcStats,
+    metrics: SvcMetrics,
     next_job: u64,
 }
 
@@ -474,7 +552,7 @@ impl Scheduler {
             queue: VecDeque::new(),
             cache: ReportCache::new(config.cache_capacity),
             queue_limit: config.queue_limit,
-            stats: SvcStats::default(),
+            metrics: SvcMetrics::new(),
             next_job: 1,
         };
         // Replace initial workers that died before their handshake.
@@ -499,6 +577,11 @@ impl Scheduler {
                 SvcEvent::Stats { reply } => {
                     let _ = reply.send(self.snapshot());
                 }
+                SvcEvent::MetricsText { reply } => {
+                    let mut text = render_metrics(&self.snapshot());
+                    obs::render::histograms_with_prefix(&mut text, &self.metrics.registry, "svc_");
+                    let _ = reply.send(text);
+                }
                 SvcEvent::Corrupt { fingerprint, reply } => {
                     let _ = reply.send(self.cache.corrupt(fingerprint));
                 }
@@ -518,10 +601,11 @@ impl Scheduler {
     // ---- client events ------------------------------------------------
 
     fn on_submit(&mut self, spec: JobSpec, reply: mpsc::Sender<Reply>) {
-        self.stats.submitted += 1;
+        let arrived = Instant::now();
+        self.metrics.submitted.inc();
         if let Err(e) = spec.validate() {
-            self.stats.accepted += 1;
-            self.stats.failed += 1;
+            self.metrics.accepted.inc();
+            self.metrics.failed.inc();
             let _ = reply.send(Err(SvcError::Failed {
                 message: format!("invalid job spec: {e}"),
             }));
@@ -529,26 +613,41 @@ impl Scheduler {
         }
         let fingerprint = spec.fingerprint();
         if let Some(report) = self.cache.get(fingerprint) {
-            self.stats.accepted += 1;
-            self.stats.completed += 1;
-            self.stats.cache_hits += 1;
+            self.metrics.accepted.inc();
+            self.metrics.completed.inc();
+            self.metrics.cache_hits.inc();
+            journal::record(
+                EventKind::CacheHit,
+                fingerprint,
+                0,
+                "served from the report cache",
+            );
             let _ = reply.send(Ok(Completion {
                 report,
                 cached: true,
             }));
+            self.metrics
+                .hit_latency
+                .observe(arrived.elapsed().as_micros() as u64);
             return;
         }
         if let Some(run) = self.runs.get_mut(&fingerprint) {
             // Identical job already computing: one computation, one
             // more answer.
-            self.stats.accepted += 1;
-            self.stats.in_flight += 1;
-            self.stats.coalesced += 1;
+            self.metrics.accepted.inc();
+            self.metrics.in_flight.add(1);
+            self.metrics.coalesced.inc();
             run.waiters.push(reply);
             return;
         }
         if self.runs.len() >= self.queue_limit {
-            self.stats.rejected += 1;
+            self.metrics.rejected.inc();
+            journal::record(
+                EventKind::AdmissionReject,
+                fingerprint,
+                0,
+                format!("{} computations in flight", self.runs.len()),
+            );
             let _ = reply.send(Err(SvcError::Rejected {
                 queue_depth: self.runs.len() as u64,
             }));
@@ -556,16 +655,22 @@ impl Scheduler {
         }
         if self.all_workers_dead() {
             // The cache outlives the pool, but a miss cannot compute.
-            self.stats.accepted += 1;
-            self.stats.failed += 1;
+            self.metrics.accepted.inc();
+            self.metrics.failed.inc();
             let _ = reply.send(Err(SvcError::Failed {
                 message: "no workers left alive".into(),
             }));
             return;
         }
-        self.stats.accepted += 1;
-        self.stats.in_flight += 1;
-        self.stats.cache_misses += 1;
+        self.metrics.accepted.inc();
+        self.metrics.in_flight.add(1);
+        self.metrics.cache_misses.inc();
+        journal::record(
+            EventKind::CacheMiss,
+            fingerprint,
+            0,
+            "queued for computation",
+        );
         self.runs.insert(
             fingerprint,
             Run {
@@ -575,10 +680,12 @@ impl Scheduler {
                 executed: 0,
                 snapshot: None,
                 deaths: 0,
+                started: arrived,
                 waiters: vec![reply],
             },
         );
         self.queue.push_back(fingerprint);
+        self.note_queue_depth();
         self.dispatch();
     }
 
@@ -606,7 +713,7 @@ impl Scheduler {
                     self.quarantine(w);
                     return;
                 };
-                self.stats.handoff_bytes += bytes.len() as u64;
+                self.metrics.handoff_bytes.add(bytes.len() as u64);
                 let run = self.runs.get_mut(&fp).expect("busy run exists");
                 run.executed = instructions;
                 run.shard += 1;
@@ -615,6 +722,7 @@ impl Scheduler {
                 // *same* shard count together.
                 run.deaths = 0;
                 self.queue.push_back(fp);
+                self.note_queue_depth();
                 self.states[w] = WorkerState::Idle;
                 self.dispatch();
             }
@@ -694,6 +802,7 @@ impl Scheduler {
                 );
             } else {
                 self.queue.push_front(fp);
+                self.note_queue_depth();
             }
         }
         self.respawn();
@@ -724,6 +833,7 @@ impl Scheduler {
                 return;
             };
             self.queue.pop_front();
+            self.note_queue_depth();
             let run = self.runs.get_mut(&fp).expect("queued run exists");
             let job_id = self.next_job;
             self.next_job += 1;
@@ -747,7 +857,7 @@ impl Scheduler {
             self.runs.get_mut(&fp).expect("queued run exists").snapshot = job.snapshot;
             match wrote {
                 Ok(()) => {
-                    self.stats.jobs_dispatched += 1;
+                    self.metrics.jobs_dispatched.inc();
                     self.states[w] = WorkerState::Busy {
                         job: job_id,
                         fingerprint: fp,
@@ -771,6 +881,7 @@ impl Scheduler {
                     self.states[w] = WorkerState::Dead;
                     self.pool.note_lost();
                     self.queue.push_front(fp);
+                    self.note_queue_depth();
                     self.respawn();
                     if self.fail_if_all_dead() {
                         return;
@@ -799,11 +910,17 @@ impl Scheduler {
             return;
         };
         self.queue.retain(|&k| k != fp);
+        self.note_queue_depth();
         let n = run.waiters.len() as u64;
-        self.stats.in_flight -= n;
+        self.metrics.in_flight.sub(n);
         match reply {
-            Ok(_) => self.stats.completed += n,
-            Err(_) => self.stats.failed += n,
+            Ok(_) => {
+                self.metrics.completed.add(n);
+                self.metrics
+                    .miss_latency
+                    .observe(run.started.elapsed().as_micros() as u64);
+            }
+            Err(_) => self.metrics.failed.add(n),
         }
         for waiter in run.waiters {
             let _ = waiter.send(reply.clone());
@@ -843,20 +960,42 @@ impl Scheduler {
             );
         }
         self.queue.clear();
+        self.note_queue_depth();
         true
     }
 
-    /// A consistent stats snapshot: the monotonic counters plus the
-    /// live gauges (queue depth, worker states, cache/pool totals).
+    /// Mirrors the ready-queue length into the registry gauge (the
+    /// [`SvcStats`] snapshot reads `queue.len()` directly; the gauge
+    /// keeps the registry's own view live between snapshots).
+    fn note_queue_depth(&self) {
+        self.metrics.queue_depth.set(self.queue.len() as u64);
+    }
+
+    /// A consistent stats snapshot: the monotonic counters read back
+    /// out of the metric cells, plus the live gauges (queue depth,
+    /// worker states, cache/pool totals) derived from scheduler state.
+    /// The reconstructed struct feeds the PROTOCOL Stats frame, so the
+    /// wire encoding is bit-identical to the pre-telemetry bookkeeping.
     fn snapshot(&self) -> SvcStats {
-        let mut s = self.stats;
-        s.queue_depth = self.queue.len() as u64;
-        s.evictions = self.cache.evictions();
-        s.workers_lost = u64::from(self.pool.lost());
-        s.workers_respawned = u64::from(self.pool.respawned());
-        s.workers_idle = 0;
-        s.workers_busy = 0;
-        s.workers_dead = 0;
+        let m = &self.metrics;
+        let mut s = SvcStats {
+            submitted: m.submitted.get(),
+            accepted: m.accepted.get(),
+            rejected: m.rejected.get(),
+            completed: m.completed.get(),
+            failed: m.failed.get(),
+            in_flight: m.in_flight.get(),
+            cache_hits: m.cache_hits.get(),
+            cache_misses: m.cache_misses.get(),
+            coalesced: m.coalesced.get(),
+            jobs_dispatched: m.jobs_dispatched.get(),
+            handoff_bytes: m.handoff_bytes.get(),
+            queue_depth: self.queue.len() as u64,
+            evictions: self.cache.evictions(),
+            workers_lost: u64::from(self.pool.lost()),
+            workers_respawned: u64::from(self.pool.respawned()),
+            ..SvcStats::default()
+        };
         for state in &self.states {
             match state {
                 WorkerState::Idle => s.workers_idle += 1,
@@ -877,6 +1016,80 @@ impl fmt::Debug for Scheduler {
             .field("queue", &self.queue.len())
             .field("cache", &self.cache.len())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod render_compat {
+    use super::*;
+
+    /// The pre-telemetry renderer, kept verbatim as the byte-compat
+    /// oracle for [`render_metrics`]'s migration onto the shared
+    /// `obs::render` line helpers.
+    fn legacy_render(stats: &SvcStats) -> String {
+        let mut out = String::new();
+        let total_lookups = stats.cache_hits + stats.cache_misses;
+        let hit_rate = if total_lookups == 0 {
+            0.0
+        } else {
+            stats.cache_hits as f64 / total_lookups as f64
+        };
+        for (name, value) in [
+            ("submitted", stats.submitted),
+            ("accepted", stats.accepted),
+            ("rejected", stats.rejected),
+            ("completed", stats.completed),
+            ("failed", stats.failed),
+            ("in_flight", stats.in_flight),
+            ("cache_hits", stats.cache_hits),
+            ("cache_misses", stats.cache_misses),
+            ("coalesced", stats.coalesced),
+            ("evictions", stats.evictions),
+            ("queue_depth", stats.queue_depth),
+            ("workers_idle", stats.workers_idle),
+            ("workers_busy", stats.workers_busy),
+            ("workers_dead", stats.workers_dead),
+            ("workers_lost", stats.workers_lost),
+            ("workers_respawned", stats.workers_respawned),
+            ("jobs_dispatched", stats.jobs_dispatched),
+            ("handoff_bytes", stats.handoff_bytes),
+        ] {
+            out.push_str(&format!("svc_{name} {value}\n"));
+        }
+        out.push_str(&format!("svc_cache_hit_rate {hit_rate:.3}\n"));
+        out
+    }
+
+    #[test]
+    fn render_metrics_matches_the_legacy_renderer_byte_for_byte() {
+        let zero = SvcStats::default();
+        assert_eq!(render_metrics(&zero), legacy_render(&zero));
+        let busy = SvcStats {
+            submitted: 101,
+            accepted: 90,
+            rejected: 11,
+            completed: 70,
+            failed: 5,
+            in_flight: 15,
+            cache_hits: 40,
+            cache_misses: 33,
+            coalesced: 17,
+            evictions: 3,
+            queue_depth: 7,
+            workers_idle: 1,
+            workers_busy: 2,
+            workers_dead: 4,
+            workers_lost: 6,
+            workers_respawned: 2,
+            jobs_dispatched: 55,
+            handoff_bytes: 123_456,
+        };
+        assert_eq!(render_metrics(&busy), legacy_render(&busy));
+        assert_eq!(
+            render_metrics(&busy).lines().count(),
+            19,
+            "eighteen counters plus the hit-rate ratio"
+        );
     }
 }
 
@@ -943,6 +1156,18 @@ mod unix_tests {
         assert_invariants(&stats);
         let text = service.metrics_text();
         assert!(text.contains("svc_cache_hits 2"), "{text}");
+        assert!(
+            text.starts_with(&render_metrics(&stats)),
+            "counter lines precede the appended histograms: {text}"
+        );
+        assert!(
+            text.contains("svc_cache_hit_latency_us_count 2"),
+            "hit latency histogram rendered: {text}"
+        );
+        assert!(
+            text.contains("svc_cache_miss_latency_us_count 1"),
+            "miss latency histogram rendered: {text}"
+        );
         service.shutdown();
     }
 

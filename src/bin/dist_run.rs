@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dist_run [--workers N] [--shard-fuel F] [--scale test|small|full]
-//!          [--verify] [WORKLOAD...]
+//!          [--verify] [--metrics] [WORKLOAD...]
 //! dist_run --worker            # internal: serve jobs on stdin/stdout
 //! ```
 //!
@@ -21,7 +21,7 @@ use loopspec::workloads::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: dist_run [--workers N] [--shard-fuel F] \
-         [--scale test|small|full] [--verify] [WORKLOAD...]"
+         [--scale test|small|full] [--verify] [--metrics] [WORKLOAD...]"
     );
     std::process::exit(2);
 }
@@ -34,6 +34,7 @@ fn main() {
     let mut shard_fuel = 25_000u64;
     let mut scale = Scale::Test;
     let mut verify = false;
+    let mut metrics = false;
     let mut workloads: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -60,6 +61,7 @@ fn main() {
                 };
             }
             "--verify" => verify = true,
+            "--metrics" => metrics = true,
             "--help" | "-h" => usage(),
             w if !w.starts_with('-') => workloads.push(w.to_string()),
             _ => usage(),
@@ -136,5 +138,17 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if metrics {
+        // Coordinator-side view: dist_* counters and the shard-wall
+        // histogram recorded into the process-wide registry, a
+        // one-line JSON snapshot, and the structured event journal.
+        println!("== metrics ==");
+        print!("{}", loopspec::obs::global().render_text());
+        println!("== metrics json ==");
+        println!("{}", loopspec::obs::global().snapshot_json());
+        println!("== journal ==");
+        print!("{}", loopspec::obs::journal::lines());
     }
 }

@@ -27,6 +27,7 @@ use std::io::Write as _;
 
 use loopspec::dist::{single_pass_outcome, worker, JobSpec, Policy};
 use loopspec::gen::{families, family_by_name, harness, FamilyReport, ReplayToken};
+use loopspec::obs::{journal, EventKind};
 use loopspec::svc::{Service, SvcConfig};
 
 fn usage() -> ! {
@@ -122,6 +123,17 @@ fn main() {
             "{:>10} {:>6} {:>6} {:>14} {:>12}",
             r.family, r.seeds, r.passed, r.instructions, r.loop_events
         );
+        // Stamp the sweep outcome into the event journal so a crash or
+        // CI artifact dump still shows how far the corpus got.
+        journal::record(
+            EventKind::SweepSummary,
+            r.instructions,
+            size,
+            format!(
+                "{}: {}/{} seeds passed, {} loop events",
+                r.family, r.passed, r.seeds, r.loop_events
+            ),
+        );
         reports.push(r);
     }
 
@@ -129,6 +141,12 @@ fn main() {
     for r in &reports {
         for f in &r.failures {
             eprintln!("{f}");
+            journal::record(
+                EventKind::ReplayToken,
+                f.seed,
+                size,
+                format!("{}:{}", r.family, f.seed),
+            );
             replay_lines.push(format!("genfuzz --replay {}:{}", r.family, f.seed));
         }
     }
@@ -173,6 +191,7 @@ fn run_replay(token: &str, size: u32) {
         eprintln!("genfuzz: unknown family '{}' (try --list)", token.family);
         std::process::exit(2);
     });
+    journal::record(EventKind::ReplayToken, token.seed, size, token.to_string());
     let ast = family.generate(token.seed, size);
     println!(
         "replaying {token} at size {size}: {} statements, {} functions, {} arrays",

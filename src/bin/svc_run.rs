@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! svc_run [--workers N] [--clients C] [--jobs J] [--queue Q]
-//!         [--cache E] [--scale test|small|full] [WORKLOAD...]
+//!         [--cache E] [--scale test|small|full] [--metrics] [WORKLOAD...]
 //! svc_run --worker            # internal: serve jobs on stdin/stdout
 //! ```
 //!
@@ -21,7 +21,7 @@ use loopspec::workloads::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: svc_run [--workers N] [--clients C] [--jobs J] [--queue Q] \
-         [--cache E] [--scale test|small|full] [WORKLOAD...]"
+         [--cache E] [--scale test|small|full] [--metrics] [WORKLOAD...]"
     );
     std::process::exit(2);
 }
@@ -36,6 +36,7 @@ fn main() {
     let mut queue_limit = 64usize;
     let mut cache_capacity = 256usize;
     let mut scale = Scale::Test;
+    let mut metrics = false;
     let mut workloads: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -60,6 +61,7 @@ fn main() {
                     _ => usage(),
                 };
             }
+            "--metrics" => metrics = true,
             "--help" | "-h" => usage(),
             w if !w.starts_with('-') => workloads.push(w.to_string()),
             _ => usage(),
@@ -143,6 +145,19 @@ fn main() {
     println!("\n{}", service.metrics_text());
     let stats = service.stats();
     service.shutdown();
+
+    if metrics {
+        // The process-wide registry (pipeline/dist layers record here;
+        // the service's own counters were printed above from its
+        // per-instance registry), then a one-line JSON snapshot and
+        // the structured event journal.
+        println!("== metrics ==");
+        print!("{}", loopspec::obs::global().render_text());
+        println!("== metrics json ==");
+        println!("{}", loopspec::obs::global().snapshot_json());
+        println!("== journal ==");
+        print!("{}", loopspec::obs::journal::lines());
+    }
 
     let consistent = stats.submitted == stats.accepted + stats.rejected
         && stats.accepted == stats.completed + stats.failed + stats.in_flight;

@@ -17,6 +17,7 @@
 //! | [`core`] | `loopspec-core` | CLS loop detector, LET/LIT tables, statistics |
 //! | [`mt`] | `loopspec-mt` | Thread-speculation engine (TPC, IDLE/STR/STR(i)) |
 //! | [`dataspec`] | `loopspec-dataspec` | Live-in value predictability (paper §4) |
+//! | [`obs`] | `loopspec-obs` | Out-of-band telemetry: metric registry, spans, event journal |
 //! | [`pipeline`] | `loopspec-pipeline` | Single-pass streaming `Session` |
 //! | [`dist`] | `loopspec-dist` | Multi-process distributed replay (coordinator/workers) |
 //! | [`svc`] | `loopspec-svc` | Persistent replay service with a content-addressed report cache |
@@ -83,6 +84,7 @@ pub use loopspec_dist as dist;
 pub use loopspec_gen as gen;
 pub use loopspec_isa as isa;
 pub use loopspec_mt as mt;
+pub use loopspec_obs as obs;
 pub use loopspec_pipeline as pipeline;
 pub use loopspec_svc as svc;
 pub use loopspec_workloads as workloads;
