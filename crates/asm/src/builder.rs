@@ -565,6 +565,17 @@ impl ProgramBuilder {
         self.asm.call(label, Reg::RA);
     }
 
+    /// Emits a `KernelCall` to registered kernel `id` — the
+    /// native-precompiled counterpart of
+    /// [`ProgramBuilder::call_func`]. The same calling convention
+    /// applies: arguments go in [`ProgramBuilder::ARG_REGS`], the
+    /// result comes back in [`ProgramBuilder::RET_REG`], and the
+    /// kernel clobbers only `r1`–`r5`, `r7` and `r31` (see
+    /// [`loopspec_isa::kernel`] for the registry and ABI).
+    pub fn kernel_call(&mut self, id: u32) {
+        self.emit(Instruction::KernelCall { id });
+    }
+
     /// Loads the entry address of function `name` into `rd` — the
     /// building block for function-pointer tables. The function may be
     /// defined before or after this point; an address taken of a

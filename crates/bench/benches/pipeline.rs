@@ -107,7 +107,24 @@ fn svc_start() -> (loopspec_svc::Service, impl FnOnce()) {
 /// the gate skips its metric.
 #[cfg(unix)]
 fn dist_grid_run(name: &str, shard_fuel: u64) -> f64 {
-    use loopspec_dist::{default_lanes, Coordinator, SuiteSpec, Worker, WorkerLink};
+    use loopspec_dist::default_lanes;
+
+    dist_run(name, Scale::Test, default_lanes(), shard_fuel, None)
+}
+
+/// One distributed replay of `name` at `scale` through `lanes`:
+/// `WORKERS` protocol-speaking worker threads on Unix socket pairs.
+/// `total_fuel` overrides the default 100 M-instruction budget for
+/// runs (the `Scale::Huge` tier) that retire more.
+#[cfg(unix)]
+fn dist_run(
+    name: &str,
+    scale: Scale,
+    lanes: Vec<loopspec_dist::LaneSpec>,
+    shard_fuel: u64,
+    total_fuel: Option<u64>,
+) -> f64 {
+    use loopspec_dist::{Coordinator, SuiteSpec, Worker, WorkerLink};
     use loopspec_pipeline::Plan;
 
     let mut links = Vec::with_capacity(WORKERS);
@@ -120,12 +137,10 @@ fn dist_grid_run(name: &str, shard_fuel: u64) -> f64 {
             let _ = Worker::new().serve(reader, theirs);
         }));
     }
-    let spec = SuiteSpec::new(
-        [name],
-        Scale::Test,
-        default_lanes(),
-        Plan::sliced(shard_fuel),
-    );
+    let mut spec = SuiteSpec::new([name], scale, lanes, Plan::sliced(shard_fuel));
+    if let Some(fuel) = total_fuel {
+        spec.total_fuel = fuel;
+    }
     let outcome = Coordinator::new(links)
         .run_suite(&spec)
         .expect("distributed run succeeds");
@@ -401,6 +416,68 @@ fn main() {
                 || std::hint::black_box(svc_grid_run(&service, name, shard_fuel)),
             );
         }
+    }
+
+    // `Scale::Huge` through the kernel-backed tier: one pure-register
+    // kernel workload (~0.8 G retired instructions) measured raw
+    // (decoded interpreter into a null tracer), streaming (one
+    // Str/4-TU engine fed by a `Session`), and distributed (2 workers,
+    // 50 M-instruction shards, the same single lane). Single-sample
+    // (`bench_heavy`): each call is tens of seconds, so the standard
+    // calibrate-then-sample protocol would cost minutes per entry.
+    // The dist/streaming ratio is the number this group exists to
+    // record — at Huge the checkpoint + frame overhead is amortised,
+    // unlike at the Test scale `dist_grid` prices.
+    {
+        const HUGE_FUEL: u64 = 2_000_000_000;
+        #[cfg(unix)]
+        const HUGE_SHARD_FUEL: u64 = 50_000_000;
+        let name = "kern:khash";
+        let w = loopspec_workloads::native::workload_by_name(name).expect("kernel workload");
+        let program = w.build(Scale::Huge).expect("assembles");
+        let decoded = DecodedProgram::new(&program);
+        let limits = RunLimits {
+            max_instrs: HUGE_FUEL,
+            ..RunLimits::default()
+        };
+
+        let mut retired = 0u64;
+        s.bench_heavy("huge_grid", &format!("cpu-native/{name}"), None, || {
+            let out = Cpu::new()
+                .run_decoded(&decoded, &mut NullTracer, limits)
+                .expect("runs");
+            retired = out.retired;
+            std::hint::black_box(out.retired)
+        });
+
+        s.bench_heavy(
+            "huge_grid",
+            &format!("streaming/{name}"),
+            Some(retired),
+            || {
+                let mut engine = StreamEngine::new(StrPolicy::new(), 4);
+                let mut session = Session::new();
+                session.observe_loops(&mut engine);
+                session.run(&program, limits).expect("runs");
+                std::hint::black_box(engine.report().expect("finished").tpc())
+            },
+        );
+
+        #[cfg(unix)]
+        s.bench_heavy(
+            "huge_grid",
+            &format!("dist-{WORKERS}-workers/{name}"),
+            Some(retired),
+            || {
+                std::hint::black_box(dist_run(
+                    name,
+                    Scale::Huge,
+                    vec![loopspec_dist::LaneSpec::Str { tus: 4 }],
+                    HUGE_SHARD_FUEL,
+                    Some(HUGE_FUEL),
+                ))
+            },
+        );
     }
 
     #[cfg(unix)]

@@ -22,7 +22,7 @@ use loopspec_workloads::{all, Scale};
 
 const USAGE: &str =
     "usage: repro [table1|fig4|fig5|fig6|genfig6|fig7|table2|fig8|ablation|all ...] \
-                     [--scale test|small|full] [--metrics]";
+                     [--scale test|small|full|huge] [--workload NAME ...] [--metrics]";
 
 const ALL_EXPERIMENTS: [&str; 9] = [
     "table1", "fig4", "fig5", "fig6", "genfig6", "fig7", "table2", "fig8", "ablation",
@@ -35,6 +35,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut metrics = false;
     let mut wanted: Vec<String> = Vec::new();
+    let mut only: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,11 +49,19 @@ fn main() -> ExitCode {
                     "test" => Scale::Test,
                     "small" => Scale::Small,
                     "full" => Scale::Full,
+                    "huge" => Scale::Huge,
                     other => {
                         eprintln!("unknown scale `{other}`\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 };
+            }
+            "--workload" => {
+                let Some(v) = args.next() else {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                only.push(v);
             }
             "all" => wanted.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
@@ -71,7 +80,27 @@ fn main() -> ExitCode {
     }
     wanted.dedup();
 
-    let workloads = all();
+    // `--workload` narrows the suite; names may be the 18 SPEC95
+    // selectors or `kern:<kernel>` native drivers (the usual pick for
+    // `--scale huge`, where the interpreted suite would take minutes
+    // per workload).
+    let workloads = if only.is_empty() {
+        all()
+    } else {
+        let mut picked = Vec::with_capacity(only.len());
+        for name in &only {
+            let w = loopspec_workloads::by_name(name)
+                .or_else(|| loopspec_workloads::native::workload_by_name(name));
+            match w {
+                Some(w) => picked.push(w),
+                None => {
+                    eprintln!("unknown workload `{name}`\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        picked
+    };
     let need_dataspec = wanted.iter().any(|w| w == "fig8");
     let need_oracle = wanted.iter().any(|w| w == "fig5");
 

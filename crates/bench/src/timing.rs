@@ -119,13 +119,42 @@ impl Suite {
             .collect();
         per_iter.sort_by(|a, b| a.total_cmp(b));
         let median_ns = per_iter[per_iter.len() / 2];
+        self.record(group, name, elements, median_ns, span_delta(&spans_before));
+    }
 
+    /// Benchmarks `f` with a single calibration-free call. For
+    /// multi-second workloads (the `Scale::Huge` entries) the standard
+    /// calibrate-then-sample protocol would cost minutes per entry;
+    /// one timed call is the honest trade — treat these entries as
+    /// indicative, not statistically tight.
+    pub fn bench_heavy<R>(
+        &mut self,
+        group: &str,
+        name: &str,
+        elements: Option<u64>,
+        mut f: impl FnMut() -> R,
+    ) {
+        let spans_before = span_marks();
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let median_ns = t0.elapsed().as_nanos() as f64;
+        self.record(group, name, elements, median_ns, span_delta(&spans_before));
+    }
+
+    fn record(
+        &mut self,
+        group: &str,
+        name: &str,
+        elements: Option<u64>,
+        median_ns: f64,
+        breakdown: Vec<SpanTotal>,
+    ) {
         let m = Measurement {
             group: group.to_string(),
             name: name.to_string(),
             median_ns,
             elements,
-            breakdown: span_delta(&spans_before),
+            breakdown,
         };
         let thr = match m.melem_per_s() {
             Some(t) => format!("  ({t:.1} Melem/s)"),

@@ -70,6 +70,14 @@ pub enum CpuError {
         /// Pages allocated when the limit tripped.
         pages: usize,
     },
+    /// A `KernelCall` named an id absent from the kernel registry
+    /// (see [`loopspec_isa::kernel`]).
+    UnknownKernel {
+        /// The unregistered kernel id.
+        id: u32,
+        /// PC of the faulting `KernelCall`.
+        pc: Addr,
+    },
 }
 
 impl fmt::Display for CpuError {
@@ -84,6 +92,9 @@ impl fmt::Display for CpuError {
             }
             CpuError::MemoryLimit { pages } => {
                 write!(f, "data memory exceeded limit ({pages} pages allocated)")
+            }
+            CpuError::UnknownKernel { id, pc } => {
+                write!(f, "kernel call at {pc} names unregistered kernel id {id}")
             }
         }
     }
@@ -142,6 +153,12 @@ pub struct Cpu {
     /// bumped by the decoded front-end, never serialized by
     /// [`Cpu::save_state`], never read by execution.
     pub(crate) telem: crate::DecodedTelemetry,
+    /// Mid-body kernel pause cursor (see [`crate::kernel`]); `None`
+    /// whenever the CPU sits between whole instructions.
+    pub(crate) kernel: Option<crate::kernel::KernelResume>,
+    /// How `KernelCall` bodies execute. Not architectural: every mode
+    /// produces the same events, state and snapshot bytes.
+    pub(crate) kernel_mode: crate::KernelMode,
 }
 
 impl Default for Cpu {
@@ -160,7 +177,23 @@ impl Cpu {
             mem: Memory::new(),
             retired: 0,
             telem: crate::DecodedTelemetry::default(),
+            kernel: None,
+            kernel_mode: crate::KernelMode::from_env(),
         }
+    }
+
+    /// Selects how `KernelCall` bodies execute (see
+    /// [`crate::KernelMode`]). Purely an implementation choice: every
+    /// mode yields identical events, architectural state and snapshot
+    /// bytes, so this can be flipped at any instruction boundary —
+    /// even between the fuel slices of one paused kernel.
+    pub fn set_kernel_mode(&mut self, mode: crate::KernelMode) {
+        self.kernel_mode = mode;
+    }
+
+    /// The current kernel execution mode.
+    pub fn kernel_mode(&self) -> crate::KernelMode {
+        self.kernel_mode
     }
 
     /// Returns the decoded-dispatch telemetry accumulated since the
@@ -256,6 +289,18 @@ impl Cpu {
         while self.retired - start_retired < budget {
             let pc = self.pc;
             let instr = *program.fetch(pc).ok_or(CpuError::PcOutOfRange { pc })?;
+
+            // Kernel dispatch retires nothing itself (no event, no
+            // counter bump); the body's instructions retire through
+            // the shared kernel executor, and the pc moves past the
+            // call only when the body completes.
+            if let Instruction::KernelCall { id } = instr {
+                let fuel = budget - (self.retired - start_retired);
+                if self.exec_kernel(id, fuel, tracer, limits.max_pages)? {
+                    self.pc = pc.next();
+                }
+                continue;
+            }
 
             let mut ev = InstrEvent {
                 seq: self.retired,
@@ -395,6 +440,9 @@ impl Cpu {
                     ev.control.target = target;
                     next_pc = target;
                 }
+                Instruction::KernelCall { .. } => {
+                    unreachable!("kernel calls are intercepted before event assembly")
+                }
             }
 
             self.retired += 1;
@@ -440,6 +488,15 @@ impl Cpu {
         out.u32(self.pc.index());
         out.u64(self.retired);
         self.mem.save_state(out);
+        // Kernel pause cursor: fixed layout (flag + id + body pc) so
+        // equal state means equal bytes whether or not a kernel is in
+        // flight.
+        let r = self
+            .kernel
+            .unwrap_or(crate::kernel::KernelResume { id: 0, bpc: 0 });
+        out.bool(self.kernel.is_some());
+        out.u32(r.id);
+        out.u32(r.bpc);
     }
 
     /// Restores state written by [`Cpu::save_state`], replacing the
@@ -463,7 +520,12 @@ impl Cpu {
         }
         self.pc = Addr::new(src.u32()?);
         self.retired = src.u64()?;
-        self.mem.load_state(src)
+        self.mem.load_state(src)?;
+        let active = src.bool()?;
+        let id = src.u32()?;
+        let bpc = src.u32()?;
+        self.kernel = active.then_some(crate::kernel::KernelResume { id, bpc });
+        Ok(())
     }
 
     pub(crate) fn indirect_target(&self, pc: Addr, value: u64) -> Result<Addr, CpuError> {

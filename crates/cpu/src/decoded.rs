@@ -33,6 +33,7 @@ use loopspec_isa::{
 };
 
 use crate::cpu::{Completion, Cpu, CpuError, RunLimits, RunSummary};
+use crate::mem::Memory;
 use crate::tracer::{
     ArchReg, ControlOutcome, Demand, InstrEvent, MemAccess, RegRead, RegWrite, Tracer,
 };
@@ -232,7 +233,7 @@ impl Cpu {
                 continue;
             }
 
-            if self.step(img, pcu, tracer, demand, limits.max_pages)? {
+            if self.step(img, pcu, fuel, tracer, demand, limits.max_pages)? {
                 return Ok(RunSummary {
                     retired: self.retired - start_retired,
                     completion: Completion::Halted,
@@ -702,18 +703,95 @@ impl Cpu {
         let instrs = &img.instrs()[at..at + k];
         let uses = &img.uses()[at..at + k];
         let code = if store { FlatCode::St } else { FlatCode::Ld };
-        for j in 0..k {
-            self.exec_flat_op(
-                FlatOp { code, ..elems[j] },
-                instrs[j],
-                &uses[j],
-                Addr::new((at + j) as u32),
-                seq + j as u64,
-                tracer,
-                demand,
-                max_pages,
-            )
-            .map_err(|e| (e, j))?;
+
+        // Same-page fast path: repeat blocks overwhelmingly stride one
+        // array window, so once element 0 has resolved its page, later
+        // elements whose addresses stay on that page are serviced
+        // straight from its slot, skipping per-element translation.
+        // Element 0 always runs through `exec_flat_op` so page
+        // materialisation, the memory limit, and fault placement stay
+        // exactly the unfused ones — same-page elements past the first
+        // can never allocate. Each element's address is computed from
+        // the *current* register file right where the generic walk
+        // would, so pointer-chasing load blocks (an earlier element's
+        // destination feeding a later base) need no special casing; the
+        // first off-page address drops the remaining elements onto the
+        // generic walk. Events remain per-element and demand-gated, so
+        // traces and snapshots are bit-identical; only the out-of-band
+        // MRU telemetry sees fewer probes.
+        let first = self.regs[(elems[0].b & 31) as usize].wrapping_add(elems[0].imm);
+        self.exec_flat_op(
+            FlatOp { code, ..elems[0] },
+            instrs[0],
+            &uses[0],
+            Addr::new(at as u32),
+            seq,
+            tracer,
+            demand,
+            max_pages,
+        )
+        .map_err(|e| (e, 0))?;
+        let page = Memory::page_of(first);
+        // After element 0 a store block's page is materialised; a
+        // load block's may still be absent (its words read as 0).
+        let slot = self.mem.page_slot(first);
+        for j in 1..k {
+            let e = elems[j];
+            let addr = self.regs[(e.b & 31) as usize].wrapping_add(e.imm);
+            if Memory::page_of(addr) != page {
+                // Off the page: the rest of the block walks the
+                // generic path (which re-resolves every address).
+                for jj in j..k {
+                    self.exec_flat_op(
+                        FlatOp { code, ..elems[jj] },
+                        instrs[jj],
+                        &uses[jj],
+                        Addr::new((at + jj) as u32),
+                        seq + jj as u64,
+                        tracer,
+                        demand,
+                        max_pages,
+                    )
+                    .map_err(|e| (e, jj))?;
+                }
+                return Ok(());
+            }
+            let pc = Addr::new((at + j) as u32);
+            let mut ev = InstrEvent {
+                seq: seq + j as u64,
+                pc,
+                instr: instrs[j],
+                control: ControlOutcome {
+                    kind: ControlKind::None,
+                    taken: false,
+                    target: succ(pc),
+                },
+                reads: [None; 5],
+                write: None,
+                mem_read: None,
+                mem_write: None,
+            };
+            if demand.reads() {
+                self.capture_reads_from(&uses[j], &mut ev);
+            }
+            if store {
+                let v = self.regs[(e.a & 31) as usize];
+                self.mem
+                    .slot_word_set(slot.expect("element 0's store materialised it"), addr, v);
+                if demand.mem() {
+                    ev.mem_write = Some(MemAccess { addr, value: v });
+                }
+            } else {
+                let v = match slot {
+                    Some(s) => self.mem.slot_word(s, addr),
+                    None => 0,
+                };
+                if demand.mem() {
+                    ev.mem_read = Some(MemAccess { addr, value: v });
+                }
+                self.write_int_flat(e.a, v, &mut ev, demand);
+            }
+            tracer.on_retire(&ev);
         }
         Ok(())
     }
@@ -1053,7 +1131,10 @@ impl Cpu {
     }
 
     /// Generic single-instruction dispatch (control transfers, halt,
-    /// fuel-tail straight-line ops). Returns `Ok(true)` on halt.
+    /// kernel calls, fuel-tail straight-line ops). Returns `Ok(true)`
+    /// on halt. `fuel` is the remaining budget of the enclosing
+    /// resume (≥ 1 by the loop invariant): only the kernel arm needs
+    /// it, since every other dispatch retires exactly one instruction.
     /// Inlined: in call-heavy programs this is the second-hottest
     /// dispatch after [`Cpu::exec_run`], and the call preamble would
     /// cost more than the body's jump table.
@@ -1062,6 +1143,7 @@ impl Cpu {
         &mut self,
         img: &DecodedImage,
         pcu: usize,
+        fuel: u64,
         tracer: &mut T,
         demand: Demand,
         max_pages: usize,
@@ -1076,6 +1158,17 @@ impl Cpu {
                 target,
             } => {
                 self.exec_branch(img, pcu, cond, ra, rb, target, tracer, demand);
+                Ok(false)
+            }
+            DecodedOp::KernelCall { id } => {
+                // The decode pass terminates every superblock at a
+                // kernel call, so it always dispatches from here —
+                // through the same executor the legacy interpreter
+                // uses, which is what makes the two paths identical
+                // on kernels by construction.
+                if self.exec_kernel(id, fuel, tracer, max_pages)? {
+                    self.pc = succ(pc);
+                }
                 Ok(false)
             }
             DecodedOp::Halt
@@ -1168,7 +1261,7 @@ impl Cpu {
     /// [`Cpu::capture_reads`] with the pre-computed [`RegUse`] from
     /// the decoded image instead of a per-retirement `reg_use()` call.
     #[inline(always)]
-    fn capture_reads_from(&self, u: &RegUse, ev: &mut InstrEvent) {
+    pub(crate) fn capture_reads_from(&self, u: &RegUse, ev: &mut InstrEvent) {
         let mut slot = 0;
         for r in u.reads.iter().flatten() {
             ev.reads[slot] = Some(RegRead {
@@ -1190,7 +1283,7 @@ impl Cpu {
     /// event write when demanded and dropping writes to the hardwired
     /// zero register — exactly [`Cpu::set_reg`]'s semantics.
     #[inline(always)]
-    fn write_int_flat(&mut self, a: u8, v: u64, ev: &mut InstrEvent, demand: Demand) {
+    pub(crate) fn write_int_flat(&mut self, a: u8, v: u64, ev: &mut InstrEvent, demand: Demand) {
         if demand.write() {
             ev.write = Some(RegWrite {
                 reg: ArchReg::Int(Reg::ALL[(a & 31) as usize]),
@@ -1287,6 +1380,131 @@ mod tests {
 
         assert_eq!(ls.retired, ds.retired);
         assert_eq!(ls.completion, ds.completion);
+        assert_eq!(legacy.events, dec.events);
+        assert_eq!(arch_state(&legacy_cpu), arch_state(&dec_cpu));
+    }
+
+    /// The rep-block fast path must be invisible: same-page runs take
+    /// it, page-split runs and pointer-chasing load runs must bail to
+    /// the generic walk, and all of them retire events and state
+    /// bit-identical to the legacy interpreter. The stale-pointer
+    /// registers below are primed with *same-page* addresses so a fast
+    /// path that precomputed load addresses (skipping the base-written-
+    /// by-earlier-element hazard check) would read the wrong cells
+    /// rather than merely failing the page check.
+    #[test]
+    fn rep_fast_path_matches_legacy_on_hazards_and_page_splits() {
+        use loopspec_isa::Instruction as I;
+        let mut b = ProgramBuilder::new();
+        let base = b.alloc_reg();
+        let far = b.alloc_reg();
+        let v = b.alloc_reg();
+        let (p0, p1, p2) = (b.alloc_reg(), b.alloc_reg(), b.alloc_reg());
+        let (q0, q1, q2) = (b.alloc_reg(), b.alloc_reg(), b.alloc_reg());
+        let a = b.alloc_static(16);
+        b.li(base, a);
+        b.li(far, a + (1 << 13)); // 2 pages away (pages are 4096 words)
+
+        // Pointer chain in memory: a -> a+1 -> a+2 -> 99, plus decoys
+        // at the cells a stale precomputation would read.
+        for (off, val) in [(0, a + 1), (1, a + 2), (2, 99), (5, 1111), (6, 2222)] {
+            b.li(v, val);
+            b.emit(I::Store {
+                src: v,
+                base,
+                offset: off,
+            });
+        }
+
+        // Same-page store run: the fast path proper.
+        b.li(v, 7);
+        for off in 8..12 {
+            b.emit(I::Store {
+                src: v,
+                base,
+                offset: off,
+            });
+        }
+        // Page-split store run: must bail to the generic walk.
+        b.emit(I::Store {
+            src: v,
+            base,
+            offset: 12,
+        });
+        b.emit(I::Store {
+            src: v,
+            base: far,
+            offset: 0,
+        });
+        b.emit(I::Store {
+            src: base,
+            base: far,
+            offset: 1,
+        });
+
+        // Same-page load run with independent registers: fast path.
+        b.emit(I::Load {
+            rd: q0,
+            base,
+            offset: 8,
+        });
+        b.emit(I::Load {
+            rd: q1,
+            base,
+            offset: 9,
+        });
+        b.emit(I::Load {
+            rd: q2,
+            base,
+            offset: 10,
+        });
+        // Pointer-chasing load run: p0/p1 hold stale same-page
+        // addresses, so only the hazard bail-out keeps this correct.
+        b.li(p0, a + 5);
+        b.li(p1, a + 6);
+        b.emit(I::Load {
+            rd: p0,
+            base,
+            offset: 0,
+        });
+        b.emit(I::Load {
+            rd: p1,
+            base: p0,
+            offset: 0,
+        });
+        b.emit(I::Load {
+            rd: p2,
+            base: p1,
+            offset: 0,
+        });
+        b.store_static(p2, a + 15);
+        let p = b.finish().unwrap();
+
+        let decoded = DecodedProgram::new(&p);
+        let reps: Vec<FlatCode> = decoded
+            .image()
+            .flat2()
+            .iter()
+            .filter(|f| f.code.is_rep())
+            .map(|f| f.code)
+            .collect();
+        assert!(
+            reps.contains(&FlatCode::StRep) && reps.contains(&FlatCode::LdRep),
+            "expected both rep kinds to fuse, got {reps:?}"
+        );
+
+        let mut legacy_cpu = Cpu::new();
+        let mut legacy = Recorder::default();
+        legacy_cpu
+            .run(&p, &mut legacy, RunLimits::default())
+            .unwrap();
+        let mut dec_cpu = Cpu::new();
+        let mut dec = Recorder::default();
+        dec_cpu
+            .run_decoded(&decoded, &mut dec, RunLimits::default())
+            .unwrap();
+
+        assert_eq!(dec_cpu.reg(p2), 99, "chase must land");
         assert_eq!(legacy.events, dec.events);
         assert_eq!(arch_state(&legacy_cpu), arch_state(&dec_cpu));
     }

@@ -37,12 +37,14 @@
 
 mod cpu;
 mod decoded;
+mod kernel;
 mod mem;
 mod telemetry;
 mod tracer;
 
 pub use cpu::{Completion, Cpu, CpuError, RunLimits, RunSummary};
 pub use decoded::DecodedProgram;
+pub use kernel::KernelMode;
 pub use mem::Memory;
 pub use telemetry::{DecodedTelemetry, FUSED_SHAPES, FUSED_SHAPE_NAMES};
 pub use tracer::{

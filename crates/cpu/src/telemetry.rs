@@ -51,6 +51,11 @@ pub struct DecodedTelemetry {
     /// Superinstruction dispatches by shape, indexed in
     /// [`FUSED_SHAPE_NAMES`] order.
     pub fused_hits: [u64; FUSED_SHAPES],
+    /// Kernel dispatches: fresh `KernelCall` entries (a mid-body
+    /// fuel-pause resume re-enters without bumping this).
+    pub kernel_calls: u64,
+    /// Instructions retired inside kernel bodies (across all modes).
+    pub kernel_instrs: u64,
 }
 
 impl Default for DecodedTelemetry {
@@ -61,6 +66,8 @@ impl Default for DecodedTelemetry {
             superblock_instrs: 0,
             fused_branch_pairs: 0,
             fused_hits: [0; FUSED_SHAPES],
+            kernel_calls: 0,
+            kernel_instrs: 0,
         }
     }
 }
@@ -103,6 +110,8 @@ impl DecodedTelemetry {
         self.superblock_runs += other.superblock_runs;
         self.superblock_instrs += other.superblock_instrs;
         self.fused_branch_pairs += other.fused_branch_pairs;
+        self.kernel_calls += other.kernel_calls;
+        self.kernel_instrs += other.kernel_instrs;
         for (a, b) in self
             .superblock_len_buckets
             .iter_mut()
@@ -117,7 +126,7 @@ impl DecodedTelemetry {
 
     /// `true` when nothing has been recorded since the last take.
     pub fn is_empty(&self) -> bool {
-        self.superblock_runs == 0 && self.fused_branch_pairs == 0
+        self.superblock_runs == 0 && self.fused_branch_pairs == 0 && self.kernel_calls == 0
     }
 }
 

@@ -26,13 +26,62 @@
 //! across every slicing, so two specs that differ only in how the work
 //! is cut produce the same report and must hit the same cache line.
 
+use std::fmt;
+
 use loopspec_core::snap::{fnv1a, Dec, Enc, SnapError};
 use loopspec_cpu::RunLimits;
+use loopspec_mt::StreamError;
 use loopspec_pipeline::Plan;
 use loopspec_workloads::Scale;
 
 use crate::coordinator::SuiteSpec;
 use crate::wire::{load_scale, load_str, save_scale, save_str, LaneSpec};
+
+/// Why a [`JobSpec`] failed admission ([`JobSpec::validate`]).
+///
+/// Lane errors come straight from the streaming layer's own
+/// constructor ([`loopspec_mt::validate_tus`]), so a bad TU count is
+/// reported with exactly the text `StreamEngine::try_new` would use;
+/// everything else is a codec-style [`SnapError`]. Display forwards
+/// the inner message verbatim either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// A non-lane field is invalid (workload name, lane-grid shape,
+    /// fuel budget, kernel registry).
+    Spec(SnapError),
+    /// A lane is invalid (TU count outside the engine's range).
+    Lanes(StreamError),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Spec(e) => e.fmt(f),
+            JobError::Lanes(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Spec(e) => Some(e),
+            JobError::Lanes(e) => Some(e),
+        }
+    }
+}
+
+impl From<SnapError> for JobError {
+    fn from(e: SnapError) -> Self {
+        JobError::Spec(e)
+    }
+}
+
+impl From<StreamError> for JobError {
+    fn from(e: StreamError) -> Self {
+        JobError::Lanes(e)
+    }
+}
 
 /// One speculation policy of a [`JobSpec`] grid — [`LaneSpec`] without
 /// the thread-unit count (the spec crosses policies with its TU list).
@@ -87,6 +136,14 @@ pub struct JobSpec {
     /// Ask drivers that support it (the bench path) for the live-in
     /// data profile alongside the grid.
     pub dataspec: bool,
+    /// Fingerprint of the kernel registry this spec was built against
+    /// (see [`loopspec_isa::kernel::registry_fingerprint`]). Part of
+    /// the report fingerprint — a `KernelCall`-bearing workload retires
+    /// a different instruction stream under a different registry, so
+    /// cached reports must never cross kernel-set boundaries — and
+    /// checked by [`JobSpec::validate`] so a mismatched spec is
+    /// rejected at admission, not detected mid-run.
+    pub kernel_registry: u64,
 }
 
 impl JobSpec {
@@ -111,6 +168,7 @@ impl JobSpec {
             total_fuel: RunLimits::default().max_instrs,
             oracle: false,
             dataspec: false,
+            kernel_registry: loopspec_isa::kernel::registry_fingerprint(),
         }
     }
 
@@ -181,24 +239,28 @@ impl JobSpec {
     }
 
     /// Checks everything a worker or service would otherwise reject
-    /// mid-run: a known workload name (a calibrated kernel or a
-    /// well-formed `gen:<family>:<seed>` scenario), a non-empty valid
-    /// lane grid, and a non-zero fuel budget.
+    /// mid-run: a known workload name (a calibrated kernel, a
+    /// well-formed `gen:<family>:<seed>` scenario, or a `kern:<kernel>`
+    /// native driver), a non-empty valid lane grid, a non-zero fuel
+    /// budget, and a kernel registry matching this build.
     ///
     /// # Errors
     ///
-    /// [`SnapError::Corrupt`] naming the offending field.
-    pub fn validate(&self) -> Result<(), SnapError> {
+    /// [`JobError`] naming the offending field; bad TU counts carry
+    /// the streaming layer's own message.
+    pub fn validate(&self) -> Result<(), JobError> {
         if !loopspec_workloads::known_name(&self.workload) {
             return Err(SnapError::Corrupt {
                 what: "unknown workload name",
-            });
+            }
+            .into());
         }
         let lanes = self.lane_specs();
         if lanes.is_empty() {
             return Err(SnapError::Corrupt {
                 what: "empty lane grid",
-            });
+            }
+            .into());
         }
         for lane in &lanes {
             lane.validate()?;
@@ -206,7 +268,14 @@ impl JobSpec {
         if self.total_fuel == 0 {
             return Err(SnapError::Corrupt {
                 what: "zero fuel budget",
-            });
+            }
+            .into());
+        }
+        if self.kernel_registry != loopspec_isa::kernel::registry_fingerprint() {
+            return Err(SnapError::Corrupt {
+                what: "kernel registry fingerprint",
+            }
+            .into());
         }
         Ok(())
     }
@@ -237,6 +306,7 @@ impl JobSpec {
         enc.u64(self.total_fuel);
         enc.bool(self.oracle);
         enc.bool(self.dataspec);
+        enc.u64(self.kernel_registry);
     }
 
     /// Wire encoding: the report-determining fields plus the plan
@@ -261,6 +331,7 @@ impl JobSpec {
         let total_fuel = dec.u64()?;
         let oracle = dec.bool()?;
         let dataspec = dec.bool()?;
+        let kernel_registry = dec.u64()?;
         let plan = Plan::load(dec)?;
         Ok(JobSpec {
             workload,
@@ -272,6 +343,7 @@ impl JobSpec {
             total_fuel,
             oracle,
             dataspec,
+            kernel_registry,
         })
     }
 
@@ -418,6 +490,33 @@ mod tests {
         assert_ne!(a.fingerprint(), JobSpec::new("gen:chase:8").fingerprint());
         assert_ne!(a.fingerprint(), JobSpec::new("gen:trips:7").fingerprint());
         assert_eq!(a.fingerprint(), JobSpec::new("gen:chase:7").fingerprint());
+    }
+
+    #[test]
+    fn bad_tu_rejection_text_matches_the_stream_engine() {
+        // The same bad TU count must read identically whether it is
+        // rejected at job admission or by the engine constructor.
+        let admission = JobSpec::new("compress").tus([1]).validate().unwrap_err();
+        let engine = loopspec_mt::StreamEngine::try_new(loopspec_mt::IdlePolicy, 1).unwrap_err();
+        assert_eq!(admission.to_string(), engine.to_string());
+        assert_eq!(admission.to_string(), "num_tus must be in 2..=4096 (got 1)");
+    }
+
+    #[test]
+    fn foreign_kernel_registries_change_the_fingerprint_and_fail_validation() {
+        let base = JobSpec::new("compress");
+        let mut foreign = base.clone();
+        foreign.kernel_registry ^= 1;
+        assert_ne!(
+            base.fingerprint(),
+            foreign.fingerprint(),
+            "kernel registry must be part of the cache address"
+        );
+        assert!(base.validate().is_ok());
+        assert!(
+            foreign.validate().is_err(),
+            "a spec from a foreign kernel registry must be rejected at admission"
+        );
     }
 
     #[test]

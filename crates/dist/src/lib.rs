@@ -58,7 +58,7 @@ pub use coordinator::{
     default_lanes, single_pass_outcome, Coordinator, DistError, DistOutcome, SuiteSpec, WorkerLink,
     WorkloadOutcome,
 };
-pub use job::{JobSpec, Policy};
+pub use job::{JobError, JobSpec, Policy};
 pub use pool::{PoolEvent, RespawnFn, WorkerPool};
 pub use wire::{
     Frame, Job, LaneReport, LaneSpec, Report, SvcStats, WireError, MAX_FRAME, PROTOCOL,

@@ -34,7 +34,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use loopspec_core::snap::{fnv1a, Dec, Enc, FrameBuf, SnapError};
-use loopspec_mt::{EngineGrid, EngineReport};
+use loopspec_mt::{EngineGrid, EngineReport, StreamError};
 use loopspec_workloads::Scale;
 
 use crate::job::JobSpec;
@@ -47,7 +47,13 @@ use crate::job::JobSpec;
 /// v2 added the replay-service frames ([`Frame::Submit`],
 /// [`Frame::Done`], [`Frame::StatsRequest`], [`Frame::Stats`],
 /// [`Frame::Rejected`]).
-pub const PROTOCOL: u32 = 2;
+///
+/// v3 added `Scale::Huge` (wire tag 3) and the kernel-registry
+/// fingerprint inside every encoded [`JobSpec`] — a coordinator and a
+/// worker built with different kernel registries must never exchange
+/// jobs, because their "identical" workloads would retire different
+/// instruction streams.
+pub const PROTOCOL: u32 = 3;
 
 /// Default [`FrameBuf`] payload limit: large enough for any snapshot a
 /// workload produces (CPU memory pages dominate), small enough that a
@@ -88,15 +94,12 @@ impl LaneSpec {
     /// Checks the invariants `EngineGrid` would otherwise panic on, so
     /// a worker can reject a malformed job with a [`Frame::Error`]
     /// instead of dying.
-    pub fn validate(&self) -> Result<(), SnapError> {
-        let tus = self.tus();
-        if (2..=4096).contains(&tus) {
-            Ok(())
-        } else {
-            Err(SnapError::Corrupt {
-                what: "lane thread-unit count",
-            })
-        }
+    pub fn validate(&self) -> Result<(), StreamError> {
+        // Route through the streaming layer's single TU-range
+        // constructor so admission control and
+        // `StreamEngine::try_new` reject the same input with the same
+        // message.
+        loopspec_mt::validate_tus(self.tus() as usize)
     }
 
     /// Appends this lane to `grid`.
@@ -113,7 +116,7 @@ impl LaneSpec {
     /// # Errors
     ///
     /// Rejects any lane [`LaneSpec::validate`] rejects.
-    pub fn build_grid(lanes: &[LaneSpec]) -> Result<EngineGrid, SnapError> {
+    pub fn build_grid(lanes: &[LaneSpec]) -> Result<EngineGrid, StreamError> {
         let mut grid = EngineGrid::new();
         for lane in lanes {
             lane.validate()?;
@@ -472,6 +475,7 @@ pub(crate) fn save_scale(enc: &mut Enc, scale: Scale) {
         Scale::Test => 0,
         Scale::Small => 1,
         Scale::Full => 2,
+        Scale::Huge => 3,
     });
 }
 
@@ -480,6 +484,7 @@ pub(crate) fn load_scale(dec: &mut Dec<'_>) -> Result<Scale, SnapError> {
         0 => Scale::Test,
         1 => Scale::Small,
         2 => Scale::Full,
+        3 => Scale::Huge,
         _ => return Err(SnapError::Corrupt { what: "scale tag" }),
     })
 }

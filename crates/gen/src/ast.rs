@@ -159,6 +159,19 @@ pub enum Stmt {
     /// Sets the function return value (function bodies only; returning
     /// happens by falling off the end of the body).
     SetRet(Expr),
+    /// Call of a registered native kernel (see [`loopspec_isa::kernel`])
+    /// with up to four argument expressions. Follows the [`Stmt::Call`]
+    /// convention exactly — arguments in the argument registers, the
+    /// result readable through [`Expr::RetVal`] — so the two lowering
+    /// modes ([`crate::compile`] emits one `KernelCall`,
+    /// [`crate::compile_inline_kernels`] splices the registered body
+    /// in place) reach the same architectural result.
+    KernelCall {
+        /// Registered kernel id.
+        id: u32,
+        /// Argument expressions (evaluated left to right).
+        args: Vec<Expr>,
+    },
 }
 
 /// How a static array is initialized before `main` runs.

@@ -41,7 +41,7 @@ impl Family {
     }
 }
 
-const FAMILIES: [Family; 6] = [
+const FAMILIES: [Family; 7] = [
     Family {
         name: "trips",
         description: "data-dependent trip counts from a self-mutating array",
@@ -71,6 +71,11 @@ const FAMILIES: [Family; 6] = [
         name: "mixed",
         description: "structured-fuzz programs over the full AST",
         gen: gen_mixed,
+    },
+    Family {
+        name: "kernels",
+        description: "native kernel calls interleaved with ordinary loops",
+        gen: gen_kernels,
     },
 ];
 
@@ -347,6 +352,67 @@ fn gen_chase(r: &mut Rng, size: u32) -> AstProgram {
     p
 }
 
+/// Native kernel calls interleaved with ordinary lowered loops: every
+/// registered kernel gets invoked with generator-drawn trip counts
+/// (zero-trip included), memory kernels run over 4096-word arrays
+/// (exactly the kernel ABI's index-mask window), and results feed both
+/// subsequent kernel arguments and data-dependent ordinary loops — so
+/// a wrong kernel result changes control flow, not just a cell.
+fn gen_kernels(r: &mut Rng, size: u32) -> AstProgram {
+    use loopspec_isa::kernel;
+
+    let mut p = AstProgram::new(r.below(1 << 20) as i64);
+    let init_a: Vec<i64> = (0..256).map(|_| r.below(2000) as i64 - 1000).collect();
+    let init_b: Vec<i64> = (0..256).map(|_| r.below(97) as i64 + 1).collect();
+    // The kernels mask indices with the immediate `i & 4095`, so a
+    // 4096-word array is exactly the reachable window from its base.
+    let a = p.array(4096, ArrayInit::Values(init_a));
+    let b = p.array(4096, ArrayInit::Values(init_b));
+    let acc = p.vreg();
+    let n = p.vreg();
+
+    let mut rep = vec![
+        // Fresh data-dependent trip count each outer iteration;
+        // occasionally zero to exercise the zero-trip guard.
+        Stmt::Let(n, Expr::RngBelow(200)),
+    ];
+    let defs = kernel::all();
+    // Every registered kernel at least once per rep (rotated by the
+    // seed), plus a few seed-drawn repeats.
+    let rot = r.below(defs.len() as u64) as usize;
+    let extra = r.below(3) as usize;
+    for k in 0..defs.len() + extra {
+        let def = &defs[(k + rot) % defs.len()];
+        let args = match def.name {
+            "ksum" => vec![Expr::Copy(n), Expr::ArrayBase(a)],
+            "kfill" => vec![Expr::Copy(n), Expr::ArrayBase(b), Expr::Copy(acc)],
+            "kdot" => vec![Expr::Copy(n), Expr::ArrayBase(a), Expr::ArrayBase(b)],
+            "khash" => vec![Expr::Copy(n), Expr::Copy(acc)],
+            other => panic!("kernels family does not know builtin {other}"),
+        };
+        rep.push(Stmt::KernelCall { id: def.id, args });
+        rep.push(Stmt::Let(acc, Expr::RetVal));
+        rep.push(Stmt::Let(acc, Expr::Bin(AluOp::Xor, acc, Rhs::Reg(n))));
+    }
+    // Feed the kernel result back into ordinary loop shapes so the
+    // detector sees real loops whose trip counts depend on kernel
+    // output.
+    rep.push(Stmt::For {
+        trips: Expr::Bin(AluOp::And, acc, Rhs::Imm(7)),
+        body: vec![Stmt::Work(r.range(1, 5) as u32)],
+    });
+    rep.push(Stmt::StoreArr(a, n, acc));
+
+    p.body = vec![
+        Stmt::Let(acc, Expr::Const(r.below(1000) as i64)),
+        Stmt::For {
+            trips: Expr::Const(2 * size as i64),
+            body: rep,
+        },
+    ];
+    p
+}
+
 /// The structured fuzzer as a family: arbitrary terminating programs
 /// over the full AST, top width scaled by size.
 fn gen_mixed(r: &mut Rng, size: u32) -> AstProgram {
@@ -387,6 +453,36 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{}:{seed} faulted: {e:?}", f.name));
                 assert!(s.halted(), "{}:{seed} did not halt", f.name);
             }
+        }
+    }
+
+    /// `compile` lowers `Stmt::KernelCall` to one native `KernelCall`
+    /// instruction; `compile_inline_kernels` splices the registered body
+    /// inline. Both must leave identical registers and memory — the gen
+    /// layer's own oracle that native kernel retirement is faithful.
+    #[test]
+    fn inline_kernels_matches_native_final_state() {
+        let f = family_by_name("kernels").expect("registered");
+        for seed in [0u64, 1, 2, 3, 4] {
+            let ast = f.generate(seed, 1);
+            let native = compile(&ast).expect("native compile");
+            let inlined = crate::compile_inline_kernels(&ast).expect("inline compile");
+            assert_ne!(native, inlined, "kernels:{seed} generated no kernel calls");
+            let run = |prog| {
+                let mut cpu = Cpu::new();
+                let s = cpu
+                    .run(prog, &mut NullTracer, RunLimits::with_fuel(50_000_000))
+                    .unwrap_or_else(|e| panic!("kernels:{seed} faulted: {e:?}"));
+                assert!(s.halted(), "kernels:{seed} did not halt");
+                let mut enc = loopspec_isa::snap::Enc::new();
+                cpu.mem().save_state(&mut enc);
+                let regs: Vec<u64> = loopspec_isa::Reg::ALL.iter().map(|&r| cpu.reg(r)).collect();
+                (enc.into_bytes(), regs)
+            };
+            let (mem_a, regs_a) = run(&native);
+            let (mem_b, regs_b) = run(&inlined);
+            assert_eq!(regs_a, regs_b, "kernels:{seed} register divergence");
+            assert_eq!(mem_a, mem_b, "kernels:{seed} memory divergence");
         }
     }
 

@@ -16,8 +16,10 @@
 //!    counters beyond, masked array indexing, normalized dispatch.
 //!
 //! On top sit the **[scenario families](family)** — named, seeded
-//! generators (`trips`, `nest`, `rec`, `dispatch`, `chase`, `mixed`)
-//! each stressing one loop shape from the paper's taxonomy — and the
+//! generators (`trips`, `nest`, `rec`, `dispatch`, `chase`, `mixed`,
+//! `kernels`) each stressing one loop shape from the paper's taxonomy
+//! (`kernels` mixes in native [`KernelCall`
+//! dispatch](loopspec_isa::kernel)) — and the
 //! **[differential harness](harness)**, which runs each generated
 //! program through every execution path in the repo (legacy vs decoded
 //! CPU, batch vs streaming vs sharded engines) and cross-checks the
@@ -51,5 +53,5 @@ mod rng;
 pub use ast::{arb_program, ArbConfig, AstProgram, Stmt};
 pub use family::{families, family_by_name, Family, ReplayToken};
 pub use harness::{check_events, check_program, run_corpus, run_family, FamilyReport};
-pub use lower::compile;
+pub use lower::{compile, compile_inline_kernels};
 pub use rng::Rng;

@@ -43,6 +43,9 @@ struct Ctx {
     table_base: i64,
     /// Entries in the function-pointer table.
     table_len: usize,
+    /// Expand [`Stmt::KernelCall`] bodies inline instead of emitting
+    /// `KernelCall` instructions (see [`compile_inline_kernels`]).
+    inline_kernels: bool,
 }
 
 /// One scope's lowering state: the shared context, the scope's
@@ -58,10 +61,26 @@ struct Lower<'c> {
 /// # Panics
 ///
 /// Panics on malformed ASTs — an out-of-range [`VReg`]/array/function
-/// handle, a `CallTab` against an empty table, or more than four call
-/// arguments. Generators are expected to uphold these invariants; the
-/// panic message names the violation.
+/// handle, a `CallTab` against an empty table, an unregistered
+/// [`Stmt::KernelCall`] id, or more than four call arguments.
+/// Generators are expected to uphold these invariants; the panic
+/// message names the violation.
 pub fn compile(ast: &AstProgram) -> Result<Program, AsmError> {
+    compile_with(ast, false)
+}
+
+/// [`compile`], but every [`Stmt::KernelCall`] is expanded into the
+/// registered body's instructions in place instead of a single
+/// `KernelCall` — the architectural reference for differential testing
+/// of the native kernel path. The expansion clobbers exactly the
+/// registers the kernel ABI reserves, so the two compilations reach
+/// the same registers and memory (events, pcs and retirement counts
+/// differ, since the inline body occupies real code addresses).
+pub fn compile_inline_kernels(ast: &AstProgram) -> Result<Program, AsmError> {
+    compile_with(ast, true)
+}
+
+fn compile_with(ast: &AstProgram, inline_kernels: bool) -> Result<Program, AsmError> {
     let mut b = ProgramBuilder::with_seed(ast.rng_seed);
 
     let mut arrays = Vec::with_capacity(ast.arrays.len());
@@ -78,6 +97,7 @@ pub fn compile(ast: &AstProgram) -> Result<Program, AsmError> {
         arrays,
         table_base,
         table_len: ast.table.len(),
+        inline_kernels,
     };
 
     for (k, f) in ast.funcs.iter().enumerate() {
@@ -115,6 +135,45 @@ fn lower_func(b: &mut ProgramBuilder, ctx: &Ctx, f: &FuncDef) {
         b.addi(Reg::SP, Reg::SP, frame);
     }
     lo.alloc.release(b);
+}
+
+/// Splices a registered kernel body into the instruction stream in
+/// place of a `KernelCall`: each body-local branch target becomes an
+/// assembler label, every other instruction is emitted verbatim. The
+/// body only touches the kernel ABI's clobber set, so the surrounding
+/// lowered code sees exactly the register effects the native call
+/// would have.
+///
+/// # Panics
+///
+/// Panics when `id` is not in the kernel registry (mirroring the
+/// `UnknownKernel` fault the native path would raise).
+fn inline_kernel(b: &mut ProgramBuilder, id: u32) {
+    let def = loopspec_isa::kernel::lookup(id)
+        .unwrap_or_else(|| panic!("KernelCall names unregistered kernel id {id}"));
+    let body = def.body();
+    // One label per body pc plus the completion point (branch targets
+    // may be `body.len()`, the kernel's exit).
+    let labels: Vec<loopspec_asm::LabelId> =
+        (0..=body.len()).map(|_| b.asm().new_label()).collect();
+    for (i, instr) in body.iter().enumerate() {
+        b.asm().bind(labels[i]).expect("fresh label");
+        match *instr {
+            loopspec_isa::Instruction::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
+                b.asm()
+                    .branch(cond, ra, rb, labels[target.index() as usize]);
+            }
+            other => {
+                b.emit(other);
+            }
+        }
+    }
+    b.asm().bind(labels[body.len()]).expect("fresh label");
 }
 
 /// Counts `For` nodes (recursively) to pre-size a function's
@@ -203,6 +262,14 @@ impl Lower<'_> {
                 let s0 = self.alloc.scratch(0);
                 self.eval(b, e, s0);
                 b.set_ret(s0);
+            }
+            Stmt::KernelCall { id, args } => {
+                self.eval_args(b, args);
+                if self.ctx.inline_kernels {
+                    inline_kernel(b, *id);
+                } else {
+                    b.kernel_call(*id);
+                }
             }
         }
     }

@@ -211,6 +211,12 @@ pub enum DecodedOp {
         /// Register holding the return address.
         link: Reg,
     },
+    /// Kernel dispatch (see [`crate::kernel`]). Dispatched as a single
+    /// step, never as part of a straight-line run or a fused pair.
+    KernelCall {
+        /// Registry id of the kernel to run.
+        id: u32,
+    },
 }
 
 impl DecodedOp {
@@ -275,6 +281,7 @@ impl DecodedOp {
             Instruction::Call { target, link } => DecodedOp::Call { target, link },
             Instruction::CallInd { base, link } => DecodedOp::CallInd { base, link },
             Instruction::Ret { link } => DecodedOp::Ret { link },
+            Instruction::KernelCall { id } => DecodedOp::KernelCall { id },
         }
     }
 
@@ -636,7 +643,8 @@ impl FlatOp {
             | DecodedOp::JumpInd { .. }
             | DecodedOp::Call { .. }
             | DecodedOp::CallInd { .. }
-            | DecodedOp::Ret { .. } => flat(FlatCode::Ctl, 0, 0, 0, 0),
+            | DecodedOp::Ret { .. }
+            | DecodedOp::KernelCall { .. } => flat(FlatCode::Ctl, 0, 0, 0, 0),
         }
     }
 
@@ -746,12 +754,18 @@ impl DecodedImage {
 
         // Suffix straight-line run lengths: run_len[pc] counts the
         // control-free ops from pc up to (not including) the block
-        // terminator. Control transfers and fused-pair heads have run
-        // length 0, which also makes them terminate the run of every
-        // preceding pc.
+        // terminator. Control transfers, fused-pair heads and kernel
+        // dispatches have run length 0, which also makes them terminate
+        // the run of every preceding pc. (A `KernelCall` classifies as
+        // `ControlKind::None` — it is invisible to the loop detector —
+        // but it retires a whole body, so the dispatcher must reach it
+        // as a single step, never mid-run.)
         let mut run_len = vec![0u32; n];
         for pc in (0..n).rev() {
-            if kinds[pc] == ControlKind::None && !pair[pc] {
+            if kinds[pc] == ControlKind::None
+                && !pair[pc]
+                && !matches!(code[pc], Instruction::KernelCall { .. })
+            {
                 run_len[pc] = 1 + if pc + 1 < n { run_len[pc + 1] } else { 0 };
             }
         }
@@ -1053,6 +1067,26 @@ mod tests {
         let img = DecodedImage::build(&code);
         assert!(!img.is_pair(0), "loads keep their own mem-limit check");
         assert_eq!(img.run_len(0), 1);
+    }
+
+    #[test]
+    fn kernel_call_terminates_runs_and_never_fuses() {
+        let code = vec![
+            addi(Reg::R1, Reg::R1, 1),
+            addi(Reg::R2, Reg::R2, 1),
+            Instruction::KernelCall { id: 1 },
+            addi(Reg::R3, Reg::R3, 1),
+            Instruction::Halt,
+        ];
+        let img = DecodedImage::build(&code);
+        assert_eq!(img.op(2), DecodedOp::KernelCall { id: 1 });
+        assert_eq!(img.kind(2), ControlKind::None, "invisible to the CLS");
+        assert_eq!(img.run_len(0), 2, "run stops before the dispatch");
+        assert_eq!(img.run_len(2), 0, "dispatch is a single step");
+        assert_eq!(img.run_len(3), 1);
+        assert!(!img.is_pair(2));
+        assert_eq!(img.meta(2), 0);
+        assert_eq!(img.flat()[2].code, FlatCode::Ctl);
     }
 
     #[test]

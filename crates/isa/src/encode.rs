@@ -56,6 +56,7 @@ mod opcode {
     pub const CALL: u8 = 18;
     pub const CALL_IND: u8 = 19;
     pub const RET: u8 = 20;
+    pub const KERNEL_CALL: u8 = 21;
 }
 
 const RD_SHIFT: u32 = 51;
@@ -240,6 +241,7 @@ impl Instruction {
                 pack(CALL_IND, link.index() as u64, base.index() as u64, 0, 0, 0)
             }
             Instruction::Ret { link } => pack(RET, 0, link.index() as u64, 0, 0, 0),
+            Instruction::KernelCall { id } => pack(KERNEL_CALL, 0, 0, 0, 0, id as u64),
         }
     }
 
@@ -361,6 +363,9 @@ impl Instruction {
             RET => Instruction::Ret {
                 link: reg(field_ra(word), word)?,
             },
+            KERNEL_CALL => Instruction::KernelCall {
+                id: (word & IMM32_MASK) as u32,
+            },
             _ => return Err(bad("unknown opcode")),
         })
     }
@@ -472,6 +477,8 @@ mod tests {
             link: Reg::R20,
         });
         round_trip(Instruction::Ret { link: Reg::RA });
+        round_trip(Instruction::KernelCall { id: 3 });
+        round_trip(Instruction::KernelCall { id: u32::MAX });
     }
 
     #[test]

@@ -186,6 +186,18 @@ pub enum Instruction {
         /// Register holding the return address.
         link: Reg,
     },
+    /// Dispatch into a registered kernel (see [`crate::kernel`]): the
+    /// kernel's body executes to completion and control resumes at the
+    /// next instruction.
+    ///
+    /// The dispatch itself retires no event — the body's instructions
+    /// retire individually at synthesized virtual addresses
+    /// ([`crate::kernel::virtual_pc`]), so the committed event stream is
+    /// bit-identical to inlining the body at those addresses.
+    KernelCall {
+        /// Registry id of the kernel to run.
+        id: u32,
+    },
 }
 
 /// Static control-flow classification of an instruction.
@@ -368,6 +380,10 @@ impl Instruction {
             Instruction::Ret { link } => {
                 u.reads = [Some(link), None, None];
             }
+            // The dispatch reads the argument registers and clobbers the
+            // kernel scratch set, but it emits no event of its own: the
+            // body's instructions carry the architectural reads/writes.
+            Instruction::KernelCall { .. } => {}
         }
         u
     }
@@ -404,6 +420,7 @@ impl fmt::Display for Instruction {
             Instruction::Call { target, link } => write!(f, "call {target}, {link}"),
             Instruction::CallInd { base, link } => write!(f, "callr {base}, {link}"),
             Instruction::Ret { link } => write!(f, "ret {link}"),
+            Instruction::KernelCall { id } => write!(f, "kcall {id}"),
         }
     }
 }

@@ -52,6 +52,7 @@ mod addr;
 mod decoded;
 mod encode;
 mod instr;
+pub mod kernel;
 mod op;
 mod reg;
 pub mod snap;

@@ -83,4 +83,4 @@ pub use policy::{
 };
 pub use predictor::{IterPrediction, IterPredictor};
 pub use stats::SpecStats;
-pub use stream::{AnyStreamEngine, EngineSink, StreamEngine, StreamError};
+pub use stream::{validate_tus, AnyStreamEngine, EngineSink, StreamEngine, StreamError};

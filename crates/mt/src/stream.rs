@@ -268,9 +268,12 @@ pub(crate) fn read_pending(
     })
 }
 
-/// Validates a finite TU count (the single source of the supported
-/// range, shared by every streaming driver — typed or panicking).
-pub(crate) fn validate_tus(num_tus: usize) -> Result<(), StreamError> {
+/// Validates a finite TU count — the single source of the supported
+/// range and of the [`StreamError::BadTus`] error, shared by every
+/// streaming driver (typed or panicking) and by the `dist` layer's
+/// job admission, so a bad TU count reads identically wherever it is
+/// rejected.
+pub fn validate_tus(num_tus: usize) -> Result<(), StreamError> {
     if (2..=4096).contains(&num_tus) {
         Ok(())
     } else {

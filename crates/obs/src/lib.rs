@@ -107,6 +107,21 @@ pub fn histogram(name: &str) -> Histogram {
     global().histogram(name)
 }
 
+/// Well-known metric names shared across crates.
+///
+/// Most counters are named ad hoc at their single recording site;
+/// these constants exist for names that are *read* elsewhere — smoke
+/// scripts grep them out of `--metrics` output, so recording sites and
+/// consumers must agree on the exact spelling.
+pub mod names {
+    /// Native kernel dispatches: one per `KernelCall` entered fresh
+    /// (resuming a parked mid-body kernel does not re-count).
+    pub const CPU_KERNEL_CALLS: &str = "cpu_kernel_calls";
+    /// Kernel-body instructions retired through native dispatch (these
+    /// also count toward the ordinary retired-instruction totals).
+    pub const CPU_KERNEL_INSTRS: &str = "cpu_kernel_instrs";
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,6 +33,10 @@ fn flush_cpu_telemetry(cpu: &mut Cpu) {
         obs::counter("cpu_superblock_runs").add(t.superblock_runs);
         obs::counter("cpu_superblock_instrs").add(t.superblock_instrs);
         obs::counter("cpu_fused_branch_pairs").add(t.fused_branch_pairs);
+        if t.kernel_calls > 0 {
+            obs::counter(obs::names::CPU_KERNEL_CALLS).add(t.kernel_calls);
+            obs::counter(obs::names::CPU_KERNEL_INSTRS).add(t.kernel_instrs);
+        }
         obs::histogram("cpu_superblock_len")
             .merge_prebucketed(&t.superblock_len_buckets, t.superblock_instrs);
         for (shape, hits) in t.fused_shapes() {

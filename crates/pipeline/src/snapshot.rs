@@ -142,7 +142,11 @@ const MAGIC: u32 = 0x4c53_4e50;
 /// Container format version. v2: `StreamEngine` sink state gained the
 /// oracle-feed fingerprint echo, so v1 checkpoints no longer decode —
 /// reject them cleanly here instead of misparsing the sink bytes.
-const VERSION: u32 = 2;
+/// v3: the CPU cursor section grew a kernel pause cursor and the
+/// container gained a kernel-registry echo (ids + body fingerprints),
+/// so a checkpoint taken mid-`KernelCall` resumes only against the
+/// same registered kernel bodies; v2 containers are rejected cleanly.
+const VERSION: u32 = 3;
 
 impl Snapshot {
     /// Stream position of the checkpoint: instructions retired before
@@ -165,6 +169,10 @@ impl Snapshot {
         let mut enc = Enc::new();
         enc.u32(MAGIC);
         enc.u32(VERSION);
+        // Registry echo: a snapshot taken mid-kernel references body
+        // instructions by (id, body pc) only, so decode refuses to
+        // resume against a registry whose bodies differ.
+        loopspec_isa::kernel::save_state(&mut enc);
         enc.bool(self.started);
         enc.u64(self.instructions);
         enc.bytes(&self.cpu);
@@ -209,6 +217,7 @@ impl Snapshot {
             }
             .into());
         }
+        loopspec_isa::kernel::check_state(&mut dec)?;
         let started = dec.bool()?;
         let instructions = dec.u64()?;
         let cpu = dec.bytes()?.to_vec();

@@ -39,6 +39,7 @@
 
 pub mod families;
 pub mod kernels;
+pub mod native;
 mod suite;
 
 use loopspec_asm::{AsmError, Program};
@@ -56,6 +57,12 @@ pub enum Scale {
     Small,
     /// ~2–6 M instructions — the EXPERIMENTS.md numbers.
     Full,
+    /// Hundreds of millions of instructions — the kernel-backed stress
+    /// tier. Intended for the [`native`] `kern:` workloads, whose inner
+    /// bodies retire through the native `KernelCall` extension point;
+    /// building one of the 18 interpreted suite programs at this scale
+    /// works but takes interpreter-bound minutes.
+    Huge,
 }
 
 impl Scale {
@@ -65,6 +72,7 @@ impl Scale {
             Scale::Test => 1,
             Scale::Small => 6,
             Scale::Full => 24,
+            Scale::Huge => 4000,
         }
     }
 }
@@ -124,20 +132,24 @@ pub fn by_name(name: &str) -> Option<Workload> {
 }
 
 /// `true` when `name` resolves to a buildable program: one of the 18
-/// calibrated kernels, or a well-formed `gen:<family>:<seed>` scenario
-/// (see [`families`]). This is the admission-control predicate — a
-/// name this rejects must never reach a worker.
+/// calibrated kernels, a well-formed `gen:<family>:<seed>` scenario
+/// (see [`families`]), or a `kern:<kernel>` native-kernel driver (see
+/// [`native`]). This is the admission-control predicate — a name this
+/// rejects must never reach a worker.
 pub fn known_name(name: &str) -> bool {
     if name.starts_with("gen:") {
         families::parse(name).is_some()
+    } else if name.starts_with("kern:") {
+        native::parse(name).is_some()
     } else {
         by_name(name).is_some()
     }
 }
 
-/// Builds any named program — calibrated kernel or generated scenario
-/// — at the given scale. Generated scenarios use `scale.factor()` as
-/// their size parameter, so the same scale ladder applies to both.
+/// Builds any named program — calibrated kernel, generated scenario,
+/// or native-kernel driver — at the given scale. Generated scenarios
+/// use `scale.factor()` as their size parameter, so the same scale
+/// ladder applies to all three namespaces.
 ///
 /// Returns `None` for unknown names (see [`known_name`]), and
 /// `Some(Err(..))` when the program fails to assemble.
@@ -146,6 +158,9 @@ pub fn build_named(name: &str, scale: Scale) -> Option<Result<Program, AsmError>
         let token = families::parse(name)?;
         let ast = token.program(scale.factor() as u32)?;
         return Some(loopspec_gen::compile(&ast));
+    }
+    if name.starts_with("kern:") {
+        return Some(native::build(native::parse(name)?, scale));
     }
     by_name(name).map(|w| w.build(scale))
 }
@@ -230,6 +245,19 @@ mod tests {
     fn scale_factors_are_monotone() {
         assert!(Scale::Test.factor() < Scale::Small.factor());
         assert!(Scale::Small.factor() < Scale::Full.factor());
+        assert!(Scale::Full.factor() < Scale::Huge.factor());
+    }
+
+    #[test]
+    fn named_lookup_covers_kernel_drivers() {
+        assert!(known_name("kern:ksum"));
+        assert!(known_name("kern:khash"));
+        assert!(!known_name("kern:nope"));
+        assert!(!known_name("kern:"));
+        let p = build_named("kern:ksum", Scale::Test)
+            .expect("known name")
+            .expect("assembles");
+        assert!(!p.is_empty());
     }
 
     #[test]

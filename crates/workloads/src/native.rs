@@ -1,0 +1,179 @@
+//! Kernel-backed workloads (`kern:<name>` selectors).
+//!
+//! One workload per [registered kernel](loopspec_isa::kernel): a thin
+//! driver loop that repeatedly invokes the kernel through the native
+//! `KernelCall` extension point and folds the results into a memory
+//! accumulator. These are the [`Scale::Huge`](crate::Scale) carriers —
+//! at `Scale::Huge` a single `kern:` run retires hundreds of millions
+//! of instructions, nearly all of them inside natively dispatched
+//! kernel bodies, so the interpreter cost per simulated instruction
+//! collapses and the sharded/dist/svc overheads finally amortize.
+//!
+//! Every invocation passes the same trip count (`TRIPS`), so the
+//! kernel's internal loop is perfectly regular — the STR predictor
+//! locks on after the training iterations, mirroring the paper's
+//! `compress`-class workloads — while the driver loop contributes one
+//! ordinary program loop around it.
+
+use loopspec_asm::{AsmError, Program, ProgramBuilder};
+use loopspec_isa::kernel::{self, KernelDef};
+use loopspec_isa::AluOp;
+
+use crate::{PaperRow, Scale, Workload};
+
+/// Iterations per kernel invocation. With [`reps`] scaling by
+/// [`Scale::factor`], `Scale::Huge` reaches `8 × 4000 × 4096 ≈ 131 M`
+/// kernel-loop iterations per workload.
+const TRIPS: i64 = 4096;
+
+/// Kernel invocations at `scale`: 8 at `Test`, scaled by the factor.
+fn reps(scale: Scale) -> i64 {
+    8 * scale.factor()
+}
+
+/// Resolves a `kern:<name>` selector to its registered kernel.
+pub fn parse(name: &str) -> Option<&'static KernelDef> {
+    kernel::by_name(name.strip_prefix("kern:")?)
+}
+
+/// Builds the driver program for `def` at `scale`.
+///
+/// # Errors
+///
+/// Propagates assembler errors (none occur for registered kernels —
+/// the suite tests build every selector).
+pub fn build(def: &KernelDef, scale: Scale) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    let win_a = b.alloc_static(kernel::KMASK as i64 + 1);
+    let win_b = b.alloc_static(kernel::KMASK as i64 + 1);
+    let acc = b.alloc_static(1);
+    let kfill = kernel::by_name("kfill").expect("kfill is built in");
+
+    // Prefill both windows through the kernel path itself so the data
+    // windows hold non-trivial values for ksum/kdot.
+    for (win, seed) in [(win_a, 3), (win_b, 11)] {
+        b.set_arg(0, kernel::KMASK as i64 + 1);
+        b.set_arg(1, win);
+        b.set_arg(2, seed);
+        b.kernel_call(kfill.id);
+    }
+
+    b.counted_loop(reps(scale), |b, i| {
+        b.set_arg(0, TRIPS);
+        match def.name {
+            "ksum" => b.set_arg(1, win_a),
+            "kfill" => {
+                b.set_arg(1, win_a);
+                b.set_arg(2, i);
+            }
+            "kdot" => {
+                b.set_arg(1, win_a);
+                b.set_arg(2, win_b);
+            }
+            "khash" => b.set_arg(1, i),
+            other => panic!("kern workload does not know builtin {other}"),
+        }
+        b.kernel_call(def.id);
+        // Fold the result into the memory accumulator so every
+        // invocation is observable in the final machine state.
+        b.with_reg(|b, v| {
+            b.load_static(v, acc);
+            b.op(AluOp::Add, v, v, ProgramBuilder::RET_REG);
+            b.store_static(v, acc);
+        });
+    });
+    b.finish()
+}
+
+/// The `kern:` selector as a suite [`Workload`] (for drivers like
+/// `repro --workload` that execute `Workload` values). The paper row
+/// is all zeros — these workloads have no SPEC95 counterpart.
+pub fn workload_by_name(name: &str) -> Option<Workload> {
+    const ROW: PaperRow = PaperRow {
+        instr_g: 0.0,
+        loops: 0,
+        iter_per_exec: 0.0,
+        instr_per_iter: 0.0,
+        avg_nl: 0.0,
+        max_nl: 0,
+        hit_ratio: 0.0,
+    };
+    fn build_named(name: &str, scale: Scale) -> Result<Program, AsmError> {
+        build(parse(name).expect("registered kernel"), scale)
+    }
+    fn b_ksum(s: Scale) -> Result<Program, AsmError> {
+        build_named("kern:ksum", s)
+    }
+    fn b_kfill(s: Scale) -> Result<Program, AsmError> {
+        build_named("kern:kfill", s)
+    }
+    fn b_kdot(s: Scale) -> Result<Program, AsmError> {
+        build_named("kern:kdot", s)
+    }
+    fn b_khash(s: Scale) -> Result<Program, AsmError> {
+        build_named("kern:khash", s)
+    }
+    let (name, description, build): (&'static str, &'static str, fn(Scale) -> _) = match name {
+        "kern:ksum" => (
+            "kern:ksum",
+            "native kernel driver: masked-window sum",
+            b_ksum,
+        ),
+        "kern:kfill" => (
+            "kern:kfill",
+            "native kernel driver: arithmetic fill",
+            b_kfill,
+        ),
+        "kern:kdot" => (
+            "kern:kdot",
+            "native kernel driver: windowed dot product",
+            b_kdot,
+        ),
+        "kern:khash" => (
+            "kern:khash",
+            "native kernel driver: register LCG mix",
+            b_khash,
+        ),
+        _ => return None,
+    };
+    Some(Workload {
+        name,
+        description,
+        paper: ROW,
+        build,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopspec_cpu::{Cpu, NullTracer, RunLimits};
+
+    #[test]
+    fn every_kern_selector_builds_and_halts_at_test_scale() {
+        for def in kernel::all() {
+            let name = format!("kern:{}", def.name);
+            let def = parse(&name).unwrap_or_else(|| panic!("{name} must parse"));
+            let p = build(def, Scale::Test).expect("assembles");
+            let mut cpu = Cpu::new();
+            let s = cpu
+                .run(&p, &mut NullTracer, RunLimits::default())
+                .unwrap_or_else(|e| panic!("{name} faulted: {e:?}"));
+            assert!(s.halted(), "{name} did not halt");
+            assert!(
+                cpu.take_decoded_telemetry().kernel_calls >= 8,
+                "{name} must dispatch kernels"
+            );
+        }
+    }
+
+    #[test]
+    fn selectors_reject_unknown_and_malformed_names() {
+        assert!(parse("kern:ksum").is_some());
+        assert!(parse("kern:nope").is_none());
+        assert!(parse("ksum").is_none());
+        assert!(parse("kern:").is_none());
+        assert!(workload_by_name("kern:kdot").is_some());
+        assert!(workload_by_name("kdot").is_none());
+    }
+}

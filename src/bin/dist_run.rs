@@ -21,7 +21,7 @@ use loopspec::workloads::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: dist_run [--workers N] [--shard-fuel F] \
-         [--scale test|small|full] [--verify] [--metrics] [WORKLOAD...]"
+         [--scale test|small|full|huge] [--verify] [--metrics] [WORKLOAD...]"
     );
     std::process::exit(2);
 }
@@ -31,7 +31,7 @@ fn main() {
     worker::maybe_serve_stdio();
 
     let mut workers = 4usize;
-    let mut shard_fuel = 25_000u64;
+    let mut shard_fuel: Option<u64> = None;
     let mut scale = Scale::Test;
     let mut verify = false;
     let mut metrics = false;
@@ -47,16 +47,18 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--shard-fuel" => {
-                shard_fuel = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+                shard_fuel = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
             }
             "--scale" => {
                 scale = match args.next().as_deref() {
                     Some("test") => Scale::Test,
                     Some("small") => Scale::Small,
                     Some("full") => Scale::Full,
+                    Some("huge") => Scale::Huge,
                     _ => usage(),
                 };
             }
@@ -67,6 +69,13 @@ fn main() {
             _ => usage(),
         }
     }
+    // Huge runs retire ~10⁴× more instructions than Test; keep the
+    // default shard count (not shard size) roughly constant, and give
+    // the fuel budget enough headroom that the run completes.
+    let shard_fuel = shard_fuel.unwrap_or(match scale {
+        Scale::Huge => 50_000_000,
+        _ => 25_000,
+    });
     if workers == 0 || shard_fuel == 0 {
         usage();
     }
@@ -80,9 +89,12 @@ fn main() {
     // One typed template describes the whole study (the default
     // JobSpec grid IS the paper's 20-lane grid); the suite just runs
     // it over every requested workload.
-    let template = JobSpec::new(workloads[0].clone())
+    let mut template = JobSpec::new(workloads[0].clone())
         .scale(scale)
         .plan(Plan::sliced(shard_fuel));
+    if scale == Scale::Huge {
+        template = template.total_fuel(2_000_000_000);
+    }
     let mut spec = template.suite();
     spec.workloads = workloads;
 

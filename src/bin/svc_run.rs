@@ -21,7 +21,7 @@ use loopspec::workloads::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: svc_run [--workers N] [--clients C] [--jobs J] [--queue Q] \
-         [--cache E] [--scale test|small|full] [--metrics] [WORKLOAD...]"
+         [--cache E] [--scale test|small|full|huge] [--metrics] [WORKLOAD...]"
     );
     std::process::exit(2);
 }
@@ -58,6 +58,7 @@ fn main() {
                     Some("test") => Scale::Test,
                     Some("small") => Scale::Small,
                     Some("full") => Scale::Full,
+                    Some("huge") => Scale::Huge,
                     _ => usage(),
                 };
             }
@@ -83,10 +84,19 @@ fn main() {
     let specs: Vec<JobSpec> = workloads
         .iter()
         .map(|w| {
-            JobSpec::new(w.clone())
+            let mut spec = JobSpec::new(w.clone())
                 .scale(scale)
                 .policies([Policy::Idle, Policy::Str])
-                .tus([2, 4])
+                .tus([2, 4]);
+            if scale == Scale::Huge {
+                // ~10⁴× the Test instruction count: widen the shards so
+                // the shard count stays sane, and the fuel budget so
+                // the run completes.
+                spec = spec
+                    .plan(loopspec::pipeline::Plan::sliced(50_000_000))
+                    .total_fuel(2_000_000_000);
+            }
+            spec
         })
         .collect();
 

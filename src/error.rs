@@ -29,7 +29,7 @@ use std::fmt;
 use loopspec_asm::AsmError;
 use loopspec_core::snap::SnapError;
 use loopspec_cpu::CpuError;
-use loopspec_dist::{DistError, WireError};
+use loopspec_dist::{DistError, JobError, WireError};
 use loopspec_mt::StreamError;
 use loopspec_pipeline::SnapshotError;
 use loopspec_svc::SvcError;
@@ -131,6 +131,20 @@ impl From<DistError> for Error {
     }
 }
 
+impl From<JobError> for Error {
+    /// Job-admission failures unwrap to the layer that produced them:
+    /// lane errors are [`StreamError`]s (constructed by
+    /// [`loopspec_mt::validate_tus`], so a bad TU count reads the same
+    /// here as from `StreamEngine::try_new`), the rest are codec
+    /// errors.
+    fn from(e: JobError) -> Self {
+        match e {
+            JobError::Spec(e) => Error::Codec(e),
+            JobError::Lanes(e) => Error::Stream(e),
+        }
+    }
+}
+
 impl From<SvcError> for Error {
     fn from(e: SvcError) -> Self {
         Error::Svc(e)
@@ -148,6 +162,14 @@ mod tests {
             (SnapError::Corrupt { what: "frame tag" }.into(), "codec:"),
             (CpuError::MemoryLimit { pages: 9 }.into(), "cpu:"),
             (StreamError::BadTus { got: 1 }.into(), "stream:"),
+            (
+                JobError::Lanes(StreamError::BadTus { got: 1 }).into(),
+                "stream:",
+            ),
+            (
+                JobError::Spec(SnapError::Corrupt { what: "frame tag" }).into(),
+                "codec:",
+            ),
             (
                 DistError::AllWorkersDied {
                     completed: 1,
